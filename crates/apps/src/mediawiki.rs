@@ -1,0 +1,466 @@
+//! The MediaWiki page-edit application (paper §4.1).
+//!
+//! Re-implements the transactional shape of two real MediaWiki bugs:
+//!
+//! * **MW-44325** — concurrent edits of the same page can create
+//!   duplicated site-URL links because the page object and the `SiteLink`
+//!   table are updated non-atomically (check in one transaction, insert in
+//!   another).
+//! * **MW-39225** — the page-edit handler reads the page in one
+//!   transaction and writes the new revision/size in another; a concurrent
+//!   edit between the two makes the recorded "article size change" wrong
+//!   (a lost update on the size/revision counters).
+//!
+//! As with the Moodle application, both the buggy and the fixed handler
+//! registries are provided.
+
+use trod_db::{Database, DataType, Key, Predicate, Schema, Value, row};
+use trod_provenance::ProvenanceStore;
+use trod_runtime::{Args, HandlerError, HandlerRegistry, point_label};
+
+/// Pages table: title, content, size and revision counter.
+pub const PAGES_TABLE: &str = "pages";
+/// Site links table: the table MW-44325 pollutes with duplicates.
+pub const SITE_LINKS_TABLE: &str = "site_links";
+/// Edit history table: records the size delta of every edit (MW-39225).
+pub const REVISIONS_TABLE: &str = "revisions";
+
+/// Creates the MediaWiki schema in a fresh database.
+pub fn mediawiki_db() -> Database {
+    let db = Database::new();
+    create_schema(&db);
+    db
+}
+
+/// Creates the MediaWiki tables on an existing database.
+pub fn create_schema(db: &Database) {
+    db.create_table(
+        PAGES_TABLE,
+        Schema::builder()
+            .column("title", DataType::Text)
+            .column("content", DataType::Text)
+            .column("size", DataType::Int)
+            .column("revision", DataType::Int)
+            .primary_key(&["title"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh database");
+    db.create_table(
+        SITE_LINKS_TABLE,
+        Schema::builder()
+            .column("link_id", DataType::Text)
+            .column("page", DataType::Text)
+            .column("url", DataType::Text)
+            .primary_key(&["link_id"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh database");
+    db.create_index(SITE_LINKS_TABLE, "page").expect("index");
+    db.create_table(
+        REVISIONS_TABLE,
+        Schema::builder()
+            .column("rev_id", DataType::Text)
+            .column("page", DataType::Text)
+            .column("size_delta", DataType::Int)
+            .column("new_size", DataType::Int)
+            .primary_key(&["rev_id"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh database");
+}
+
+/// Creates a provenance store with the MediaWiki tables registered
+/// (`site_links` → `SiteLinkEvents`, etc.).
+pub fn provenance_for(db: &Database) -> ProvenanceStore {
+    ProvenanceStore::for_application(db).expect("fresh provenance store")
+}
+
+fn require_str(args: &Args, name: &str) -> Result<String, HandlerError> {
+    args.get_str(name)
+        .map(|s| s.to_string())
+        .ok_or_else(|| HandlerError::BadArgument(format!("missing `{name}`")))
+}
+
+/// The buggy handler registry.
+pub fn registry() -> HandlerRegistry {
+    let mut registry = HandlerRegistry::new();
+
+    registry.register_fn("createPage", |ctx, args| {
+        let title = require_str(args, "title")?;
+        let content = args.get_str("content").unwrap_or("").to_string();
+        let mut txn = ctx.txn("func:createPage");
+        let size = content.len() as i64;
+        txn.insert(PAGES_TABLE, row![title, content, size, 1i64])?;
+        txn.commit()?;
+        Ok(Value::Int(size))
+    });
+
+    // editPage, buggy (MW-39225 shape): read in one transaction, write the
+    // new content/size/revision in a second transaction using the stale
+    // read, and record the (possibly wrong) size delta.
+    registry.register_fn("editPage", |ctx, args| {
+        let title = require_str(args, "title")?;
+        let content = require_str(args, "content")?;
+        let rev_id = require_str(args, "rev_id")?;
+
+        ctx.sync_point("pre-read");
+        let mut read = ctx.txn("func:readPage");
+        let key = Key::single(title.clone());
+        let page = read
+            .get(PAGES_TABLE, &key)?
+            .ok_or_else(|| HandlerError::App(format!("no such page {title}")))?;
+        read.commit()?;
+        ctx.sync_point("post-read");
+        let old_size = page[2].as_int().unwrap_or(0);
+        let old_revision = page[3].as_int().unwrap_or(0);
+
+        ctx.sync_point("pre-write");
+        let new_size = content.len() as i64;
+        let mut write = ctx.txn("func:writePage");
+        write.update(
+            PAGES_TABLE,
+            &key,
+            row![title.clone(), content, new_size, old_revision + 1],
+        )?;
+        write.insert(
+            REVISIONS_TABLE,
+            row![rev_id, title.clone(), new_size - old_size, new_size],
+        )?;
+        write.commit()?;
+        ctx.sync_point("post-write");
+        Ok(Value::Int(new_size - old_size))
+    });
+
+    // addSiteLink, buggy (MW-44325 shape): existence check and insert in
+    // two transactions, so concurrent edits create duplicated URL links.
+    registry.register_fn("addSiteLink", |ctx, args| {
+        let link_id = require_str(args, "link_id")?;
+        let page = require_str(args, "page")?;
+        let url = require_str(args, "url")?;
+
+        ctx.sync_point("pre-check");
+        let mut check = ctx.txn("func:checkSiteLink");
+        let exists = check.exists(
+            SITE_LINKS_TABLE,
+            &Predicate::eq("page", &page as &str).and(Predicate::eq("url", &url as &str)),
+        )?;
+        check.commit()?;
+        ctx.sync_point("post-check");
+        if exists {
+            return Ok(Value::Bool(false));
+        }
+
+        ctx.sync_point("pre-insert");
+        let mut insert = ctx.txn("func:insertSiteLink");
+        insert.insert(SITE_LINKS_TABLE, row![link_id, page, url])?;
+        insert.commit()?;
+        ctx.sync_point("post-insert");
+        Ok(Value::Bool(true))
+    });
+
+    registry.register_fn("getPage", |ctx, args| {
+        let title = require_str(args, "title")?;
+        let mut txn = ctx.txn("func:getPage");
+        let page = txn.get(PAGES_TABLE, &Key::single(title.clone()))?;
+        txn.commit()?;
+        match page {
+            Some(p) => Ok(Value::Text(format!(
+                "size={},revision={}",
+                p[2].as_int().unwrap_or(0),
+                p[3].as_int().unwrap_or(0)
+            ))),
+            None => Err(HandlerError::App(format!("no such page {title}"))),
+        }
+    });
+
+    registry.register_fn("listSiteLinks", |ctx, args| {
+        let page = require_str(args, "page")?;
+        let mut txn = ctx.txn("func:listSiteLinks");
+        let links = txn.scan(SITE_LINKS_TABLE, &Predicate::eq("page", &page as &str))?;
+        txn.commit()?;
+        let mut urls: Vec<String> = links
+            .iter()
+            .map(|(_, r)| r[2].as_text().unwrap_or("").to_string())
+            .collect();
+        urls.sort();
+        let before = urls.len();
+        urls.dedup();
+        if urls.len() != before {
+            return Err(HandlerError::App(format!(
+                "duplicate site links detected for page {page}"
+            )));
+        }
+        Ok(Value::Text(urls.join(",")))
+    });
+
+    registry
+}
+
+/// The fixed registry: `editPage` and `addSiteLink` each use a single
+/// serializable transaction.
+pub fn patched_registry() -> HandlerRegistry {
+    registry()
+        .with_replacement_fn("editPage", |ctx, args| {
+            let title = require_str(args, "title")?;
+            let content = require_str(args, "content")?;
+            let rev_id = require_str(args, "rev_id")?;
+            let mut txn = ctx.txn_with("func:editPageAtomic", trod_db::IsolationLevel::Serializable);
+            let key = Key::single(title.clone());
+            let page = txn
+                .get(PAGES_TABLE, &key)?
+                .ok_or_else(|| HandlerError::App(format!("no such page {title}")))?;
+            let old_size = page[2].as_int().unwrap_or(0);
+            let old_revision = page[3].as_int().unwrap_or(0);
+            let new_size = content.len() as i64;
+            txn.update(
+                PAGES_TABLE,
+                &key,
+                row![title.clone(), content, new_size, old_revision + 1],
+            )?;
+            txn.insert(
+                REVISIONS_TABLE,
+                row![rev_id, title.clone(), new_size - old_size, new_size],
+            )?;
+            txn.commit()?;
+            Ok(Value::Int(new_size - old_size))
+        })
+        .with_replacement_fn("addSiteLink", |ctx, args| {
+            let link_id = require_str(args, "link_id")?;
+            let page = require_str(args, "page")?;
+            let url = require_str(args, "url")?;
+            let mut txn =
+                ctx.txn_with("func:addSiteLinkAtomic", trod_db::IsolationLevel::Serializable);
+            let exists = txn.exists(
+                SITE_LINKS_TABLE,
+                &Predicate::eq("page", &page as &str).and(Predicate::eq("url", &url as &str)),
+            )?;
+            if exists {
+                txn.commit()?;
+                return Ok(Value::Bool(false));
+            }
+            txn.insert(SITE_LINKS_TABLE, row![link_id, page, url])?;
+            txn.commit()?;
+            Ok(Value::Bool(true))
+        })
+}
+
+/// Arguments for an `editPage` request.
+pub fn edit_args(rev_id: &str, title: &str, content: &str) -> Args {
+    Args::new()
+        .with("rev_id", rev_id)
+        .with("title", title)
+        .with("content", content)
+}
+
+/// Arguments for an `addSiteLink` request.
+pub fn sitelink_args(link_id: &str, page: &str, url: &str) -> Args {
+    Args::new()
+        .with("link_id", link_id)
+        .with("page", page)
+        .with("url", url)
+}
+
+/// The scheduler script that forces the MW-44325 interleaving between two
+/// `addSiteLink` requests (both check, then both insert).
+pub fn sitelink_race_script(first_req: &str, second_req: &str) -> Vec<String> {
+    vec![
+        point_label(first_req, "pre-check"),
+        point_label(first_req, "post-check"),
+        point_label(second_req, "pre-check"),
+        point_label(second_req, "post-check"),
+        point_label(second_req, "pre-insert"),
+        point_label(second_req, "post-insert"),
+        point_label(first_req, "pre-insert"),
+        point_label(first_req, "post-insert"),
+    ]
+}
+
+/// The scheduler script that forces the MW-39225 interleaving between two
+/// `editPage` requests: both read the page, then both write, so the second
+/// writer's size delta is computed from a stale size.
+pub fn edit_race_script(first_req: &str, second_req: &str) -> Vec<String> {
+    vec![
+        point_label(first_req, "pre-read"),
+        point_label(first_req, "post-read"),
+        point_label(second_req, "pre-read"),
+        point_label(second_req, "post-read"),
+        point_label(first_req, "pre-write"),
+        point_label(first_req, "post-write"),
+        point_label(second_req, "pre-write"),
+        point_label(second_req, "post-write"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use trod_db::IsolationLevel;
+    use trod_runtime::{Runtime, Scheduler};
+
+    fn racy_runtime(script: Vec<String>, registry: HandlerRegistry) -> Runtime {
+        Runtime::builder(mediawiki_db(), registry)
+            .default_isolation(IsolationLevel::ReadCommitted)
+            .scheduler(Arc::new(Scheduler::scripted(script)))
+            .request_prefix("AUX-")
+            .build()
+    }
+
+    fn run_pair(runtime: &Runtime, reqs: [(&str, &str, Args); 2]) {
+        std::thread::scope(|scope| {
+            for (req_id, handler, args) in reqs {
+                let req_id = req_id.to_string();
+                let handler = handler.to_string();
+                scope.spawn(move || runtime.handle_request_with_id(&req_id, &handler, args));
+            }
+        });
+    }
+
+    #[test]
+    fn sitelink_race_creates_duplicates_and_listing_detects_them() {
+        let runtime = racy_runtime(sitelink_race_script("E1", "E2"), registry());
+        runtime.must_handle("createPage", Args::new().with("title", "P").with("content", "x"));
+        run_pair(
+            &runtime,
+            [
+                ("E1", "addSiteLink", sitelink_args("L1", "P", "https://w.org")),
+                ("E2", "addSiteLink", sitelink_args("L2", "P", "https://w.org")),
+            ],
+        );
+        let links = runtime
+            .database()
+            .scan_latest(SITE_LINKS_TABLE, &Predicate::eq("page", "P"))
+            .unwrap();
+        assert_eq!(links.len(), 2, "duplicate site links must exist");
+        let listing = runtime.handle_request("listSiteLinks", Args::new().with("page", "P"));
+        assert!(matches!(listing.output, Err(HandlerError::App(_))));
+    }
+
+    #[test]
+    fn patched_sitelink_handler_prevents_duplicates() {
+        let runtime = Runtime::builder(mediawiki_db(), patched_registry())
+            .default_isolation(IsolationLevel::Serializable)
+            .build();
+        runtime.must_handle("createPage", Args::new().with("title", "P").with("content", "x"));
+        run_pair(
+            &runtime,
+            [
+                ("E1", "addSiteLink", sitelink_args("L1", "P", "https://w.org")),
+                ("E2", "addSiteLink", sitelink_args("L2", "P", "https://w.org")),
+            ],
+        );
+        let links = runtime
+            .database()
+            .scan_latest(SITE_LINKS_TABLE, &Predicate::eq("page", "P"))
+            .unwrap();
+        assert_eq!(links.len(), 1);
+        assert!(runtime
+            .handle_request("listSiteLinks", Args::new().with("page", "P"))
+            .is_ok());
+    }
+
+    #[test]
+    fn edit_race_produces_wrong_size_history() {
+        let runtime = racy_runtime(edit_race_script("E1", "E2"), registry());
+        runtime.must_handle(
+            "createPage",
+            Args::new().with("title", "Art").with("content", "12345"),
+        );
+        run_pair(
+            &runtime,
+            [
+                ("E1", "editPage", edit_args("rev-a", "Art", "1234567890")),
+                ("E2", "editPage", edit_args("rev-b", "Art", "12")),
+            ],
+        );
+        // The sum of recorded size deltas should equal the final size
+        // minus the original size (5). Under the race, both editors
+        // compute their delta against the original size, so the recorded
+        // history is inconsistent with the actual final size.
+        let revisions = runtime
+            .database()
+            .scan_latest(REVISIONS_TABLE, &Predicate::True)
+            .unwrap();
+        let delta_sum: i64 = revisions
+            .iter()
+            .map(|(_, r)| r[2].as_int().unwrap_or(0))
+            .sum();
+        let final_size = runtime
+            .database()
+            .get_latest(PAGES_TABLE, &Key::single("Art"))
+            .unwrap()
+            .unwrap()[2]
+            .as_int()
+            .unwrap();
+        assert_ne!(
+            delta_sum,
+            final_size - 5,
+            "the buggy handler records inconsistent size deltas"
+        );
+    }
+
+    #[test]
+    fn patched_edit_handler_keeps_history_consistent() {
+        let runtime = Runtime::builder(mediawiki_db(), patched_registry())
+            .default_isolation(IsolationLevel::Serializable)
+            .build();
+        runtime.must_handle(
+            "createPage",
+            Args::new().with("title", "Art").with("content", "12345"),
+        );
+        // Run the two edits concurrently; one may need to retry, which the
+        // test performs (the patched handler surfaces the conflict).
+        let outcomes = std::thread::scope(|scope| {
+            let r = &runtime;
+            let a = scope.spawn(move || {
+                r.handle_request_with_id("E1", "editPage", edit_args("rev-a", "Art", "1234567890"))
+            });
+            let b = scope.spawn(move || {
+                r.handle_request_with_id("E2", "editPage", edit_args("rev-b", "Art", "12"))
+            });
+            vec![a.join().unwrap(), b.join().unwrap()]
+        });
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if !outcome.is_ok() {
+                // Retry the losing edit once, as the real application would.
+                let retry = runtime.handle_request(
+                    "editPage",
+                    edit_args(&format!("rev-retry-{i}"), "Art", "12"),
+                );
+                assert!(retry.is_ok());
+            }
+        }
+        let revisions = runtime
+            .database()
+            .scan_latest(REVISIONS_TABLE, &Predicate::True)
+            .unwrap();
+        let delta_sum: i64 = revisions
+            .iter()
+            .map(|(_, r)| r[2].as_int().unwrap_or(0))
+            .sum();
+        let final_size = runtime
+            .database()
+            .get_latest(PAGES_TABLE, &Key::single("Art"))
+            .unwrap()
+            .unwrap()[2]
+            .as_int()
+            .unwrap();
+        assert_eq!(delta_sum, final_size - 5);
+    }
+
+    #[test]
+    fn get_page_reports_size_and_revision() {
+        let runtime = Runtime::new(mediawiki_db(), registry());
+        runtime.must_handle(
+            "createPage",
+            Args::new().with("title", "T").with("content", "abc"),
+        );
+        let info = runtime.must_handle("getPage", Args::new().with("title", "T"));
+        assert_eq!(info, Value::Text("size=3,revision=1".into()));
+        let missing = runtime.handle_request("getPage", Args::new().with("title", "missing"));
+        assert!(!missing.is_ok());
+    }
+}

@@ -1,0 +1,105 @@
+//! Experiment E2 (paper §3.7): declarative debugging query latency as the
+//! provenance database grows.
+//!
+//! The paper runs its debugging queries "over billions of events" in under
+//! five seconds on a warehouse-scale store. This laptop-scale reproduction
+//! sweeps the provenance size from 1 000 to 100 000 data events and runs
+//! the paper's §3.3 query (join of Executions and ForumEvents filtered to
+//! one user/forum) at each size; the expected shape is latency roughly
+//! linear in the number of events and far below the 5-second budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use trod_db::{ChangeRecord, Key, Row, Value};
+use trod_provenance::ProvenanceStore;
+use trod_trace::{ReadTrace, TraceEvent, TxnContext, TxnTrace};
+
+/// Builds a provenance store holding `events` synthetic ForumEvents rows
+/// (half reads, half inserts) across `events / 2` transactions.
+fn provenance_with_events(events: usize) -> ProvenanceStore {
+    let schema = trod_db::Schema::builder()
+        .column("sub_id", trod_db::DataType::Text)
+        .column("user_id", trod_db::DataType::Text)
+        .column("forum", trod_db::DataType::Text)
+        .primary_key(&["sub_id"])
+        .build()
+        .expect("static schema");
+    let store = ProvenanceStore::new();
+    store
+        .register_table_as("forum_sub", "ForumEvents", &schema)
+        .expect("fresh store");
+
+    let txns = events / 2;
+    for i in 0..txns {
+        let user = format!("U{}", i % 500);
+        let forum = format!("F{}", i % 50);
+        let row = Row::from(vec![
+            Value::Text(format!("S{i}")),
+            Value::Text(user.clone()),
+            Value::Text(forum.clone()),
+        ]);
+        let trace = TxnTrace {
+            txn_id: i as u64 + 1,
+            ctx: TxnContext::new(format!("R{i}"), "subscribeUser", "func:DB.insert"),
+            timestamp: i as i64 + 1,
+            snapshot_ts: i as u64,
+            commit_ts: i as u64 + 1,
+            committed: true,
+            reads: vec![ReadTrace {
+                table: "forum_sub".into(),
+                query: format!("Check if ({user}, {forum}) exists"),
+                rows: vec![],
+            }],
+            writes: vec![ChangeRecord::insert(
+                "forum_sub",
+                Key::single(format!("S{i}")),
+                row,
+            )],
+        };
+        store.ingest_event(TraceEvent::Txn(Box::new(trace)));
+    }
+    store
+}
+
+fn bench_declarative_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("declarative_query/paper_q1");
+    group.sample_size(20);
+    for events in [1_000usize, 10_000, 100_000] {
+        let store = provenance_with_events(events);
+        let sql = "SELECT Timestamp, ReqId, HandlerName \
+                   FROM Executions as E, ForumEvents as F ON E.TxnId = F.TxnId \
+                   WHERE F.user_id = 'U1' AND F.forum = 'F1' AND F.Type = 'Insert' \
+                   ORDER BY Timestamp ASC";
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_function(BenchmarkId::from_parameter(events), |b| {
+            b.iter(|| {
+                let result = store.query(sql).expect("query runs");
+                assert!(!result.is_empty());
+                result.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation_query(c: &mut Criterion) {
+    // A second common debugging query: per-handler activity ranking.
+    let store = provenance_with_events(50_000);
+    let mut group = c.benchmark_group("declarative_query/handler_activity");
+    group.sample_size(20);
+    group.bench_function("group_by_50k_events", |b| {
+        b.iter(|| {
+            store
+                .query(
+                    "SELECT HandlerName, COUNT(*) AS n FROM Executions \
+                     GROUP BY HandlerName ORDER BY n DESC",
+                )
+                .expect("query runs")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_declarative_query, bench_aggregation_query);
+criterion_main!(benches);

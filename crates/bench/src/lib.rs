@@ -1,0 +1,1 @@
+//! Benchmark support crate; see benches/ and src/bin/report.rs.

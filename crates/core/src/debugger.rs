@@ -1,0 +1,152 @@
+//! The top-level TROD debugger façade.
+//!
+//! A [`Trod`] instance binds a production [`Runtime`] (application
+//! handlers + traced database) to a [`ProvenanceStore`], mirroring the
+//! paper's Figure 2: the interposition layer traces the production
+//! environment, the provenance database stores the traces, and the
+//! debugging operations — declarative queries, bug replay, retroactive
+//! programming — run against that captured history in a development
+//! environment.
+
+use std::sync::Arc;
+
+use trod_db::{Database, DbResult};
+use trod_provenance::ProvenanceStore;
+use trod_query::{QueryResultT, ResultSet};
+use trod_runtime::{HandlerRegistry, Runtime};
+
+use crate::declarative::Declarative;
+use crate::reenactment::Reenactor;
+use crate::perf::Perf;
+use crate::quality::Quality;
+use crate::replay::{ReplayError, ReplaySession};
+use crate::retroactive::RetroactiveBuilder;
+use crate::security::Security;
+
+/// The transaction-oriented debugger.
+pub struct Trod {
+    runtime: Arc<Runtime>,
+    provenance: Arc<ProvenanceStore>,
+}
+
+impl Trod {
+    /// Attaches TROD to a runtime, creating a provenance store that has an
+    /// event table registered (under its default name) for every table of
+    /// the application database.
+    pub fn attach(runtime: Runtime) -> DbResult<Self> {
+        let provenance = ProvenanceStore::for_application(runtime.database())?;
+        Ok(Trod {
+            runtime: Arc::new(runtime),
+            provenance: Arc::new(provenance),
+        })
+    }
+
+    /// Attaches TROD to a runtime using an explicitly configured
+    /// provenance store (e.g. one whose event tables carry the paper's
+    /// names such as `ForumEvents`).
+    pub fn attach_with(runtime: Runtime, provenance: ProvenanceStore) -> Self {
+        Trod {
+            runtime: Arc::new(runtime),
+            provenance: Arc::new(provenance),
+        }
+    }
+
+    /// The production runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// A shared handle to the production runtime.
+    pub fn runtime_arc(&self) -> Arc<Runtime> {
+        self.runtime.clone()
+    }
+
+    /// The production application database.
+    pub fn production_db(&self) -> &Database {
+        self.runtime.database()
+    }
+
+    /// The provenance store.
+    pub fn provenance(&self) -> &ProvenanceStore {
+        &self.provenance
+    }
+
+    /// A shared handle to the provenance store (implements
+    /// [`trod_trace::TraceSink`], so it can be handed to a
+    /// [`trod_trace::BackgroundFlusher`] for continuous ingestion).
+    pub fn provenance_arc(&self) -> Arc<ProvenanceStore> {
+        self.provenance.clone()
+    }
+
+    /// Drains the tracer's in-memory buffer into the provenance store.
+    /// Production deployments run a background flusher instead; tests and
+    /// examples call this explicitly at convenient points.
+    pub fn sync(&self) -> usize {
+        let events = self.runtime.tracer().drain();
+        let n = events.len();
+        self.provenance.ingest(events);
+        n
+    }
+
+    /// Runs a declarative debugging query (SQL over the provenance tables).
+    pub fn query(&self, sql: &str) -> QueryResultT<ResultSet> {
+        self.provenance.query(sql)
+    }
+
+    /// Declarative-debugging helpers (pre-canned queries from §3.3).
+    pub fn declarative(&self) -> Declarative<'_> {
+        Declarative::new(&self.provenance)
+    }
+
+    /// Security and forensics helpers (§4.2).
+    pub fn security(&self) -> Security<'_> {
+        Security::new(&self.provenance)
+    }
+
+    /// Performance-debugging helpers (§5): per-handler latency
+    /// distributions, slow-request search, per-request workflow breakdowns
+    /// — all computed from the already-captured provenance.
+    pub fn perf(&self) -> Perf<'_> {
+        Perf::new(&self.provenance)
+    }
+
+    /// Data-quality debugging helpers (§5): declarative quality rules over
+    /// the application database, with every violation blamed on the traced
+    /// requests that wrote the offending rows.
+    pub fn quality(&self) -> Quality<'_> {
+        Quality::new(&self.provenance, self.runtime.database())
+    }
+
+    /// Weak-isolation reenactment and anomaly auditing (§3.1): time-travel
+    /// reconstruction of traced read sets plus lost-update / write-skew
+    /// candidate detection for histories captured under snapshot isolation
+    /// or read committed.
+    pub fn reenactor(&self) -> Reenactor<'_> {
+        Reenactor::new(&self.provenance, self.runtime.database())
+    }
+
+    /// Starts a faithful replay of a past request (§3.5) in a development
+    /// database forked from production state.
+    pub fn replay(&self, req_id: &str) -> Result<ReplaySession, ReplayError> {
+        ReplaySession::for_request(&self.provenance, self.runtime.database(), req_id)
+    }
+
+    /// Starts configuring a retroactive-programming run (§3.6) that
+    /// re-executes original requests against `patched_registry`.
+    pub fn retroactive(&self, patched_registry: HandlerRegistry) -> RetroactiveBuilder {
+        RetroactiveBuilder::new(
+            self.provenance.clone(),
+            self.runtime.database().clone(),
+            patched_registry,
+        )
+    }
+}
+
+impl std::fmt::Debug for Trod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trod")
+            .field("runtime", &self.runtime)
+            .field("provenance", &self.provenance)
+            .finish()
+    }
+}

@@ -1,0 +1,333 @@
+//! Faithful bug replay (paper §3.5).
+//!
+//! Replaying a past request means re-experiencing its execution in a
+//! development database: TROD forks the development database from the
+//! state the request's first transaction saw, then walks the request's
+//! transactions in their original order. Before each transaction it
+//! *injects* the state changes made by concurrently committed
+//! transactions that the original execution observed (the paper's
+//! "breakpoint before the beginning of each transaction"), verifies that
+//! the development database now shows exactly the rows the original
+//! transaction read (fidelity), and then applies the transaction's own
+//! recorded changes.
+//!
+//! The session exposes a [`ReplaySession::step`] API so a developer (or a
+//! test acting as one) can stop between transactions, inspect the
+//! development database, and see precisely which concurrent requests
+//! modified the data in between — which is how the Moodle duplication
+//! becomes obvious (Figure 3, top).
+
+use std::fmt;
+
+use trod_db::{Database, DbError, Ts, TxnId};
+use trod_provenance::ProvenanceStore;
+use trod_trace::TxnTrace;
+
+/// Errors raised while preparing or running a replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The request id does not appear in the provenance database.
+    UnknownRequest(String),
+    /// The request has no traced transactions to replay.
+    NoTransactions(String),
+    /// An underlying storage error.
+    Storage(DbError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnknownRequest(r) => write!(f, "no traced request with id `{r}`"),
+            ReplayError::NoTransactions(r) => {
+                write!(f, "request `{r}` has no traced transactions")
+            }
+            ReplayError::Storage(e) => write!(f, "storage error during replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<DbError> for ReplayError {
+    fn from(e: DbError) -> Self {
+        ReplayError::Storage(e)
+    }
+}
+
+/// A single replayed transaction with its injected dependencies.
+#[derive(Debug, Clone)]
+pub struct ReplayStep {
+    /// The original transaction trace being replayed.
+    pub txn: TxnTrace,
+    /// Concurrently committed transactions (from *other* requests) whose
+    /// changes must be injected before this transaction so the replayed
+    /// execution sees the same state the original saw.
+    pub injected: Vec<TxnTrace>,
+    /// True if this step's transaction, or one of its injected
+    /// dependencies, had provenance removed by a privacy-erasure request
+    /// (paper §5): the replay proceeds on partial data and fidelity
+    /// mismatches are expected rather than alarming.
+    pub partial_data: bool,
+}
+
+/// The report produced by replaying one step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    pub txn_id: TxnId,
+    pub handler: String,
+    pub function: String,
+    /// (txn id, request id) pairs injected before this step — the answer
+    /// to "who changed the database between my transactions?".
+    pub injected: Vec<(TxnId, String)>,
+    /// Rows the original transaction read that were verified against the
+    /// development database.
+    pub reads_checked: usize,
+    /// Human-readable descriptions of any fidelity mismatches.
+    pub mismatches: Vec<String>,
+    /// Number of CDC records applied for the transaction itself.
+    pub writes_applied: usize,
+    /// CDC records (of this transaction or its injected dependencies) that
+    /// could not be applied because their row images were redacted; only
+    /// ever non-zero on partial-data steps.
+    pub writes_skipped: usize,
+    /// True if the step ran on provenance that was partially redacted
+    /// (privacy erasure, §5); see [`ReplayStep::partial_data`].
+    pub partial_data: bool,
+}
+
+impl StepReport {
+    /// True if every checked read matched the original execution.
+    pub fn is_faithful(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// The report for a whole replayed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    pub req_id: String,
+    pub steps: Vec<StepReport>,
+}
+
+impl ReplayReport {
+    /// True if every step was faithful.
+    pub fn is_faithful(&self) -> bool {
+        self.steps.iter().all(StepReport::is_faithful)
+    }
+
+    /// Total injected concurrent transactions across all steps.
+    pub fn injected_count(&self) -> usize {
+        self.steps.iter().map(|s| s.injected.len()).sum()
+    }
+
+    /// True if any step ran on partially redacted provenance, in which
+    /// case a non-faithful replay may be the expected consequence of a
+    /// privacy-erasure request rather than a bug in the application.
+    pub fn has_partial_data(&self) -> bool {
+        self.steps.iter().any(|s| s.partial_data)
+    }
+}
+
+/// An in-progress replay of one request.
+pub struct ReplaySession {
+    req_id: String,
+    dev_db: Database,
+    steps: Vec<ReplayStep>,
+    position: usize,
+    reports: Vec<StepReport>,
+}
+
+impl ReplaySession {
+    /// Prepares a replay of `req_id`: forks a development database from
+    /// the production state the request's first transaction saw and
+    /// computes, for each of the request's transactions, the concurrent
+    /// transactions whose changes must be injected before it.
+    pub fn for_request(
+        provenance: &ProvenanceStore,
+        production_db: &Database,
+        req_id: &str,
+    ) -> Result<Self, ReplayError> {
+        let known_requests = provenance.request_ids();
+        let own_txns = provenance.txns_for_request(req_id);
+        if own_txns.is_empty() {
+            return if known_requests.iter().any(|r| r == req_id) {
+                Err(ReplayError::NoTransactions(req_id.to_string()))
+            } else {
+                Err(ReplayError::UnknownRequest(req_id.to_string()))
+            };
+        }
+        let committed: Vec<TxnTrace> = own_txns.into_iter().filter(|t| t.committed).collect();
+        if committed.is_empty() {
+            return Err(ReplayError::NoTransactions(req_id.to_string()));
+        }
+
+        let base_ts = committed
+            .iter()
+            .map(|t| t.snapshot_ts)
+            .min()
+            .unwrap_or(0);
+        // The development database starts from the snapshot the request
+        // began against. TROD only needs the data items the replay
+        // touches; forking at a timestamp gives the same observable
+        // behaviour with the simple in-memory engine.
+        let dev_db = production_db.fork_at(base_ts)?;
+
+        let mut steps = Vec::with_capacity(committed.len());
+        let mut watermark: Ts = base_ts;
+        for txn in committed {
+            let injected: Vec<TxnTrace> = provenance
+                .txns_between(watermark, txn.snapshot_ts)
+                .into_iter()
+                .filter(|other| other.ctx.req_id != req_id)
+                .collect();
+            watermark = watermark.max(txn.snapshot_ts);
+            let partial_data = provenance.is_redacted(txn.txn_id)
+                || injected.iter().any(|t| provenance.is_redacted(t.txn_id));
+            steps.push(ReplayStep {
+                txn,
+                injected,
+                partial_data,
+            });
+        }
+
+        Ok(ReplaySession {
+            req_id: req_id.to_string(),
+            dev_db,
+            steps,
+            position: 0,
+            reports: Vec::new(),
+        })
+    }
+
+    /// The request being replayed.
+    pub fn req_id(&self) -> &str {
+        &self.req_id
+    }
+
+    /// The development database. Between steps a developer can inspect it
+    /// freely (the programmatic stand-in for attaching GDB or a SQL shell
+    /// during replay).
+    pub fn dev_db(&self) -> &Database {
+        &self.dev_db
+    }
+
+    /// The planned steps (before execution).
+    pub fn steps(&self) -> &[ReplayStep] {
+        &self.steps
+    }
+
+    /// Number of steps already executed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// True if every step has been executed.
+    pub fn is_finished(&self) -> bool {
+        self.position >= self.steps.len()
+    }
+
+    /// Executes the next step: injects concurrent changes, verifies the
+    /// original read set against the development database, applies the
+    /// transaction's own writes. Returns `None` when the replay is done.
+    pub fn step(&mut self) -> Result<Option<StepReport>, ReplayError> {
+        if self.is_finished() {
+            return Ok(None);
+        }
+        let step = self.steps[self.position].clone();
+        self.position += 1;
+
+        let mut writes_skipped = 0usize;
+        let mut injected = Vec::with_capacity(step.injected.len());
+        for other in &step.injected {
+            writes_skipped +=
+                apply_tolerating_redaction(&self.dev_db, &other.writes, step.partial_data)?;
+            injected.push((other.txn_id, other.ctx.req_id.clone()));
+        }
+
+        // Fidelity check: every row the original transaction read must be
+        // present, with identical contents, in the development database.
+        let mut reads_checked = 0;
+        let mut mismatches = Vec::new();
+        for read in &step.txn.reads {
+            for (key, original_row) in &read.rows {
+                reads_checked += 1;
+                match self.dev_db.get_latest(&read.table, key)? {
+                    Some(dev_row) if &dev_row == original_row => {}
+                    Some(dev_row) => mismatches.push(format!(
+                        "{}{}: original read {} but development database has {}",
+                        read.table, key, original_row, dev_row
+                    )),
+                    None => mismatches.push(format!(
+                        "{}{}: original read {} but row is missing in development database",
+                        read.table, key, original_row
+                    )),
+                }
+            }
+        }
+
+        let own_skipped =
+            apply_tolerating_redaction(&self.dev_db, &step.txn.writes, step.partial_data)?;
+        writes_skipped += own_skipped;
+
+        let report = StepReport {
+            txn_id: step.txn.txn_id,
+            handler: step.txn.ctx.handler.clone(),
+            function: step.txn.ctx.function.clone(),
+            injected,
+            reads_checked,
+            mismatches,
+            writes_applied: step.txn.writes.len() - own_skipped,
+            writes_skipped,
+            partial_data: step.partial_data,
+        };
+        self.reports.push(report.clone());
+        Ok(Some(report))
+    }
+
+    /// Runs all remaining steps and returns the full report.
+    pub fn run_to_end(&mut self) -> Result<ReplayReport, ReplayError> {
+        while self.step()?.is_some() {}
+        Ok(ReplayReport {
+            req_id: self.req_id.clone(),
+            steps: self.reports.clone(),
+        })
+    }
+
+    /// Reports for the steps executed so far.
+    pub fn reports(&self) -> &[StepReport] {
+        &self.reports
+    }
+}
+
+/// Applies CDC records to the development database. On steps that run on
+/// redacted provenance (`tolerate = true`), records whose row images were
+/// erased cannot be re-applied; they are skipped and counted instead of
+/// failing the whole replay — this is the "debugging from partial data"
+/// behaviour of the paper's §5. Returns the number of skipped records.
+fn apply_tolerating_redaction(
+    dev_db: &Database,
+    writes: &[trod_db::ChangeRecord],
+    tolerate: bool,
+) -> Result<usize, ReplayError> {
+    if !tolerate {
+        dev_db.apply_changes(writes)?;
+        return Ok(0);
+    }
+    let mut skipped = 0;
+    for change in writes {
+        if dev_db.apply_changes(std::slice::from_ref(change)).is_err() {
+            skipped += 1;
+        }
+    }
+    Ok(skipped)
+}
+
+impl fmt::Debug for ReplaySession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplaySession")
+            .field("req_id", &self.req_id)
+            .field("steps", &self.steps.len())
+            .field("position", &self.position)
+            .finish()
+    }
+}

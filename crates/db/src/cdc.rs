@@ -1,0 +1,135 @@
+//! Change data capture (CDC) records.
+//!
+//! Every committed transaction produces one [`ChangeRecord`] per modified
+//! row, containing before/after images. The TROD interposition layer
+//! copies these records into the provenance database (paper §3.4, "for
+//! data writes, TROD leverages the change data capture feature provided by
+//! most databases"), and the replay engine re-applies them to reconstruct
+//! past states (paper §3.5).
+
+use std::fmt;
+
+use crate::row::{Key, Row};
+
+/// The kind of change applied to a single row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChangeOp {
+    /// A new row was inserted.
+    Insert { after: Row },
+    /// An existing row was overwritten.
+    Update { before: Row, after: Row },
+    /// An existing row was removed.
+    Delete { before: Row },
+}
+
+impl ChangeOp {
+    /// The row image after the change, if the row still exists.
+    pub fn after(&self) -> Option<&Row> {
+        match self {
+            ChangeOp::Insert { after } | ChangeOp::Update { after, .. } => Some(after),
+            ChangeOp::Delete { .. } => None,
+        }
+    }
+
+    /// The row image before the change, if the row existed.
+    pub fn before(&self) -> Option<&Row> {
+        match self {
+            ChangeOp::Insert { .. } => None,
+            ChangeOp::Update { before, .. } | ChangeOp::Delete { before } => Some(before),
+        }
+    }
+
+    /// Short label used in provenance tables ("Insert", "Update", "Delete").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ChangeOp::Insert { .. } => "Insert",
+            ChangeOp::Update { .. } => "Update",
+            ChangeOp::Delete { .. } => "Delete",
+        }
+    }
+}
+
+/// One row-level change made by a committed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeRecord {
+    /// Table the change applies to.
+    pub table: String,
+    /// Primary key of the changed row.
+    pub key: Key,
+    /// The change itself, with before/after images.
+    pub op: ChangeOp,
+}
+
+impl ChangeRecord {
+    pub fn insert(table: impl Into<String>, key: Key, after: Row) -> Self {
+        ChangeRecord {
+            table: table.into(),
+            key,
+            op: ChangeOp::Insert { after },
+        }
+    }
+
+    pub fn update(table: impl Into<String>, key: Key, before: Row, after: Row) -> Self {
+        ChangeRecord {
+            table: table.into(),
+            key,
+            op: ChangeOp::Update { before, after },
+        }
+    }
+
+    pub fn delete(table: impl Into<String>, key: Key, before: Row) -> Self {
+        ChangeRecord {
+            table: table.into(),
+            key,
+            op: ChangeOp::Delete { before },
+        }
+    }
+}
+
+impl fmt::Display for ChangeRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            ChangeOp::Insert { after } => {
+                write!(f, "INSERT {}{} -> {}", self.table, self.key, after)
+            }
+            ChangeOp::Update { before, after } => {
+                write!(f, "UPDATE {}{} {} -> {}", self.table, self.key, before, after)
+            }
+            ChangeOp::Delete { before } => {
+                write!(f, "DELETE {}{} (was {})", self.table, self.key, before)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn before_after_images() {
+        let ins = ChangeRecord::insert("t", Key::single(1i64), row![1i64, "a"]);
+        assert_eq!(ins.op.before(), None);
+        assert_eq!(ins.op.after(), Some(&row![1i64, "a"]));
+        assert_eq!(ins.op.kind(), "Insert");
+
+        let upd = ChangeRecord::update("t", Key::single(1i64), row![1i64, "a"], row![1i64, "b"]);
+        assert_eq!(upd.op.before(), Some(&row![1i64, "a"]));
+        assert_eq!(upd.op.after(), Some(&row![1i64, "b"]));
+        assert_eq!(upd.op.kind(), "Update");
+
+        let del = ChangeRecord::delete("t", Key::single(1i64), row![1i64, "b"]);
+        assert_eq!(del.op.before(), Some(&row![1i64, "b"]));
+        assert_eq!(del.op.after(), None);
+        assert_eq!(del.op.kind(), "Delete");
+    }
+
+    #[test]
+    fn display_mentions_table_and_key() {
+        let rec = ChangeRecord::insert("forum_sub", Key::single("U1"), row!["U1", "F2"]);
+        let s = rec.to_string();
+        assert!(s.contains("forum_sub"));
+        assert!(s.contains("U1"));
+    }
+}

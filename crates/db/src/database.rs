@@ -1,0 +1,810 @@
+//! The database façade: catalog, transaction lifecycle, commit protocol,
+//! transaction log access, snapshots, time travel and forking.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::cdc::{ChangeOp, ChangeRecord};
+use crate::error::{DbError, DbResult};
+use crate::latency::{LatencyModel, StorageProfile};
+use crate::log::{CommittedTxn, TxnId, TxnLog};
+use crate::mvcc::Ts;
+use crate::predicate::Predicate;
+use crate::row::{Key, Row};
+use crate::schema::Schema;
+use crate::table::TableStore;
+use crate::txn::{CommitInfo, IsolationLevel, Transaction, TxnState, WriteOp};
+
+/// Point-in-time statistics about a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbStats {
+    pub tables: usize,
+    pub live_rows: usize,
+    pub total_versions: usize,
+    pub committed_txns: usize,
+    pub current_ts: Ts,
+}
+
+struct DbInner {
+    tables: RwLock<BTreeMap<String, Arc<TableStore>>>,
+    /// Commit timestamp clock. The value is the timestamp of the most
+    /// recently committed transaction; 0 means "nothing committed yet".
+    clock: AtomicU64,
+    next_txn_id: AtomicU64,
+    log: Mutex<TxnLog>,
+    /// Serializes validation + apply so commit order equals timestamp order.
+    commit_lock: Mutex<()>,
+    snapshots: Mutex<BTreeMap<String, Ts>>,
+    latency: LatencyModel,
+}
+
+/// A handle to an in-memory transactional database.
+///
+/// `Database` is cheaply cloneable (it is an `Arc` internally); clones
+/// share the same underlying state, which is how concurrent request
+/// handlers in the runtime share one store.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Database")
+            .field("tables", &stats.tables)
+            .field("live_rows", &stats.live_rows)
+            .field("committed_txns", &stats.committed_txns)
+            .field("current_ts", &stats.current_ts)
+            .finish()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Creates an empty database with the in-memory storage profile.
+    pub fn new() -> Self {
+        Database::with_profile(StorageProfile::InMemory)
+    }
+
+    /// Creates an empty database with the given storage latency profile.
+    pub fn with_profile(profile: StorageProfile) -> Self {
+        Database {
+            inner: Arc::new(DbInner {
+                tables: RwLock::new(BTreeMap::new()),
+                clock: AtomicU64::new(0),
+                next_txn_id: AtomicU64::new(1),
+                log: Mutex::new(TxnLog::new()),
+                commit_lock: Mutex::new(()),
+                snapshots: Mutex::new(BTreeMap::new()),
+                latency: LatencyModel::new(profile),
+            }),
+        }
+    }
+
+    /// The storage latency model in effect.
+    pub(crate) fn latency(&self) -> &LatencyModel {
+        &self.inner.latency
+    }
+
+    /// The configured storage profile.
+    pub fn profile(&self) -> StorageProfile {
+        self.inner.latency.profile()
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog
+    // ------------------------------------------------------------------
+
+    /// Creates a table.
+    pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> DbResult<()> {
+        let name = name.into();
+        let mut tables = self.inner.tables.write();
+        if tables.contains_key(&name) {
+            return Err(DbError::TableExists(name));
+        }
+        tables.insert(name.clone(), Arc::new(TableStore::new(name, schema)));
+        Ok(())
+    }
+
+    /// Drops a table and its history.
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        let mut tables = self.inner.tables.write();
+        tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Creates a secondary hash index on `table.column`.
+    pub fn create_index(&self, table: &str, column: &str) -> DbResult<()> {
+        self.table(table)?.create_index(column)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.tables.read().keys().cloned().collect()
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.tables.read().contains_key(name)
+    }
+
+    /// The schema of a table.
+    pub fn schema_of(&self, name: &str) -> DbResult<Schema> {
+        Ok(self.table(name)?.schema().clone())
+    }
+
+    /// Internal: resolves a table handle.
+    pub(crate) fn table(&self, name: &str) -> DbResult<Arc<TableStore>> {
+        self.inner
+            .tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begins a strictly serializable transaction (the default level).
+    pub fn begin(&self) -> Transaction {
+        self.begin_with(IsolationLevel::Serializable)
+    }
+
+    /// Begins a transaction at the given isolation level.
+    pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
+        let id = self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        let start_ts = self.current_ts();
+        Transaction::new(self.clone(), id, start_ts, isolation)
+    }
+
+    /// The current commit timestamp (timestamp of the latest commit).
+    pub fn current_ts(&self) -> Ts {
+        self.inner.clock.load(Ordering::SeqCst)
+    }
+
+    /// Commit protocol: validate under the commit lock, then install
+    /// versions, then append to the log. Called from [`Transaction::commit`].
+    pub(crate) fn commit_txn(&self, state: TxnState) -> DbResult<CommitInfo> {
+        if state.is_read_only() {
+            // Read-only transactions need no validation under snapshot
+            // reads and produce no log entry.
+            return Ok(CommitInfo {
+                txn_id: state.id,
+                start_ts: state.start_ts,
+                commit_ts: state.start_ts,
+                changes: Vec::new(),
+            });
+        }
+
+        let _guard = self.inner.commit_lock.lock();
+
+        self.validate(&state)?;
+
+        // All validation passed and pre-apply invariants hold: assign the
+        // commit timestamp and install.
+        let commit_ts = self.inner.clock.load(Ordering::SeqCst) + 1;
+        let mut changes = Vec::new();
+        for (table_name, writes) in &state.writes {
+            let store = self.table(table_name)?;
+            for (key, op) in writes {
+                match op {
+                    WriteOp::Insert(after) => {
+                        // Re-check duplicates against the latest committed
+                        // state (a concurrent committer may have inserted
+                        // the key under weaker isolation levels).
+                        if store.exists_at(key, commit_ts.saturating_sub(1)) {
+                            return Err(DbError::DuplicateKey {
+                                table: table_name.clone(),
+                                key: key.to_string(),
+                            });
+                        }
+                        store.install(key, after.clone(), commit_ts);
+                        changes.push(ChangeRecord::insert(
+                            table_name.clone(),
+                            key.clone(),
+                            after.clone(),
+                        ));
+                    }
+                    WriteOp::Update { after, .. } => {
+                        let before = store.install(key, after.clone(), commit_ts);
+                        let rec = match before {
+                            Some(before) => ChangeRecord::update(
+                                table_name.clone(),
+                                key.clone(),
+                                before,
+                                after.clone(),
+                            ),
+                            // The row vanished concurrently (only possible
+                            // under weak isolation); record as an insert.
+                            None => ChangeRecord::insert(
+                                table_name.clone(),
+                                key.clone(),
+                                after.clone(),
+                            ),
+                        };
+                        changes.push(rec);
+                    }
+                    WriteOp::Delete { .. } => {
+                        if let Some(before) = store.remove(key, commit_ts) {
+                            changes.push(ChangeRecord::delete(
+                                table_name.clone(),
+                                key.clone(),
+                                before,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        self.inner.clock.store(commit_ts, Ordering::SeqCst);
+        let entry = CommittedTxn {
+            txn_id: state.id,
+            start_ts: state.start_ts,
+            commit_ts,
+            changes: changes.clone(),
+        };
+        self.inner.log.lock().append(entry);
+        self.inner.latency.on_commit();
+
+        Ok(CommitInfo {
+            txn_id: state.id,
+            start_ts: state.start_ts,
+            commit_ts,
+            changes,
+        })
+    }
+
+    fn validate(&self, state: &TxnState) -> DbResult<()> {
+        match state.isolation {
+            IsolationLevel::ReadCommitted => Ok(()),
+            IsolationLevel::SnapshotIsolation => self.validate_writes(state),
+            IsolationLevel::Serializable => {
+                self.validate_writes(state)?;
+                self.validate_reads(state)
+            }
+        }
+    }
+
+    /// First-committer-wins: any of our write keys modified since we began
+    /// aborts the transaction.
+    fn validate_writes(&self, state: &TxnState) -> DbResult<()> {
+        for (table_name, writes) in &state.writes {
+            let store = self.table(table_name)?;
+            for key in writes.keys() {
+                if store.key_modified_after(key, state.start_ts) {
+                    return Err(DbError::WriteConflict {
+                        table: table_name.clone(),
+                        key: key.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializable validation: every point read and every predicate scan
+    /// must still return the same rows it returned at `start_ts`.
+    fn validate_reads(&self, state: &TxnState) -> DbResult<()> {
+        for (table_name, key) in &state.read_set {
+            let store = self.table(table_name)?;
+            if store.key_modified_after(key, state.start_ts) {
+                return Err(DbError::SerializationFailure {
+                    table: table_name.clone(),
+                    detail: format!("row {key} changed after transaction start"),
+                });
+            }
+        }
+        for (table_name, pred) in &state.scan_set {
+            let store = self.table(table_name)?;
+            let schema = store.schema();
+            for (key, row) in store.rows_touched_after(state.start_ts) {
+                if pred.matches(schema, &row)? {
+                    return Err(DbError::SerializationFailure {
+                        table: table_name.clone(),
+                        detail: format!("predicate [{pred}] affected by concurrent write to {key}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Non-transactional reads (latest committed / time travel)
+    // ------------------------------------------------------------------
+
+    /// Reads the latest committed version of a row.
+    pub fn get_latest(&self, table: &str, key: &Key) -> DbResult<Option<Row>> {
+        Ok(self.table(table)?.get_at(key, self.current_ts()))
+    }
+
+    /// Scans the latest committed state of a table.
+    pub fn scan_latest(&self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Row)>> {
+        self.table(table)?.scan_at(pred, self.current_ts())
+    }
+
+    /// Reads a row as of an earlier commit timestamp (time travel).
+    pub fn get_as_of(&self, table: &str, key: &Key, ts: Ts) -> DbResult<Option<Row>> {
+        Ok(self.table(table)?.get_at(key, ts))
+    }
+
+    /// Scans a table as of an earlier commit timestamp (time travel).
+    pub fn scan_as_of(&self, table: &str, pred: &Predicate, ts: Ts) -> DbResult<Vec<(Key, Row)>> {
+        self.table(table)?.scan_at(pred, ts)
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction log
+    // ------------------------------------------------------------------
+
+    /// All committed transactions, in commit order.
+    pub fn log_entries(&self) -> Vec<CommittedTxn> {
+        self.inner.log.lock().entries().to_vec()
+    }
+
+    /// Committed transactions with commit timestamp greater than `ts`.
+    pub fn log_since(&self, ts: Ts) -> Vec<CommittedTxn> {
+        self.inner.log.lock().since(ts)
+    }
+
+    /// Committed transactions with commit timestamp in `(after, up_to]`.
+    pub fn log_between(&self, after: Ts, up_to: Ts) -> Vec<CommittedTxn> {
+        self.inner.log.lock().between(after, up_to)
+    }
+
+    /// The log entry for a given transaction id.
+    pub fn log_entry_for(&self, txn_id: TxnId) -> Option<CommittedTxn> {
+        self.inner.log.lock().entry_for(txn_id).cloned()
+    }
+
+    /// Number of committed (writing) transactions.
+    pub fn log_len(&self) -> usize {
+        self.inner.log.lock().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots, forking, replay support
+    // ------------------------------------------------------------------
+
+    /// Registers a named snapshot at the current commit timestamp and
+    /// returns that timestamp.
+    pub fn snapshot(&self, name: impl Into<String>) -> DbResult<Ts> {
+        let name = name.into();
+        let ts = self.current_ts();
+        let mut snaps = self.inner.snapshots.lock();
+        if snaps.contains_key(&name) {
+            return Err(DbError::SnapshotExists(name));
+        }
+        snaps.insert(name, ts);
+        Ok(ts)
+    }
+
+    /// Looks up a named snapshot's timestamp.
+    pub fn snapshot_ts(&self, name: &str) -> DbResult<Ts> {
+        self.inner
+            .snapshots
+            .lock()
+            .get(name)
+            .copied()
+            .ok_or_else(|| DbError::NoSuchSnapshot(name.to_string()))
+    }
+
+    /// Names of registered snapshots.
+    pub fn snapshot_names(&self) -> Vec<String> {
+        self.inner.snapshots.lock().keys().cloned().collect()
+    }
+
+    /// Creates a new, independent database containing the state visible at
+    /// `ts` (the "development database" of the paper's Figure 2). The fork
+    /// keeps the same schemas and indexes; its clock starts at `ts` so the
+    /// relative order of subsequent commits is comparable with the origin.
+    pub fn fork_at(&self, ts: Ts) -> DbResult<Database> {
+        let fork = Database::with_profile(self.profile());
+        let tables = self.inner.tables.read();
+        for (name, store) in tables.iter() {
+            fork.create_table(name.clone(), store.schema().clone())?;
+            let fork_store = fork.table(name)?;
+            for (key, row) in store.materialize_at(ts) {
+                fork_store.install(&key, row, ts.max(1));
+            }
+            for column in store.indexed_columns() {
+                fork_store.create_index(&column)?;
+            }
+        }
+        fork.inner.clock.store(ts.max(1), Ordering::SeqCst);
+        Ok(fork)
+    }
+
+    /// Creates a new, empty database with the same schemas and indexes.
+    pub fn fork_empty(&self) -> DbResult<Database> {
+        let fork = Database::with_profile(self.profile());
+        let tables = self.inner.tables.read();
+        for (name, store) in tables.iter() {
+            fork.create_table(name.clone(), store.schema().clone())?;
+            for column in store.indexed_columns() {
+                fork.table(name)?.create_index(&column)?;
+            }
+        }
+        Ok(fork)
+    }
+
+    /// Applies externally captured change records as a single synthetic
+    /// committed transaction, bypassing validation. This is the primitive
+    /// the TROD replay engine uses to inject "the state changes the
+    /// upcoming transaction depends on" (paper §3.5) into a development
+    /// database. Inserts behave as upserts so injection is idempotent.
+    pub fn apply_changes(&self, changes: &[ChangeRecord]) -> DbResult<CommitInfo> {
+        let _guard = self.inner.commit_lock.lock();
+        let commit_ts = self.inner.clock.load(Ordering::SeqCst) + 1;
+        let txn_id = self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        let mut applied = Vec::with_capacity(changes.len());
+        for change in changes {
+            let store = self.table(&change.table)?;
+            match &change.op {
+                ChangeOp::Insert { after } | ChangeOp::Update { after, .. } => {
+                    store.schema().validate_row(&change.table, after)?;
+                    store.install(&change.key, after.clone(), commit_ts);
+                }
+                ChangeOp::Delete { .. } => {
+                    store.remove(&change.key, commit_ts);
+                }
+            }
+            applied.push(change.clone());
+        }
+        self.inner.clock.store(commit_ts, Ordering::SeqCst);
+        let entry = CommittedTxn {
+            txn_id,
+            start_ts: commit_ts - 1,
+            commit_ts,
+            changes: applied.clone(),
+        };
+        self.inner.log.lock().append(entry);
+        Ok(CommitInfo {
+            txn_id,
+            start_ts: commit_ts - 1,
+            commit_ts,
+            changes: applied,
+        })
+    }
+
+    /// Garbage collects row versions not visible at or after `ts` and
+    /// truncates the transaction log below `ts`. Returns (versions
+    /// dropped, log entries dropped).
+    pub fn gc_before(&self, ts: Ts) -> (usize, usize) {
+        let mut versions = 0;
+        for store in self.inner.tables.read().values() {
+            versions += store.gc_before(ts);
+        }
+        let logs = self.inner.log.lock().truncate_before(ts);
+        (versions, logs)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> DbStats {
+        let tables = self.inner.tables.read();
+        let ts = self.current_ts();
+        DbStats {
+            tables: tables.len(),
+            live_rows: tables.values().map(|t| t.count_at(ts)).sum(),
+            total_versions: tables.values().map(|t| t.version_count()).sum(),
+            committed_txns: self.inner.log.lock().len(),
+            current_ts: ts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .column("id", DataType::Int)
+            .column("v", DataType::Text)
+            .primary_key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    fn populated_db() -> Database {
+        let db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        let mut txn = db.begin();
+        txn.insert("t", row![1i64, "one"]).unwrap();
+        txn.insert("t", row![2i64, "two"]).unwrap();
+        txn.commit().unwrap();
+        db
+    }
+
+    #[test]
+    fn catalog_operations() {
+        let db = Database::new();
+        db.create_table("a", schema()).unwrap();
+        assert!(db.has_table("a"));
+        assert!(matches!(
+            db.create_table("a", schema()),
+            Err(DbError::TableExists(_))
+        ));
+        assert_eq!(db.table_names(), vec!["a".to_string()]);
+        assert_eq!(db.schema_of("a").unwrap().arity(), 2);
+        db.drop_table("a").unwrap();
+        assert!(!db.has_table("a"));
+        assert!(db.drop_table("a").is_err());
+    }
+
+    #[test]
+    fn serializable_write_skew_is_prevented() {
+        // Classic write skew: two transactions each read both rows and
+        // update the other one. Under serializability one must abort.
+        let db = populated_db();
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        let _ = t1.scan("t", &Predicate::True).unwrap();
+        let _ = t2.scan("t", &Predicate::True).unwrap();
+        t1.update("t", &Key::single(1i64), row![1i64, "t1"]).unwrap();
+        t2.update("t", &Key::single(2i64), row![2i64, "t2"]).unwrap();
+        assert!(t1.commit().is_ok());
+        let err = t2.commit().unwrap_err();
+        assert!(matches!(err, DbError::SerializationFailure { .. }));
+    }
+
+    #[test]
+    fn snapshot_isolation_allows_write_skew_but_not_lost_updates() {
+        let db = populated_db();
+        // Write skew is admitted under SI.
+        let mut t1 = db.begin_with(IsolationLevel::SnapshotIsolation);
+        let mut t2 = db.begin_with(IsolationLevel::SnapshotIsolation);
+        let _ = t1.scan("t", &Predicate::True).unwrap();
+        let _ = t2.scan("t", &Predicate::True).unwrap();
+        t1.update("t", &Key::single(1i64), row![1i64, "t1"]).unwrap();
+        t2.update("t", &Key::single(2i64), row![2i64, "t2"]).unwrap();
+        assert!(t1.commit().is_ok());
+        assert!(t2.commit().is_ok());
+
+        // Lost update (same key) is rejected: first committer wins.
+        let mut t3 = db.begin_with(IsolationLevel::SnapshotIsolation);
+        let mut t4 = db.begin_with(IsolationLevel::SnapshotIsolation);
+        t3.update("t", &Key::single(1i64), row![1i64, "t3"]).unwrap();
+        t4.update("t", &Key::single(1i64), row![1i64, "t4"]).unwrap();
+        assert!(t3.commit().is_ok());
+        assert!(matches!(
+            t4.commit().unwrap_err(),
+            DbError::WriteConflict { .. }
+        ));
+    }
+
+    #[test]
+    fn read_committed_admits_the_toctou_anomaly() {
+        // This is the MDL-59854 shape: both transactions check that a row
+        // does not exist, then both insert... except inserts of the same
+        // key are still caught by the primary-key constraint. The anomaly
+        // the paper's bug needs is *two distinct rows* representing the
+        // same logical subscription, which read committed admits.
+        let db = Database::new();
+        let s = Schema::builder()
+            .column("id", DataType::Int)
+            .column("user_id", DataType::Text)
+            .column("forum", DataType::Text)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        db.create_table("forum_sub", s).unwrap();
+
+        let check = |txn: &mut Transaction| {
+            txn.exists(
+                "forum_sub",
+                &Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2")),
+            )
+            .unwrap()
+        };
+
+        let mut t1 = db.begin_with(IsolationLevel::ReadCommitted);
+        let mut t2 = db.begin_with(IsolationLevel::ReadCommitted);
+        assert!(!check(&mut t1));
+        assert!(!check(&mut t2));
+        t1.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
+        t2.insert("forum_sub", row![2i64, "U1", "F2"]).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap();
+
+        let dups = db
+            .scan_latest(
+                "forum_sub",
+                &Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2")),
+            )
+            .unwrap();
+        assert_eq!(dups.len(), 2, "duplicate subscription rows exist");
+    }
+
+    #[test]
+    fn serializable_prevents_the_toctou_anomaly_in_one_txn() {
+        // When the check and the insert share one serializable transaction
+        // (the paper's suggested fix), the second committer aborts.
+        let db = Database::new();
+        let s = Schema::builder()
+            .column("id", DataType::Int)
+            .column("user_id", DataType::Text)
+            .column("forum", DataType::Text)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        db.create_table("forum_sub", s).unwrap();
+
+        let pred = Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2"));
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        assert!(!t1.exists("forum_sub", &pred).unwrap());
+        assert!(!t2.exists("forum_sub", &pred).unwrap());
+        t1.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
+        t2.insert("forum_sub", row![2i64, "U1", "F2"]).unwrap();
+        assert!(t1.commit().is_ok());
+        let err = t2.commit().unwrap_err();
+        assert!(matches!(err, DbError::SerializationFailure { .. }));
+    }
+
+    #[test]
+    fn time_travel_reads_past_states() {
+        let db = populated_db();
+        let ts_before = db.current_ts();
+        let mut txn = db.begin();
+        txn.update("t", &Key::single(1i64), row![1i64, "updated"]).unwrap();
+        txn.commit().unwrap();
+
+        assert_eq!(
+            db.get_as_of("t", &Key::single(1i64), ts_before).unwrap(),
+            Some(row![1i64, "one"])
+        );
+        assert_eq!(
+            db.get_latest("t", &Key::single(1i64)).unwrap(),
+            Some(row![1i64, "updated"])
+        );
+        assert_eq!(db.scan_as_of("t", &Predicate::True, ts_before).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn log_records_commits_in_order() {
+        let db = populated_db();
+        let mut txn = db.begin();
+        txn.update("t", &Key::single(2i64), row![2i64, "two2"]).unwrap();
+        txn.commit().unwrap();
+        let log = db.log_entries();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].commit_ts < log[1].commit_ts);
+        assert_eq!(db.log_since(log[0].commit_ts).len(), 1);
+        assert_eq!(db.log_len(), 2);
+        assert!(db.log_entry_for(log[1].txn_id).is_some());
+    }
+
+    #[test]
+    fn snapshots_and_fork_at() {
+        let db = populated_db();
+        let snap_ts = db.snapshot("before-bug").unwrap();
+        assert_eq!(db.snapshot_ts("before-bug").unwrap(), snap_ts);
+        assert!(db.snapshot("before-bug").is_err());
+        assert!(db.snapshot_ts("missing").is_err());
+        assert_eq!(db.snapshot_names(), vec!["before-bug".to_string()]);
+
+        let mut txn = db.begin();
+        txn.insert("t", row![3i64, "three"]).unwrap();
+        txn.commit().unwrap();
+
+        let fork = db.fork_at(snap_ts).unwrap();
+        assert_eq!(fork.scan_latest("t", &Predicate::True).unwrap().len(), 2);
+        // The fork is independent.
+        let mut ftxn = fork.begin();
+        ftxn.insert("t", row![10i64, "fork-only"]).unwrap();
+        ftxn.commit().unwrap();
+        assert_eq!(db.scan_latest("t", &Predicate::True).unwrap().len(), 3);
+        assert_eq!(fork.scan_latest("t", &Predicate::True).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn fork_empty_copies_schemas_only() {
+        let db = populated_db();
+        db.create_index("t", "v").unwrap();
+        let fork = db.fork_empty().unwrap();
+        assert!(fork.has_table("t"));
+        assert_eq!(fork.scan_latest("t", &Predicate::True).unwrap().len(), 0);
+        assert_eq!(fork.table("t").unwrap().indexed_columns(), vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn apply_changes_injects_state() {
+        let db = populated_db();
+        let changes = vec![
+            ChangeRecord::insert("t", Key::single(9i64), row![9i64, "injected"]),
+            ChangeRecord::update("t", Key::single(1i64), row![1i64, "one"], row![1i64, "patched"]),
+            ChangeRecord::delete("t", Key::single(2i64), row![2i64, "two"]),
+        ];
+        let info = db.apply_changes(&changes).unwrap();
+        assert_eq!(info.changes.len(), 3);
+        assert_eq!(
+            db.get_latest("t", &Key::single(9i64)).unwrap(),
+            Some(row![9i64, "injected"])
+        );
+        assert_eq!(
+            db.get_latest("t", &Key::single(1i64)).unwrap(),
+            Some(row![1i64, "patched"])
+        );
+        assert_eq!(db.get_latest("t", &Key::single(2i64)).unwrap(), None);
+    }
+
+    #[test]
+    fn gc_reclaims_history() {
+        let db = populated_db();
+        for i in 0..5 {
+            let mut txn = db.begin();
+            txn.update("t", &Key::single(1i64), row![1i64, format!("v{i}")])
+                .unwrap();
+            txn.commit().unwrap();
+        }
+        let before = db.stats();
+        assert!(before.total_versions > before.live_rows);
+        let (versions, logs) = db.gc_before(db.current_ts());
+        assert!(versions > 0);
+        assert!(logs > 0);
+        let after = db.stats();
+        assert_eq!(after.total_versions, after.live_rows);
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let db = populated_db();
+        let stats = db.stats();
+        assert_eq!(stats.tables, 1);
+        assert_eq!(stats.live_rows, 2);
+        assert_eq!(stats.committed_txns, 1);
+        assert!(stats.current_ts > 0);
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads_all_commit() {
+        let db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25i64 {
+                        let id = t * 1000 + i;
+                        loop {
+                            let mut txn = db.begin();
+                            txn.insert("t", row![id, format!("w{t}")]).unwrap();
+                            match txn.commit() {
+                                Ok(_) => break,
+                                Err(e) if e.is_retryable() => continue,
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(db.scan_latest("t", &Predicate::True).unwrap().len(), 200);
+        assert_eq!(db.log_len(), 200);
+        // Commit timestamps are strictly increasing.
+        let log = db.log_entries();
+        for pair in log.windows(2) {
+            assert!(pair[0].commit_ts < pair[1].commit_ts);
+        }
+    }
+}

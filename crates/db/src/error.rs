@@ -1,0 +1,148 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors returned by the storage engine.
+///
+/// The variants distinguish programming errors (schema misuse, type
+/// mismatches) from runtime outcomes the caller is expected to handle
+/// (write conflicts, serialization failures, duplicate keys).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name exists.
+    NoSuchTable(String),
+    /// No column with this name exists in the referenced table.
+    NoSuchColumn { table: String, column: String },
+    /// A row value did not match the column's declared type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: DataType,
+        actual: String,
+    },
+    /// A non-nullable column received a NULL value.
+    NullViolation { table: String, column: String },
+    /// The row has the wrong number of columns for the table schema.
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// An insert would create a second row with the same primary key.
+    DuplicateKey { table: String, key: String },
+    /// The referenced primary key does not exist.
+    NoSuchKey { table: String, key: String },
+    /// Two transactions wrote the same row; the later committer loses.
+    WriteConflict { table: String, key: String },
+    /// Serializable validation failed: a row or predicate read by this
+    /// transaction was modified by a concurrently committed transaction.
+    SerializationFailure { table: String, detail: String },
+    /// The transaction has already committed or aborted.
+    TransactionClosed,
+    /// A snapshot with this name already exists.
+    SnapshotExists(String),
+    /// No snapshot with this name exists.
+    NoSuchSnapshot(String),
+    /// An invalid operation for the current configuration.
+    Invalid(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            DbError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no column `{column}` in table `{table}`")
+            }
+            DbError::TypeMismatch {
+                table,
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch in `{table}.{column}`: expected {expected}, got {actual}"
+            ),
+            DbError::NullViolation { table, column } => {
+                write!(f, "column `{table}.{column}` is not nullable")
+            }
+            DbError::ArityMismatch {
+                table,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "row for table `{table}` has {actual} values, schema has {expected} columns"
+            ),
+            DbError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table `{table}`")
+            }
+            DbError::NoSuchKey { table, key } => {
+                write!(f, "no row with primary key {key} in table `{table}`")
+            }
+            DbError::WriteConflict { table, key } => {
+                write!(f, "write-write conflict on `{table}` key {key}")
+            }
+            DbError::SerializationFailure { table, detail } => {
+                write!(f, "serialization failure on `{table}`: {detail}")
+            }
+            DbError::TransactionClosed => write!(f, "transaction is no longer active"),
+            DbError::SnapshotExists(s) => write!(f, "snapshot `{s}` already exists"),
+            DbError::NoSuchSnapshot(s) => write!(f, "no such snapshot `{s}`"),
+            DbError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience result alias used across the engine.
+pub type DbResult<T> = Result<T, DbError>;
+
+impl DbError {
+    /// Returns true if the error is a transient concurrency failure the
+    /// caller may retry (write conflicts and serialization failures).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DbError::WriteConflict { .. } | DbError::SerializationFailure { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DbError::NoSuchTable("users".into());
+        assert!(e.to_string().contains("users"));
+        let e = DbError::DuplicateKey {
+            table: "t".into(),
+            key: "[Int(1)]".into(),
+        };
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(DbError::WriteConflict {
+            table: "t".into(),
+            key: "k".into()
+        }
+        .is_retryable());
+        assert!(DbError::SerializationFailure {
+            table: "t".into(),
+            detail: "d".into()
+        }
+        .is_retryable());
+        assert!(!DbError::NoSuchTable("t".into()).is_retryable());
+        assert!(!DbError::TransactionClosed.is_retryable());
+    }
+}

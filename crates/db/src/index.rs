@@ -1,0 +1,151 @@
+//! Secondary hash indexes.
+//!
+//! Indexes map a column value to the set of primary keys whose *live*
+//! version carried that value at some point. Lookups return candidate
+//! keys; visibility is always re-checked against the version chain, so an
+//! index can safely over-approximate (it never removes entries for old
+//! values until the key is garbage collected).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::row::{Key, Row};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A hash index over one column of a table.
+#[derive(Debug, Default)]
+pub struct SecondaryIndex {
+    column: String,
+    col_idx: usize,
+    entries: HashMap<Value, HashSet<Key>>,
+}
+
+impl SecondaryIndex {
+    /// Creates an index over `column` (resolved to `col_idx` in the schema).
+    pub fn new(column: impl Into<String>, col_idx: usize) -> Self {
+        SecondaryIndex {
+            column: column.into(),
+            col_idx,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The indexed column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Records that `key`'s row now carries `row[col]`.
+    pub fn insert(&mut self, key: &Key, row: &Row) {
+        if let Some(v) = row.get(self.col_idx) {
+            if !v.is_null() {
+                self.entries
+                    .entry(v.clone())
+                    .or_default()
+                    .insert(key.clone());
+            }
+        }
+    }
+
+    /// Candidate keys whose rows may carry `value` in the indexed column.
+    pub fn lookup(&self, value: &Value) -> Vec<Key> {
+        self.entries
+            .get(value)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Removes all entries pointing at `key` (used when a key's chain is
+    /// garbage collected entirely).
+    pub fn purge_key(&mut self, key: &Key) {
+        for set in self.entries.values_mut() {
+            set.remove(key);
+        }
+        self.entries.retain(|_, set| !set.is_empty());
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Rebuilds the index from scratch given the live rows of the table.
+    pub fn rebuild<'a>(
+        &mut self,
+        schema: &Schema,
+        rows: impl Iterator<Item = (&'a Key, &'a Row)>,
+    ) {
+        let _ = schema;
+        self.entries.clear();
+        for (key, row) in rows {
+            self.insert(key, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .column("id", DataType::Int)
+            .column("forum", DataType::Text)
+            .primary_key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut idx = SecondaryIndex::new("forum", 1);
+        idx.insert(&Key::single(1i64), &row![1i64, "F1"]);
+        idx.insert(&Key::single(2i64), &row![2i64, "F2"]);
+        idx.insert(&Key::single(3i64), &row![3i64, "F2"]);
+
+        let mut hits = idx.lookup(&Value::Text("F2".into()));
+        hits.sort();
+        assert_eq!(hits, vec![Key::single(2i64), Key::single(3i64)]);
+        assert!(idx.lookup(&Value::Text("F9".into())).is_empty());
+        assert_eq!(idx.distinct_values(), 2);
+    }
+
+    #[test]
+    fn null_values_are_not_indexed() {
+        let mut idx = SecondaryIndex::new("forum", 1);
+        idx.insert(&Key::single(1i64), &row![1i64, Value::Null]);
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn stale_entries_are_tolerated_and_purgeable() {
+        let mut idx = SecondaryIndex::new("forum", 1);
+        let k = Key::single(1i64);
+        idx.insert(&k, &row![1i64, "F1"]);
+        // Row updated to a new forum: the index keeps the old entry too
+        // (over-approximation) until purged.
+        idx.insert(&k, &row![1i64, "F2"]);
+        assert_eq!(idx.lookup(&Value::Text("F1".into())), vec![k.clone()]);
+        assert_eq!(idx.lookup(&Value::Text("F2".into())), vec![k.clone()]);
+
+        idx.purge_key(&k);
+        assert!(idx.lookup(&Value::Text("F1".into())).is_empty());
+        assert!(idx.lookup(&Value::Text("F2".into())).is_empty());
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn rebuild_reflects_only_given_rows() {
+        let s = schema();
+        let mut idx = SecondaryIndex::new("forum", 1);
+        idx.insert(&Key::single(9i64), &row![9i64, "OLD"]);
+        let k1 = Key::single(1i64);
+        let r1 = row![1i64, "F1"];
+        let rows = vec![(&k1, &r1)];
+        idx.rebuild(&s, rows.into_iter());
+        assert!(idx.lookup(&Value::Text("OLD".into())).is_empty());
+        assert_eq!(idx.lookup(&Value::Text("F1".into())), vec![k1]);
+    }
+}

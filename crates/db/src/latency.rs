@@ -1,0 +1,124 @@
+//! Synthetic storage latency model.
+//!
+//! The TROD paper (§3.7) reports tracing overhead relative to two backing
+//! stores: an in-memory database (VoltDB), where per-transaction costs are
+//! tiny so a fixed tracing cost is visible (<15 %), and an on-disk
+//! database (Postgres), where commit latency dominates and tracing
+//! overhead is "negligible". Real VoltDB/Postgres are not available in
+//! this environment, so the engine models the distinction with a
+//! configurable per-operation latency: `InMemory` adds nothing, `OnDisk`
+//! spins for a configurable number of microseconds on reads and commits
+//! (modelling buffer-pool and fsync costs). Benchmark E1 sweeps both
+//! profiles.
+
+use std::time::{Duration, Instant};
+
+/// The storage profile of a [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageProfile {
+    /// No added latency: models an in-memory store such as VoltDB.
+    InMemory,
+    /// Adds `read_micros` to every transactional read/scan and
+    /// `commit_micros` to every commit: models an on-disk store such as
+    /// Postgres (default 50 µs reads, 500 µs commit/fsync).
+    OnDisk {
+        read_micros: u64,
+        commit_micros: u64,
+    },
+}
+
+impl StorageProfile {
+    /// The default on-disk profile used by the benchmarks.
+    pub fn on_disk_default() -> Self {
+        StorageProfile::OnDisk {
+            read_micros: 20,
+            commit_micros: 500,
+        }
+    }
+}
+
+impl Default for StorageProfile {
+    fn default() -> Self {
+        StorageProfile::InMemory
+    }
+}
+
+/// Applies the latency model. Spin-waits rather than sleeping because the
+/// modelled latencies are far below OS scheduler granularity.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    profile: StorageProfile,
+}
+
+impl LatencyModel {
+    pub fn new(profile: StorageProfile) -> Self {
+        LatencyModel { profile }
+    }
+
+    pub fn profile(&self) -> StorageProfile {
+        self.profile
+    }
+
+    /// Charged on every transactional read or scan.
+    pub fn on_read(&self) {
+        if let StorageProfile::OnDisk { read_micros, .. } = self.profile {
+            spin_for(Duration::from_micros(read_micros));
+        }
+    }
+
+    /// Charged on every commit.
+    pub fn on_commit(&self) {
+        if let StorageProfile::OnDisk { commit_micros, .. } = self.profile {
+            spin_for(Duration::from_micros(commit_micros));
+        }
+    }
+}
+
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_adds_no_measurable_latency() {
+        let m = LatencyModel::new(StorageProfile::InMemory);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            m.on_read();
+            m.on_commit();
+        }
+        // 2000 no-op calls should complete essentially instantly.
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn on_disk_commit_spins_for_roughly_the_configured_time() {
+        let m = LatencyModel::new(StorageProfile::OnDisk {
+            read_micros: 0,
+            commit_micros: 300,
+        });
+        let start = Instant::now();
+        for _ in 0..10 {
+            m.on_commit();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_micros(10 * 300),
+            "expected at least 3ms, got {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn default_profile_is_in_memory() {
+        assert_eq!(StorageProfile::default(), StorageProfile::InMemory);
+    }
+}

@@ -1,0 +1,68 @@
+//! # trod-db
+//!
+//! An in-memory, multi-version, transactional storage engine used as the
+//! application DBMS substrate of the TROD reproduction (*Transactions Make
+//! Debugging Easy*, CIDR 2023).
+//!
+//! The engine provides exactly the capabilities TROD's design relies on:
+//!
+//! * **ACID transactions** with three isolation levels; the default is
+//!   strict serializability implemented with optimistic validation, so
+//!   transactions are serialized in commit order (paper §3.1).
+//! * **A commit-ordered transaction log** with change-data-capture
+//!   records (before/after images) for every write (paper §3.4).
+//! * **Time travel** (as-of reads) and **named snapshots**, plus cheap
+//!   database **forks** used as the "development database" during replay
+//!   and retroactive programming (paper §3.5–3.6).
+//! * A synthetic **storage latency profile** so benchmarks can contrast an
+//!   in-memory backing store (VoltDB in the paper) with an on-disk one
+//!   (Postgres) when measuring tracing overhead (paper §3.7).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use trod_db::{Database, DataType, Predicate, Schema, row};
+//!
+//! let db = Database::new();
+//! let schema = Schema::builder()
+//!     .column("id", DataType::Int)
+//!     .column("name", DataType::Text)
+//!     .primary_key(&["id"])
+//!     .build()
+//!     .unwrap();
+//! db.create_table("users", schema).unwrap();
+//!
+//! let mut txn = db.begin();
+//! txn.insert("users", row![1i64, "alice"]).unwrap();
+//! let info = txn.commit().unwrap();
+//! assert_eq!(info.changes.len(), 1);
+//!
+//! let rows = db.scan_latest("users", &Predicate::eq("name", "alice")).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub mod cdc;
+pub mod database;
+pub mod error;
+pub mod index;
+pub mod latency;
+pub mod log;
+pub mod mvcc;
+pub mod predicate;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod txn;
+pub mod value;
+
+pub use cdc::{ChangeOp, ChangeRecord};
+pub use database::{Database, DbStats};
+pub use error::{DbError, DbResult};
+pub use latency::StorageProfile;
+pub use log::{CommittedTxn, TxnId};
+pub use mvcc::{Ts, TS_LIVE};
+pub use predicate::{CmpOp, Predicate};
+pub use row::{Key, Row};
+pub use schema::{Column, Schema, SchemaBuilder};
+pub use txn::{CommitInfo, IsolationLevel, ReadSummary, Transaction};
+pub use value::{DataType, Value};

@@ -1,0 +1,181 @@
+//! The commit-ordered transaction log.
+//!
+//! Strict serializability means transactions are serialized in commit
+//! order (paper §3.1); the log records exactly that order together with
+//! each transaction's change-data-capture records. The TROD interposition
+//! layer reads committed entries from here, and the replay engine re-applies
+//! them to reconstruct past database states.
+
+use crate::cdc::ChangeRecord;
+use crate::mvcc::Ts;
+
+/// Identifier assigned to every transaction at `begin`.
+pub type TxnId = u64;
+
+/// A committed transaction as recorded in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedTxn {
+    /// Transaction identifier.
+    pub txn_id: TxnId,
+    /// Snapshot timestamp the transaction read at.
+    pub start_ts: Ts,
+    /// Commit timestamp; defines the serial order.
+    pub commit_ts: Ts,
+    /// Row-level changes, in the order they were applied.
+    pub changes: Vec<ChangeRecord>,
+}
+
+impl CommittedTxn {
+    /// Tables written by this transaction.
+    pub fn written_tables(&self) -> Vec<&str> {
+        let mut tables: Vec<&str> = self.changes.iter().map(|c| c.table.as_str()).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        tables
+    }
+
+    /// True if this transaction wrote the given table.
+    pub fn writes_table(&self, table: &str) -> bool {
+        self.changes.iter().any(|c| c.table == table)
+    }
+}
+
+/// Append-only, commit-ordered transaction log.
+#[derive(Debug, Default)]
+pub struct TxnLog {
+    entries: Vec<CommittedTxn>,
+}
+
+impl TxnLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        TxnLog::default()
+    }
+
+    /// Appends a committed transaction. Callers must append in commit
+    /// order; this is enforced with a debug assertion.
+    pub fn append(&mut self, entry: CommittedTxn) {
+        debug_assert!(
+            self.entries
+                .last()
+                .map(|prev| prev.commit_ts < entry.commit_ts)
+                .unwrap_or(true),
+            "transaction log must be appended in commit order"
+        );
+        self.entries.push(entry);
+    }
+
+    /// All entries in commit order.
+    pub fn entries(&self) -> &[CommittedTxn] {
+        &self.entries
+    }
+
+    /// Entries with commit timestamp strictly greater than `ts`.
+    pub fn since(&self, ts: Ts) -> Vec<CommittedTxn> {
+        // Entries are sorted by commit_ts, binary search for the cut point.
+        let start = self.entries.partition_point(|e| e.commit_ts <= ts);
+        self.entries[start..].to_vec()
+    }
+
+    /// Entries with commit timestamps in `(after, up_to]`.
+    pub fn between(&self, after: Ts, up_to: Ts) -> Vec<CommittedTxn> {
+        self.entries
+            .iter()
+            .filter(|e| e.commit_ts > after && e.commit_ts <= up_to)
+            .cloned()
+            .collect()
+    }
+
+    /// Looks up the entry for a transaction id.
+    pub fn entry_for(&self, txn_id: TxnId) -> Option<&CommittedTxn> {
+        self.entries.iter().find(|e| e.txn_id == txn_id)
+    }
+
+    /// Number of committed transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has committed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops entries with commit timestamp at or below `ts` (log
+    /// truncation after a checkpoint). Returns the number removed.
+    pub fn truncate_before(&mut self, ts: Ts) -> usize {
+        let cut = self.entries.partition_point(|e| e.commit_ts <= ts);
+        self.entries.drain(0..cut);
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdc::ChangeRecord;
+    use crate::row;
+    use crate::row::Key;
+
+    fn entry(txn_id: TxnId, commit_ts: Ts, table: &str) -> CommittedTxn {
+        CommittedTxn {
+            txn_id,
+            start_ts: commit_ts.saturating_sub(1),
+            commit_ts,
+            changes: vec![ChangeRecord::insert(
+                table,
+                Key::single(txn_id as i64),
+                row![txn_id as i64],
+            )],
+        }
+    }
+
+    #[test]
+    fn append_and_query_ranges() {
+        let mut log = TxnLog::new();
+        assert!(log.is_empty());
+        for (id, ts) in [(1, 5), (2, 8), (3, 12)] {
+            log.append(entry(id, ts, "t"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.since(5).len(), 2);
+        assert_eq!(log.since(12).len(), 0);
+        assert_eq!(log.between(5, 12).len(), 2);
+        assert_eq!(log.between(0, 5).len(), 1);
+        assert_eq!(log.entry_for(2).unwrap().commit_ts, 8);
+        assert!(log.entry_for(99).is_none());
+    }
+
+    #[test]
+    fn written_tables_dedups() {
+        let mut e = entry(1, 1, "a");
+        e.changes
+            .push(ChangeRecord::insert("a", Key::single(2i64), row![2i64]));
+        e.changes
+            .push(ChangeRecord::insert("b", Key::single(3i64), row![3i64]));
+        assert_eq!(e.written_tables(), vec!["a", "b"]);
+        assert!(e.writes_table("a"));
+        assert!(!e.writes_table("c"));
+    }
+
+    #[test]
+    fn truncation_removes_old_entries() {
+        let mut log = TxnLog::new();
+        for (id, ts) in [(1, 1), (2, 2), (3, 3), (4, 4)] {
+            log.append(entry(id, ts, "t"));
+        }
+        let removed = log.truncate_before(2);
+        assert_eq!(removed, 2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].commit_ts, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_append_panics_in_debug() {
+        let mut log = TxnLog::new();
+        log.append(entry(1, 10, "t"));
+        log.append(entry(2, 5, "t"));
+    }
+}

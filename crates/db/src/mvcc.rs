@@ -1,0 +1,243 @@
+//! Multi-version row storage.
+//!
+//! Every row lives in a [`VersionChain`]: a list of versions ordered by
+//! the commit timestamp that created them. A version is visible to a read
+//! at timestamp `ts` if `begin_ts <= ts < end_ts`. Time travel (paper
+//! §3.1, "databases with time travel capabilities") falls out of this
+//! representation: reading "as of" a past timestamp simply selects the
+//! version visible at that timestamp.
+
+use crate::row::Row;
+
+/// Commit timestamp type. Timestamp 0 is "before any transaction".
+pub type Ts = u64;
+
+/// Sentinel end timestamp of a live (not yet superseded) version.
+pub const TS_LIVE: Ts = u64::MAX;
+
+/// One version of a row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// Commit timestamp of the transaction that wrote this version.
+    pub begin_ts: Ts,
+    /// Commit timestamp of the transaction that superseded or deleted this
+    /// version; [`TS_LIVE`] while current.
+    pub end_ts: Ts,
+    /// The row image.
+    pub row: Row,
+}
+
+impl Version {
+    /// True if the version is visible to a read at `ts`.
+    pub fn visible_at(&self, ts: Ts) -> bool {
+        self.begin_ts <= ts && ts < self.end_ts
+    }
+
+    /// True if the version is the current live version.
+    pub fn is_live(&self) -> bool {
+        self.end_ts == TS_LIVE
+    }
+}
+
+/// The ordered version history of one primary key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        VersionChain::default()
+    }
+
+    /// All versions, oldest first.
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    /// The row visible at timestamp `ts`, if any.
+    pub fn visible_at(&self, ts: Ts) -> Option<&Row> {
+        // Versions are appended in commit order, so scan from the end.
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.visible_at(ts))
+            .map(|v| &v.row)
+    }
+
+    /// The live row, if the key currently exists.
+    pub fn live(&self) -> Option<&Row> {
+        self.versions
+            .last()
+            .filter(|v| v.is_live())
+            .map(|v| &v.row)
+    }
+
+    /// The most recent version regardless of liveness.
+    pub fn latest_version(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+
+    /// True if this key was written (created, updated, or deleted) by any
+    /// transaction with commit timestamp strictly greater than `ts`.
+    ///
+    /// Only the newest version needs to be inspected: versions are
+    /// appended in commit order, so if any version began after `ts` the
+    /// newest one did, and a deletion after `ts` is visible as the newest
+    /// version's end timestamp. Keeping this O(1) matters because the
+    /// commit path validates every read/write key with it.
+    pub fn modified_after(&self, ts: Ts) -> bool {
+        match self.versions.last() {
+            Some(v) => v.begin_ts > ts || (v.end_ts != TS_LIVE && v.end_ts > ts),
+            None => false,
+        }
+    }
+
+    /// Installs a new version committed at `commit_ts`, superseding the
+    /// current live version if present. Returns the before image if one
+    /// existed.
+    pub fn install(&mut self, commit_ts: Ts, row: Row) -> Option<Row> {
+        let before = self.close_live(commit_ts);
+        self.versions.push(Version {
+            begin_ts: commit_ts,
+            end_ts: TS_LIVE,
+            row,
+        });
+        before
+    }
+
+    /// Marks the live version as deleted at `commit_ts`. Returns the
+    /// deleted row if one existed.
+    pub fn remove(&mut self, commit_ts: Ts) -> Option<Row> {
+        self.close_live(commit_ts)
+    }
+
+    fn close_live(&mut self, commit_ts: Ts) -> Option<Row> {
+        if let Some(last) = self.versions.last_mut() {
+            if last.is_live() {
+                last.end_ts = commit_ts;
+                return Some(last.row.clone());
+            }
+        }
+        None
+    }
+
+    /// Drops versions that ended at or before `ts` and are no longer
+    /// reachable by any reader at or after `ts` (simple garbage
+    /// collection). Returns the number of versions removed.
+    pub fn gc_before(&mut self, ts: Ts) -> usize {
+        let before = self.versions.len();
+        // Keep the last version that began at or before ts (it may still be
+        // visible to readers at ts) plus everything after it.
+        let mut keep_from = 0;
+        for (i, v) in self.versions.iter().enumerate() {
+            if v.end_ts != TS_LIVE && v.end_ts <= ts {
+                keep_from = i + 1;
+            } else {
+                break;
+            }
+        }
+        if keep_from > 0 {
+            self.versions.drain(0..keep_from);
+        }
+        before - self.versions.len()
+    }
+
+    /// Number of stored versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True if no versions exist.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn install_and_visibility() {
+        let mut chain = VersionChain::new();
+        assert!(chain.visible_at(100).is_none());
+
+        chain.install(5, row![1i64, "v1"]);
+        assert_eq!(chain.visible_at(5), Some(&row![1i64, "v1"]));
+        assert_eq!(chain.visible_at(4), None);
+        assert_eq!(chain.live(), Some(&row![1i64, "v1"]));
+
+        let before = chain.install(9, row![1i64, "v2"]);
+        assert_eq!(before, Some(row![1i64, "v1"]));
+        assert_eq!(chain.visible_at(5), Some(&row![1i64, "v1"]));
+        assert_eq!(chain.visible_at(8), Some(&row![1i64, "v1"]));
+        assert_eq!(chain.visible_at(9), Some(&row![1i64, "v2"]));
+        assert_eq!(chain.live(), Some(&row![1i64, "v2"]));
+    }
+
+    #[test]
+    fn remove_hides_row_from_later_reads() {
+        let mut chain = VersionChain::new();
+        chain.install(2, row![7i64]);
+        let deleted = chain.remove(4);
+        assert_eq!(deleted, Some(row![7i64]));
+        assert_eq!(chain.visible_at(3), Some(&row![7i64]));
+        assert_eq!(chain.visible_at(4), None);
+        assert_eq!(chain.live(), None);
+        // Deleting again is a no-op.
+        assert_eq!(chain.remove(5), None);
+    }
+
+    #[test]
+    fn modified_after_detects_later_writes_and_deletes() {
+        let mut chain = VersionChain::new();
+        chain.install(3, row![1i64]);
+        assert!(!chain.modified_after(3));
+        assert!(chain.modified_after(2));
+
+        chain.install(6, row![2i64]);
+        assert!(chain.modified_after(5));
+        assert!(!chain.modified_after(6));
+
+        chain.remove(8);
+        assert!(chain.modified_after(7));
+        assert!(!chain.modified_after(8));
+    }
+
+    #[test]
+    fn gc_drops_only_unreachable_versions() {
+        let mut chain = VersionChain::new();
+        chain.install(1, row![1i64]);
+        chain.install(3, row![2i64]);
+        chain.install(5, row![3i64]);
+        assert_eq!(chain.len(), 3);
+
+        // Readers at ts >= 4: the version ending at 3 is unreachable.
+        let dropped = chain.gc_before(4);
+        assert_eq!(dropped, 1);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.visible_at(4), Some(&row![2i64]));
+        assert_eq!(chain.visible_at(10), Some(&row![3i64]));
+
+        // GC below any end timestamp keeps everything.
+        let dropped = chain.gc_before(0);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn version_visibility_window() {
+        let v = Version {
+            begin_ts: 10,
+            end_ts: 20,
+            row: row![1i64],
+        };
+        assert!(!v.visible_at(9));
+        assert!(v.visible_at(10));
+        assert!(v.visible_at(19));
+        assert!(!v.visible_at(20));
+        assert!(!v.is_live());
+    }
+}

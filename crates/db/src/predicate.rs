@@ -1,0 +1,348 @@
+//! Predicates used for scans, updates and serializable validation.
+//!
+//! Predicates reference columns by *name*; they are bound to a concrete
+//! schema when evaluated. Recording the predicates a transaction scanned
+//! (its "scan set") is what allows the transaction manager to detect
+//! phantoms under the serializable isolation level, and what allows the
+//! TROD replay engine to recompute read dependencies.
+
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Comparison operators for simple column predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate over a single row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches every row.
+    True,
+    /// Matches no row.
+    False,
+    /// `column <op> literal`
+    Compare {
+        column: String,
+        op: CmpOp,
+        value: Value,
+    },
+    /// `column IS NULL`
+    IsNull(String),
+    /// `column IS NOT NULL`
+    IsNotNull(String),
+    /// `column IN (v1, v2, ...)`
+    InList { column: String, values: Vec<Value> },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value`
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `column != value`
+    pub fn ne(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CmpOp::Ne,
+            value: value.into(),
+        }
+    }
+
+    /// `column < value`
+    pub fn lt(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CmpOp::Lt,
+            value: value.into(),
+        }
+    }
+
+    /// `column <= value`
+    pub fn le(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CmpOp::Le,
+            value: value.into(),
+        }
+    }
+
+    /// `column > value`
+    pub fn gt(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CmpOp::Gt,
+            value: value.into(),
+        }
+    }
+
+    /// `column >= value`
+    pub fn ge(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CmpOp::Ge,
+            value: value.into(),
+        }
+    }
+
+    /// `column IN (values)`
+    pub fn in_list(column: impl Into<String>, values: Vec<Value>) -> Self {
+        Predicate::InList {
+            column: column.into(),
+            values,
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate against a row under `schema`.
+    ///
+    /// Comparisons involving NULL are false (SQL-like semantics, collapsed
+    /// to two-valued logic).
+    pub fn matches(&self, schema: &Schema, row: &Row) -> DbResult<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::False => Ok(false),
+            Predicate::Compare { column, op, value } => {
+                let v = column_value(schema, row, column)?;
+                if v.is_null() || value.is_null() {
+                    return Ok(false);
+                }
+                let ord = v.total_cmp(value);
+                Ok(match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                })
+            }
+            Predicate::IsNull(column) => Ok(column_value(schema, row, column)?.is_null()),
+            Predicate::IsNotNull(column) => Ok(!column_value(schema, row, column)?.is_null()),
+            Predicate::InList { column, values } => {
+                let v = column_value(schema, row, column)?;
+                if v.is_null() {
+                    return Ok(false);
+                }
+                Ok(values.iter().any(|x| x.sql_eq(v)))
+            }
+            Predicate::And(a, b) => Ok(a.matches(schema, row)? && b.matches(schema, row)?),
+            Predicate::Or(a, b) => Ok(a.matches(schema, row)? || b.matches(schema, row)?),
+            Predicate::Not(p) => Ok(!p.matches(schema, row)?),
+        }
+    }
+
+    /// If the predicate pins `column` to a single equality value (possibly
+    /// inside conjunctions), returns that value. Used for index lookups.
+    pub fn equality_on(&self, column: &str) -> Option<&Value> {
+        match self {
+            Predicate::Compare {
+                column: c,
+                op: CmpOp::Eq,
+                value,
+            } if c == column => Some(value),
+            Predicate::And(a, b) => a.equality_on(column).or_else(|| b.equality_on(column)),
+            _ => None,
+        }
+    }
+
+    /// Column names referenced by this predicate (with duplicates).
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Compare { column, .. }
+            | Predicate::IsNull(column)
+            | Predicate::IsNotNull(column)
+            | Predicate::InList { column, .. } => out.push(column),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::False => write!(f, "FALSE"),
+            Predicate::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::IsNull(c) => write!(f, "{c} IS NULL"),
+            Predicate::IsNotNull(c) => write!(f, "{c} IS NOT NULL"),
+            Predicate::InList { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+        }
+    }
+}
+
+fn column_value<'a>(schema: &Schema, row: &'a Row, column: &str) -> DbResult<&'a Value> {
+    let idx = schema
+        .column_index(column)
+        .ok_or_else(|| DbError::NoSuchColumn {
+            table: "<row>".into(),
+            column: column.to_string(),
+        })?;
+    Ok(&row[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .nullable("score", DataType::Float)
+            .primary_key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let r = row![3i64, "carol", 1.5f64];
+        assert!(Predicate::eq("id", 3i64).matches(&s, &r).unwrap());
+        assert!(!Predicate::eq("id", 4i64).matches(&s, &r).unwrap());
+        assert!(Predicate::gt("score", 1.0f64).matches(&s, &r).unwrap());
+        assert!(Predicate::le("id", 3i64).matches(&s, &r).unwrap());
+        assert!(Predicate::ne("name", "bob").matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = schema();
+        let r = row![1i64, "a", Value::Null];
+        assert!(!Predicate::eq("score", 1.0f64).matches(&s, &r).unwrap());
+        assert!(!Predicate::ne("score", 1.0f64).matches(&s, &r).unwrap());
+        assert!(Predicate::IsNull("score".into()).matches(&s, &r).unwrap());
+        assert!(!Predicate::IsNotNull("score".into()).matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let r = row![2i64, "bob", 0.5f64];
+        let p = Predicate::eq("id", 2i64).and(Predicate::eq("name", "bob"));
+        assert!(p.matches(&s, &r).unwrap());
+        let p = Predicate::eq("id", 9i64).or(Predicate::eq("name", "bob"));
+        assert!(p.matches(&s, &r).unwrap());
+        let p = Predicate::eq("id", 2i64).negate();
+        assert!(!p.matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn in_list() {
+        let s = schema();
+        let r = row![2i64, "bob", 0.5f64];
+        let p = Predicate::in_list("id", vec![Value::Int(1), Value::Int(2)]);
+        assert!(p.matches(&s, &r).unwrap());
+        let p = Predicate::in_list("id", vec![Value::Int(3)]);
+        assert!(!p.matches(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let s = schema();
+        let r = row![2i64, "bob", 0.5f64];
+        assert!(Predicate::eq("missing", 1i64).matches(&s, &r).is_err());
+    }
+
+    #[test]
+    fn equality_extraction_for_index_lookups() {
+        let p = Predicate::eq("forum", "F2").and(Predicate::eq("user", "U1"));
+        assert_eq!(p.equality_on("forum"), Some(&Value::Text("F2".into())));
+        assert_eq!(p.equality_on("user"), Some(&Value::Text("U1".into())));
+        assert_eq!(p.equality_on("other"), None);
+        // OR does not pin a single value.
+        let p = Predicate::eq("a", 1i64).or(Predicate::eq("a", 2i64));
+        assert_eq!(p.equality_on("a"), None);
+    }
+
+    #[test]
+    fn referenced_columns_lists_all() {
+        let p = Predicate::eq("a", 1i64)
+            .and(Predicate::IsNull("b".into()))
+            .or(Predicate::gt("c", 2i64));
+        let cols = p.referenced_columns();
+        assert_eq!(cols, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_roundtrips_reasonably() {
+        let p = Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2"));
+        assert_eq!(p.to_string(), "(user_id = U1 AND forum = F2)");
+    }
+}

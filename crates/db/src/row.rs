@@ -1,0 +1,208 @@
+//! Rows and primary keys.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::value::Value;
+
+/// A row of values, positionally aligned with the table schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Row(Vec<Value>);
+
+impl Row {
+    /// Creates an empty row.
+    pub fn new() -> Self {
+        Row(Vec::new())
+    }
+
+    /// Creates a row with the given capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Row(Vec::with_capacity(n))
+    }
+
+    /// Appends a value.
+    pub fn push(&mut self, v: impl Into<Value>) {
+        self.0.push(v.into());
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the row has no values.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consumes the row and returns its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Gets a value by position.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Replaces the value at `idx`, returning the previous value.
+    pub fn set(&mut self, idx: usize, v: impl Into<Value>) -> Value {
+        std::mem::replace(&mut self.0[idx], v.into())
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+impl IndexMut<usize> for Row {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        &mut self.0[idx]
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds a [`Row`] from a list of values convertible into [`Value`].
+///
+/// ```
+/// use trod_db::{row, Value};
+/// let r = row![1i64, "alice", Value::Null];
+/// assert_eq!(r.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::from(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+/// A primary key: the ordered primary-key column values of a row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(Vec<Value>);
+
+impl Key {
+    /// Creates a key from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Key(values)
+    }
+
+    /// A single-valued key.
+    pub fn single(v: impl Into<Value>) -> Self {
+        Key(vec![v.into()])
+    }
+
+    /// Borrow the key values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Key {
+    fn from(v: Vec<Value>) -> Self {
+        Key(v)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_macro_and_accessors() {
+        let r = row![1i64, "bob", 2.5f64, true];
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r[1], Value::Text("bob".into()));
+        assert_eq!(r.get(3), Some(&Value::Bool(true)));
+        assert_eq!(r.get(4), None);
+    }
+
+    #[test]
+    fn row_set_replaces_value() {
+        let mut r = row![1i64, "a"];
+        let old = r.set(1, "b");
+        assert_eq!(old, Value::Text("a".into()));
+        assert_eq!(r[1], Value::Text("b".into()));
+    }
+
+    #[test]
+    fn row_display() {
+        let r = row![1i64, "x"];
+        assert_eq!(r.to_string(), "(1, x)");
+    }
+
+    #[test]
+    fn key_equality_and_display() {
+        let k1 = Key::single(7i64);
+        let k2 = Key::new(vec![Value::Int(7)]);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.to_string(), "[7]");
+        let k3 = Key::new(vec![Value::Int(7), Value::Text("a".into())]);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn keys_order_lexicographically() {
+        let a = Key::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Key::new(vec![Value::Int(1), Value::Int(3)]);
+        let c = Key::new(vec![Value::Int(2)]);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn row_from_iterator() {
+        let r: Row = vec![Value::Int(1), Value::Int(2)].into_iter().collect();
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Physical table storage: a map from primary key to version chain, plus
+//! optional secondary indexes.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::error::{DbError, DbResult};
+use crate::index::SecondaryIndex;
+use crate::mvcc::{Ts, VersionChain};
+use crate::predicate::Predicate;
+use crate::row::{Key, Row};
+use crate::schema::Schema;
+
+/// Storage for one table.
+///
+/// All mutation goes through [`TableStore::install`] / [`TableStore::remove`],
+/// which are only called by the database's commit path while it holds the
+/// global commit lock, so per-table locking only needs to protect readers
+/// from concurrent writers.
+#[derive(Debug)]
+pub struct TableStore {
+    name: String,
+    schema: Schema,
+    rows: RwLock<HashMap<Key, VersionChain>>,
+    indexes: RwLock<Vec<SecondaryIndex>>,
+}
+
+impl TableStore {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableStore {
+            name: name.into(),
+            schema,
+            rows: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Registers a secondary index over `column`.
+    pub fn create_index(&self, column: &str) -> DbResult<()> {
+        let col_idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: self.name.clone(),
+                column: column.to_string(),
+            })?;
+        let mut indexes = self.indexes.write();
+        if indexes.iter().any(|i| i.column() == column) {
+            return Err(DbError::Invalid(format!(
+                "index on `{}.{}` already exists",
+                self.name, column
+            )));
+        }
+        let mut idx = SecondaryIndex::new(column, col_idx);
+        // Backfill from current live rows.
+        let rows = self.rows.read();
+        for (key, chain) in rows.iter() {
+            if let Some(row) = chain.live() {
+                idx.insert(key, row);
+            }
+        }
+        indexes.push(idx);
+        Ok(())
+    }
+
+    /// Names of indexed columns.
+    pub fn indexed_columns(&self) -> Vec<String> {
+        self.indexes
+            .read()
+            .iter()
+            .map(|i| i.column().to_string())
+            .collect()
+    }
+
+    /// Reads the row with `key` visible at `ts`.
+    pub fn get_at(&self, key: &Key, ts: Ts) -> Option<Row> {
+        self.rows
+            .read()
+            .get(key)
+            .and_then(|chain| chain.visible_at(ts))
+            .cloned()
+    }
+
+    /// Scans rows visible at `ts` matching `pred`. Uses a secondary index
+    /// when the predicate pins an indexed column to a single value.
+    pub fn scan_at(&self, pred: &Predicate, ts: Ts) -> DbResult<Vec<(Key, Row)>> {
+        let rows = self.rows.read();
+        let mut out = Vec::new();
+
+        // Try an index lookup first.
+        let candidates: Option<Vec<Key>> = {
+            let indexes = self.indexes.read();
+            indexes.iter().find_map(|idx| {
+                pred.equality_on(idx.column())
+                    .map(|value| idx.lookup(value))
+            })
+        };
+
+        match candidates {
+            Some(keys) => {
+                for key in keys {
+                    if let Some(chain) = rows.get(&key) {
+                        if let Some(row) = chain.visible_at(ts) {
+                            if pred.matches(&self.schema, row)? {
+                                out.push((key.clone(), row.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for (key, chain) in rows.iter() {
+                    if let Some(row) = chain.visible_at(ts) {
+                        if pred.matches(&self.schema, row)? {
+                            out.push((key.clone(), row.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        // Deterministic order for traces and tests.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// True if any version of `key` was created or superseded after `ts`.
+    pub fn key_modified_after(&self, key: &Key, ts: Ts) -> bool {
+        self.rows
+            .read()
+            .get(key)
+            .map(|chain| chain.modified_after(ts))
+            .unwrap_or(false)
+    }
+
+    /// Returns keys whose chains changed after `ts` together with the rows
+    /// involved (both old rows that were superseded and new rows created),
+    /// used for serializable predicate (phantom) validation.
+    pub fn rows_touched_after(&self, ts: Ts) -> Vec<(Key, Row)> {
+        let rows = self.rows.read();
+        let mut out = Vec::new();
+        for (key, chain) in rows.iter() {
+            for v in chain.versions() {
+                if v.begin_ts > ts || (v.end_ts != crate::mvcc::TS_LIVE && v.end_ts > ts) {
+                    out.push((key.clone(), v.row.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether a live (visible at `ts`) row exists for `key`.
+    pub fn exists_at(&self, key: &Key, ts: Ts) -> bool {
+        self.get_at(key, ts).is_some()
+    }
+
+    /// Installs a new version for `key` at `commit_ts`; updates indexes.
+    /// Returns the before image, if any. Only called under the commit lock.
+    pub fn install(&self, key: &Key, row: Row, commit_ts: Ts) -> Option<Row> {
+        let mut rows = self.rows.write();
+        let chain = rows.entry(key.clone()).or_default();
+        let before = chain.install(commit_ts, row.clone());
+        drop(rows);
+        let mut indexes = self.indexes.write();
+        for idx in indexes.iter_mut() {
+            idx.insert(key, &row);
+        }
+        before
+    }
+
+    /// Deletes the live version of `key` at `commit_ts`. Returns the
+    /// deleted row, if any. Only called under the commit lock.
+    pub fn remove(&self, key: &Key, commit_ts: Ts) -> Option<Row> {
+        let mut rows = self.rows.write();
+        rows.get_mut(key).and_then(|chain| chain.remove(commit_ts))
+    }
+
+    /// Number of live rows at `ts`.
+    pub fn count_at(&self, ts: Ts) -> usize {
+        self.rows
+            .read()
+            .values()
+            .filter(|c| c.visible_at(ts).is_some())
+            .count()
+    }
+
+    /// Total stored versions (live + historical), for stats/GC decisions.
+    pub fn version_count(&self) -> usize {
+        self.rows.read().values().map(|c| c.len()).sum()
+    }
+
+    /// Garbage collects versions not visible to any reader at or after
+    /// `ts`. Returns how many versions were dropped.
+    pub fn gc_before(&self, ts: Ts) -> usize {
+        let mut rows = self.rows.write();
+        let mut dropped = 0;
+        let mut dead_keys = Vec::new();
+        for (key, chain) in rows.iter_mut() {
+            dropped += chain.gc_before(ts);
+            if chain.is_empty() {
+                dead_keys.push(key.clone());
+            }
+        }
+        for key in &dead_keys {
+            rows.remove(key);
+        }
+        drop(rows);
+        if !dead_keys.is_empty() {
+            let mut indexes = self.indexes.write();
+            for idx in indexes.iter_mut() {
+                for key in &dead_keys {
+                    idx.purge_key(key);
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Snapshot of live rows at `ts`, used when forking a database.
+    pub fn materialize_at(&self, ts: Ts) -> Vec<(Key, Row)> {
+        let rows = self.rows.read();
+        let mut out: Vec<(Key, Row)> = rows
+            .iter()
+            .filter_map(|(k, c)| c.visible_at(ts).map(|r| (k.clone(), r.clone())))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::{DataType, Value};
+
+    fn subs_table() -> TableStore {
+        let schema = Schema::builder()
+            .column("user_id", DataType::Text)
+            .column("forum", DataType::Text)
+            .primary_key(&["user_id", "forum"])
+            .build()
+            .unwrap();
+        TableStore::new("forum_sub", schema)
+    }
+
+    fn key(u: &str, f: &str) -> Key {
+        Key::new(vec![Value::Text(u.into()), Value::Text(f.into())])
+    }
+
+    #[test]
+    fn install_get_scan() {
+        let t = subs_table();
+        t.install(&key("U1", "F1"), row!["U1", "F1"], 1);
+        t.install(&key("U1", "F2"), row!["U1", "F2"], 2);
+
+        assert_eq!(t.get_at(&key("U1", "F1"), 1), Some(row!["U1", "F1"]));
+        assert_eq!(t.get_at(&key("U1", "F2"), 1), None);
+        assert_eq!(t.get_at(&key("U1", "F2"), 2), Some(row!["U1", "F2"]));
+
+        let hits = t.scan_at(&Predicate::eq("user_id", "U1"), 2).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(t.count_at(2), 2);
+        assert_eq!(t.count_at(1), 1);
+    }
+
+    #[test]
+    fn index_accelerated_scan_returns_same_results() {
+        let t = subs_table();
+        for i in 0..50 {
+            let u = format!("U{i}");
+            t.install(&key(&u, "F2"), row![u.clone(), "F2"], i + 1);
+        }
+        let no_index = t.scan_at(&Predicate::eq("forum", "F2"), 100).unwrap();
+        t.create_index("forum").unwrap();
+        let with_index = t.scan_at(&Predicate::eq("forum", "F2"), 100).unwrap();
+        assert_eq!(no_index, with_index);
+        assert_eq!(with_index.len(), 50);
+        assert_eq!(t.indexed_columns(), vec!["forum".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let t = subs_table();
+        t.create_index("forum").unwrap();
+        assert!(t.create_index("forum").is_err());
+        assert!(t.create_index("no_such_column").is_err());
+    }
+
+    #[test]
+    fn remove_and_time_travel() {
+        let t = subs_table();
+        let k = key("U1", "F2");
+        t.install(&k, row!["U1", "F2"], 3);
+        let before = t.remove(&k, 7);
+        assert_eq!(before, Some(row!["U1", "F2"]));
+        assert_eq!(t.get_at(&k, 6), Some(row!["U1", "F2"]));
+        assert_eq!(t.get_at(&k, 7), None);
+        assert!(t.key_modified_after(&k, 5));
+        assert!(!t.key_modified_after(&k, 7));
+    }
+
+    #[test]
+    fn rows_touched_after_reports_new_and_superseded_versions() {
+        let t = subs_table();
+        let k = key("U1", "F2");
+        t.install(&k, row!["U1", "F2"], 2);
+        assert_eq!(t.rows_touched_after(5).len(), 0);
+        t.install(&k, row!["U1", "F2-renamed"], 6);
+        let touched = t.rows_touched_after(5);
+        // The superseded version (ended at 6) and the new one (began at 6).
+        assert_eq!(touched.len(), 2);
+    }
+
+    #[test]
+    fn gc_drops_history_and_dead_keys() {
+        let t = subs_table();
+        let k = key("U1", "F1");
+        t.install(&k, row!["U1", "F1"], 1);
+        t.install(&k, row!["U1", "F1b"], 2);
+        t.remove(&k, 3);
+        assert_eq!(t.version_count(), 2);
+        let dropped = t.gc_before(10);
+        assert_eq!(dropped, 2);
+        assert_eq!(t.version_count(), 0);
+        assert_eq!(t.count_at(10), 0);
+    }
+
+    #[test]
+    fn materialize_at_reflects_point_in_time() {
+        let t = subs_table();
+        t.install(&key("U1", "F1"), row!["U1", "F1"], 1);
+        t.install(&key("U2", "F1"), row!["U2", "F1"], 5);
+        let early = t.materialize_at(2);
+        assert_eq!(early.len(), 1);
+        let late = t.materialize_at(5);
+        assert_eq!(late.len(), 2);
+    }
+}

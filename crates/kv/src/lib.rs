@@ -1,0 +1,96 @@
+//! # trod-kv
+//!
+//! A versioned key-value store and a cross-data-store transaction manager,
+//! built for the "Handling Multiple Data Stores" research direction of
+//! *Transactions Make Debugging Easy* (CIDR 2023, §5).
+//!
+//! Modern applications combine a relational DBMS with non-relational
+//! stores (Redis-style key-value stores, document stores, …). TROD's
+//! principles require that *all* shared state be accessed through ACID
+//! transactions with aligned transaction logs; the paper points to
+//! cross-data-store transaction managers (Cherry Garcia, polystore
+//! isolation) as the way to get there. This crate provides both halves of
+//! that substrate:
+//!
+//! * [`KvStore`] — a multi-version key-value store with namespaces,
+//!   tombstoned deletes, as-of reads and optimistic single-store
+//!   transactions ([`KvTransaction`]). On its own it models a
+//!   non-relational store that lacks multi-key transactions.
+//! * [`CrossStore`] — a transaction manager spanning a
+//!   [`trod_db::Database`] and a [`KvStore`]. Every [`CrossTxn`] commits
+//!   atomically across both stores, versions are stamped with a single
+//!   commit timestamp, and an [`AlignedCommit`] log records the unified
+//!   history. With a [`trod_trace::Tracer`] attached, each cross-store
+//!   transaction emits one provenance record covering reads and writes in
+//!   *both* stores, so the existing TROD provenance database, replay and
+//!   declarative debugging work unchanged for polyglot applications.
+//!
+//! ```
+//! use trod_db::{Database, DataType, Schema, row};
+//! use trod_kv::{CrossStore, KvStore};
+//!
+//! let db = Database::new();
+//! db.create_table(
+//!     "orders",
+//!     Schema::builder()
+//!         .column("id", DataType::Int)
+//!         .column("item", DataType::Text)
+//!         .primary_key(&["id"])
+//!         .build()
+//!         .unwrap(),
+//! )
+//! .unwrap();
+//! let kv = KvStore::new();
+//! kv.create_namespace("sessions").unwrap();
+//!
+//! let cross = CrossStore::new(db, kv);
+//! let mut txn = cross.begin();
+//! txn.insert("orders", row![1i64, "widget"]).unwrap();
+//! txn.kv_put("sessions", "user-1", "cart:widget").unwrap();
+//! let commit = txn.commit().unwrap();
+//! assert!(commit.commit_ts > 0);
+//! assert_eq!(cross.aligned_log().len(), 1);
+//! ```
+
+pub mod cross;
+pub mod store;
+pub mod txn;
+
+pub use cross::{
+    AlignedCommit, CrossCommit, CrossError, CrossResult, CrossStore, CrossTxn,
+    CROSS_COMMITS_TABLE,
+};
+pub use store::{KvError, KvResult, KvStore, KvWrite, NamespaceStats};
+pub use txn::KvTransaction;
+
+/// Event-table schema used when registering a KV namespace with the TROD
+/// provenance database: the namespace's rows are exposed as
+/// `(kv_key, kv_value)` pairs, so the paper's per-table provenance layout
+/// (Table 2) applies to key-value data unchanged.
+pub fn kv_provenance_schema() -> trod_db::Schema {
+    trod_db::Schema::builder()
+        .column("kv_key", trod_db::DataType::Text)
+        .nullable("kv_value", trod_db::DataType::Text)
+        .primary_key(&["kv_key"])
+        .build()
+        .expect("static schema must be valid")
+}
+
+/// The virtual "table" name under which a KV namespace appears in
+/// provenance traces (e.g. `kv:sessions`).
+pub fn kv_table_name(namespace: &str) -> String {
+    format!("kv:{namespace}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_schema_and_table_name() {
+        let schema = kv_provenance_schema();
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(schema.column_names(), vec!["kv_key", "kv_value"]);
+        assert_eq!(kv_table_name("sessions"), "kv:sessions");
+    }
+}

@@ -1,0 +1,403 @@
+//! The multi-version key-value store.
+//!
+//! [`KvStore`] models the non-relational stores (Redis, document stores)
+//! that the paper's §5 wants to bring under TROD's principles. It keeps a
+//! full version chain per key — value plus the commit timestamp that
+//! installed it, with deletions as tombstones — which is what gives the
+//! cross-store transaction manager snapshot reads and what gives TROD
+//! time-travel over key-value data.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use trod_db::Ts;
+
+/// Errors raised by the key-value store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The namespace does not exist.
+    UnknownNamespace(String),
+    /// The namespace already exists.
+    NamespaceExists(String),
+    /// Optimistic validation failed: a key read or written by the
+    /// transaction changed after its snapshot.
+    Conflict { namespace: String, key: String },
+    /// A commit timestamp older than an already-applied version was used.
+    StaleCommitTimestamp { given: Ts, latest: Ts },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::UnknownNamespace(ns) => write!(f, "unknown namespace `{ns}`"),
+            KvError::NamespaceExists(ns) => write!(f, "namespace `{ns}` already exists"),
+            KvError::Conflict { namespace, key } => {
+                write!(f, "conflict on `{namespace}/{key}`: key changed since snapshot")
+            }
+            KvError::StaleCommitTimestamp { given, latest } => write!(
+                f,
+                "commit timestamp {given} is not newer than the latest applied version {latest}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Convenient result alias.
+pub type KvResult<T> = Result<T, KvError>;
+
+/// One buffered write destined for a namespace; `value: None` is a delete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvWrite {
+    pub namespace: String,
+    pub key: String,
+    pub value: Option<String>,
+}
+
+impl KvWrite {
+    /// A put.
+    pub fn put(namespace: &str, key: &str, value: &str) -> Self {
+        KvWrite {
+            namespace: namespace.to_string(),
+            key: key.to_string(),
+            value: Some(value.to_string()),
+        }
+    }
+
+    /// A delete (tombstone).
+    pub fn delete(namespace: &str, key: &str) -> Self {
+        KvWrite {
+            namespace: namespace.to_string(),
+            key: key.to_string(),
+            value: None,
+        }
+    }
+}
+
+/// Size statistics for one namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NamespaceStats {
+    /// Keys with a live (non-tombstone) latest version.
+    pub live_keys: usize,
+    /// Total stored versions including tombstones.
+    pub versions: usize,
+}
+
+#[derive(Debug, Clone)]
+struct KvVersion {
+    ts: Ts,
+    value: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct KvInner {
+    /// namespace → key → version chain ordered by ascending timestamp.
+    namespaces: BTreeMap<String, BTreeMap<String, Vec<KvVersion>>>,
+    /// Largest commit timestamp applied so far.
+    last_commit_ts: Ts,
+}
+
+/// A multi-version, namespaced key-value store.
+///
+/// The store itself offers only per-batch atomic application
+/// ([`KvStore::apply`]); multi-key transactional access comes from
+/// [`crate::KvTransaction`] (single-store) or [`crate::CrossStore`]
+/// (aligned with the relational database).
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    inner: Arc<RwLock<KvInner>>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Creates a namespace (bucket / collection).
+    pub fn create_namespace(&self, name: &str) -> KvResult<()> {
+        let mut inner = self.inner.write();
+        if inner.namespaces.contains_key(name) {
+            return Err(KvError::NamespaceExists(name.to_string()));
+        }
+        inner.namespaces.insert(name.to_string(), BTreeMap::new());
+        Ok(())
+    }
+
+    /// Names of all namespaces.
+    pub fn namespaces(&self) -> Vec<String> {
+        self.inner.read().namespaces.keys().cloned().collect()
+    }
+
+    /// Whether a namespace exists.
+    pub fn has_namespace(&self, name: &str) -> bool {
+        self.inner.read().namespaces.contains_key(name)
+    }
+
+    /// The largest commit timestamp applied so far.
+    pub fn current_ts(&self) -> Ts {
+        self.inner.read().last_commit_ts
+    }
+
+    /// The latest value of a key, if any.
+    pub fn get_latest(&self, namespace: &str, key: &str) -> KvResult<Option<String>> {
+        self.get_as_of(namespace, key, Ts::MAX)
+    }
+
+    /// The value of a key as of a commit timestamp (inclusive).
+    pub fn get_as_of(&self, namespace: &str, key: &str, ts: Ts) -> KvResult<Option<String>> {
+        let inner = self.inner.read();
+        let ns = inner
+            .namespaces
+            .get(namespace)
+            .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
+        Ok(ns
+            .get(key)
+            .and_then(|versions| versions.iter().rev().find(|v| v.ts <= ts))
+            .and_then(|v| v.value.clone()))
+    }
+
+    /// All live `(key, value)` pairs in a namespace whose key starts with
+    /// `prefix`, as of a commit timestamp.
+    pub fn scan_prefix_as_of(
+        &self,
+        namespace: &str,
+        prefix: &str,
+        ts: Ts,
+    ) -> KvResult<Vec<(String, String)>> {
+        let inner = self.inner.read();
+        let ns = inner
+            .namespaces
+            .get(namespace)
+            .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
+        let mut out = Vec::new();
+        for (key, versions) in ns.range(prefix.to_string()..) {
+            if !key.starts_with(prefix) {
+                break;
+            }
+            if let Some(value) = versions.iter().rev().find(|v| v.ts <= ts).and_then(|v| v.value.clone())
+            {
+                out.push((key.clone(), value));
+            }
+        }
+        Ok(out)
+    }
+
+    /// All live `(key, value)` pairs in a namespace at the latest state.
+    pub fn scan_prefix(&self, namespace: &str, prefix: &str) -> KvResult<Vec<(String, String)>> {
+        self.scan_prefix_as_of(namespace, prefix, Ts::MAX)
+    }
+
+    /// The commit timestamp of the latest version of a key (0 if the key
+    /// was never written). Used for optimistic validation.
+    pub fn version_of(&self, namespace: &str, key: &str) -> KvResult<Ts> {
+        let inner = self.inner.read();
+        let ns = inner
+            .namespaces
+            .get(namespace)
+            .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
+        Ok(ns
+            .get(key)
+            .and_then(|versions| versions.last())
+            .map(|v| v.ts)
+            .unwrap_or(0))
+    }
+
+    /// Atomically applies a batch of writes, stamping every new version
+    /// with `commit_ts`. The timestamp must be strictly newer than every
+    /// previously applied version — this is the alignment invariant the
+    /// cross-store manager relies on.
+    pub fn apply(&self, writes: &[KvWrite], commit_ts: Ts) -> KvResult<()> {
+        let mut inner = self.inner.write();
+        if commit_ts <= inner.last_commit_ts {
+            return Err(KvError::StaleCommitTimestamp {
+                given: commit_ts,
+                latest: inner.last_commit_ts,
+            });
+        }
+        // Validate namespaces first so the batch is all-or-nothing.
+        for write in writes {
+            if !inner.namespaces.contains_key(&write.namespace) {
+                return Err(KvError::UnknownNamespace(write.namespace.clone()));
+            }
+        }
+        for write in writes {
+            let ns = inner
+                .namespaces
+                .get_mut(&write.namespace)
+                .expect("namespace validated above");
+            ns.entry(write.key.clone()).or_default().push(KvVersion {
+                ts: commit_ts,
+                value: write.value.clone(),
+            });
+        }
+        inner.last_commit_ts = commit_ts;
+        Ok(())
+    }
+
+    /// Allocates the next standalone commit timestamp (used by
+    /// [`crate::KvTransaction`] when the store is not coordinated by a
+    /// cross-store manager).
+    pub(crate) fn next_standalone_ts(&self) -> Ts {
+        self.inner.read().last_commit_ts + 1
+    }
+
+    /// Statistics for one namespace.
+    pub fn namespace_stats(&self, namespace: &str) -> KvResult<NamespaceStats> {
+        let inner = self.inner.read();
+        let ns = inner
+            .namespaces
+            .get(namespace)
+            .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
+        let mut stats = NamespaceStats::default();
+        for versions in ns.values() {
+            stats.versions += versions.len();
+            if versions.last().map(|v| v.value.is_some()).unwrap_or(false) {
+                stats.live_keys += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Drops versions strictly older than `ts` that are shadowed by a
+    /// newer version (simple garbage collection). Returns the number of
+    /// versions removed.
+    pub fn gc_before(&self, ts: Ts) -> usize {
+        let mut inner = self.inner.write();
+        let mut removed = 0;
+        for ns in inner.namespaces.values_mut() {
+            for versions in ns.values_mut() {
+                if versions.len() <= 1 {
+                    continue;
+                }
+                // Keep the newest version at or before `ts` (it is still
+                // visible to as-of reads at `ts`), plus everything after.
+                let keep_from = versions
+                    .iter()
+                    .rposition(|v| v.ts <= ts)
+                    .unwrap_or(0);
+                removed += keep_from;
+                versions.drain(..keep_from);
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KvStore {
+        let kv = KvStore::new();
+        kv.create_namespace("sessions").unwrap();
+        kv
+    }
+
+    #[test]
+    fn namespace_management() {
+        let kv = store();
+        assert!(kv.has_namespace("sessions"));
+        assert_eq!(kv.namespaces(), vec!["sessions".to_string()]);
+        assert_eq!(
+            kv.create_namespace("sessions"),
+            Err(KvError::NamespaceExists("sessions".into()))
+        );
+        assert_eq!(
+            kv.get_latest("missing", "k"),
+            Err(KvError::UnknownNamespace("missing".into()))
+        );
+    }
+
+    #[test]
+    fn versions_and_as_of_reads() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "u1", "cart:a")], 10).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "u1", "cart:b")], 20).unwrap();
+        kv.apply(&[KvWrite::delete("sessions", "u1")], 30).unwrap();
+
+        assert_eq!(kv.get_latest("sessions", "u1").unwrap(), None);
+        assert_eq!(kv.get_as_of("sessions", "u1", 10).unwrap(), Some("cart:a".into()));
+        assert_eq!(kv.get_as_of("sessions", "u1", 25).unwrap(), Some("cart:b".into()));
+        assert_eq!(kv.get_as_of("sessions", "u1", 5).unwrap(), None);
+        assert_eq!(kv.version_of("sessions", "u1").unwrap(), 30);
+        assert_eq!(kv.version_of("sessions", "nope").unwrap(), 0);
+        assert_eq!(kv.current_ts(), 30);
+    }
+
+    #[test]
+    fn prefix_scans_respect_snapshots() {
+        let kv = store();
+        kv.apply(
+            &[
+                KvWrite::put("sessions", "user:1", "a"),
+                KvWrite::put("sessions", "user:2", "b"),
+                KvWrite::put("sessions", "admin:1", "c"),
+            ],
+            10,
+        )
+        .unwrap();
+        kv.apply(&[KvWrite::put("sessions", "user:3", "d")], 20).unwrap();
+
+        let at_10 = kv.scan_prefix_as_of("sessions", "user:", 10).unwrap();
+        assert_eq!(at_10.len(), 2);
+        let latest = kv.scan_prefix("sessions", "user:").unwrap();
+        assert_eq!(latest.len(), 3);
+        let admins = kv.scan_prefix("sessions", "admin:").unwrap();
+        assert_eq!(admins, vec![("admin:1".to_string(), "c".to_string())]);
+    }
+
+    #[test]
+    fn apply_rejects_stale_timestamps_and_unknown_namespaces() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "k", "v")], 10).unwrap();
+        assert_eq!(
+            kv.apply(&[KvWrite::put("sessions", "k", "v2")], 10),
+            Err(KvError::StaleCommitTimestamp { given: 10, latest: 10 })
+        );
+        assert_eq!(
+            kv.apply(&[KvWrite::put("nope", "k", "v")], 20),
+            Err(KvError::UnknownNamespace("nope".into()))
+        );
+        // The failed batches changed nothing.
+        assert_eq!(kv.get_latest("sessions", "k").unwrap(), Some("v".into()));
+        assert_eq!(kv.current_ts(), 10);
+    }
+
+    #[test]
+    fn stats_and_gc() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "a", "1")], 10).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "a", "2")], 20).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "b", "3")], 30).unwrap();
+        kv.apply(&[KvWrite::delete("sessions", "b")], 40).unwrap();
+
+        let stats = kv.namespace_stats("sessions").unwrap();
+        assert_eq!(stats.live_keys, 1);
+        assert_eq!(stats.versions, 4);
+
+        let removed = kv.gc_before(40);
+        assert_eq!(removed, 2, "one shadowed version of `a`, one of `b`");
+        // As-of reads at the GC horizon still work.
+        assert_eq!(kv.get_as_of("sessions", "a", 40).unwrap(), Some("2".into()));
+        assert_eq!(kv.get_latest("sessions", "b").unwrap(), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(KvError::UnknownNamespace("x".into()).to_string().contains("x"));
+        assert!(KvError::Conflict {
+            namespace: "s".into(),
+            key: "k".into()
+        }
+        .to_string()
+        .contains("s/k"));
+        assert!(KvError::StaleCommitTimestamp { given: 1, latest: 2 }
+            .to_string()
+            .contains("not newer"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Optimistic single-store transactions over [`KvStore`].
+//!
+//! A [`KvTransaction`] provides snapshot reads and buffered writes over a
+//! single key-value store, validated optimistically at commit: if any key
+//! the transaction read or wrote gained a newer version after the
+//! transaction's snapshot, the commit fails with
+//! [`KvError::Conflict`](crate::KvError::Conflict).
+//!
+//! This is the "data store that recently added ACID transactions" of the
+//! paper's §3.2 trend (FoundationDB, MongoDB, …). Applications that
+//! combine it with a relational database should use
+//! [`CrossStore`](crate::CrossStore) instead, which additionally aligns
+//! commit timestamps and transaction logs across the two stores.
+
+use std::collections::BTreeMap;
+
+use trod_db::Ts;
+
+use crate::store::{KvError, KvResult, KvStore, KvWrite};
+
+/// An optimistic transaction over one [`KvStore`].
+#[derive(Debug)]
+pub struct KvTransaction {
+    store: KvStore,
+    snapshot_ts: Ts,
+    /// (namespace, key) → version observed at first read (0 = absent).
+    read_versions: BTreeMap<(String, String), Ts>,
+    /// (namespace, key) → buffered value (None = delete).
+    writes: BTreeMap<(String, String), Option<String>>,
+    finished: bool,
+}
+
+impl KvTransaction {
+    /// Begins a transaction whose reads observe the store as of now.
+    pub fn begin(store: &KvStore) -> Self {
+        KvTransaction {
+            snapshot_ts: store.current_ts(),
+            store: store.clone(),
+            read_versions: BTreeMap::new(),
+            writes: BTreeMap::new(),
+            finished: false,
+        }
+    }
+
+    /// The snapshot timestamp this transaction reads at.
+    pub fn snapshot_ts(&self) -> Ts {
+        self.snapshot_ts
+    }
+
+    /// Reads a key: own buffered writes first, then the snapshot.
+    pub fn get(&mut self, namespace: &str, key: &str) -> KvResult<Option<String>> {
+        let id = (namespace.to_string(), key.to_string());
+        if let Some(buffered) = self.writes.get(&id) {
+            return Ok(buffered.clone());
+        }
+        let value = self.store.get_as_of(namespace, key, self.snapshot_ts)?;
+        let version = self.store.version_of(namespace, key)?.min(self.snapshot_ts);
+        self.read_versions.entry(id).or_insert(version);
+        Ok(value)
+    }
+
+    /// Buffers a put.
+    pub fn put(&mut self, namespace: &str, key: &str, value: &str) -> KvResult<()> {
+        if !self.store.has_namespace(namespace) {
+            return Err(KvError::UnknownNamespace(namespace.to_string()));
+        }
+        self.writes.insert(
+            (namespace.to_string(), key.to_string()),
+            Some(value.to_string()),
+        );
+        Ok(())
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, namespace: &str, key: &str) -> KvResult<()> {
+        if !self.store.has_namespace(namespace) {
+            return Err(KvError::UnknownNamespace(namespace.to_string()));
+        }
+        self.writes.insert((namespace.to_string(), key.to_string()), None);
+        Ok(())
+    }
+
+    /// The buffered writes in deterministic (namespace, key) order.
+    pub fn pending_writes(&self) -> Vec<KvWrite> {
+        self.writes
+            .iter()
+            .map(|((namespace, key), value)| KvWrite {
+                namespace: namespace.clone(),
+                key: key.clone(),
+                value: value.clone(),
+            })
+            .collect()
+    }
+
+    /// Validates reads and writes against the current store state; this is
+    /// the "prepare" half used by the cross-store manager.
+    pub(crate) fn validate(&self) -> KvResult<()> {
+        for ((namespace, key), observed) in &self.read_versions {
+            let latest = self.store.version_of(namespace, key)?;
+            if latest > self.snapshot_ts && latest != *observed {
+                return Err(KvError::Conflict {
+                    namespace: namespace.clone(),
+                    key: key.clone(),
+                });
+            }
+        }
+        for (namespace, key) in self.writes.keys() {
+            let latest = self.store.version_of(namespace, key)?;
+            if latest > self.snapshot_ts {
+                return Err(KvError::Conflict {
+                    namespace: namespace.clone(),
+                    key: key.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits: validates, then applies the buffered writes at the next
+    /// standalone commit timestamp. Returns the commit timestamp (equal to
+    /// the snapshot for read-only transactions).
+    pub fn commit(mut self) -> KvResult<Ts> {
+        self.finished = true;
+        self.validate()?;
+        if self.writes.is_empty() {
+            return Ok(self.snapshot_ts);
+        }
+        let commit_ts = self.store.next_standalone_ts();
+        let writes = self.pending_writes();
+        self.store.apply(&writes, commit_ts)?;
+        Ok(commit_ts)
+    }
+
+    /// Discards the transaction.
+    pub fn abort(mut self) {
+        self.finished = true;
+        self.writes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KvStore {
+        let kv = KvStore::new();
+        kv.create_namespace("sessions").unwrap();
+        kv
+    }
+
+    #[test]
+    fn read_your_own_writes_and_commit() {
+        let kv = store();
+        let mut txn = KvTransaction::begin(&kv);
+        assert_eq!(txn.get("sessions", "u1").unwrap(), None);
+        txn.put("sessions", "u1", "cart:a").unwrap();
+        assert_eq!(txn.get("sessions", "u1").unwrap(), Some("cart:a".into()));
+        let ts = txn.commit().unwrap();
+        assert!(ts > 0);
+        assert_eq!(kv.get_latest("sessions", "u1").unwrap(), Some("cart:a".into()));
+    }
+
+    #[test]
+    fn snapshot_isolation_within_a_transaction() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "u1", "old")], 5).unwrap();
+        let mut txn = KvTransaction::begin(&kv);
+        assert_eq!(txn.get("sessions", "u1").unwrap(), Some("old".into()));
+        // A concurrent writer commits.
+        kv.apply(&[KvWrite::put("sessions", "u1", "new")], 6).unwrap();
+        // The transaction still sees its snapshot.
+        assert_eq!(txn.get("sessions", "u1").unwrap(), Some("old".into()));
+        // But it cannot commit a write over the changed key.
+        txn.put("sessions", "u1", "mine").unwrap();
+        assert!(matches!(txn.commit(), Err(KvError::Conflict { .. })));
+        assert_eq!(kv.get_latest("sessions", "u1").unwrap(), Some("new".into()));
+    }
+
+    #[test]
+    fn read_validation_detects_changed_keys() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "u1", "old")], 5).unwrap();
+        let mut txn = KvTransaction::begin(&kv);
+        let _ = txn.get("sessions", "u1").unwrap();
+        kv.apply(&[KvWrite::put("sessions", "u1", "new")], 6).unwrap();
+        // Write to a *different* key: still a conflict, because the read
+        // set is validated (serializable-style OCC).
+        txn.put("sessions", "u2", "x").unwrap();
+        assert!(matches!(txn.commit(), Err(KvError::Conflict { .. })));
+    }
+
+    #[test]
+    fn read_only_and_aborted_transactions_change_nothing() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "u1", "v")], 5).unwrap();
+        let mut read_only = KvTransaction::begin(&kv);
+        assert_eq!(read_only.get("sessions", "u1").unwrap(), Some("v".into()));
+        assert_eq!(read_only.commit().unwrap(), 5, "read-only commits at its snapshot");
+
+        let mut txn = KvTransaction::begin(&kv);
+        txn.put("sessions", "u1", "discarded").unwrap();
+        txn.abort();
+        assert_eq!(kv.get_latest("sessions", "u1").unwrap(), Some("v".into()));
+        assert_eq!(kv.current_ts(), 5);
+    }
+
+    #[test]
+    fn deletes_and_unknown_namespaces() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "u1", "v")], 5).unwrap();
+        let mut txn = KvTransaction::begin(&kv);
+        txn.delete("sessions", "u1").unwrap();
+        assert_eq!(txn.get("sessions", "u1").unwrap(), None);
+        assert!(txn.put("nope", "k", "v").is_err());
+        txn.commit().unwrap();
+        assert_eq!(kv.get_latest("sessions", "u1").unwrap(), None);
+    }
+
+    #[test]
+    fn pending_writes_are_deterministic() {
+        let kv = store();
+        let mut txn = KvTransaction::begin(&kv);
+        txn.put("sessions", "b", "2").unwrap();
+        txn.put("sessions", "a", "1").unwrap();
+        let pending = txn.pending_writes();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].key, "a");
+        assert_eq!(pending[1].key, "b");
+        txn.abort();
+    }
+}

@@ -1,0 +1,28 @@
+//! # trod-provenance
+//!
+//! The TROD **provenance database** (paper Figure 2, §3.4): an analytical
+//! store holding always-on tracing output in a structured, queryable form.
+//!
+//! * The [`ProvenanceStore`] owns its own [`trod_db::Database`] with the
+//!   fixed tables `Executions` (the paper's Table 1), `Requests` and
+//!   `ExternalCalls`, plus one `<X>Events` table per registered
+//!   application table (the paper's Table 2, e.g. `ForumEvents`).
+//! * It implements [`trod_trace::TraceSink`], so a
+//!   [`trod_trace::BackgroundFlusher`] can move events from the in-memory
+//!   trace buffer into it off the request path.
+//! * Developers (and the TROD debugger core) query it with SQL through
+//!   [`ProvenanceStore::query`]; the replay and retroactive engines
+//!   additionally use the detailed in-memory archive accessors
+//!   ([`ProvenanceStore::txns_for_request`] etc.), which keep full CDC
+//!   before/after images.
+
+pub mod redaction;
+pub mod schema;
+pub mod store;
+
+pub use schema::{
+    default_event_table_name, event_table_schema, executions_schema, external_calls_schema,
+    requests_schema, EXECUTIONS_TABLE, EXTERNAL_CALLS_TABLE, REQUESTS_TABLE,
+};
+pub use redaction::{RedactionReport, RetentionReport, REDACTED_MARKER};
+pub use store::{ProvenanceStats, ProvenanceStore, RequestRecord};

@@ -1,0 +1,162 @@
+//! Provenance table layouts.
+//!
+//! The provenance database mirrors the paper's §3.4 structure:
+//!
+//! * `Executions` — one row per traced transaction (the paper's Table 1,
+//!   there called the "Invocations"/transaction execution log).
+//! * `Requests` — one row per handler invocation (start/end, arguments,
+//!   output), giving the workflow structure of each request.
+//! * `ExternalCalls` — external-service call intents.
+//! * One `<X>Events` table per registered application table (the paper's
+//!   Table 2, e.g. `ForumEvents`), holding row-level read and write
+//!   provenance with the application table's own columns inlined.
+
+use trod_db::{Column, DataType, DbResult, Schema};
+
+/// Name of the transaction-execution log table.
+pub const EXECUTIONS_TABLE: &str = "Executions";
+/// Name of the handler-invocation table.
+pub const REQUESTS_TABLE: &str = "Requests";
+/// Name of the external-call table.
+pub const EXTERNAL_CALLS_TABLE: &str = "ExternalCalls";
+
+/// Schema of the `Executions` table (paper Table 1 plus the timestamps
+/// TROD needs internally for replay).
+pub fn executions_schema() -> Schema {
+    Schema::builder()
+        .column("TxnId", DataType::Int)
+        .column("Timestamp", DataType::Timestamp)
+        .column("HandlerName", DataType::Text)
+        .column("ReqId", DataType::Text)
+        .column("Metadata", DataType::Text)
+        .column("SnapshotTs", DataType::Int)
+        .column("CommitTs", DataType::Int)
+        .column("Committed", DataType::Bool)
+        .primary_key(&["TxnId"])
+        .build()
+        .expect("static schema must be valid")
+}
+
+/// Schema of the `Requests` table.
+pub fn requests_schema() -> Schema {
+    Schema::builder()
+        .column("ReqId", DataType::Text)
+        .column("HandlerName", DataType::Text)
+        .nullable("Parent", DataType::Text)
+        .column("Args", DataType::Text)
+        .nullable("Output", DataType::Text)
+        .nullable("Ok", DataType::Bool)
+        .column("StartTs", DataType::Timestamp)
+        .nullable("EndTs", DataType::Timestamp)
+        .primary_key(&["ReqId", "HandlerName", "StartTs"])
+        .build()
+        .expect("static schema must be valid")
+}
+
+/// Schema of the `ExternalCalls` table.
+pub fn external_calls_schema() -> Schema {
+    Schema::builder()
+        .column("EventId", DataType::Int)
+        .column("ReqId", DataType::Text)
+        .column("HandlerName", DataType::Text)
+        .column("Service", DataType::Text)
+        .column("Payload", DataType::Text)
+        .column("Timestamp", DataType::Timestamp)
+        .primary_key(&["EventId"])
+        .build()
+        .expect("static schema must be valid")
+}
+
+/// Builds the event-table schema for an application table: the fixed
+/// provenance columns followed by the application table's own columns
+/// (all made nullable, because read events that matched nothing carry
+/// NULLs — see the first two rows of the paper's Table 2).
+pub fn event_table_schema(app_schema: &Schema) -> DbResult<Schema> {
+    let mut columns = vec![
+        Column::new("EventId", DataType::Int),
+        Column::new("TxnId", DataType::Int),
+        Column::new("Type", DataType::Text),
+        Column::new("Query", DataType::Text),
+    ];
+    for col in app_schema.columns() {
+        // Application columns may collide with the fixed provenance
+        // columns (e.g. an app table with a `Type` column); prefix those.
+        let name = if columns.iter().any(|c| c.name.eq_ignore_ascii_case(&col.name)) {
+            format!("App_{}", col.name)
+        } else {
+            col.name.clone()
+        };
+        columns.push(Column::nullable(name, col.dtype));
+    }
+    Schema::new(columns, &["EventId"])
+}
+
+/// Derives the default event-table name for an application table:
+/// `forum_sub` → `ForumSubEvents`.
+pub fn default_event_table_name(app_table: &str) -> String {
+    let mut out = String::new();
+    for part in app_table.split(['_', '-']) {
+        let mut chars = part.chars();
+        if let Some(first) = chars.next() {
+            out.extend(first.to_uppercase());
+            out.push_str(chars.as_str());
+        }
+    }
+    out.push_str("Events");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_schemas_have_expected_columns() {
+        let e = executions_schema();
+        assert_eq!(e.primary_key().len(), 1);
+        assert!(e.column_index("HandlerName").is_some());
+        assert!(e.column_index("CommitTs").is_some());
+
+        let r = requests_schema();
+        assert_eq!(r.primary_key().len(), 3);
+        assert!(r.column_index("Output").is_some());
+
+        let x = external_calls_schema();
+        assert!(x.column_index("Service").is_some());
+    }
+
+    #[test]
+    fn event_table_schema_appends_app_columns_as_nullable() {
+        let app = Schema::builder()
+            .column("user_id", DataType::Text)
+            .column("forum", DataType::Text)
+            .primary_key(&["user_id", "forum"])
+            .build()
+            .unwrap();
+        let ev = event_table_schema(&app).unwrap();
+        assert_eq!(ev.arity(), 4 + 2);
+        let user_col = ev.column(ev.column_index("user_id").unwrap()).unwrap();
+        assert!(user_col.nullable);
+    }
+
+    #[test]
+    fn event_table_schema_renames_colliding_columns() {
+        let app = Schema::builder()
+            .column("id", DataType::Int)
+            .column("Type", DataType::Text)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let ev = event_table_schema(&app).unwrap();
+        assert!(ev.column_index("App_Type").is_some());
+        // The provenance `Type` column is still the third column.
+        assert_eq!(ev.column_index("Type"), Some(2));
+    }
+
+    #[test]
+    fn default_event_table_names() {
+        assert_eq!(default_event_table_name("forum_sub"), "ForumSubEvents");
+        assert_eq!(default_event_table_name("profiles"), "ProfilesEvents");
+        assert_eq!(default_event_table_name("site_link"), "SiteLinkEvents");
+    }
+}

@@ -1,0 +1,82 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+use trod_db::DbError;
+
+/// Errors produced while lexing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The SQL text could not be tokenized.
+    Lex { position: usize, message: String },
+    /// The token stream could not be parsed.
+    Parse { message: String },
+    /// A referenced table or column does not exist, or an expression is
+    /// not valid in its position.
+    Plan { message: String },
+    /// A runtime failure during execution (type errors, etc.).
+    Execution { message: String },
+    /// An underlying storage-engine error.
+    Storage(DbError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            QueryError::Parse { message } => write!(f, "parse error: {message}"),
+            QueryError::Plan { message } => write!(f, "planning error: {message}"),
+            QueryError::Execution { message } => write!(f, "execution error: {message}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<DbError> for QueryError {
+    fn from(e: DbError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+impl QueryError {
+    pub(crate) fn parse(message: impl Into<String>) -> Self {
+        QueryError::Parse {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn plan(message: impl Into<String>) -> Self {
+        QueryError::Plan {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn exec(message: impl Into<String>) -> Self {
+        QueryError::Execution {
+            message: message.into(),
+        }
+    }
+}
+
+/// Convenience alias.
+pub type QueryResultT<T> = Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = QueryError::Lex {
+            position: 4,
+            message: "bad char".into(),
+        };
+        assert!(e.to_string().contains("byte 4"));
+        let e = QueryError::from(DbError::NoSuchTable("x".into()));
+        assert!(e.to_string().contains("x"));
+    }
+}

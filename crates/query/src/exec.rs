@@ -1,0 +1,508 @@
+//! Query execution.
+//!
+//! The executor is intentionally simple — relations are vectors of rows —
+//! but it plans equi-joins as hash joins, which is what keeps the paper's
+//! declarative-debugging query (a join of `Executions` and a per-table
+//! event table on `TxnId`) fast enough to sweep to millions of provenance
+//! events in benchmark E2.
+
+use std::collections::HashMap;
+
+use trod_db::{Database, Predicate, Ts, Value};
+
+use crate::ast::{AggFunc, BinOp, Expr, SelectItem, SelectStmt, TableRef};
+use crate::error::{QueryError, QueryResultT};
+use crate::result::ResultSet;
+
+/// Options controlling execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Execute against the state as of this commit timestamp instead of
+    /// the latest committed state.
+    pub as_of: Option<Ts>,
+}
+
+/// One bound column of an intermediate relation.
+#[derive(Debug, Clone)]
+struct ColBinding {
+    /// The table binding (alias or table name) this column came from.
+    qualifier: String,
+    /// The column name.
+    name: String,
+}
+
+/// An intermediate relation during execution.
+#[derive(Debug, Clone)]
+struct Relation {
+    cols: Vec<ColBinding>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| {
+            c.name.eq_ignore_ascii_case(name)
+                && qualifier
+                    .map(|q| c.qualifier.eq_ignore_ascii_case(q))
+                    .unwrap_or(true)
+        })
+    }
+
+    /// True if the expression only references columns present in this
+    /// relation.
+    fn can_resolve(&self, expr: &Expr) -> bool {
+        match expr {
+            Expr::Column { qualifier, name } => {
+                self.resolve(qualifier.as_deref(), name).is_some()
+            }
+            Expr::Literal(_) => true,
+            Expr::Compare { left, right, .. } => self.can_resolve(left) && self.can_resolve(right),
+            Expr::And(a, b) | Expr::Or(a, b) => self.can_resolve(a) && self.can_resolve(b),
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => self.can_resolve(e),
+            Expr::InList { expr, list } => {
+                self.can_resolve(expr) && list.iter().all(|e| self.can_resolve(e))
+            }
+        }
+    }
+}
+
+/// Executes a parsed statement against a database.
+pub fn execute(db: &Database, stmt: &SelectStmt, opts: QueryOptions) -> QueryResultT<ResultSet> {
+    let mut pending: Vec<Expr> = Vec::new();
+    if let Some(on) = &stmt.from_on {
+        pending.extend(on.conjuncts().into_iter().cloned());
+    }
+    for join in &stmt.joins {
+        pending.extend(join.on.conjuncts().into_iter().cloned());
+    }
+    if let Some(w) = &stmt.where_clause {
+        pending.extend(w.conjuncts().into_iter().cloned());
+    }
+
+    // Build the joined relation, table by table.
+    let tables = stmt.all_tables();
+    if tables.is_empty() {
+        return Err(QueryError::plan("query must reference at least one table"));
+    }
+    let mut rel = load_table(db, tables[0], opts)?;
+    apply_resolvable(&mut rel, &mut pending)?;
+    for table in &tables[1..] {
+        let right = load_table(db, table, opts)?;
+        rel = join_relations(rel, right, &mut pending)?;
+        apply_resolvable(&mut rel, &mut pending)?;
+    }
+    if let Some(unresolved) = pending.first() {
+        return Err(QueryError::plan(format!(
+            "expression references unknown column: {unresolved}"
+        )));
+    }
+
+    if stmt.is_aggregate() {
+        let mut out = aggregate(&rel, stmt)?;
+        sort_output(&mut out, stmt)?;
+        if let Some(limit) = stmt.limit {
+            out = ResultSet::new(
+                out.columns().to_vec(),
+                out.rows().iter().take(limit).cloned().collect(),
+            );
+        }
+        return Ok(out);
+    }
+
+    // ORDER BY evaluates against the full relation so it can reference
+    // columns that are not projected.
+    if !stmt.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = rel
+            .rows
+            .iter()
+            .map(|row| {
+                let keys = stmt
+                    .order_by
+                    .iter()
+                    .map(|k| eval(&rel, row, &k.expr))
+                    .collect::<QueryResultT<Vec<Value>>>()?;
+                Ok((keys, row.clone()))
+            })
+            .collect::<QueryResultT<_>>()?;
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, key) in stmt.order_by.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rel.rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+    if let Some(limit) = stmt.limit {
+        rel.rows.truncate(limit);
+    }
+    project(&rel, stmt)
+}
+
+fn load_table(db: &Database, table: &TableRef, opts: QueryOptions) -> QueryResultT<Relation> {
+    // Case-insensitive table resolution so the paper's literal queries
+    // work regardless of naming convention.
+    let actual = db
+        .table_names()
+        .into_iter()
+        .find(|t| t.eq_ignore_ascii_case(&table.table))
+        .ok_or_else(|| QueryError::plan(format!("no such table `{}`", table.table)))?;
+    let schema = db.schema_of(&actual)?;
+    let binding = table.binding_name().to_string();
+    let cols = schema
+        .columns()
+        .iter()
+        .map(|c| ColBinding {
+            qualifier: binding.clone(),
+            name: c.name.clone(),
+        })
+        .collect();
+    let scanned = match opts.as_of {
+        Some(ts) => db.scan_as_of(&actual, &Predicate::True, ts)?,
+        None => db.scan_latest(&actual, &Predicate::True)?,
+    };
+    let rows = scanned
+        .into_iter()
+        .map(|(_, r)| r.into_values())
+        .collect();
+    Ok(Relation { cols, rows })
+}
+
+/// Applies (and removes) every pending conjunct that the relation can
+/// already evaluate.
+fn apply_resolvable(rel: &mut Relation, pending: &mut Vec<Expr>) -> QueryResultT<()> {
+    let mut remaining = Vec::new();
+    for expr in pending.drain(..) {
+        if rel.can_resolve(&expr) {
+            let rows = std::mem::take(&mut rel.rows);
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if truthy(&eval(rel, &row, &expr)?) {
+                    kept.push(row);
+                }
+            }
+            rel.rows = kept;
+        } else {
+            remaining.push(expr);
+        }
+    }
+    *pending = remaining;
+    Ok(())
+}
+
+/// Joins two relations. Equi-join conjuncts connecting the two sides are
+/// removed from `pending` and used as hash-join keys; if none exist the
+/// join degenerates to a cross product (filtered later by `pending`).
+fn join_relations(
+    left: Relation,
+    right: Relation,
+    pending: &mut Vec<Expr>,
+) -> QueryResultT<Relation> {
+    let mut left_keys: Vec<usize> = Vec::new();
+    let mut right_keys: Vec<usize> = Vec::new();
+    let mut remaining = Vec::new();
+    for expr in pending.drain(..) {
+        if let Expr::Compare {
+            left: l,
+            op: BinOp::Eq,
+            right: r,
+        } = &expr
+        {
+            if let (Expr::Column { qualifier: ql, name: nl }, Expr::Column { qualifier: qr, name: nr }) =
+                (l.as_ref(), r.as_ref())
+            {
+                let l_in_left = left.resolve(ql.as_deref(), nl);
+                let r_in_right = right.resolve(qr.as_deref(), nr);
+                let l_in_right = right.resolve(ql.as_deref(), nl);
+                let r_in_left = left.resolve(qr.as_deref(), nr);
+                if let (Some(li), Some(ri)) = (l_in_left, r_in_right) {
+                    left_keys.push(li);
+                    right_keys.push(ri);
+                    continue;
+                }
+                if let (Some(li), Some(ri)) = (r_in_left, l_in_right) {
+                    left_keys.push(li);
+                    right_keys.push(ri);
+                    continue;
+                }
+            }
+        }
+        remaining.push(expr);
+    }
+    *pending = remaining;
+
+    let cols: Vec<ColBinding> = left.cols.iter().chain(right.cols.iter()).cloned().collect();
+    let mut rows = Vec::new();
+    if left_keys.is_empty() {
+        // Cross product.
+        for l in &left.rows {
+            for r in &right.rows {
+                let mut joined = l.clone();
+                joined.extend(r.iter().cloned());
+                rows.push(joined);
+            }
+        }
+    } else {
+        // Hash join: build on the right side, probe with the left.
+        let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
+        for r in &right.rows {
+            let key: Vec<Value> = right_keys.iter().map(|&i| r[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(r);
+        }
+        for l in &left.rows {
+            let key: Vec<Value> = left_keys.iter().map(|&i| l[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = table.get(&key) {
+                for r in matches {
+                    let mut joined = l.clone();
+                    joined.extend(r.iter().cloned());
+                    rows.push(joined);
+                }
+            }
+        }
+    }
+    Ok(Relation { cols, rows })
+}
+
+/// Evaluates an expression against a row of a relation.
+fn eval(rel: &Relation, row: &[Value], expr: &Expr) -> QueryResultT<Value> {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            let idx = rel
+                .resolve(qualifier.as_deref(), name)
+                .ok_or_else(|| QueryError::exec(format!("unknown column `{expr}`")))?;
+            Ok(row[idx].clone())
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Compare { left, op, right } => {
+            let l = eval(rel, row, left)?;
+            let r = eval(rel, row, right)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            let ord = l.total_cmp(&r);
+            let b = match op {
+                BinOp::Eq => ord.is_eq(),
+                BinOp::NotEq => ord.is_ne(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::LtEq => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::GtEq => ord.is_ge(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Expr::And(a, b) => Ok(Value::Bool(
+            truthy(&eval(rel, row, a)?) && truthy(&eval(rel, row, b)?),
+        )),
+        Expr::Or(a, b) => Ok(Value::Bool(
+            truthy(&eval(rel, row, a)?) || truthy(&eval(rel, row, b)?),
+        )),
+        Expr::Not(e) => Ok(Value::Bool(!truthy(&eval(rel, row, e)?))),
+        Expr::IsNull(e) => Ok(Value::Bool(eval(rel, row, e)?.is_null())),
+        Expr::IsNotNull(e) => Ok(Value::Bool(!eval(rel, row, e)?.is_null())),
+        Expr::InList { expr, list } => {
+            let v = eval(rel, row, expr)?;
+            if v.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            for item in list {
+                let iv = eval(rel, row, item)?;
+                if iv.sql_eq(&v) {
+                    return Ok(Value::Bool(true));
+                }
+            }
+            Ok(Value::Bool(false))
+        }
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Projects the final relation through the SELECT list (non-aggregate).
+fn project(rel: &Relation, stmt: &SelectStmt) -> QueryResultT<ResultSet> {
+    let mut columns = Vec::new();
+    let mut exprs: Vec<Option<Expr>> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, col) in rel.cols.iter().enumerate() {
+                    let ambiguous = rel
+                        .cols
+                        .iter()
+                        .filter(|c| c.name.eq_ignore_ascii_case(&col.name))
+                        .count()
+                        > 1;
+                    let name = if ambiguous {
+                        format!("{}.{}", col.qualifier, col.name)
+                    } else {
+                        col.name.clone()
+                    };
+                    columns.push(name);
+                    exprs.push(Some(Expr::Column {
+                        qualifier: Some(rel.cols[i].qualifier.clone()),
+                        name: rel.cols[i].name.clone(),
+                    }));
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                columns.push(item.output_name());
+                exprs.push(Some(expr.clone()));
+            }
+            SelectItem::Aggregate { .. } => {
+                return Err(QueryError::plan(
+                    "aggregate used without aggregation context",
+                ))
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        let mut out = Vec::with_capacity(exprs.len());
+        for expr in exprs.iter().flatten() {
+            out.push(eval(rel, row, expr)?);
+        }
+        rows.push(out);
+    }
+    Ok(ResultSet::new(columns, rows))
+}
+
+/// Computes GROUP BY groups and aggregates.
+fn aggregate(rel: &Relation, stmt: &SelectStmt) -> QueryResultT<ResultSet> {
+    // Group rows.
+    let mut groups: Vec<(Vec<Value>, Vec<&Vec<Value>>)> = Vec::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for row in &rel.rows {
+        let key: Vec<Value> = stmt
+            .group_by
+            .iter()
+            .map(|e| eval(rel, row, e))
+            .collect::<QueryResultT<_>>()?;
+        match index.get(&key) {
+            Some(&i) => groups[i].1.push(row),
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push((key, vec![row]));
+            }
+        }
+    }
+    // A query with aggregates but no GROUP BY has exactly one group, even
+    // over an empty input.
+    if stmt.group_by.is_empty() && groups.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let columns: Vec<String> = stmt.items.iter().map(|i| i.output_name()).collect();
+    let mut rows = Vec::with_capacity(groups.len());
+    for (_, members) in &groups {
+        let mut out = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            let v = match item {
+                SelectItem::Wildcard => {
+                    return Err(QueryError::plan(
+                        "SELECT * cannot be combined with aggregation",
+                    ))
+                }
+                SelectItem::Expr { expr, .. } => match members.first() {
+                    Some(first) => eval(rel, first, expr)?,
+                    None => Value::Null,
+                },
+                SelectItem::Aggregate { func, arg, .. } => {
+                    eval_aggregate(rel, members, *func, arg.as_ref())?
+                }
+            };
+            out.push(v);
+        }
+        rows.push(out);
+    }
+    Ok(ResultSet::new(columns, rows))
+}
+
+fn eval_aggregate(
+    rel: &Relation,
+    members: &[&Vec<Value>],
+    func: AggFunc,
+    arg: Option<&Expr>,
+) -> QueryResultT<Value> {
+    let values: Vec<Value> = match arg {
+        None => members.iter().map(|_| Value::Int(1)).collect(),
+        Some(expr) => members
+            .iter()
+            .map(|row| eval(rel, row, expr))
+            .collect::<QueryResultT<_>>()?,
+    };
+    let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    Ok(match func {
+        AggFunc::Count => Value::Int(non_null.len() as i64),
+        AggFunc::Min => non_null
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Max => non_null
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Sum => {
+            if non_null.is_empty() {
+                Value::Null
+            } else if non_null.iter().all(|v| matches!(v, Value::Int(_) | Value::Timestamp(_))) {
+                Value::Int(non_null.iter().map(|v| v.as_int().unwrap_or(0)).sum())
+            } else {
+                Value::Float(non_null.iter().map(|v| v.as_float().unwrap_or(0.0)).sum())
+            }
+        }
+        AggFunc::Avg => {
+            if non_null.is_empty() {
+                Value::Null
+            } else {
+                let sum: f64 = non_null.iter().map(|v| v.as_float().unwrap_or(0.0)).sum();
+                Value::Float(sum / non_null.len() as f64)
+            }
+        }
+    })
+}
+
+/// Sorts aggregate output rows by ORDER BY keys referencing output column
+/// names (e.g. `ORDER BY n DESC` where `n` is an aggregate alias).
+fn sort_output(out: &mut ResultSet, stmt: &SelectStmt) -> QueryResultT<()> {
+    if stmt.order_by.is_empty() {
+        return Ok(());
+    }
+    let mut key_indices = Vec::new();
+    for key in &stmt.order_by {
+        let name = match &key.expr {
+            Expr::Column { name, .. } => name.clone(),
+            other => other.to_string(),
+        };
+        let idx = out
+            .column_index(&name)
+            .ok_or_else(|| QueryError::plan(format!("ORDER BY column `{name}` is not in the output")))?;
+        key_indices.push((idx, key.descending));
+    }
+    let mut rows = out.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for (idx, desc) in &key_indices {
+            let ord = a[*idx].total_cmp(&b[*idx]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    *out = ResultSet::new(out.columns().to_vec(), rows);
+    Ok(())
+}

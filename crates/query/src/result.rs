@@ -1,0 +1,162 @@
+//! Query results.
+
+use std::fmt;
+
+use trod_db::Value;
+
+/// The result of executing a SELECT statement: named columns and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Creates a result set. Every row must have `columns.len()` values.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == columns.len()));
+        ResultSet { columns, rows }
+    }
+
+    /// An empty result with the given columns.
+    pub fn empty(columns: Vec<String>) -> Self {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// The value at (row, column-name), if both exist.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let col = self.column_index(column)?;
+        self.rows.get(row).and_then(|r| r.get(col))
+    }
+
+    /// Extracts one column as a vector of values.
+    pub fn column_values(&self, column: &str) -> Vec<Value> {
+        match self.column_index(column) {
+            Some(idx) => self.rows.iter().map(|r| r[idx].clone()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders the result as an ASCII table (used by the `report` binary
+    /// to print the paper's Table 1 / Table 2).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let sep = |widths: &[usize]| {
+            let mut s = String::from("+");
+            for w in widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep(&widths));
+        out.push('|');
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push('\n');
+        out.push_str(&sep(&widths));
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep(&widths));
+        out
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultSet {
+        ResultSet::new(
+            vec!["TxnId".into(), "HandlerName".into()],
+            vec![
+                vec![Value::Int(1), Value::Text("subscribeUser".into())],
+                vec![Value::Int(2), Value::Text("fetchSubscribers".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let rs = sample();
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.is_empty());
+        assert_eq!(rs.column_index("txnid"), Some(0));
+        assert_eq!(rs.column_index("missing"), None);
+        assert_eq!(rs.value(0, "HandlerName"), Some(&Value::Text("subscribeUser".into())));
+        assert_eq!(rs.value(5, "HandlerName"), None);
+        assert_eq!(rs.column_values("TxnId"), vec![Value::Int(1), Value::Int(2)]);
+        assert!(rs.column_values("nope").is_empty());
+    }
+
+    #[test]
+    fn table_rendering_contains_headers_and_cells() {
+        let rs = sample();
+        let s = rs.to_table_string();
+        assert!(s.contains("TxnId"));
+        assert!(s.contains("subscribeUser"));
+        assert!(s.lines().count() >= 6);
+        assert_eq!(format!("{rs}"), s);
+    }
+
+    #[test]
+    fn empty_result() {
+        let rs = ResultSet::empty(vec!["a".into()]);
+        assert!(rs.is_empty());
+        assert_eq!(rs.columns(), &["a".to_string()]);
+    }
+}

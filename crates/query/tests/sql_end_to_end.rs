@@ -1,0 +1,370 @@
+//! End-to-end SQL tests over real trod-db tables, including the literal
+//! queries printed in the TROD paper (§3.3 and §4.2).
+
+use proptest::prelude::*;
+use trod_db::{Database, DataType, Schema, Value, row};
+use trod_query::{QueryEngine, QueryError};
+
+/// Builds the provenance-shaped tables of the paper's running example
+/// (Table 1 "Executions" and Table 2 "ForumEvents") with the exact rows
+/// shown in the paper.
+fn paper_tables() -> QueryEngine {
+    let db = Database::new();
+    db.create_table(
+        "Executions",
+        Schema::builder()
+            .column("TxnId", DataType::Int)
+            .column("Timestamp", DataType::Int)
+            .column("HandlerName", DataType::Text)
+            .column("ReqId", DataType::Text)
+            .column("Metadata", DataType::Text)
+            .primary_key(&["TxnId"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "ForumEvents",
+        Schema::builder()
+            .column("EventId", DataType::Int)
+            .column("TxnId", DataType::Int)
+            .column("Type", DataType::Text)
+            .column("Query", DataType::Text)
+            .nullable("UserId", DataType::Text)
+            .nullable("Forum", DataType::Text)
+            .primary_key(&["EventId"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    let mut txn = db.begin();
+    // Table 1 rows.
+    for (txn_id, ts, handler, req, meta) in [
+        (1i64, 1i64, "subscribeUser", "R1", "func:isSubscribed"),
+        (2, 2, "subscribeUser", "R2", "func:isSubscribed"),
+        (3, 3, "subscribeUser", "R2", "func:DB.insert"),
+        (4, 4, "subscribeUser", "R1", "func:DB.insert"),
+        (9, 9, "fetchSubscribers", "R3", "func:DB.executeQuery"),
+    ] {
+        txn.insert("Executions", row![txn_id, ts, handler, req, meta])
+            .unwrap();
+    }
+    // Table 2 rows.
+    for (event, txn_id, typ, query, user, forum) in [
+        (1i64, 1i64, "Read", "Check if (U1, F2) exists", Value::Null, Value::Null),
+        (2, 2, "Read", "Check if (U1, F2) exists", Value::Null, Value::Null),
+        (3, 3, "Insert", "Insert (U1, F2)", Value::from("U1"), Value::from("F2")),
+        (4, 4, "Insert", "Insert (U1, F2)", Value::from("U1"), Value::from("F2")),
+        (5, 9, "Read", "Select UserId for F2", Value::from("U1"), Value::from("F2")),
+        (6, 9, "Read", "Select UserId for F2", Value::from("U1"), Value::from("F2")),
+    ] {
+        txn.insert("ForumEvents", row![event, txn_id, typ, query, user, forum])
+            .unwrap();
+    }
+    txn.commit().unwrap();
+    QueryEngine::new(db)
+}
+
+#[test]
+fn papers_declarative_debugging_query_finds_the_two_buggy_requests() {
+    let engine = paper_tables();
+    let sql = "SELECT Timestamp, ReqId, HandlerName \
+               FROM Executions as E, ForumEvents as F \
+               ON E.TxnId = F.TxnId \
+               WHERE F.UserId = 'U1' AND F.Forum = 'F2' AND F.Type = 'Insert' \
+               ORDER BY Timestamp ASC;";
+    let result = engine.execute(sql).unwrap();
+    // The paper's expected answer: (TS3, R2, subscribeUser), (TS4, R1, subscribeUser).
+    assert_eq!(result.len(), 2);
+    assert_eq!(result.value(0, "ReqId"), Some(&Value::Text("R2".into())));
+    assert_eq!(result.value(1, "ReqId"), Some(&Value::Text("R1".into())));
+    assert_eq!(
+        result.value(0, "HandlerName"),
+        Some(&Value::Text("subscribeUser".into()))
+    );
+    assert_eq!(result.value(0, "Timestamp"), Some(&Value::Int(3)));
+    assert_eq!(result.value(1, "Timestamp"), Some(&Value::Int(4)));
+}
+
+#[test]
+fn explicit_join_syntax_gives_the_same_answer() {
+    let engine = paper_tables();
+    let comma = engine
+        .execute(
+            "SELECT ReqId FROM Executions as E, ForumEvents as F ON E.TxnId = F.TxnId \
+             WHERE F.Type = 'Insert' ORDER BY Timestamp ASC",
+        )
+        .unwrap();
+    let join = engine
+        .execute(
+            "SELECT ReqId FROM Executions as E JOIN ForumEvents as F ON E.TxnId = F.TxnId \
+             WHERE F.Type = 'Insert' ORDER BY Timestamp ASC",
+        )
+        .unwrap();
+    assert_eq!(comma, join);
+}
+
+#[test]
+fn aggregates_and_group_by() {
+    let engine = paper_tables();
+    let result = engine
+        .execute(
+            "SELECT HandlerName, COUNT(*) AS n FROM Executions \
+             GROUP BY HandlerName ORDER BY n DESC",
+        )
+        .unwrap();
+    assert_eq!(result.len(), 2);
+    assert_eq!(
+        result.value(0, "HandlerName"),
+        Some(&Value::Text("subscribeUser".into()))
+    );
+    assert_eq!(result.value(0, "n"), Some(&Value::Int(4)));
+    assert_eq!(result.value(1, "n"), Some(&Value::Int(1)));
+}
+
+#[test]
+fn aggregates_without_group_by_over_empty_input() {
+    let engine = paper_tables();
+    let result = engine
+        .execute("SELECT COUNT(*), MAX(Timestamp), AVG(Timestamp) FROM Executions WHERE TxnId > 1000")
+        .unwrap();
+    assert_eq!(result.len(), 1);
+    assert_eq!(result.rows()[0][0], Value::Int(0));
+    assert_eq!(result.rows()[0][1], Value::Null);
+    assert_eq!(result.rows()[0][2], Value::Null);
+}
+
+#[test]
+fn sum_min_max_avg() {
+    let engine = paper_tables();
+    let result = engine
+        .execute("SELECT SUM(Timestamp) AS s, MIN(Timestamp) AS lo, MAX(Timestamp) AS hi, AVG(Timestamp) AS mean FROM Executions")
+        .unwrap();
+    assert_eq!(result.value(0, "s"), Some(&Value::Int(1 + 2 + 3 + 4 + 9)));
+    assert_eq!(result.value(0, "lo"), Some(&Value::Int(1)));
+    assert_eq!(result.value(0, "hi"), Some(&Value::Int(9)));
+    assert_eq!(result.value(0, "mean"), Some(&Value::Float(19.0 / 5.0)));
+}
+
+#[test]
+fn wildcard_limit_and_order() {
+    let engine = paper_tables();
+    let result = engine
+        .execute("SELECT * FROM Executions ORDER BY Timestamp DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(result.len(), 2);
+    assert_eq!(result.value(0, "TxnId"), Some(&Value::Int(9)));
+    assert_eq!(result.columns().len(), 5);
+}
+
+#[test]
+fn null_handling_in_filters() {
+    let engine = paper_tables();
+    let with_user = engine
+        .execute("SELECT EventId FROM ForumEvents WHERE UserId IS NOT NULL")
+        .unwrap();
+    assert_eq!(with_user.len(), 4);
+    let without_user = engine
+        .execute("SELECT EventId FROM ForumEvents WHERE UserId IS NULL")
+        .unwrap();
+    assert_eq!(without_user.len(), 2);
+    // Equality against NULL matches nothing.
+    let eq_null = engine
+        .execute("SELECT EventId FROM ForumEvents WHERE UserId = NULL")
+        .unwrap();
+    assert!(eq_null.is_empty());
+}
+
+#[test]
+fn in_list_and_not() {
+    let engine = paper_tables();
+    let result = engine
+        .execute("SELECT TxnId FROM Executions WHERE ReqId IN ('R1', 'R2') ORDER BY TxnId")
+        .unwrap();
+    assert_eq!(result.len(), 4);
+    let result = engine
+        .execute("SELECT TxnId FROM Executions WHERE ReqId NOT IN ('R1', 'R2')")
+        .unwrap();
+    assert_eq!(result.len(), 1);
+    let result = engine
+        .execute("SELECT TxnId FROM Executions WHERE NOT HandlerName = 'subscribeUser'")
+        .unwrap();
+    assert_eq!(result.len(), 1);
+}
+
+#[test]
+fn case_insensitive_table_and_column_resolution() {
+    let engine = paper_tables();
+    let result = engine
+        .execute("select reqid from executions where handlername = 'fetchSubscribers'")
+        .unwrap();
+    assert_eq!(result.len(), 1);
+    assert_eq!(result.rows()[0][0], Value::Text("R3".into()));
+}
+
+#[test]
+fn time_travel_queries_see_past_states() {
+    let engine = paper_tables();
+    let db = engine.database().clone();
+    let before = db.current_ts();
+    let mut txn = db.begin();
+    txn.insert("Executions", row![100i64, 50i64, "newHandler", "R9", "m"])
+        .unwrap();
+    txn.commit().unwrap();
+
+    let now = engine.execute("SELECT COUNT(*) AS n FROM Executions").unwrap();
+    assert_eq!(now.value(0, "n"), Some(&Value::Int(6)));
+    let past = engine
+        .execute_as_of("SELECT COUNT(*) AS n FROM Executions", before)
+        .unwrap();
+    assert_eq!(past.value(0, "n"), Some(&Value::Int(5)));
+}
+
+#[test]
+fn errors_for_unknown_tables_and_columns() {
+    let engine = paper_tables();
+    assert!(matches!(
+        engine.execute("SELECT a FROM Missing").unwrap_err(),
+        QueryError::Plan { .. }
+    ));
+    assert!(matches!(
+        engine.execute("SELECT nope FROM Executions").unwrap_err(),
+        QueryError::Execution { .. } | QueryError::Plan { .. }
+    ));
+    assert!(matches!(
+        engine
+            .execute("SELECT TxnId FROM Executions WHERE nope = 1")
+            .unwrap_err(),
+        QueryError::Plan { .. }
+    ));
+    assert!(engine.execute("SELECT").is_err());
+}
+
+#[test]
+fn cross_join_without_condition_is_a_cross_product() {
+    let engine = paper_tables();
+    let result = engine
+        .execute("SELECT COUNT(*) AS n FROM Executions as E, ForumEvents as F")
+        .unwrap();
+    assert_eq!(result.value(0, "n"), Some(&Value::Int(5 * 6)));
+}
+
+#[test]
+fn order_by_multiple_keys() {
+    let engine = paper_tables();
+    let result = engine
+        .execute("SELECT ReqId, TxnId FROM Executions ORDER BY ReqId ASC, TxnId DESC")
+        .unwrap();
+    let reqs: Vec<String> = result
+        .column_values("ReqId")
+        .into_iter()
+        .map(|v| v.to_string())
+        .collect();
+    assert_eq!(reqs, vec!["R1", "R1", "R2", "R2", "R3"]);
+    // Within R1: TxnId descending.
+    assert_eq!(result.value(0, "TxnId"), Some(&Value::Int(4)));
+    assert_eq!(result.value(1, "TxnId"), Some(&Value::Int(1)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Filtering with SQL equals filtering with the storage engine's
+    /// native predicates for arbitrary integer data and thresholds.
+    #[test]
+    fn sql_filter_matches_native_predicate(
+        values in prop::collection::vec(0i64..100, 1..80),
+        threshold in 0i64..100
+    ) {
+        let db = Database::new();
+        db.create_table(
+            "nums",
+            Schema::builder()
+                .column("id", DataType::Int)
+                .column("v", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut txn = db.begin();
+        for (i, v) in values.iter().enumerate() {
+            txn.insert("nums", row![i as i64, *v]).unwrap();
+        }
+        txn.commit().unwrap();
+
+        let native = db
+            .scan_latest("nums", &trod_db::Predicate::ge("v", threshold))
+            .unwrap()
+            .len();
+        let engine = QueryEngine::new(db);
+        let sql = engine
+            .execute(&format!("SELECT id FROM nums WHERE v >= {threshold}"))
+            .unwrap()
+            .len();
+        prop_assert_eq!(native, sql);
+    }
+
+    /// ORDER BY really sorts, for arbitrary data.
+    #[test]
+    fn order_by_sorts(values in prop::collection::vec(-1000i64..1000, 1..60)) {
+        let db = Database::new();
+        db.create_table(
+            "nums",
+            Schema::builder()
+                .column("id", DataType::Int)
+                .column("v", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut txn = db.begin();
+        for (i, v) in values.iter().enumerate() {
+            txn.insert("nums", row![i as i64, *v]).unwrap();
+        }
+        txn.commit().unwrap();
+        let engine = QueryEngine::new(db);
+        let result = engine.execute("SELECT v FROM nums ORDER BY v ASC").unwrap();
+        let got: Vec<i64> = result
+            .column_values("v")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        let mut expected = values.clone();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// COUNT(*) equals the row count for arbitrary GROUP BY cardinality.
+    #[test]
+    fn group_by_counts_sum_to_total(groups in prop::collection::vec(0i64..10, 1..100)) {
+        let db = Database::new();
+        db.create_table(
+            "g",
+            Schema::builder()
+                .column("id", DataType::Int)
+                .column("grp", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut txn = db.begin();
+        for (i, g) in groups.iter().enumerate() {
+            txn.insert("g", row![i as i64, *g]).unwrap();
+        }
+        txn.commit().unwrap();
+        let engine = QueryEngine::new(db);
+        let per_group = engine
+            .execute("SELECT grp, COUNT(*) AS n FROM g GROUP BY grp")
+            .unwrap();
+        let total: i64 = per_group
+            .column_values("n")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .sum();
+        prop_assert_eq!(total, groups.len() as i64);
+    }
+}

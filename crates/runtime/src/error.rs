@@ -1,0 +1,56 @@
+//! Runtime and handler errors.
+
+use std::fmt;
+
+use trod_db::DbError;
+
+/// Errors surfaced by request handlers or the runtime itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandlerError {
+    /// No handler with this name is registered.
+    NoSuchHandler(String),
+    /// An application-level failure (e.g. "duplicate subscribers found").
+    /// These are the errors the paper's buggy handlers raise.
+    App(String),
+    /// A database error that the handler did not handle (including
+    /// serialization failures that exhausted retries).
+    Db(DbError),
+    /// The handler's arguments were missing or of the wrong type.
+    BadArgument(String),
+}
+
+impl fmt::Display for HandlerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandlerError::NoSuchHandler(name) => write!(f, "no handler named `{name}`"),
+            HandlerError::App(msg) => write!(f, "application error: {msg}"),
+            HandlerError::Db(e) => write!(f, "database error: {e}"),
+            HandlerError::BadArgument(msg) => write!(f, "bad argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HandlerError {}
+
+impl From<DbError> for HandlerError {
+    fn from(e: DbError) -> Self {
+        HandlerError::Db(e)
+    }
+}
+
+/// Result alias for handler invocations.
+pub type HandlerResult = Result<trod_db::Value, HandlerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = HandlerError::NoSuchHandler("x".into());
+        assert!(e.to_string().contains("x"));
+        let e: HandlerError = DbError::TransactionClosed.into();
+        assert!(matches!(e, HandlerError::Db(_)));
+        assert!(HandlerError::App("dup".into()).to_string().contains("dup"));
+    }
+}

@@ -1,0 +1,99 @@
+//! External-service call log.
+//!
+//! The paper assumes external service calls (e-mails, payment gateways,
+//! …) are idempotent so re-executions cause no unexpected side effects
+//! (§3.1, "Simplifying Assumptions"). The runtime therefore never performs
+//! real external I/O: handlers declare *intents*, which are recorded here
+//! and traced. During replay and retroactive programming a fresh log is
+//! used, so tests can assert that re-execution produced the same set of
+//! intents without re-sending anything.
+
+use parking_lot::Mutex;
+
+/// One recorded external call intent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternalCall {
+    pub req_id: String,
+    pub handler: String,
+    pub service: String,
+    pub payload: String,
+    pub timestamp: i64,
+}
+
+/// An append-only log of external call intents.
+#[derive(Debug, Default)]
+pub struct ExternalServiceLog {
+    calls: Mutex<Vec<ExternalCall>>,
+}
+
+impl ExternalServiceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ExternalServiceLog::default()
+    }
+
+    /// Records a call intent.
+    pub fn record(&self, call: ExternalCall) {
+        self.calls.lock().push(call);
+    }
+
+    /// All recorded calls, in record order.
+    pub fn calls(&self) -> Vec<ExternalCall> {
+        self.calls.lock().clone()
+    }
+
+    /// Calls recorded for a specific service.
+    pub fn calls_to(&self, service: &str) -> Vec<ExternalCall> {
+        self.calls
+            .lock()
+            .iter()
+            .filter(|c| c.service == service)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of recorded calls.
+    pub fn len(&self) -> usize {
+        self.calls.lock().len()
+    }
+
+    /// True if no calls were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.calls.lock().is_empty()
+    }
+
+    /// Clears the log (used between retroactive exploration runs).
+    pub fn clear(&self) {
+        self.calls.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(service: &str) -> ExternalCall {
+        ExternalCall {
+            req_id: "R1".into(),
+            handler: "checkout".into(),
+            service: service.into(),
+            payload: "p".into(),
+            timestamp: 1,
+        }
+    }
+
+    #[test]
+    fn record_and_filter() {
+        let log = ExternalServiceLog::new();
+        assert!(log.is_empty());
+        log.record(call("email"));
+        log.record(call("email"));
+        log.record(call("payments"));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.calls_to("email").len(), 2);
+        assert_eq!(log.calls_to("payments").len(), 1);
+        assert_eq!(log.calls().len(), 3);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

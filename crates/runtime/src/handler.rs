@@ -1,0 +1,146 @@
+//! Request handlers and the handler registry.
+//!
+//! A handler is the unit of application logic in the paper's model: a
+//! deterministic function that receives named arguments, accesses shared
+//! state only through transactions obtained from its context, and may
+//! invoke other handlers via RPC (forming a workflow). Registries are
+//! immutable snapshots of "the code"; retroactive programming (paper
+//! §3.6) re-executes old requests against a *different* registry in which
+//! some handlers have been replaced by patched versions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::args::Args;
+use crate::context::HandlerContext;
+use crate::error::HandlerResult;
+
+/// A request handler.
+pub trait Handler: Send + Sync {
+    /// Executes the handler. All shared-state access must go through
+    /// `ctx` (principles P1/P2); the return value must be a deterministic
+    /// function of `args` and the database state (P3).
+    fn invoke(&self, ctx: &mut HandlerContext<'_>, args: &Args) -> HandlerResult;
+}
+
+/// Wraps a closure as a [`Handler`].
+pub struct FnHandler<F>(pub F);
+
+impl<F> Handler for FnHandler<F>
+where
+    F: Fn(&mut HandlerContext<'_>, &Args) -> HandlerResult + Send + Sync,
+{
+    fn invoke(&self, ctx: &mut HandlerContext<'_>, args: &Args) -> HandlerResult {
+        (self.0)(ctx, args)
+    }
+}
+
+/// An immutable, cloneable map from handler name to handler.
+#[derive(Clone, Default)]
+pub struct HandlerRegistry {
+    handlers: BTreeMap<String, Arc<dyn Handler>>,
+}
+
+impl HandlerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        HandlerRegistry::default()
+    }
+
+    /// Registers a handler object.
+    pub fn register(&mut self, name: impl Into<String>, handler: Arc<dyn Handler>) {
+        self.handlers.insert(name.into(), handler);
+    }
+
+    /// Registers a closure handler.
+    pub fn register_fn<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&mut HandlerContext<'_>, &Args) -> HandlerResult + Send + Sync + 'static,
+    {
+        self.handlers.insert(name.into(), Arc::new(FnHandler(f)));
+    }
+
+    /// Builder-style registration.
+    pub fn with_fn<F>(mut self, name: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(&mut HandlerContext<'_>, &Args) -> HandlerResult + Send + Sync + 'static,
+    {
+        self.register_fn(name, f);
+        self
+    }
+
+    /// Looks up a handler.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Handler>> {
+        self.handlers.get(name).cloned()
+    }
+
+    /// Registered handler names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.handlers.keys().cloned().collect()
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// True if no handlers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+
+    /// Returns a new registry in which `name` is replaced by `handler`
+    /// (the "modified code" of retroactive programming). The original
+    /// registry is unchanged.
+    pub fn with_replacement(&self, name: impl Into<String>, handler: Arc<dyn Handler>) -> Self {
+        let mut clone = self.clone();
+        clone.handlers.insert(name.into(), handler);
+        clone
+    }
+
+    /// Returns a new registry in which `name` is replaced by a closure.
+    pub fn with_replacement_fn<F>(&self, name: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(&mut HandlerContext<'_>, &Args) -> HandlerResult + Send + Sync + 'static,
+    {
+        self.with_replacement(name, Arc::new(FnHandler(f)))
+    }
+}
+
+impl std::fmt::Debug for HandlerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandlerRegistry")
+            .field("handlers", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trod_db::Value;
+
+    #[test]
+    fn register_lookup_and_replace() {
+        let registry = HandlerRegistry::new()
+            .with_fn("ping", |_ctx, _args| Ok(Value::Text("pong".into())))
+            .with_fn("add", |_ctx, args| {
+                let a = args.get_int("a").unwrap_or(0);
+                let b = args.get_int("b").unwrap_or(0);
+                Ok(Value::Int(a + b))
+            });
+        assert_eq!(registry.len(), 2);
+        assert!(!registry.is_empty());
+        assert_eq!(registry.names(), vec!["add".to_string(), "ping".to_string()]);
+        assert!(registry.get("ping").is_some());
+        assert!(registry.get("missing").is_none());
+
+        let patched = registry.with_replacement_fn("ping", |_ctx, _args| {
+            Ok(Value::Text("patched".into()))
+        });
+        // The original is untouched; both registries resolve the handler.
+        assert_eq!(registry.len(), 2);
+        assert_eq!(patched.len(), 2);
+        assert!(patched.get("ping").is_some());
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic interleaving control.
+//!
+//! Concurrency bugs such as MDL-59854 only manifest under one specific
+//! interleaving of transactions from concurrent requests ("you have to be
+//! pretty fast and pretty lucky", paper §2). To reproduce them reliably —
+//! in tests, in the benchmark workloads, and during retroactive
+//! programming, which must *enumerate* interleavings (paper §3.6) —
+//! request handlers mark named synchronization points
+//! ([`crate::HandlerContext::sync_point`]), and the scheduler decides when
+//! each point may proceed.
+//!
+//! Two modes exist:
+//!
+//! * **Passthrough** (production behaviour): sync points return
+//!   immediately; the OS scheduler decides the interleaving.
+//! * **Scripted**: the test or the retroactive engine provides an ordered
+//!   list of point labels; each `sync_point(label)` blocks until that
+//!   label is at the front of the script.
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// The label of one synchronization point: `"<req_id>:<point>"`.
+pub fn point_label(req_id: &str, point: &str) -> String {
+    format!("{req_id}:{point}")
+}
+
+#[derive(Debug)]
+enum Mode {
+    Passthrough,
+    Scripted {
+        script: Vec<String>,
+        position: usize,
+        /// Labels that timed out waiting (script errors); recorded so
+        /// tests can detect a bad script instead of hanging forever.
+        violations: Vec<String>,
+    },
+}
+
+/// Controls when named synchronization points may proceed.
+#[derive(Debug)]
+pub struct Scheduler {
+    mode: Mutex<Mode>,
+    cond: Condvar,
+    timeout: Duration,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::passthrough()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler that never blocks (production mode).
+    pub fn passthrough() -> Self {
+        Scheduler {
+            mode: Mutex::new(Mode::Passthrough),
+            cond: Condvar::new(),
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// A scheduler that enforces the given order of point labels.
+    pub fn scripted(script: Vec<String>) -> Self {
+        Scheduler {
+            mode: Mutex::new(Mode::Scripted {
+                script,
+                position: 0,
+                violations: Vec::new(),
+            }),
+            cond: Condvar::new(),
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Replaces the current script (resets progress).
+    pub fn set_script(&self, script: Vec<String>) {
+        *self.mode.lock() = Mode::Scripted {
+            script,
+            position: 0,
+            violations: Vec::new(),
+        };
+        self.cond.notify_all();
+    }
+
+    /// Switches to passthrough mode, releasing any waiters.
+    pub fn set_passthrough(&self) {
+        *self.mode.lock() = Mode::Passthrough;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the labelled point is allowed to proceed.
+    ///
+    /// Points whose label does not appear in the remaining script pass
+    /// through immediately (they are unconstrained). Waiting is bounded by
+    /// a timeout; on timeout the label is recorded as a violation and the
+    /// point proceeds, so a buggy script degrades loudly instead of
+    /// deadlocking the test suite.
+    pub fn wait_for(&self, label: &str) {
+        enum Action {
+            Proceed,
+            ProceedAndNotify,
+            Wait,
+        }
+        let mut mode = self.mode.lock();
+        loop {
+            let action = match &mut *mode {
+                Mode::Passthrough => Action::Proceed,
+                Mode::Scripted {
+                    script, position, ..
+                } => {
+                    if *position >= script.len() {
+                        Action::Proceed
+                    } else if !script[*position..].iter().any(|l| l == label) {
+                        // Unconstrained point.
+                        Action::Proceed
+                    } else if script[*position] == label {
+                        *position += 1;
+                        Action::ProceedAndNotify
+                    } else {
+                        Action::Wait
+                    }
+                }
+            };
+            match action {
+                Action::Proceed => return,
+                Action::ProceedAndNotify => {
+                    self.cond.notify_all();
+                    return;
+                }
+                Action::Wait => {
+                    let timed_out = self.cond.wait_for(&mut mode, self.timeout).timed_out();
+                    if timed_out {
+                        if let Mode::Scripted { violations, .. } = &mut *mode {
+                            violations.push(label.to_string());
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Labels that timed out waiting for their turn (empty in a correct
+    /// scripted run).
+    pub fn violations(&self) -> Vec<String> {
+        match &*self.mode.lock() {
+            Mode::Scripted { violations, .. } => violations.clone(),
+            Mode::Passthrough => Vec::new(),
+        }
+    }
+
+    /// True if the whole script has been consumed.
+    pub fn script_complete(&self) -> bool {
+        match &*self.mode.lock() {
+            Mode::Scripted {
+                script, position, ..
+            } => *position >= script.len(),
+            Mode::Passthrough => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn passthrough_never_blocks() {
+        let s = Scheduler::passthrough();
+        s.wait_for("anything");
+        assert!(s.script_complete());
+        assert!(s.violations().is_empty());
+    }
+
+    #[test]
+    fn scripted_order_is_enforced_across_threads() {
+        // Two "requests" each performing two steps. Every step is
+        // bracketed by a `pre` and `post` point, which is the pattern the
+        // benchmark applications use: a `pre` gate only opens after the
+        // previous step's `post` gate has been passed, so the steps
+        // themselves are totally ordered. The script forces the MDL-59854
+        // interleaving: R1 check, R2 check, R2 insert, R1 insert.
+        let steps = [
+            ("R1", "check"),
+            ("R2", "check"),
+            ("R2", "insert"),
+            ("R1", "insert"),
+        ];
+        let mut script = Vec::new();
+        for (req, step) in steps {
+            script.push(point_label(req, &format!("pre-{step}")));
+            script.push(point_label(req, &format!("post-{step}")));
+        }
+        let sched = Arc::new(Scheduler::scripted(script));
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        let mut handles = Vec::new();
+        for req in ["R1", "R2"] {
+            let sched = sched.clone();
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                for step in ["check", "insert"] {
+                    sched.wait_for(&point_label(req, &format!("pre-{step}")));
+                    order.lock().push(format!("{req}:{step}"));
+                    sched.wait_for(&point_label(req, &format!("post-{step}")));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let observed = order.lock().clone();
+        assert_eq!(
+            observed,
+            vec!["R1:check", "R2:check", "R2:insert", "R1:insert"]
+        );
+        assert!(sched.script_complete());
+        assert!(sched.violations().is_empty());
+    }
+
+    #[test]
+    fn unscripted_points_pass_through() {
+        let sched = Scheduler::scripted(vec![point_label("R1", "a")]);
+        // A point never mentioned in the script does not block.
+        sched.wait_for(&point_label("R9", "unrelated"));
+        sched.wait_for(&point_label("R1", "a"));
+        assert!(sched.script_complete());
+    }
+
+    #[test]
+    fn switching_modes_releases_waiters() {
+        let sched = Arc::new(Scheduler::scripted(vec![
+            point_label("R1", "first"),
+            point_label("R2", "second"),
+        ]));
+        let sched2 = sched.clone();
+        let waiter = std::thread::spawn(move || {
+            // This will have to wait: it is second in the script.
+            sched2.wait_for(&point_label("R2", "second"));
+            true
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        sched.set_passthrough();
+        assert!(waiter.join().unwrap());
+    }
+}

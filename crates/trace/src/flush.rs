@@ -1,0 +1,172 @@
+//! Background flushing of the trace buffer.
+//!
+//! Moving trace records from the in-memory buffer into the provenance
+//! database happens off the request path (paper §3.7). The flusher runs a
+//! background thread that periodically drains the buffer and hands batches
+//! to a [`TraceSink`]; the provenance crate's store implements that trait.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::interpose::Tracer;
+use crate::record::TraceEvent;
+
+/// Destination for drained trace events.
+pub trait TraceSink: Send + Sync + 'static {
+    /// Consumes a batch of events. Implementations should be tolerant of
+    /// being called with an empty batch.
+    fn ingest(&self, events: Vec<TraceEvent>);
+}
+
+/// A sink that simply collects events in memory (useful for tests).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: parking_lot::Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectingSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events collected so far.
+    pub fn collected(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn ingest(&self, events: Vec<TraceEvent>) {
+        self.events.lock().extend(events);
+    }
+}
+
+/// A background thread that drains a tracer into a sink.
+pub struct BackgroundFlusher {
+    stop: Arc<AtomicBool>,
+    flushed: Arc<AtomicUsize>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BackgroundFlusher {
+    /// Starts a flusher that drains `tracer` into `sink` every `interval`.
+    pub fn start(tracer: Tracer, sink: Arc<dyn TraceSink>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flushed = Arc::new(AtomicUsize::new(0));
+        let thread_stop = stop.clone();
+        let thread_flushed = flushed.clone();
+        let handle = std::thread::Builder::new()
+            .name("trod-trace-flusher".into())
+            .spawn(move || {
+                loop {
+                    let events = tracer.drain();
+                    if !events.is_empty() {
+                        thread_flushed.fetch_add(events.len(), Ordering::Relaxed);
+                        sink.ingest(events);
+                    }
+                    if thread_stop.load(Ordering::Relaxed) {
+                        // Final drain so nothing is lost on shutdown.
+                        let rest = tracer.drain();
+                        if !rest.is_empty() {
+                            thread_flushed.fetch_add(rest.len(), Ordering::Relaxed);
+                            sink.ingest(rest);
+                        }
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("failed to spawn trace flusher thread");
+        BackgroundFlusher {
+            stop,
+            flushed,
+            handle: Some(handle),
+        }
+    }
+
+    /// Number of events flushed so far.
+    pub fn flushed(&self) -> usize {
+        self.flushed.load(Ordering::Relaxed)
+    }
+
+    /// Stops the flusher, draining any remaining events first.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BackgroundFlusher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_sink_accumulates() {
+        let sink = CollectingSink::new();
+        assert!(sink.is_empty());
+        sink.ingest(vec![]);
+        sink.ingest(vec![TraceEvent::HandlerEnd {
+            req_id: "R1".into(),
+            handler: "h".into(),
+            output: "ok".into(),
+            ok: true,
+            timestamp: 1,
+        }]);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.collected().len(), 1);
+    }
+
+    #[test]
+    fn background_flusher_drains_everything_by_stop() {
+        let tracer = Tracer::new();
+        let sink = Arc::new(CollectingSink::new());
+        let flusher = BackgroundFlusher::start(
+            tracer.clone(),
+            sink.clone(),
+            Duration::from_millis(1),
+        );
+        for i in 0..500 {
+            tracer.handler_start(&format!("R{i}"), "h", None, "");
+        }
+        flusher.stop();
+        assert_eq!(sink.len(), 500);
+        assert!(tracer.buffer().is_empty());
+    }
+
+    #[test]
+    fn dropping_the_flusher_also_stops_it() {
+        let tracer = Tracer::new();
+        let sink = Arc::new(CollectingSink::new());
+        {
+            let _flusher =
+                BackgroundFlusher::start(tracer.clone(), sink.clone(), Duration::from_millis(1));
+            tracer.handler_start("R1", "h", None, "");
+            // Give the flusher a moment to pick the event up, then drop.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(sink.len() <= 1);
+    }
+}

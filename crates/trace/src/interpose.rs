@@ -1,0 +1,455 @@
+//! The interposition layer proper: traced database connections.
+//!
+//! `TracedDatabase` wraps a [`trod_db::Database`]; every transaction begun
+//! through it is a [`TracedTransaction`] that transparently records read
+//! provenance, write provenance (CDC), the transaction's snapshot and
+//! commit timestamps, and the request/handler context — the information
+//! the paper's §3.4 tables (`Executions`, `<Table>Events`) are built from.
+//! Handler-level events (start/end, RPCs, external calls) are recorded by
+//! the runtime through the shared [`Tracer`] handle.
+
+use std::sync::Arc;
+
+use crate::buffer::{TraceBuffer, TraceStats};
+use crate::clock::TraceClock;
+use crate::record::{ReadTrace, TraceEvent, TxnContext, TxnTrace};
+
+use trod_db::{
+    ChangeRecord, CommitInfo, Database, DbResult, IsolationLevel, Key, Predicate, Row,
+};
+
+/// Shared handle used by all components that emit trace events.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    buffer: Arc<TraceBuffer>,
+    clock: Arc<TraceClock>,
+}
+
+impl Tracer {
+    /// Creates a tracer with a fresh buffer and clock.
+    pub fn new() -> Self {
+        Tracer {
+            buffer: Arc::new(TraceBuffer::new()),
+            clock: Arc::new(TraceClock::new()),
+        }
+    }
+
+    /// The underlying buffer (for flushing into the provenance store).
+    pub fn buffer(&self) -> &Arc<TraceBuffer> {
+        &self.buffer
+    }
+
+    /// A strictly monotonic trace timestamp.
+    pub fn now(&self) -> i64 {
+        self.clock.now_micros()
+    }
+
+    /// Enables or disables tracing globally.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.buffer.set_enabled(enabled);
+    }
+
+    /// Whether tracing is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.buffer.is_enabled()
+    }
+
+    /// Buffer statistics.
+    pub fn stats(&self) -> TraceStats {
+        self.buffer.stats()
+    }
+
+    /// Records the start of a request handler execution.
+    pub fn handler_start(
+        &self,
+        req_id: &str,
+        handler: &str,
+        parent: Option<&str>,
+        args: &str,
+    ) -> i64 {
+        let timestamp = self.now();
+        self.buffer.push(TraceEvent::HandlerStart {
+            req_id: req_id.to_string(),
+            handler: handler.to_string(),
+            parent: parent.map(|s| s.to_string()),
+            args: args.to_string(),
+            timestamp,
+        });
+        timestamp
+    }
+
+    /// Records the end of a request handler execution.
+    pub fn handler_end(&self, req_id: &str, handler: &str, output: &str, ok: bool) -> i64 {
+        let timestamp = self.now();
+        self.buffer.push(TraceEvent::HandlerEnd {
+            req_id: req_id.to_string(),
+            handler: handler.to_string(),
+            output: output.to_string(),
+            ok,
+            timestamp,
+        });
+        timestamp
+    }
+
+    /// Records an external (non-database) service call intent.
+    pub fn external_call(&self, req_id: &str, handler: &str, service: &str, payload: &str) -> i64 {
+        let timestamp = self.now();
+        self.buffer.push(TraceEvent::ExternalCall {
+            req_id: req_id.to_string(),
+            handler: handler.to_string(),
+            service: service.to_string(),
+            payload: payload.to_string(),
+            timestamp,
+        });
+        timestamp
+    }
+
+    /// Records a transaction's provenance.
+    pub fn record_txn(&self, trace: TxnTrace) {
+        self.buffer.push(TraceEvent::Txn(Box::new(trace)));
+    }
+
+    /// Drains all buffered events (used by flushers and tests).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.buffer.drain_all()
+    }
+}
+
+/// A database wrapped by the TROD interposition layer.
+#[derive(Debug, Clone)]
+pub struct TracedDatabase {
+    db: Database,
+    tracer: Tracer,
+}
+
+impl TracedDatabase {
+    /// Wraps `db` with the given tracer.
+    pub fn new(db: Database, tracer: Tracer) -> Self {
+        TracedDatabase { db, tracer }
+    }
+
+    /// The raw database (used by administrative code, not handlers).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The shared tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Begins a traced, strictly serializable transaction on behalf of the
+    /// given request/handler/function context.
+    pub fn begin(&self, ctx: TxnContext) -> TracedTransaction {
+        self.begin_with(ctx, IsolationLevel::Serializable)
+    }
+
+    /// Begins a traced transaction at a specific isolation level.
+    pub fn begin_with(&self, ctx: TxnContext, isolation: IsolationLevel) -> TracedTransaction {
+        let inner = self.db.begin_with(isolation);
+        TracedTransaction {
+            tracer: self.tracer.clone(),
+            snapshot_ts: inner.start_ts(),
+            txn_id: inner.id(),
+            inner: Some(inner),
+            ctx,
+            reads: Vec::new(),
+        }
+    }
+}
+
+/// A transaction that records provenance as it executes.
+#[derive(Debug)]
+pub struct TracedTransaction {
+    inner: Option<trod_db::Transaction>,
+    tracer: Tracer,
+    ctx: TxnContext,
+    txn_id: trod_db::TxnId,
+    snapshot_ts: trod_db::Ts,
+    reads: Vec<ReadTrace>,
+}
+
+impl TracedTransaction {
+    fn inner_mut(&mut self) -> &mut trod_db::Transaction {
+        self.inner
+            .as_mut()
+            .expect("traced transaction already finished")
+    }
+
+    /// The database-assigned transaction id.
+    pub fn txn_id(&self) -> trod_db::TxnId {
+        self.txn_id
+    }
+
+    /// The context this transaction runs under.
+    pub fn context(&self) -> &TxnContext {
+        &self.ctx
+    }
+
+    /// Point read with provenance capture.
+    pub fn get(&mut self, table: &str, key: &Key) -> DbResult<Option<Row>> {
+        let result = self.inner_mut().get(table, key)?;
+        self.reads.push(ReadTrace {
+            table: table.to_string(),
+            query: format!("Get {table}{key}"),
+            rows: result
+                .clone()
+                .map(|r| vec![(key.clone(), r)])
+                .unwrap_or_default(),
+        });
+        Ok(result)
+    }
+
+    /// Predicate scan with provenance capture.
+    pub fn scan(&mut self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Row)>> {
+        let result = self.inner_mut().scan(table, pred)?;
+        self.reads.push(ReadTrace {
+            table: table.to_string(),
+            query: format!("Scan {table} WHERE {pred}"),
+            rows: result.clone(),
+        });
+        Ok(result)
+    }
+
+    /// Existence check with provenance capture (the "Check if (U1, F2)
+    /// exists" row of the paper's Table 2).
+    pub fn exists(&mut self, table: &str, pred: &Predicate) -> DbResult<bool> {
+        let result = self.inner_mut().scan(table, pred)?;
+        self.reads.push(ReadTrace {
+            table: table.to_string(),
+            query: format!("Check if {pred} exists in {table}"),
+            rows: result.clone(),
+        });
+        Ok(!result.is_empty())
+    }
+
+    /// Count with provenance capture.
+    pub fn count(&mut self, table: &str, pred: &Predicate) -> DbResult<usize> {
+        let result = self.inner_mut().scan(table, pred)?;
+        self.reads.push(ReadTrace {
+            table: table.to_string(),
+            query: format!("Count {pred} in {table}"),
+            rows: result.clone(),
+        });
+        Ok(result.len())
+    }
+
+    /// Insert (write provenance is captured from the commit's CDC).
+    pub fn insert(&mut self, table: &str, row: Row) -> DbResult<Key> {
+        self.inner_mut().insert(table, row)
+    }
+
+    /// Update by primary key.
+    pub fn update(&mut self, table: &str, key: &Key, new_row: Row) -> DbResult<()> {
+        self.inner_mut().update(table, key, new_row)
+    }
+
+    /// Update all rows matching a predicate.
+    pub fn update_where<F>(&mut self, table: &str, pred: &Predicate, f: F) -> DbResult<usize>
+    where
+        F: FnMut(&Row) -> Row,
+    {
+        self.inner_mut().update_where(table, pred, f)
+    }
+
+    /// Delete by primary key.
+    pub fn delete(&mut self, table: &str, key: &Key) -> DbResult<bool> {
+        self.inner_mut().delete(table, key)
+    }
+
+    /// Delete all rows matching a predicate.
+    pub fn delete_where(&mut self, table: &str, pred: &Predicate) -> DbResult<usize> {
+        self.inner_mut().delete_where(table, pred)
+    }
+
+    /// Commits the transaction and records its provenance (reads, CDC
+    /// writes, snapshot/commit timestamps, request context).
+    pub fn commit(mut self) -> DbResult<CommitInfo> {
+        let inner = self.inner.take().expect("traced transaction already finished");
+        let result = inner.commit();
+        let timestamp = self.tracer.now();
+        match &result {
+            Ok(info) => {
+                self.tracer.record_txn(TxnTrace {
+                    txn_id: self.txn_id,
+                    ctx: self.ctx.clone(),
+                    timestamp,
+                    snapshot_ts: self.snapshot_ts,
+                    commit_ts: info.commit_ts,
+                    committed: true,
+                    reads: std::mem::take(&mut self.reads),
+                    writes: info.changes.clone(),
+                });
+            }
+            Err(_) => {
+                self.tracer.record_txn(TxnTrace {
+                    txn_id: self.txn_id,
+                    ctx: self.ctx.clone(),
+                    timestamp,
+                    snapshot_ts: self.snapshot_ts,
+                    commit_ts: 0,
+                    committed: false,
+                    reads: std::mem::take(&mut self.reads),
+                    writes: Vec::new(),
+                });
+            }
+        }
+        result
+    }
+
+    /// Aborts the transaction; an aborted-transaction trace is recorded so
+    /// aborted attempts remain visible to declarative debugging.
+    pub fn abort(mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.abort();
+        }
+        let timestamp = self.tracer.now();
+        self.tracer.record_txn(TxnTrace {
+            txn_id: self.txn_id,
+            ctx: self.ctx.clone(),
+            timestamp,
+            snapshot_ts: self.snapshot_ts,
+            commit_ts: 0,
+            committed: false,
+            reads: std::mem::take(&mut self.reads),
+            writes: Vec::new(),
+        });
+    }
+
+    /// The buffered (uncommitted) writes, as CDC records.
+    pub fn pending_changes(&self) -> Vec<ChangeRecord> {
+        self.inner
+            .as_ref()
+            .map(|t| t.pending_changes())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trod_db::{DataType, Schema, row};
+
+    fn traced_db() -> TracedDatabase {
+        let db = Database::new();
+        db.create_table(
+            "forum_sub",
+            Schema::builder()
+                .column("id", DataType::Int)
+                .column("user_id", DataType::Text)
+                .column("forum", DataType::Text)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        TracedDatabase::new(db, Tracer::new())
+    }
+
+    #[test]
+    fn committed_transaction_is_traced_with_reads_and_writes() {
+        let tdb = traced_db();
+        let ctx = TxnContext::new("R1", "subscribeUser", "func:DB.insert");
+        let mut txn = tdb.begin(ctx);
+        let pred = Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2"));
+        assert!(!txn.exists("forum_sub", &pred).unwrap());
+        txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
+        txn.commit().unwrap();
+
+        let events = tdb.tracer().drain();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            TraceEvent::Txn(t) => {
+                assert!(t.committed);
+                assert_eq!(t.ctx.req_id, "R1");
+                assert_eq!(t.ctx.handler, "subscribeUser");
+                assert_eq!(t.reads.len(), 1);
+                assert!(t.reads[0].query.contains("Check if"));
+                assert_eq!(t.writes.len(), 1);
+                assert_eq!(t.writes[0].op.kind(), "Insert");
+                assert!(t.commit_ts > 0);
+            }
+            other => panic!("expected Txn event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aborted_and_failed_transactions_are_traced() {
+        let tdb = traced_db();
+        // Explicit abort.
+        let mut txn = tdb.begin(TxnContext::new("R1", "h", "f"));
+        txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
+        txn.abort();
+        // Serialization failure: two conflicting inserts of the same key.
+        let mut a = tdb.begin(TxnContext::new("R2", "h", "f"));
+        let mut b = tdb.begin(TxnContext::new("R3", "h", "f"));
+        a.insert("forum_sub", row![2i64, "U1", "F2"]).unwrap();
+        b.insert("forum_sub", row![2i64, "U2", "F2"]).unwrap();
+        a.commit().unwrap();
+        assert!(b.commit().is_err());
+
+        let events = tdb.tracer().drain();
+        let committed: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Txn(t) => Some(t.committed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed.iter().filter(|c| **c).count(), 1);
+        assert_eq!(committed.iter().filter(|c| !**c).count(), 2);
+    }
+
+    #[test]
+    fn handler_and_external_events_flow_through_the_tracer() {
+        let tracer = Tracer::new();
+        let t0 = tracer.handler_start("R1", "checkout", None, "{\"cart\": 3}");
+        let t1 = tracer.external_call("R1", "checkout", "email", "receipt");
+        let t2 = tracer.handler_end("R1", "checkout", "ok", true);
+        assert!(t0 < t1 && t1 < t2);
+        let events = tracer.drain();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.req_id() == "R1"));
+    }
+
+    #[test]
+    fn disabling_tracing_suppresses_events_but_not_execution() {
+        let tdb = traced_db();
+        tdb.tracer().set_enabled(false);
+        let mut txn = tdb.begin(TxnContext::new("R1", "h", "f"));
+        txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
+        txn.commit().unwrap();
+        assert!(tdb.tracer().drain().is_empty());
+        assert_eq!(tdb.database().stats().live_rows, 1);
+        assert_eq!(tdb.tracer().stats().dropped, 1);
+    }
+
+    #[test]
+    fn get_and_scan_record_row_level_read_provenance() {
+        let tdb = traced_db();
+        let mut setup = tdb.begin(TxnContext::new("R0", "setup", "f"));
+        setup.insert("forum_sub", row![1i64, "U1", "F1"]).unwrap();
+        setup.insert("forum_sub", row![2i64, "U2", "F2"]).unwrap();
+        setup.commit().unwrap();
+        tdb.tracer().drain();
+
+        let mut txn = tdb.begin(TxnContext::new("R1", "reader", "f"));
+        let got = txn.get("forum_sub", &Key::single(1i64)).unwrap();
+        assert!(got.is_some());
+        let scanned = txn.scan("forum_sub", &Predicate::eq("forum", "F2")).unwrap();
+        assert_eq!(scanned.len(), 1);
+        let n = txn.count("forum_sub", &Predicate::True).unwrap();
+        assert_eq!(n, 2);
+        txn.commit().unwrap();
+
+        let events = tdb.tracer().drain();
+        let TraceEvent::Txn(t) = &events[0] else {
+            panic!("expected txn trace");
+        };
+        assert_eq!(t.reads.len(), 3);
+        assert_eq!(t.reads[0].rows.len(), 1);
+        assert_eq!(t.reads[1].rows.len(), 1);
+        assert_eq!(t.reads[2].rows.len(), 2);
+        assert!(!t.is_write());
+    }
+}

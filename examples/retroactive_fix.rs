@@ -1,0 +1,106 @@
+//! Retroactive programming in depth (paper §3.6 and §4.1).
+//!
+//! Shows the full bug-fix validation loop the paper advocates:
+//!
+//! 1. Production hits MDL-59854 (duplicate subscriptions) *and* the
+//!    follow-on MDL-60669 (course restore fails on the corrupted data).
+//! 2. The developer patches `subscribeUser`.
+//! 3. TROD re-executes the original requests — including the course
+//!    restore — against the patch, over every relevant interleaving, and
+//!    checks invariants on each outcome, catching regressions *before*
+//!    the patch ships.
+//!
+//! Run with: `cargo run --example retroactive_fix`
+
+use trod::apps::moodle::{self, FORUM_SUB_TABLE, RESTORED_SUB_TABLE};
+use trod::prelude::*;
+
+fn main() {
+    // --- Production history -----------------------------------------------
+    let scenario = moodle::toctou_scenario();
+    scenario.runtime.must_handle(
+        "createForum",
+        Args::new().with("forum", "F2").with("course", "C1"),
+    );
+    let fetch_error = scenario.run();
+    scenario
+        .runtime
+        .must_handle("deleteCourse", Args::new().with("course", "C1"));
+    let restore = scenario
+        .runtime
+        .handle_request_with_id("R4", "restoreCourse", Args::new().with("course", "C1"));
+    println!("production: fetchSubscribers error = {fetch_error:?}");
+    println!("production: restoreCourse outcome  = {:?}\n", restore.output);
+
+    let trod = scenario.into_trod();
+
+    // --- Which orderings will be explored? ---------------------------------
+    let buggy_first = trod
+        .retroactive(moodle::registry())
+        .requests(&["R1", "R2", "R3", "R4"])
+        .max_orderings(24)
+        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
+        .run()
+        .expect("retroactive run with the original code");
+    println!(
+        "re-executing the ORIGINAL code serially: {} orderings explored, {} conflicting pairs",
+        buggy_first.orderings.len(),
+        buggy_first.conflicting_pairs
+    );
+    println!(
+        "  (serial re-execution hides the race — that is exactly why retroactive testing must \
+         also be run against the patch under every ordering, not just the original one)\n"
+    );
+
+    // --- Retroactive validation of the patch -------------------------------
+    let report = trod
+        .retroactive(moodle::patched_registry())
+        .requests(&["R1", "R2", "R3", "R4"])
+        .max_orderings(24)
+        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(RESTORED_SUB_TABLE, &["user_id", "forum"]))
+        .run()
+        .expect("retroactive run with the patch");
+
+    println!(
+        "re-executing the PATCHED code: {} orderings explored (snapshot ts = {})",
+        report.orderings.len(),
+        report.snapshot_ts
+    );
+    for ordering in &report.orderings {
+        let summary: Vec<String> = ordering
+            .outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{}:{}{}",
+                    o.req_id,
+                    if o.ok { "ok" } else { "err" },
+                    if o.outcome_changed() { "*" } else { "" }
+                )
+            })
+            .collect();
+        println!(
+            "  {:?} -> {} | violations: {:?}",
+            ordering.order,
+            summary.join(" "),
+            ordering.violations
+        );
+    }
+    println!(
+        "\nchanged outcomes vs production (marked * above): {:?}",
+        report
+            .changed_outcomes()
+            .iter()
+            .map(|o| format!("{} ({})", o.original_req_id, o.handler))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "verdict: {}",
+        if report.all_orderings_clean() {
+            "the patch fixes MDL-59854 without reintroducing MDL-60669"
+        } else {
+            "the patch is not safe"
+        }
+    );
+}

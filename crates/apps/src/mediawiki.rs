@@ -14,9 +14,9 @@
 //! As with the Moodle application, both the buggy and the fixed handler
 //! registries are provided.
 
-use trod_db::{Database, DataType, Key, Predicate, Schema, Value, row};
+use trod_db::{row, DataType, Database, Key, Predicate, Schema, Value};
 use trod_provenance::ProvenanceStore;
-use trod_runtime::{Args, HandlerError, HandlerRegistry, point_label};
+use trod_runtime::{point_label, Args, HandlerError, HandlerRegistry};
 
 /// Pages table: title, content, size and revision counter.
 pub const PAGES_TABLE: &str = "pages";
@@ -207,7 +207,8 @@ pub fn patched_registry() -> HandlerRegistry {
             let title = require_str(args, "title")?;
             let content = require_str(args, "content")?;
             let rev_id = require_str(args, "rev_id")?;
-            let mut txn = ctx.txn_with("func:editPageAtomic", trod_db::IsolationLevel::Serializable);
+            let mut txn =
+                ctx.txn_with("func:editPageAtomic", trod_db::IsolationLevel::Serializable);
             let key = Key::single(title.clone());
             let page = txn
                 .get(PAGES_TABLE, &key)?
@@ -231,8 +232,10 @@ pub fn patched_registry() -> HandlerRegistry {
             let link_id = require_str(args, "link_id")?;
             let page = require_str(args, "page")?;
             let url = require_str(args, "url")?;
-            let mut txn =
-                ctx.txn_with("func:addSiteLinkAtomic", trod_db::IsolationLevel::Serializable);
+            let mut txn = ctx.txn_with(
+                "func:addSiteLinkAtomic",
+                trod_db::IsolationLevel::Serializable,
+            );
             let exists = txn.exists(
                 SITE_LINKS_TABLE,
                 &Predicate::eq("page", &page as &str).and(Predicate::eq("url", &url as &str)),
@@ -322,12 +325,23 @@ mod tests {
     #[test]
     fn sitelink_race_creates_duplicates_and_listing_detects_them() {
         let runtime = racy_runtime(sitelink_race_script("E1", "E2"), registry());
-        runtime.must_handle("createPage", Args::new().with("title", "P").with("content", "x"));
+        runtime.must_handle(
+            "createPage",
+            Args::new().with("title", "P").with("content", "x"),
+        );
         run_pair(
             &runtime,
             [
-                ("E1", "addSiteLink", sitelink_args("L1", "P", "https://w.org")),
-                ("E2", "addSiteLink", sitelink_args("L2", "P", "https://w.org")),
+                (
+                    "E1",
+                    "addSiteLink",
+                    sitelink_args("L1", "P", "https://w.org"),
+                ),
+                (
+                    "E2",
+                    "addSiteLink",
+                    sitelink_args("L2", "P", "https://w.org"),
+                ),
             ],
         );
         let links = runtime
@@ -344,12 +358,23 @@ mod tests {
         let runtime = Runtime::builder(mediawiki_db(), patched_registry())
             .default_isolation(IsolationLevel::Serializable)
             .build();
-        runtime.must_handle("createPage", Args::new().with("title", "P").with("content", "x"));
+        runtime.must_handle(
+            "createPage",
+            Args::new().with("title", "P").with("content", "x"),
+        );
         run_pair(
             &runtime,
             [
-                ("E1", "addSiteLink", sitelink_args("L1", "P", "https://w.org")),
-                ("E2", "addSiteLink", sitelink_args("L2", "P", "https://w.org")),
+                (
+                    "E1",
+                    "addSiteLink",
+                    sitelink_args("L1", "P", "https://w.org"),
+                ),
+                (
+                    "E2",
+                    "addSiteLink",
+                    sitelink_args("L2", "P", "https://w.org"),
+                ),
             ],
         );
         let links = runtime

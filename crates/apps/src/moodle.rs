@@ -17,9 +17,9 @@
 //! debugger's replay and retroactive features can be demonstrated exactly
 //! as in the paper's Figure 3.
 
-use trod_db::{Database, DataType, Key, Predicate, Schema, Value, row};
+use trod_db::{row, DataType, Database, Key, Predicate, Schema, Value};
 use trod_provenance::ProvenanceStore;
-use trod_runtime::{Args, HandlerError, HandlerRegistry, Runtime, Scheduler, point_label};
+use trod_runtime::{point_label, Args, HandlerError, HandlerRegistry, Runtime, Scheduler};
 use trod_trace::Tracer;
 
 /// Table holding forum subscriptions: the table the bug corrupts.
@@ -179,7 +179,10 @@ pub fn registry() -> HandlerRegistry {
         let forum = require_str(args, "forum")?;
         let course = require_str(args, "course")?;
         let mut txn = ctx.txn("func:createForum");
-        if txn.get(COURSES_TABLE, &Key::single(course.clone()))?.is_none() {
+        if txn
+            .get(COURSES_TABLE, &Key::single(course.clone()))?
+            .is_none()
+        {
             txn.insert(COURSES_TABLE, row![course.clone(), false])?;
         }
         txn.insert(FORUMS_TABLE, row![forum, course])?;
@@ -264,8 +267,7 @@ pub fn patched_registry() -> HandlerRegistry {
             Ok(_) => {}
             Err(e) if e.is_retryable() => {
                 let mut retry = ctx.txn("func:subscribeAtomic.retry");
-                let already =
-                    retry.exists(FORUM_SUB_TABLE, &subscription_pred(&user, &forum))?;
+                let already = retry.exists(FORUM_SUB_TABLE, &subscription_pred(&user, &forum))?;
                 if !already {
                     retry.insert(FORUM_SUB_TABLE, row![sub_id, user, forum])?;
                 }
@@ -359,17 +361,25 @@ impl ToctouScenario {
         let runtime = &self.runtime;
         std::thread::scope(|scope| {
             let h1 = scope.spawn(move || {
-                runtime.handle_request_with_id(&r1, "subscribeUser", subscribe_args("S1", "U1", "F2"))
+                runtime.handle_request_with_id(
+                    &r1,
+                    "subscribeUser",
+                    subscribe_args("S1", "U1", "F2"),
+                )
             });
             let h2 = scope.spawn(move || {
-                runtime.handle_request_with_id(&r2, "subscribeUser", subscribe_args("S2", "U1", "F2"))
+                runtime.handle_request_with_id(
+                    &r2,
+                    "subscribeUser",
+                    subscribe_args("S2", "U1", "F2"),
+                )
             });
             let _ = h1.join().expect("subscribe request thread panicked");
             let _ = h2.join().expect("subscribe request thread panicked");
         });
-        let fetch = self
-            .runtime
-            .handle_request_with_id(&self.r3, "fetchSubscribers", fetch_args("F2"));
+        let fetch =
+            self.runtime
+                .handle_request_with_id(&self.r3, "fetchSubscribers", fetch_args("F2"));
         match fetch.output {
             Ok(_) => None,
             Err(e) => Some(e.to_string()),
@@ -414,8 +424,7 @@ mod tests {
         // Provenance captures all three requests.
         scenario.sync_provenance();
         assert_eq!(scenario.provenance.request_ids().len(), 3);
-        let violations =
-            Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]).check(db);
+        let violations = Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]).check(db);
         assert_eq!(violations.len(), 1);
     }
 
@@ -434,11 +443,23 @@ mod tests {
             let runtime = &runtime;
             let h1 = scope.spawn({
                 let r1 = r1.clone();
-                move || runtime.handle_request_with_id(&r1, "subscribeUser", subscribe_args("S1", "U1", "F2"))
+                move || {
+                    runtime.handle_request_with_id(
+                        &r1,
+                        "subscribeUser",
+                        subscribe_args("S1", "U1", "F2"),
+                    )
+                }
             });
             let h2 = scope.spawn({
                 let r2 = r2.clone();
-                move || runtime.handle_request_with_id(&r2, "subscribeUser", subscribe_args("S2", "U1", "F2"))
+                move || {
+                    runtime.handle_request_with_id(
+                        &r2,
+                        "subscribeUser",
+                        subscribe_args("S2", "U1", "F2"),
+                    )
+                }
             });
             vec![h1.join().unwrap(), h2.join().unwrap()]
         });
@@ -461,10 +482,9 @@ mod tests {
             Args::new().with("forum", "F2").with("course", "C1"),
         );
         // Without duplicates, restore works.
-        scenario.runtime.must_handle(
-            "subscribeUser",
-            subscribe_args("S0", "U9", "F2"),
-        );
+        scenario
+            .runtime
+            .must_handle("subscribeUser", subscribe_args("S0", "U9", "F2"));
         scenario
             .runtime
             .must_handle("deleteCourse", Args::new().with("course", "C1"));

@@ -13,7 +13,7 @@
 //!   its contents to an external service. Following the data through
 //!   TROD's workflow traces reveals the exfiltration chain.
 
-use trod_db::{Database, DataType, Key, Predicate, Schema, Value, row};
+use trod_db::{row, DataType, Database, Key, Predicate, Schema, Value};
 use trod_provenance::ProvenanceStore;
 use trod_runtime::{Args, HandlerError, HandlerRegistry};
 
@@ -69,7 +69,10 @@ pub fn provenance_for(db: &Database) -> ProvenanceStore {
         )
         .expect("fresh provenance store");
     store
-        .register_table(STAGING_TABLE, &db.schema_of(STAGING_TABLE).expect("schema exists"))
+        .register_table(
+            STAGING_TABLE,
+            &db.schema_of(STAGING_TABLE).expect("schema exists"),
+        )
         .expect("fresh provenance store");
     store
 }
@@ -217,7 +220,8 @@ mod tests {
     fn buggy_handler_allows_cross_user_updates() {
         let runtime = seeded_runtime(registry());
         // Mallory updates alice's profile — the bug.
-        let result = runtime.handle_request("updateProfile", update_args("alice", "mallory", "pwned"));
+        let result =
+            runtime.handle_request("updateProfile", update_args("alice", "mallory", "pwned"));
         assert!(result.is_ok());
         let profile = runtime.must_handle("viewProfile", Args::new().with("user_name", "alice"));
         assert_eq!(profile, Value::Text("a@x.org|pwned".into()));
@@ -226,7 +230,8 @@ mod tests {
     #[test]
     fn patched_handler_denies_cross_user_updates_but_allows_self_updates() {
         let runtime = seeded_runtime(patched_registry());
-        let denied = runtime.handle_request("updateProfile", update_args("alice", "mallory", "pwned"));
+        let denied =
+            runtime.handle_request("updateProfile", update_args("alice", "mallory", "pwned"));
         assert!(matches!(denied.output, Err(HandlerError::App(_))));
         let allowed = runtime.handle_request("updateProfile", update_args("alice", "alice", "hi"));
         assert!(allowed.is_ok());

@@ -10,7 +10,7 @@
 //! overhead benchmark (experiment E1) and the provenance-scale benchmark
 //! (experiment E2).
 
-use trod_db::{Database, DataType, Key, Predicate, Schema, Value, row};
+use trod_db::{row, DataType, Database, Key, Predicate, Schema, Value};
 use trod_provenance::ProvenanceStore;
 use trod_runtime::{Args, HandlerError, HandlerRegistry};
 
@@ -83,7 +83,8 @@ pub fn seed_inventory(db: &Database, items: usize, stock: i64) {
         txn.insert(INVENTORY_TABLE, row![format!("item-{i}"), stock, 0i64])
             .expect("seeding a fresh inventory cannot conflict");
     }
-    txn.commit().expect("seeding a fresh inventory cannot conflict");
+    txn.commit()
+        .expect("seeding a fresh inventory cannot conflict");
 }
 
 /// Creates a provenance store with all shop tables registered.
@@ -122,7 +123,11 @@ pub fn registry() -> HandlerRegistry {
             txn.commit()?;
             return Err(HandlerError::App(format!("insufficient stock for {item}")));
         }
-        txn.update(INVENTORY_TABLE, &key, row![item, stock, reserved + quantity])?;
+        txn.update(
+            INVENTORY_TABLE,
+            &key,
+            row![item, stock, reserved + quantity],
+        )?;
         txn.commit()?;
         Ok(Value::Bool(true))
     });
@@ -137,7 +142,10 @@ pub fn registry() -> HandlerRegistry {
         )?;
         txn.commit()?;
         // The actual charge goes to an external (idempotent) provider.
-        ctx.external_call("payment-gateway", &format!("charge {order_id} amount={amount}"));
+        ctx.external_call(
+            "payment-gateway",
+            &format!("charge {order_id} amount={amount}"),
+        );
         Ok(Value::Bool(true))
     });
 
@@ -164,7 +172,9 @@ pub fn registry() -> HandlerRegistry {
 
         ctx.call(
             "reserveInventory",
-            Args::new().with("item", item.as_str()).with("quantity", quantity),
+            Args::new()
+                .with("item", item.as_str())
+                .with("quantity", quantity),
         )?;
         ctx.call(
             "chargePayment",
@@ -235,9 +245,22 @@ mod tests {
         assert_eq!(order, Value::Text("O1".into()));
 
         let db = runtime.database();
-        assert_eq!(db.scan_latest(ORDERS_TABLE, &Predicate::True).unwrap().len(), 1);
-        assert_eq!(db.scan_latest(PAYMENTS_TABLE, &Predicate::True).unwrap().len(), 1);
-        let inv = db.get_latest(INVENTORY_TABLE, &Key::single("item-1")).unwrap().unwrap();
+        assert_eq!(
+            db.scan_latest(ORDERS_TABLE, &Predicate::True)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            db.scan_latest(PAYMENTS_TABLE, &Predicate::True)
+                .unwrap()
+                .len(),
+            1
+        );
+        let inv = db
+            .get_latest(INVENTORY_TABLE, &Key::single("item-1"))
+            .unwrap()
+            .unwrap();
         assert_eq!(inv[2].as_int(), Some(2));
 
         // Two external intents: payment gateway and e-mail receipt.

@@ -141,8 +141,12 @@ mod tests {
         let b = shop_workload(&cfg);
         assert_eq!(a.len(), cfg.requests);
         assert_eq!(
-            a.iter().map(|(h, args)| (h.clone(), args.encode())).collect::<Vec<_>>(),
-            b.iter().map(|(h, args)| (h.clone(), args.encode())).collect::<Vec<_>>()
+            a.iter()
+                .map(|(h, args)| (h.clone(), args.encode()))
+                .collect::<Vec<_>>(),
+            b.iter()
+                .map(|(h, args)| (h.clone(), args.encode()))
+                .collect::<Vec<_>>()
         );
 
         let m = moodle_workload(&cfg);
@@ -153,10 +157,18 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = shop_workload(&WorkloadConfig { seed: 1, ..WorkloadConfig::small() });
-        let b = shop_workload(&WorkloadConfig { seed: 2, ..WorkloadConfig::small() });
+        let a = shop_workload(&WorkloadConfig {
+            seed: 1,
+            ..WorkloadConfig::small()
+        });
+        let b = shop_workload(&WorkloadConfig {
+            seed: 2,
+            ..WorkloadConfig::small()
+        });
         let enc = |w: &Vec<(String, Args)>| {
-            w.iter().map(|(h, a)| format!("{h}:{}", a.encode())).collect::<Vec<_>>()
+            w.iter()
+                .map(|(h, a)| format!("{h}:{}", a.encode()))
+                .collect::<Vec<_>>()
         };
         assert_ne!(enc(&a), enc(&b));
     }

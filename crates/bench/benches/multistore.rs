@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use trod_db::{row, Database, DataType, Schema};
+use trod_db::{row, DataType, Database, Schema};
 use trod_kv::{CrossStore, KvStore};
 use trod_trace::{Tracer, TxnContext};
 
@@ -55,7 +55,8 @@ fn bench_cross_store_commit(c: &mut Criterion) {
             b.iter(|| {
                 let n = counter.fetch_add(1, Ordering::Relaxed) as i64;
                 let mut txn = db.begin();
-                txn.insert("orders", row![n, "bench", "widget"]).expect("insert");
+                txn.insert("orders", row![n, "bench", "widget"])
+                    .expect("insert");
                 txn.commit().expect("commit")
             });
         });
@@ -69,7 +70,8 @@ fn bench_cross_store_commit(c: &mut Criterion) {
             b.iter(|| {
                 let n = counter.fetch_add(1, Ordering::Relaxed) as i64;
                 let mut txn = cross.begin();
-                txn.insert("orders", row![n, "bench", "widget"]).expect("insert");
+                txn.insert("orders", row![n, "bench", "widget"])
+                    .expect("insert");
                 txn.kv_put("sessions", &format!("cart:{}", n % 512), "checked-out")
                     .expect("put");
                 txn.commit().expect("commit")
@@ -87,7 +89,8 @@ fn bench_cross_store_commit(c: &mut Criterion) {
                 let n = counter.fetch_add(1, Ordering::Relaxed) as i64;
                 let mut txn =
                     cross.begin_traced(TxnContext::new(format!("R{n}"), "checkout", "func:bench"));
-                txn.insert("orders", row![n, "bench", "widget"]).expect("insert");
+                txn.insert("orders", row![n, "bench", "widget"])
+                    .expect("insert");
                 txn.kv_put("sessions", &format!("cart:{}", n % 512), "checked-out")
                     .expect("put");
                 txn.commit().expect("commit")

@@ -119,9 +119,7 @@ fn bench_retention(c: &mut Criterion) {
                 },
                 |store| {
                     // Drop the oldest half of the history.
-                    let report = store
-                        .retain_since(events as i64 / 2)
-                        .expect("retention");
+                    let report = store.retain_since(events as i64 / 2).expect("retention");
                     assert!(report.transactions_dropped > 0);
                 },
                 BatchSize::SmallInput,

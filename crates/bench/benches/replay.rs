@@ -27,7 +27,11 @@ fn traced_deployment(base_rows: usize, dependencies: usize) -> (ProvenanceStore,
     for i in 0..base_rows {
         seed.insert(
             moodle::FORUM_SUB_TABLE,
-            trod_db::row![format!("seed-{i}"), format!("U{}", i % 97), format!("F{}", i % 31)],
+            trod_db::row![
+                format!("seed-{i}"),
+                format!("U{}", i % 97),
+                format!("F{}", i % 31)
+            ],
         )
         .expect("seeding cannot conflict");
     }
@@ -118,5 +122,9 @@ fn bench_replay_vs_database_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_replay_vs_dependencies, bench_replay_vs_database_size);
+criterion_group!(
+    benches,
+    bench_replay_vs_dependencies,
+    bench_replay_vs_database_size
+);
 criterion_main!(benches);

@@ -82,5 +82,9 @@ fn bench_ordering_enumeration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_retroactive_exploration, bench_ordering_enumeration);
+criterion_group!(
+    benches,
+    bench_retroactive_exploration,
+    bench_ordering_enumeration
+);
 criterion_main!(benches);

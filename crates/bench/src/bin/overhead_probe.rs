@@ -11,16 +11,26 @@ fn main() {
         runtime.tracer().set_enabled(tracing);
         // warmup
         for i in 0..200 {
-            let r = runtime.handle_request("checkout", shop::checkout_args(&format!("w{i}"), "u", &format!("item-{}", i % 64), 1));
+            let r = runtime.handle_request(
+                "checkout",
+                shop::checkout_args(&format!("w{i}"), "u", &format!("item-{}", i % 64), 1),
+            );
             assert!(r.is_ok());
         }
         let start = Instant::now();
         let n = 2000;
         for i in 0..n {
-            let r = runtime.handle_request("checkout", shop::checkout_args(&format!("o{i}"), "u", &format!("item-{}", i % 64), 1));
+            let r = runtime.handle_request(
+                "checkout",
+                shop::checkout_args(&format!("o{i}"), "u", &format!("item-{}", i % 64), 1),
+            );
             assert!(r.is_ok());
         }
         let total = start.elapsed();
-        println!("tracing={tracing}: {:?} per request, buffer={} events", total / n, runtime.tracer().stats().buffered);
+        println!(
+            "tracing={tracing}: {:?} per request, buffer={} events",
+            total / n,
+            runtime.tracer().stats().buffered
+        );
     }
 }

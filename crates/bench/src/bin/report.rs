@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p trod-bench --bin report            # everything
 //! cargo run -p trod-bench --bin report -- table1  # just Table 1
+//! cargo run -p trod-bench --bin report -- bench-json IN.jsonl OUT.json
 //! ```
 //!
 //! Artifacts:
@@ -10,13 +11,24 @@
 //! * `table2`  — the ForumEvents data-operation log (paper Table 2)
 //! * `query1`  — the §3.3 declarative-debugging query and its answer
 //! * `figure3` — the replay of R1 (Figure 3 top) and the retroactive
-//!               re-execution of R1–R3 with the patched handler (bottom)
+//!   re-execution of R1–R3 with the patched handler (bottom)
+//! * `bench-json` — aggregates the JSON-lines emitted by a criterion run
+//!   (`TROD_BENCH_JSON`) into one committed perf-trajectory artifact
+//!   (`BENCH_PR<N>.json`); driven by `scripts/bench.sh`
 
 use trod_apps::moodle;
 use trod_core::{Invariant, Trod};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-json") {
+        let [input, output] = &args[1..] else {
+            eprintln!("usage: report bench-json <results.jsonl> <out.json>");
+            std::process::exit(2);
+        };
+        emit_bench_json(input, output);
+        return;
+    }
     let wants = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     // Reproduce the paper's running example and capture its provenance.
@@ -112,7 +124,11 @@ fn print_figure3(trod: &Trod) {
                 format!(
                     "{}={}",
                     o.req_id,
-                    if o.ok { o.output.clone() } else { format!("error({})", o.output) }
+                    if o.ok {
+                        o.output.clone()
+                    } else {
+                        format!("error({})", o.output)
+                    }
                 )
             })
             .collect();
@@ -127,4 +143,45 @@ fn print_figure3(trod: &Trod) {
         "\n  verdict: patched code clean under every ordering = {}",
         report.all_orderings_clean()
     );
+}
+
+/// Wraps the JSON-lines benchmark results in a single stable artifact.
+/// Each input line is already a JSON object (one per benchmark, emitted by
+/// the vendored criterion's `TROD_BENCH_JSON` hook); this adds metadata
+/// and sorts by id so diffs between PR baselines stay readable.
+fn emit_bench_json(input: &str, output: &str) {
+    let raw = std::fs::read_to_string(input)
+        .unwrap_or_else(|e| panic!("cannot read bench results {input}: {e}"));
+    let mut lines: Vec<&str> = raw
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    // Sort by the "id" field, which every line starts with.
+    lines.sort_unstable();
+    lines.dedup();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"trod-bench/v1\",\n");
+    out.push_str(&format!(
+        "  \"rustc\": \"{}\",\n",
+        option_env!("TROD_RUSTC_VERSION").unwrap_or("unknown")
+    ));
+    out.push_str(
+        "  \"note\": \"mean_ns is per iteration; see crates/bench/benches/ for workloads\",\n",
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(output, out)
+        .unwrap_or_else(|e| panic!("cannot write bench artifact {output}: {e}"));
+    println!("wrote {output} ({} results)", lines.len());
 }

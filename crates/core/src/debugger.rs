@@ -16,9 +16,9 @@ use trod_query::{QueryResultT, ResultSet};
 use trod_runtime::{HandlerRegistry, Runtime};
 
 use crate::declarative::Declarative;
-use crate::reenactment::Reenactor;
 use crate::perf::Perf;
 use crate::quality::Quality;
+use crate::reenactment::Reenactor;
 use crate::replay::{ReplayError, ReplaySession};
 use crate::retroactive::RetroactiveBuilder;
 use crate::security::Security;

@@ -39,7 +39,8 @@ fn directional_conflict(writer: &TxnTrace, reader: &TxnTrace) -> bool {
                 continue;
             }
             let point_match = read.rows.iter().any(|(key, _)| key == &write.key);
-            let predicate_read = read.rows.is_empty() || read.query.starts_with("Scan")
+            let predicate_read = read.rows.is_empty()
+                || read.query.starts_with("Scan")
                 || read.query.starts_with("Check")
                 || read.query.starts_with("Count");
             if point_match || predicate_read {
@@ -76,9 +77,7 @@ impl ConflictGraph {
                 let a = by_request.get(requests[i].as_str());
                 let b = by_request.get(requests[j].as_str());
                 if let (Some(a), Some(b)) = (a, b) {
-                    let conflicting = a
-                        .iter()
-                        .any(|ta| b.iter().any(|tb| txns_conflict(ta, tb)));
+                    let conflicting = a.iter().any(|ta| b.iter().any(|tb| txns_conflict(ta, tb)));
                     if conflicting {
                         edges.insert((i, j));
                     }
@@ -192,11 +191,7 @@ mod tests {
     }
 
     fn insert(table: &str, key: i64) -> ChangeRecord {
-        ChangeRecord::insert(
-            table,
-            Key::single(key),
-            Row::from(vec![Value::Int(key)]),
-        )
+        ChangeRecord::insert(table, Key::single(key), Row::from(vec![Value::Int(key)]))
     }
 
     fn scan(table: &str) -> ReadTrace {

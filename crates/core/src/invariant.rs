@@ -12,12 +12,15 @@ use std::sync::Arc;
 
 use trod_db::{Database, Predicate, Value};
 
+/// The boxed check function an [`Invariant`] runs against a database.
+pub type InvariantCheck = Arc<dyn Fn(&Database) -> Vec<String> + Send + Sync>;
+
 /// A named predicate over a database state. Returns a list of
 /// human-readable violation descriptions (empty = invariant holds).
 #[derive(Clone)]
 pub struct Invariant {
     name: String,
-    check: Arc<dyn Fn(&Database) -> Vec<String> + Send + Sync>,
+    check: InvariantCheck,
 }
 
 impl Invariant {
@@ -128,7 +131,9 @@ impl Invariant {
 
 impl std::fmt::Debug for Invariant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Invariant").field("name", &self.name).finish()
+        f.debug_struct("Invariant")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -140,7 +145,7 @@ pub fn check_all(db: &Database, invariants: &[Invariant]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trod_db::{DataType, Schema, row};
+    use trod_db::{row, DataType, Schema};
 
     fn subs_db() -> Database {
         let db = Database::new();

@@ -37,7 +37,7 @@ pub use perf::{HandlerLatency, Perf, RequestProfile, SlowRequest, SpanNode};
 pub use quality::{
     BlameRecord, BlamedViolation, Quality, QualityReport, QualityRule, QualityViolation,
 };
-pub use reenactment::{Anomaly, AnomalyKind, Reenactor, ReenactmentReport};
+pub use reenactment::{Anomaly, AnomalyKind, ReenactmentReport, Reenactor};
 pub use replay::{ReplayError, ReplayReport, ReplaySession, ReplayStep, StepReport};
 pub use retroactive::{
     OrderingOutcome, RequestOutcome, RetroactiveBuilder, RetroactiveError, RetroactiveReport,

@@ -79,7 +79,11 @@ impl SpanNode {
 
     /// Total number of spans in this subtree (including this one).
     pub fn span_count(&self) -> usize {
-        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
     }
 }
 
@@ -374,10 +378,8 @@ mod tests {
 
     #[test]
     fn all_request_profiles_sorted_slowest_first() {
-        let store = store_with_requests(&[
-            ("R1", "checkout", None, true),
-            ("R2", "lookup", None, true),
-        ]);
+        let store =
+            store_with_requests(&[("R1", "checkout", None, true), ("R2", "lookup", None, true)]);
         let perf = Perf::new(&store);
         let profiles = perf.all_request_profiles();
         assert_eq!(profiles.len(), 2);

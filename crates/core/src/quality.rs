@@ -110,7 +110,11 @@ impl QualityRule {
                 ref_column,
             } => format!("fk({table}.{column} -> {ref_table}.{ref_column})"),
             QualityRule::Range {
-                table, column, min, max, ..
+                table,
+                column,
+                min,
+                max,
+                ..
             } => format!("range({table}.{column} in [{min}, {max}])"),
             QualityRule::Forbidden { name, table, .. } => format!("forbidden({name} on {table})"),
         }
@@ -211,7 +215,10 @@ impl<'a> Quality<'a> {
         for rule in rules {
             for violation in self.evaluate(rule)? {
                 let culprits = self.blame(&violation);
-                report.violations.push(BlamedViolation { violation, culprits });
+                report.violations.push(BlamedViolation {
+                    violation,
+                    culprits,
+                });
             }
         }
         Ok(report)
@@ -229,7 +236,10 @@ impl<'a> Quality<'a> {
                 ref_column,
             } => self.eval_foreign_key(table, column, ref_table, ref_column),
             QualityRule::Range {
-                table, column, min, max,
+                table,
+                column,
+                min,
+                max,
             } => self.eval_range(table, column, *min, *max),
             QualityRule::Forbidden {
                 name,
@@ -296,7 +306,9 @@ impl<'a> Quality<'a> {
     }
 
     fn eval_not_null(&self, table: &str, column: &str) -> DbResult<Vec<QualityViolation>> {
-        let rows = self.db.scan_latest(table, &Predicate::IsNull(column.to_string()))?;
+        let rows = self
+            .db
+            .scan_latest(table, &Predicate::IsNull(column.to_string()))?;
         Ok(rows
             .into_iter()
             .map(|(key, _)| QualityViolation {
@@ -360,7 +372,9 @@ impl<'a> Quality<'a> {
             let Some(value) = idx.and_then(|i| row.get(i)) else {
                 continue;
             };
-            let Some(number) = value.as_float().or_else(|| value.as_int().map(|i| i as f64))
+            let Some(number) = value
+                .as_float()
+                .or_else(|| value.as_int().map(|i| i as f64))
             else {
                 continue;
             };
@@ -453,10 +467,12 @@ mod tests {
     fn unique_rule_finds_duplicates_and_blames_the_writers() {
         let (db, store, traced) = setup();
         let mut txn = traced.begin(TxnContext::new("R1", "subscribeUser", "func:DB.insert"));
-        txn.insert("forum_sub", row![1i64, "U1", "F2", Value::Null]).unwrap();
+        txn.insert("forum_sub", row![1i64, "U1", "F2", Value::Null])
+            .unwrap();
         txn.commit().unwrap();
         let mut txn = traced.begin(TxnContext::new("R2", "subscribeUser", "func:DB.insert"));
-        txn.insert("forum_sub", row![2i64, "U1", "F2", Value::Null]).unwrap();
+        txn.insert("forum_sub", row![2i64, "U1", "F2", Value::Null])
+            .unwrap();
         txn.commit().unwrap();
         flush(&traced, &store);
 
@@ -477,7 +493,8 @@ mod tests {
     fn not_null_and_range_rules() {
         let (db, store, traced) = setup();
         let mut txn = traced.begin(TxnContext::new("R1", "h", "f"));
-        txn.insert("forum_sub", row![1i64, "U1", "F2", Value::Null]).unwrap();
+        txn.insert("forum_sub", row![1i64, "U1", "F2", Value::Null])
+            .unwrap();
         txn.insert("inventory", row!["widget", -3i64]).unwrap();
         txn.insert("inventory", row!["gadget", 7i64]).unwrap();
         txn.commit().unwrap();
@@ -501,14 +518,21 @@ mod tests {
         let (db, store, traced) = setup();
         let mut txn = traced.begin(TxnContext::new("R1", "h", "f"));
         txn.insert("forums", row!["F1"]).unwrap();
-        txn.insert("forum_sub", row![1i64, "U1", "F1", Value::Null]).unwrap();
-        txn.insert("forum_sub", row![2i64, "U2", "F404", Value::Null]).unwrap();
+        txn.insert("forum_sub", row![1i64, "U1", "F1", Value::Null])
+            .unwrap();
+        txn.insert("forum_sub", row![2i64, "U2", "F404", Value::Null])
+            .unwrap();
         txn.commit().unwrap();
         flush(&traced, &store);
 
         let quality = Quality::new(&store, &db);
         let report = quality
-            .check(&[QualityRule::foreign_key("forum_sub", "forum", "forums", "forum")])
+            .check(&[QualityRule::foreign_key(
+                "forum_sub",
+                "forum",
+                "forums",
+                "forum",
+            )])
             .unwrap();
         assert_eq!(report.violations.len(), 1);
         assert!(report.violations[0].violation.detail.contains("F404"));
@@ -549,7 +573,9 @@ mod tests {
         // Blame finds both the original insert and the bad update; the
         // update (R2) is the most recent culprit.
         let culprits = &dirty.violations[0].culprits;
-        assert!(culprits.iter().any(|c| c.req_id == "R2" && c.operation == "Update"));
+        assert!(culprits
+            .iter()
+            .any(|c| c.req_id == "R2" && c.operation == "Update"));
     }
 
     #[test]
@@ -557,8 +583,12 @@ mod tests {
         let rule = QualityRule::unique("t", &["a", "b"]);
         assert_eq!(rule.name(), "unique(t.a,b)");
         assert_eq!(rule.table(), "t");
-        assert!(QualityRule::range("t", "c", 0.0, 1.0).name().contains("range"));
+        assert!(QualityRule::range("t", "c", 0.0, 1.0)
+            .name()
+            .contains("range"));
         assert!(QualityRule::not_null("t", "c").name().contains("not_null"));
-        assert!(QualityRule::foreign_key("t", "c", "r", "d").name().contains("fk"));
+        assert!(QualityRule::foreign_key("t", "c", "r", "d")
+            .name()
+            .contains("fk"));
     }
 }

@@ -178,7 +178,11 @@ impl<'a> Reenactor<'a> {
                 if !overlap(a, b) || a.ctx.req_id == b.ctx.req_id {
                     continue;
                 }
-                let (first, second) = if a.commit_ts <= b.commit_ts { (a, b) } else { (b, a) };
+                let (first, second) = if a.commit_ts <= b.commit_ts {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 if let Some(anomaly) = lost_update(first, second) {
                     out.push(anomaly);
                 } else if let Some(anomaly) = write_skew(first, second) {
@@ -255,11 +259,8 @@ fn write_skew(first: &TxnTrace, second: &TxnTrace) -> Option<Anomaly> {
     if !(first_reads_seconds_writes && second_reads_firsts_writes) {
         return None;
     }
-    let tables: Vec<String> = dedup_tables(
-        w1.iter()
-            .chain(w2.iter())
-            .map(|(table, _)| table.clone()),
-    );
+    let tables: Vec<String> =
+        dedup_tables(w1.iter().chain(w2.iter()).map(|(table, _)| table.clone()));
     Some(Anomaly {
         kind: AnomalyKind::WriteSkew,
         txns: (first.txn_id, second.txn_id),
@@ -329,8 +330,10 @@ mod tests {
         assert_eq!(on1.len(), 2);
         let on2 = t2.scan("oncall", &Predicate::eq("on_call", true)).unwrap();
         assert_eq!(on2.len(), 2);
-        t1.update("oncall", &Key::single("alice"), row!["alice", false]).unwrap();
-        t2.update("oncall", &Key::single("bob"), row!["bob", false]).unwrap();
+        t1.update("oncall", &Key::single("alice"), row!["alice", false])
+            .unwrap();
+        t2.update("oncall", &Key::single("bob"), row!["bob", false])
+            .unwrap();
         t1.commit().unwrap();
         t2.commit().unwrap();
         store.ingest(traced.tracer().drain());
@@ -361,8 +364,10 @@ mod tests {
             TxnContext::new("R2", "toggle", "f"),
             IsolationLevel::ReadCommitted,
         );
-        t1.update("oncall", &Key::single("alice"), row!["alice", false]).unwrap();
-        t2.update("oncall", &Key::single("alice"), row!["alice", true]).unwrap();
+        t1.update("oncall", &Key::single("alice"), row!["alice", false])
+            .unwrap();
+        t2.update("oncall", &Key::single("alice"), row!["alice", true])
+            .unwrap();
         t1.commit().unwrap();
         t2.commit().unwrap();
         store.ingest(traced.tracer().drain());
@@ -380,7 +385,8 @@ mod tests {
         seed(&traced);
         for (req, value) in [("R1", false), ("R2", true)] {
             let mut t = traced.begin(TxnContext::new(req, "toggle", "f"));
-            t.update("oncall", &Key::single("alice"), row!["alice", value]).unwrap();
+            t.update("oncall", &Key::single("alice"), row!["alice", value])
+                .unwrap();
             t.commit().unwrap();
         }
         store.ingest(traced.tracer().drain());
@@ -427,7 +433,10 @@ mod tests {
             .update("oncall", &Key::single("alice"), row!["alice", false])
             .unwrap();
         writer.commit().unwrap();
-        let seen = reader.get("oncall", &Key::single("alice")).unwrap().unwrap();
+        let seen = reader
+            .get("oncall", &Key::single("alice"))
+            .unwrap()
+            .unwrap();
         assert_eq!(seen.get(1), Some(&Value::Bool(false)));
         reader.commit().unwrap();
         store.ingest(traced.tracer().drain());

@@ -161,11 +161,7 @@ impl ReplaySession {
             return Err(ReplayError::NoTransactions(req_id.to_string()));
         }
 
-        let base_ts = committed
-            .iter()
-            .map(|t| t.snapshot_ts)
-            .min()
-            .unwrap_or(0);
+        let base_ts = committed.iter().map(|t| t.snapshot_ts).min().unwrap_or(0);
         // The development database starts from the snapshot the request
         // began against. TROD only needs the data items the replay
         // touches; forking at a timestamp gives the same observable

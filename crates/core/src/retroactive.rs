@@ -42,7 +42,10 @@ impl fmt::Display for RetroactiveError {
                 write!(f, "request `{r}` has no traced root handler invocation")
             }
             RetroactiveError::BadArguments { req_id, detail } => {
-                write!(f, "cannot decode recorded arguments of `{req_id}`: {detail}")
+                write!(
+                    f,
+                    "cannot decode recorded arguments of `{req_id}`: {detail}"
+                )
             }
             RetroactiveError::Storage(e) => write!(f, "storage error: {e}"),
         }
@@ -244,12 +247,11 @@ impl RetroactiveBuilder {
                 .find(|r| r.parent.is_none())
                 .cloned()
                 .ok_or_else(|| RetroactiveError::MissingRequestRecord(req_id.clone()))?;
-            let args = Args::decode(&root.args).map_err(|detail| {
-                RetroactiveError::BadArguments {
+            let args =
+                Args::decode(&root.args).map_err(|detail| RetroactiveError::BadArguments {
                     req_id: req_id.clone(),
                     detail,
-                }
-            })?;
+                })?;
             roots.push((req_id.clone(), root, args));
         }
 
@@ -288,7 +290,8 @@ impl RetroactiveBuilder {
                     .find(|(r, _, _)| r == req_id)
                     .expect("ordering only permutes selected requests");
                 let replay_id = format!("{req_id}'");
-                let result = runtime.handle_request_with_id(&replay_id, &root.handler, args.clone());
+                let result =
+                    runtime.handle_request_with_id(&replay_id, &root.handler, args.clone());
                 let (ok, output) = match &result.output {
                     Ok(v) => (true, v.to_string()),
                     Err(e) => (false, e.to_string()),

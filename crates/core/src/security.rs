@@ -174,9 +174,9 @@ impl<'a> Security<'a> {
                     continue;
                 }
                 let reads_tainted = txn.reads.iter().any(|read| {
-                    read.rows
-                        .iter()
-                        .any(|(key, _)| tainted_keys.contains(&(read.table.clone(), key.to_string())))
+                    read.rows.iter().any(|(key, _)| {
+                        tainted_keys.contains(&(read.table.clone(), key.to_string()))
+                    })
                 });
                 if reads_tainted {
                     tainted_requests.push(txn.ctx.req_id.clone());

@@ -8,25 +8,39 @@
 //! past states (paper §3.5).
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::row::{Key, Row};
 
 /// The kind of change applied to a single row.
+///
+/// Before/after images are `Arc`-shared with the storage engine's version
+/// chains: capturing CDC for a commit, copying records into the
+/// provenance store, and replaying them all reuse the writer's single
+/// allocation instead of deep-cloning rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChangeOp {
     /// A new row was inserted.
-    Insert { after: Row },
+    Insert { after: Arc<Row> },
     /// An existing row was overwritten.
-    Update { before: Row, after: Row },
+    Update { before: Arc<Row>, after: Arc<Row> },
     /// An existing row was removed.
-    Delete { before: Row },
+    Delete { before: Arc<Row> },
 }
 
 impl ChangeOp {
     /// The row image after the change, if the row still exists.
     pub fn after(&self) -> Option<&Row> {
         match self {
-            ChangeOp::Insert { after } | ChangeOp::Update { after, .. } => Some(after),
+            ChangeOp::Insert { after } | ChangeOp::Update { after, .. } => Some(&**after),
+            ChangeOp::Delete { .. } => None,
+        }
+    }
+
+    /// The shared after image, if the row still exists (no copy).
+    pub fn after_shared(&self) -> Option<Arc<Row>> {
+        match self {
+            ChangeOp::Insert { after } | ChangeOp::Update { after, .. } => Some(after.clone()),
             ChangeOp::Delete { .. } => None,
         }
     }
@@ -35,7 +49,15 @@ impl ChangeOp {
     pub fn before(&self) -> Option<&Row> {
         match self {
             ChangeOp::Insert { .. } => None,
-            ChangeOp::Update { before, .. } | ChangeOp::Delete { before } => Some(before),
+            ChangeOp::Update { before, .. } | ChangeOp::Delete { before } => Some(&**before),
+        }
+    }
+
+    /// The shared before image, if the row existed (no copy).
+    pub fn before_shared(&self) -> Option<Arc<Row>> {
+        match self {
+            ChangeOp::Insert { .. } => None,
+            ChangeOp::Update { before, .. } | ChangeOp::Delete { before } => Some(before.clone()),
         }
     }
 
@@ -61,27 +83,42 @@ pub struct ChangeRecord {
 }
 
 impl ChangeRecord {
-    pub fn insert(table: impl Into<String>, key: Key, after: Row) -> Self {
+    /// Builds an insert record. Accepts `Row` or `Arc<Row>`.
+    pub fn insert(table: impl Into<String>, key: Key, after: impl Into<Arc<Row>>) -> Self {
         ChangeRecord {
             table: table.into(),
             key,
-            op: ChangeOp::Insert { after },
+            op: ChangeOp::Insert {
+                after: after.into(),
+            },
         }
     }
 
-    pub fn update(table: impl Into<String>, key: Key, before: Row, after: Row) -> Self {
+    /// Builds an update record. Accepts `Row` or `Arc<Row>` images.
+    pub fn update(
+        table: impl Into<String>,
+        key: Key,
+        before: impl Into<Arc<Row>>,
+        after: impl Into<Arc<Row>>,
+    ) -> Self {
         ChangeRecord {
             table: table.into(),
             key,
-            op: ChangeOp::Update { before, after },
+            op: ChangeOp::Update {
+                before: before.into(),
+                after: after.into(),
+            },
         }
     }
 
-    pub fn delete(table: impl Into<String>, key: Key, before: Row) -> Self {
+    /// Builds a delete record. Accepts `Row` or `Arc<Row>`.
+    pub fn delete(table: impl Into<String>, key: Key, before: impl Into<Arc<Row>>) -> Self {
         ChangeRecord {
             table: table.into(),
             key,
-            op: ChangeOp::Delete { before },
+            op: ChangeOp::Delete {
+                before: before.into(),
+            },
         }
     }
 }
@@ -93,7 +130,11 @@ impl fmt::Display for ChangeRecord {
                 write!(f, "INSERT {}{} -> {}", self.table, self.key, after)
             }
             ChangeOp::Update { before, after } => {
-                write!(f, "UPDATE {}{} {} -> {}", self.table, self.key, before, after)
+                write!(
+                    f,
+                    "UPDATE {}{} {} -> {}",
+                    self.table, self.key, before, after
+                )
             }
             ChangeOp::Delete { before } => {
                 write!(f, "DELETE {}{} (was {})", self.table, self.key, before)

@@ -2,7 +2,7 @@
 //! transaction log access, snapshots, time travel and forking.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -39,6 +39,12 @@ struct DbInner {
     commit_lock: Mutex<()>,
     snapshots: Mutex<BTreeMap<String, Ts>>,
     latency: LatencyModel,
+    /// Diagnostics/benchmark escape hatch: force serializable predicate
+    /// validation down the O(total versions) full-scan path instead of the
+    /// O(Δ) change-log path. Both paths are decision-equivalent (enforced
+    /// by a debug assertion and a property test); this flag exists so the
+    /// equivalence is observable and the speedup measurable.
+    full_scan_validation: AtomicBool,
 }
 
 /// A handle to an in-memory transactional database.
@@ -86,8 +92,24 @@ impl Database {
                 commit_lock: Mutex::new(()),
                 snapshots: Mutex::new(BTreeMap::new()),
                 latency: LatencyModel::new(profile),
+                full_scan_validation: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Forces serializable predicate validation onto the full-scan path
+    /// (`true`) or restores the default change-log path (`false`). The two
+    /// paths accept and reject exactly the same transactions; only their
+    /// cost differs. Used by benchmarks and equivalence tests.
+    pub fn set_full_scan_validation(&self, force: bool) {
+        self.inner
+            .full_scan_validation
+            .store(force, Ordering::SeqCst);
+    }
+
+    /// True when the full-scan validation path is forced.
+    pub fn full_scan_validation(&self) -> bool {
+        self.inner.full_scan_validation.load(Ordering::SeqCst)
     }
 
     /// The storage latency model in effect.
@@ -193,24 +215,36 @@ impl Database {
 
         self.validate(&state)?;
 
-        // All validation passed and pre-apply invariants hold: assign the
-        // commit timestamp and install.
-        let commit_ts = self.inner.clock.load(Ordering::SeqCst) + 1;
-        let mut changes = Vec::new();
+        // Pre-apply checks, all BEFORE the first install: resolve every
+        // table handle and re-check insert duplicates against the latest
+        // committed state (a concurrent committer may have inserted the
+        // key under weaker isolation levels). Nothing past this point can
+        // fail, so an abort never leaves partially installed versions —
+        // which would also poison the tables' change logs with entries
+        // for a transaction that never committed.
+        let current_ts = self.inner.clock.load(Ordering::SeqCst);
+        let mut stores = Vec::with_capacity(state.writes.len());
         for (table_name, writes) in &state.writes {
             let store = self.table(table_name)?;
             for (key, op) in writes {
+                if matches!(op, WriteOp::Insert(_)) && store.exists_at(key, current_ts) {
+                    return Err(DbError::DuplicateKey {
+                        table: table_name.clone(),
+                        key: key.to_string(),
+                    });
+                }
+            }
+            stores.push(store);
+        }
+
+        // All validation passed and pre-apply invariants hold: assign the
+        // commit timestamp and install.
+        let commit_ts = current_ts + 1;
+        let mut changes = Vec::new();
+        for ((table_name, writes), store) in state.writes.iter().zip(&stores) {
+            for (key, op) in writes {
                 match op {
                     WriteOp::Insert(after) => {
-                        // Re-check duplicates against the latest committed
-                        // state (a concurrent committer may have inserted
-                        // the key under weaker isolation levels).
-                        if store.exists_at(key, commit_ts.saturating_sub(1)) {
-                            return Err(DbError::DuplicateKey {
-                                table: table_name.clone(),
-                                key: key.to_string(),
-                            });
-                        }
                         store.install(key, after.clone(), commit_ts);
                         changes.push(ChangeRecord::insert(
                             table_name.clone(),
@@ -229,11 +263,9 @@ impl Database {
                             ),
                             // The row vanished concurrently (only possible
                             // under weak isolation); record as an insert.
-                            None => ChangeRecord::insert(
-                                table_name.clone(),
-                                key.clone(),
-                                after.clone(),
-                            ),
+                            None => {
+                                ChangeRecord::insert(table_name.clone(), key.clone(), after.clone())
+                            }
                         };
                         changes.push(rec);
                     }
@@ -298,6 +330,13 @@ impl Database {
 
     /// Serializable validation: every point read and every predicate scan
     /// must still return the same rows it returned at `start_ts`.
+    ///
+    /// Point reads are O(1) per key (only a chain's newest version can
+    /// postdate `start_ts`). Predicate scans are validated against the
+    /// per-table change log — O(Δ) in the rows committed since the
+    /// transaction began, independent of table size — falling back to the
+    /// full version scan only when GC or ring overflow truncated the log
+    /// inside the window (see [`crate::changelog`]).
     fn validate_reads(&self, state: &TxnState) -> DbResult<()> {
         for (table_name, key) in &state.read_set {
             let store = self.table(table_name)?;
@@ -308,16 +347,16 @@ impl Database {
                 });
             }
         }
+        let force_full_scan = self.full_scan_validation();
         for (table_name, pred) in &state.scan_set {
             let store = self.table(table_name)?;
-            let schema = store.schema();
-            for (key, row) in store.rows_touched_after(state.start_ts) {
-                if pred.matches(schema, &row)? {
-                    return Err(DbError::SerializationFailure {
-                        table: table_name.clone(),
-                        detail: format!("predicate [{pred}] affected by concurrent write to {key}"),
-                    });
-                }
+            if let Some(key) =
+                store.predicate_conflict_after(pred, state.start_ts, force_full_scan)?
+            {
+                return Err(DbError::SerializationFailure {
+                    table: table_name.clone(),
+                    detail: format!("predicate [{pred}] affected by concurrent write to {key}"),
+                });
             }
         }
         Ok(())
@@ -327,23 +366,28 @@ impl Database {
     // Non-transactional reads (latest committed / time travel)
     // ------------------------------------------------------------------
 
-    /// Reads the latest committed version of a row.
-    pub fn get_latest(&self, table: &str, key: &Key) -> DbResult<Option<Row>> {
+    /// Reads the latest committed version of a row (shared, zero-copy).
+    pub fn get_latest(&self, table: &str, key: &Key) -> DbResult<Option<Arc<Row>>> {
         Ok(self.table(table)?.get_at(key, self.current_ts()))
     }
 
-    /// Scans the latest committed state of a table.
-    pub fn scan_latest(&self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Row)>> {
+    /// Scans the latest committed state of a table (shared, zero-copy).
+    pub fn scan_latest(&self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Arc<Row>)>> {
         self.table(table)?.scan_at(pred, self.current_ts())
     }
 
     /// Reads a row as of an earlier commit timestamp (time travel).
-    pub fn get_as_of(&self, table: &str, key: &Key, ts: Ts) -> DbResult<Option<Row>> {
+    pub fn get_as_of(&self, table: &str, key: &Key, ts: Ts) -> DbResult<Option<Arc<Row>>> {
         Ok(self.table(table)?.get_at(key, ts))
     }
 
     /// Scans a table as of an earlier commit timestamp (time travel).
-    pub fn scan_as_of(&self, table: &str, pred: &Predicate, ts: Ts) -> DbResult<Vec<(Key, Row)>> {
+    pub fn scan_as_of(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        ts: Ts,
+    ) -> DbResult<Vec<(Key, Arc<Row>)>> {
         self.table(table)?.scan_at(pred, ts)
     }
 
@@ -557,8 +601,10 @@ mod tests {
         let mut t2 = db.begin();
         let _ = t1.scan("t", &Predicate::True).unwrap();
         let _ = t2.scan("t", &Predicate::True).unwrap();
-        t1.update("t", &Key::single(1i64), row![1i64, "t1"]).unwrap();
-        t2.update("t", &Key::single(2i64), row![2i64, "t2"]).unwrap();
+        t1.update("t", &Key::single(1i64), row![1i64, "t1"])
+            .unwrap();
+        t2.update("t", &Key::single(2i64), row![2i64, "t2"])
+            .unwrap();
         assert!(t1.commit().is_ok());
         let err = t2.commit().unwrap_err();
         assert!(matches!(err, DbError::SerializationFailure { .. }));
@@ -572,16 +618,20 @@ mod tests {
         let mut t2 = db.begin_with(IsolationLevel::SnapshotIsolation);
         let _ = t1.scan("t", &Predicate::True).unwrap();
         let _ = t2.scan("t", &Predicate::True).unwrap();
-        t1.update("t", &Key::single(1i64), row![1i64, "t1"]).unwrap();
-        t2.update("t", &Key::single(2i64), row![2i64, "t2"]).unwrap();
+        t1.update("t", &Key::single(1i64), row![1i64, "t1"])
+            .unwrap();
+        t2.update("t", &Key::single(2i64), row![2i64, "t2"])
+            .unwrap();
         assert!(t1.commit().is_ok());
         assert!(t2.commit().is_ok());
 
         // Lost update (same key) is rejected: first committer wins.
         let mut t3 = db.begin_with(IsolationLevel::SnapshotIsolation);
         let mut t4 = db.begin_with(IsolationLevel::SnapshotIsolation);
-        t3.update("t", &Key::single(1i64), row![1i64, "t3"]).unwrap();
-        t4.update("t", &Key::single(1i64), row![1i64, "t4"]).unwrap();
+        t3.update("t", &Key::single(1i64), row![1i64, "t3"])
+            .unwrap();
+        t4.update("t", &Key::single(1i64), row![1i64, "t4"])
+            .unwrap();
         assert!(t3.commit().is_ok());
         assert!(matches!(
             t4.commit().unwrap_err(),
@@ -659,29 +709,73 @@ mod tests {
     }
 
     #[test]
+    fn aborted_commit_installs_nothing() {
+        // Two read-committed transactions both insert an overlapping key
+        // plus a private one. The second commit must abort on the
+        // duplicate WITHOUT installing its private row, advancing the
+        // clock, or appending anything to the table's change log —
+        // a partial install would expose uncommitted data and poison
+        // serializable validation with phantom change-log entries.
+        let db = Database::new();
+        db.create_table("t", schema()).unwrap();
+
+        let mut t1 = db.begin_with(IsolationLevel::ReadCommitted);
+        let mut t2 = db.begin_with(IsolationLevel::ReadCommitted);
+        t1.insert("t", row![1i64, "t1-private"]).unwrap();
+        t1.insert("t", row![5i64, "shared"]).unwrap();
+        t2.insert("t", row![2i64, "t2-private"]).unwrap();
+        t2.insert("t", row![5i64, "shared"]).unwrap();
+        t1.commit().unwrap();
+        let ts_after_t1 = db.current_ts();
+        let log_len_after_t1 = db.table("t").unwrap().changelog().len();
+
+        let err = t2.commit().unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey { .. }));
+        // Nothing from t2 leaked: no row, no clock advance, no log entry.
+        assert_eq!(db.get_latest("t", &Key::single(2i64)).unwrap(), None);
+        assert_eq!(db.current_ts(), ts_after_t1);
+        assert_eq!(db.table("t").unwrap().changelog().len(), log_len_after_t1);
+
+        // A serializable transaction scanning the whole table commits
+        // cleanly — no phantom conflict from the aborted commit.
+        let mut t3 = db.begin();
+        let rows = t3.scan("t", &Predicate::True).unwrap();
+        assert_eq!(rows.len(), 2);
+        t3.insert("t", row![9i64, "after"]).unwrap();
+        assert!(t3.commit().is_ok());
+    }
+
+    #[test]
     fn time_travel_reads_past_states() {
         let db = populated_db();
         let ts_before = db.current_ts();
         let mut txn = db.begin();
-        txn.update("t", &Key::single(1i64), row![1i64, "updated"]).unwrap();
+        txn.update("t", &Key::single(1i64), row![1i64, "updated"])
+            .unwrap();
         txn.commit().unwrap();
 
         assert_eq!(
             db.get_as_of("t", &Key::single(1i64), ts_before).unwrap(),
-            Some(row![1i64, "one"])
+            Some(std::sync::Arc::new(row![1i64, "one"]))
         );
         assert_eq!(
             db.get_latest("t", &Key::single(1i64)).unwrap(),
-            Some(row![1i64, "updated"])
+            Some(std::sync::Arc::new(row![1i64, "updated"]))
         );
-        assert_eq!(db.scan_as_of("t", &Predicate::True, ts_before).unwrap().len(), 2);
+        assert_eq!(
+            db.scan_as_of("t", &Predicate::True, ts_before)
+                .unwrap()
+                .len(),
+            2
+        );
     }
 
     #[test]
     fn log_records_commits_in_order() {
         let db = populated_db();
         let mut txn = db.begin();
-        txn.update("t", &Key::single(2i64), row![2i64, "two2"]).unwrap();
+        txn.update("t", &Key::single(2i64), row![2i64, "two2"])
+            .unwrap();
         txn.commit().unwrap();
         let log = db.log_entries();
         assert_eq!(log.len(), 2);
@@ -721,7 +815,10 @@ mod tests {
         let fork = db.fork_empty().unwrap();
         assert!(fork.has_table("t"));
         assert_eq!(fork.scan_latest("t", &Predicate::True).unwrap().len(), 0);
-        assert_eq!(fork.table("t").unwrap().indexed_columns(), vec!["v".to_string()]);
+        assert_eq!(
+            fork.table("t").unwrap().indexed_columns(),
+            vec!["v".to_string()]
+        );
     }
 
     #[test]
@@ -729,18 +826,23 @@ mod tests {
         let db = populated_db();
         let changes = vec![
             ChangeRecord::insert("t", Key::single(9i64), row![9i64, "injected"]),
-            ChangeRecord::update("t", Key::single(1i64), row![1i64, "one"], row![1i64, "patched"]),
+            ChangeRecord::update(
+                "t",
+                Key::single(1i64),
+                row![1i64, "one"],
+                row![1i64, "patched"],
+            ),
             ChangeRecord::delete("t", Key::single(2i64), row![2i64, "two"]),
         ];
         let info = db.apply_changes(&changes).unwrap();
         assert_eq!(info.changes.len(), 3);
         assert_eq!(
             db.get_latest("t", &Key::single(9i64)).unwrap(),
-            Some(row![9i64, "injected"])
+            Some(std::sync::Arc::new(row![9i64, "injected"]))
         );
         assert_eq!(
             db.get_latest("t", &Key::single(1i64)).unwrap(),
-            Some(row![1i64, "patched"])
+            Some(std::sync::Arc::new(row![1i64, "patched"]))
         );
         assert_eq!(db.get_latest("t", &Key::single(2i64)).unwrap(), None);
     }

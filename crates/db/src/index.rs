@@ -70,11 +70,7 @@ impl SecondaryIndex {
     }
 
     /// Rebuilds the index from scratch given the live rows of the table.
-    pub fn rebuild<'a>(
-        &mut self,
-        schema: &Schema,
-        rows: impl Iterator<Item = (&'a Key, &'a Row)>,
-    ) {
+    pub fn rebuild<'a>(&mut self, schema: &Schema, rows: impl Iterator<Item = (&'a Key, &'a Row)>) {
         let _ = schema;
         self.entries.clear();
         for (key, row) in rows {

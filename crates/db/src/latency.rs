@@ -14,9 +14,10 @@
 use std::time::{Duration, Instant};
 
 /// The storage profile of a [`crate::Database`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StorageProfile {
     /// No added latency: models an in-memory store such as VoltDB.
+    #[default]
     InMemory,
     /// Adds `read_micros` to every transactional read/scan and
     /// `commit_micros` to every commit: models an on-disk store such as
@@ -34,12 +35,6 @@ impl StorageProfile {
             read_micros: 20,
             commit_micros: 500,
         }
-    }
-}
-
-impl Default for StorageProfile {
-    fn default() -> Self {
-        StorageProfile::InMemory
     }
 }
 

@@ -7,6 +7,8 @@
 //! representation: reading "as of" a past timestamp simply selects the
 //! version visible at that timestamp.
 
+use std::sync::Arc;
+
 use crate::row::Row;
 
 /// Commit timestamp type. Timestamp 0 is "before any transaction".
@@ -23,8 +25,10 @@ pub struct Version {
     /// Commit timestamp of the transaction that superseded or deleted this
     /// version; [`TS_LIVE`] while current.
     pub end_ts: Ts,
-    /// The row image.
-    pub row: Row,
+    /// The row image, shared rather than owned: readers at any timestamp,
+    /// CDC records and the table change log all hold the same allocation,
+    /// so reads and validation never deep-copy row payloads.
+    pub row: Arc<Row>,
 }
 
 impl Version {
@@ -36,6 +40,15 @@ impl Version {
     /// True if the version is the current live version.
     pub fn is_live(&self) -> bool {
         self.end_ts == TS_LIVE
+    }
+
+    /// True if this version was created or superseded/deleted by a commit
+    /// strictly after `ts` — the window test behind serializable
+    /// (phantom) validation. Kept here as the single definition so the
+    /// change-log fast path, the full-scan fallback and per-key
+    /// validation can never drift apart.
+    pub fn touched_after(&self, ts: Ts) -> bool {
+        self.begin_ts > ts || (self.end_ts != TS_LIVE && self.end_ts > ts)
     }
 }
 
@@ -57,7 +70,7 @@ impl VersionChain {
     }
 
     /// The row visible at timestamp `ts`, if any.
-    pub fn visible_at(&self, ts: Ts) -> Option<&Row> {
+    pub fn visible_at(&self, ts: Ts) -> Option<&Arc<Row>> {
         // Versions are appended in commit order, so scan from the end.
         self.versions
             .iter()
@@ -67,11 +80,8 @@ impl VersionChain {
     }
 
     /// The live row, if the key currently exists.
-    pub fn live(&self) -> Option<&Row> {
-        self.versions
-            .last()
-            .filter(|v| v.is_live())
-            .map(|v| &v.row)
+    pub fn live(&self) -> Option<&Arc<Row>> {
+        self.versions.last().filter(|v| v.is_live()).map(|v| &v.row)
     }
 
     /// The most recent version regardless of liveness.
@@ -89,7 +99,7 @@ impl VersionChain {
     /// commit path validates every read/write key with it.
     pub fn modified_after(&self, ts: Ts) -> bool {
         match self.versions.last() {
-            Some(v) => v.begin_ts > ts || (v.end_ts != TS_LIVE && v.end_ts > ts),
+            Some(v) => v.touched_after(ts),
             None => false,
         }
     }
@@ -97,7 +107,7 @@ impl VersionChain {
     /// Installs a new version committed at `commit_ts`, superseding the
     /// current live version if present. Returns the before image if one
     /// existed.
-    pub fn install(&mut self, commit_ts: Ts, row: Row) -> Option<Row> {
+    pub fn install(&mut self, commit_ts: Ts, row: Arc<Row>) -> Option<Arc<Row>> {
         let before = self.close_live(commit_ts);
         self.versions.push(Version {
             begin_ts: commit_ts,
@@ -109,11 +119,11 @@ impl VersionChain {
 
     /// Marks the live version as deleted at `commit_ts`. Returns the
     /// deleted row if one existed.
-    pub fn remove(&mut self, commit_ts: Ts) -> Option<Row> {
+    pub fn remove(&mut self, commit_ts: Ts) -> Option<Arc<Row>> {
         self.close_live(commit_ts)
     }
 
-    fn close_live(&mut self, commit_ts: Ts) -> Option<Row> {
+    fn close_live(&mut self, commit_ts: Ts) -> Option<Arc<Row>> {
         if let Some(last) = self.versions.last_mut() {
             if last.is_live() {
                 last.end_ts = commit_ts;
@@ -159,32 +169,48 @@ impl VersionChain {
 mod tests {
     use super::*;
     use crate::row;
+    use crate::row::Row;
+
+    fn arc(r: Row) -> Arc<Row> {
+        Arc::new(r)
+    }
 
     #[test]
     fn install_and_visibility() {
         let mut chain = VersionChain::new();
         assert!(chain.visible_at(100).is_none());
 
-        chain.install(5, row![1i64, "v1"]);
-        assert_eq!(chain.visible_at(5), Some(&row![1i64, "v1"]));
+        chain.install(5, arc(row![1i64, "v1"]));
+        assert_eq!(chain.visible_at(5), Some(&arc(row![1i64, "v1"])));
         assert_eq!(chain.visible_at(4), None);
-        assert_eq!(chain.live(), Some(&row![1i64, "v1"]));
+        assert_eq!(chain.live(), Some(&arc(row![1i64, "v1"])));
 
-        let before = chain.install(9, row![1i64, "v2"]);
-        assert_eq!(before, Some(row![1i64, "v1"]));
-        assert_eq!(chain.visible_at(5), Some(&row![1i64, "v1"]));
-        assert_eq!(chain.visible_at(8), Some(&row![1i64, "v1"]));
-        assert_eq!(chain.visible_at(9), Some(&row![1i64, "v2"]));
-        assert_eq!(chain.live(), Some(&row![1i64, "v2"]));
+        let before = chain.install(9, arc(row![1i64, "v2"]));
+        assert_eq!(before, Some(arc(row![1i64, "v1"])));
+        assert_eq!(chain.visible_at(5), Some(&arc(row![1i64, "v1"])));
+        assert_eq!(chain.visible_at(8), Some(&arc(row![1i64, "v1"])));
+        assert_eq!(chain.visible_at(9), Some(&arc(row![1i64, "v2"])));
+        assert_eq!(chain.live(), Some(&arc(row![1i64, "v2"])));
+    }
+
+    #[test]
+    fn install_shares_the_allocation_with_readers() {
+        // The zero-copy contract: a read returns the same allocation the
+        // writer installed, not a deep copy.
+        let mut chain = VersionChain::new();
+        let row = arc(row![1i64, "shared"]);
+        chain.install(3, row.clone());
+        let seen = chain.visible_at(3).unwrap();
+        assert!(Arc::ptr_eq(seen, &row));
     }
 
     #[test]
     fn remove_hides_row_from_later_reads() {
         let mut chain = VersionChain::new();
-        chain.install(2, row![7i64]);
+        chain.install(2, arc(row![7i64]));
         let deleted = chain.remove(4);
-        assert_eq!(deleted, Some(row![7i64]));
-        assert_eq!(chain.visible_at(3), Some(&row![7i64]));
+        assert_eq!(deleted, Some(arc(row![7i64])));
+        assert_eq!(chain.visible_at(3), Some(&arc(row![7i64])));
         assert_eq!(chain.visible_at(4), None);
         assert_eq!(chain.live(), None);
         // Deleting again is a no-op.
@@ -194,11 +220,11 @@ mod tests {
     #[test]
     fn modified_after_detects_later_writes_and_deletes() {
         let mut chain = VersionChain::new();
-        chain.install(3, row![1i64]);
+        chain.install(3, arc(row![1i64]));
         assert!(!chain.modified_after(3));
         assert!(chain.modified_after(2));
 
-        chain.install(6, row![2i64]);
+        chain.install(6, arc(row![2i64]));
         assert!(chain.modified_after(5));
         assert!(!chain.modified_after(6));
 
@@ -210,17 +236,17 @@ mod tests {
     #[test]
     fn gc_drops_only_unreachable_versions() {
         let mut chain = VersionChain::new();
-        chain.install(1, row![1i64]);
-        chain.install(3, row![2i64]);
-        chain.install(5, row![3i64]);
+        chain.install(1, arc(row![1i64]));
+        chain.install(3, arc(row![2i64]));
+        chain.install(5, arc(row![3i64]));
         assert_eq!(chain.len(), 3);
 
         // Readers at ts >= 4: the version ending at 3 is unreachable.
         let dropped = chain.gc_before(4);
         assert_eq!(dropped, 1);
         assert_eq!(chain.len(), 2);
-        assert_eq!(chain.visible_at(4), Some(&row![2i64]));
-        assert_eq!(chain.visible_at(10), Some(&row![3i64]));
+        assert_eq!(chain.visible_at(4), Some(&arc(row![2i64])));
+        assert_eq!(chain.visible_at(10), Some(&arc(row![3i64])));
 
         // GC below any end timestamp keeps everything.
         let dropped = chain.gc_before(0);
@@ -232,7 +258,7 @@ mod tests {
         let v = Version {
             begin_ts: 10,
             end_ts: 20,
-            row: row![1i64],
+            row: arc(row![1i64]),
         };
         assert!(!v.visible_at(9));
         assert!(v.visible_at(10));

@@ -181,6 +181,61 @@ impl Predicate {
         }
     }
 
+    /// Resolves every column reference against `schema` once, producing a
+    /// [`CompiledPredicate`] that evaluates rows by ordinal.
+    ///
+    /// `Predicate::matches` resolves column names through a string lookup
+    /// on every row; on the scan and commit-validation hot paths that
+    /// lookup dominates evaluation cost. Compiling hoists the resolution
+    /// out of the per-row loop, and also surfaces unknown-column errors
+    /// once per scan instead of once per row.
+    ///
+    /// Compilation is strict: every referenced column must exist, so a
+    /// scan with a misspelled column errors even on an empty table or
+    /// inside a branch that per-row short-circuit evaluation would have
+    /// skipped. (Lazy `matches` admitted such predicates; failing fast at
+    /// scan time catches the bug at its source.)
+    pub fn compile(&self, schema: &Schema) -> DbResult<CompiledPredicate> {
+        Ok(CompiledPredicate {
+            node: self.compile_node(schema)?,
+        })
+    }
+
+    fn compile_node(&self, schema: &Schema) -> DbResult<CompiledNode> {
+        let resolve = |column: &str| {
+            schema
+                .column_index(column)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: "<row>".into(),
+                    column: column.to_string(),
+                })
+        };
+        Ok(match self {
+            Predicate::True => CompiledNode::True,
+            Predicate::False => CompiledNode::False,
+            Predicate::Compare { column, op, value } => CompiledNode::Compare {
+                index: resolve(column)?,
+                op: *op,
+                value: value.clone(),
+            },
+            Predicate::IsNull(column) => CompiledNode::IsNull(resolve(column)?),
+            Predicate::IsNotNull(column) => CompiledNode::IsNotNull(resolve(column)?),
+            Predicate::InList { column, values } => CompiledNode::InList {
+                index: resolve(column)?,
+                values: values.clone(),
+            },
+            Predicate::And(a, b) => CompiledNode::And(
+                Box::new(a.compile_node(schema)?),
+                Box::new(b.compile_node(schema)?),
+            ),
+            Predicate::Or(a, b) => CompiledNode::Or(
+                Box::new(a.compile_node(schema)?),
+                Box::new(b.compile_node(schema)?),
+            ),
+            Predicate::Not(p) => CompiledNode::Not(Box::new(p.compile_node(schema)?)),
+        })
+    }
+
     /// If the predicate pins `column` to a single equality value (possibly
     /// inside conjunctions), returns that value. Used for index lookups.
     pub fn equality_on(&self, column: &str) -> Option<&Value> {
@@ -214,6 +269,82 @@ impl Predicate {
                 b.collect_columns(out);
             }
             Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+}
+
+/// A [`Predicate`] bound to a concrete schema: column names resolved to
+/// ordinals, so evaluation is a per-row walk with no string lookups.
+///
+/// Produced by [`Predicate::compile`]; used by table scans and by the
+/// commit path's serializable (phantom) validation, both of which
+/// evaluate one predicate against many rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPredicate {
+    node: CompiledNode,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum CompiledNode {
+    True,
+    False,
+    Compare {
+        index: usize,
+        op: CmpOp,
+        value: Value,
+    },
+    IsNull(usize),
+    IsNotNull(usize),
+    InList {
+        index: usize,
+        values: Vec<Value>,
+    },
+    And(Box<CompiledNode>, Box<CompiledNode>),
+    Or(Box<CompiledNode>, Box<CompiledNode>),
+    Not(Box<CompiledNode>),
+}
+
+impl CompiledPredicate {
+    /// Evaluates the predicate against a row. Infallible: unknown columns
+    /// were rejected at compile time, and a row shorter than the schema
+    /// (impossible for schema-validated rows) reads as NULL.
+    pub fn matches(&self, row: &Row) -> bool {
+        self.node.matches(row)
+    }
+}
+
+impl CompiledNode {
+    fn matches(&self, row: &Row) -> bool {
+        match self {
+            CompiledNode::True => true,
+            CompiledNode::False => false,
+            CompiledNode::Compare { index, op, value } => {
+                let v = row.get(*index).unwrap_or(&Value::Null);
+                if v.is_null() || value.is_null() {
+                    return false;
+                }
+                let ord = v.total_cmp(value);
+                match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                }
+            }
+            CompiledNode::IsNull(index) => row.get(*index).is_none_or(Value::is_null),
+            CompiledNode::IsNotNull(index) => !row.get(*index).is_none_or(Value::is_null),
+            CompiledNode::InList { index, values } => {
+                let v = row.get(*index).unwrap_or(&Value::Null);
+                if v.is_null() {
+                    return false;
+                }
+                values.iter().any(|x| x.sql_eq(v))
+            }
+            CompiledNode::And(a, b) => a.matches(row) && b.matches(row),
+            CompiledNode::Or(a, b) => a.matches(row) || b.matches(row),
+            CompiledNode::Not(p) => !p.matches(row),
         }
     }
 }
@@ -288,7 +419,9 @@ mod tests {
         assert!(!Predicate::eq("score", 1.0f64).matches(&s, &r).unwrap());
         assert!(!Predicate::ne("score", 1.0f64).matches(&s, &r).unwrap());
         assert!(Predicate::IsNull("score".into()).matches(&s, &r).unwrap());
-        assert!(!Predicate::IsNotNull("score".into()).matches(&s, &r).unwrap());
+        assert!(!Predicate::IsNotNull("score".into())
+            .matches(&s, &r)
+            .unwrap());
     }
 
     #[test]
@@ -338,6 +471,48 @@ mod tests {
             .or(Predicate::gt("c", 2i64));
         let cols = p.referenced_columns();
         assert_eq!(cols, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn compiled_predicate_agrees_with_interpreted_matches() {
+        let s = schema();
+        let rows = [
+            row![1i64, "alice", 0.5f64],
+            row![2i64, "bob", Value::Null],
+            row![3i64, "carol", 9.0f64],
+        ];
+        let preds = [
+            Predicate::True,
+            Predicate::False,
+            Predicate::eq("name", "bob"),
+            Predicate::ne("id", 2i64),
+            Predicate::gt("score", 0.6f64),
+            Predicate::IsNull("score".into()),
+            Predicate::IsNotNull("score".into()),
+            Predicate::in_list("id", vec![Value::Int(1), Value::Int(3)]),
+            Predicate::eq("id", 1i64).and(Predicate::eq("name", "alice")),
+            Predicate::eq("id", 9i64).or(Predicate::le("id", 2i64)),
+            Predicate::eq("name", "bob").negate(),
+        ];
+        for pred in &preds {
+            let compiled = pred.compile(&s).unwrap();
+            for row in &rows {
+                assert_eq!(
+                    compiled.matches(row),
+                    pred.matches(&s, row).unwrap(),
+                    "compiled vs interpreted diverged for [{pred}] on {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_unknown_columns_eagerly() {
+        // Strict compilation: the misspelled column errors even inside a
+        // branch that short-circuit row evaluation would never reach.
+        let s = schema();
+        let pred = Predicate::True.or(Predicate::eq("no_such_column", 1i64));
+        assert!(pred.compile(&s).is_err());
     }
 
     #[test]

@@ -67,6 +67,22 @@ impl From<Vec<Value>> for Row {
     }
 }
 
+// Rows are routinely handed out as `Arc<Row>` (the storage engine's
+// zero-copy read path); comparing a shared row against a literal `row![..]`
+// should not require unwrapping. `Arc` is a fundamental type, so these
+// cross-type impls are permitted for the local `Row`.
+impl PartialEq<Row> for std::sync::Arc<Row> {
+    fn eq(&self, other: &Row) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<std::sync::Arc<Row>> for Row {
+    fn eq(&self, other: &std::sync::Arc<Row>) -> bool {
+        *self == **other
+    }
+}
+
 impl FromIterator<Value> for Row {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
         Row(iter.into_iter().collect())

@@ -1,14 +1,16 @@
 //! Physical table storage: a map from primary key to version chain, plus
-//! optional secondary indexes.
+//! optional secondary indexes and the per-table commit change log.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::changelog::{ChangeEntry, ChangeLog};
 use crate::error::{DbError, DbResult};
 use crate::index::SecondaryIndex;
 use crate::mvcc::{Ts, VersionChain};
-use crate::predicate::Predicate;
+use crate::predicate::{CompiledPredicate, Predicate};
 use crate::row::{Key, Row};
 use crate::schema::Schema;
 
@@ -18,12 +20,19 @@ use crate::schema::Schema;
 /// which are only called by the database's commit path while it holds the
 /// global commit lock, so per-table locking only needs to protect readers
 /// from concurrent writers.
+///
+/// Row images are stored and returned as [`Arc<Row>`]: reads at any
+/// timestamp, CDC records and the change log all share the writer's
+/// allocation, so the read path never deep-copies row payloads.
 #[derive(Debug)]
 pub struct TableStore {
     name: String,
     schema: Schema,
     rows: RwLock<HashMap<Key, VersionChain>>,
     indexes: RwLock<Vec<SecondaryIndex>>,
+    /// Commit-ordered ring of recent row changes; serves O(Δ)
+    /// serializable validation (see the [`crate::changelog`] docs).
+    changelog: ChangeLog,
 }
 
 impl TableStore {
@@ -34,6 +43,7 @@ impl TableStore {
             schema,
             rows: RwLock::new(HashMap::new()),
             indexes: RwLock::new(Vec::new()),
+            changelog: ChangeLog::default(),
         }
     }
 
@@ -45,6 +55,11 @@ impl TableStore {
     /// The table schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The table's commit change log.
+    pub fn changelog(&self) -> &ChangeLog {
+        &self.changelog
     }
 
     /// Registers a secondary index over `column`.
@@ -84,8 +99,9 @@ impl TableStore {
             .collect()
     }
 
-    /// Reads the row with `key` visible at `ts`.
-    pub fn get_at(&self, key: &Key, ts: Ts) -> Option<Row> {
+    /// Reads the row with `key` visible at `ts`. The returned `Arc` shares
+    /// the stored allocation (no deep copy).
+    pub fn get_at(&self, key: &Key, ts: Ts) -> Option<Arc<Row>> {
         self.rows
             .read()
             .get(key)
@@ -94,8 +110,22 @@ impl TableStore {
     }
 
     /// Scans rows visible at `ts` matching `pred`. Uses a secondary index
-    /// when the predicate pins an indexed column to a single value.
-    pub fn scan_at(&self, pred: &Predicate, ts: Ts) -> DbResult<Vec<(Key, Row)>> {
+    /// when the predicate pins an indexed column to a single value. The
+    /// predicate is compiled once; rows are shared, not copied.
+    pub fn scan_at(&self, pred: &Predicate, ts: Ts) -> DbResult<Vec<(Key, Arc<Row>)>> {
+        self.scan_at_compiled(pred, &pred.compile(&self.schema)?, ts)
+    }
+
+    /// [`TableStore::scan_at`] for callers that already compiled `pred`
+    /// against this table's schema (the transactional scan path compiles
+    /// once and reuses it for its own buffered-write overlay). `pred` is
+    /// still needed for index selection via `Predicate::equality_on`.
+    pub fn scan_at_compiled(
+        &self,
+        pred: &Predicate,
+        compiled: &CompiledPredicate,
+        ts: Ts,
+    ) -> DbResult<Vec<(Key, Arc<Row>)>> {
         let rows = self.rows.read();
         let mut out = Vec::new();
 
@@ -113,7 +143,7 @@ impl TableStore {
                 for key in keys {
                     if let Some(chain) = rows.get(&key) {
                         if let Some(row) = chain.visible_at(ts) {
-                            if pred.matches(&self.schema, row)? {
+                            if compiled.matches(row) {
                                 out.push((key.clone(), row.clone()));
                             }
                         }
@@ -123,7 +153,7 @@ impl TableStore {
             None => {
                 for (key, chain) in rows.iter() {
                     if let Some(row) = chain.visible_at(ts) {
-                        if pred.matches(&self.schema, row)? {
+                        if compiled.matches(row) {
                             out.push((key.clone(), row.clone()));
                         }
                     }
@@ -145,14 +175,19 @@ impl TableStore {
     }
 
     /// Returns keys whose chains changed after `ts` together with the rows
-    /// involved (both old rows that were superseded and new rows created),
-    /// used for serializable predicate (phantom) validation.
-    pub fn rows_touched_after(&self, ts: Ts) -> Vec<(Key, Row)> {
+    /// involved (both old rows that were superseded and new rows created).
+    ///
+    /// This is an O(total versions) full scan, retained as a diagnostic
+    /// view of the same window the commit path validates. The commit path
+    /// itself uses [`TableStore::predicate_conflict_after`], whose
+    /// full-scan fallback shares [`crate::mvcc::Version::touched_after`]
+    /// with this method.
+    pub fn rows_touched_after(&self, ts: Ts) -> Vec<(Key, Arc<Row>)> {
         let rows = self.rows.read();
         let mut out = Vec::new();
         for (key, chain) in rows.iter() {
             for v in chain.versions() {
-                if v.begin_ts > ts || (v.end_ts != crate::mvcc::TS_LIVE && v.end_ts > ts) {
+                if v.touched_after(ts) {
                     out.push((key.clone(), v.row.clone()));
                 }
             }
@@ -160,18 +195,82 @@ impl TableStore {
         out
     }
 
-    /// Whether a live (visible at `ts`) row exists for `key`.
-    pub fn exists_at(&self, key: &Key, ts: Ts) -> bool {
-        self.get_at(key, ts).is_some()
+    /// Serializable (phantom) validation primitive: returns the key of a
+    /// row change committed after `ts` that `pred` can observe, or `None`
+    /// if the predicate's result set is untouched since `ts`.
+    ///
+    /// Fast path: walk the change log entries in `(ts, now]` — O(Δ) in
+    /// the number of changes since the transaction began — testing the
+    /// compiled predicate against each before/after image. Falls back to
+    /// the full version scan when the log no longer covers the window
+    /// (GC truncation or ring overflow) or when `force_full_scan` is set.
+    pub fn predicate_conflict_after(
+        &self,
+        pred: &Predicate,
+        ts: Ts,
+        force_full_scan: bool,
+    ) -> DbResult<Option<Key>> {
+        let compiled = pred.compile(&self.schema)?;
+        if !force_full_scan {
+            let from_log = self.changelog.scan_after(ts, |entry: &ChangeEntry| {
+                let before_hit = entry.before.as_deref().is_some_and(|r| compiled.matches(r));
+                let after_hit = entry.after.as_deref().is_some_and(|r| compiled.matches(r));
+                (before_hit || after_hit).then(|| entry.key.clone())
+            });
+            if let Ok(decision) = from_log {
+                #[cfg(debug_assertions)]
+                {
+                    let oracle = self.full_scan_conflict_after(&compiled, ts);
+                    debug_assert_eq!(
+                        decision.is_some(),
+                        oracle.is_some(),
+                        "change-log validation diverged from full scan for {} at ts {}",
+                        self.name,
+                        ts
+                    );
+                }
+                return Ok(decision);
+            }
+        }
+        Ok(self.full_scan_conflict_after(&compiled, ts))
     }
 
-    /// Installs a new version for `key` at `commit_ts`; updates indexes.
-    /// Returns the before image, if any. Only called under the commit lock.
-    pub fn install(&self, key: &Key, row: Row, commit_ts: Ts) -> Option<Row> {
+    /// The full-scan oracle behind [`TableStore::predicate_conflict_after`].
+    fn full_scan_conflict_after(&self, compiled: &CompiledPredicate, ts: Ts) -> Option<Key> {
+        let rows = self.rows.read();
+        for (key, chain) in rows.iter() {
+            for v in chain.versions() {
+                if v.touched_after(ts) && compiled.matches(&v.row) {
+                    return Some(key.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether a live (visible at `ts`) row exists for `key`.
+    pub fn exists_at(&self, key: &Key, ts: Ts) -> bool {
+        self.rows
+            .read()
+            .get(key)
+            .and_then(|chain| chain.visible_at(ts))
+            .is_some()
+    }
+
+    /// Installs a new version for `key` at `commit_ts`; updates indexes
+    /// and appends to the change log. Returns the before image, if any.
+    /// Only called under the commit lock.
+    pub fn install(&self, key: &Key, row: Arc<Row>, commit_ts: Ts) -> Option<Arc<Row>> {
         let mut rows = self.rows.write();
         let chain = rows.entry(key.clone()).or_default();
         let before = chain.install(commit_ts, row.clone());
         drop(rows);
+        self.changelog.append(ChangeEntry {
+            commit_ts,
+            key: key.clone(),
+            before: before.clone(),
+            after: Some(row.clone()),
+        });
         let mut indexes = self.indexes.write();
         for idx in indexes.iter_mut() {
             idx.insert(key, &row);
@@ -181,9 +280,19 @@ impl TableStore {
 
     /// Deletes the live version of `key` at `commit_ts`. Returns the
     /// deleted row, if any. Only called under the commit lock.
-    pub fn remove(&self, key: &Key, commit_ts: Ts) -> Option<Row> {
+    pub fn remove(&self, key: &Key, commit_ts: Ts) -> Option<Arc<Row>> {
         let mut rows = self.rows.write();
-        rows.get_mut(key).and_then(|chain| chain.remove(commit_ts))
+        let before = rows.get_mut(key).and_then(|chain| chain.remove(commit_ts));
+        drop(rows);
+        if let Some(before) = &before {
+            self.changelog.append(ChangeEntry {
+                commit_ts,
+                key: key.clone(),
+                before: Some(before.clone()),
+                after: None,
+            });
+        }
+        before
     }
 
     /// Number of live rows at `ts`.
@@ -201,7 +310,8 @@ impl TableStore {
     }
 
     /// Garbage collects versions not visible to any reader at or after
-    /// `ts`. Returns how many versions were dropped.
+    /// `ts`, truncating the change log over the same window. Returns how
+    /// many versions were dropped.
     pub fn gc_before(&self, ts: Ts) -> usize {
         let mut rows = self.rows.write();
         let mut dropped = 0;
@@ -216,6 +326,7 @@ impl TableStore {
             rows.remove(key);
         }
         drop(rows);
+        self.changelog.truncate_before(ts);
         if !dead_keys.is_empty() {
             let mut indexes = self.indexes.write();
             for idx in indexes.iter_mut() {
@@ -227,10 +338,11 @@ impl TableStore {
         dropped
     }
 
-    /// Snapshot of live rows at `ts`, used when forking a database.
-    pub fn materialize_at(&self, ts: Ts) -> Vec<(Key, Row)> {
+    /// Snapshot of live rows at `ts`, used when forking a database. Rows
+    /// are shared with the version store, not copied.
+    pub fn materialize_at(&self, ts: Ts) -> Vec<(Key, Arc<Row>)> {
         let rows = self.rows.read();
-        let mut out: Vec<(Key, Row)> = rows
+        let mut out: Vec<(Key, Arc<Row>)> = rows
             .iter()
             .filter_map(|(k, c)| c.visible_at(ts).map(|r| (k.clone(), r.clone())))
             .collect();
@@ -259,15 +371,19 @@ mod tests {
         Key::new(vec![Value::Text(u.into()), Value::Text(f.into())])
     }
 
+    fn arc(r: Row) -> Arc<Row> {
+        Arc::new(r)
+    }
+
     #[test]
     fn install_get_scan() {
         let t = subs_table();
-        t.install(&key("U1", "F1"), row!["U1", "F1"], 1);
-        t.install(&key("U1", "F2"), row!["U1", "F2"], 2);
+        t.install(&key("U1", "F1"), arc(row!["U1", "F1"]), 1);
+        t.install(&key("U1", "F2"), arc(row!["U1", "F2"]), 2);
 
-        assert_eq!(t.get_at(&key("U1", "F1"), 1), Some(row!["U1", "F1"]));
+        assert_eq!(t.get_at(&key("U1", "F1"), 1), Some(arc(row!["U1", "F1"])));
         assert_eq!(t.get_at(&key("U1", "F2"), 1), None);
-        assert_eq!(t.get_at(&key("U1", "F2"), 2), Some(row!["U1", "F2"]));
+        assert_eq!(t.get_at(&key("U1", "F2"), 2), Some(arc(row!["U1", "F2"])));
 
         let hits = t.scan_at(&Predicate::eq("user_id", "U1"), 2).unwrap();
         assert_eq!(hits.len(), 2);
@@ -276,11 +392,27 @@ mod tests {
     }
 
     #[test]
+    fn reads_share_the_installed_allocation() {
+        let t = subs_table();
+        let row = arc(row!["U1", "F1"]);
+        t.install(&key("U1", "F1"), row.clone(), 1);
+        let got = t.get_at(&key("U1", "F1"), 1).unwrap();
+        assert!(Arc::ptr_eq(&got, &row), "get_at must not deep-copy");
+        let scanned = t.scan_at(&Predicate::True, 1).unwrap();
+        assert!(
+            Arc::ptr_eq(&scanned[0].1, &row),
+            "scan_at must not deep-copy"
+        );
+        let materialized = t.materialize_at(1);
+        assert!(Arc::ptr_eq(&materialized[0].1, &row));
+    }
+
+    #[test]
     fn index_accelerated_scan_returns_same_results() {
         let t = subs_table();
         for i in 0..50 {
             let u = format!("U{i}");
-            t.install(&key(&u, "F2"), row![u.clone(), "F2"], i + 1);
+            t.install(&key(&u, "F2"), arc(row![u.clone(), "F2"]), i + 1);
         }
         let no_index = t.scan_at(&Predicate::eq("forum", "F2"), 100).unwrap();
         t.create_index("forum").unwrap();
@@ -302,10 +434,10 @@ mod tests {
     fn remove_and_time_travel() {
         let t = subs_table();
         let k = key("U1", "F2");
-        t.install(&k, row!["U1", "F2"], 3);
+        t.install(&k, arc(row!["U1", "F2"]), 3);
         let before = t.remove(&k, 7);
-        assert_eq!(before, Some(row!["U1", "F2"]));
-        assert_eq!(t.get_at(&k, 6), Some(row!["U1", "F2"]));
+        assert_eq!(before, Some(arc(row!["U1", "F2"])));
+        assert_eq!(t.get_at(&k, 6), Some(arc(row!["U1", "F2"])));
         assert_eq!(t.get_at(&k, 7), None);
         assert!(t.key_modified_after(&k, 5));
         assert!(!t.key_modified_after(&k, 7));
@@ -315,33 +447,102 @@ mod tests {
     fn rows_touched_after_reports_new_and_superseded_versions() {
         let t = subs_table();
         let k = key("U1", "F2");
-        t.install(&k, row!["U1", "F2"], 2);
+        t.install(&k, arc(row!["U1", "F2"]), 2);
         assert_eq!(t.rows_touched_after(5).len(), 0);
-        t.install(&k, row!["U1", "F2-renamed"], 6);
+        t.install(&k, arc(row!["U1", "F2-renamed"]), 6);
         let touched = t.rows_touched_after(5);
         // The superseded version (ended at 6) and the new one (began at 6).
         assert_eq!(touched.len(), 2);
     }
 
     #[test]
+    fn predicate_conflict_uses_log_and_matches_full_scan() {
+        let t = subs_table();
+        t.install(&key("U1", "F1"), arc(row!["U1", "F1"]), 1);
+        t.install(&key("U2", "F2"), arc(row!["U2", "F2"]), 5);
+
+        let pred_f2 = Predicate::eq("forum", "F2");
+        let pred_f9 = Predicate::eq("forum", "F9");
+        for force_full in [false, true] {
+            // A write to F2 after ts 2 conflicts with the F2 predicate...
+            let hit = t.predicate_conflict_after(&pred_f2, 2, force_full).unwrap();
+            assert_eq!(hit, Some(key("U2", "F2")));
+            // ...but not with an unrelated predicate, and not before ts 5.
+            assert_eq!(
+                t.predicate_conflict_after(&pred_f9, 2, force_full).unwrap(),
+                None
+            );
+            assert_eq!(
+                t.predicate_conflict_after(&pred_f2, 5, force_full).unwrap(),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_conflict_sees_before_images_of_updates_and_deletes() {
+        let t = subs_table();
+        let k = key("U1", "F2");
+        t.install(&k, arc(row!["U1", "F2"]), 2);
+        // Update away from F2 at ts 4: a transaction that scanned for F2
+        // at ts 3 must still see a conflict (its result set shrank).
+        t.install(&k, arc(row!["U1", "F2-moved"]), 4);
+        let pred = Predicate::eq("forum", "F2");
+        for force_full in [false, true] {
+            assert_eq!(
+                t.predicate_conflict_after(&pred, 3, force_full).unwrap(),
+                Some(k.clone())
+            );
+        }
+        // Delete at ts 6: same story for a scan taken at ts 5 looking for
+        // the moved row.
+        t.remove(&k, 6);
+        let pred_moved = Predicate::eq("forum", "F2-moved");
+        for force_full in [false, true] {
+            assert_eq!(
+                t.predicate_conflict_after(&pred_moved, 5, force_full)
+                    .unwrap(),
+                Some(k.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_conflict_falls_back_after_log_truncation() {
+        let t = subs_table();
+        let k = key("U1", "F2");
+        t.install(&k, arc(row!["U1", "F2"]), 2);
+        t.install(&k, arc(row!["U1", "F2b"]), 5);
+        // Truncate the log above ts 1: the log can no longer answer a
+        // window starting at 1, but the full scan still can.
+        t.changelog().truncate_before(3);
+        let pred = Predicate::eq("user_id", "U1");
+        let hit = t.predicate_conflict_after(&pred, 1, false).unwrap();
+        assert!(hit.is_some(), "fallback must still detect the conflict");
+    }
+
+    #[test]
     fn gc_drops_history_and_dead_keys() {
         let t = subs_table();
         let k = key("U1", "F1");
-        t.install(&k, row!["U1", "F1"], 1);
-        t.install(&k, row!["U1", "F1b"], 2);
+        t.install(&k, arc(row!["U1", "F1"]), 1);
+        t.install(&k, arc(row!["U1", "F1b"]), 2);
         t.remove(&k, 3);
         assert_eq!(t.version_count(), 2);
         let dropped = t.gc_before(10);
         assert_eq!(dropped, 2);
         assert_eq!(t.version_count(), 0);
         assert_eq!(t.count_at(10), 0);
+        // The change log was truncated with the versions.
+        assert!(t.changelog().is_empty());
+        assert_eq!(t.changelog().low_water(), 10);
     }
 
     #[test]
     fn materialize_at_reflects_point_in_time() {
         let t = subs_table();
-        t.install(&key("U1", "F1"), row!["U1", "F1"], 1);
-        t.install(&key("U2", "F1"), row!["U2", "F1"], 5);
+        t.install(&key("U1", "F1"), arc(row!["U1", "F1"]), 1);
+        t.install(&key("U2", "F1"), arc(row!["U2", "F1"]), 5);
         let early = t.materialize_at(2);
         assert_eq!(early.len(), 1);
         let late = t.materialize_at(5);

@@ -11,6 +11,7 @@
 //! behaviour under the "lower isolation levels" the paper mentions.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::cdc::ChangeRecord;
 use crate::database::Database;
@@ -33,17 +34,18 @@ pub enum IsolationLevel {
     Serializable,
 }
 
-/// A buffered, not-yet-committed write.
+/// A buffered, not-yet-committed write. Row images are `Arc`-shared so
+/// that commit, CDC capture and the change log reuse one allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WriteOp {
-    Insert(Row),
-    Update { before: Row, after: Row },
-    Delete { before: Row },
+    Insert(Arc<Row>),
+    Update { before: Arc<Row>, after: Arc<Row> },
+    Delete { before: Arc<Row> },
 }
 
 impl WriteOp {
     /// The row this transaction would observe for the key, if any.
-    pub fn visible_row(&self) -> Option<&Row> {
+    pub fn visible_row(&self) -> Option<&Arc<Row>> {
         match self {
             WriteOp::Insert(r) | WriteOp::Update { after: r, .. } => Some(r),
             WriteOp::Delete { .. } => None,
@@ -137,10 +139,7 @@ impl Transaction {
 
     /// The isolation level.
     pub fn isolation(&self) -> IsolationLevel {
-        self.state
-            .as_ref()
-            .map(|s| s.isolation)
-            .unwrap_or_default()
+        self.state.as_ref().map(|s| s.isolation).unwrap_or_default()
     }
 
     /// True if the transaction is still active.
@@ -166,7 +165,7 @@ impl Transaction {
 
     /// Reads the row with primary key `key` from `table`, observing this
     /// transaction's own buffered writes.
-    pub fn get(&mut self, table: &str, key: &Key) -> DbResult<Option<Row>> {
+    pub fn get(&mut self, table: &str, key: &Key) -> DbResult<Option<Arc<Row>>> {
         let read_ts = self.read_ts()?;
         let store = self.db.table(table)?;
         self.db.latency().on_read();
@@ -181,13 +180,13 @@ impl Transaction {
     /// Scans `table` for rows matching `pred`, observing this
     /// transaction's own buffered writes. Results are ordered by primary
     /// key so traces and replays are deterministic.
-    pub fn scan(&mut self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Row)>> {
+    pub fn scan(&mut self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Arc<Row>)>> {
         let read_ts = self.read_ts()?;
         let store = self.db.table(table)?;
         self.db.latency().on_read();
-        let schema = store.schema().clone();
-        let mut rows: BTreeMap<Key, Row> = store
-            .scan_at(pred, read_ts)?
+        let compiled = pred.compile(store.schema())?;
+        let mut rows: BTreeMap<Key, Arc<Row>> = store
+            .scan_at_compiled(pred, &compiled, read_ts)?
             .into_iter()
             .collect();
 
@@ -196,14 +195,10 @@ impl Transaction {
         if let Some(writes) = state.writes.get(table) {
             for (key, op) in writes {
                 match op.visible_row() {
-                    Some(row) => {
-                        if pred.matches(&schema, row)? {
-                            rows.insert(key.clone(), row.clone());
-                        } else {
-                            rows.remove(key);
-                        }
+                    Some(row) if compiled.matches(row) => {
+                        rows.insert(key.clone(), row.clone());
                     }
-                    None => {
+                    _ => {
                         rows.remove(key);
                     }
                 }
@@ -231,6 +226,7 @@ impl Transaction {
         let key = Key::new(store.schema().key_of(&row));
 
         let exists_committed = store.exists_at(&key, read_ts);
+        let row = Arc::new(row);
         let state = self.state_mut()?;
         // The duplicate check is a read of this key: record it so that a
         // concurrent insert of the same key is caught by validation.
@@ -275,6 +271,7 @@ impl Transaction {
             )));
         }
         let committed = store.get_at(key, read_ts);
+        let new_row = Arc::new(new_row);
         let state = self.state_mut()?;
         state.read_set.push((table.to_string(), key.clone()));
         let table_writes = state.writes.entry(table.to_string()).or_default();
@@ -448,7 +445,7 @@ mod tests {
         txn.insert("accounts", row![1i64, "alice", 100i64]).unwrap();
         assert_eq!(
             txn.get("accounts", &Key::single(1i64)).unwrap(),
-            Some(row![1i64, "alice", 100i64])
+            Some(std::sync::Arc::new(row![1i64, "alice", 100i64]))
         );
         let info = txn.commit().unwrap();
         assert_eq!(info.changes.len(), 1);
@@ -457,7 +454,7 @@ mod tests {
         let mut txn2 = db.begin();
         assert_eq!(
             txn2.get("accounts", &Key::single(1i64)).unwrap(),
-            Some(row![1i64, "alice", 100i64])
+            Some(std::sync::Arc::new(row![1i64, "alice", 100i64]))
         );
     }
 
@@ -465,7 +462,9 @@ mod tests {
     fn read_your_own_writes_in_scans() {
         let db = db_with_accounts();
         let mut setup = db.begin();
-        setup.insert("accounts", row![1i64, "alice", 100i64]).unwrap();
+        setup
+            .insert("accounts", row![1i64, "alice", 100i64])
+            .unwrap();
         setup.commit().unwrap();
 
         let mut txn = db.begin();
@@ -501,7 +500,9 @@ mod tests {
     fn delete_then_insert_becomes_update() {
         let db = db_with_accounts();
         let mut setup = db.begin();
-        setup.insert("accounts", row![1i64, "alice", 100i64]).unwrap();
+        setup
+            .insert("accounts", row![1i64, "alice", 100i64])
+            .unwrap();
         setup.commit().unwrap();
 
         let mut txn = db.begin();

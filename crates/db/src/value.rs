@@ -72,18 +72,18 @@ impl Value {
     /// Integers are accepted for TIMESTAMP columns (and vice versa) because
     /// the trace layer treats timestamps as plain integers.
     pub fn conforms_to(&self, dtype: DataType) -> bool {
-        match (self, dtype) {
-            (Value::Null, _) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Timestamp) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Text(_), DataType::Text) => true,
-            (Value::Bytes(_), DataType::Bytes) => true,
-            (Value::Timestamp(_), DataType::Timestamp) => true,
-            (Value::Timestamp(_), DataType::Int) => true,
-            _ => false,
-        }
+        matches!(
+            (self, dtype),
+            (Value::Null, _)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Timestamp)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Bytes(_), DataType::Bytes)
+                | (Value::Timestamp(_), DataType::Timestamp)
+                | (Value::Timestamp(_), DataType::Int)
+        )
     }
 
     /// Extracts an integer, treating TIMESTAMP as INT.
@@ -175,7 +175,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -317,7 +317,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_type_ranked() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Text("b".into()),
             Value::Int(10),
             Value::Null,

@@ -15,9 +15,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-use trod_db::{
-    row, Database, DataType, IsolationLevel, Key, Predicate, Row, Schema, Value,
-};
+use trod_db::{row, DataType, Database, IsolationLevel, Key, Predicate, Row, Schema, Value};
 
 fn kv_schema() -> Schema {
     Schema::builder()
@@ -240,9 +238,17 @@ proptest! {
 
 #[test]
 fn lost_update_prevented_under_serializable_and_si() {
-    for iso in [IsolationLevel::Serializable, IsolationLevel::SnapshotIsolation] {
+    for iso in [
+        IsolationLevel::Serializable,
+        IsolationLevel::SnapshotIsolation,
+    ] {
         let db = new_db();
-        run_txn(&db, &[Op::Put { k: 1, v: 100 }], IsolationLevel::Serializable).unwrap();
+        run_txn(
+            &db,
+            &[Op::Put { k: 1, v: 100 }],
+            IsolationLevel::Serializable,
+        )
+        .unwrap();
 
         // Two concurrent read-modify-write increments of the same key.
         let mut t1 = db.begin_with(iso);
@@ -253,10 +259,15 @@ fn lost_update_prevented_under_serializable_and_si() {
         let v2 = t2.get("kv", &Key::single(1i64)).unwrap().unwrap()[1]
             .as_int()
             .unwrap();
-        t1.update("kv", &Key::single(1i64), row![1i64, v1 + 1]).unwrap();
-        t2.update("kv", &Key::single(1i64), row![1i64, v2 + 1]).unwrap();
+        t1.update("kv", &Key::single(1i64), row![1i64, v1 + 1])
+            .unwrap();
+        t2.update("kv", &Key::single(1i64), row![1i64, v2 + 1])
+            .unwrap();
         assert!(t1.commit().is_ok());
-        assert!(t2.commit().is_err(), "second committer must abort under {iso:?}");
+        assert!(
+            t2.commit().is_err(),
+            "second committer must abort under {iso:?}"
+        );
 
         let v = db.get_latest("kv", &Key::single(1i64)).unwrap().unwrap()[1]
             .as_int()
@@ -268,7 +279,12 @@ fn lost_update_prevented_under_serializable_and_si() {
 #[test]
 fn read_committed_allows_lost_update() {
     let db = new_db();
-    run_txn(&db, &[Op::Put { k: 1, v: 100 }], IsolationLevel::Serializable).unwrap();
+    run_txn(
+        &db,
+        &[Op::Put { k: 1, v: 100 }],
+        IsolationLevel::Serializable,
+    )
+    .unwrap();
 
     let mut t1 = db.begin_with(IsolationLevel::ReadCommitted);
     let mut t2 = db.begin_with(IsolationLevel::ReadCommitted);
@@ -278,8 +294,10 @@ fn read_committed_allows_lost_update() {
     let v2 = t2.get("kv", &Key::single(1i64)).unwrap().unwrap()[1]
         .as_int()
         .unwrap();
-    t1.update("kv", &Key::single(1i64), row![1i64, v1 + 1]).unwrap();
-    t2.update("kv", &Key::single(1i64), row![1i64, v2 + 1]).unwrap();
+    t1.update("kv", &Key::single(1i64), row![1i64, v1 + 1])
+        .unwrap();
+    t2.update("kv", &Key::single(1i64), row![1i64, v2 + 1])
+        .unwrap();
     t1.commit().unwrap();
     t2.commit().unwrap();
 
@@ -312,15 +330,28 @@ fn phantom_prevention_under_serializable() {
 #[test]
 fn snapshot_reads_are_stable_within_a_transaction() {
     let db = new_db();
-    run_txn(&db, &[Op::Put { k: 1, v: 10 }], IsolationLevel::Serializable).unwrap();
+    run_txn(
+        &db,
+        &[Op::Put { k: 1, v: 10 }],
+        IsolationLevel::Serializable,
+    )
+    .unwrap();
 
     let mut reader = db.begin_with(IsolationLevel::SnapshotIsolation);
     let before = reader.get("kv", &Key::single(1i64)).unwrap().unwrap();
 
-    run_txn(&db, &[Op::Put { k: 1, v: 99 }], IsolationLevel::Serializable).unwrap();
+    run_txn(
+        &db,
+        &[Op::Put { k: 1, v: 99 }],
+        IsolationLevel::Serializable,
+    )
+    .unwrap();
 
     let after = reader.get("kv", &Key::single(1i64)).unwrap().unwrap();
-    assert_eq!(before, after, "snapshot read must not observe later commits");
+    assert_eq!(
+        before, after,
+        "snapshot read must not observe later commits"
+    );
 
     // Read committed does observe the change.
     let mut rc = db.begin_with(IsolationLevel::ReadCommitted);

@@ -33,7 +33,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use trod_db::{
-    ChangeRecord, Database, DataType, DbError, Key, Predicate, Row, Schema, Ts, TxnId, Value,
+    ChangeRecord, DataType, Database, DbError, Key, Predicate, Row, Schema, Ts, TxnId, Value,
 };
 use trod_trace::{ReadTrace, Tracer, TxnContext, TxnTrace};
 
@@ -226,7 +226,9 @@ pub struct CrossTxn {
 
 impl CrossTxn {
     fn rel_mut(&mut self) -> &mut trod_db::Transaction {
-        self.rel.as_mut().expect("cross transaction already finished")
+        self.rel
+            .as_mut()
+            .expect("cross transaction already finished")
     }
 
     /// The relational transaction id (also used in provenance).
@@ -244,18 +246,21 @@ impl CrossTxn {
     // ------------------------------------------------------------------
 
     /// Point read from the relational store.
-    pub fn get(&mut self, table: &str, key: &Key) -> CrossResult<Option<Row>> {
+    pub fn get(&mut self, table: &str, key: &Key) -> CrossResult<Option<Arc<Row>>> {
         let result = self.rel_mut().get(table, key)?;
         self.reads.push(ReadTrace {
             table: table.to_string(),
             query: format!("Get {table}{key}"),
-            rows: result.clone().map(|r| vec![(key.clone(), r)]).unwrap_or_default(),
+            rows: result
+                .clone()
+                .map(|r| vec![(key.clone(), r)])
+                .unwrap_or_default(),
         });
         Ok(result)
     }
 
     /// Predicate scan over the relational store.
-    pub fn scan(&mut self, table: &str, pred: &Predicate) -> CrossResult<Vec<(Key, Row)>> {
+    pub fn scan(&mut self, table: &str, pred: &Predicate) -> CrossResult<Vec<(Key, Arc<Row>)>> {
         let result = self.rel_mut().scan(table, pred)?;
         self.reads.push(ReadTrace {
             table: table.to_string(),
@@ -302,7 +307,10 @@ impl CrossTxn {
         if let Some(buffered) = self.kv_writes.get(&id) {
             return Ok(buffered.clone());
         }
-        let value = self.manager.kv.get_as_of(namespace, key, self.snapshot_ts)?;
+        let value = self
+            .manager
+            .kv
+            .get_as_of(namespace, key, self.snapshot_ts)?;
         let version = self
             .manager
             .kv
@@ -314,10 +322,15 @@ impl CrossTxn {
             query: format!("Get {key}"),
             rows: value
                 .as_ref()
-                .map(|v| vec![(Key::single(key), Row::from(vec![
-                    Value::Text(key.to_string()),
-                    Value::Text(v.clone()),
-                ]))])
+                .map(|v| {
+                    vec![(
+                        Key::single(key),
+                        Arc::new(Row::from(vec![
+                            Value::Text(key.to_string()),
+                            Value::Text(v.clone()),
+                        ])),
+                    )]
+                })
                 .unwrap_or_default(),
         });
         Ok(value)
@@ -353,7 +366,10 @@ impl CrossTxn {
                 .map(|(k, v)| {
                     (
                         Key::single(k.as_str()),
-                        Row::from(vec![Value::Text(k.clone()), Value::Text(v.clone())]),
+                        Arc::new(Row::from(vec![
+                            Value::Text(k.clone()),
+                            Value::Text(v.clone()),
+                        ])),
                     )
                 })
                 .collect(),
@@ -522,18 +538,13 @@ impl CrossTxn {
             let table = kv_table_name(&write.namespace);
             let key = Key::single(write.key.as_str());
             let before = self.manager.kv.get_latest(&write.namespace, &write.key)?;
-            let before_row = before.as_ref().map(|v| {
-                Row::from(vec![
-                    Value::Text(write.key.clone()),
-                    Value::Text(v.clone()),
-                ])
-            });
-            let after_row = write.value.as_ref().map(|v| {
-                Row::from(vec![
-                    Value::Text(write.key.clone()),
-                    Value::Text(v.clone()),
-                ])
-            });
+            let before_row = before
+                .as_ref()
+                .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
+            let after_row = write
+                .value
+                .as_ref()
+                .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
             let record = match (before_row, after_row) {
                 (None, Some(after)) => ChangeRecord::insert(table, key, after),
                 (Some(before), Some(after)) => ChangeRecord::update(table, key, before, after),
@@ -619,14 +630,20 @@ mod tests {
 
         // Both stores see the data, versioned at the same timestamp.
         assert_eq!(
-            cross.database().get_latest("orders", &Key::single(1i64)).unwrap(),
-            Some(row![1i64, "widget"])
+            cross
+                .database()
+                .get_latest("orders", &Key::single(1i64))
+                .unwrap(),
+            Some(std::sync::Arc::new(row![1i64, "widget"]))
         );
         assert_eq!(
             cross.kv().get_latest("sessions", "user-1").unwrap(),
             Some("cart:widget".into())
         );
-        assert_eq!(cross.kv().version_of("sessions", "user-1").unwrap(), commit.commit_ts);
+        assert_eq!(
+            cross.kv().version_of("sessions", "user-1").unwrap(),
+            commit.commit_ts
+        );
 
         // The aligned log holds one entry spanning both stores, and the
         // relational log contains the commit marker.
@@ -668,13 +685,22 @@ mod tests {
         first.commit().unwrap();
 
         let err = second.commit().unwrap_err();
-        assert!(matches!(err, CrossError::KeyValue(KvError::Conflict { .. })));
+        assert!(matches!(
+            err,
+            CrossError::KeyValue(KvError::Conflict { .. })
+        ));
         // The loser's relational insert was rolled back.
         assert_eq!(
-            cross.database().get_latest("orders", &Key::single(7i64)).unwrap(),
+            cross
+                .database()
+                .get_latest("orders", &Key::single(7i64))
+                .unwrap(),
             None
         );
-        assert_eq!(cross.kv().get_latest("sessions", "k").unwrap(), Some("first".into()));
+        assert_eq!(
+            cross.kv().get_latest("sessions", "k").unwrap(),
+            Some("first".into())
+        );
         assert_eq!(cross.aligned_log().len(), 1);
     }
 
@@ -710,14 +736,20 @@ mod tests {
 
         // The reader still sees the snapshot value in the KV store and the
         // relational row.
-        assert_eq!(reader.kv_get("sessions", "user-1").unwrap(), Some("v1".into()));
+        assert_eq!(
+            reader.kv_get("sessions", "user-1").unwrap(),
+            Some("v1".into())
+        );
         assert_eq!(
             reader.get("orders", &Key::single(1i64)).unwrap(),
-            Some(row![1i64, "widget"])
+            Some(std::sync::Arc::new(row![1i64, "widget"]))
         );
         // Read-your-own-writes.
         reader.kv_put("sessions", "scratch", "tmp").unwrap();
-        assert_eq!(reader.kv_get("sessions", "scratch").unwrap(), Some("tmp".into()));
+        assert_eq!(
+            reader.kv_get("sessions", "scratch").unwrap(),
+            Some("tmp".into())
+        );
         reader.abort();
     }
 

@@ -57,8 +57,7 @@ pub mod store;
 pub mod txn;
 
 pub use cross::{
-    AlignedCommit, CrossCommit, CrossError, CrossResult, CrossStore, CrossTxn,
-    CROSS_COMMITS_TABLE,
+    AlignedCommit, CrossCommit, CrossError, CrossResult, CrossStore, CrossTxn, CROSS_COMMITS_TABLE,
 };
 pub use store::{KvError, KvResult, KvStore, KvWrite, NamespaceStats};
 pub use txn::KvTransaction;

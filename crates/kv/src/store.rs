@@ -35,7 +35,10 @@ impl fmt::Display for KvError {
             KvError::UnknownNamespace(ns) => write!(f, "unknown namespace `{ns}`"),
             KvError::NamespaceExists(ns) => write!(f, "namespace `{ns}` already exists"),
             KvError::Conflict { namespace, key } => {
-                write!(f, "conflict on `{namespace}/{key}`: key changed since snapshot")
+                write!(
+                    f,
+                    "conflict on `{namespace}/{key}`: key changed since snapshot"
+                )
             }
             KvError::StaleCommitTimestamp { given, latest } => write!(
                 f,
@@ -179,7 +182,11 @@ impl KvStore {
             if !key.starts_with(prefix) {
                 break;
             }
-            if let Some(value) = versions.iter().rev().find(|v| v.ts <= ts).and_then(|v| v.value.clone())
+            if let Some(value) = versions
+                .iter()
+                .rev()
+                .find(|v| v.ts <= ts)
+                .and_then(|v| v.value.clone())
             {
                 out.push((key.clone(), value));
             }
@@ -276,10 +283,7 @@ impl KvStore {
                 }
                 // Keep the newest version at or before `ts` (it is still
                 // visible to as-of reads at `ts`), plus everything after.
-                let keep_from = versions
-                    .iter()
-                    .rposition(|v| v.ts <= ts)
-                    .unwrap_or(0);
+                let keep_from = versions.iter().rposition(|v| v.ts <= ts).unwrap_or(0);
                 removed += keep_from;
                 versions.drain(..keep_from);
             }
@@ -316,13 +320,21 @@ mod tests {
     #[test]
     fn versions_and_as_of_reads() {
         let kv = store();
-        kv.apply(&[KvWrite::put("sessions", "u1", "cart:a")], 10).unwrap();
-        kv.apply(&[KvWrite::put("sessions", "u1", "cart:b")], 20).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "u1", "cart:a")], 10)
+            .unwrap();
+        kv.apply(&[KvWrite::put("sessions", "u1", "cart:b")], 20)
+            .unwrap();
         kv.apply(&[KvWrite::delete("sessions", "u1")], 30).unwrap();
 
         assert_eq!(kv.get_latest("sessions", "u1").unwrap(), None);
-        assert_eq!(kv.get_as_of("sessions", "u1", 10).unwrap(), Some("cart:a".into()));
-        assert_eq!(kv.get_as_of("sessions", "u1", 25).unwrap(), Some("cart:b".into()));
+        assert_eq!(
+            kv.get_as_of("sessions", "u1", 10).unwrap(),
+            Some("cart:a".into())
+        );
+        assert_eq!(
+            kv.get_as_of("sessions", "u1", 25).unwrap(),
+            Some("cart:b".into())
+        );
         assert_eq!(kv.get_as_of("sessions", "u1", 5).unwrap(), None);
         assert_eq!(kv.version_of("sessions", "u1").unwrap(), 30);
         assert_eq!(kv.version_of("sessions", "nope").unwrap(), 0);
@@ -341,7 +353,8 @@ mod tests {
             10,
         )
         .unwrap();
-        kv.apply(&[KvWrite::put("sessions", "user:3", "d")], 20).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "user:3", "d")], 20)
+            .unwrap();
 
         let at_10 = kv.scan_prefix_as_of("sessions", "user:", 10).unwrap();
         assert_eq!(at_10.len(), 2);
@@ -357,7 +370,10 @@ mod tests {
         kv.apply(&[KvWrite::put("sessions", "k", "v")], 10).unwrap();
         assert_eq!(
             kv.apply(&[KvWrite::put("sessions", "k", "v2")], 10),
-            Err(KvError::StaleCommitTimestamp { given: 10, latest: 10 })
+            Err(KvError::StaleCommitTimestamp {
+                given: 10,
+                latest: 10
+            })
         );
         assert_eq!(
             kv.apply(&[KvWrite::put("nope", "k", "v")], 20),
@@ -389,15 +405,20 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(KvError::UnknownNamespace("x".into()).to_string().contains("x"));
+        assert!(KvError::UnknownNamespace("x".into())
+            .to_string()
+            .contains("x"));
         assert!(KvError::Conflict {
             namespace: "s".into(),
             key: "k".into()
         }
         .to_string()
         .contains("s/k"));
-        assert!(KvError::StaleCommitTimestamp { given: 1, latest: 2 }
-            .to_string()
-            .contains("not newer"));
+        assert!(KvError::StaleCommitTimestamp {
+            given: 1,
+            latest: 2
+        }
+        .to_string()
+        .contains("not newer"));
     }
 }

@@ -76,7 +76,8 @@ impl KvTransaction {
         if !self.store.has_namespace(namespace) {
             return Err(KvError::UnknownNamespace(namespace.to_string()));
         }
-        self.writes.insert((namespace.to_string(), key.to_string()), None);
+        self.writes
+            .insert((namespace.to_string(), key.to_string()), None);
         Ok(())
     }
 
@@ -157,17 +158,22 @@ mod tests {
         assert_eq!(txn.get("sessions", "u1").unwrap(), Some("cart:a".into()));
         let ts = txn.commit().unwrap();
         assert!(ts > 0);
-        assert_eq!(kv.get_latest("sessions", "u1").unwrap(), Some("cart:a".into()));
+        assert_eq!(
+            kv.get_latest("sessions", "u1").unwrap(),
+            Some("cart:a".into())
+        );
     }
 
     #[test]
     fn snapshot_isolation_within_a_transaction() {
         let kv = store();
-        kv.apply(&[KvWrite::put("sessions", "u1", "old")], 5).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "u1", "old")], 5)
+            .unwrap();
         let mut txn = KvTransaction::begin(&kv);
         assert_eq!(txn.get("sessions", "u1").unwrap(), Some("old".into()));
         // A concurrent writer commits.
-        kv.apply(&[KvWrite::put("sessions", "u1", "new")], 6).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "u1", "new")], 6)
+            .unwrap();
         // The transaction still sees its snapshot.
         assert_eq!(txn.get("sessions", "u1").unwrap(), Some("old".into()));
         // But it cannot commit a write over the changed key.
@@ -179,10 +185,12 @@ mod tests {
     #[test]
     fn read_validation_detects_changed_keys() {
         let kv = store();
-        kv.apply(&[KvWrite::put("sessions", "u1", "old")], 5).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "u1", "old")], 5)
+            .unwrap();
         let mut txn = KvTransaction::begin(&kv);
         let _ = txn.get("sessions", "u1").unwrap();
-        kv.apply(&[KvWrite::put("sessions", "u1", "new")], 6).unwrap();
+        kv.apply(&[KvWrite::put("sessions", "u1", "new")], 6)
+            .unwrap();
         // Write to a *different* key: still a conflict, because the read
         // set is validated (serializable-style OCC).
         txn.put("sessions", "u2", "x").unwrap();
@@ -195,7 +203,11 @@ mod tests {
         kv.apply(&[KvWrite::put("sessions", "u1", "v")], 5).unwrap();
         let mut read_only = KvTransaction::begin(&kv);
         assert_eq!(read_only.get("sessions", "u1").unwrap(), Some("v".into()));
-        assert_eq!(read_only.commit().unwrap(), 5, "read-only commits at its snapshot");
+        assert_eq!(
+            read_only.commit().unwrap(),
+            5,
+            "read-only commits at its snapshot"
+        );
 
         let mut txn = KvTransaction::begin(&kv);
         txn.put("sessions", "u1", "discarded").unwrap();

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use trod_db::{row, Database, DataType, Schema, Ts};
+use trod_db::{row, DataType, Database, Schema, Ts};
 use trod_kv::{CrossStore, KvStore, KvWrite};
 
 /// One generated write: key index, optional value (None = delete).
@@ -23,7 +23,10 @@ struct GenWrite {
 }
 
 fn gen_write() -> impl Strategy<Value = GenWrite> {
-    (0usize..8, prop_oneof![Just(None), (0u16..1000).prop_map(Some)])
+    (
+        0usize..8,
+        prop_oneof![Just(None), (0u16..1000).prop_map(Some)],
+    )
         .prop_map(|(key, value)| GenWrite { key, value })
 }
 

@@ -20,9 +20,9 @@ pub mod redaction;
 pub mod schema;
 pub mod store;
 
+pub use redaction::{RedactionReport, RetentionReport, REDACTED_MARKER};
 pub use schema::{
     default_event_table_name, event_table_schema, executions_schema, external_calls_schema,
     requests_schema, EXECUTIONS_TABLE, EXTERNAL_CALLS_TABLE, REQUESTS_TABLE,
 };
-pub use redaction::{RedactionReport, RetentionReport, REDACTED_MARKER};
 pub use store::{ProvenanceStats, ProvenanceStore, RequestRecord};

@@ -26,8 +26,8 @@
 
 use trod_db::{ChangeOp, ChangeRecord, DbResult, Predicate, Row, Value};
 
-use crate::store::ProvenanceStore;
 use crate::schema::{EXECUTIONS_TABLE, EXTERNAL_CALLS_TABLE, REQUESTS_TABLE};
+use crate::store::ProvenanceStore;
 
 /// Placeholder written over redacted text fields.
 pub const REDACTED_MARKER: &str = "[redacted]";
@@ -108,7 +108,7 @@ impl ProvenanceStore {
                 let matches = self.db.scan_latest(&event_table, &pred)?;
                 let mut txn = self.db.begin();
                 for (key, row) in matches {
-                    let mut redacted = row.clone();
+                    let mut redacted = (*row).clone();
                     redacted.set(3, Value::Text(REDACTED_MARKER.to_string()));
                     for idx in 4..row.len() {
                         redacted.set(idx, Value::Null);
@@ -130,7 +130,8 @@ impl ProvenanceStore {
                 let mut touched = false;
                 for read in trace.reads.iter_mut().filter(|r| r.table == app_table) {
                     let before = read.rows.len();
-                    read.rows.retain(|(_, row)| !row_matches(row, filters, trace_arity(row)));
+                    read.rows
+                        .retain(|(_, row)| !row_matches(row, filters, trace_arity(row)));
                     let removed = before - read.rows.len();
                     if removed > 0 {
                         read.query = REDACTED_MARKER.to_string();
@@ -177,7 +178,7 @@ impl ProvenanceStore {
         let pred = Predicate::eq("ReqId", req_id);
         let mut txn = self.db.begin();
         for (key, row) in txn.scan(REQUESTS_TABLE, &pred)? {
-            let mut redacted = row.clone();
+            let mut redacted = (*row).clone();
             redacted.set(3, Value::Text(REDACTED_MARKER.to_string()));
             if !row.get(4).map(Value::is_null).unwrap_or(true) {
                 redacted.set(4, Value::Text(REDACTED_MARKER.to_string()));
@@ -186,7 +187,7 @@ impl ProvenanceStore {
             report.requests_redacted += 1;
         }
         for (key, row) in txn.scan(EXTERNAL_CALLS_TABLE, &pred)? {
-            let mut redacted = row.clone();
+            let mut redacted = (*row).clone();
             redacted.set(4, Value::Text(REDACTED_MARKER.to_string()));
             txn.update(EXTERNAL_CALLS_TABLE, &key, redacted)?;
             report.external_calls_redacted += 1;
@@ -194,7 +195,12 @@ impl ProvenanceStore {
         txn.commit()?;
 
         // Archive.
-        for rec in self.requests.write().iter_mut().filter(|r| r.req_id == req_id) {
+        for rec in self
+            .requests
+            .write()
+            .iter_mut()
+            .filter(|r| r.req_id == req_id)
+        {
             rec.args = REDACTED_MARKER.to_string();
             if rec.output.is_some() {
                 rec.output = Some(REDACTED_MARKER.to_string());
@@ -224,18 +230,12 @@ impl ProvenanceStore {
 
         // Relational tables.
         let mut txn = self.db.begin();
-        report.rows_deleted += txn.delete_where(
-            EXECUTIONS_TABLE,
-            &Predicate::lt("Timestamp", cutoff_ts),
-        )?;
-        report.rows_deleted += txn.delete_where(
-            REQUESTS_TABLE,
-            &Predicate::lt("StartTs", cutoff_ts),
-        )?;
-        report.rows_deleted += txn.delete_where(
-            EXTERNAL_CALLS_TABLE,
-            &Predicate::lt("Timestamp", cutoff_ts),
-        )?;
+        report.rows_deleted +=
+            txn.delete_where(EXECUTIONS_TABLE, &Predicate::lt("Timestamp", cutoff_ts))?;
+        report.rows_deleted +=
+            txn.delete_where(REQUESTS_TABLE, &Predicate::lt("StartTs", cutoff_ts))?;
+        report.rows_deleted +=
+            txn.delete_where(EXTERNAL_CALLS_TABLE, &Predicate::lt("Timestamp", cutoff_ts))?;
         if !dropped_txn_ids.is_empty() {
             let event_tables: Vec<String> = self.table_map.read().values().cloned().collect();
             for event_table in event_tables {
@@ -304,7 +304,7 @@ fn erase_change(change: &ChangeRecord) -> ChangeRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trod_db::{row, Database, DataType, Schema};
+    use trod_db::{row, DataType, Database, Schema};
     use trod_trace::{TracedDatabase, Tracer, TxnContext};
 
     fn setup() -> (Database, ProvenanceStore, TracedDatabase) {
@@ -328,8 +328,10 @@ mod tests {
     fn redact_rows_erases_event_table_and_archive() {
         let (_db, store, traced) = setup();
         let mut txn = traced.begin(TxnContext::new("R1", "updateProfile", "f"));
-        txn.insert("profiles", row!["U1", "u1@example.org"]).unwrap();
-        txn.insert("profiles", row!["U2", "u2@example.org"]).unwrap();
+        txn.insert("profiles", row!["U1", "u1@example.org"])
+            .unwrap();
+        txn.insert("profiles", row!["U2", "u2@example.org"])
+            .unwrap();
         txn.commit().unwrap();
         let mut txn = traced.begin(TxnContext::new("R2", "readProfile", "f"));
         let got = txn.scan("profiles", &Predicate::eq("user", "U1")).unwrap();
@@ -380,7 +382,8 @@ mod tests {
     fn redact_rows_on_unknown_table_or_column_is_a_noop() {
         let (_db, store, traced) = setup();
         let mut txn = traced.begin(TxnContext::new("R1", "h", "f"));
-        txn.insert("profiles", row!["U1", "u1@example.org"]).unwrap();
+        txn.insert("profiles", row!["U1", "u1@example.org"])
+            .unwrap();
         txn.commit().unwrap();
         store.ingest(traced.tracer().drain());
 
@@ -412,13 +415,19 @@ mod tests {
         let reqs = store
             .query("SELECT ReqId, Args, Output FROM Requests ORDER BY ReqId")
             .unwrap();
-        assert_eq!(reqs.value(0, "Args"), Some(&Value::Text(REDACTED_MARKER.into())));
+        assert_eq!(
+            reqs.value(0, "Args"),
+            Some(&Value::Text(REDACTED_MARKER.into()))
+        );
         assert_eq!(reqs.value(1, "Args"), Some(&Value::Text("x=1".into())));
         let recs = store.request_records("R1");
         assert_eq!(recs[0].args, REDACTED_MARKER);
         assert_eq!(recs[0].output.as_deref(), Some(REDACTED_MARKER));
         let calls = store.query("SELECT Payload FROM ExternalCalls").unwrap();
-        assert_eq!(calls.value(0, "Payload"), Some(&Value::Text(REDACTED_MARKER.into())));
+        assert_eq!(
+            calls.value(0, "Payload"),
+            Some(&Value::Text(REDACTED_MARKER.into()))
+        );
     }
 
     #[test]
@@ -427,7 +436,8 @@ mod tests {
         // Two transactions, then note the cutoff, then one more.
         for (req, user) in [("R1", "U1"), ("R2", "U2")] {
             let mut txn = traced.begin(TxnContext::new(req, "updateProfile", "f"));
-            txn.insert("profiles", row![user, format!("{user}@example.org")]).unwrap();
+            txn.insert("profiles", row![user, format!("{user}@example.org")])
+                .unwrap();
             txn.commit().unwrap();
         }
         let tracer = traced.tracer().clone();
@@ -437,7 +447,8 @@ mod tests {
         let cutoff = tracer.now();
 
         let mut txn = traced.begin(TxnContext::new("R3", "updateProfile", "f"));
-        txn.insert("profiles", row!["U3", "u3@example.org"]).unwrap();
+        txn.insert("profiles", row!["U3", "u3@example.org"])
+            .unwrap();
         txn.commit().unwrap();
         tracer.handler_start("R3", "updateProfile", None, "{}");
         tracer.handler_end("R3", "updateProfile", "ok", true);

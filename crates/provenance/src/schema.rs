@@ -81,7 +81,10 @@ pub fn event_table_schema(app_schema: &Schema) -> DbResult<Schema> {
     for col in app_schema.columns() {
         // Application columns may collide with the fixed provenance
         // columns (e.g. an app table with a `Type` column); prefix those.
-        let name = if columns.iter().any(|c| c.name.eq_ignore_ascii_case(&col.name)) {
+        let name = if columns
+            .iter()
+            .any(|c| c.name.eq_ignore_ascii_case(&col.name))
+        {
             format!("App_{}", col.name)
         } else {
             col.name.clone()

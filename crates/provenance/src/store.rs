@@ -259,8 +259,7 @@ impl ProvenanceStore {
                 Some(event_table) => {
                     let image = change.op.after().or_else(|| change.op.before());
                     let query = format!("{} {}", change.op.kind(), change.key);
-                    let row =
-                        self.event_row(&trace, event_table, change.op.kind(), &query, image);
+                    let row = self.event_row(&trace, event_table, change.op.kind(), &query, image);
                     if let Ok(row) = row {
                         let _ = txn.insert(event_table, row);
                         data_events += 1;
@@ -270,7 +269,8 @@ impl ProvenanceStore {
             }
         }
 
-        txn.commit().expect("provenance ingest commit cannot conflict");
+        txn.commit()
+            .expect("provenance ingest commit cannot conflict");
 
         // Archive the full trace for replay.
         self.archive.write().push(trace);
@@ -328,7 +328,8 @@ impl ProvenanceStore {
             Value::Null,
         ]);
         let _ = txn.insert(REQUESTS_TABLE, row);
-        txn.commit().expect("provenance ingest commit cannot conflict");
+        txn.commit()
+            .expect("provenance ingest commit cannot conflict");
 
         self.requests.write().push(RequestRecord {
             req_id,
@@ -360,14 +361,15 @@ impl ProvenanceStore {
         if let Ok(mut rows) = txn.scan(REQUESTS_TABLE, &pred) {
             rows.sort_by_key(|(_, r)| r[6].as_int().unwrap_or(0));
             if let Some((key, row)) = rows.pop() {
-                let mut updated = row.clone();
+                let mut updated = (*row).clone();
                 updated.set(4, Value::Text(output.clone()));
                 updated.set(5, Value::Bool(ok));
                 updated.set(7, Value::Timestamp(timestamp));
                 let _ = txn.update(REQUESTS_TABLE, &key, updated);
             }
         }
-        txn.commit().expect("provenance ingest commit cannot conflict");
+        txn.commit()
+            .expect("provenance ingest commit cannot conflict");
 
         // Update the archive record.
         let mut requests = self.requests.write();
@@ -401,7 +403,8 @@ impl ProvenanceStore {
             Value::Timestamp(timestamp),
         ]);
         let _ = txn.insert(EXTERNAL_CALLS_TABLE, row);
-        txn.commit().expect("provenance ingest commit cannot conflict");
+        txn.commit()
+            .expect("provenance ingest commit cannot conflict");
         self.stats.write().external_calls += 1;
     }
 
@@ -518,7 +521,7 @@ impl TraceSink for ProvenanceStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trod_db::{DataType, row};
+    use trod_db::{row, DataType};
     use trod_trace::{TracedDatabase, Tracer, TxnContext};
 
     fn app_db() -> Database {
@@ -540,7 +543,11 @@ mod tests {
     fn store_for(db: &Database) -> ProvenanceStore {
         let store = ProvenanceStore::new();
         store
-            .register_table_as("forum_sub", "ForumEvents", &db.schema_of("forum_sub").unwrap())
+            .register_table_as(
+                "forum_sub",
+                "ForumEvents",
+                &db.schema_of("forum_sub").unwrap(),
+            )
             .unwrap();
         store
     }
@@ -562,7 +569,9 @@ mod tests {
 
         store.ingest(traced.tracer().drain());
 
-        let execs = store.query("SELECT * FROM Executions ORDER BY Timestamp").unwrap();
+        let execs = store
+            .query("SELECT * FROM Executions ORDER BY Timestamp")
+            .unwrap();
         assert_eq!(execs.len(), 2);
         assert_eq!(
             execs.value(0, "Metadata"),

@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use trod_db::{row, Database, DataType, Predicate, Schema, Value};
+use trod_db::{row, DataType, Database, Predicate, Schema, Value};
 use trod_provenance::ProvenanceStore;
 use trod_trace::{TracedDatabase, Tracer, TxnContext};
 
@@ -33,7 +33,11 @@ fn setup() -> (Database, ProvenanceStore, TracedDatabase) {
     .unwrap();
     let store = ProvenanceStore::new();
     store
-        .register_table_as("forum_sub", "ForumEvents", &db.schema_of("forum_sub").unwrap())
+        .register_table_as(
+            "forum_sub",
+            "ForumEvents",
+            &db.schema_of("forum_sub").unwrap(),
+        )
         .unwrap();
     let traced = TracedDatabase::new(db.clone(), Tracer::new());
     (db, store, traced)

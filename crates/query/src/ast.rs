@@ -50,7 +50,10 @@ pub enum Expr {
     Not(Box<Expr>),
     IsNull(Box<Expr>),
     IsNotNull(Box<Expr>),
-    InList { expr: Box<Expr>, list: Vec<Expr> },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+    },
 }
 
 impl Expr {

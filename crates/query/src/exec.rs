@@ -52,9 +52,7 @@ impl Relation {
     /// relation.
     fn can_resolve(&self, expr: &Expr) -> bool {
         match expr {
-            Expr::Column { qualifier, name } => {
-                self.resolve(qualifier.as_deref(), name).is_some()
-            }
+            Expr::Column { qualifier, name } => self.resolve(qualifier.as_deref(), name).is_some(),
             Expr::Literal(_) => true,
             Expr::Compare { left, right, .. } => self.can_resolve(left) && self.can_resolve(right),
             Expr::And(a, b) | Expr::Or(a, b) => self.can_resolve(a) && self.can_resolve(b),
@@ -164,9 +162,12 @@ fn load_table(db: &Database, table: &TableRef, opts: QueryOptions) -> QueryResul
         Some(ts) => db.scan_as_of(&actual, &Predicate::True, ts)?,
         None => db.scan_latest(&actual, &Predicate::True)?,
     };
+    // The executor materialises relations of owned values (projections and
+    // joins rewrite them), so this is the one place the shared rows are
+    // copied out of the storage engine.
     let rows = scanned
         .into_iter()
-        .map(|(_, r)| r.into_values())
+        .map(|(_, r)| std::sync::Arc::unwrap_or_clone(r).into_values())
         .collect();
     Ok(Relation { cols, rows })
 }
@@ -211,8 +212,16 @@ fn join_relations(
             right: r,
         } = &expr
         {
-            if let (Expr::Column { qualifier: ql, name: nl }, Expr::Column { qualifier: qr, name: nr }) =
-                (l.as_ref(), r.as_ref())
+            if let (
+                Expr::Column {
+                    qualifier: ql,
+                    name: nl,
+                },
+                Expr::Column {
+                    qualifier: qr,
+                    name: nr,
+                },
+            ) = (l.as_ref(), r.as_ref())
             {
                 let l_in_left = left.resolve(ql.as_deref(), nl);
                 let r_in_right = right.resolve(qr.as_deref(), nr);
@@ -458,7 +467,10 @@ fn eval_aggregate(
         AggFunc::Sum => {
             if non_null.is_empty() {
                 Value::Null
-            } else if non_null.iter().all(|v| matches!(v, Value::Int(_) | Value::Timestamp(_))) {
+            } else if non_null
+                .iter()
+                .all(|v| matches!(v, Value::Int(_) | Value::Timestamp(_)))
+            {
                 Value::Int(non_null.iter().map(|v| v.as_int().unwrap_or(0)).sum())
             } else {
                 Value::Float(non_null.iter().map(|v| v.as_float().unwrap_or(0.0)).sum())
@@ -487,9 +499,9 @@ fn sort_output(out: &mut ResultSet, stmt: &SelectStmt) -> QueryResultT<()> {
             Expr::Column { name, .. } => name.clone(),
             other => other.to_string(),
         };
-        let idx = out
-            .column_index(&name)
-            .ok_or_else(|| QueryError::plan(format!("ORDER BY column `{name}` is not in the output")))?;
+        let idx = out.column_index(&name).ok_or_else(|| {
+            QueryError::plan(format!("ORDER BY column `{name}` is not in the output"))
+        })?;
         key_indices.push((idx, key.descending));
     }
     let mut rows = out.rows().to_vec();

@@ -20,9 +20,7 @@
 
 use trod_db::Value;
 
-use crate::ast::{
-    AggFunc, BinOp, Expr, Join, OrderKey, SelectItem, SelectStmt, TableRef,
-};
+use crate::ast::{AggFunc, BinOp, Expr, Join, OrderKey, SelectItem, SelectStmt, TableRef};
 use crate::error::{QueryError, QueryResultT};
 use crate::token::{tokenize, Token};
 
@@ -105,7 +103,9 @@ impl Parser {
     fn expect_end(&mut self) -> QueryResultT<()> {
         self.eat(&Token::Semicolon);
         if let Some(t) = self.peek() {
-            return Err(QueryError::parse(format!("unexpected trailing token {t:?}")));
+            return Err(QueryError::parse(format!(
+                "unexpected trailing token {t:?}"
+            )));
         }
         Ok(())
     }
@@ -307,7 +307,10 @@ impl Parser {
         }
         // [NOT] IN (...)
         let negated_in = if self.peek().is_some_and(|t| t.is_keyword("NOT"))
-            && self.tokens.get(self.pos + 1).is_some_and(|t| t.is_keyword("IN"))
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.is_keyword("IN"))
         {
             self.pos += 1;
             true

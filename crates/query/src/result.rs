@@ -137,9 +137,15 @@ mod tests {
         assert!(!rs.is_empty());
         assert_eq!(rs.column_index("txnid"), Some(0));
         assert_eq!(rs.column_index("missing"), None);
-        assert_eq!(rs.value(0, "HandlerName"), Some(&Value::Text("subscribeUser".into())));
+        assert_eq!(
+            rs.value(0, "HandlerName"),
+            Some(&Value::Text("subscribeUser".into()))
+        );
         assert_eq!(rs.value(5, "HandlerName"), None);
-        assert_eq!(rs.column_values("TxnId"), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            rs.column_values("TxnId"),
+            vec![Value::Int(1), Value::Int(2)]
+        );
         assert!(rs.column_values("nope").is_empty());
     }
 

@@ -211,7 +211,9 @@ mod tests {
                    ORDER BY Timestamp ASC;";
         let tokens = tokenize(sql).unwrap();
         assert!(tokens.iter().any(|t| t.is_keyword("SELECT")));
-        assert!(tokens.iter().any(|t| matches!(t, Token::Str(s) if s == "U1")));
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t, Token::Str(s) if s == "U1")));
         assert_eq!(*tokens.last().unwrap(), Token::Semicolon);
     }
 

@@ -2,7 +2,7 @@
 //! queries printed in the TROD paper (§3.3 and §4.2).
 
 use proptest::prelude::*;
-use trod_db::{Database, DataType, Schema, Value, row};
+use trod_db::{row, DataType, Database, Schema, Value};
 use trod_query::{QueryEngine, QueryError};
 
 /// Builds the provenance-shaped tables of the paper's running example
@@ -52,12 +52,54 @@ fn paper_tables() -> QueryEngine {
     }
     // Table 2 rows.
     for (event, txn_id, typ, query, user, forum) in [
-        (1i64, 1i64, "Read", "Check if (U1, F2) exists", Value::Null, Value::Null),
-        (2, 2, "Read", "Check if (U1, F2) exists", Value::Null, Value::Null),
-        (3, 3, "Insert", "Insert (U1, F2)", Value::from("U1"), Value::from("F2")),
-        (4, 4, "Insert", "Insert (U1, F2)", Value::from("U1"), Value::from("F2")),
-        (5, 9, "Read", "Select UserId for F2", Value::from("U1"), Value::from("F2")),
-        (6, 9, "Read", "Select UserId for F2", Value::from("U1"), Value::from("F2")),
+        (
+            1i64,
+            1i64,
+            "Read",
+            "Check if (U1, F2) exists",
+            Value::Null,
+            Value::Null,
+        ),
+        (
+            2,
+            2,
+            "Read",
+            "Check if (U1, F2) exists",
+            Value::Null,
+            Value::Null,
+        ),
+        (
+            3,
+            3,
+            "Insert",
+            "Insert (U1, F2)",
+            Value::from("U1"),
+            Value::from("F2"),
+        ),
+        (
+            4,
+            4,
+            "Insert",
+            "Insert (U1, F2)",
+            Value::from("U1"),
+            Value::from("F2"),
+        ),
+        (
+            5,
+            9,
+            "Read",
+            "Select UserId for F2",
+            Value::from("U1"),
+            Value::from("F2"),
+        ),
+        (
+            6,
+            9,
+            "Read",
+            "Select UserId for F2",
+            Value::from("U1"),
+            Value::from("F2"),
+        ),
     ] {
         txn.insert("ForumEvents", row![event, txn_id, typ, query, user, forum])
             .unwrap();
@@ -127,7 +169,9 @@ fn aggregates_and_group_by() {
 fn aggregates_without_group_by_over_empty_input() {
     let engine = paper_tables();
     let result = engine
-        .execute("SELECT COUNT(*), MAX(Timestamp), AVG(Timestamp) FROM Executions WHERE TxnId > 1000")
+        .execute(
+            "SELECT COUNT(*), MAX(Timestamp), AVG(Timestamp) FROM Executions WHERE TxnId > 1000",
+        )
         .unwrap();
     assert_eq!(result.len(), 1);
     assert_eq!(result.rows()[0][0], Value::Int(0));
@@ -213,7 +257,9 @@ fn time_travel_queries_see_past_states() {
         .unwrap();
     txn.commit().unwrap();
 
-    let now = engine.execute("SELECT COUNT(*) AS n FROM Executions").unwrap();
+    let now = engine
+        .execute("SELECT COUNT(*) AS n FROM Executions")
+        .unwrap();
     assert_eq!(now.value(0, "n"), Some(&Value::Int(6)));
     let past = engine
         .execute_as_of("SELECT COUNT(*) AS n FROM Executions", before)

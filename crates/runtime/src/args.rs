@@ -115,9 +115,21 @@ impl Args {
                 .ok_or_else(|| format!("malformed argument value `{rest}`"))?;
             let value = match tag {
                 "n" => Value::Null,
-                "b" => Value::Bool(payload.parse().map_err(|_| format!("bad bool `{payload}`"))?),
-                "i" => Value::Int(payload.parse().map_err(|_| format!("bad int `{payload}`"))?),
-                "f" => Value::Float(payload.parse().map_err(|_| format!("bad float `{payload}`"))?),
+                "b" => Value::Bool(
+                    payload
+                        .parse()
+                        .map_err(|_| format!("bad bool `{payload}`"))?,
+                ),
+                "i" => Value::Int(
+                    payload
+                        .parse()
+                        .map_err(|_| format!("bad int `{payload}`"))?,
+                ),
+                "f" => Value::Float(
+                    payload
+                        .parse()
+                        .map_err(|_| format!("bad float `{payload}`"))?,
+                ),
                 "t" => {
                     Value::Timestamp(payload.parse().map_err(|_| format!("bad ts `{payload}`"))?)
                 }

@@ -131,13 +131,15 @@ mod tests {
             });
         assert_eq!(registry.len(), 2);
         assert!(!registry.is_empty());
-        assert_eq!(registry.names(), vec!["add".to_string(), "ping".to_string()]);
+        assert_eq!(
+            registry.names(),
+            vec!["add".to_string(), "ping".to_string()]
+        );
         assert!(registry.get("ping").is_some());
         assert!(registry.get("missing").is_none());
 
-        let patched = registry.with_replacement_fn("ping", |_ctx, _args| {
-            Ok(Value::Text("patched".into()))
-        });
+        let patched =
+            registry.with_replacement_fn("ping", |_ctx, _args| Ok(Value::Text("patched".into())));
         // The original is untouched; both registries resolve the handler.
         assert_eq!(registry.len(), 2);
         assert_eq!(patched.len(), 2);

@@ -40,12 +40,10 @@ impl TraceClock {
         let mut prev = self.last.load(Ordering::Relaxed);
         loop {
             let next = elapsed.max(prev + 1);
-            match self.last.compare_exchange_weak(
-                prev,
-                next,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .last
+                .compare_exchange_weak(prev, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return next,
                 Err(actual) => prev = actual,
             }

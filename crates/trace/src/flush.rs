@@ -143,11 +143,8 @@ mod tests {
     fn background_flusher_drains_everything_by_stop() {
         let tracer = Tracer::new();
         let sink = Arc::new(CollectingSink::new());
-        let flusher = BackgroundFlusher::start(
-            tracer.clone(),
-            sink.clone(),
-            Duration::from_millis(1),
-        );
+        let flusher =
+            BackgroundFlusher::start(tracer.clone(), sink.clone(), Duration::from_millis(1));
         for i in 0..500 {
             tracer.handler_start(&format!("R{i}"), "h", None, "");
         }

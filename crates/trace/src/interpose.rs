@@ -14,9 +14,7 @@ use crate::buffer::{TraceBuffer, TraceStats};
 use crate::clock::TraceClock;
 use crate::record::{ReadTrace, TraceEvent, TxnContext, TxnTrace};
 
-use trod_db::{
-    ChangeRecord, CommitInfo, Database, DbResult, IsolationLevel, Key, Predicate, Row,
-};
+use trod_db::{ChangeRecord, CommitInfo, Database, DbResult, IsolationLevel, Key, Predicate, Row};
 
 /// Shared handle used by all components that emit trace events.
 #[derive(Debug, Clone, Default)]
@@ -187,7 +185,7 @@ impl TracedTransaction {
     }
 
     /// Point read with provenance capture.
-    pub fn get(&mut self, table: &str, key: &Key) -> DbResult<Option<Row>> {
+    pub fn get(&mut self, table: &str, key: &Key) -> DbResult<Option<Arc<Row>>> {
         let result = self.inner_mut().get(table, key)?;
         self.reads.push(ReadTrace {
             table: table.to_string(),
@@ -201,7 +199,7 @@ impl TracedTransaction {
     }
 
     /// Predicate scan with provenance capture.
-    pub fn scan(&mut self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Row)>> {
+    pub fn scan(&mut self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Arc<Row>)>> {
         let result = self.inner_mut().scan(table, pred)?;
         self.reads.push(ReadTrace {
             table: table.to_string(),
@@ -265,7 +263,10 @@ impl TracedTransaction {
     /// Commits the transaction and records its provenance (reads, CDC
     /// writes, snapshot/commit timestamps, request context).
     pub fn commit(mut self) -> DbResult<CommitInfo> {
-        let inner = self.inner.take().expect("traced transaction already finished");
+        let inner = self
+            .inner
+            .take()
+            .expect("traced transaction already finished");
         let result = inner.commit();
         let timestamp = self.tracer.now();
         match &result {
@@ -328,7 +329,7 @@ impl TracedTransaction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trod_db::{DataType, Schema, row};
+    use trod_db::{row, DataType, Schema};
 
     fn traced_db() -> TracedDatabase {
         let db = Database::new();
@@ -436,7 +437,9 @@ mod tests {
         let mut txn = tdb.begin(TxnContext::new("R1", "reader", "f"));
         let got = txn.get("forum_sub", &Key::single(1i64)).unwrap();
         assert!(got.is_some());
-        let scanned = txn.scan("forum_sub", &Predicate::eq("forum", "F2")).unwrap();
+        let scanned = txn
+            .scan("forum_sub", &Predicate::eq("forum", "F2"))
+            .unwrap();
         assert_eq!(scanned.len(), 1);
         let n = txn.count("forum_sub", &Predicate::True).unwrap();
         assert_eq!(n, 2);

@@ -5,6 +5,8 @@
 //! provenance (read sets, write sets, commit order), and external-service
 //! call intents. The provenance crate turns them into queryable tables.
 
+use std::sync::Arc;
+
 use trod_db::{ChangeRecord, Key, Row, Ts, TxnId};
 
 /// Identifies the request, handler and function a database interaction
@@ -46,7 +48,7 @@ pub struct ReadTrace {
     /// The rows returned, keyed by primary key. Empty for reads that
     /// matched nothing (which is still important provenance: the Moodle
     /// bug hinges on two requests both observing "no subscription").
-    pub rows: Vec<(Key, Row)>,
+    pub rows: Vec<(Key, Arc<Row>)>,
 }
 
 /// Provenance captured for one transaction.

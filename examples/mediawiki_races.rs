@@ -20,7 +20,9 @@ fn sitelink_duplicates() {
     println!("== MW-44325: duplicate site links ==");
     let db = mediawiki::mediawiki_db();
     let provenance = mediawiki::provenance_for(&db);
-    let scheduler = Arc::new(Scheduler::scripted(mediawiki::sitelink_race_script("E1", "E2")));
+    let scheduler = Arc::new(Scheduler::scripted(mediawiki::sitelink_race_script(
+        "E1", "E2",
+    )));
     let runtime = Runtime::builder(db, mediawiki::registry())
         .default_isolation(IsolationLevel::ReadCommitted)
         .scheduler(scheduler)
@@ -29,7 +31,9 @@ fn sitelink_duplicates() {
 
     runtime.must_handle(
         "createPage",
-        Args::new().with("title", "Berlin").with("content", "Berlin is a city."),
+        Args::new()
+            .with("title", "Berlin")
+            .with("content", "Berlin is a city."),
     );
     std::thread::scope(|scope| {
         let r = &runtime;
@@ -48,7 +52,8 @@ fn sitelink_duplicates() {
             )
         });
     });
-    let listing = runtime.handle_request_with_id("E3", "listSiteLinks", Args::new().with("page", "Berlin"));
+    let listing =
+        runtime.handle_request_with_id("E3", "listSiteLinks", Args::new().with("page", "Berlin"));
     println!("production symptom: listSiteLinks -> {:?}", listing.output);
 
     provenance.ingest(runtime.tracer().drain());
@@ -59,12 +64,18 @@ fn sitelink_duplicates() {
         .find_writers(
             SITE_LINKS_TABLE,
             "Insert",
-            &[("page", "Berlin"), ("url", "https://de.wikipedia.org/Berlin")],
+            &[
+                ("page", "Berlin"),
+                ("url", "https://de.wikipedia.org/Berlin"),
+            ],
         )
         .expect("provenance query");
     println!("requests that inserted the duplicated link:");
     for w in &writers {
-        println!("  ts={} request={} handler={}", w.timestamp, w.req_id, w.handler);
+        println!(
+            "  ts={} request={} handler={}",
+            w.timestamp, w.req_id, w.handler
+        );
     }
 
     let replay = trod
@@ -109,7 +120,11 @@ fn wrong_article_size() {
     std::thread::scope(|scope| {
         let r = &runtime;
         scope.spawn(move || {
-            r.handle_request_with_id("E1", "editPage", mediawiki::edit_args("rev-a", "Art", "1234567890"))
+            r.handle_request_with_id(
+                "E1",
+                "editPage",
+                mediawiki::edit_args("rev-a", "Art", "1234567890"),
+            )
         });
         scope.spawn(move || {
             r.handle_request_with_id("E2", "editPage", mediawiki::edit_args("rev-b", "Art", "12"))
@@ -142,7 +157,10 @@ fn wrong_article_size() {
         .declarative()
         .find_writers(PAGES_TABLE, "Update", &[("title", "Art")])
         .expect("provenance query");
-    println!("concurrent editors of the page: {:?}", editors.iter().map(|w| w.req_id.clone()).collect::<Vec<_>>());
+    println!(
+        "concurrent editors of the page: {:?}",
+        editors.iter().map(|w| w.req_id.clone()).collect::<Vec<_>>()
+    );
 
     let retro = trod
         .retroactive(mediawiki::patched_registry())

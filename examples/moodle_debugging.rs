@@ -29,7 +29,10 @@ fn main() {
             &Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2")),
         )
         .expect("scan forum_sub");
-    println!("forum_sub now contains {} rows for (U1, F2)\n", duplicates.len());
+    println!(
+        "forum_sub now contains {} rows for (U1, F2)\n",
+        duplicates.len()
+    );
 
     let trod = scenario.into_trod();
 
@@ -73,7 +76,10 @@ fn main() {
     let report = trod
         .retroactive(moodle::patched_registry())
         .requests(&["R1", "R2", "R3"])
-        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(
+            FORUM_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
         .run()
         .expect("retroactive run");
     println!(

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --example multistore_tracing`
 
-use trod::db::{row, Database, DataType, Key, Predicate, Schema, Value};
+use trod::db::{row, DataType, Database, Key, Predicate, Schema, Value};
 use trod::kv::{kv_provenance_schema, kv_table_name, CrossStore, KvStore};
 use trod::provenance::ProvenanceStore;
 use trod::trace::{Tracer, TxnContext};
@@ -55,13 +55,19 @@ fn main() {
             .expect("register relational table");
     }
     provenance
-        .register_table_as(&kv_table_name("sessions"), "SessionEvents", &kv_provenance_schema())
+        .register_table_as(
+            &kv_table_name("sessions"),
+            "SessionEvents",
+            &kv_provenance_schema(),
+        )
         .expect("register KV namespace");
 
     // Seed inventory.
     let mut seed = cross.begin_traced(TxnContext::new("R0", "seed", "func:seed"));
-    seed.insert("inventory", row!["widget", 5i64]).expect("insert stock");
-    seed.insert("inventory", row!["gadget", 2i64]).expect("insert stock");
+    seed.insert("inventory", row!["widget", 5i64])
+        .expect("insert stock");
+    seed.insert("inventory", row!["gadget", 2i64])
+        .expect("insert stock");
     seed.commit().expect("seed commit");
 
     // 3. Serve checkouts: each request reads and writes *both* stores in
@@ -78,10 +84,16 @@ fn main() {
             .expect("read stock")
             .expect("item exists");
         let stock = stock_row[1].as_int().unwrap_or(0);
-        txn.update("inventory", &stock_key, row![item, stock - 1]).expect("decrement stock");
-        txn.insert("orders", row![order_id, customer, item]).expect("insert order");
-        txn.kv_put("sessions", &format!("cart:{customer}"), &format!("order:{order_id}"))
-            .expect("update session");
+        txn.update("inventory", &stock_key, row![item, stock - 1])
+            .expect("decrement stock");
+        txn.insert("orders", row![order_id, customer, item])
+            .expect("insert order");
+        txn.kv_put(
+            "sessions",
+            &format!("cart:{customer}"),
+            &format!("order:{order_id}"),
+        )
+        .expect("update session");
         let commit = txn.commit().expect("checkout commit");
         println!(
             "{req}: order {order_id} committed at ts {} ({} relational changes, {} kv writes)",
@@ -92,7 +104,10 @@ fn main() {
     // 4. One aligned history: the cross-store log and the relational
     //    transaction log agree, and provenance covers both stores.
     provenance.ingest(tracer.drain());
-    println!("\naligned cross-store commits: {}", cross.aligned_log().len());
+    println!(
+        "\naligned cross-store commits: {}",
+        cross.aligned_log().len()
+    );
     let executions = provenance
         .query("SELECT TxnId, ReqId, HandlerName, CommitTs FROM Executions ORDER BY CommitTs")
         .expect("query Executions");
@@ -137,9 +152,12 @@ fn main() {
         .get_latest("inventory", &Key::single("widget"))
         .expect("read stock")
         .expect("row exists");
-    let orders = db.scan_latest("orders", &Predicate::True).expect("scan orders");
+    let orders = db
+        .scan_latest("orders", &Predicate::True)
+        .expect("scan orders");
     println!(
         "\nfinal state: widget stock = {}, orders placed = {}",
-        widget[1], orders.len()
+        widget[1],
+        orders.len()
     );
 }

@@ -77,7 +77,10 @@ fn main() {
         report.violations.len()
     );
     for blamed in &report.violations {
-        println!("  violation: {} — {}", blamed.violation.rule, blamed.violation.detail);
+        println!(
+            "  violation: {} — {}",
+            blamed.violation.rule, blamed.violation.detail
+        );
         for culprit in &blamed.culprits {
             println!(
                 "    written by request {} (handler {}, txn {})",
@@ -86,7 +89,9 @@ fn main() {
         }
     }
     if report.is_clean() {
-        println!("  (the workload kept every invariant — as it should under serializable transactions)");
+        println!(
+            "  (the workload kept every invariant — as it should under serializable transactions)"
+        );
     }
 
     // 5. Privacy (§5): a customer requests erasure. Their order provenance
@@ -95,7 +100,10 @@ fn main() {
     let customer = "user-0";
     let redaction = trod
         .provenance()
-        .redact_rows(shop::ORDERS_TABLE, &[("customer", Value::Text(customer.into()))])
+        .redact_rows(
+            shop::ORDERS_TABLE,
+            &[("customer", Value::Text(customer.into()))],
+        )
         .expect("redaction");
     println!(
         "\nprivacy: redacted {} provenance entries ({} transactions) for {customer}",

@@ -74,7 +74,10 @@ fn main() {
             .with("to", "bob")
             .with("amount", 30i64),
     );
-    println!("transfer request {} -> {:?}", transfer.req_id, transfer.output);
+    println!(
+        "transfer request {} -> {:?}",
+        transfer.req_id, transfer.output
+    );
 
     // 5. Move the trace buffer into the provenance database (a production
     //    deployment runs a background flusher instead).

@@ -26,11 +26,16 @@ fn main() {
     scenario
         .runtime
         .must_handle("deleteCourse", Args::new().with("course", "C1"));
-    let restore = scenario
-        .runtime
-        .handle_request_with_id("R4", "restoreCourse", Args::new().with("course", "C1"));
+    let restore = scenario.runtime.handle_request_with_id(
+        "R4",
+        "restoreCourse",
+        Args::new().with("course", "C1"),
+    );
     println!("production: fetchSubscribers error = {fetch_error:?}");
-    println!("production: restoreCourse outcome  = {:?}\n", restore.output);
+    println!(
+        "production: restoreCourse outcome  = {:?}\n",
+        restore.output
+    );
 
     let trod = scenario.into_trod();
 
@@ -39,7 +44,10 @@ fn main() {
         .retroactive(moodle::registry())
         .requests(&["R1", "R2", "R3", "R4"])
         .max_orderings(24)
-        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(
+            FORUM_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
         .run()
         .expect("retroactive run with the original code");
     println!(
@@ -57,8 +65,14 @@ fn main() {
         .retroactive(moodle::patched_registry())
         .requests(&["R1", "R2", "R3", "R4"])
         .max_orderings(24)
-        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
-        .invariant(Invariant::no_duplicates(RESTORED_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(
+            FORUM_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
+        .invariant(Invariant::no_duplicates(
+            RESTORED_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
         .run()
         .expect("retroactive run with the patch");
 

@@ -22,7 +22,10 @@ fn main() {
             Args::new().with("user_name", user).with("email", email),
         );
     }
-    runtime.must_handle("updateProfile", profiles::update_args("alice", "alice", "hi there"));
+    runtime.must_handle(
+        "updateProfile",
+        profiles::update_args("alice", "alice", "hi there"),
+    );
 
     // The attack.
     runtime.handle_request_with_id(
@@ -30,7 +33,11 @@ fn main() {
         "updateProfile",
         profiles::update_args("bob", "mallory", "defaced"),
     );
-    runtime.handle_request_with_id("ATTACK-2", "harvestProfiles", Args::new().with("batch", "B1"));
+    runtime.handle_request_with_id(
+        "ATTACK-2",
+        "harvestProfiles",
+        Args::new().with("batch", "B1"),
+    );
     runtime.handle_request_with_id("ATTACK-3", "syncStaging", Args::new().with("batch", "B1"));
 
     provenance.ingest(runtime.tracer().drain());
@@ -50,7 +57,10 @@ fn main() {
         .user_profile_violations(PROFILE_EVENTS_TABLE, "user_name", "updated_by")
         .expect("pattern query");
     for v in &violations {
-        println!("violation: request {} via {} — {}", v.req_id, v.handler, v.detail);
+        println!(
+            "violation: request {} via {} — {}",
+            v.req_id, v.handler, v.detail
+        );
     }
 
     // --- Audit 2: who read profiles without being an entry point? ---------

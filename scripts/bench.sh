@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the criterion suite and aggregates the results into a committed
+# perf-trajectory artifact (BENCH_PR<N>.json).
+#
+# Usage:
+#   scripts/bench.sh                  # writes BENCH_PR1.json
+#   scripts/bench.sh BENCH_PR2.json   # explicit output name
+#   BENCH_FILTER=commit_validation scripts/bench.sh   # one bench target
+#   TROD_BENCH_MS=100 scripts/bench.sh                # faster, noisier
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+# Absolute path: cargo runs bench binaries from the package directory.
+jsonl="$PWD/target/bench-results.jsonl"
+rm -f "$jsonl"
+mkdir -p target
+
+if [[ -n "${BENCH_FILTER:-}" ]]; then
+  TROD_BENCH_JSON="$jsonl" cargo bench -p trod-bench --bench "$BENCH_FILTER"
+else
+  TROD_BENCH_JSON="$jsonl" cargo bench -p trod-bench
+fi
+
+TROD_RUSTC_VERSION="$(rustc --version)" \
+  cargo run --release -p trod-bench --bin report -- bench-json "$jsonl" "$out"

@@ -57,7 +57,7 @@ pub mod prelude {
         RetroactiveBuilder, RetroactiveReport, Security, Trod,
     };
     pub use trod_db::{
-        row, Database, DataType, DbError, IsolationLevel, Key, Predicate, Row, Schema,
+        row, DataType, Database, DbError, IsolationLevel, Key, Predicate, Row, Schema,
         StorageProfile, Value,
     };
     pub use trod_kv::{CrossStore, KvStore};

@@ -29,7 +29,10 @@ fn perf_views_are_computed_from_existing_provenance() {
         .find(|l| l.handler == "subscribeUser")
         .expect("subscribeUser was traced");
     assert_eq!(subscribe.invocations, 2);
-    assert_eq!(subscribe.transactions, 4, "two transactions per subscribe request");
+    assert_eq!(
+        subscribe.transactions, 4,
+        "two transactions per subscribe request"
+    );
     assert!(subscribe.p95_us >= subscribe.p50_us);
 
     // Every handler invocation qualifies at threshold zero; none at MAX.
@@ -56,9 +59,16 @@ fn quality_rules_blame_the_requests_that_created_the_duplicate() {
         )])
         .expect("rules evaluate");
 
-    assert_eq!(report.violations.len(), 1, "exactly one duplicated subscription");
+    assert_eq!(
+        report.violations.len(),
+        1,
+        "exactly one duplicated subscription"
+    );
     let blamed = &report.violations[0];
-    assert!(!blamed.culprits.is_empty(), "the duplicate must be blamed on a request");
+    assert!(
+        !blamed.culprits.is_empty(),
+        "the duplicate must be blamed on a request"
+    );
     assert!(blamed
         .culprits
         .iter()
@@ -72,7 +82,11 @@ fn redaction_marks_replay_as_partial_data() {
     let trod = buggy_moodle_trod();
 
     // Before redaction the replay is fully faithful and on complete data.
-    let report = trod.replay("R1").expect("R1 traced").run_to_end().expect("replay");
+    let report = trod
+        .replay("R1")
+        .expect("R1 traced")
+        .run_to_end()
+        .expect("replay");
     assert!(report.is_faithful());
     assert!(!report.has_partial_data());
 
@@ -87,7 +101,11 @@ fn redaction_marks_replay_as_partial_data() {
     assert!(redaction.transactions_affected > 0);
 
     // Replay still runs, but reports that it operated on partial data.
-    let partial = trod.replay("R1").expect("R1 traced").run_to_end().expect("replay");
+    let partial = trod
+        .replay("R1")
+        .expect("R1 traced")
+        .run_to_end()
+        .expect("replay");
     assert!(partial.has_partial_data());
 }
 
@@ -124,10 +142,9 @@ fn retention_after_the_investigation_empties_the_store_but_keeps_it_usable() {
     assert_eq!(trod.provenance().txn_count(), 0);
 
     // New traffic after the cutoff is traced and queryable as usual.
-    let result = trod.runtime().handle_request(
-        "fetchSubscribers",
-        moodle::fetch_args("F2"),
-    );
+    let result = trod
+        .runtime()
+        .handle_request("fetchSubscribers", moodle::fetch_args("F2"));
     assert!(!result.req_id.is_empty());
     trod.sync();
     assert!(trod.provenance().txn_count() >= 1);

@@ -15,7 +15,9 @@ use trod::prelude::*;
 fn sitelink_race() -> trod::core::Trod {
     let db = mediawiki::mediawiki_db();
     let provenance = mediawiki::provenance_for(&db);
-    let scheduler = Arc::new(Scheduler::scripted(mediawiki::sitelink_race_script("E1", "E2")));
+    let scheduler = Arc::new(Scheduler::scripted(mediawiki::sitelink_race_script(
+        "E1", "E2",
+    )));
     let runtime = Runtime::builder(db, mediawiki::registry())
         .default_isolation(IsolationLevel::ReadCommitted)
         .scheduler(scheduler)
@@ -44,7 +46,10 @@ fn sitelink_race() -> trod::core::Trod {
     });
     let listing =
         runtime.handle_request_with_id("E3", "listSiteLinks", Args::new().with("page", "Berlin"));
-    assert!(!listing.is_ok(), "the duplicate must be detected by the listing");
+    assert!(
+        !listing.is_ok(),
+        "the duplicate must be detected by the listing"
+    );
     provenance.ingest(runtime.tracer().drain());
     trod::core::Trod::attach_with(runtime, provenance)
 }
@@ -59,7 +64,10 @@ fn mw_44325_duplicate_sitelinks_are_located_replayed_and_fixed() {
         .find_writers(
             SITE_LINKS_TABLE,
             "Insert",
-            &[("page", "Berlin"), ("url", "https://de.wikipedia.org/Berlin")],
+            &[
+                ("page", "Berlin"),
+                ("url", "https://de.wikipedia.org/Berlin"),
+            ],
         )
         .unwrap();
     assert_eq!(writers.len(), 2);
@@ -109,7 +117,11 @@ fn mw_39225_wrong_article_size_is_reproduced_and_fixed() {
     std::thread::scope(|scope| {
         let r = &runtime;
         scope.spawn(move || {
-            r.handle_request_with_id("E1", "editPage", mediawiki::edit_args("rev-a", "Art", "1234567890"))
+            r.handle_request_with_id(
+                "E1",
+                "editPage",
+                mediawiki::edit_args("rev-a", "Art", "1234567890"),
+            )
         });
         scope.spawn(move || {
             r.handle_request_with_id("E2", "editPage", mediawiki::edit_args("rev-b", "Art", "12"))

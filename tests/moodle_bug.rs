@@ -174,9 +174,14 @@ fn tracing_survives_a_realistic_mixed_workload() {
 
     let stats = provenance.stats();
     assert_eq!(stats.handler_invocations, 200);
-    assert!(stats.transactions >= 200, "every request runs at least one txn");
+    assert!(
+        stats.transactions >= 200,
+        "every request runs at least one txn"
+    );
     // Executions row count matches the archived transaction count.
-    let execs = provenance.query("SELECT COUNT(*) AS n FROM Executions").unwrap();
+    let execs = provenance
+        .query("SELECT COUNT(*) AS n FROM Executions")
+        .unwrap();
     assert_eq!(
         execs.value(0, "n"),
         Some(&Value::Int(stats.transactions as i64))

@@ -4,7 +4,7 @@
 //! transaction manager, produces one aligned provenance history that the
 //! normal TROD workflow (declarative debugging, redaction) operates on.
 
-use trod::db::{Database, DataType, Key, Predicate, Schema, Value};
+use trod::db::{DataType, Database, Key, Predicate, Schema, Value};
 use trod::kv::{kv_provenance_schema, kv_table_name, CrossStore, KvStore, CROSS_COMMITS_TABLE};
 use trod::provenance::ProvenanceStore;
 use trod::trace::{Tracer, TxnContext};
@@ -49,9 +49,13 @@ fn traced_cross_store() -> (CrossStore, ProvenanceStore, Tracer) {
 /// Serves one "checkout" request that writes both stores atomically.
 fn checkout(cross: &CrossStore, req: &str, order_id: i64, customer: &str, item: &str) {
     let mut txn = cross.begin_traced(TxnContext::new(req, "checkout", "func:placeOrder"));
-    assert!(!txn.exists("orders", &Predicate::eq("id", order_id)).unwrap());
-    txn.insert("orders", trod::db::row![order_id, customer, item]).unwrap();
-    txn.kv_put("sessions", &format!("cart:{customer}"), "checked-out").unwrap();
+    assert!(!txn
+        .exists("orders", &Predicate::eq("id", order_id))
+        .unwrap());
+    txn.insert("orders", trod::db::row![order_id, customer, item])
+        .unwrap();
+    txn.kv_put("sessions", &format!("cart:{customer}"), "checked-out")
+        .unwrap();
     txn.commit().unwrap();
 }
 
@@ -171,9 +175,13 @@ fn cross_store_conflicts_keep_both_stores_consistent_under_concurrency() {
     // in either store.
     let mut first = cross.begin_traced(TxnContext::new("R1", "checkout", "func:placeOrder"));
     let mut second = cross.begin_traced(TxnContext::new("R2", "checkout", "func:placeOrder"));
-    first.insert("orders", trod::db::row![1i64, "alice", "widget"]).unwrap();
+    first
+        .insert("orders", trod::db::row![1i64, "alice", "widget"])
+        .unwrap();
     first.kv_put("sessions", "cart:alice", "first").unwrap();
-    second.insert("orders", trod::db::row![1i64, "alice", "gadget"]).unwrap();
+    second
+        .insert("orders", trod::db::row![1i64, "alice", "gadget"])
+        .unwrap();
     second.kv_put("sessions", "cart:alice", "second").unwrap();
 
     first.commit().unwrap();

@@ -93,7 +93,11 @@ fn replay_cost_tracks_dependencies_not_database_size() {
     for i in 0..5_000 {
         seed.insert(
             moodle::FORUM_SUB_TABLE,
-            row![format!("seed-{i}"), format!("U{}", i % 100), format!("F{}", i % 10)],
+            row![
+                format!("seed-{i}"),
+                format!("U{}", i % 100),
+                format!("F{}", i % 10)
+            ],
         )
         .unwrap();
     }
@@ -108,10 +112,11 @@ fn replay_cost_tracks_dependencies_not_database_size() {
     assert!(req.is_ok());
     provenance.ingest(runtime.tracer().drain());
 
-    let report = trod::core::ReplaySession::for_request(&provenance, runtime.database(), &req.req_id)
-        .unwrap()
-        .run_to_end()
-        .unwrap();
+    let report =
+        trod::core::ReplaySession::for_request(&provenance, runtime.database(), &req.req_id)
+            .unwrap()
+            .run_to_end()
+            .unwrap();
     assert!(report.is_faithful());
     assert_eq!(report.injected_count(), 0);
     assert_eq!(report.steps.len(), 2);
@@ -131,12 +136,22 @@ fn retroactive_exploration_enumerates_conflict_distinct_orderings_only() {
         .default_isolation(IsolationLevel::ReadCommitted)
         .request_prefix("GEN-")
         .build();
-    runtime.handle_request_with_id("A", "subscribeUser", moodle::subscribe_args("s1", "U1", "F2"));
-    runtime.handle_request_with_id("B", "subscribeUser", moodle::subscribe_args("s2", "U1", "F2"));
+    runtime.handle_request_with_id(
+        "A",
+        "subscribeUser",
+        moodle::subscribe_args("s1", "U1", "F2"),
+    );
+    runtime.handle_request_with_id(
+        "B",
+        "subscribeUser",
+        moodle::subscribe_args("s2", "U1", "F2"),
+    );
     runtime.handle_request_with_id(
         "C",
         "createForum",
-        Args::new().with("forum", "F-OTHER").with("course", "C-OTHER"),
+        Args::new()
+            .with("forum", "F-OTHER")
+            .with("course", "C-OTHER"),
     );
     provenance.ingest(runtime.tracer().drain());
     let trod = Trod::attach_with(runtime, provenance);
@@ -144,7 +159,10 @@ fn retroactive_exploration_enumerates_conflict_distinct_orderings_only() {
     let report = trod
         .retroactive(moodle::patched_registry())
         .requests(&["A", "B", "C"])
-        .invariant(Invariant::no_duplicates(moodle::FORUM_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(
+            moodle::FORUM_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
         .run()
         .unwrap();
     assert_eq!(report.conflicting_pairs, 1);
@@ -185,6 +203,9 @@ fn on_disk_profile_makes_commits_slower_but_not_incorrect() {
         commit_micros: 800,
     });
     // 20 requests × 3 transactions × 800 µs ≈ 48 ms of injected latency.
-    assert!(slow > fast, "on-disk profile must be slower ({slow:?} vs {fast:?})");
+    assert!(
+        slow > fast,
+        "on-disk profile must be slower ({slow:?} vs {fast:?})"
+    );
     assert!(slow - fast > Duration::from_millis(20));
 }

@@ -39,7 +39,10 @@ fn production_tracing_pipeline_with_background_flusher() {
     assert!(succeeded > 250, "most checkouts succeed ({succeeded}/300)");
 
     flusher.stop();
-    assert!(runtime.tracer().buffer().is_empty(), "flusher drained everything");
+    assert!(
+        runtime.tracer().buffer().is_empty(),
+        "flusher drained everything"
+    );
 
     // The provenance store saw every handler invocation (the checkout
     // workflow fans out into three RPCs per successful request).
@@ -76,7 +79,10 @@ fn production_tracing_pipeline_with_background_flusher() {
         .expect("at least one successful checkout");
     let report = trod.replay(&some_checkout).unwrap().run_to_end().unwrap();
     assert!(report.is_faithful());
-    assert!(report.steps.len() >= 3, "checkout spans at least three transactions");
+    assert!(
+        report.steps.len() >= 3,
+        "checkout spans at least three transactions"
+    );
 }
 
 #[test]

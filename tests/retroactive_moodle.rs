@@ -16,7 +16,10 @@ fn patched_handler_passes_retroactive_testing_in_every_ordering() {
     let report = trod
         .retroactive(moodle::patched_registry())
         .requests(&["R1", "R2", "R3"])
-        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(
+            FORUM_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
         .run()
         .unwrap();
 
@@ -28,7 +31,11 @@ fn patched_handler_passes_retroactive_testing_in_every_ordering() {
 
     // The patch holds in *every* explored ordering: no duplicates, and the
     // fetch request no longer raises the duplicate error.
-    assert!(report.all_orderings_clean(), "violations: {:?}", report.violations());
+    assert!(
+        report.all_orderings_clean(),
+        "violations: {:?}",
+        report.violations()
+    );
     for ordering in &report.orderings {
         for outcome in &ordering.outcomes {
             if outcome.handler == "fetchSubscribers" {
@@ -42,7 +49,12 @@ fn patched_handler_passes_retroactive_testing_in_every_ordering() {
                 &Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2")),
             )
             .unwrap();
-        assert_eq!(subs.len(), 1, "exactly one subscription in {:?}", ordering.order);
+        assert_eq!(
+            subs.len(),
+            1,
+            "exactly one subscription in {:?}",
+            ordering.order
+        );
     }
 
     // Figure 3 (bottom): the re-executed requests carry primed ids.
@@ -66,7 +78,10 @@ fn buggy_handler_fails_retroactive_testing() {
         .retroactive(moodle::registry())
         .requests(&["R1", "R2", "R3"])
         .isolation(IsolationLevel::ReadCommitted)
-        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(
+            FORUM_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
         .run()
         .unwrap();
     // Serial re-execution of the buggy code cannot create the duplicate,
@@ -75,7 +90,10 @@ fn buggy_handler_fails_retroactive_testing() {
     // corrupted.
     assert!(report.all_orderings_clean());
     for outcome in &report.orderings[0].outcomes {
-        assert_eq!(outcome.original_ok, Some(outcome.handler != "fetchSubscribers"));
+        assert_eq!(
+            outcome.original_ok,
+            Some(outcome.handler != "fetchSubscribers")
+        );
     }
     // The fetch now succeeds retroactively even though it failed in
     // production — a changed outcome the report surfaces explicitly.
@@ -89,7 +107,10 @@ fn requests_touching_table_selects_related_requests_automatically() {
     let report = trod
         .retroactive(moodle::patched_registry())
         .requests_touching_table(FORUM_SUB_TABLE)
-        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(
+            FORUM_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
         .max_orderings(6)
         .run()
         .unwrap();
@@ -130,10 +151,15 @@ fn mdl_60669_regression_is_caught_by_a_second_invariant() {
     scenario
         .runtime
         .must_handle("deleteCourse", Args::new().with("course", "C1"));
-    let restore = scenario
-        .runtime
-        .handle_request_with_id("R4", "restoreCourse", Args::new().with("course", "C1"));
-    assert!(!restore.is_ok(), "production restore fails on the duplicates");
+    let restore = scenario.runtime.handle_request_with_id(
+        "R4",
+        "restoreCourse",
+        Args::new().with("course", "C1"),
+    );
+    assert!(
+        !restore.is_ok(),
+        "production restore fails on the duplicates"
+    );
     let trod = scenario.into_trod();
 
     // Retroactively re-run the subscription requests and the restore with
@@ -142,8 +168,14 @@ fn mdl_60669_regression_is_caught_by_a_second_invariant() {
     let report = trod
         .retroactive(moodle::patched_registry())
         .requests(&["R1", "R2", "R4"])
-        .invariant(Invariant::no_duplicates(FORUM_SUB_TABLE, &["user_id", "forum"]))
-        .invariant(Invariant::no_duplicates(RESTORED_SUB_TABLE, &["user_id", "forum"]))
+        .invariant(Invariant::no_duplicates(
+            FORUM_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
+        .invariant(Invariant::no_duplicates(
+            RESTORED_SUB_TABLE,
+            &["user_id", "forum"],
+        ))
         .run()
         .unwrap();
     assert!(report.all_orderings_clean());

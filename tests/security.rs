@@ -15,13 +15,20 @@ fn traced_profile_service() -> trod::core::Trod {
     let runtime = Runtime::new(db, profiles::registry());
 
     // Legitimate traffic.
-    for (user, email) in [("alice", "a@x.org"), ("bob", "b@x.org"), ("carol", "c@x.org")] {
+    for (user, email) in [
+        ("alice", "a@x.org"),
+        ("bob", "b@x.org"),
+        ("carol", "c@x.org"),
+    ] {
         runtime.must_handle(
             "createProfile",
             Args::new().with("user_name", user).with("email", email),
         );
     }
-    runtime.must_handle("updateProfile", profiles::update_args("alice", "alice", "hello"));
+    runtime.must_handle(
+        "updateProfile",
+        profiles::update_args("alice", "alice", "hello"),
+    );
     runtime.must_handle("viewProfile", Args::new().with("user_name", "bob"));
 
     // The attack: mallory rewrites bob's profile, then a compromised
@@ -133,7 +140,11 @@ fn patched_access_control_stops_future_violations_retroactively() {
         let attack = &ordering.outcomes[0];
         assert!(!attack.ok, "patched handler must deny the update");
         assert!(attack.output.contains("access denied"));
-        assert_eq!(attack.original_ok, Some(true), "the buggy handler had allowed it");
+        assert_eq!(
+            attack.original_ok,
+            Some(true),
+            "the buggy handler had allowed it"
+        );
         assert!(attack.outcome_changed());
     }
 }

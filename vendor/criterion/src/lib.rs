@@ -1,0 +1,447 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, throughput/sample-size knobs and the two macros) with a
+//! simple but real measurement loop: calibrated warm-up, fixed number of
+//! timed samples, mean/stddev/min reported in ns per iteration.
+//!
+//! Two environment variables adjust behaviour:
+//!
+//! * `TROD_BENCH_JSON=<path>` — append one JSON object per benchmark to
+//!   `<path>` (JSON Lines), which `scripts/bench.sh` aggregates into the
+//!   committed `BENCH_PR*.json` artifacts.
+//! * `TROD_BENCH_MS=<millis>` — measurement budget per benchmark
+//!   (default 300 ms; CI sets a smaller value to keep runs quick).
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples collected per benchmark.
+const SAMPLES_DEFAULT: usize = 15;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a group; reported alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The stub treats all variants
+/// identically (one setup per timed invocation, setup excluded from the
+/// timed region), which matches criterion's `PerIteration` semantics and
+/// is correct — just slower to calibrate — for the others.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (plain strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    /// Mean nanoseconds per iteration of each timed sample.
+    sample_means: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(budget: Duration, samples: usize) -> Self {
+        Bencher {
+            budget,
+            samples,
+            sample_means: Vec::new(),
+        }
+    }
+
+    /// Times `routine` in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample's time slice?
+        let slice = self.budget.as_secs_f64() / self.samples as f64;
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= slice / 4.0 || iters_per_sample >= (1 << 24) {
+                // Scale so one sample lands near the slice.
+                let per_iter = elapsed / iters_per_sample as f64;
+                iters_per_sample = ((slice / per_iter.max(1e-9)) as u64).clamp(1, 1 << 26);
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.sample_means
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One setup + one timed invocation per iteration; calibration picks
+        // how many (setup, routine) pairs make up a sample.
+        let slice = self.budget.as_secs_f64() / self.samples as f64;
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let per_iter = start.elapsed().as_secs_f64();
+        let iters_per_sample = ((slice / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+        for _ in 0..self.samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.sample_means
+                .push(total.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchStats {
+    mean_ns: f64,
+    stddev_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+fn stats_of(samples: &[f64]) -> BenchStats {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    BenchStats {
+        mean_ns: mean,
+        stddev_ns: var.sqrt(),
+        min_ns: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        samples: samples.len(),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    budget: Duration,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("TROD_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+            json_path: std::env::var("TROD_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility with `criterion_group!`'s expansion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            samples: SAMPLES_DEFAULT,
+            budget: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let name = id.into_id();
+        self.run_one(&name, None, SAMPLES_DEFAULT, self.budget, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        full_id: &str,
+        throughput: Option<Throughput>,
+        samples: usize,
+        budget: Duration,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher::new(budget, samples);
+        f(&mut bencher);
+        if bencher.sample_means.is_empty() {
+            println!("{full_id:<58} (no measurement taken)");
+            return;
+        }
+        let stats = stats_of(&bencher.sample_means);
+        let mut line = format!(
+            "{full_id:<58} time: [{} ± {}] (min {})",
+            format_ns(stats.mean_ns),
+            format_ns(stats.stddev_ns),
+            format_ns(stats.min_ns),
+        );
+        let mut elems_per_sec = None;
+        if let Some(Throughput::Elements(n)) = throughput {
+            let rate = n as f64 * 1e9 / stats.mean_ns;
+            elems_per_sec = Some(rate);
+            line.push_str(&format!("  thrpt: {rate:.0} elem/s"));
+        }
+        println!("{line}");
+        if let Some(path) = &self.json_path {
+            let mut json = format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}",
+                json_escape(full_id),
+                stats.mean_ns,
+                stats.stddev_ns,
+                stats.min_ns,
+                stats.samples
+            );
+            if let Some(rate) = elems_per_sec {
+                json.push_str(&format!(",\"elements_per_sec\":{rate:.0}"));
+            }
+            json.push('}');
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match OpenOptions::new().create(true).append(true).open(path) {
+                Ok(mut file) => {
+                    let _ = writeln!(file, "{json}");
+                }
+                Err(e) => eprintln!("TROD_BENCH_JSON: cannot open {path}: {e}"),
+            }
+        }
+    }
+
+    /// Accepted for compatibility; the stub has no plotting backend.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+    budget: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the stub just bounds it to something sane.
+        self.samples = n.clamp(3, 1000);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = Some(d);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.into_id());
+        let budget = self.budget.unwrap_or(self.criterion.budget);
+        let (throughput, samples) = (self.throughput, self.samples);
+        self.criterion
+            .run_one(&full_id, throughput, samples, budget, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(20),
+            json_path: None,
+        };
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(20),
+            json_path: None,
+        };
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 128],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).into_id(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn stats_math() {
+        let s = stats_of(&[1.0, 3.0]);
+        assert!((s.mean_ns - 2.0).abs() < 1e-9);
+        assert!((s.stddev_ns - 1.0).abs() < 1e-9);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.samples, 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`queue::SegQueue`] is provided, because that is the only item
+//! this workspace uses. The real crate's segmented lock-free queue is
+//! replaced by a mutex-protected `VecDeque` with the same MPMC semantics;
+//! throughput is lower but behaviour (FIFO, unbounded, `push`/`pop` from
+//! any thread) is identical.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Mutex, PoisonError};
+
+    /// An unbounded MPMC FIFO queue with the `crossbeam` `SegQueue` API.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        fn locked(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn push(&self, value: T) {
+            self.locked().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.locked().pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.locked().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.locked().is_empty()
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("SegQueue")
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn concurrent_producers_lose_nothing() {
+            let q = Arc::new(SegQueue::new());
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = q.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..100 {
+                            q.push(t * 100 + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut seen = Vec::new();
+            while let Some(v) = q.pop() {
+                seen.push(v);
+            }
+            seen.sort();
+            assert_eq!(seen.len(), 400);
+            assert_eq!(seen[0], 0);
+            assert_eq!(seen[399], 399);
+        }
+    }
+}

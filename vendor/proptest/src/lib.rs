@@ -1,0 +1,680 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` macro with `proptest_config`, integer-range
+//! / tuple / `Just` / mapped / `prop_oneof!` strategies, `prop::collection`
+//! vec and btree_map generators, and a restricted regex string strategy
+//! (`"[class]{lo,hi}"` patterns). Cases are generated from a deterministic
+//! per-test seed; there is no shrinking — a failing case reports its case
+//! number and generated inputs via the panic message instead.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Failure raised by `prop_assert*` macros (or converted from `?`).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl<E: std::error::Error> From<E> for TestCaseError {
+        fn from(e: E) -> Self {
+            TestCaseError::fail(e.to_string())
+        }
+    }
+
+    /// Deterministic RNG driving case generation (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test's identity and the case index so every test
+        /// function explores a distinct but reproducible sequence.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut hash: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                state: hash ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; `generate`
+    /// simply produces one value from the RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { strategy: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy producing a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy applying a function to another strategy's output.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for use in heterogeneous `prop_oneof!` arms.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    lo.wrapping_add((rng.below(span.saturating_add(1))) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            // 53 random bits give a uniform fraction in [0, 1).
+            let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + frac * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for bool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident/$idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+
+    /// Restricted regex string strategy: supports exactly the shape
+    /// `[class]{lo,hi}` (single character class with a bounded repeat),
+    /// where the class may contain literals and `a-z` ranges. This covers
+    /// every pattern used in the workspace's tests; anything else panics
+    /// with a clear message so the gap is visible immediately.
+    #[derive(Debug, Clone)]
+    pub struct RegexString {
+        alphabet: Vec<char>,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl RegexString {
+        pub fn parse(pattern: &str) -> Self {
+            match Self::try_parse(pattern) {
+                Some(parsed) => parsed,
+                None => panic!(
+                    "vendored proptest stub supports only `[class]{{lo,hi}}` string \
+                     patterns, got {pattern:?}"
+                ),
+            }
+        }
+
+        fn try_parse(pattern: &str) -> Option<Self> {
+            let rest = pattern.strip_prefix('[')?;
+            let close = rest.find(']')?;
+            let class = &rest[..close];
+            let tail = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+            let (lo, hi) = match tail.split_once(',') {
+                Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+                None => {
+                    let n: usize = tail.parse().ok()?;
+                    (n, n)
+                }
+            };
+
+            let mut alphabet = Vec::new();
+            let chars: Vec<char> = class.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    let (start, end) = (chars[i], chars[i + 2]);
+                    assert!(start <= end, "bad class range in {pattern:?}");
+                    for c in start..=end {
+                        alphabet.push(c);
+                    }
+                    i += 3;
+                } else {
+                    alphabet.push(chars[i]);
+                    i += 1;
+                }
+            }
+            if alphabet.is_empty() || lo > hi {
+                return None;
+            }
+            Some(RegexString {
+                alphabet,
+                min_len: lo,
+                max_len: hi,
+            })
+        }
+    }
+
+    impl Strategy for RegexString {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let span = (self.max_len - self.min_len) as u64 + 1;
+            let len = self.min_len + rng.below(span) as usize;
+            (0..len)
+                .map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            RegexString::parse(self).generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Size specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<i32>> for SizeRange {
+        fn from(r: Range<i32>) -> Self {
+            assert!(
+                0 <= r.start && r.start < r.end,
+                "empty collection size range"
+            );
+            SizeRange {
+                min: r.start as usize,
+                max_exclusive: r.end as usize,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a generated length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    ///
+    /// The size is a target, not a guarantee: duplicate generated keys
+    /// collapse (matching real proptest's behaviour of deduplicating while
+    /// it tries to reach the requested size).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            // Bounded retries so colliding key spaces cannot loop forever.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// `prop::collection::btree_map(key, value, size)`
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of proptest's `prop` alias module (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = ($config:expr); ) => {};
+    ( config = ($config:expr);
+      $(#[$attr:meta])*
+      fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $( let $arg = ($strat).generate(&mut rng); )+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let Err(err) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{} (deterministic; rerun reproduces): {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        err,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("t", 0);
+        for _ in 0..1000 {
+            let v = (0i64..10).generate(&mut rng);
+            assert!((0..10).contains(&v));
+            let (a, b) = (0u8..6, 0u8..4).generate(&mut rng);
+            assert!(a < 6 && b < 4);
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = crate::test_runner::TestRng::for_case("c", 1);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0i64..100, 1..20).generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            let m = prop::collection::btree_map(0u8..50, 0u16..10, 0..8).generate(&mut rng);
+            assert!(m.len() < 8);
+        }
+    }
+
+    #[test]
+    fn regex_subset_strings() {
+        let mut rng = crate::test_runner::TestRng::for_case("r", 2);
+        for _ in 0..500 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[ -~]{0,20}".generate(&mut rng);
+            assert!(t.len() <= 20);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let u = "[a-zA-Z0-9_|=:%]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&u.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just() {
+        let strat = prop_oneof![Just(None), (0u16..1000).prop_map(Some)];
+        let mut rng = crate::test_runner::TestRng::for_case("o", 3);
+        let mut seen_none = false;
+        let mut seen_some = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                None => seen_none = true,
+                Some(v) => {
+                    assert!(v < 1000);
+                    seen_some = true;
+                }
+            }
+        }
+        assert!(seen_none && seen_some);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, asserts work, assume skips.
+        #[test]
+        fn macro_end_to_end(xs in prop::collection::vec(0i64..50, 1..10), flip in 0u8..2) {
+            prop_assume!(!xs.is_empty());
+            let sum: i64 = xs.iter().sum();
+            prop_assert!(sum >= 0, "sum must be non-negative, got {}", sum);
+            if flip == 0 {
+                prop_assert_eq!(xs.len(), xs.len());
+            } else {
+                prop_assert_ne!(xs.len(), 0);
+            }
+        }
+    }
+}

@@ -16,12 +16,28 @@
 //! chain, so the log adds no row copies). Entries are strictly ordered by
 //! commit timestamp, so a validator binary-searches the tail it needs.
 //!
-//! The log is a bounded ring: garbage collection truncates it alongside
-//! version history, and appends beyond the capacity evict the oldest
-//! entries. Both record a *low-water mark*; a transaction that began
-//! before the mark cannot be validated from the log and falls back to the
-//! full version scan (see `TableStore::predicate_conflict_after`), so
-//! truncation can never cause a missed conflict.
+//! The log is a bounded ring with **watermark-driven eviction**: every
+//! append passes the active-transaction watermark
+//! ([`ActiveTxnRegistry::watermark`](crate::registry::ActiveTxnRegistry)),
+//! and an append that finds the ring at capacity only evicts entries at
+//! or below that watermark — entries inside some active transaction's
+//! validation window are pinned, and the ring temporarily overshoots its
+//! capacity instead of cutting the window (the overshoot is bounded by
+//! the write volume during the oldest active transaction's lifetime, the
+//! same bloat any MVCC store accrues under a long-running transaction).
+//! Garbage collection truncates the log alongside version history;
+//! [`Database::gc_before`](crate::Database::gc_before) clamps the horizon
+//! to the same watermark. Both eviction and truncation record a
+//! *low-water mark*; a transaction that began before the mark cannot be
+//! validated from the log and falls back to the full version scan (see
+//! `TableStore::predicate_conflict_after`), so truncation can never cause
+//! a missed conflict. With the watermark in place the fallback is
+//! practically confined to the raw table-level
+//! [`ChangeLog::truncate_before`] (which tests use to exercise it): ring
+//! eviction reads the watermark without synchronizing with `begin`, so a
+//! transaction that registers concurrently with an at-capacity append can
+//! still — rarely, and harmlessly — find its window evicted and take the
+//! fallback.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -32,8 +48,13 @@ use crate::mvcc::Ts;
 use crate::row::{Key, Row};
 
 /// Default per-table ring capacity. 64k entries comfortably covers the
-/// write delta of any realistically-sized validation window; overflow
-/// degrades to the (correct, slower) full-scan path rather than failing.
+/// write delta of any realistically-sized validation window. The capacity
+/// is a soft bound: entries pinned by the active-transaction watermark are
+/// never evicted (see the module docs), and if eviction must skip pinned
+/// entries the ring overshoots until they unpin. Should the log ever be
+/// truncated inside a validation window (only possible via the raw
+/// [`ChangeLog::truncate_before`]), validation degrades to the (correct,
+/// slower) full-scan path rather than failing.
 pub const DEFAULT_CAPACITY: usize = 64 * 1024;
 
 /// Error returned when a validation window reaches below the log's
@@ -85,9 +106,19 @@ impl ChangeLog {
     }
 
     /// Appends one committed change. Entries must arrive in non-decreasing
-    /// `commit_ts` order — guaranteed because all table mutation happens
-    /// under the database commit lock, which assigns monotone timestamps.
-    pub fn append(&self, entry: ChangeEntry) {
+    /// `commit_ts` order — guaranteed because all mutation of a table
+    /// happens under that table's commit lock, and commit timestamps are
+    /// allocated while the lock is held.
+    ///
+    /// `keep_after` is the active-transaction watermark
+    /// ([`crate::registry::ActiveTxnRegistry::watermark`]): when the ring
+    /// is at capacity, only entries with `commit_ts <= keep_after` are
+    /// evicted. Entries above the watermark sit inside some active
+    /// transaction's validation window and are pinned — the ring
+    /// overshoots its capacity rather than raising the low-water mark past
+    /// an active transaction. Pass [`crate::registry::NO_ACTIVE_TXN`]
+    /// (`Ts::MAX`) when nothing is pinned.
+    pub fn append(&self, entry: ChangeEntry, keep_after: Ts) {
         let mut inner = self.inner.write();
         debug_assert!(
             inner
@@ -96,9 +127,15 @@ impl ChangeLog {
                 .is_none_or(|e| e.commit_ts <= entry.commit_ts),
             "change log must be appended in commit order"
         );
-        if inner.entries.len() == self.capacity {
-            if let Some(evicted) = inner.entries.pop_front() {
-                inner.low_water = inner.low_water.max(evicted.commit_ts);
+        while inner.entries.len() >= self.capacity {
+            match inner.entries.front() {
+                Some(front) if front.commit_ts <= keep_after => {
+                    let evicted = inner.entries.pop_front().expect("front exists");
+                    inner.low_water = inner.low_water.max(evicted.commit_ts);
+                }
+                // Oldest entry is pinned by an active transaction: keep
+                // everything and overshoot the capacity.
+                _ => break,
             }
         }
         inner.entries.push_back(entry);
@@ -158,6 +195,7 @@ impl ChangeLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::NO_ACTIVE_TXN;
     use crate::row;
 
     fn entry(commit_ts: Ts, key: i64) -> ChangeEntry {
@@ -167,6 +205,11 @@ mod tests {
             before: None,
             after: Some(Arc::new(row![key, commit_ts as i64])),
         }
+    }
+
+    /// Append with nothing pinned (the pre-watermark behaviour).
+    fn append_unpinned(log: &ChangeLog, e: ChangeEntry) {
+        log.append(e, NO_ACTIVE_TXN);
     }
 
     fn collect_after(log: &ChangeLog, ts: Ts) -> Result<Vec<Ts>, LogTruncated> {
@@ -182,7 +225,7 @@ mod tests {
     fn scan_returns_only_the_window_after_ts() {
         let log = ChangeLog::default();
         for ts in 1..=10 {
-            log.append(entry(ts, ts as i64));
+            append_unpinned(&log, entry(ts, ts as i64));
         }
         assert_eq!(
             collect_after(&log, 0).unwrap(),
@@ -196,7 +239,7 @@ mod tests {
     fn early_exit_stops_iteration() {
         let log = ChangeLog::default();
         for ts in 1..=10 {
-            log.append(entry(ts, ts as i64));
+            append_unpinned(&log, entry(ts, ts as i64));
         }
         let mut visited = 0;
         let hit = log
@@ -212,9 +255,9 @@ mod tests {
     #[test]
     fn multiple_entries_per_commit_are_kept() {
         let log = ChangeLog::default();
-        log.append(entry(5, 1));
-        log.append(entry(5, 2));
-        log.append(entry(6, 3));
+        append_unpinned(&log, entry(5, 1));
+        append_unpinned(&log, entry(5, 2));
+        append_unpinned(&log, entry(6, 3));
         assert_eq!(collect_after(&log, 4).unwrap(), vec![5, 5, 6]);
         assert_eq!(collect_after(&log, 5).unwrap(), vec![6]);
     }
@@ -223,7 +266,7 @@ mod tests {
     fn truncation_raises_low_water_and_rejects_older_windows() {
         let log = ChangeLog::default();
         for ts in 1..=10 {
-            log.append(entry(ts, ts as i64));
+            append_unpinned(&log, entry(ts, ts as i64));
         }
         let dropped = log.truncate_before(6);
         assert_eq!(dropped, 6);
@@ -238,12 +281,37 @@ mod tests {
     fn ring_overflow_evicts_oldest_and_degrades_safely() {
         let log = ChangeLog::with_capacity(4);
         for ts in 1..=10 {
-            log.append(entry(ts, ts as i64));
+            append_unpinned(&log, entry(ts, ts as i64));
         }
         assert_eq!(log.len(), 4);
         assert_eq!(log.low_water(), 6);
         assert_eq!(collect_after(&log, 6).unwrap(), vec![7, 8, 9, 10]);
         assert!(collect_after(&log, 3).is_err());
+    }
+
+    #[test]
+    fn eviction_never_raises_low_water_past_the_watermark() {
+        let log = ChangeLog::with_capacity(4);
+        for ts in 1..=4 {
+            append_unpinned(&log, entry(ts, ts as i64));
+        }
+        // An active transaction began at ts 2: entries in (2, now] are
+        // pinned. Appends evict only the prefix at or below the watermark,
+        // then overshoot the capacity.
+        for ts in 5..=8 {
+            log.append(entry(ts, ts as i64), 2);
+        }
+        assert_eq!(log.low_water(), 2, "low water must not pass the watermark");
+        assert_eq!(log.len(), 6, "pinned entries overshoot the capacity");
+        // The active transaction's window is still fully answerable.
+        assert_eq!(collect_after(&log, 2).unwrap(), vec![3, 4, 5, 6, 7, 8]);
+
+        // Watermark released: the next append drains the overshoot back
+        // under the capacity bound.
+        append_unpinned(&log, entry(9, 9));
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.low_water(), 5);
+        assert!(collect_after(&log, 2).is_err(), "window now truncated");
     }
 
     #[test]

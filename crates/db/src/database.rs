@@ -1,5 +1,56 @@
 //! The database façade: catalog, transaction lifecycle, commit protocol,
 //! transaction log access, snapshots, time travel and forking.
+//!
+//! # The sharded commit protocol
+//!
+//! Commit used to serialize every writing transaction on one global
+//! `Mutex<()>`; at ~2 µs of validation + install per commit the lock
+//! itself was the throughput ceiling. Commits are now sharded by table
+//! while remaining strictly serializable:
+//!
+//! **Lock order.** A committing transaction acquires the per-table commit
+//! locks ([`TableStore::commit_lock`]) of its *footprint* in ascending
+//! table-name order. The footprint is every table it wrote, plus — under
+//! serializable isolation — every table it point-read or predicate-
+//! scanned (their validation results must stay true until the commit
+//! publishes). The deterministic global order makes multi-table commits
+//! deadlock-free; transactions with disjoint footprints validate and
+//! install fully concurrently.
+//!
+//! **Timestamp allocation.** After validation and all pre-apply checks
+//! succeed — i.e. once nothing can fail — the commit claims
+//! `commit_ts = ts_alloc.fetch_add(1) + 1` from a global atomic
+//! allocator. Because allocation happens while holding the footprint
+//! locks, timestamps are monotone *per table*, which keeps every table's
+//! [`ChangeLog`](crate::changelog::ChangeLog) ordered by `commit_ts`.
+//! Aborting transactions never allocate, so the timestamp sequence has no
+//! holes.
+//!
+//! **Publication rule.** Versions are installed at `commit_ts`, but
+//! readers resolve visibility against the separate `clock` (the highest
+//! *published* timestamp, [`Database::current_ts`]) — an installed-but-
+//! unpublished version with `begin_ts > clock` is invisible to every
+//! read. A commit publishes by waiting until `clock == commit_ts - 1`
+//! and then storing `commit_ts` (appending its [`TxnLog`] entry inside
+//! that ordered window, so the global log stays commit-ordered). The
+//! clock therefore only ever exposes a prefix of fully installed
+//! commits: readers can never observe a torn (half-installed)
+//! multi-table commit. Footprint locks are held until after publication,
+//! so the next committer on any overlapping table starts from a fully
+//! published state.
+//!
+//! **Watermark semantics.** Every transaction registers `(txn_id,
+//! start_ts)` in the [`ActiveTxnRegistry`] at `begin` and deregisters at
+//! commit/abort/drop. The registry's `min_active_start_ts()` watermark
+//! bounds history reclamation: [`Database::gc_before`] clamps its horizon
+//! to it, and change-log ring eviction refuses to evict entries above it
+//! — so an active transaction's snapshot stays readable and its O(Δ)
+//! validation window is never truncated out from under it.
+//!
+//! [`Database::set_serial_commit`] restores the old single-global-lock
+//! behaviour (on top of the sharded locks) as a measurable baseline, the
+//! same way [`Database::set_full_scan_validation`] exposes the O(total
+//! versions) validation path.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -13,6 +64,7 @@ use crate::latency::{LatencyModel, StorageProfile};
 use crate::log::{CommittedTxn, TxnId, TxnLog};
 use crate::mvcc::Ts;
 use crate::predicate::Predicate;
+use crate::registry::ActiveTxnRegistry;
 use crate::row::{Key, Row};
 use crate::schema::Schema;
 use crate::table::TableStore;
@@ -30,13 +82,20 @@ pub struct DbStats {
 
 struct DbInner {
     tables: RwLock<BTreeMap<String, Arc<TableStore>>>,
-    /// Commit timestamp clock. The value is the timestamp of the most
-    /// recently committed transaction; 0 means "nothing committed yet".
+    /// Publication clock: the highest commit timestamp whose transaction
+    /// is fully installed. Readers resolve visibility against this; 0
+    /// means "nothing committed yet". Invariant: `clock <= ts_alloc`,
+    /// equal whenever no commit is mid-flight.
     clock: AtomicU64,
+    /// Commit timestamp allocator: the highest timestamp handed to any
+    /// commit. Claimed (under the footprint locks) only after a commit
+    /// can no longer fail, so every allocated timestamp is published.
+    ts_alloc: AtomicU64,
     next_txn_id: AtomicU64,
     log: Mutex<TxnLog>,
-    /// Serializes validation + apply so commit order equals timestamp order.
-    commit_lock: Mutex<()>,
+    /// Active transactions (txn id -> start_ts); source of the
+    /// min-active-start-ts watermark that bounds GC and ring eviction.
+    registry: Arc<ActiveTxnRegistry>,
     snapshots: Mutex<BTreeMap<String, Ts>>,
     latency: LatencyModel,
     /// Diagnostics/benchmark escape hatch: force serializable predicate
@@ -45,6 +104,18 @@ struct DbInner {
     /// by a debug assertion and a property test); this flag exists so the
     /// equivalence is observable and the speedup measurable.
     full_scan_validation: AtomicBool,
+    /// Diagnostics/benchmark escape hatch: additionally serialize every
+    /// commit on `serial_lock`, restoring the pre-sharding global commit
+    /// lock as a baseline. Protocol-equivalent to the sharded path (same
+    /// decisions, same states); only concurrency differs.
+    serial_commit: AtomicBool,
+    serial_lock: Mutex<()>,
+    /// Publication queue: commits whose predecessor timestamp has not
+    /// published yet park here (std condvar — waiters must sleep, not
+    /// spin, so a preempted predecessor gets the CPU back immediately).
+    publish_waiters: AtomicU64,
+    publish_mutex: std::sync::Mutex<()>,
+    publish_cv: std::sync::Condvar,
 }
 
 /// A handle to an in-memory transactional database.
@@ -87,14 +158,36 @@ impl Database {
             inner: Arc::new(DbInner {
                 tables: RwLock::new(BTreeMap::new()),
                 clock: AtomicU64::new(0),
+                ts_alloc: AtomicU64::new(0),
                 next_txn_id: AtomicU64::new(1),
                 log: Mutex::new(TxnLog::new()),
-                commit_lock: Mutex::new(()),
+                registry: Arc::new(ActiveTxnRegistry::new()),
                 snapshots: Mutex::new(BTreeMap::new()),
                 latency: LatencyModel::new(profile),
                 full_scan_validation: AtomicBool::new(false),
+                serial_commit: AtomicBool::new(false),
+                serial_lock: Mutex::new(()),
+                publish_waiters: AtomicU64::new(0),
+                publish_mutex: std::sync::Mutex::new(()),
+                publish_cv: std::sync::Condvar::new(),
             }),
         }
+    }
+
+    /// Forces every commit to additionally serialize on a single global
+    /// lock (`true`), restoring the pre-sharding commit protocol as a
+    /// measurable baseline, or restores fully sharded per-table commit
+    /// locking (`false`, the default). The two modes accept and reject
+    /// exactly the same transactions; only their concurrency differs.
+    /// Safe to toggle at any time (serial commits still take the
+    /// per-table locks, so modes interoperate).
+    pub fn set_serial_commit(&self, force: bool) {
+        self.inner.serial_commit.store(force, Ordering::SeqCst);
+    }
+
+    /// True when commits are forced onto the single global lock.
+    pub fn serial_commit(&self) -> bool {
+        self.inner.serial_commit.load(Ordering::SeqCst)
     }
 
     /// Forces serializable predicate validation onto the full-scan path
@@ -133,7 +226,8 @@ impl Database {
         if tables.contains_key(&name) {
             return Err(DbError::TableExists(name));
         }
-        tables.insert(name.clone(), Arc::new(TableStore::new(name, schema)));
+        let store = TableStore::with_registry(name.clone(), schema, self.inner.registry.clone());
+        tables.insert(name, Arc::new(store));
         Ok(())
     }
 
@@ -166,8 +260,11 @@ impl Database {
         Ok(self.table(name)?.schema().clone())
     }
 
-    /// Internal: resolves a table handle.
-    pub(crate) fn table(&self, name: &str) -> DbResult<Arc<TableStore>> {
+    /// Resolves a handle to a table's physical storage. Most callers want
+    /// the transactional API instead; the handle is exposed for
+    /// diagnostics and tests (e.g. inspecting a table's
+    /// [`ChangeLog`](crate::changelog::ChangeLog)).
+    pub fn table(&self, name: &str) -> DbResult<Arc<TableStore>> {
         self.inner
             .tables
             .read()
@@ -185,24 +282,58 @@ impl Database {
         self.begin_with(IsolationLevel::Serializable)
     }
 
-    /// Begins a transaction at the given isolation level.
+    /// Begins a transaction at the given isolation level. The transaction
+    /// registers in the active-transaction registry (pinning the GC
+    /// watermark at its snapshot) until it commits, aborts or is dropped.
     pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
         let id = self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed);
-        let start_ts = self.current_ts();
+        // The snapshot timestamp is read inside the registry lock so a
+        // concurrent GC either sees this transaction or finishes before
+        // its snapshot exists — it can never truncate under it.
+        let start_ts = self
+            .inner
+            .registry
+            .register_with(id, || self.inner.clock.load(Ordering::SeqCst));
         Transaction::new(self.clone(), id, start_ts, isolation)
     }
 
-    /// The current commit timestamp (timestamp of the latest commit).
+    /// The current commit timestamp: the latest *published* commit.
+    /// Commits mid-install at higher allocated timestamps are invisible
+    /// until they publish (see the module docs).
     pub fn current_ts(&self) -> Ts {
         self.inner.clock.load(Ordering::SeqCst)
     }
 
-    /// Commit protocol: validate under the commit lock, then install
-    /// versions, then append to the log. Called from [`Transaction::commit`].
+    /// The active-transaction registry (used by transaction handles to
+    /// deregister on drop/abort).
+    pub(crate) fn registry(&self) -> &ActiveTxnRegistry {
+        &self.inner.registry
+    }
+
+    /// The minimum snapshot timestamp over all active transactions, or
+    /// `None` when no transaction is active. GC and change-log eviction
+    /// never reclaim history at or above this watermark.
+    pub fn min_active_start_ts(&self) -> Option<Ts> {
+        self.inner.registry.min_active_start_ts()
+    }
+
+    /// Number of active (begun, unfinished) transactions.
+    pub fn active_txn_count(&self) -> usize {
+        self.inner.registry.active_count()
+    }
+
+    /// Sharded commit protocol (see the module docs): lock the footprint
+    /// in sorted table-name order, validate, run every fallible pre-apply
+    /// check, then allocate the commit timestamp, install, and publish in
+    /// timestamp order. Called from [`Transaction::commit`].
     pub(crate) fn commit_txn(&self, state: TxnState) -> DbResult<CommitInfo> {
+        // The transaction stays registered (pinning GC at its snapshot)
+        // through validation and install, whatever the outcome.
+        let _active = self.inner.registry.deregister_on_drop(state.id);
+
         if state.is_read_only() {
             // Read-only transactions need no validation under snapshot
-            // reads and produce no log entry.
+            // reads and produce no log entry; they serialize at start_ts.
             return Ok(CommitInfo {
                 txn_id: state.id,
                 start_ts: state.start_ts,
@@ -211,21 +342,48 @@ impl Database {
             });
         }
 
-        let _guard = self.inner.commit_lock.lock();
+        // Phase 1 — resolve and lock the footprint in deterministic
+        // (sorted table-name) order. Written tables always participate;
+        // under serializable isolation the read and scanned tables do
+        // too, so their validated state cannot change between validation
+        // and publication.
+        let mut footprint: BTreeMap<&str, Arc<TableStore>> = BTreeMap::new();
+        for name in state.writes.keys() {
+            footprint.insert(name.as_str(), self.table(name)?);
+        }
+        if matches!(state.isolation, IsolationLevel::Serializable) {
+            for name in state
+                .read_set
+                .iter()
+                .map(|(t, _)| t)
+                .chain(state.scan_set.iter().map(|(t, _)| t))
+            {
+                if !footprint.contains_key(name.as_str()) {
+                    footprint.insert(name.as_str(), self.table(name)?);
+                }
+            }
+        }
+        let _serial = self.serial_commit().then(|| self.inner.serial_lock.lock());
+        let _guards: Vec<_> = footprint
+            .values()
+            .map(|store| store.commit_lock().lock())
+            .collect();
 
-        self.validate(&state)?;
+        // Phase 2 — validate against the now-stable footprint. Every
+        // earlier commit touching these tables published before releasing
+        // its locks, so the published clock covers them all.
+        self.validate(&state, &footprint)?;
 
-        // Pre-apply checks, all BEFORE the first install: resolve every
-        // table handle and re-check insert duplicates against the latest
-        // committed state (a concurrent committer may have inserted the
-        // key under weaker isolation levels). Nothing past this point can
+        // Phase 3 — remaining fallible pre-apply checks, all BEFORE the
+        // first install: re-check insert duplicates against the latest
+        // published state (a concurrent committer may have inserted the
+        // key under weaker isolation levels). Nothing past this phase can
         // fail, so an abort never leaves partially installed versions —
         // which would also poison the tables' change logs with entries
         // for a transaction that never committed.
         let current_ts = self.inner.clock.load(Ordering::SeqCst);
-        let mut stores = Vec::with_capacity(state.writes.len());
         for (table_name, writes) in &state.writes {
-            let store = self.table(table_name)?;
+            let store = &footprint[table_name.as_str()];
             for (key, op) in writes {
                 if matches!(op, WriteOp::Insert(_)) && store.exists_at(key, current_ts) {
                     return Err(DbError::DuplicateKey {
@@ -234,14 +392,15 @@ impl Database {
                     });
                 }
             }
-            stores.push(store);
         }
 
-        // All validation passed and pre-apply invariants hold: assign the
-        // commit timestamp and install.
-        let commit_ts = current_ts + 1;
+        // Phase 4 — nothing can fail now: claim the commit timestamp
+        // (monotone per table because the footprint locks are held) and
+        // install. The new versions stay invisible until publication.
+        let commit_ts = self.inner.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1;
         let mut changes = Vec::new();
-        for ((table_name, writes), store) in state.writes.iter().zip(&stores) {
+        for (table_name, writes) in &state.writes {
+            let store = &footprint[table_name.as_str()];
             for (key, op) in writes {
                 match op {
                     WriteOp::Insert(after) => {
@@ -282,14 +441,17 @@ impl Database {
             }
         }
 
-        self.inner.clock.store(commit_ts, Ordering::SeqCst);
-        let entry = CommittedTxn {
+        // Phase 5 — publish in timestamp order; the footprint locks are
+        // held until after publication. The simulated storage latency is
+        // charged after publishing (it models the durability write that
+        // delays releasing the tables, not visibility), so disjoint
+        // commits overlap their storage latency.
+        self.publish(CommittedTxn {
             txn_id: state.id,
             start_ts: state.start_ts,
             commit_ts,
             changes: changes.clone(),
-        };
-        self.inner.log.lock().append(entry);
+        });
         self.inner.latency.on_commit();
 
         Ok(CommitInfo {
@@ -300,22 +462,76 @@ impl Database {
         })
     }
 
-    fn validate(&self, state: &TxnState) -> DbResult<()> {
+    /// Publishes a fully installed commit: waits until every earlier
+    /// timestamp has published, appends the log entry inside that ordered
+    /// window (keeping [`TxnLog`] commit-ordered), then bumps the clock.
+    /// The wait is bounded: predecessors hold all their locks already and
+    /// only have install + publish work left, so they never block on this
+    /// commit. Exactly one thread — the one whose timestamp succeeds the
+    /// clock — can be past the wait at a time, so the append/store pair
+    /// needs no extra lock.
+    fn publish(&self, entry: CommittedTxn) {
+        let commit_ts = entry.commit_ts;
+        let clock = &self.inner.clock;
+        if clock.load(Ordering::SeqCst) != commit_ts - 1 {
+            // Brief spin for the common case (predecessor mid-publish),
+            // then park. Parking matters: a yield loop keeps waiters
+            // runnable and starves a preempted predecessor of the CPU,
+            // stalling every committer for a scheduling quantum.
+            let mut spins = 0u32;
+            while clock.load(Ordering::SeqCst) != commit_ts - 1 && spins < 128 {
+                spins += 1;
+                std::hint::spin_loop();
+            }
+            if clock.load(Ordering::SeqCst) != commit_ts - 1 {
+                // SeqCst counter + publisher-side check prevents a missed
+                // wakeup (see the publisher below).
+                self.inner.publish_waiters.fetch_add(1, Ordering::SeqCst);
+                let mut guard = self.inner.publish_mutex.lock().expect("publish mutex");
+                while clock.load(Ordering::SeqCst) != commit_ts - 1 {
+                    guard = self.inner.publish_cv.wait(guard).expect("publish cv");
+                }
+                drop(guard);
+                self.inner.publish_waiters.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        self.inner.log.lock().append(entry);
+        clock.store(commit_ts, Ordering::SeqCst);
+        if self.inner.publish_waiters.load(Ordering::SeqCst) > 0 {
+            // Taking the mutex orders this notify after any in-flight
+            // waiter's check-then-wait, so the wakeup cannot be missed.
+            let _guard = self.inner.publish_mutex.lock().expect("publish mutex");
+            self.inner.publish_cv.notify_all();
+        }
+    }
+
+    /// Validation runs against `footprint` — the already-resolved, locked
+    /// stores of every table the commit touches — so it never re-takes
+    /// the global catalog lock on the hot path.
+    fn validate(
+        &self,
+        state: &TxnState,
+        footprint: &BTreeMap<&str, Arc<TableStore>>,
+    ) -> DbResult<()> {
         match state.isolation {
             IsolationLevel::ReadCommitted => Ok(()),
-            IsolationLevel::SnapshotIsolation => self.validate_writes(state),
+            IsolationLevel::SnapshotIsolation => self.validate_writes(state, footprint),
             IsolationLevel::Serializable => {
-                self.validate_writes(state)?;
-                self.validate_reads(state)
+                self.validate_writes(state, footprint)?;
+                self.validate_reads(state, footprint)
             }
         }
     }
 
     /// First-committer-wins: any of our write keys modified since we began
     /// aborts the transaction.
-    fn validate_writes(&self, state: &TxnState) -> DbResult<()> {
+    fn validate_writes(
+        &self,
+        state: &TxnState,
+        footprint: &BTreeMap<&str, Arc<TableStore>>,
+    ) -> DbResult<()> {
         for (table_name, writes) in &state.writes {
-            let store = self.table(table_name)?;
+            let store = &footprint[table_name.as_str()];
             for key in writes.keys() {
                 if store.key_modified_after(key, state.start_ts) {
                     return Err(DbError::WriteConflict {
@@ -335,11 +551,15 @@ impl Database {
     /// postdate `start_ts`). Predicate scans are validated against the
     /// per-table change log — O(Δ) in the rows committed since the
     /// transaction began, independent of table size — falling back to the
-    /// full version scan only when GC or ring overflow truncated the log
-    /// inside the window (see [`crate::changelog`]).
-    fn validate_reads(&self, state: &TxnState) -> DbResult<()> {
+    /// full version scan only when the log was truncated inside the
+    /// window (see [`crate::changelog`]).
+    fn validate_reads(
+        &self,
+        state: &TxnState,
+        footprint: &BTreeMap<&str, Arc<TableStore>>,
+    ) -> DbResult<()> {
         for (table_name, key) in &state.read_set {
-            let store = self.table(table_name)?;
+            let store = &footprint[table_name.as_str()];
             if store.key_modified_after(key, state.start_ts) {
                 return Err(DbError::SerializationFailure {
                     table: table_name.clone(),
@@ -349,7 +569,7 @@ impl Database {
         }
         let force_full_scan = self.full_scan_validation();
         for (table_name, pred) in &state.scan_set {
-            let store = self.table(table_name)?;
+            let store = &footprint[table_name.as_str()];
             if let Some(key) =
                 store.predicate_conflict_after(pred, state.start_ts, force_full_scan)?
             {
@@ -470,6 +690,7 @@ impl Database {
             }
         }
         fork.inner.clock.store(ts.max(1), Ordering::SeqCst);
+        fork.inner.ts_alloc.store(ts.max(1), Ordering::SeqCst);
         Ok(fork)
     }
 
@@ -492,15 +713,35 @@ impl Database {
     /// upcoming transaction depends on" (paper §3.5) into a development
     /// database. Inserts behave as upserts so injection is idempotent.
     pub fn apply_changes(&self, changes: &[ChangeRecord]) -> DbResult<CommitInfo> {
-        let _guard = self.inner.commit_lock.lock();
-        let commit_ts = self.inner.clock.load(Ordering::SeqCst) + 1;
         let txn_id = self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        // Resolve every table and run every fallible check (schema
+        // validation) BEFORE locking and allocating a timestamp, so a bad
+        // record can never leave a half-applied synthetic commit behind.
+        let mut footprint: BTreeMap<&str, Arc<TableStore>> = BTreeMap::new();
+        for change in changes {
+            if !footprint.contains_key(change.table.as_str()) {
+                footprint.insert(change.table.as_str(), self.table(&change.table)?);
+            }
+            if let ChangeOp::Insert { after } | ChangeOp::Update { after, .. } = &change.op {
+                footprint[change.table.as_str()]
+                    .schema()
+                    .validate_row(&change.table, after)?;
+            }
+        }
+
+        // Same locking discipline as commit_txn: sorted footprint order
+        // (BTreeMap iteration), held through publication.
+        let _serial = self.serial_commit().then(|| self.inner.serial_lock.lock());
+        let _guards: Vec<_> = footprint
+            .values()
+            .map(|store| store.commit_lock().lock())
+            .collect();
+        let commit_ts = self.inner.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1;
         let mut applied = Vec::with_capacity(changes.len());
         for change in changes {
-            let store = self.table(&change.table)?;
+            let store = &footprint[change.table.as_str()];
             match &change.op {
                 ChangeOp::Insert { after } | ChangeOp::Update { after, .. } => {
-                    store.schema().validate_row(&change.table, after)?;
                     store.install(&change.key, after.clone(), commit_ts);
                 }
                 ChangeOp::Delete { .. } => {
@@ -509,14 +750,12 @@ impl Database {
             }
             applied.push(change.clone());
         }
-        self.inner.clock.store(commit_ts, Ordering::SeqCst);
-        let entry = CommittedTxn {
+        self.publish(CommittedTxn {
             txn_id,
             start_ts: commit_ts - 1,
             commit_ts,
             changes: applied.clone(),
-        };
-        self.inner.log.lock().append(entry);
+        });
         Ok(CommitInfo {
             txn_id,
             start_ts: commit_ts - 1,
@@ -528,12 +767,21 @@ impl Database {
     /// Garbage collects row versions not visible at or after `ts` and
     /// truncates the transaction log below `ts`. Returns (versions
     /// dropped, log entries dropped).
+    ///
+    /// The horizon is clamped to the active-transaction watermark
+    /// ([`Database::min_active_start_ts`]): GC never drops a version an
+    /// active transaction can still read, and never truncates a change
+    /// log inside an active transaction's validation window — so
+    /// truncation can be requested aggressively (e.g. at `current_ts()`)
+    /// without ever forcing serializable validation onto the full-scan
+    /// fallback.
     pub fn gc_before(&self, ts: Ts) -> (usize, usize) {
+        let horizon = ts.min(self.inner.registry.watermark());
         let mut versions = 0;
         for store in self.inner.tables.read().values() {
-            versions += store.gc_before(ts);
+            versions += store.gc_before(horizon);
         }
-        let logs = self.inner.log.lock().truncate_before(ts);
+        let logs = self.inner.log.lock().truncate_before(horizon);
         (versions, logs)
     }
 

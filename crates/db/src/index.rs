@@ -1,13 +1,26 @@
 //! Secondary hash indexes.
 //!
-//! Indexes map a column value to the set of primary keys whose *live*
-//! version carried that value at some point. Lookups return candidate
-//! keys; visibility is always re-checked against the version chain, so an
-//! index can safely over-approximate (it never removes entries for old
-//! values until the key is garbage collected).
+//! Indexes map a column value to the primary keys whose rows carried that
+//! value, together with the commit timestamp at which the key stopped
+//! carrying it ([`TS_LIVE`] while it still does). Lookups return candidate
+//! keys for a given read timestamp; visibility is always re-checked
+//! against the version chain, so an index may over-approximate (return a
+//! key whose visible row no longer matches) but must never
+//! under-approximate.
+//!
+//! Maintenance is **eager**: the commit path unlinks a key from its old
+//! value the moment an update changes the indexed column or a delete
+//! removes the row, by stamping the entry with the closing commit
+//! timestamp instead of leaving it live. Latest-timestamp lookups
+//! therefore see an exact candidate set — dead keys no longer accumulate
+//! between garbage collections — while time-travel and snapshot reads
+//! below the unlink timestamp still find the key. Stamped-out entries are
+//! physically removed by [`SecondaryIndex::purge_dead`] when garbage
+//! collection retires the versions that needed them.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
+use crate::mvcc::{Ts, TS_LIVE};
 use crate::row::{Key, Row};
 use crate::schema::Schema;
 use crate::value::Value;
@@ -17,7 +30,10 @@ use crate::value::Value;
 pub struct SecondaryIndex {
     column: String,
     col_idx: usize,
-    entries: HashMap<Value, HashSet<Key>>,
+    /// value -> key -> timestamp until which the key's row carried the
+    /// value ([`TS_LIVE`] while it still does). A key is a candidate for a
+    /// read at `ts` iff its end stamp is strictly greater than `ts`.
+    entries: HashMap<Value, HashMap<Key, Ts>>,
 }
 
 impl SecondaryIndex {
@@ -35,23 +51,76 @@ impl SecondaryIndex {
         &self.column
     }
 
-    /// Records that `key`'s row now carries `row[col]`.
-    pub fn insert(&mut self, key: &Key, row: &Row) {
+    /// Records that `key`'s row carried `row[col]` until `until`
+    /// ([`TS_LIVE`] for the live row). Used by backfill, which replays a
+    /// chain's versions oldest-first; later stamps only ever extend
+    /// earlier ones, so a plain max merge is correct.
+    pub fn record(&mut self, key: &Key, row: &Row, until: Ts) {
         if let Some(v) = row.get(self.col_idx) {
             if !v.is_null() {
-                self.entries
+                let slot = self
+                    .entries
                     .entry(v.clone())
                     .or_default()
-                    .insert(key.clone());
+                    .entry(key.clone())
+                    .or_insert(until);
+                *slot = (*slot).max(until);
             }
         }
     }
 
-    /// Candidate keys whose rows may carry `value` in the indexed column.
-    pub fn lookup(&self, value: &Value) -> Vec<Key> {
+    /// Records that `key`'s live row now carries `row[col]`.
+    pub fn insert(&mut self, key: &Key, row: &Row) {
+        self.record(key, row, TS_LIVE);
+    }
+
+    /// Eagerly unlinks `key` from `row[col]`: the row stopped carrying the
+    /// value at `unlinked_at` (it was deleted, or updated away from it).
+    /// The entry is stamped, not removed, so reads below `unlinked_at`
+    /// still see the key; [`SecondaryIndex::purge_dead`] removes it once
+    /// GC retires the window.
+    pub fn unlink(&mut self, key: &Key, row: &Row, unlinked_at: Ts) {
+        let Some(v) = row.get(self.col_idx) else {
+            return;
+        };
+        if v.is_null() {
+            return;
+        }
+        if let Some(keys) = self.entries.get_mut(v) {
+            if let Some(slot) = keys.get_mut(key) {
+                if *slot == TS_LIVE {
+                    *slot = unlinked_at;
+                } else {
+                    *slot = (*slot).max(unlinked_at);
+                }
+            }
+        }
+    }
+
+    /// Candidate keys whose rows may carry `value` for a read at `ts`.
+    pub fn lookup_at(&self, value: &Value, ts: Ts) -> Vec<Key> {
         self.entries
             .get(value)
-            .map(|set| set.iter().cloned().collect())
+            .map(|keys| {
+                keys.iter()
+                    .filter(|(_, &until)| until > ts)
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Candidate keys whose *live* rows may carry `value` (exact up to
+    /// concurrent re-check; unlinked keys are excluded immediately).
+    pub fn lookup_live(&self, value: &Value) -> Vec<Key> {
+        self.entries
+            .get(value)
+            .map(|keys| {
+                keys.iter()
+                    .filter(|(_, &until)| until == TS_LIVE)
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -64,9 +133,29 @@ impl SecondaryIndex {
         self.entries.retain(|_, set| !set.is_empty());
     }
 
+    /// Removes entries unlinked at or before `horizon` — their versions
+    /// are no longer visible to any reader once GC has run at `horizon`.
+    /// Returns the number of entries removed.
+    pub fn purge_dead(&mut self, horizon: Ts) -> usize {
+        let mut purged = 0;
+        for set in self.entries.values_mut() {
+            let before = set.len();
+            set.retain(|_, &mut until| until > horizon);
+            purged += before - set.len();
+        }
+        self.entries.retain(|_, set| !set.is_empty());
+        purged
+    }
+
     /// Number of distinct indexed values.
     pub fn distinct_values(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Total (value, key) entries, live and tombstoned. Exposed so tests
+    /// and stats can observe eager-unlink bookkeeping.
+    pub fn entry_count(&self) -> usize {
+        self.entries.values().map(|set| set.len()).sum()
     }
 
     /// Rebuilds the index from scratch given the live rows of the table.
@@ -94,6 +183,10 @@ mod tests {
             .unwrap()
     }
 
+    fn text(s: &str) -> Value {
+        Value::Text(s.into())
+    }
+
     #[test]
     fn insert_and_lookup() {
         let mut idx = SecondaryIndex::new("forum", 1);
@@ -101,11 +194,12 @@ mod tests {
         idx.insert(&Key::single(2i64), &row![2i64, "F2"]);
         idx.insert(&Key::single(3i64), &row![3i64, "F2"]);
 
-        let mut hits = idx.lookup(&Value::Text("F2".into()));
+        let mut hits = idx.lookup_live(&text("F2"));
         hits.sort();
         assert_eq!(hits, vec![Key::single(2i64), Key::single(3i64)]);
-        assert!(idx.lookup(&Value::Text("F9".into())).is_empty());
+        assert!(idx.lookup_live(&text("F9")).is_empty());
         assert_eq!(idx.distinct_values(), 2);
+        assert_eq!(idx.entry_count(), 3);
     }
 
     #[test]
@@ -116,19 +210,68 @@ mod tests {
     }
 
     #[test]
-    fn stale_entries_are_tolerated_and_purgeable() {
+    fn unlink_hides_keys_from_later_reads_only() {
+        let mut idx = SecondaryIndex::new("forum", 1);
+        let k = Key::single(1i64);
+        let r = row![1i64, "F1"];
+        idx.insert(&k, &r);
+        // Deleted at commit ts 5.
+        idx.unlink(&k, &r, 5);
+
+        assert!(idx.lookup_live(&text("F1")).is_empty(), "eagerly unlinked");
+        assert!(idx.lookup_at(&text("F1"), 5).is_empty());
+        assert_eq!(idx.lookup_at(&text("F1"), 4), vec![k.clone()]);
+
+        // Reinserted later: live again, and history below 5 still works.
+        idx.insert(&k, &r);
+        assert_eq!(idx.lookup_live(&text("F1")), vec![k.clone()]);
+        assert_eq!(idx.lookup_at(&text("F1"), 4), vec![k.clone()]);
+    }
+
+    #[test]
+    fn update_unlinks_the_old_value() {
+        let mut idx = SecondaryIndex::new("forum", 1);
+        let k = Key::single(1i64);
+        let before = row![1i64, "F1"];
+        let after = row![1i64, "F2"];
+        idx.insert(&k, &before);
+        // Commit at ts 7 updates F1 -> F2: the table unlinks the before
+        // image and inserts the after image.
+        idx.unlink(&k, &before, 7);
+        idx.insert(&k, &after);
+
+        assert!(idx.lookup_live(&text("F1")).is_empty());
+        assert_eq!(idx.lookup_live(&text("F2")), vec![k.clone()]);
+        // A snapshot read below the update still finds the key via F1.
+        assert_eq!(idx.lookup_at(&text("F1"), 6), vec![k.clone()]);
+        assert_eq!(idx.lookup_at(&text("F2"), 6), vec![k.clone()]);
+    }
+
+    #[test]
+    fn purge_dead_drops_only_entries_below_the_horizon() {
+        let mut idx = SecondaryIndex::new("forum", 1);
+        let k1 = Key::single(1i64);
+        let k2 = Key::single(2i64);
+        idx.insert(&k1, &row![1i64, "F1"]);
+        idx.insert(&k2, &row![2i64, "F1"]);
+        idx.unlink(&k1, &row![1i64, "F1"], 3);
+        idx.unlink(&k2, &row![2i64, "F1"], 9);
+
+        assert_eq!(idx.purge_dead(5), 1, "only the ts-3 tombstone is dead");
+        assert!(idx.lookup_at(&text("F1"), 2).len() == 1, "k2 remains");
+        assert_eq!(idx.purge_dead(9), 1);
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn purge_key_removes_all_traces() {
         let mut idx = SecondaryIndex::new("forum", 1);
         let k = Key::single(1i64);
         idx.insert(&k, &row![1i64, "F1"]);
-        // Row updated to a new forum: the index keeps the old entry too
-        // (over-approximation) until purged.
         idx.insert(&k, &row![1i64, "F2"]);
-        assert_eq!(idx.lookup(&Value::Text("F1".into())), vec![k.clone()]);
-        assert_eq!(idx.lookup(&Value::Text("F2".into())), vec![k.clone()]);
-
         idx.purge_key(&k);
-        assert!(idx.lookup(&Value::Text("F1".into())).is_empty());
-        assert!(idx.lookup(&Value::Text("F2".into())).is_empty());
+        assert!(idx.lookup_at(&text("F1"), 0).is_empty());
+        assert!(idx.lookup_at(&text("F2"), 0).is_empty());
         assert_eq!(idx.distinct_values(), 0);
     }
 
@@ -141,7 +284,7 @@ mod tests {
         let r1 = row![1i64, "F1"];
         let rows = vec![(&k1, &r1)];
         idx.rebuild(&s, rows.into_iter());
-        assert!(idx.lookup(&Value::Text("OLD".into())).is_empty());
-        assert_eq!(idx.lookup(&Value::Text("F1".into())), vec![k1]);
+        assert!(idx.lookup_live(&text("OLD")).is_empty());
+        assert_eq!(idx.lookup_live(&text("F1")), vec![k1]);
     }
 }

@@ -7,7 +7,7 @@
 //! overhead is "negligible". Real VoltDB/Postgres are not available in
 //! this environment, so the engine models the distinction with a
 //! configurable per-operation latency: `InMemory` adds nothing, `OnDisk`
-//! spins for a configurable number of microseconds on reads and commits
+//! waits for a configurable number of microseconds on reads and commits
 //! (modelling buffer-pool and fsync costs). Benchmark E1 sweeps both
 //! profiles.
 
@@ -38,12 +38,19 @@ impl StorageProfile {
     }
 }
 
-/// Applies the latency model. Spin-waits rather than sleeping because the
-/// modelled latencies are far below OS scheduler granularity.
+/// Applies the latency model. Short waits (reads, sub-scheduler-granule
+/// commits) spin; longer waits sleep, yielding the CPU the way a real
+/// fsync blocked in the kernel would — which is what lets commits on
+/// disjoint tables overlap their commit latency under the sharded commit
+/// protocol even on a single core.
 #[derive(Debug, Clone, Copy)]
 pub struct LatencyModel {
     profile: StorageProfile,
 }
+
+/// Waits at or above this duration sleep instead of spinning; below it,
+/// OS scheduler granularity would make sleeps wildly inaccurate.
+const SLEEP_THRESHOLD: Duration = Duration::from_micros(200);
 
 impl LatencyModel {
     pub fn new(profile: StorageProfile) -> Self {
@@ -57,20 +64,26 @@ impl LatencyModel {
     /// Charged on every transactional read or scan.
     pub fn on_read(&self) {
         if let StorageProfile::OnDisk { read_micros, .. } = self.profile {
-            spin_for(Duration::from_micros(read_micros));
+            wait_for(Duration::from_micros(read_micros));
         }
     }
 
     /// Charged on every commit.
     pub fn on_commit(&self) {
         if let StorageProfile::OnDisk { commit_micros, .. } = self.profile {
-            spin_for(Duration::from_micros(commit_micros));
+            wait_for(Duration::from_micros(commit_micros));
         }
     }
 }
 
-fn spin_for(d: Duration) {
+fn wait_for(d: Duration) {
     if d.is_zero() {
+        return;
+    }
+    if d >= SLEEP_THRESHOLD {
+        // Model an I/O wait: block without burning the CPU, so other
+        // threads' commits (and their latency waits) overlap with this one.
+        std::thread::sleep(d);
         return;
     }
     let start = Instant::now();

@@ -32,13 +32,13 @@
 //!
 //! * **O(Δ) serializable validation.** Each table keeps a bounded,
 //!   commit-ordered [`ChangeLog`](changelog::ChangeLog) of recent row
-//!   changes, appended by `install`/`remove` under the commit lock.
-//!   Serializable predicate (phantom) validation walks only the entries
-//!   in `(start_ts, now]` — cost proportional to the *delta* since the
-//!   transaction began, independent of table size. GC truncation and
-//!   ring overflow raise a low-water mark; a window the log cannot cover
-//!   falls back to the original full version scan, so truncation can
-//!   never cause a missed conflict. The two paths are decision-equivalent
+//!   changes, appended by `install`/`remove` under that table's commit
+//!   lock. Serializable predicate (phantom) validation walks only the
+//!   entries in `(start_ts, now]` — cost proportional to the *delta*
+//!   since the transaction began, independent of table size. Truncation
+//!   raises a low-water mark; a window the log cannot cover falls back to
+//!   the original full version scan, so truncation can never cause a
+//!   missed conflict. The two paths are decision-equivalent
 //!   (property-tested, plus a debug-build assertion on every commit), and
 //!   [`Database::set_full_scan_validation`] exposes the slow path so the
 //!   equivalence stays observable and the speedup measurable.
@@ -46,6 +46,18 @@
 //! * **Compiled predicates.** [`Predicate::compile`] resolves column
 //!   names to ordinals once per scan/validation, so per-row evaluation
 //!   ([`CompiledPredicate::matches`]) does no string lookups.
+//!
+//! * **Sharded commits.** There is no global commit lock: commits take
+//!   the per-table locks of their footprint in sorted name order, claim a
+//!   timestamp from a global atomic allocator, and publish in timestamp
+//!   order, so transactions over disjoint tables validate, install and
+//!   (with an on-disk latency profile) even "fsync" fully concurrently
+//!   while readers can never observe a torn multi-table commit. An
+//!   [`ActiveTxnRegistry`](registry::ActiveTxnRegistry) tracks
+//!   `(txn_id, start_ts)` for every live transaction; its
+//!   min-active-start-ts watermark clamps [`Database::gc_before`] and
+//!   change-log ring eviction so reclamation never outruns an active
+//!   transaction. See the protocol write-up on [`database`].
 //!
 //! ## Quick example
 //!
@@ -79,6 +91,7 @@ pub mod latency;
 pub mod log;
 pub mod mvcc;
 pub mod predicate;
+pub mod registry;
 pub mod row;
 pub mod schema;
 pub mod table;
@@ -93,6 +106,7 @@ pub use latency::StorageProfile;
 pub use log::{CommittedTxn, TxnId};
 pub use mvcc::{Ts, TS_LIVE};
 pub use predicate::{CmpOp, CompiledPredicate, Predicate};
+pub use registry::ActiveTxnRegistry;
 pub use row::{Key, Row};
 pub use schema::{Column, Schema, SchemaBuilder};
 pub use txn::{CommitInfo, IsolationLevel, ReadSummary, Transaction};

@@ -6,6 +6,14 @@
 //! §3.1, "databases with time travel capabilities") falls out of this
 //! representation: reading "as of" a past timestamp simply selects the
 //! version visible at that timestamp.
+//!
+//! This visibility rule is also what makes the sharded commit protocol's
+//! publication step atomic (see [`crate::database`]): readers only ever
+//! read at timestamps up to the *published* clock, so versions a
+//! mid-flight commit has installed at a higher, not-yet-published
+//! `begin_ts` fail `begin_ts <= ts` for every reader until the commit
+//! publishes — a multi-table commit becomes visible everywhere at once,
+//! never piecemeal.
 
 use std::sync::Arc;
 

@@ -1,0 +1,206 @@
+//! Active-transaction registry: who is running, and since when.
+//!
+//! Every transaction registers `(txn_id, start_ts)` at `begin` and
+//! deregisters when it commits, aborts, or is dropped. The registry's one
+//! derived fact is the **watermark**: the minimum `start_ts` over all
+//! active transactions ([`ActiveTxnRegistry::min_active_start_ts`]).
+//!
+//! The watermark bounds how aggressively history may be discarded:
+//!
+//! * [`Database::gc_before`](crate::Database::gc_before) clamps its
+//!   horizon to the watermark, so garbage collection never drops a row
+//!   version or change-log entry an active transaction can still read or
+//!   must validate against;
+//! * [`ChangeLog`](crate::changelog::ChangeLog) ring eviction only evicts
+//!   entries at or below the watermark, so an active transaction's
+//!   validation window is never truncated out from under it and the O(Δ)
+//!   validator never falls back to the full version scan merely because
+//!   the ring filled up.
+//!
+//! Registration reads the commit clock *inside* the registry lock (see
+//! [`ActiveTxnRegistry::register_with`]), which makes begin and
+//! watermark queries linearizable: a concurrent GC either sees the new
+//! transaction (and keeps its snapshot) or completes before the
+//! transaction's `start_ts` exists (and can only have truncated below it).
+//!
+//! The minimum is cached in an atomic so the hot paths (ring eviction on
+//! every install, GC) read it without taking the registry lock.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::log::TxnId;
+use crate::mvcc::Ts;
+
+/// Watermark value when no transaction is active: nothing is pinned, all
+/// history is collectable.
+pub const NO_ACTIVE_TXN: Ts = Ts::MAX;
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// txn id -> start_ts for every active transaction.
+    by_id: HashMap<TxnId, Ts>,
+    /// Multiset of active start timestamps (several transactions may share
+    /// one): the watermark is the first key.
+    by_start_ts: BTreeMap<Ts, usize>,
+}
+
+impl RegistryInner {
+    fn min(&self) -> Ts {
+        self.by_start_ts
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(NO_ACTIVE_TXN)
+    }
+}
+
+/// Registry of active (begun, not yet finished) transactions.
+#[derive(Debug, Default)]
+pub struct ActiveTxnRegistry {
+    inner: Mutex<RegistryInner>,
+    /// Cached minimum active start_ts; [`NO_ACTIVE_TXN`] when idle.
+    min_start_ts: AtomicU64,
+}
+
+impl ActiveTxnRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ActiveTxnRegistry {
+            inner: Mutex::new(RegistryInner::default()),
+            min_start_ts: AtomicU64::new(NO_ACTIVE_TXN),
+        }
+    }
+
+    /// Registers transaction `id`, reading its snapshot timestamp via
+    /// `read_clock` *while holding the registry lock*. Returns the
+    /// registered `start_ts`.
+    ///
+    /// Taking the clock reading inside the lock closes the begin/GC race:
+    /// the watermark can never be observed above a start_ts that is about
+    /// to come into existence below it.
+    pub fn register_with(&self, id: TxnId, read_clock: impl FnOnce() -> Ts) -> Ts {
+        let mut inner = self.inner.lock();
+        let start_ts = read_clock();
+        let prev = inner.by_id.insert(id, start_ts);
+        debug_assert!(prev.is_none(), "txn {id} registered twice");
+        *inner.by_start_ts.entry(start_ts).or_insert(0) += 1;
+        self.min_start_ts.store(inner.min(), Ordering::SeqCst);
+        start_ts
+    }
+
+    /// Removes transaction `id`; returns true if it was registered.
+    pub fn deregister(&self, id: TxnId) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(start_ts) = inner.by_id.remove(&id) else {
+            return false;
+        };
+        if let Some(count) = inner.by_start_ts.get_mut(&start_ts) {
+            *count -= 1;
+            if *count == 0 {
+                inner.by_start_ts.remove(&start_ts);
+            }
+        }
+        self.min_start_ts.store(inner.min(), Ordering::SeqCst);
+        true
+    }
+
+    /// A guard that deregisters `id` when dropped; used by the commit path
+    /// so the transaction stays registered (pinning its snapshot) through
+    /// validation and install, whatever the outcome.
+    pub fn deregister_on_drop(&self, id: TxnId) -> DeregisterGuard<'_> {
+        DeregisterGuard { registry: self, id }
+    }
+
+    /// The minimum start timestamp over all active transactions, or `None`
+    /// when no transaction is active.
+    pub fn min_active_start_ts(&self) -> Option<Ts> {
+        match self.min_start_ts.load(Ordering::SeqCst) {
+            NO_ACTIVE_TXN => None,
+            ts => Some(ts),
+        }
+    }
+
+    /// The truncation watermark: [`Self::min_active_start_ts`], or
+    /// [`NO_ACTIVE_TXN`] when idle. History at or below this timestamp is
+    /// safe to discard; history above it is pinned.
+    pub fn watermark(&self) -> Ts {
+        self.min_start_ts.load(Ordering::SeqCst)
+    }
+
+    /// The start timestamp of a specific active transaction.
+    pub fn start_ts_of(&self, id: TxnId) -> Option<Ts> {
+        self.inner.lock().by_id.get(&id).copied()
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.inner.lock().by_id.len()
+    }
+}
+
+/// See [`ActiveTxnRegistry::deregister_on_drop`].
+#[derive(Debug)]
+pub struct DeregisterGuard<'a> {
+    registry: &'a ActiveTxnRegistry,
+    id: TxnId,
+}
+
+impl Drop for DeregisterGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.deregister(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_tracks_min_active_start_ts() {
+        let reg = ActiveTxnRegistry::new();
+        assert_eq!(reg.min_active_start_ts(), None);
+        assert_eq!(reg.watermark(), NO_ACTIVE_TXN);
+
+        reg.register_with(1, || 10);
+        reg.register_with(2, || 5);
+        reg.register_with(3, || 20);
+        assert_eq!(reg.min_active_start_ts(), Some(5));
+        assert_eq!(reg.active_count(), 3);
+        assert_eq!(reg.start_ts_of(2), Some(5));
+
+        assert!(reg.deregister(2));
+        assert_eq!(reg.min_active_start_ts(), Some(10));
+        assert!(reg.deregister(1));
+        assert_eq!(reg.min_active_start_ts(), Some(20));
+        assert!(reg.deregister(3));
+        assert_eq!(reg.min_active_start_ts(), None);
+        assert!(!reg.deregister(3), "double deregister is a no-op");
+    }
+
+    #[test]
+    fn shared_start_ts_is_counted_not_clobbered() {
+        let reg = ActiveTxnRegistry::new();
+        reg.register_with(1, || 7);
+        reg.register_with(2, || 7);
+        assert!(reg.deregister(1));
+        // The other transaction at ts 7 still pins the watermark.
+        assert_eq!(reg.min_active_start_ts(), Some(7));
+        assert!(reg.deregister(2));
+        assert_eq!(reg.min_active_start_ts(), None);
+    }
+
+    #[test]
+    fn guard_deregisters_on_drop() {
+        let reg = ActiveTxnRegistry::new();
+        reg.register_with(9, || 3);
+        {
+            let _guard = reg.deregister_on_drop(9);
+            assert_eq!(reg.active_count(), 1);
+        }
+        assert_eq!(reg.active_count(), 0);
+        assert_eq!(reg.watermark(), NO_ACTIVE_TXN);
+    }
+}

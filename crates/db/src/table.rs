@@ -4,22 +4,25 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::changelog::{ChangeEntry, ChangeLog};
 use crate::error::{DbError, DbResult};
 use crate::index::SecondaryIndex;
 use crate::mvcc::{Ts, VersionChain};
 use crate::predicate::{CompiledPredicate, Predicate};
+use crate::registry::ActiveTxnRegistry;
 use crate::row::{Key, Row};
 use crate::schema::Schema;
 
 /// Storage for one table.
 ///
 /// All mutation goes through [`TableStore::install`] / [`TableStore::remove`],
-/// which are only called by the database's commit path while it holds the
-/// global commit lock, so per-table locking only needs to protect readers
-/// from concurrent writers.
+/// which are only called by the database's commit path while it holds
+/// *this table's* commit lock ([`TableStore::commit_lock`]) — the sharded
+/// replacement for the old global commit mutex, see the commit-protocol
+/// docs on [`crate::database`]. Internal per-table locking therefore only
+/// needs to protect readers from the one concurrent writer.
 ///
 /// Row images are stored and returned as [`Arc<Row>`]: reads at any
 /// timestamp, CDC records and the change log all share the writer's
@@ -33,18 +36,45 @@ pub struct TableStore {
     /// Commit-ordered ring of recent row changes; serves O(Δ)
     /// serializable validation (see the [`crate::changelog`] docs).
     changelog: ChangeLog,
+    /// This table's commit lock. The database's commit path acquires the
+    /// locks of every table in a transaction's footprint in sorted table
+    /// name order; see the protocol docs on [`crate::database`].
+    commit_lock: Mutex<()>,
+    /// The owning database's active-transaction registry; its watermark
+    /// bounds change-log ring eviction so an active transaction's
+    /// validation window is never evicted. Standalone stores (unit tests)
+    /// get a private empty registry, which pins nothing.
+    registry: Arc<ActiveTxnRegistry>,
 }
 
 impl TableStore {
-    /// Creates an empty table.
+    /// Creates an empty, standalone table (no shared transaction
+    /// registry; nothing pins the change-log ring).
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableStore::with_registry(name, schema, Arc::new(ActiveTxnRegistry::new()))
+    }
+
+    /// Creates an empty table wired to the owning database's
+    /// active-transaction registry.
+    pub(crate) fn with_registry(
+        name: impl Into<String>,
+        schema: Schema,
+        registry: Arc<ActiveTxnRegistry>,
+    ) -> Self {
         TableStore {
             name: name.into(),
             schema,
             rows: RwLock::new(HashMap::new()),
             indexes: RwLock::new(Vec::new()),
             changelog: ChangeLog::default(),
+            commit_lock: Mutex::new(()),
+            registry,
         }
+    }
+
+    /// This table's commit lock; acquired by the database commit path.
+    pub(crate) fn commit_lock(&self) -> &Mutex<()> {
+        &self.commit_lock
     }
 
     /// The table name.
@@ -79,11 +109,14 @@ impl TableStore {
             )));
         }
         let mut idx = SecondaryIndex::new(column, col_idx);
-        // Backfill from current live rows.
+        // Backfill from the full version history (oldest first), stamping
+        // each value with the version's end timestamp, so snapshot and
+        // time-travel scans through the index see rows that were already
+        // updated away or deleted when the index was created.
         let rows = self.rows.read();
         for (key, chain) in rows.iter() {
-            if let Some(row) = chain.live() {
-                idx.insert(key, row);
+            for version in chain.versions() {
+                idx.record(key, &version.row, version.end_ts);
             }
         }
         indexes.push(idx);
@@ -129,12 +162,14 @@ impl TableStore {
         let rows = self.rows.read();
         let mut out = Vec::new();
 
-        // Try an index lookup first.
+        // Try an index lookup first. Candidates are filtered by the read
+        // timestamp: keys eagerly unlinked at or before `ts` (deleted, or
+        // updated away from the value) are excluded immediately.
         let candidates: Option<Vec<Key>> = {
             let indexes = self.indexes.read();
             indexes.iter().find_map(|idx| {
                 pred.equality_on(idx.column())
-                    .map(|value| idx.lookup(value))
+                    .map(|value| idx.lookup_at(value, ts))
             })
         };
 
@@ -258,39 +293,60 @@ impl TableStore {
     }
 
     /// Installs a new version for `key` at `commit_ts`; updates indexes
-    /// and appends to the change log. Returns the before image, if any.
-    /// Only called under the commit lock.
-    pub fn install(&self, key: &Key, row: Arc<Row>, commit_ts: Ts) -> Option<Arc<Row>> {
+    /// (eagerly unlinking the before image's values) and appends to the
+    /// change log. Returns the before image, if any. Only called under
+    /// this table's commit lock — crate-private so code outside the
+    /// engine cannot bypass the commit protocol through a
+    /// [`crate::Database::table`] handle.
+    pub(crate) fn install(&self, key: &Key, row: Arc<Row>, commit_ts: Ts) -> Option<Arc<Row>> {
         let mut rows = self.rows.write();
         let chain = rows.entry(key.clone()).or_default();
         let before = chain.install(commit_ts, row.clone());
         drop(rows);
-        self.changelog.append(ChangeEntry {
-            commit_ts,
-            key: key.clone(),
-            before: before.clone(),
-            after: Some(row.clone()),
-        });
+        self.changelog.append(
+            ChangeEntry {
+                commit_ts,
+                key: key.clone(),
+                before: before.clone(),
+                after: Some(row.clone()),
+            },
+            self.registry.watermark(),
+        );
         let mut indexes = self.indexes.write();
         for idx in indexes.iter_mut() {
+            // Unlink-then-insert: if the update kept the indexed value the
+            // insert restores the live stamp; if it changed the value the
+            // old entry is tombstoned at `commit_ts`.
+            if let Some(before) = &before {
+                idx.unlink(key, before, commit_ts);
+            }
             idx.insert(key, &row);
         }
         before
     }
 
-    /// Deletes the live version of `key` at `commit_ts`. Returns the
-    /// deleted row, if any. Only called under the commit lock.
-    pub fn remove(&self, key: &Key, commit_ts: Ts) -> Option<Arc<Row>> {
+    /// Deletes the live version of `key` at `commit_ts`, eagerly unlinking
+    /// it from all secondary indexes. Returns the deleted row, if any.
+    /// Only called under this table's commit lock; crate-private for the
+    /// same reason as [`TableStore::install`].
+    pub(crate) fn remove(&self, key: &Key, commit_ts: Ts) -> Option<Arc<Row>> {
         let mut rows = self.rows.write();
         let before = rows.get_mut(key).and_then(|chain| chain.remove(commit_ts));
         drop(rows);
         if let Some(before) = &before {
-            self.changelog.append(ChangeEntry {
-                commit_ts,
-                key: key.clone(),
-                before: Some(before.clone()),
-                after: None,
-            });
+            self.changelog.append(
+                ChangeEntry {
+                    commit_ts,
+                    key: key.clone(),
+                    before: Some(before.clone()),
+                    after: None,
+                },
+                self.registry.watermark(),
+            );
+            let mut indexes = self.indexes.write();
+            for idx in indexes.iter_mut() {
+                idx.unlink(key, before, commit_ts);
+            }
         }
         before
     }
@@ -312,7 +368,7 @@ impl TableStore {
     /// Garbage collects versions not visible to any reader at or after
     /// `ts`, truncating the change log over the same window. Returns how
     /// many versions were dropped.
-    pub fn gc_before(&self, ts: Ts) -> usize {
+    pub(crate) fn gc_before(&self, ts: Ts) -> usize {
         let mut rows = self.rows.write();
         let mut dropped = 0;
         let mut dead_keys = Vec::new();
@@ -327,13 +383,12 @@ impl TableStore {
         }
         drop(rows);
         self.changelog.truncate_before(ts);
-        if !dead_keys.is_empty() {
-            let mut indexes = self.indexes.write();
-            for idx in indexes.iter_mut() {
-                for key in &dead_keys {
-                    idx.purge_key(key);
-                }
-            }
+        let mut indexes = self.indexes.write();
+        for idx in indexes.iter_mut() {
+            // Entries tombstoned at or below the horizon point at versions
+            // that no longer exist; eager unlink stamped them, GC drops
+            // them. (This subsumes the old per-dead-key purge.)
+            idx.purge_dead(ts);
         }
         dropped
     }
@@ -420,6 +475,88 @@ mod tests {
         assert_eq!(no_index, with_index);
         assert_eq!(with_index.len(), 50);
         assert_eq!(t.indexed_columns(), vec!["forum".to_string()]);
+    }
+
+    #[test]
+    fn delete_unlinks_index_eagerly_but_keeps_history_readable() {
+        let t = subs_table();
+        t.create_index("forum").unwrap();
+        for i in 0..10 {
+            let u = format!("U{i}");
+            t.install(&key(&u, "F2"), arc(row![u.clone(), "F2"]), 1);
+        }
+        t.remove(&key("U3", "F2"), 5);
+
+        // Latest scan through the index: the deleted row is gone and the
+        // candidate set is exact (no dead key to filter).
+        let live = t.scan_at(&Predicate::eq("forum", "F2"), 5).unwrap();
+        assert_eq!(live.len(), 9);
+        // Snapshot/time-travel scan below the delete still sees it.
+        let old = t.scan_at(&Predicate::eq("forum", "F2"), 4).unwrap();
+        assert_eq!(old.len(), 10);
+    }
+
+    #[test]
+    fn update_unlinks_old_indexed_value_eagerly() {
+        let schema = Schema::builder()
+            .column("user_id", DataType::Text)
+            .column("forum", DataType::Text)
+            .primary_key(&["user_id"])
+            .build()
+            .unwrap();
+        let t = TableStore::new("subs", schema);
+        t.create_index("forum").unwrap();
+        let k = Key::single(Value::Text("U1".into()));
+        t.install(&k, arc(row!["U1", "F1"]), 2);
+        t.install(&k, arc(row!["U1", "F2"]), 6);
+
+        // At the latest timestamp only F2 matches; the F1 entry was
+        // tombstoned by the update, not left as a dead candidate.
+        assert_eq!(
+            t.scan_at(&Predicate::eq("forum", "F1"), 6).unwrap().len(),
+            0
+        );
+        assert_eq!(
+            t.scan_at(&Predicate::eq("forum", "F2"), 6).unwrap().len(),
+            1
+        );
+        // Below the update, the index still resolves F1.
+        assert_eq!(
+            t.scan_at(&Predicate::eq("forum", "F1"), 5).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn index_backfill_covers_historical_versions() {
+        let t = subs_table();
+        let k = key("U1", "F2");
+        t.install(&k, arc(row!["U1", "F2"]), 2);
+        t.remove(&k, 4);
+        // Index created after the delete: time travel below ts 4 must
+        // still find the row through the index.
+        t.create_index("forum").unwrap();
+        assert_eq!(
+            t.scan_at(&Predicate::eq("forum", "F2"), 3).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            t.scan_at(&Predicate::eq("forum", "F2"), 4).unwrap().len(),
+            0
+        );
+    }
+
+    #[test]
+    fn gc_purges_tombstoned_index_entries() {
+        let t = subs_table();
+        t.create_index("forum").unwrap();
+        let k = key("U1", "F2");
+        t.install(&k, arc(row!["U1", "F2"]), 1);
+        t.remove(&k, 2);
+        t.install(&key("U2", "F1"), arc(row!["U2", "F1"]), 3);
+        t.gc_before(10);
+        let indexes = t.indexes.read();
+        assert_eq!(indexes[0].entry_count(), 1, "only the live entry remains");
     }
 
     #[test]

@@ -2,13 +2,21 @@
 //!
 //! The engine uses optimistic concurrency control: transactions buffer
 //! their writes locally, read from a consistent snapshot, and validate at
-//! commit time under a global commit lock. Under [`IsolationLevel::Serializable`]
-//! both point reads and predicate scans are validated, which yields strict
-//! serializability: the commit order is the serial order (exactly the
-//! property the TROD paper assumes in §3.1). Snapshot isolation validates
-//! only write-write conflicts, and read committed performs no validation —
-//! these weaker levels exist so that tests and benchmarks can demonstrate
-//! behaviour under the "lower isolation levels" the paper mentions.
+//! commit time under the per-table commit locks of their footprint (see
+//! the sharded commit protocol documented on [`crate::database`]). Under
+//! [`IsolationLevel::Serializable`] both point reads and predicate scans
+//! are validated, which yields strict serializability: the commit
+//! (timestamp) order is the serial order (exactly the property the TROD
+//! paper assumes in §3.1). Snapshot isolation validates only write-write
+//! conflicts, and read committed performs no validation — these weaker
+//! levels exist so that tests and benchmarks can demonstrate behaviour
+//! under the "lower isolation levels" the paper mentions.
+//!
+//! Every transaction is tracked in the database's
+//! [`ActiveTxnRegistry`](crate::registry::ActiveTxnRegistry) from `begin`
+//! until commit, abort, or drop; the registry's min-active-start-ts
+//! watermark keeps garbage collection and change-log eviction from
+//! reclaiming history the transaction still needs.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -109,12 +117,24 @@ pub struct ReadSummary {
 
 /// An active transaction handle.
 ///
-/// Dropping an uncommitted transaction aborts it implicitly (its buffered
-/// writes are simply discarded).
+/// Dropping an uncommitted transaction aborts it implicitly: its buffered
+/// writes are discarded and it is removed from the active-transaction
+/// registry (releasing its pin on the GC watermark).
 #[derive(Debug)]
 pub struct Transaction {
     db: Database,
     state: Option<TxnState>,
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        // Commit hands the state (and the deregistration duty) to the
+        // database; anything else — explicit abort or an implicit drop —
+        // deregisters here.
+        if let Some(state) = self.state.take() {
+            self.db.registry().deregister(state.id);
+        }
+    }
 }
 
 impl Transaction {
@@ -411,10 +431,9 @@ impl Transaction {
         self.db.commit_txn(state)
     }
 
-    /// Aborts the transaction, discarding all buffered writes.
-    pub fn abort(mut self) {
-        self.state = None;
-    }
+    /// Aborts the transaction, discarding all buffered writes and
+    /// deregistering it from the active-transaction registry (via `Drop`).
+    pub fn abort(self) {}
 }
 
 #[cfg(test)]

@@ -9,8 +9,9 @@
 //! * a property test drives an identical, randomly generated interleaved
 //!   schedule against two databases — one forced onto the full-scan path —
 //!   and requires identical commit outcomes and identical final states,
-//!   including schedules that garbage-collect mid-flight (exercising the
-//!   log-truncation fallback);
+//!   including schedules that truncate history mid-flight, both through
+//!   watermark-clamped GC (validation window survives) and through raw
+//!   change-log truncation (exercising the full-scan fallback);
 //! * a multi-threaded stress test hammers one database with concurrent
 //!   read-modify-write committers and checks the serializability
 //!   invariants the validator exists to protect.
@@ -65,10 +66,14 @@ struct Schedule {
     reads: Vec<Read>,
     writes: Vec<Write>,
     concurrent: Vec<Vec<Write>>,
-    /// Run `gc_before(current_ts)` after this many concurrent commits
-    /// (if in range), truncating the change log inside the pending
-    /// transaction's validation window.
+    /// Truncate history after this many concurrent commits (if in range).
     gc_after: usize,
+    /// How to truncate: `false` runs `gc_before(current_ts)`, which the
+    /// active-transaction watermark clamps at the pending transaction's
+    /// snapshot (its validation window survives); `true` truncates the
+    /// table's change log directly, past the pending snapshot, forcing
+    /// the O(Δ) validator onto the full-scan fallback mid-window.
+    raw_truncate: bool,
 }
 
 fn write_strategy(key_space: i64) -> impl Strategy<Value = Write> {
@@ -98,14 +103,18 @@ fn schedule_strategy() -> impl Strategy<Value = Schedule> {
         prop::collection::vec(write_strategy(key_space), 0..3),
         prop::collection::vec(prop::collection::vec(write_strategy(key_space), 1..4), 0..8),
         0usize..10,
+        prop_oneof![Just(false), Just(true)],
     )
-        .prop_map(|(history, reads, writes, concurrent, gc_after)| Schedule {
-            history,
-            reads,
-            writes,
-            concurrent,
-            gc_after,
-        })
+        .prop_map(
+            |(history, reads, writes, concurrent, gc_after, raw_truncate)| Schedule {
+                history,
+                reads,
+                writes,
+                concurrent,
+                gc_after,
+                raw_truncate,
+            },
+        )
 }
 
 /// Applies one committed write-set transaction (upsert semantics).
@@ -188,9 +197,20 @@ fn run_schedule(db: &Database, schedule: &Schedule) -> (Outcome, BTreeMap<i64, i
     for (i, writes) in schedule.concurrent.iter().enumerate() {
         commit_writes(db, writes).unwrap();
         if i + 1 == schedule.gc_after {
-            // Truncate version history and the change log mid-window: the
-            // O(Δ) validator must detect the truncation and fall back.
-            db.gc_before(db.current_ts());
+            if schedule.raw_truncate {
+                // Cut the change log (versions untouched) past the pending
+                // snapshot: the O(Δ) validator must detect the truncation
+                // and fall back to the full version scan.
+                db.table("kv")
+                    .unwrap()
+                    .changelog()
+                    .truncate_before(db.current_ts());
+            } else {
+                // GC request at the current clock; the active-transaction
+                // watermark clamps it at the pending snapshot, so the
+                // validation window survives and the fast path stays on.
+                db.gc_before(db.current_ts());
+            }
         }
     }
 

@@ -3,21 +3,27 @@
 # perf-trajectory artifact (BENCH_PR<N>.json).
 #
 # Usage:
-#   scripts/bench.sh                  # writes BENCH_PR1.json
-#   scripts/bench.sh BENCH_PR2.json   # explicit output name
-#   BENCH_FILTER=commit_validation scripts/bench.sh   # one bench target
+#   scripts/bench.sh                  # writes BENCH_PR2.json (current PR)
+#   scripts/bench.sh BENCH_PR3.json   # explicit output name
+#   BENCH_FILTER=commit_validation scripts/bench.sh            # one target
+#   BENCH_FILTER="commit_validation commit_sharding" scripts/bench.sh
 #   TROD_BENCH_MS=100 scripts/bench.sh                # faster, noisier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 # Absolute path: cargo runs bench binaries from the package directory.
 jsonl="$PWD/target/bench-results.jsonl"
 rm -f "$jsonl"
 mkdir -p target
 
 if [[ -n "${BENCH_FILTER:-}" ]]; then
-  TROD_BENCH_JSON="$jsonl" cargo bench -p trod-bench --bench "$BENCH_FILTER"
+  # BENCH_FILTER may name several bench targets, space-separated.
+  bench_flags=()
+  for target in $BENCH_FILTER; do
+    bench_flags+=(--bench "$target")
+  done
+  TROD_BENCH_JSON="$jsonl" cargo bench -p trod-bench "${bench_flags[@]}"
 else
   TROD_BENCH_JSON="$jsonl" cargo bench -p trod-bench
 fi

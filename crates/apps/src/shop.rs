@@ -20,6 +20,22 @@ pub const INVENTORY_TABLE: &str = "inventory";
 pub const ORDERS_TABLE: &str = "orders";
 /// Payments charged for orders.
 pub const PAYMENTS_TABLE: &str = "payments";
+/// Key-value namespace holding per-customer cart sessions (used when the
+/// runtime has a key-value store bound; see [`shop_kv`]). Checkout then
+/// clears the customer's cart in the *same* atomic commit that confirms
+/// the order — the paper's §5 polyglot-transaction shape.
+pub const CARTS_NAMESPACE: &str = "carts";
+
+/// Creates the key-value store the shop uses for cart sessions. Bind it
+/// with `Runtime::builder(db, registry()).kv(shop_kv())` to turn the
+/// checkout workflow polyglot; without it the handlers skip the cart
+/// writes and behave exactly as before.
+pub fn shop_kv() -> trod_kv::KvStore {
+    let kv = trod_kv::KvStore::new();
+    kv.create_namespace(CARTS_NAMESPACE)
+        .expect("fresh key-value store");
+    kv
+}
 
 /// Creates the shop schema in a fresh database.
 pub fn shop_db() -> Database {
@@ -149,16 +165,39 @@ pub fn registry() -> HandlerRegistry {
         Ok(Value::Bool(true))
     });
 
+    // Cart sessions live in the key-value store (when one is bound):
+    // the paper's §5 shape, where per-user session state sits outside
+    // the relational database but still commits transactionally. Without
+    // a bound store the cart write is skipped (returning `false`), like
+    // every other cart touch in this registry.
+    registry.register_fn("addToCart", |ctx, args| {
+        let customer = require_str(args, "customer")?;
+        let item = require_str(args, "item")?;
+        if !ctx.has_kv() {
+            return Ok(Value::Bool(false));
+        }
+        let mut txn = ctx.txn("func:addToCart");
+        txn.kv_put(CARTS_NAMESPACE, &format!("cart:{customer}"), &item)?;
+        txn.commit()?;
+        Ok(Value::Bool(true))
+    });
+
     registry.register_fn("createOrder", |ctx, args| {
         let order_id = require_str(args, "order_id")?;
         let customer = require_str(args, "customer")?;
         let item = require_str(args, "item")?;
         let quantity = require_int(args, "quantity")?;
+        let has_kv = ctx.has_kv();
         let mut txn = ctx.txn("func:createOrder");
         txn.insert(
             ORDERS_TABLE,
-            row![order_id, customer, item, quantity, "confirmed"],
+            row![order_id, customer.clone(), item, quantity, "confirmed"],
         )?;
+        if has_kv {
+            // Confirming the order and clearing the customer's cart is
+            // ONE atomic commit across both stores.
+            txn.kv_delete(CARTS_NAMESPACE, &format!("cart:{customer}"))?;
+        }
         txn.commit()?;
         Ok(Value::Bool(true))
     });
@@ -270,6 +309,40 @@ mod tests {
         assert_eq!(info, Value::Text("alice:item-1:confirmed".into()));
         let count = runtime.must_handle("listOrders", Args::new().with("customer", "alice"));
         assert_eq!(count, Value::Int(1));
+    }
+
+    #[test]
+    fn polyglot_checkout_clears_the_cart_atomically() {
+        let db = shop_db();
+        seed_inventory(&db, 3, 100);
+        let runtime = Runtime::builder(db, registry()).kv(shop_kv()).build();
+
+        runtime.must_handle(
+            "addToCart",
+            Args::new().with("customer", "alice").with("item", "item-1"),
+        );
+        assert_eq!(
+            runtime
+                .kv_store()
+                .unwrap()
+                .get_latest(CARTS_NAMESPACE, "cart:alice")
+                .unwrap(),
+            Some("item-1".into())
+        );
+
+        runtime.must_handle("checkout", checkout_args("O1", "alice", "item-1", 2));
+        // The cart was cleared in the same commit that confirmed the order.
+        assert_eq!(
+            runtime
+                .kv_store()
+                .unwrap()
+                .get_latest(CARTS_NAMESPACE, "cart:alice")
+                .unwrap(),
+            None
+        );
+        // That commit is one aligned-log entry spanning both stores.
+        let aligned = runtime.session().aligned_log();
+        assert!(aligned.iter().any(|c| c.spans_both_stores()));
     }
 
     #[test]

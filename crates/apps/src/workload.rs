@@ -205,8 +205,7 @@ mod tests {
         assert!(checkouts.iter().any(|r| r.is_ok()));
         assert!(checkouts.iter().all(|r| match &r.output {
             Ok(_) => true,
-            Err(trod_runtime::HandlerError::Db(e)) => e.is_retryable(),
-            Err(_) => false,
+            Err(e) => e.is_retryable(),
         }));
     }
 }

@@ -1,0 +1,122 @@
+//! Cross-store commit sharding benchmark: multi-threaded disjoint
+//! commit throughput through the unified (participant-based) commit
+//! coordinator, vs the single-global-lock baseline that `CrossStore`
+//! used to hard-code.
+//!
+//! Two traffic shapes, each at 1/2/4/8 threads:
+//!
+//! * `kv_disjoint` — KV-only transactions, each thread writing its own
+//!   namespace. Before PR 3 every such commit serialized on the
+//!   cross-store manager's global mutex; now each commit takes only its
+//!   `kv:<namespace>` shard lock.
+//! * `mixed_disjoint` — transactions spanning one private table and one
+//!   private namespace per thread: the paper's §5 polyglot shape. The
+//!   footprint is `{table, kv:<ns>}`, locked in sorted order; disjoint
+//!   footprints validate, install and publish concurrently.
+//!
+//! Profiles mirror `commit_sharding`: `in_memory` measures raw CPU cost,
+//! `on_disk` charges each commit the latency model's simulated fsync
+//! (slept off-CPU, after publication, with the footprint locks held) —
+//! the regime where sharding pays: under the global lock the sleeps
+//! serialize, under sharded locks they overlap. The PR 3 acceptance bar
+//! is ≥3× scaling from 1→4 threads for disjoint traffic on `on_disk`.
+//! `set_serial_commit(true)` restores the global-lock behaviour (it
+//! covers participant commits too) as the measurable baseline.
+
+use std::sync::Barrier;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use trod_db::{row, DataType, Database, Schema, StorageProfile};
+use trod_kv::{KvStore, Session};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const COMMITS_PER_THREAD: usize = 32;
+
+fn items_schema() -> Schema {
+    Schema::builder()
+        .column("id", DataType::Int)
+        .column("val", DataType::Int)
+        .primary_key(&["id"])
+        .build()
+        .unwrap()
+}
+
+fn session_with(threads: usize, profile: StorageProfile, serial: bool) -> Session {
+    let db = Database::with_profile(profile);
+    let kv = KvStore::new();
+    for t in 0..threads {
+        db.create_table(format!("items_{t}"), items_schema())
+            .unwrap();
+        kv.create_namespace(&format!("ns_{t}")).unwrap();
+    }
+    db.set_serial_commit(serial);
+    Session::with_kv(db, kv)
+}
+
+/// One round: `threads` threads, each committing `COMMITS_PER_THREAD`
+/// transactions against its own namespace (and, when `mixed`, its own
+/// table too).
+fn run_round(session: &Session, threads: usize, round: usize, mixed: bool) {
+    let barrier = Barrier::new(threads);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let session = session.clone();
+            scope.spawn(move || {
+                let table = format!("items_{t}");
+                let ns = format!("ns_{t}");
+                barrier.wait();
+                for i in 0..COMMITS_PER_THREAD {
+                    let mut txn = session.begin();
+                    if mixed {
+                        let id = (round * COMMITS_PER_THREAD + i) as i64;
+                        txn.insert(&table, row![id, i as i64]).unwrap();
+                    }
+                    txn.kv_put(&ns, &format!("k{}", i % 64), &i.to_string())
+                        .unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_cross_commit(c: &mut Criterion) {
+    for (shape, mixed) in [("kv_disjoint", false), ("mixed_disjoint", true)] {
+        let mut group = c.benchmark_group(format!("cross_commit/{shape}"));
+        for (profile_name, profile) in [
+            ("in_memory", StorageProfile::InMemory),
+            ("on_disk", StorageProfile::on_disk_default()),
+        ] {
+            for &threads in &THREAD_COUNTS {
+                for (mode, serial) in [("sharded", false), ("global_lock", true)] {
+                    let session = session_with(threads, profile, serial);
+                    let mut round = 0usize;
+                    group.throughput(Throughput::Elements((threads * COMMITS_PER_THREAD) as u64));
+                    group.bench_function(
+                        BenchmarkId::new(
+                            format!("{profile_name}/{mode}"),
+                            format!("threads_{threads}"),
+                        ),
+                        |b| {
+                            b.iter(|| {
+                                round += 1;
+                                run_round(&session, threads, round, mixed);
+                            })
+                        },
+                    );
+                    // Trim accumulated version history between configs.
+                    session
+                        .database()
+                        .gc_before(session.database().current_ts());
+                    session.kv().gc_before(session.kv().current_ts());
+                }
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_cross_commit);
+criterion_main!(benches);

@@ -48,6 +48,7 @@ fn provenance_with_events(events: usize) -> ProvenanceStore {
             reads: vec![ReadTrace {
                 table: "forum_sub".into(),
                 query: format!("Check if ({user}, {forum}) exists"),
+                read_ts: i as u64,
                 rows: vec![],
             }],
             writes: vec![ChangeRecord::insert(

@@ -47,6 +47,7 @@ fn synthetic_traces(n: usize) -> Vec<TraceEvent> {
                 reads: vec![ReadTrace {
                     table: "forum_sub".into(),
                     query: format!("Check if ({user}, {forum}) exists"),
+                    read_ts: i as u64,
                     rows: vec![],
                 }],
                 writes: vec![ChangeRecord::insert(

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use trod_db::{Database, DbResult};
+use trod_kv::Session;
 use trod_provenance::ProvenanceStore;
 use trod_query::{QueryResultT, ResultSet};
 use trod_runtime::{HandlerRegistry, Runtime};
@@ -59,6 +60,15 @@ impl Trod {
     /// A shared handle to the production runtime.
     pub fn runtime_arc(&self) -> Arc<Runtime> {
         self.runtime.clone()
+    }
+
+    /// The production session: the unified transaction surface
+    /// (application database, optional key-value store, tracer) every
+    /// debugging layer reads through. This is the single API choke point
+    /// where the aligned history is captured — relational-only, KV-only
+    /// and mixed commits alike.
+    pub fn session(&self) -> &Session {
+        self.runtime.session()
     }
 
     /// The production application database.

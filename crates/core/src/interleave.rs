@@ -198,6 +198,7 @@ mod tests {
         ReadTrace {
             table: table.into(),
             query: format!("Scan {table} WHERE TRUE"),
+            read_ts: 0,
             rows: vec![],
         }
     }

@@ -419,9 +419,10 @@ impl std::fmt::Debug for Quality<'_> {
 mod tests {
     use super::*;
     use trod_db::{row, DataType, Schema};
-    use trod_trace::{TracedDatabase, Tracer, TxnContext};
+    use trod_kv::Session;
+    use trod_trace::{Tracer, TxnContext};
 
-    fn setup() -> (Database, ProvenanceStore, TracedDatabase) {
+    fn setup() -> (Database, ProvenanceStore, Session) {
         let db = Database::new();
         db.create_table(
             "forum_sub",
@@ -455,22 +456,22 @@ mod tests {
         )
         .unwrap();
         let store = ProvenanceStore::for_application(&db).unwrap();
-        let traced = TracedDatabase::new(db.clone(), Tracer::new());
+        let traced = Session::builder(db.clone()).tracer(Tracer::new()).build();
         (db, store, traced)
     }
 
-    fn flush(traced: &TracedDatabase, store: &ProvenanceStore) {
-        store.ingest(traced.tracer().drain());
+    fn flush(traced: &Session, store: &ProvenanceStore) {
+        store.ingest(traced.tracer().unwrap().drain());
     }
 
     #[test]
     fn unique_rule_finds_duplicates_and_blames_the_writers() {
         let (db, store, traced) = setup();
-        let mut txn = traced.begin(TxnContext::new("R1", "subscribeUser", "func:DB.insert"));
+        let mut txn = traced.begin_traced(TxnContext::new("R1", "subscribeUser", "func:DB.insert"));
         txn.insert("forum_sub", row![1i64, "U1", "F2", Value::Null])
             .unwrap();
         txn.commit().unwrap();
-        let mut txn = traced.begin(TxnContext::new("R2", "subscribeUser", "func:DB.insert"));
+        let mut txn = traced.begin_traced(TxnContext::new("R2", "subscribeUser", "func:DB.insert"));
         txn.insert("forum_sub", row![2i64, "U1", "F2", Value::Null])
             .unwrap();
         txn.commit().unwrap();
@@ -492,7 +493,7 @@ mod tests {
     #[test]
     fn not_null_and_range_rules() {
         let (db, store, traced) = setup();
-        let mut txn = traced.begin(TxnContext::new("R1", "h", "f"));
+        let mut txn = traced.begin_traced(TxnContext::new("R1", "h", "f"));
         txn.insert("forum_sub", row![1i64, "U1", "F2", Value::Null])
             .unwrap();
         txn.insert("inventory", row!["widget", -3i64]).unwrap();
@@ -516,7 +517,7 @@ mod tests {
     #[test]
     fn foreign_key_rule_detects_dangling_references() {
         let (db, store, traced) = setup();
-        let mut txn = traced.begin(TxnContext::new("R1", "h", "f"));
+        let mut txn = traced.begin_traced(TxnContext::new("R1", "h", "f"));
         txn.insert("forums", row!["F1"]).unwrap();
         txn.insert("forum_sub", row![1i64, "U1", "F1", Value::Null])
             .unwrap();
@@ -541,7 +542,7 @@ mod tests {
     #[test]
     fn forbidden_rule_and_clean_report() {
         let (db, store, traced) = setup();
-        let mut txn = traced.begin(TxnContext::new("R1", "h", "f"));
+        let mut txn = traced.begin_traced(TxnContext::new("R1", "h", "f"));
         txn.insert("inventory", row!["widget", 5i64]).unwrap();
         txn.commit().unwrap();
         flush(&traced, &store);
@@ -557,7 +558,7 @@ mod tests {
         assert!(clean.is_clean());
         assert_eq!(clean.rules_checked, 1);
 
-        let mut txn = traced.begin(TxnContext::new("R2", "refund", "f"));
+        let mut txn = traced.begin_traced(TxnContext::new("R2", "refund", "f"));
         txn.update("inventory", &Key::single("widget"), row!["widget", -1i64])
             .unwrap();
         txn.commit().unwrap();

@@ -285,9 +285,10 @@ fn dedup_tables(iter: impl Iterator<Item = String>) -> Vec<String> {
 mod tests {
     use super::*;
     use trod_db::{row, DataType, IsolationLevel, Predicate, Schema, Value};
-    use trod_trace::{TracedDatabase, Tracer, TxnContext};
+    use trod_kv::{Session, TxnOptions};
+    use trod_trace::{Tracer, TxnContext};
 
-    fn oncall_db() -> (Database, ProvenanceStore, TracedDatabase) {
+    fn oncall_db() -> (Database, ProvenanceStore, Session) {
         let db = Database::new();
         db.create_table(
             "oncall",
@@ -300,12 +301,12 @@ mod tests {
         )
         .unwrap();
         let store = ProvenanceStore::for_application(&db).unwrap();
-        let traced = TracedDatabase::new(db.clone(), Tracer::new());
+        let traced = Session::builder(db.clone()).tracer(Tracer::new()).build();
         (db, store, traced)
     }
 
-    fn seed(traced: &TracedDatabase) {
-        let mut setup = traced.begin(TxnContext::new("R0", "setup", "f"));
+    fn seed(traced: &Session) {
+        let mut setup = traced.begin_traced(TxnContext::new("R0", "setup", "f"));
         setup.insert("oncall", row!["alice", true]).unwrap();
         setup.insert("oncall", row!["bob", true]).unwrap();
         setup.commit().unwrap();
@@ -319,12 +320,14 @@ mod tests {
         // Two concurrent "go off call if someone else is still on call"
         // requests, run under snapshot isolation so both commit.
         let mut t1 = traced.begin_with(
-            TxnContext::new("R1", "goOffCall", "f"),
-            IsolationLevel::SnapshotIsolation,
+            TxnOptions::new()
+                .traced(TxnContext::new("R1", "goOffCall", "f"))
+                .isolation(IsolationLevel::SnapshotIsolation),
         );
         let mut t2 = traced.begin_with(
-            TxnContext::new("R2", "goOffCall", "f"),
-            IsolationLevel::SnapshotIsolation,
+            TxnOptions::new()
+                .traced(TxnContext::new("R2", "goOffCall", "f"))
+                .isolation(IsolationLevel::SnapshotIsolation),
         );
         let on1 = t1.scan("oncall", &Predicate::eq("on_call", true)).unwrap();
         assert_eq!(on1.len(), 2);
@@ -336,7 +339,7 @@ mod tests {
             .unwrap();
         t1.commit().unwrap();
         t2.commit().unwrap();
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let reenactor = Reenactor::new(&store, &db);
         let anomalies = reenactor.audit_anomalies();
@@ -357,12 +360,14 @@ mod tests {
         seed(&traced);
 
         let mut t1 = traced.begin_with(
-            TxnContext::new("R1", "toggle", "f"),
-            IsolationLevel::ReadCommitted,
+            TxnOptions::new()
+                .traced(TxnContext::new("R1", "toggle", "f"))
+                .isolation(IsolationLevel::ReadCommitted),
         );
         let mut t2 = traced.begin_with(
-            TxnContext::new("R2", "toggle", "f"),
-            IsolationLevel::ReadCommitted,
+            TxnOptions::new()
+                .traced(TxnContext::new("R2", "toggle", "f"))
+                .isolation(IsolationLevel::ReadCommitted),
         );
         t1.update("oncall", &Key::single("alice"), row!["alice", false])
             .unwrap();
@@ -370,7 +375,7 @@ mod tests {
             .unwrap();
         t1.commit().unwrap();
         t2.commit().unwrap();
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let reenactor = Reenactor::new(&store, &db);
         let anomalies = reenactor.audit_anomalies();
@@ -384,12 +389,12 @@ mod tests {
         let (db, store, traced) = oncall_db();
         seed(&traced);
         for (req, value) in [("R1", false), ("R2", true)] {
-            let mut t = traced.begin(TxnContext::new(req, "toggle", "f"));
+            let mut t = traced.begin_traced(TxnContext::new(req, "toggle", "f"));
             t.update("oncall", &Key::single("alice"), row!["alice", value])
                 .unwrap();
             t.commit().unwrap();
         }
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
         let reenactor = Reenactor::new(&store, &db);
         assert!(reenactor.audit_anomalies().is_empty());
     }
@@ -399,13 +404,14 @@ mod tests {
         let (db, store, traced) = oncall_db();
         seed(&traced);
         let mut t1 = traced.begin_with(
-            TxnContext::new("R1", "reader", "f"),
-            IsolationLevel::SnapshotIsolation,
+            TxnOptions::new()
+                .traced(TxnContext::new("R1", "reader", "f"))
+                .isolation(IsolationLevel::SnapshotIsolation),
         );
         let rows = t1.scan("oncall", &Predicate::True).unwrap();
         assert_eq!(rows.len(), 2);
         t1.commit().unwrap();
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let reenactor = Reenactor::new(&store, &db);
         let reports = reenactor.reenact_request("R1").unwrap();
@@ -425,10 +431,11 @@ mod tests {
         // value — legal under read committed, but divergent from its
         // snapshot.
         let mut reader = traced.begin_with(
-            TxnContext::new("R1", "reader", "f"),
-            IsolationLevel::ReadCommitted,
+            TxnOptions::new()
+                .traced(TxnContext::new("R1", "reader", "f"))
+                .isolation(IsolationLevel::ReadCommitted),
         );
-        let mut writer = traced.begin(TxnContext::new("R2", "writer", "f"));
+        let mut writer = traced.begin_traced(TxnContext::new("R2", "writer", "f"));
         writer
             .update("oncall", &Key::single("alice"), row!["alice", false])
             .unwrap();
@@ -439,7 +446,7 @@ mod tests {
             .unwrap();
         assert_eq!(seen.get(1), Some(&Value::Bool(false)));
         reader.commit().unwrap();
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let reenactor = Reenactor::new(&store, &db);
         let reports = reenactor.reenact_request("R1").unwrap();

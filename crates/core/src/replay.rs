@@ -171,12 +171,23 @@ impl ReplaySession {
         let mut steps = Vec::with_capacity(committed.len());
         let mut watermark: Ts = base_ts;
         for txn in committed {
+            // Under snapshot isolation and serializable every read was
+            // served at the snapshot; under read committed a read can
+            // observe commits up to its own recorded `read_ts`, so the
+            // step's injection horizon is the latest point the
+            // transaction actually observed (reenactment-style replay of
+            // weak-isolation histories).
+            let horizon = txn
+                .reads
+                .iter()
+                .map(|r| r.read_ts)
+                .fold(txn.snapshot_ts, Ts::max);
             let injected: Vec<TxnTrace> = provenance
-                .txns_between(watermark, txn.snapshot_ts)
+                .txns_between(watermark, horizon)
                 .into_iter()
                 .filter(|other| other.ctx.req_id != req_id)
                 .collect();
-            watermark = watermark.max(txn.snapshot_ts);
+            watermark = watermark.max(horizon);
             let partial_data = provenance.is_redacted(txn.txn_id)
                 || injected.iter().any(|t| provenance.is_redacted(t.txn_id));
             steps.push(ReplayStep {
@@ -232,19 +243,37 @@ impl ReplaySession {
         let step = self.steps[self.position].clone();
         self.position += 1;
 
+        // Interleave injection with the fidelity checks: before each read
+        // is verified, apply the concurrent transactions that committed at
+        // or below that read's recorded timestamp — no earlier (the read
+        // could not have seen them removed/changed) and no later (the
+        // read could not have seen them yet). Under snapshot isolation
+        // and serializable every read_ts equals the snapshot and this
+        // degenerates to "inject everything, then check", the original
+        // behaviour; under read committed it reproduces exactly the
+        // states the transaction's reads actually observed.
         let mut writes_skipped = 0usize;
         let mut injected = Vec::with_capacity(step.injected.len());
-        for other in &step.injected {
-            writes_skipped +=
-                apply_tolerating_redaction(&self.dev_db, &other.writes, step.partial_data)?;
-            injected.push((other.txn_id, other.ctx.req_id.clone()));
-        }
-
-        // Fidelity check: every row the original transaction read must be
-        // present, with identical contents, in the development database.
+        let mut pending = step.injected.iter().peekable();
         let mut reads_checked = 0;
         let mut mismatches = Vec::new();
         for read in &step.txn.reads {
+            while let Some(other) = pending.peek() {
+                if other.commit_ts > read.read_ts {
+                    break;
+                }
+                let other = pending.next().expect("peeked");
+                writes_skipped +=
+                    apply_tolerating_redaction(&self.dev_db, &other.writes, step.partial_data)?;
+                injected.push((other.txn_id, other.ctx.req_id.clone()));
+            }
+            // Fidelity check: every row the original transaction read must
+            // be present, with identical contents, in the development
+            // database. Key-value reads are not checkable against the
+            // relational fork (see `is_kv_virtual_table`).
+            if is_kv_virtual_table(&read.table) {
+                continue;
+            }
             for (key, original_row) in &read.rows {
                 reads_checked += 1;
                 match self.dev_db.get_latest(&read.table, key)? {
@@ -259,6 +288,14 @@ impl ReplaySession {
                     )),
                 }
             }
+        }
+        // Inject whatever the transaction's reads never reached (e.g.
+        // write-only transactions) so the development database still ends
+        // the step at the state the transaction committed against.
+        for other in pending {
+            writes_skipped +=
+                apply_tolerating_redaction(&self.dev_db, &other.writes, step.partial_data)?;
+            injected.push((other.txn_id, other.ctx.req_id.clone()));
         }
 
         let own_skipped =
@@ -295,22 +332,51 @@ impl ReplaySession {
     }
 }
 
-/// Applies CDC records to the development database. On steps that run on
-/// redacted provenance (`tolerate = true`), records whose row images were
-/// erased cannot be re-applied; they are skipped and counted instead of
-/// failing the whole replay — this is the "debugging from partial data"
-/// behaviour of the paper's §5. Returns the number of skipped records.
+/// True for reads/writes against the virtual `kv:<namespace>` tables of
+/// the unified transaction surface. The development database is a
+/// relational fork; key-value state is not reconstructed by replay (the
+/// relational side of a polyglot request replays normally, and the kv
+/// records remain visible in the step's trace) — see the ROADMAP.
+fn is_kv_virtual_table(table: &str) -> bool {
+    table.starts_with("kv:")
+}
+
+/// Applies CDC records to the development database. Records against
+/// `kv:<namespace>` virtual tables are skipped and counted (see
+/// [`is_kv_virtual_table`]). On steps that run on redacted provenance
+/// (`tolerate = true`), records whose row images were erased cannot be
+/// re-applied; they are skipped and counted instead of failing the whole
+/// replay — this is the "debugging from partial data" behaviour of the
+/// paper's §5. Returns the number of skipped records.
 fn apply_tolerating_redaction(
     dev_db: &Database,
     writes: &[trod_db::ChangeRecord],
     tolerate: bool,
 ) -> Result<usize, ReplayError> {
-    if !tolerate {
+    let kv_records = writes
+        .iter()
+        .filter(|c| is_kv_virtual_table(&c.table))
+        .count();
+    if !tolerate && kv_records == 0 {
+        // The common (purely relational, unredacted) case: apply the
+        // whole batch without copying a record.
         dev_db.apply_changes(writes)?;
         return Ok(0);
     }
-    let mut skipped = 0;
+    let mut skipped = kv_records;
+    if !tolerate {
+        let relational: Vec<_> = writes
+            .iter()
+            .filter(|c| !is_kv_virtual_table(&c.table))
+            .cloned()
+            .collect();
+        dev_db.apply_changes(&relational)?;
+        return Ok(skipped);
+    }
     for change in writes {
+        if is_kv_virtual_table(&change.table) {
+            continue;
+        }
         if dev_db.apply_changes(std::slice::from_ref(change)).is_err() {
             skipped += 1;
         }

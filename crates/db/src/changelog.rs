@@ -50,12 +50,22 @@ use crate::row::{Key, Row};
 /// Default per-table ring capacity. 64k entries comfortably covers the
 /// write delta of any realistically-sized validation window. The capacity
 /// is a soft bound: entries pinned by the active-transaction watermark are
-/// never evicted (see the module docs), and if eviction must skip pinned
-/// entries the ring overshoots until they unpin. Should the log ever be
-/// truncated inside a validation window (only possible via the raw
+/// not normally evicted (see the module docs), and if eviction must skip
+/// pinned entries the ring overshoots — up to [`DEFAULT_MAX_OVERSHOOT`] —
+/// until they unpin. Should the log ever be truncated inside a validation
+/// window (via the overshoot cap or the raw
 /// [`ChangeLog::truncate_before`]), validation degrades to the (correct,
 /// slower) full-scan path rather than failing.
 pub const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+/// Default bound on how far the ring may overshoot its capacity while
+/// entries are pinned by a long-lived transaction. Once the overshoot is
+/// exhausted, pinned entries are evicted anyway: the pathological pinner
+/// (and only transactions at least as old) flips to the full-scan
+/// validation fallback instead of growing the ring without limit —
+/// Postgres-style bloat, but bounded. Equal to the capacity, so a ring
+/// holds at most 2× its configured entries.
+pub const DEFAULT_MAX_OVERSHOOT: usize = DEFAULT_CAPACITY;
 
 /// Error returned when a validation window reaches below the log's
 /// low-water mark; the caller must use the full version scan instead.
@@ -86,6 +96,7 @@ struct ChangeLogInner {
 pub struct ChangeLog {
     inner: RwLock<ChangeLogInner>,
     capacity: usize,
+    max_overshoot: usize,
 }
 
 impl Default for ChangeLog {
@@ -96,12 +107,20 @@ impl Default for ChangeLog {
 
 impl ChangeLog {
     pub fn with_capacity(capacity: usize) -> Self {
+        ChangeLog::with_capacity_and_overshoot(capacity, capacity)
+    }
+
+    /// A ring of `capacity` entries that may hold up to
+    /// `capacity + max_overshoot` entries while a long-lived transaction
+    /// pins its tail (see [`DEFAULT_MAX_OVERSHOOT`]).
+    pub fn with_capacity_and_overshoot(capacity: usize, max_overshoot: usize) -> Self {
         ChangeLog {
             inner: RwLock::new(ChangeLogInner {
                 entries: VecDeque::new(),
                 low_water: 0,
             }),
             capacity: capacity.max(1),
+            max_overshoot,
         }
     }
 
@@ -110,15 +129,19 @@ impl ChangeLog {
     /// happens under that table's commit lock, and commit timestamps are
     /// allocated while the lock is held.
     ///
-    /// `keep_after` is the active-transaction watermark
-    /// ([`crate::registry::ActiveTxnRegistry::watermark`]): when the ring
-    /// is at capacity, only entries with `commit_ts <= keep_after` are
-    /// evicted. Entries above the watermark sit inside some active
-    /// transaction's validation window and are pinned — the ring
-    /// overshoots its capacity rather than raising the low-water mark past
-    /// an active transaction. Pass [`crate::registry::NO_ACTIVE_TXN`]
-    /// (`Ts::MAX`) when nothing is pinned.
-    pub fn append(&self, entry: ChangeEntry, keep_after: Ts) {
+    /// `horizon` yields the eviction horizon
+    /// ([`crate::registry::ActiveTxnRegistry::eviction_horizon`]: the
+    /// active-transaction watermark clamped to the published clock, both
+    /// read under the registry lock so a concurrent `begin` cannot slip
+    /// underneath). It is only invoked when the ring is at capacity.
+    /// Entries above the horizon sit inside some active (or
+    /// about-to-begin) transaction's validation window and are pinned —
+    /// the ring overshoots its capacity rather than raising the low-water
+    /// mark past them. The overshoot itself is bounded: past
+    /// `capacity + max_overshoot` entries, pinned entries are evicted
+    /// anyway and the pathological pinner degrades to full-scan
+    /// validation. Pass `|| Ts::MAX` when nothing can be pinned.
+    pub fn append(&self, entry: ChangeEntry, horizon: impl FnOnce() -> Ts) {
         let mut inner = self.inner.write();
         debug_assert!(
             inner
@@ -127,15 +150,28 @@ impl ChangeLog {
                 .is_none_or(|e| e.commit_ts <= entry.commit_ts),
             "change log must be appended in commit order"
         );
-        while inner.entries.len() >= self.capacity {
-            match inner.entries.front() {
-                Some(front) if front.commit_ts <= keep_after => {
-                    let evicted = inner.entries.pop_front().expect("front exists");
-                    inner.low_water = inner.low_water.max(evicted.commit_ts);
+        if inner.entries.len() >= self.capacity {
+            let keep_after = horizon();
+            // Evict in a batch, down to `capacity - batch` entries:
+            // computing the horizon takes the (database-global) registry
+            // lock, so at steady state one computation covers the next
+            // `batch` appends instead of locking on every install.
+            let batch = (self.capacity / 16).max(1);
+            let floor = self.capacity - batch;
+            while inner.entries.len() > floor {
+                let front_ts = inner.entries.front().expect("non-empty").commit_ts;
+                let pinned = front_ts > keep_after;
+                if pinned && inner.entries.len() < self.capacity + self.max_overshoot {
+                    // Pinned by an active transaction and within the
+                    // overshoot budget: keep everything.
+                    break;
                 }
-                // Oldest entry is pinned by an active transaction: keep
-                // everything and overshoot the capacity.
-                _ => break,
+                // Evictable — or pinned but past the overshoot cap, in
+                // which case the pinner flips to the full-scan fallback
+                // (low_water rises past its window) instead of the ring
+                // growing without bound.
+                inner.entries.pop_front();
+                inner.low_water = inner.low_water.max(front_ts);
             }
         }
         inner.entries.push_back(entry);
@@ -209,7 +245,7 @@ mod tests {
 
     /// Append with nothing pinned (the pre-watermark behaviour).
     fn append_unpinned(log: &ChangeLog, e: ChangeEntry) {
-        log.append(e, NO_ACTIVE_TXN);
+        log.append(e, || NO_ACTIVE_TXN);
     }
 
     fn collect_after(log: &ChangeLog, ts: Ts) -> Result<Vec<Ts>, LogTruncated> {
@@ -299,7 +335,7 @@ mod tests {
         // pinned. Appends evict only the prefix at or below the watermark,
         // then overshoot the capacity.
         for ts in 5..=8 {
-            log.append(entry(ts, ts as i64), 2);
+            log.append(entry(ts, ts as i64), || 2);
         }
         assert_eq!(log.low_water(), 2, "low water must not pass the watermark");
         assert_eq!(log.len(), 6, "pinned entries overshoot the capacity");
@@ -312,6 +348,42 @@ mod tests {
         assert_eq!(log.len(), 4);
         assert_eq!(log.low_water(), 5);
         assert!(collect_after(&log, 2).is_err(), "window now truncated");
+    }
+
+    #[test]
+    fn overshoot_is_bounded_and_flips_the_pinner_to_the_fallback() {
+        // Capacity 4, overshoot budget 4: a transaction pinned at ts 0
+        // (its window is all of (0, now]) can bloat the ring to at most
+        // 8 entries.
+        let log = ChangeLog::with_capacity_and_overshoot(4, 4);
+        for ts in 1..=8 {
+            log.append(entry(ts, ts as i64), || 0);
+        }
+        assert_eq!(log.len(), 8, "within the overshoot budget nothing evicts");
+        assert_eq!(log.low_water(), 0);
+        assert_eq!(collect_after(&log, 0).unwrap(), (1..=8).collect::<Vec<_>>());
+
+        // Past the budget, pinned entries are evicted anyway; the ring
+        // saturates at capacity + overshoot and the pinner's window is no
+        // longer answerable (it falls back to the full scan).
+        for ts in 9..=12 {
+            log.append(entry(ts, ts as i64), || 0);
+        }
+        assert_eq!(log.len(), 8, "ring saturates at capacity + overshoot");
+        assert!(log.low_water() >= 1, "the pathological pinner was cut");
+        assert!(collect_after(&log, 0).is_err(), "pinner uses the fallback");
+        // A transaction that began after the cut is still served by the log.
+        let lw = log.low_water();
+        assert!(collect_after(&log, lw).is_ok());
+    }
+
+    #[test]
+    fn horizon_is_not_computed_when_under_capacity() {
+        let log = ChangeLog::with_capacity(8);
+        for ts in 1..=4 {
+            log.append(entry(ts, ts as i64), || panic!("horizon must be lazy"));
+        }
+        assert_eq!(log.len(), 4);
     }
 
     #[test]

@@ -39,18 +39,41 @@
 //! so the next committer on any overlapping table starts from a fully
 //! published state.
 //!
+//! **Commit participants.** The protocol is not relational-only: a commit
+//! may carry [`CommitParticipant`](crate::commit::CommitParticipant)s —
+//! other stores (e.g. `trod-kv` namespaces) whose buffered reads and
+//! writes join the same commit. Participants contribute *resources*
+//! (globally-unique lock names such as `kv:<namespace>`) that are merged
+//! with the relational footprint and locked in one sorted order, so a
+//! polyglot commit is deadlock-free and commits over disjoint resources —
+//! different tables, different namespaces, or any mix — proceed fully
+//! concurrently. Participant validation runs under the merged footprint
+//! locks before the timestamp is claimed (any store can still veto, and
+//! aborts are side-effect-free everywhere); participant installation runs
+//! inside the ordered publication window and its change records are
+//! appended to the same [`TxnLog`] entry as the relational changes. The
+//! transaction log is therefore *aligned by construction*: one commit,
+//! one timestamp, one entry spanning every store (paper §5) — there is no
+//! separate cross-store commit path, and no cross-store global lock.
+//!
 //! **Watermark semantics.** Every transaction registers `(txn_id,
 //! start_ts)` in the [`ActiveTxnRegistry`] at `begin` and deregisters at
 //! commit/abort/drop. The registry's `min_active_start_ts()` watermark
 //! bounds history reclamation: [`Database::gc_before`] clamps its horizon
-//! to it, and change-log ring eviction refuses to evict entries above it
-//! — so an active transaction's snapshot stays readable and its O(Δ)
-//! validation window is never truncated out from under it.
+//! to it, and change-log ring eviction refuses to evict entries above
+//! `min(watermark, published clock)` — both read under the registry lock,
+//! so an active transaction's snapshot stays readable and its O(Δ)
+//! validation window is never truncated out from under it, even by an
+//! append racing with `begin`. Ring bloat under a long-lived pinner is
+//! bounded by the ring's overshoot cap (see [`crate::changelog`]): a
+//! pathological pinner degrades to full-scan validation instead of
+//! growing the ring without limit.
 //!
 //! [`Database::set_serial_commit`] restores the old single-global-lock
-//! behaviour (on top of the sharded locks) as a measurable baseline, the
-//! same way [`Database::set_full_scan_validation`] exposes the O(total
-//! versions) validation path.
+//! behaviour (on top of the sharded locks, and covering participants too)
+//! as a measurable baseline, the same way
+//! [`Database::set_full_scan_validation`] exposes the O(total versions)
+//! validation path.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,7 +82,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::cdc::{ChangeOp, ChangeRecord};
-use crate::error::{DbError, DbResult};
+use crate::commit::CommitParticipant;
+use crate::error::{DbError, DbResult, TrodError, TrodResult};
 use crate::latency::{LatencyModel, StorageProfile};
 use crate::log::{CommittedTxn, TxnId, TxnLog};
 use crate::mvcc::Ts;
@@ -85,8 +109,9 @@ struct DbInner {
     /// Publication clock: the highest commit timestamp whose transaction
     /// is fully installed. Readers resolve visibility against this; 0
     /// means "nothing committed yet". Invariant: `clock <= ts_alloc`,
-    /// equal whenever no commit is mid-flight.
-    clock: AtomicU64,
+    /// equal whenever no commit is mid-flight. Shared (`Arc`) with every
+    /// [`TableStore`] so change-log ring eviction can clamp to it.
+    clock: Arc<AtomicU64>,
     /// Commit timestamp allocator: the highest timestamp handed to any
     /// commit. Claimed (under the footprint locks) only after a commit
     /// can no longer fail, so every allocated timestamp is published.
@@ -157,7 +182,7 @@ impl Database {
         Database {
             inner: Arc::new(DbInner {
                 tables: RwLock::new(BTreeMap::new()),
-                clock: AtomicU64::new(0),
+                clock: Arc::new(AtomicU64::new(0)),
                 ts_alloc: AtomicU64::new(0),
                 next_txn_id: AtomicU64::new(1),
                 log: Mutex::new(TxnLog::new()),
@@ -219,14 +244,27 @@ impl Database {
     // Catalog
     // ------------------------------------------------------------------
 
-    /// Creates a table.
+    /// Creates a table. Names starting with `kv:` are rejected: that
+    /// prefix is reserved for key-value participant resources in the
+    /// commit coordinator's lock namespace and the aligned log (a table
+    /// with such a name would silently alias a namespace's commit lock).
     pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> DbResult<()> {
         let name = name.into();
+        if name.starts_with("kv:") {
+            return Err(DbError::Invalid(format!(
+                "table name `{name}` uses the reserved `kv:` resource prefix"
+            )));
+        }
         let mut tables = self.inner.tables.write();
         if tables.contains_key(&name) {
             return Err(DbError::TableExists(name));
         }
-        let store = TableStore::with_registry(name.clone(), schema, self.inner.registry.clone());
+        let store = TableStore::with_registry(
+            name.clone(),
+            schema,
+            self.inner.registry.clone(),
+            Some(self.inner.clock.clone()),
+        );
         tables.insert(name, Arc::new(store));
         Ok(())
     }
@@ -322,18 +360,36 @@ impl Database {
         self.inner.registry.active_count()
     }
 
-    /// Sharded commit protocol (see the module docs): lock the footprint
-    /// in sorted table-name order, validate, run every fallible pre-apply
-    /// check, then allocate the commit timestamp, install, and publish in
-    /// timestamp order. Called from [`Transaction::commit`].
+    /// Sharded commit protocol, zero-participant case. Called from
+    /// [`Transaction::commit`].
     pub(crate) fn commit_txn(&self, state: TxnState) -> DbResult<CommitInfo> {
+        self.commit_coordinated(state, &[]).map_err(|e| match e {
+            TrodError::Relational(e) => e,
+            // Unreachable without participants; keep the error faithful
+            // rather than panicking.
+            TrodError::KeyValue(e) => DbError::Invalid(format!("participant error: {e}")),
+        })
+    }
+
+    /// Sharded, participant-aware commit protocol (see the module docs):
+    /// merge the relational footprint with every participant's resources,
+    /// lock the union in sorted name order, validate all stores, run
+    /// every fallible pre-apply check, then allocate the commit timestamp,
+    /// install, and publish in timestamp order — participant installs
+    /// happen inside the publication window and land in the same log
+    /// entry. Called from [`Transaction::commit_with_participants`].
+    pub(crate) fn commit_coordinated(
+        &self,
+        state: TxnState,
+        participants: &[&dyn CommitParticipant],
+    ) -> TrodResult<CommitInfo> {
         // The transaction stays registered (pinning GC at its snapshot)
         // through validation and install, whatever the outcome.
         let _active = self.inner.registry.deregister_on_drop(state.id);
 
-        if state.is_read_only() {
-            // Read-only transactions need no validation under snapshot
-            // reads and produce no log entry; they serialize at start_ts.
+        if state.is_read_only() && !participants.iter().any(|p| p.has_writes()) {
+            // Read-only on every store: no validation needed under
+            // snapshot reads and no log entry; serialize at start_ts.
             return Ok(CommitInfo {
                 txn_id: state.id,
                 start_ts: state.start_ts,
@@ -342,11 +398,10 @@ impl Database {
             });
         }
 
-        // Phase 1 — resolve and lock the footprint in deterministic
-        // (sorted table-name) order. Written tables always participate;
-        // under serializable isolation the read and scanned tables do
-        // too, so their validated state cannot change between validation
-        // and publication.
+        // Phase 1 — resolve the relational footprint. Written tables
+        // always participate; under serializable isolation the read and
+        // scanned tables do too, so their validated state cannot change
+        // between validation and publication.
         let mut footprint: BTreeMap<&str, Arc<TableStore>> = BTreeMap::new();
         for name in state.writes.keys() {
             footprint.insert(name.as_str(), self.table(name)?);
@@ -363,16 +418,55 @@ impl Database {
                 }
             }
         }
-        let _serial = self.serial_commit().then(|| self.inner.serial_lock.lock());
-        let _guards: Vec<_> = footprint
-            .values()
-            .map(|store| store.commit_lock().lock())
-            .collect();
 
-        // Phase 2 — validate against the now-stable footprint. Every
-        // earlier commit touching these tables published before releasing
-        // its locks, so the published clock covers them all.
+        // Merge the participants' resource locks with the tables' commit
+        // locks into one deterministic global order (sorted by resource
+        // name), making mixed commits deadlock-free; disjoint footprints
+        // never contend. Relational-only commits skip the merge entirely
+        // and lock straight out of the (already-sorted) footprint map, so
+        // the common path allocates no resource names.
+        let resources: Vec<(String, Arc<Mutex<()>>)> = if participants.is_empty() {
+            Vec::new()
+        } else {
+            let mut resources: Vec<(String, Arc<Mutex<()>>)> = footprint
+                .iter()
+                .map(|(name, store)| (name.to_string(), store.commit_lock().clone()))
+                .collect();
+            for participant in participants {
+                for resource in participant.resources() {
+                    if !resources.iter().any(|(name, _)| *name == resource) {
+                        let lock = participant.resource_lock(&resource);
+                        resources.push((resource, lock));
+                    }
+                }
+            }
+            resources.sort_by(|a, b| a.0.cmp(&b.0));
+            resources
+        };
+        let _serial = self.serial_commit().then(|| self.inner.serial_lock.lock());
+        let _guards: Vec<_> = if participants.is_empty() {
+            footprint
+                .values()
+                .map(|store| store.commit_lock().lock())
+                .collect()
+        } else {
+            resources.iter().map(|(_, lock)| lock.lock()).collect()
+        };
+
+        // Phase 2 — validate every store against its now-stable
+        // footprint. Every earlier commit touching these resources
+        // published before releasing its locks, so the published clock
+        // covers them all. No store has installed anything yet, so a veto
+        // from any of them aborts side-effect-free everywhere.
+        // Participants also get the lower bound of the timestamp this
+        // commit would claim, so stores with per-resource timestamp
+        // monotonicity can veto *here* (fallibly) instead of failing in
+        // the publication window (see the trait docs).
         self.validate(&state, &footprint)?;
+        let min_commit_ts = self.inner.ts_alloc.load(Ordering::SeqCst) + 1;
+        for participant in participants {
+            participant.validate(min_commit_ts)?;
+        }
 
         // Phase 3 — remaining fallible pre-apply checks, all BEFORE the
         // first install: re-check insert duplicates against the latest
@@ -389,7 +483,8 @@ impl Database {
                     return Err(DbError::DuplicateKey {
                         table: table_name.clone(),
                         key: key.to_string(),
-                    });
+                    }
+                    .into());
                 }
             }
         }
@@ -442,11 +537,19 @@ impl Database {
         }
 
         // Phase 5 — publish in timestamp order; the footprint locks are
-        // held until after publication. The simulated storage latency is
-        // charged after publishing (it models the durability write that
-        // delays releasing the tables, not visibility), so disjoint
-        // commits overlap their storage latency.
-        self.publish(CommittedTxn {
+        // held until after publication. Participant installs run inside
+        // the publication window (their writes are small and their
+        // validation already ran concurrently), and their change records
+        // land in the same log entry as the relational ones — the aligned
+        // log, by construction. The simulated storage latency is charged
+        // after publishing (it models the durability write that delays
+        // releasing the resources, not visibility), so disjoint commits
+        // overlap their storage latency.
+        self.wait_for_publication_turn(commit_ts);
+        for participant in participants {
+            changes.extend(participant.install(commit_ts));
+        }
+        self.finish_publication(CommittedTxn {
             txn_id: state.id,
             start_ts: state.start_ts,
             commit_ts,
@@ -465,13 +568,46 @@ impl Database {
     /// Publishes a fully installed commit: waits until every earlier
     /// timestamp has published, appends the log entry inside that ordered
     /// window (keeping [`TxnLog`] commit-ordered), then bumps the clock.
-    /// The wait is bounded: predecessors hold all their locks already and
+    fn publish(&self, entry: CommittedTxn) {
+        self.wait_for_publication_turn(entry.commit_ts);
+        self.finish_publication(entry);
+    }
+
+    /// Advances the timestamp allocator (and the publication clock) to at
+    /// least `target` by claiming and publishing empty ticks — no log
+    /// entries, no installs, just clock movement.
+    ///
+    /// This exists for deployments that mix coordinated commits with
+    /// *standalone* store-level commits (e.g. `trod-kv`'s single-store
+    /// transactions), which stamp versions from their own counter: if a
+    /// standalone commit pushes a resource's timestamp past this
+    /// database's allocator, a coordinated commit on that resource would
+    /// be vetoed at validation until the allocator catches up. Calling
+    /// this with the foreign timestamp restores liveness; the veto then
+    /// only fires on a mid-commit race and is retryable.
+    pub fn ensure_ts_at_least(&self, target: Ts) {
+        while self.inner.ts_alloc.load(Ordering::SeqCst) < target {
+            // Claim the next tick (keeping the sequence dense — ordered
+            // publication waits on every predecessor) and publish it
+            // empty.
+            let tick = self.inner.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1;
+            self.wait_for_publication_turn(tick);
+            self.inner.clock.store(tick, Ordering::SeqCst);
+            if self.inner.publish_waiters.load(Ordering::SeqCst) > 0 {
+                let _guard = self.inner.publish_mutex.lock().expect("publish mutex");
+                self.inner.publish_cv.notify_all();
+            }
+        }
+    }
+
+    /// Waits until the publication clock reaches `commit_ts - 1`. The
+    /// wait is bounded: predecessors hold all their locks already and
     /// only have install + publish work left, so they never block on this
     /// commit. Exactly one thread — the one whose timestamp succeeds the
-    /// clock — can be past the wait at a time, so the append/store pair
-    /// needs no extra lock.
-    fn publish(&self, entry: CommittedTxn) {
-        let commit_ts = entry.commit_ts;
+    /// clock — can be past the wait at a time, so everything between this
+    /// call and [`Self::finish_publication`] runs in an exclusive,
+    /// timestamp-ordered window without extra locking.
+    fn wait_for_publication_turn(&self, commit_ts: Ts) {
         let clock = &self.inner.clock;
         if clock.load(Ordering::SeqCst) != commit_ts - 1 {
             // Brief spin for the common case (predecessor mid-publish),
@@ -495,8 +631,15 @@ impl Database {
                 self.inner.publish_waiters.fetch_sub(1, Ordering::SeqCst);
             }
         }
+    }
+
+    /// Appends the log entry and bumps the clock; must only be called by
+    /// the thread whose [`Self::wait_for_publication_turn`] has returned
+    /// for `entry.commit_ts`.
+    fn finish_publication(&self, entry: CommittedTxn) {
+        let commit_ts = entry.commit_ts;
         self.inner.log.lock().append(entry);
-        clock.store(commit_ts, Ordering::SeqCst);
+        self.inner.clock.store(commit_ts, Ordering::SeqCst);
         if self.inner.publish_waiters.load(Ordering::SeqCst) > 0 {
             // Taking the mutex orders this notify after any in-flight
             // waiter's check-then-wait, so the wakeup cannot be missed.

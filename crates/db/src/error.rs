@@ -1,7 +1,15 @@
-//! Error types for the storage engine.
+//! Error types for the storage engine — and the unified [`TrodError`]
+//! spanning every store a transaction can touch.
+//!
+//! [`KvError`] lives here (rather than in `trod-kv`) so that the commit
+//! coordinator ([`crate::commit`]) can report key-value participant
+//! failures without a crate cycle: `trod-kv` depends on `trod-db`, never
+//! the other way around. `trod-kv` re-exports it, so existing imports
+//! keep working.
 
 use std::fmt;
 
+use crate::mvcc::Ts;
 use crate::value::DataType;
 
 /// Errors returned by the storage engine.
@@ -115,6 +123,114 @@ impl DbError {
     }
 }
 
+/// Errors raised by the key-value store side of a transaction.
+///
+/// Defined in `trod-db` (and re-exported by `trod-kv`) so the unified
+/// [`TrodError`] can embed it; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The namespace does not exist.
+    UnknownNamespace(String),
+    /// The namespace already exists.
+    NamespaceExists(String),
+    /// Optimistic validation failed: a key read or written by the
+    /// transaction changed after its snapshot.
+    Conflict { namespace: String, key: String },
+    /// A commit timestamp not newer than the namespace's latest applied
+    /// version was used.
+    StaleCommitTimestamp { given: Ts, latest: Ts },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::UnknownNamespace(ns) => write!(f, "unknown namespace `{ns}`"),
+            KvError::NamespaceExists(ns) => write!(f, "namespace `{ns}` already exists"),
+            KvError::Conflict { namespace, key } => {
+                write!(
+                    f,
+                    "conflict on `{namespace}/{key}`: key changed since snapshot"
+                )
+            }
+            KvError::StaleCommitTimestamp { given, latest } => write!(
+                f,
+                "commit timestamp {given} is not newer than the latest applied version {latest}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl KvError {
+    /// True if the error is a transient concurrency failure the caller may
+    /// retry: optimistic validation conflicts, and the coordinated-commit
+    /// freshness veto raised when a standalone store-level commit races a
+    /// coordinated one on the same namespace (the coordinator's allocator
+    /// catches up between attempts, so a retry makes progress).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            KvError::Conflict { .. } | KvError::StaleCommitTimestamp { .. }
+        )
+    }
+}
+
+/// Result alias for key-value operations.
+pub type KvResult<T> = Result<T, KvError>;
+
+/// The unified transaction error: everything a commit spanning the
+/// relational database and key-value stores can fail with.
+///
+/// This is the one error type of the unified [`Txn`](crate) surface; the
+/// old `CrossError` is a re-export of it, and `From` impls exist for both
+/// per-store errors so call sites can `?` freely instead of juggling
+/// three error enums.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrodError {
+    /// The relational store failed (validation conflict, unknown table, …).
+    Relational(DbError),
+    /// The key-value store failed (conflict, unknown namespace, …).
+    KeyValue(KvError),
+}
+
+impl fmt::Display for TrodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrodError::Relational(e) => write!(f, "relational store: {e}"),
+            TrodError::KeyValue(e) => write!(f, "key-value store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrodError {}
+
+impl From<DbError> for TrodError {
+    fn from(e: DbError) -> Self {
+        TrodError::Relational(e)
+    }
+}
+
+impl From<KvError> for TrodError {
+    fn from(e: KvError) -> Self {
+        TrodError::KeyValue(e)
+    }
+}
+
+impl TrodError {
+    /// True if the error is a transient concurrency failure the caller may
+    /// retry, on either store.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            TrodError::Relational(e) => e.is_retryable(),
+            TrodError::KeyValue(e) => e.is_retryable(),
+        }
+    }
+}
+
+/// Result alias for operations spanning both stores.
+pub type TrodResult<T> = Result<T, TrodError>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +260,30 @@ mod tests {
         .is_retryable());
         assert!(!DbError::NoSuchTable("t".into()).is_retryable());
         assert!(!DbError::TransactionClosed.is_retryable());
+    }
+
+    #[test]
+    fn unified_error_converts_and_classifies() {
+        let e: TrodError = DbError::WriteConflict {
+            table: "t".into(),
+            key: "k".into(),
+        }
+        .into();
+        assert!(matches!(e, TrodError::Relational(_)));
+        assert!(e.is_retryable());
+
+        let e: TrodError = KvError::Conflict {
+            namespace: "s".into(),
+            key: "k".into(),
+        }
+        .into();
+        assert!(matches!(e, TrodError::KeyValue(_)));
+        assert!(e.is_retryable());
+        assert!(e.to_string().contains("s/k"));
+
+        let e: TrodError = KvError::UnknownNamespace("x".into()).into();
+        assert!(!e.is_retryable());
+        let e: TrodError = DbError::TransactionClosed.into();
+        assert!(!e.is_retryable());
     }
 }

@@ -47,17 +47,24 @@
 //!   names to ordinals once per scan/validation, so per-row evaluation
 //!   ([`CompiledPredicate::matches`]) does no string lookups.
 //!
-//! * **Sharded commits.** There is no global commit lock: commits take
-//!   the per-table locks of their footprint in sorted name order, claim a
-//!   timestamp from a global atomic allocator, and publish in timestamp
-//!   order, so transactions over disjoint tables validate, install and
-//!   (with an on-disk latency profile) even "fsync" fully concurrently
-//!   while readers can never observe a torn multi-table commit. An
+//! * **Sharded commits, spanning stores.** There is no global commit
+//!   lock: commits take the per-resource locks of their footprint in
+//!   sorted name order, claim a timestamp from a global atomic
+//!   allocator, and publish in timestamp order, so transactions over
+//!   disjoint resources validate, install and (with an on-disk latency
+//!   profile) even "fsync" fully concurrently while readers can never
+//!   observe a torn multi-table commit. Resources are not only tables:
+//!   other stores join a commit as
+//!   [`CommitParticipant`](commit::CommitParticipant)s, contributing
+//!   their own lock names (e.g. `kv:<namespace>`), validation and
+//!   installation — one timestamp and one transaction-log entry span
+//!   every store (the paper's §5 aligned history). An
 //!   [`ActiveTxnRegistry`](registry::ActiveTxnRegistry) tracks
 //!   `(txn_id, start_ts)` for every live transaction; its
-//!   min-active-start-ts watermark clamps [`Database::gc_before`] and
-//!   change-log ring eviction so reclamation never outruns an active
-//!   transaction. See the protocol write-up on [`database`].
+//!   min-active-start-ts watermark (clamped to the published clock)
+//!   bounds [`Database::gc_before`] and change-log ring eviction so
+//!   reclamation never outruns an active transaction. See the protocol
+//!   write-up on [`database`].
 //!
 //! ## Quick example
 //!
@@ -84,6 +91,7 @@
 
 pub mod cdc;
 pub mod changelog;
+pub mod commit;
 pub mod database;
 pub mod error;
 pub mod index;
@@ -100,8 +108,9 @@ pub mod value;
 
 pub use cdc::{ChangeOp, ChangeRecord};
 pub use changelog::{ChangeEntry, ChangeLog};
+pub use commit::CommitParticipant;
 pub use database::{Database, DbStats};
-pub use error::{DbError, DbResult};
+pub use error::{DbError, DbResult, KvError, KvResult, TrodError, TrodResult};
 pub use latency::StorageProfile;
 pub use log::{CommittedTxn, TxnId};
 pub use mvcc::{Ts, TS_LIVE};

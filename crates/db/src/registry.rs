@@ -130,6 +130,27 @@ impl ActiveTxnRegistry {
         self.min_start_ts.load(Ordering::SeqCst)
     }
 
+    /// The horizon change-log ring eviction may discard up to:
+    /// `min(watermark, published clock)`, with both read under the
+    /// registry lock.
+    ///
+    /// Reading the cached watermark alone is racy against `begin`: an
+    /// at-capacity append could observe "no active transaction", and a
+    /// transaction registering concurrently (with a snapshot below an
+    /// entry about to be evicted) would find its validation window
+    /// truncated — benign (validation falls back to the full scan) but a
+    /// needless O(total versions) cliff. Taking the registry lock orders
+    /// this read against [`Self::register_with`], and clamping to the
+    /// clock (read *inside* the same lock, via `read_clock`) covers the
+    /// remaining case: a transaction that registers after this read
+    /// obtains `start_ts >= clock-as-read-here` (the clock is monotone),
+    /// so nothing above the returned horizon can sit inside its window.
+    pub fn eviction_horizon(&self, read_clock: impl FnOnce() -> Ts) -> Ts {
+        let inner = self.inner.lock();
+        let clock = read_clock();
+        inner.min().min(clock)
+    }
+
     /// The start timestamp of a specific active transaction.
     pub fn start_ts_of(&self, id: TxnId) -> Option<Ts> {
         self.inner.lock().by_id.get(&id).copied()
@@ -190,6 +211,21 @@ mod tests {
         assert_eq!(reg.min_active_start_ts(), Some(7));
         assert!(reg.deregister(2));
         assert_eq!(reg.min_active_start_ts(), None);
+    }
+
+    #[test]
+    fn eviction_horizon_clamps_to_watermark_and_clock() {
+        let reg = ActiveTxnRegistry::new();
+        // Idle registry: the horizon is the published clock, not MAX — a
+        // not-yet-registered transaction can only begin at or above it.
+        assert_eq!(reg.eviction_horizon(|| 42), 42);
+        // An active transaction below the clock pins the horizon.
+        reg.register_with(1, || 7);
+        assert_eq!(reg.eviction_horizon(|| 42), 7);
+        // The clock still clamps when the active transaction is newer.
+        assert_eq!(reg.eviction_horizon(|| 3), 3);
+        reg.deregister(1);
+        assert_eq!(reg.eviction_horizon(|| 42), 42);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! optional secondary indexes and the per-table commit change log.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -36,30 +37,38 @@ pub struct TableStore {
     /// Commit-ordered ring of recent row changes; serves O(Δ)
     /// serializable validation (see the [`crate::changelog`] docs).
     changelog: ChangeLog,
-    /// This table's commit lock. The database's commit path acquires the
-    /// locks of every table in a transaction's footprint in sorted table
-    /// name order; see the protocol docs on [`crate::database`].
-    commit_lock: Mutex<()>,
+    /// This table's commit lock, shared as an `Arc` so the commit
+    /// coordinator can merge it with other participants' resource locks
+    /// (e.g. `kv:<namespace>` shards) into one sorted acquisition order;
+    /// see the protocol docs on [`crate::database`].
+    commit_lock: Arc<Mutex<()>>,
     /// The owning database's active-transaction registry; its watermark
     /// bounds change-log ring eviction so an active transaction's
     /// validation window is never evicted. Standalone stores (unit tests)
     /// get a private empty registry, which pins nothing.
     registry: Arc<ActiveTxnRegistry>,
+    /// The owning database's publication clock, used to clamp ring
+    /// eviction so a transaction beginning concurrently with an
+    /// at-capacity append cannot find its window evicted (see
+    /// [`ActiveTxnRegistry::eviction_horizon`]). `None` for standalone
+    /// stores, which have no clock (and no concurrent begins).
+    clock: Option<Arc<AtomicU64>>,
 }
 
 impl TableStore {
     /// Creates an empty, standalone table (no shared transaction
     /// registry; nothing pins the change-log ring).
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        TableStore::with_registry(name, schema, Arc::new(ActiveTxnRegistry::new()))
+        TableStore::with_registry(name, schema, Arc::new(ActiveTxnRegistry::new()), None)
     }
 
     /// Creates an empty table wired to the owning database's
-    /// active-transaction registry.
+    /// active-transaction registry and publication clock.
     pub(crate) fn with_registry(
         name: impl Into<String>,
         schema: Schema,
         registry: Arc<ActiveTxnRegistry>,
+        clock: Option<Arc<AtomicU64>>,
     ) -> Self {
         TableStore {
             name: name.into(),
@@ -67,14 +76,29 @@ impl TableStore {
             rows: RwLock::new(HashMap::new()),
             indexes: RwLock::new(Vec::new()),
             changelog: ChangeLog::default(),
-            commit_lock: Mutex::new(()),
+            commit_lock: Arc::new(Mutex::new(())),
             registry,
+            clock,
         }
     }
 
-    /// This table's commit lock; acquired by the database commit path.
-    pub(crate) fn commit_lock(&self) -> &Mutex<()> {
+    /// This table's commit lock; acquired by the database commit path (and
+    /// cloned into the coordinator's merged resource-lock order).
+    pub(crate) fn commit_lock(&self) -> &Arc<Mutex<()>> {
         &self.commit_lock
+    }
+
+    /// The change-log eviction horizon: the active-transaction watermark
+    /// clamped to the published clock, both read under the registry lock
+    /// (linearizable with `begin`). Standalone stores fall back to the
+    /// raw watermark — they have no clock and no concurrent begins.
+    fn eviction_horizon(&self) -> Ts {
+        match &self.clock {
+            Some(clock) => self
+                .registry
+                .eviction_horizon(|| clock.load(Ordering::SeqCst)),
+            None => self.registry.watermark(),
+        }
     }
 
     /// The table name.
@@ -310,7 +334,7 @@ impl TableStore {
                 before: before.clone(),
                 after: Some(row.clone()),
             },
-            self.registry.watermark(),
+            || self.eviction_horizon(),
         );
         let mut indexes = self.indexes.write();
         for idx in indexes.iter_mut() {
@@ -341,7 +365,7 @@ impl TableStore {
                     before: Some(before.clone()),
                     after: None,
                 },
-                self.registry.watermark(),
+                || self.eviction_horizon(),
             );
             let mut indexes = self.indexes.write();
             for idx in indexes.iter_mut() {

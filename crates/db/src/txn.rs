@@ -75,6 +75,9 @@ pub(crate) struct TxnState {
     pub scan_set: Vec<(String, Predicate)>,
     /// Buffered writes per table, keyed by primary key.
     pub writes: BTreeMap<String, BTreeMap<Key, WriteOp>>,
+    /// The visibility timestamp of the most recent read (see
+    /// [`Transaction::last_read_ts`]).
+    pub last_read_ts: Ts,
 }
 
 impl TxnState {
@@ -86,6 +89,7 @@ impl TxnState {
             read_set: Vec::new(),
             scan_set: Vec::new(),
             writes: BTreeMap::new(),
+            last_read_ts: start_ts,
         }
     }
 
@@ -183,6 +187,20 @@ impl Transaction {
         })
     }
 
+    /// The visibility timestamp the most recent [`Transaction::get`] /
+    /// [`Transaction::scan`] was served at (the transaction's snapshot
+    /// until the first read). Under snapshot isolation and serializable
+    /// this is always `start_ts`; under read committed it is the
+    /// published clock at the time of the read — which is exactly the
+    /// per-read provenance the tracing layer records so weak-isolation
+    /// histories stay replayable.
+    pub fn last_read_ts(&self) -> Ts {
+        self.state
+            .as_ref()
+            .map(|s| s.last_read_ts)
+            .unwrap_or_default()
+    }
+
     /// Reads the row with primary key `key` from `table`, observing this
     /// transaction's own buffered writes.
     pub fn get(&mut self, table: &str, key: &Key) -> DbResult<Option<Arc<Row>>> {
@@ -190,6 +208,7 @@ impl Transaction {
         let store = self.db.table(table)?;
         self.db.latency().on_read();
         let state = self.state_mut()?;
+        state.last_read_ts = read_ts;
         state.read_set.push((table.to_string(), key.clone()));
         if let Some(op) = state.writes.get(table).and_then(|m| m.get(key)) {
             return Ok(op.visible_row().cloned());
@@ -211,6 +230,7 @@ impl Transaction {
             .collect();
 
         let state = self.state_mut()?;
+        state.last_read_ts = read_ts;
         state.scan_set.push((table.to_string(), pred.clone()));
         if let Some(writes) = state.writes.get(table) {
             for (key, op) in writes {
@@ -429,6 +449,26 @@ impl Transaction {
     pub fn commit(mut self) -> DbResult<CommitInfo> {
         let state = self.state.take().ok_or(DbError::TransactionClosed)?;
         self.db.commit_txn(state)
+    }
+
+    /// Commits the transaction together with external commit participants
+    /// (other stores joining the same atomic commit; see
+    /// [`crate::commit::CommitParticipant`]). Everything commits at one
+    /// timestamp or nothing does; the participants' change records land
+    /// in the same transaction-log entry as the relational ones. This is
+    /// the choke point the unified `Txn` surface drives — `commit` is the
+    /// zero-participant special case.
+    pub fn commit_with_participants(
+        mut self,
+        participants: &[&dyn crate::commit::CommitParticipant],
+    ) -> crate::error::TrodResult<CommitInfo> {
+        let state = self
+            .state
+            .take()
+            .ok_or(crate::error::TrodError::Relational(
+                DbError::TransactionClosed,
+            ))?;
+        self.db.commit_coordinated(state, participants)
     }
 
     /// Aborts the transaction, discarding all buffered writes and

@@ -1,833 +1,39 @@
-//! The cross-data-store transaction manager.
+//! Backwards-compatible names for the unified transaction surface.
 //!
-//! The paper's §5 ("Handling Multiple Data Stores") observes that TROD
-//! needs two things from applications that spread their state across a
-//! relational DBMS and non-relational stores: transactions that span the
-//! stores, and transaction logs that are *aligned* so the provenance of a
-//! single request is one coherent history rather than several unrelated
-//! ones. [`CrossStore`] provides both over a [`trod_db::Database`] and a
-//! [`KvStore`]:
+//! The cross-data-store transaction manager this module used to implement
+//! — its own global commit mutex, its own validate/apply logic, its own
+//! `AlignedCommit` vector and its own `CrossError` — is gone. Cross-store
+//! commits now go through the database's sharded commit coordinator
+//! ([`trod_db::CommitParticipant`]): key-value namespaces join the
+//! relational footprint as `kv:<namespace>` resources, every commit
+//! (relational-only, KV-only, or mixed) claims one timestamp, and the
+//! relational transaction log carries the key-value change records in the
+//! same entry — the aligned history of the paper's §5, by construction.
+//! See [`crate::session`] for the new surface.
 //!
-//! * Every [`CrossTxn`] reads both stores at one snapshot (the relational
-//!   transaction's start timestamp) and commits atomically: key-value
-//!   reads/writes are validated optimistically, the relational transaction
-//!   commits first (producing the authoritative commit timestamp), and the
-//!   key-value batch is installed at that same timestamp. A commit marker
-//!   row in the hidden `__cross_commits` table guarantees that every
-//!   cross-store commit appears in the relational transaction log, and a
-//!   serialised commit section makes validation + apply atomic across the
-//!   two stores.
-//! * The [`AlignedCommit`] log records, per commit timestamp, the changes
-//!   made to *both* stores — the aligned transaction log the paper calls
-//!   for.
-//! * With a [`Tracer`] attached, each cross-store transaction emits a
-//!   single [`trod_trace::TxnTrace`] whose read and write sets span both
-//!   stores (key-value operations appear under the virtual table
-//!   `kv:<namespace>`), so the existing provenance database, declarative
-//!   debugging and replay work for polyglot applications without change.
-
-use std::collections::BTreeMap;
-use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::{Mutex, RwLock};
-
-use trod_db::{
-    ChangeRecord, DataType, Database, DbError, Key, Predicate, Row, Schema, Ts, TxnId, Value,
-};
-use trod_trace::{ReadTrace, Tracer, TxnContext, TxnTrace};
-
-use crate::kv_table_name;
-use crate::store::{KvError, KvStore, KvWrite};
-
-/// Hidden relational table holding one marker row per cross-store commit
-/// that wrote key-value data; it forces such commits to appear in the
-/// relational transaction log even when they made no application-table
-/// writes.
-pub const CROSS_COMMITS_TABLE: &str = "__cross_commits";
-
-/// Errors raised by cross-store transactions.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CrossError {
-    /// The relational side failed (validation conflict, unknown table, …).
-    Relational(DbError),
-    /// The key-value side failed (conflict, unknown namespace, …).
-    KeyValue(KvError),
-}
-
-impl fmt::Display for CrossError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CrossError::Relational(e) => write!(f, "relational store: {e}"),
-            CrossError::KeyValue(e) => write!(f, "key-value store: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for CrossError {}
-
-impl From<DbError> for CrossError {
-    fn from(e: DbError) -> Self {
-        CrossError::Relational(e)
-    }
-}
-
-impl From<KvError> for CrossError {
-    fn from(e: KvError) -> Self {
-        CrossError::KeyValue(e)
-    }
-}
-
-/// Convenient result alias.
-pub type CrossResult<T> = Result<T, CrossError>;
-
-/// One entry of the aligned transaction log: everything a cross-store
-/// transaction changed, in both stores, at one commit timestamp.
-#[derive(Debug, Clone, PartialEq)]
-pub struct AlignedCommit {
-    pub txn_id: TxnId,
-    pub commit_ts: Ts,
-    /// Changes to relational application tables (the commit marker is
-    /// excluded).
-    pub relational: Vec<ChangeRecord>,
-    /// Key-value writes applied at the same commit timestamp.
-    pub kv: Vec<KvWrite>,
-}
-
-impl AlignedCommit {
-    /// True if the commit touched both stores.
-    pub fn spans_both_stores(&self) -> bool {
-        !self.relational.is_empty() && !self.kv.is_empty()
-    }
-}
-
-/// Summary returned by a successful cross-store commit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CrossCommit {
-    pub txn_id: TxnId,
-    pub commit_ts: Ts,
-    pub relational_changes: usize,
-    pub kv_writes: usize,
-}
-
-/// The cross-store transaction manager.
-#[derive(Clone)]
-pub struct CrossStore {
-    db: Database,
-    kv: KvStore,
-    log: Arc<RwLock<Vec<AlignedCommit>>>,
-    commit_lock: Arc<Mutex<()>>,
-    tracer: Option<Tracer>,
-}
-
-impl CrossStore {
-    /// Binds a relational database and a key-value store, creating the
-    /// hidden commit-marker table if needed.
-    pub fn new(db: Database, kv: KvStore) -> Self {
-        Self::build(db, kv, None)
-    }
-
-    /// Like [`CrossStore::new`], additionally emitting one provenance
-    /// trace per cross-store transaction through `tracer`.
-    pub fn with_tracer(db: Database, kv: KvStore, tracer: Tracer) -> Self {
-        Self::build(db, kv, Some(tracer))
-    }
-
-    fn build(db: Database, kv: KvStore, tracer: Option<Tracer>) -> Self {
-        if !db.has_table(CROSS_COMMITS_TABLE) {
-            let schema = Schema::builder()
-                .column("txn_id", DataType::Int)
-                .column("kv_writes", DataType::Int)
-                .primary_key(&["txn_id"])
-                .build()
-                .expect("static schema must be valid");
-            db.create_table(CROSS_COMMITS_TABLE, schema)
-                .expect("cross-commit table cannot already exist");
-        }
-        CrossStore {
-            db,
-            kv,
-            log: Arc::new(RwLock::new(Vec::new())),
-            commit_lock: Arc::new(Mutex::new(())),
-            tracer,
-        }
-    }
-
-    /// The relational database.
-    pub fn database(&self) -> &Database {
-        &self.db
-    }
-
-    /// The key-value store.
-    pub fn kv(&self) -> &KvStore {
-        &self.kv
-    }
-
-    /// The tracer, if provenance tracing is enabled.
-    pub fn tracer(&self) -> Option<&Tracer> {
-        self.tracer.as_ref()
-    }
-
-    /// The aligned transaction log (cross-store commits in commit order).
-    pub fn aligned_log(&self) -> Vec<AlignedCommit> {
-        self.log.read().clone()
-    }
-
-    /// Begins an untraced cross-store transaction.
-    pub fn begin(&self) -> CrossTxn {
-        self.begin_inner(None)
-    }
-
-    /// Begins a cross-store transaction traced under the given
-    /// request/handler/function context.
-    pub fn begin_traced(&self, ctx: TxnContext) -> CrossTxn {
-        self.begin_inner(Some(ctx))
-    }
-
-    fn begin_inner(&self, ctx: Option<TxnContext>) -> CrossTxn {
-        let rel = self.db.begin();
-        let snapshot_ts = rel.start_ts();
-        CrossTxn {
-            manager: self.clone(),
-            txn_id: rel.id(),
-            snapshot_ts,
-            rel: Some(rel),
-            kv_read_versions: BTreeMap::new(),
-            kv_writes: BTreeMap::new(),
-            reads: Vec::new(),
-            ctx,
-        }
-    }
-}
-
-impl fmt::Debug for CrossStore {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CrossStore")
-            .field("aligned_commits", &self.log.read().len())
-            .field("traced", &self.tracer.is_some())
-            .finish()
-    }
-}
-
-/// A transaction spanning the relational and key-value stores.
-pub struct CrossTxn {
-    manager: CrossStore,
-    txn_id: TxnId,
-    snapshot_ts: Ts,
-    rel: Option<trod_db::Transaction>,
-    /// (namespace, key) → latest version observed at read time.
-    kv_read_versions: BTreeMap<(String, String), Ts>,
-    /// (namespace, key) → buffered value (None = delete).
-    kv_writes: BTreeMap<(String, String), Option<String>>,
-    /// Read provenance across both stores.
-    reads: Vec<ReadTrace>,
-    ctx: Option<TxnContext>,
-}
-
-impl CrossTxn {
-    fn rel_mut(&mut self) -> &mut trod_db::Transaction {
-        self.rel
-            .as_mut()
-            .expect("cross transaction already finished")
-    }
-
-    /// The relational transaction id (also used in provenance).
-    pub fn txn_id(&self) -> TxnId {
-        self.txn_id
-    }
-
-    /// The shared snapshot timestamp both stores are read at.
-    pub fn snapshot_ts(&self) -> Ts {
-        self.snapshot_ts
-    }
-
-    // ------------------------------------------------------------------
-    // Relational operations (with read provenance)
-    // ------------------------------------------------------------------
-
-    /// Point read from the relational store.
-    pub fn get(&mut self, table: &str, key: &Key) -> CrossResult<Option<Arc<Row>>> {
-        let result = self.rel_mut().get(table, key)?;
-        self.reads.push(ReadTrace {
-            table: table.to_string(),
-            query: format!("Get {table}{key}"),
-            rows: result
-                .clone()
-                .map(|r| vec![(key.clone(), r)])
-                .unwrap_or_default(),
-        });
-        Ok(result)
-    }
-
-    /// Predicate scan over the relational store.
-    pub fn scan(&mut self, table: &str, pred: &Predicate) -> CrossResult<Vec<(Key, Arc<Row>)>> {
-        let result = self.rel_mut().scan(table, pred)?;
-        self.reads.push(ReadTrace {
-            table: table.to_string(),
-            query: format!("Scan {table} WHERE {pred}"),
-            rows: result.clone(),
-        });
-        Ok(result)
-    }
-
-    /// Existence check over the relational store.
-    pub fn exists(&mut self, table: &str, pred: &Predicate) -> CrossResult<bool> {
-        let result = self.rel_mut().scan(table, pred)?;
-        self.reads.push(ReadTrace {
-            table: table.to_string(),
-            query: format!("Check if {pred} exists in {table}"),
-            rows: result.clone(),
-        });
-        Ok(!result.is_empty())
-    }
-
-    /// Insert into the relational store.
-    pub fn insert(&mut self, table: &str, row: Row) -> CrossResult<Key> {
-        Ok(self.rel_mut().insert(table, row)?)
-    }
-
-    /// Update a relational row by primary key.
-    pub fn update(&mut self, table: &str, key: &Key, new_row: Row) -> CrossResult<()> {
-        Ok(self.rel_mut().update(table, key, new_row)?)
-    }
-
-    /// Delete a relational row by primary key.
-    pub fn delete(&mut self, table: &str, key: &Key) -> CrossResult<bool> {
-        Ok(self.rel_mut().delete(table, key)?)
-    }
-
-    // ------------------------------------------------------------------
-    // Key-value operations (with read provenance)
-    // ------------------------------------------------------------------
-
-    /// Reads a key from the key-value store at the shared snapshot,
-    /// seeing this transaction's own buffered writes first.
-    pub fn kv_get(&mut self, namespace: &str, key: &str) -> CrossResult<Option<String>> {
-        let id = (namespace.to_string(), key.to_string());
-        if let Some(buffered) = self.kv_writes.get(&id) {
-            return Ok(buffered.clone());
-        }
-        let value = self
-            .manager
-            .kv
-            .get_as_of(namespace, key, self.snapshot_ts)?;
-        let version = self
-            .manager
-            .kv
-            .version_of(namespace, key)?
-            .min(self.snapshot_ts);
-        self.kv_read_versions.entry(id).or_insert(version);
-        self.reads.push(ReadTrace {
-            table: kv_table_name(namespace),
-            query: format!("Get {key}"),
-            rows: value
-                .as_ref()
-                .map(|v| {
-                    vec![(
-                        Key::single(key),
-                        Arc::new(Row::from(vec![
-                            Value::Text(key.to_string()),
-                            Value::Text(v.clone()),
-                        ])),
-                    )]
-                })
-                .unwrap_or_default(),
-        });
-        Ok(value)
-    }
-
-    /// Prefix scan over the key-value store at the shared snapshot.
-    /// Buffered writes of this transaction are *not* merged into the scan
-    /// (matching the behaviour of most KV stores' snapshot iterators).
-    pub fn kv_scan_prefix(
-        &mut self,
-        namespace: &str,
-        prefix: &str,
-    ) -> CrossResult<Vec<(String, String)>> {
-        let result = self
-            .manager
-            .kv
-            .scan_prefix_as_of(namespace, prefix, self.snapshot_ts)?;
-        for (key, _) in &result {
-            let version = self
-                .manager
-                .kv
-                .version_of(namespace, key)?
-                .min(self.snapshot_ts);
-            self.kv_read_versions
-                .entry((namespace.to_string(), key.clone()))
-                .or_insert(version);
-        }
-        self.reads.push(ReadTrace {
-            table: kv_table_name(namespace),
-            query: format!("Scan prefix {prefix}"),
-            rows: result
-                .iter()
-                .map(|(k, v)| {
-                    (
-                        Key::single(k.as_str()),
-                        Arc::new(Row::from(vec![
-                            Value::Text(k.clone()),
-                            Value::Text(v.clone()),
-                        ])),
-                    )
-                })
-                .collect(),
-        });
-        Ok(result)
-    }
-
-    /// Buffers a key-value put.
-    pub fn kv_put(&mut self, namespace: &str, key: &str, value: &str) -> CrossResult<()> {
-        if !self.manager.kv.has_namespace(namespace) {
-            return Err(KvError::UnknownNamespace(namespace.to_string()).into());
-        }
-        self.kv_writes.insert(
-            (namespace.to_string(), key.to_string()),
-            Some(value.to_string()),
-        );
-        Ok(())
-    }
-
-    /// Buffers a key-value delete.
-    pub fn kv_delete(&mut self, namespace: &str, key: &str) -> CrossResult<()> {
-        if !self.manager.kv.has_namespace(namespace) {
-            return Err(KvError::UnknownNamespace(namespace.to_string()).into());
-        }
-        self.kv_writes
-            .insert((namespace.to_string(), key.to_string()), None);
-        Ok(())
-    }
-
-    /// The buffered key-value writes in deterministic order.
-    pub fn pending_kv_writes(&self) -> Vec<KvWrite> {
-        self.kv_writes
-            .iter()
-            .map(|((namespace, key), value)| KvWrite {
-                namespace: namespace.clone(),
-                key: key.clone(),
-                value: value.clone(),
-            })
-            .collect()
-    }
-
-    // ------------------------------------------------------------------
-    // Commit / abort
-    // ------------------------------------------------------------------
-
-    /// Commits atomically across both stores.
-    pub fn commit(mut self) -> CrossResult<CrossCommit> {
-        let manager = self.manager.clone();
-        let mut rel = self.rel.take().expect("cross transaction already finished");
-        let kv_writes = self.pending_kv_writes();
-
-        // Mark the commit in the relational log if key-value data changes;
-        // this both aligns the logs and guarantees a real commit timestamp.
-        if !kv_writes.is_empty() {
-            rel.insert(
-                CROSS_COMMITS_TABLE,
-                Row::from(vec![
-                    Value::Int(self.txn_id as i64),
-                    Value::Int(kv_writes.len() as i64),
-                ]),
-            )?;
-        }
-
-        // Serialised commit section across both stores.
-        let commit_lock = manager.commit_lock.clone();
-        let _guard = commit_lock.lock();
-
-        // 1. Prepare (validate) the key-value side.
-        if let Err(e) = self.validate_kv() {
-            rel.abort();
-            self.emit_trace(0, false, Vec::new(), &[]);
-            return Err(e);
-        }
-
-        // 2. Commit the relational side; its timestamp becomes the
-        //    cross-store commit timestamp.
-        let info = match rel.commit() {
-            Ok(info) => info,
-            Err(e) => {
-                self.emit_trace(0, false, Vec::new(), &[]);
-                return Err(e.into());
-            }
-        };
-        let relational: Vec<ChangeRecord> = info
-            .changes
-            .iter()
-            .filter(|c| c.table != CROSS_COMMITS_TABLE)
-            .cloned()
-            .collect();
-        let commit_ts = if info.commit_ts > self.snapshot_ts {
-            info.commit_ts
-        } else {
-            // Read-only on both sides: nothing to install or log.
-            self.emit_trace(info.commit_ts, true, relational.clone(), &[]);
-            return Ok(CrossCommit {
-                txn_id: self.txn_id,
-                commit_ts: info.commit_ts,
-                relational_changes: relational.len(),
-                kv_writes: 0,
-            });
-        };
-
-        // 3. Install the key-value batch at the same commit timestamp.
-        let kv_changes = self.kv_change_records(&kv_writes)?;
-        if !kv_writes.is_empty() {
-            manager.kv.apply(&kv_writes, commit_ts)?;
-        }
-
-        // 4. Append to the aligned log and emit provenance.
-        manager.log.write().push(AlignedCommit {
-            txn_id: self.txn_id,
-            commit_ts,
-            relational: relational.clone(),
-            kv: kv_writes.clone(),
-        });
-        let mut all_changes = relational.clone();
-        all_changes.extend(kv_changes);
-        self.emit_trace(commit_ts, true, all_changes, &kv_writes);
-
-        Ok(CrossCommit {
-            txn_id: self.txn_id,
-            commit_ts,
-            relational_changes: relational.len(),
-            kv_writes: kv_writes.len(),
-        })
-    }
-
-    /// Aborts the transaction on both stores.
-    pub fn abort(mut self) {
-        if let Some(rel) = self.rel.take() {
-            rel.abort();
-        }
-        self.emit_trace(0, false, Vec::new(), &[]);
-    }
-
-    fn validate_kv(&self) -> CrossResult<()> {
-        for ((namespace, key), observed) in &self.kv_read_versions {
-            let latest = self.manager.kv.version_of(namespace, key)?;
-            if latest > self.snapshot_ts && latest != *observed {
-                return Err(KvError::Conflict {
-                    namespace: namespace.clone(),
-                    key: key.clone(),
-                }
-                .into());
-            }
-        }
-        for (namespace, key) in self.kv_writes.keys() {
-            let latest = self.manager.kv.version_of(namespace, key)?;
-            if latest > self.snapshot_ts {
-                return Err(KvError::Conflict {
-                    namespace: namespace.clone(),
-                    key: key.clone(),
-                }
-                .into());
-            }
-        }
-        Ok(())
-    }
-
-    /// Encodes the buffered key-value writes as CDC records on the virtual
-    /// `kv:<namespace>` tables (with before images taken from the current
-    /// store state, which the commit lock keeps stable).
-    fn kv_change_records(&self, writes: &[KvWrite]) -> CrossResult<Vec<ChangeRecord>> {
-        let mut out = Vec::with_capacity(writes.len());
-        for write in writes {
-            let table = kv_table_name(&write.namespace);
-            let key = Key::single(write.key.as_str());
-            let before = self.manager.kv.get_latest(&write.namespace, &write.key)?;
-            let before_row = before
-                .as_ref()
-                .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
-            let after_row = write
-                .value
-                .as_ref()
-                .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
-            let record = match (before_row, after_row) {
-                (None, Some(after)) => ChangeRecord::insert(table, key, after),
-                (Some(before), Some(after)) => ChangeRecord::update(table, key, before, after),
-                (Some(before), None) => ChangeRecord::delete(table, key, before),
-                (None, None) => continue, // delete of a key that never existed
-            };
-            out.push(record);
-        }
-        Ok(out)
-    }
-
-    fn emit_trace(
-        &mut self,
-        commit_ts: Ts,
-        committed: bool,
-        writes: Vec<ChangeRecord>,
-        _kv_writes: &[KvWrite],
-    ) {
-        let Some(tracer) = self.manager.tracer.clone() else {
-            return;
-        };
-        let ctx = self.ctx.clone().unwrap_or_default();
-        let timestamp = tracer.now();
-        tracer.record_txn(TxnTrace {
-            txn_id: self.txn_id,
-            ctx,
-            timestamp,
-            snapshot_ts: self.snapshot_ts,
-            commit_ts,
-            committed,
-            reads: std::mem::take(&mut self.reads),
-            writes,
-        });
-    }
-}
-
-impl fmt::Debug for CrossTxn {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CrossTxn")
-            .field("txn_id", &self.txn_id)
-            .field("snapshot_ts", &self.snapshot_ts)
-            .field("kv_writes", &self.kv_writes.len())
-            .finish()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use trod_db::row;
-    use trod_trace::TraceEvent;
-
-    fn orders_db() -> Database {
-        let db = Database::new();
-        db.create_table(
-            "orders",
-            Schema::builder()
-                .column("id", DataType::Int)
-                .column("item", DataType::Text)
-                .primary_key(&["id"])
-                .build()
-                .unwrap(),
-        )
-        .unwrap();
-        db
-    }
-
-    fn cross() -> CrossStore {
-        let kv = KvStore::new();
-        kv.create_namespace("sessions").unwrap();
-        CrossStore::new(orders_db(), kv)
-    }
-
-    #[test]
-    fn atomic_commit_spans_both_stores_with_one_timestamp() {
-        let cross = cross();
-        let mut txn = cross.begin();
-        txn.insert("orders", row![1i64, "widget"]).unwrap();
-        txn.kv_put("sessions", "user-1", "cart:widget").unwrap();
-        let commit = txn.commit().unwrap();
-        assert_eq!(commit.relational_changes, 1);
-        assert_eq!(commit.kv_writes, 1);
-
-        // Both stores see the data, versioned at the same timestamp.
-        assert_eq!(
-            cross
-                .database()
-                .get_latest("orders", &Key::single(1i64))
-                .unwrap(),
-            Some(std::sync::Arc::new(row![1i64, "widget"]))
-        );
-        assert_eq!(
-            cross.kv().get_latest("sessions", "user-1").unwrap(),
-            Some("cart:widget".into())
-        );
-        assert_eq!(
-            cross.kv().version_of("sessions", "user-1").unwrap(),
-            commit.commit_ts
-        );
-
-        // The aligned log holds one entry spanning both stores, and the
-        // relational log contains the commit marker.
-        let log = cross.aligned_log();
-        assert_eq!(log.len(), 1);
-        assert!(log[0].spans_both_stores());
-        assert_eq!(log[0].commit_ts, commit.commit_ts);
-        let rel_log = cross.database().log_entries();
-        assert!(rel_log
-            .iter()
-            .any(|entry| entry.writes_table(CROSS_COMMITS_TABLE)));
-    }
-
-    #[test]
-    fn kv_only_transactions_still_appear_in_both_logs() {
-        let cross = cross();
-        let mut txn = cross.begin();
-        txn.kv_put("sessions", "user-2", "cart:empty").unwrap();
-        let commit = txn.commit().unwrap();
-        assert_eq!(commit.relational_changes, 0);
-        assert_eq!(commit.kv_writes, 1);
-        assert!(commit.commit_ts > 0);
-        assert_eq!(cross.aligned_log().len(), 1);
-        assert!(cross
-            .database()
-            .log_entries()
-            .iter()
-            .any(|e| e.writes_table(CROSS_COMMITS_TABLE)));
-    }
-
-    #[test]
-    fn conflicting_kv_writers_abort_and_leave_relational_store_unchanged() {
-        let cross = cross();
-        let mut first = cross.begin();
-        let mut second = cross.begin();
-        first.kv_put("sessions", "k", "first").unwrap();
-        second.kv_put("sessions", "k", "second").unwrap();
-        second.insert("orders", row![7i64, "gadget"]).unwrap();
-        first.commit().unwrap();
-
-        let err = second.commit().unwrap_err();
-        assert!(matches!(
-            err,
-            CrossError::KeyValue(KvError::Conflict { .. })
-        ));
-        // The loser's relational insert was rolled back.
-        assert_eq!(
-            cross
-                .database()
-                .get_latest("orders", &Key::single(7i64))
-                .unwrap(),
-            None
-        );
-        assert_eq!(
-            cross.kv().get_latest("sessions", "k").unwrap(),
-            Some("first".into())
-        );
-        assert_eq!(cross.aligned_log().len(), 1);
-    }
-
-    #[test]
-    fn relational_conflicts_leave_kv_store_unchanged() {
-        let cross = cross();
-        let mut first = cross.begin();
-        let mut second = cross.begin();
-        first.insert("orders", row![1i64, "widget"]).unwrap();
-        second.insert("orders", row![1i64, "gadget"]).unwrap();
-        second.kv_put("sessions", "loser", "state").unwrap();
-        first.commit().unwrap();
-
-        let err = second.commit().unwrap_err();
-        assert!(matches!(err, CrossError::Relational(_)));
-        assert_eq!(cross.kv().get_latest("sessions", "loser").unwrap(), None);
-        assert_eq!(cross.aligned_log().len(), 1);
-    }
-
-    #[test]
-    fn snapshot_reads_across_stores_and_read_your_writes() {
-        let cross = cross();
-        let mut setup = cross.begin();
-        setup.insert("orders", row![1i64, "widget"]).unwrap();
-        setup.kv_put("sessions", "user-1", "v1").unwrap();
-        setup.commit().unwrap();
-
-        let mut reader = cross.begin();
-        // A concurrent writer commits after the reader began.
-        let mut writer = cross.begin();
-        writer.kv_put("sessions", "user-1", "v2").unwrap();
-        writer.commit().unwrap();
-
-        // The reader still sees the snapshot value in the KV store and the
-        // relational row.
-        assert_eq!(
-            reader.kv_get("sessions", "user-1").unwrap(),
-            Some("v1".into())
-        );
-        assert_eq!(
-            reader.get("orders", &Key::single(1i64)).unwrap(),
-            Some(std::sync::Arc::new(row![1i64, "widget"]))
-        );
-        // Read-your-own-writes.
-        reader.kv_put("sessions", "scratch", "tmp").unwrap();
-        assert_eq!(
-            reader.kv_get("sessions", "scratch").unwrap(),
-            Some("tmp".into())
-        );
-        reader.abort();
-    }
-
-    #[test]
-    fn prefix_scans_record_read_versions_for_validation() {
-        let cross = cross();
-        let mut setup = cross.begin();
-        setup.kv_put("sessions", "user:1", "a").unwrap();
-        setup.kv_put("sessions", "user:2", "b").unwrap();
-        setup.commit().unwrap();
-
-        let mut txn = cross.begin();
-        let scanned = txn.kv_scan_prefix("sessions", "user:").unwrap();
-        assert_eq!(scanned.len(), 2);
-        // Another writer changes a scanned key.
-        let mut writer = cross.begin();
-        writer.kv_put("sessions", "user:1", "changed").unwrap();
-        writer.commit().unwrap();
-        // The scanning transaction now fails validation when it writes.
-        txn.kv_put("sessions", "other", "x").unwrap();
-        assert!(txn.commit().is_err());
-    }
-
-    #[test]
-    fn read_only_cross_transactions_commit_without_logging() {
-        let cross = cross();
-        let mut txn = cross.begin();
-        assert_eq!(txn.get("orders", &Key::single(1i64)).unwrap(), None);
-        assert_eq!(txn.kv_get("sessions", "user-1").unwrap(), None);
-        let commit = txn.commit().unwrap();
-        assert_eq!(commit.kv_writes, 0);
-        assert!(cross.aligned_log().is_empty());
-    }
-
-    #[test]
-    fn traced_cross_transactions_emit_one_unified_provenance_record() {
-        let kv = KvStore::new();
-        kv.create_namespace("sessions").unwrap();
-        let tracer = Tracer::new();
-        let cross = CrossStore::with_tracer(orders_db(), kv, tracer.clone());
-
-        let mut txn = cross.begin_traced(TxnContext::new("R1", "checkout", "func:placeOrder"));
-        assert!(!txn.exists("orders", &Predicate::eq("id", 1i64)).unwrap());
-        txn.insert("orders", row![1i64, "widget"]).unwrap();
-        txn.kv_put("sessions", "user-1", "cart:widget").unwrap();
-        txn.commit().unwrap();
-
-        let events = tracer.drain();
-        assert_eq!(events.len(), 1);
-        let TraceEvent::Txn(trace) = &events[0] else {
-            panic!("expected a transaction trace");
-        };
-        assert!(trace.committed);
-        assert_eq!(trace.ctx.req_id, "R1");
-        // Reads: the relational existence check; writes: the relational
-        // insert plus the KV put under the virtual table name.
-        assert_eq!(trace.reads.len(), 1);
-        assert_eq!(trace.writes.len(), 2);
-        let tables = trace.touched_tables();
-        assert!(tables.contains(&"orders".to_string()));
-        assert!(tables.contains(&"kv:sessions".to_string()));
-    }
-
-    #[test]
-    fn aborted_traced_transactions_are_recorded() {
-        let kv = KvStore::new();
-        kv.create_namespace("sessions").unwrap();
-        let tracer = Tracer::new();
-        let cross = CrossStore::with_tracer(orders_db(), kv, tracer.clone());
-        let mut txn = cross.begin_traced(TxnContext::new("R1", "checkout", "f"));
-        txn.kv_put("sessions", "k", "v").unwrap();
-        txn.abort();
-        let events = tracer.drain();
-        assert_eq!(events.len(), 1);
-        let TraceEvent::Txn(trace) = &events[0] else {
-            panic!("expected a transaction trace");
-        };
-        assert!(!trace.committed);
-        assert_eq!(cross.kv().get_latest("sessions", "k").unwrap(), None);
-    }
-}
+//! The old names are kept as thin re-exports for one release:
+//!
+//! * [`CrossStore`] → [`Session`] (use [`Session::with_kv`] /
+//!   [`Session::with_tracer`]),
+//! * [`CrossTxn`] → [`Txn`],
+//! * [`CrossCommit`] → [`TxnCommit`],
+//! * [`CrossError`] / [`CrossResult`] → [`trod_db::TrodError`] /
+//!   [`trod_db::TrodResult`] (the variant names `Relational` / `KeyValue`
+//!   are unchanged, so existing matches keep compiling).
+
+use crate::session::{Session, Txn, TxnCommit};
+
+/// Deprecated name for [`Session`]; kept as a re-export for one release.
+pub type CrossStore = Session;
+
+/// Deprecated name for [`Txn`]; kept as a re-export for one release.
+pub type CrossTxn = Txn;
+
+/// Deprecated name for [`TxnCommit`]; kept as a re-export for one release.
+pub type CrossCommit = TxnCommit;
+
+/// Deprecated name for [`trod_db::TrodError`]; kept for one release.
+pub type CrossError = trod_db::TrodError;
+
+/// Deprecated name for [`trod_db::TrodResult`]; kept for one release.
+pub type CrossResult<T> = trod_db::TrodResult<T>;

@@ -1,33 +1,36 @@
 //! # trod-kv
 //!
-//! A versioned key-value store and a cross-data-store transaction manager,
-//! built for the "Handling Multiple Data Stores" research direction of
-//! *Transactions Make Debugging Easy* (CIDR 2023, §5).
+//! A versioned key-value store and the **unified transaction surface**
+//! ([`Session`] / [`Txn`]) of the TROD reproduction, built for the
+//! "Handling Multiple Data Stores" research direction of *Transactions
+//! Make Debugging Easy* (CIDR 2023, §5).
 //!
 //! Modern applications combine a relational DBMS with non-relational
 //! stores (Redis-style key-value stores, document stores, …). TROD's
 //! principles require that *all* shared state be accessed through ACID
-//! transactions with aligned transaction logs; the paper points to
-//! cross-data-store transaction managers (Cherry Garcia, polystore
-//! isolation) as the way to get there. This crate provides both halves of
-//! that substrate:
+//! transactions with aligned transaction logs. This crate provides:
 //!
 //! * [`KvStore`] — a multi-version key-value store with namespaces,
-//!   tombstoned deletes, as-of reads and optimistic single-store
-//!   transactions ([`KvTransaction`]). On its own it models a
-//!   non-relational store that lacks multi-key transactions.
-//! * [`CrossStore`] — a transaction manager spanning a
-//!   [`trod_db::Database`] and a [`KvStore`]. Every [`CrossTxn`] commits
-//!   atomically across both stores, versions are stamped with a single
-//!   commit timestamp, and an [`AlignedCommit`] log records the unified
-//!   history. With a [`trod_trace::Tracer`] attached, each cross-store
-//!   transaction emits one provenance record covering reads and writes in
-//!   *both* stores, so the existing TROD provenance database, replay and
-//!   declarative debugging work unchanged for polyglot applications.
+//!   per-namespace commit locks, tombstoned deletes, as-of reads and
+//!   optimistic single-store transactions ([`KvTransaction`]).
+//! * [`Session`] / [`Txn`] — the one transaction handle for everything:
+//!   relational reads and writes, key-value reads and writes, optional
+//!   provenance tracing, one snapshot and one atomic commit. Commits run
+//!   through `trod-db`'s sharded commit coordinator
+//!   ([`trod_db::CommitParticipant`]): key-value namespaces join the
+//!   relational footprint as `kv:<namespace>` resources, so there is no
+//!   cross-store global lock — commits over disjoint namespaces scale
+//!   with threads exactly like disjoint-table relational commits — and
+//!   every commit lands in one aligned transaction-log entry by
+//!   construction ([`Session::aligned_log`]).
+//!
+//! The pre-redesign names (`CrossStore`, `CrossTxn`, `CrossError`, …)
+//! remain available as thin re-exports for one release; see
+//! [`crate::cross`].
 //!
 //! ```
 //! use trod_db::{Database, DataType, Schema, row};
-//! use trod_kv::{CrossStore, KvStore};
+//! use trod_kv::{KvStore, Session};
 //!
 //! let db = Database::new();
 //! db.create_table(
@@ -43,22 +46,22 @@
 //! let kv = KvStore::new();
 //! kv.create_namespace("sessions").unwrap();
 //!
-//! let cross = CrossStore::new(db, kv);
-//! let mut txn = cross.begin();
+//! let session = Session::with_kv(db, kv);
+//! let mut txn = session.begin();
 //! txn.insert("orders", row![1i64, "widget"]).unwrap();
 //! txn.kv_put("sessions", "user-1", "cart:widget").unwrap();
 //! let commit = txn.commit().unwrap();
 //! assert!(commit.commit_ts > 0);
-//! assert_eq!(cross.aligned_log().len(), 1);
+//! assert_eq!(session.aligned_log().len(), 1);
 //! ```
 
 pub mod cross;
+pub mod session;
 pub mod store;
 pub mod txn;
 
-pub use cross::{
-    AlignedCommit, CrossCommit, CrossError, CrossResult, CrossStore, CrossTxn, CROSS_COMMITS_TABLE,
-};
+pub use cross::{CrossCommit, CrossError, CrossResult, CrossStore, CrossTxn};
+pub use session::{AlignedCommit, Session, SessionBuilder, Txn, TxnCommit, TxnOptions};
 pub use store::{KvError, KvResult, KvStore, KvWrite, NamespaceStats};
 pub use txn::KvTransaction;
 
@@ -76,7 +79,8 @@ pub fn kv_provenance_schema() -> trod_db::Schema {
 }
 
 /// The virtual "table" name under which a KV namespace appears in
-/// provenance traces (e.g. `kv:sessions`).
+/// provenance traces, commit footprints and the aligned transaction log
+/// (e.g. `kv:sessions`).
 pub fn kv_table_name(namespace: &str) -> String {
     format!("kv:{namespace}")
 }

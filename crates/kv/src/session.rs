@@ -1,0 +1,1182 @@
+//! The unified transaction surface: one [`Session`], one [`Txn`].
+//!
+//! Before this module, callers juggled three transaction handles with
+//! three error types: `trod_db::Transaction` (plain relational),
+//! `TracedTransaction` (relational + provenance) and `CrossTxn`
+//! (relational + key-value behind a global cross-store commit lock). The
+//! redesign collapses them: a [`Session`] binds a relational
+//! [`Database`], optionally a [`KvStore`], and optionally a [`Tracer`];
+//! [`Session::begin_with`] hands out a [`Txn`] whose relational and
+//! key-value operations share one snapshot, one commit, one error type
+//! ([`TrodError`]) and one provenance record.
+//!
+//! Commit goes through the database's commit coordinator
+//! ([`trod_db::CommitParticipant`]): the transaction's key-value
+//! footprint joins the relational footprint as `kv:<namespace>` resources,
+//! all locks are taken in one global sorted order, every store validates
+//! under those locks, and the key-value writes are installed inside the
+//! ordered publication window at the single commit timestamp. There is no
+//! cross-store commit lock anywhere — commits over disjoint namespaces
+//! (or disjoint tables, or any mix) proceed fully concurrently, and mixed
+//! commits are strictly serializable end to end.
+//!
+//! **The aligned log is the transaction log.** A commit's key-value
+//! change records land in the same [`trod_db::CommittedTxn`] entry as its
+//! relational ones (under the virtual `kv:<namespace>` table names), so
+//! the relational transaction log *is* the paper's §5 aligned history —
+//! by construction, for relational-only, KV-only and mixed commits alike.
+//! [`Session::aligned_log`] is a view of it, and a [`Tracer`] attached to
+//! the session emits one [`TxnTrace`] per transaction whose reads and
+//! writes span both stores, so declarative debugging, replay and
+//! reenactment work for polyglot applications without change.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use trod_db::{
+    ChangeRecord, CommitParticipant, Database, IsolationLevel, Key, KvError, Predicate, Row,
+    TrodResult, Ts, TxnId, Value,
+};
+use trod_trace::{ReadTrace, Tracer, TxnContext, TxnTrace};
+
+use crate::kv_table_name;
+use crate::store::{KvStore, KvWrite};
+
+/// One entry of the aligned transaction log: everything a transaction
+/// changed, in both stores, at one commit timestamp. A view over the
+/// relational [`trod_db::CommittedTxn`] entries (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignedCommit {
+    pub txn_id: TxnId,
+    pub commit_ts: Ts,
+    /// Changes to relational application tables.
+    pub relational: Vec<ChangeRecord>,
+    /// Key-value writes applied at the same commit timestamp.
+    pub kv: Vec<KvWrite>,
+}
+
+impl AlignedCommit {
+    /// True if the commit touched both stores.
+    pub fn spans_both_stores(&self) -> bool {
+        !self.relational.is_empty() && !self.kv.is_empty()
+    }
+}
+
+/// Summary returned by a successful [`Txn::commit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnCommit {
+    pub txn_id: TxnId,
+    pub commit_ts: Ts,
+    /// Number of relational row changes.
+    pub relational_changes: usize,
+    /// Number of key-value writes installed.
+    pub kv_writes: usize,
+    /// The full aligned change set: relational records followed by
+    /// key-value records under their `kv:<namespace>` table names.
+    pub changes: Vec<ChangeRecord>,
+}
+
+/// Options for beginning a [`Txn`]: isolation level, tracing context,
+/// and (implicitly, via the [`Session`]) the participating stores.
+#[derive(Debug, Clone, Default)]
+pub struct TxnOptions {
+    /// Isolation level for the relational side; the key-value side
+    /// validates reads only under [`IsolationLevel::Serializable`]
+    /// (write-write conflicts are always checked).
+    pub isolation: IsolationLevel,
+    /// Request/handler/function context to trace the transaction under;
+    /// `None` traces with an empty context (when the session has a
+    /// tracer at all).
+    pub ctx: Option<TxnContext>,
+}
+
+impl TxnOptions {
+    /// Serializable, untraced defaults.
+    pub fn new() -> Self {
+        TxnOptions::default()
+    }
+
+    /// Sets the isolation level.
+    pub fn isolation(mut self, isolation: IsolationLevel) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Attaches a tracing context.
+    pub fn traced(mut self, ctx: TxnContext) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct SessionInner {
+    db: Database,
+    kv: Option<KvStore>,
+    tracer: Option<Tracer>,
+}
+
+/// A handle binding the stores (and optional tracer) transactions run
+/// against. Cheaply cloneable; clones share the underlying stores.
+///
+/// This is the one surface the runtime's `HandlerContext`, the query
+/// executor and the core debugger consume; the old `CrossStore` is a
+/// re-export of it.
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<SessionInner>,
+}
+
+/// Configures a [`Session`].
+#[derive(Debug)]
+pub struct SessionBuilder {
+    db: Database,
+    kv: Option<KvStore>,
+    tracer: Option<Tracer>,
+}
+
+impl SessionBuilder {
+    /// Binds a key-value store, enabling the `kv_*` operations on every
+    /// [`Txn`] the session begins.
+    pub fn kv(mut self, kv: KvStore) -> Self {
+        self.kv = Some(kv);
+        self
+    }
+
+    /// Attaches a tracer: every transaction emits one provenance record
+    /// spanning all participating stores.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Session {
+        Session {
+            inner: Arc::new(SessionInner {
+                db: self.db,
+                kv: self.kv,
+                tracer: self.tracer,
+            }),
+        }
+    }
+}
+
+impl Session {
+    /// A relational-only, untraced session.
+    pub fn new(db: Database) -> Self {
+        Session::builder(db).build()
+    }
+
+    /// A session spanning a relational database and a key-value store.
+    pub fn with_kv(db: Database, kv: KvStore) -> Self {
+        Session::builder(db).kv(kv).build()
+    }
+
+    /// Like [`Session::with_kv`], additionally emitting one provenance
+    /// trace per transaction through `tracer`.
+    pub fn with_tracer(db: Database, kv: KvStore, tracer: Tracer) -> Self {
+        Session::builder(db).kv(kv).tracer(tracer).build()
+    }
+
+    /// Starts configuring a session over `db`.
+    pub fn builder(db: Database) -> SessionBuilder {
+        SessionBuilder {
+            db,
+            kv: None,
+            tracer: None,
+        }
+    }
+
+    /// The relational database.
+    pub fn database(&self) -> &Database {
+        &self.inner.db
+    }
+
+    /// The key-value store, if one is bound.
+    pub fn kv_store(&self) -> Option<&KvStore> {
+        self.inner.kv.as_ref()
+    }
+
+    /// The key-value store.
+    ///
+    /// # Panics
+    /// If the session was built without one; use [`Session::kv_store`]
+    /// when the binding is conditional.
+    pub fn kv(&self) -> &KvStore {
+        self.inner
+            .kv
+            .as_ref()
+            .expect("session has no key-value store bound")
+    }
+
+    /// The tracer, if provenance tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.inner.tracer.as_ref()
+    }
+
+    /// The aligned transaction log: every committed write transaction, in
+    /// commit order, with its relational and key-value changes split out.
+    /// A view over [`Database::log_entries`] — the relational log *is*
+    /// the aligned log (see the module docs) — so it reflects exactly
+    /// what the log retains (GC truncates both together).
+    pub fn aligned_log(&self) -> Vec<AlignedCommit> {
+        self.inner
+            .db
+            .log_entries()
+            .into_iter()
+            .map(|entry| {
+                let (kv, relational): (Vec<_>, Vec<_>) = entry
+                    .changes
+                    .into_iter()
+                    .partition(|c| c.table.starts_with("kv:"));
+                AlignedCommit {
+                    txn_id: entry.txn_id,
+                    commit_ts: entry.commit_ts,
+                    relational,
+                    kv: kv.iter().filter_map(kv_write_of_record).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Begins a serializable, untraced transaction.
+    pub fn begin(&self) -> Txn {
+        self.begin_with(TxnOptions::new())
+    }
+
+    /// Begins a serializable transaction traced under the given
+    /// request/handler/function context.
+    pub fn begin_traced(&self, ctx: TxnContext) -> Txn {
+        self.begin_with(TxnOptions::new().traced(ctx))
+    }
+
+    /// Begins a transaction with explicit options.
+    pub fn begin_with(&self, opts: TxnOptions) -> Txn {
+        let rel = self.inner.db.begin_with(opts.isolation);
+        Txn {
+            txn_id: rel.id(),
+            snapshot_ts: rel.start_ts(),
+            session: self.clone(),
+            rel: Some(rel),
+            kv_reads: BTreeSet::new(),
+            kv_writes: BTreeMap::new(),
+            reads: Vec::new(),
+            ctx: opts.ctx,
+        }
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("kv", &self.inner.kv.is_some())
+            .field("traced", &self.inner.tracer.is_some())
+            .finish()
+    }
+}
+
+/// Reconstructs the [`KvWrite`] a `kv:<namespace>` change record captured.
+fn kv_write_of_record(record: &ChangeRecord) -> Option<KvWrite> {
+    let namespace = record.table.strip_prefix("kv:")?;
+    let key = match record.key.values().first() {
+        Some(Value::Text(k)) => k.clone(),
+        _ => return None,
+    };
+    let value = record
+        .op
+        .after()
+        .and_then(|row| row.get(1))
+        .and_then(|v| v.as_text())
+        .map(|v| v.to_string());
+    Some(KvWrite {
+        namespace: namespace.to_string(),
+        key,
+        value,
+    })
+}
+
+/// The unified transaction handle: relational and key-value operations at
+/// one snapshot, committed atomically at one timestamp through the commit
+/// coordinator, with one error type and one provenance record.
+///
+/// Dropping an uncommitted `Txn` aborts it (without emitting an abort
+/// trace; use [`Txn::abort`] to record the attempt).
+pub struct Txn {
+    session: Session,
+    txn_id: TxnId,
+    snapshot_ts: Ts,
+    rel: Option<trod_db::Transaction>,
+    /// (namespace, key) pairs observed by reads; validated under
+    /// serializable isolation (any key in this set that gained a newer
+    /// version after the snapshot aborts the commit).
+    kv_reads: BTreeSet<(String, String)>,
+    /// (namespace, key) → buffered value (None = delete).
+    kv_writes: BTreeMap<(String, String), Option<String>>,
+    /// Read provenance across both stores (captured only when the
+    /// session has a tracer).
+    reads: Vec<ReadTrace>,
+    ctx: Option<TxnContext>,
+}
+
+impl Txn {
+    fn rel_mut(&mut self) -> &mut trod_db::Transaction {
+        self.rel.as_mut().expect("transaction already finished")
+    }
+
+    fn traced(&self) -> bool {
+        self.session.inner.tracer.is_some()
+    }
+
+    /// Captures one read's provenance — the single policy point for read
+    /// capture: records are built (and rows cloned) only when the session
+    /// has a tracer.
+    fn trace_read(&mut self, build: impl FnOnce() -> ReadTrace) {
+        if self.traced() {
+            let trace = build();
+            self.reads.push(trace);
+        }
+    }
+
+    /// The database-assigned transaction id (also used in provenance).
+    pub fn txn_id(&self) -> TxnId {
+        self.txn_id
+    }
+
+    /// The shared snapshot timestamp both stores are read at.
+    pub fn snapshot_ts(&self) -> Ts {
+        self.snapshot_ts
+    }
+
+    /// The isolation level this transaction runs under.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.rel.as_ref().map(|t| t.isolation()).unwrap_or_default()
+    }
+
+    /// The tracing context, if any.
+    pub fn context(&self) -> Option<&TxnContext> {
+        self.ctx.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Relational operations (with read provenance)
+    // ------------------------------------------------------------------
+
+    /// Point read from the relational store.
+    pub fn get(&mut self, table: &str, key: &Key) -> TrodResult<Option<Arc<Row>>> {
+        let result = self.rel_mut().get(table, key)?;
+        let read_ts = self
+            .rel
+            .as_ref()
+            .map(|t| t.last_read_ts())
+            .unwrap_or_default();
+        self.trace_read(|| ReadTrace {
+            table: table.to_string(),
+            query: format!("Get {table}{key}"),
+            read_ts,
+            rows: result
+                .clone()
+                .map(|r| vec![(key.clone(), r)])
+                .unwrap_or_default(),
+        });
+        Ok(result)
+    }
+
+    /// Predicate scan over the relational store.
+    pub fn scan(&mut self, table: &str, pred: &Predicate) -> TrodResult<Vec<(Key, Arc<Row>)>> {
+        let result = self.rel_mut().scan(table, pred)?;
+        let read_ts = self
+            .rel
+            .as_ref()
+            .map(|t| t.last_read_ts())
+            .unwrap_or_default();
+        self.trace_read(|| ReadTrace {
+            table: table.to_string(),
+            query: format!("Scan {table} WHERE {pred}"),
+            read_ts,
+            rows: result.clone(),
+        });
+        Ok(result)
+    }
+
+    /// Existence check over the relational store (the "Check if (U1, F2)
+    /// exists" row of the paper's Table 2).
+    pub fn exists(&mut self, table: &str, pred: &Predicate) -> TrodResult<bool> {
+        let result = self.rel_mut().scan(table, pred)?;
+        let read_ts = self
+            .rel
+            .as_ref()
+            .map(|t| t.last_read_ts())
+            .unwrap_or_default();
+        self.trace_read(|| ReadTrace {
+            table: table.to_string(),
+            query: format!("Check if {pred} exists in {table}"),
+            read_ts,
+            rows: result.clone(),
+        });
+        Ok(!result.is_empty())
+    }
+
+    /// Count with read provenance.
+    pub fn count(&mut self, table: &str, pred: &Predicate) -> TrodResult<usize> {
+        let result = self.rel_mut().scan(table, pred)?;
+        let read_ts = self
+            .rel
+            .as_ref()
+            .map(|t| t.last_read_ts())
+            .unwrap_or_default();
+        self.trace_read(|| ReadTrace {
+            table: table.to_string(),
+            query: format!("Count {pred} in {table}"),
+            read_ts,
+            rows: result.clone(),
+        });
+        Ok(result.len())
+    }
+
+    /// Insert into the relational store (write provenance is captured
+    /// from the commit's CDC records).
+    pub fn insert(&mut self, table: &str, row: Row) -> TrodResult<Key> {
+        Ok(self.rel_mut().insert(table, row)?)
+    }
+
+    /// Update a relational row by primary key.
+    pub fn update(&mut self, table: &str, key: &Key, new_row: Row) -> TrodResult<()> {
+        Ok(self.rel_mut().update(table, key, new_row)?)
+    }
+
+    /// Updates every relational row matching `pred` by applying `f`.
+    /// Returns the number of rows updated.
+    pub fn update_where<F>(&mut self, table: &str, pred: &Predicate, f: F) -> TrodResult<usize>
+    where
+        F: FnMut(&Row) -> Row,
+    {
+        Ok(self.rel_mut().update_where(table, pred, f)?)
+    }
+
+    /// Delete a relational row by primary key.
+    pub fn delete(&mut self, table: &str, key: &Key) -> TrodResult<bool> {
+        Ok(self.rel_mut().delete(table, key)?)
+    }
+
+    /// Deletes every relational row matching `pred`. Returns the number
+    /// deleted.
+    pub fn delete_where(&mut self, table: &str, pred: &Predicate) -> TrodResult<usize> {
+        Ok(self.rel_mut().delete_where(table, pred)?)
+    }
+
+    /// The buffered (uncommitted) relational writes, as CDC records.
+    pub fn pending_changes(&self) -> Vec<ChangeRecord> {
+        self.rel
+            .as_ref()
+            .map(|t| t.pending_changes())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Key-value operations (with read provenance)
+    // ------------------------------------------------------------------
+
+    fn kv_store(&self) -> TrodResult<&KvStore> {
+        self.session
+            .inner
+            .kv
+            .as_ref()
+            .ok_or_else(|| KvError::UnknownNamespace("<no key-value store bound>".into()).into())
+    }
+
+    /// The visibility timestamp key-value reads are served at: the shared
+    /// snapshot under snapshot isolation / serializable, the published
+    /// clock under read committed — the same rule the relational side
+    /// follows, so one transaction never sees two different points in
+    /// time across its stores.
+    fn kv_read_ts(&self) -> Ts {
+        match self.isolation() {
+            IsolationLevel::ReadCommitted => self.session.inner.db.current_ts(),
+            IsolationLevel::SnapshotIsolation | IsolationLevel::Serializable => self.snapshot_ts,
+        }
+    }
+
+    /// Reads a key from the key-value store at this transaction's read
+    /// timestamp (see [`Txn::kv_read_ts`]), seeing its own buffered
+    /// writes first.
+    pub fn kv_get(&mut self, namespace: &str, key: &str) -> TrodResult<Option<String>> {
+        let id = (namespace.to_string(), key.to_string());
+        if let Some(buffered) = self.kv_writes.get(&id) {
+            return Ok(buffered.clone());
+        }
+        let read_ts = self.kv_read_ts();
+        let kv = self.kv_store()?.clone();
+        let value = kv.get_as_of(namespace, key, read_ts)?;
+        self.kv_reads.insert(id);
+        self.trace_read(|| ReadTrace {
+            table: kv_table_name(namespace),
+            query: format!("Get {key}"),
+            read_ts,
+            rows: value
+                .as_ref()
+                .map(|v| {
+                    vec![(
+                        Key::single(key),
+                        Arc::new(Row::from(vec![
+                            Value::Text(key.to_string()),
+                            Value::Text(v.clone()),
+                        ])),
+                    )]
+                })
+                .unwrap_or_default(),
+        });
+        Ok(value)
+    }
+
+    /// Prefix scan over the key-value store at this transaction's read
+    /// timestamp (see [`Txn::kv_read_ts`]). Buffered writes of this
+    /// transaction are *not* merged into the scan (matching the behaviour
+    /// of most KV stores' snapshot iterators).
+    pub fn kv_scan_prefix(
+        &mut self,
+        namespace: &str,
+        prefix: &str,
+    ) -> TrodResult<Vec<(String, String)>> {
+        let read_ts = self.kv_read_ts();
+        let kv = self.kv_store()?.clone();
+        let result = kv.scan_prefix_as_of(namespace, prefix, read_ts)?;
+        for (key, _) in &result {
+            self.kv_reads.insert((namespace.to_string(), key.clone()));
+        }
+        self.trace_read(|| ReadTrace {
+            table: kv_table_name(namespace),
+            query: format!("Scan prefix {prefix}"),
+            read_ts,
+            rows: result
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        Key::single(k.as_str()),
+                        Arc::new(Row::from(vec![
+                            Value::Text(k.clone()),
+                            Value::Text(v.clone()),
+                        ])),
+                    )
+                })
+                .collect(),
+        });
+        Ok(result)
+    }
+
+    /// Buffers a key-value put.
+    pub fn kv_put(&mut self, namespace: &str, key: &str, value: &str) -> TrodResult<()> {
+        if !self.kv_store()?.has_namespace(namespace) {
+            return Err(KvError::UnknownNamespace(namespace.to_string()).into());
+        }
+        self.kv_writes.insert(
+            (namespace.to_string(), key.to_string()),
+            Some(value.to_string()),
+        );
+        Ok(())
+    }
+
+    /// Buffers a key-value delete.
+    pub fn kv_delete(&mut self, namespace: &str, key: &str) -> TrodResult<()> {
+        if !self.kv_store()?.has_namespace(namespace) {
+            return Err(KvError::UnknownNamespace(namespace.to_string()).into());
+        }
+        self.kv_writes
+            .insert((namespace.to_string(), key.to_string()), None);
+        Ok(())
+    }
+
+    /// The buffered key-value writes in deterministic order.
+    pub fn pending_kv_writes(&self) -> Vec<KvWrite> {
+        self.kv_writes
+            .iter()
+            .map(|((namespace, key), value)| KvWrite {
+                namespace: namespace.clone(),
+                key: key.clone(),
+                value: value.clone(),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// Commits atomically across all participating stores at one commit
+    /// timestamp, through the sharded commit coordinator (see the module
+    /// docs — there is no cross-store lock; disjoint footprints commit
+    /// concurrently).
+    pub fn commit(mut self) -> TrodResult<TxnCommit> {
+        let rel = self.rel.take().expect("transaction already finished");
+        let kv_writes = self.pending_kv_writes();
+
+        let needs_participant = !self.kv_writes.is_empty() || !self.kv_reads.is_empty();
+        let result = if needs_participant {
+            if !kv_writes.is_empty() {
+                // Standalone store-level commits allocate timestamps from
+                // the store's own counter; if one outran this database's
+                // allocator on a namespace we write, catch the allocator
+                // up first so the participant's freshness veto only fires
+                // on a genuine mid-commit race (which a retry absorbs).
+                let kv = self.kv_store()?;
+                let floor = kv_writes
+                    .iter()
+                    .map(|w| kv.last_commit_ts_of(&w.namespace).unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                self.session.database().ensure_ts_at_least(floor);
+            }
+            let participant = KvParticipant {
+                kv: self.kv_store()?.clone(),
+                snapshot_ts: self.snapshot_ts,
+                isolation: rel.isolation(),
+                reads: &self.kv_reads,
+                writes: &kv_writes,
+                records: std::cell::RefCell::new(None),
+            };
+            rel.commit_with_participants(&[&participant])
+        } else {
+            rel.commit_with_participants(&[])
+        };
+
+        match result {
+            Ok(info) => {
+                let relational_changes = info
+                    .changes
+                    .iter()
+                    .filter(|c| !c.table.starts_with("kv:"))
+                    .count();
+                let kv_installed = info.changes.len() - relational_changes;
+                if self.traced() {
+                    self.emit_trace(info.commit_ts, true, info.changes.clone());
+                }
+                Ok(TxnCommit {
+                    txn_id: self.txn_id,
+                    commit_ts: info.commit_ts,
+                    relational_changes,
+                    kv_writes: kv_installed,
+                    changes: info.changes,
+                })
+            }
+            Err(e) => {
+                self.emit_trace(0, false, Vec::new());
+                Err(e)
+            }
+        }
+    }
+
+    /// Aborts the transaction on all stores; an aborted-transaction trace
+    /// is recorded so aborted attempts remain visible to declarative
+    /// debugging.
+    pub fn abort(mut self) {
+        if let Some(rel) = self.rel.take() {
+            rel.abort();
+        }
+        self.emit_trace(0, false, Vec::new());
+    }
+
+    fn emit_trace(&mut self, commit_ts: Ts, committed: bool, writes: Vec<ChangeRecord>) {
+        let Some(tracer) = self.session.inner.tracer.clone() else {
+            return;
+        };
+        let ctx = self.ctx.clone().unwrap_or_default();
+        let timestamp = tracer.now();
+        tracer.record_txn(TxnTrace {
+            txn_id: self.txn_id,
+            ctx,
+            timestamp,
+            snapshot_ts: self.snapshot_ts,
+            commit_ts,
+            committed,
+            reads: std::mem::take(&mut self.reads),
+            writes,
+        });
+    }
+}
+
+impl fmt::Debug for Txn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Txn")
+            .field("txn_id", &self.txn_id)
+            .field("snapshot_ts", &self.snapshot_ts)
+            .field("kv_writes", &self.kv_writes.len())
+            .finish()
+    }
+}
+
+/// The key-value side of a committing [`Txn`], handed to the commit
+/// coordinator. One per commit; carries the transaction's buffered
+/// key-value reads and writes.
+struct KvParticipant<'a> {
+    kv: KvStore,
+    snapshot_ts: Ts,
+    isolation: IsolationLevel,
+    reads: &'a BTreeSet<(String, String)>,
+    writes: &'a [KvWrite],
+    /// Change records (with before images) precomputed at the end of
+    /// validation, while the namespace locks are held and the store state
+    /// is already stable — so the serial publication window only pays for
+    /// the actual install, not the before-image reads.
+    records: std::cell::RefCell<Option<Vec<ChangeRecord>>>,
+}
+
+impl KvParticipant<'_> {
+    /// Encodes the buffered writes as CDC records on the virtual
+    /// `kv:<namespace>` tables, with before images taken from the current
+    /// store state (stable: the namespaces' commit locks are held).
+    fn change_records(&self) -> Vec<ChangeRecord> {
+        let mut out = Vec::with_capacity(self.writes.len());
+        for write in self.writes {
+            let table = kv_table_name(&write.namespace);
+            let key = Key::single(write.key.as_str());
+            let before = self
+                .kv
+                .get_latest(&write.namespace, &write.key)
+                .expect("namespace validated at buffer time");
+            let before_row = before
+                .as_ref()
+                .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
+            let after_row = write
+                .value
+                .as_ref()
+                .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
+            let record = match (before_row, after_row) {
+                (None, Some(after)) => ChangeRecord::insert(table, key, after),
+                (Some(before), Some(after)) => ChangeRecord::update(table, key, before, after),
+                (Some(before), None) => ChangeRecord::delete(table, key, before),
+                (None, None) => continue, // delete of a key that never existed
+            };
+            out.push(record);
+        }
+        out
+    }
+}
+
+impl CommitParticipant for KvParticipant<'_> {
+    fn resources(&self) -> Vec<String> {
+        let mut namespaces: Vec<&str> = self.writes.iter().map(|w| w.namespace.as_str()).collect();
+        if matches!(self.isolation, IsolationLevel::Serializable) {
+            // Validated reads must stay valid until publication, exactly
+            // like serializable read-table locks on the relational side.
+            namespaces.extend(self.reads.iter().map(|(ns, _)| ns.as_str()));
+        }
+        namespaces.sort_unstable();
+        namespaces.dedup();
+        namespaces.into_iter().map(kv_table_name).collect()
+    }
+
+    fn resource_lock(&self, resource: &str) -> Arc<Mutex<()>> {
+        let namespace = resource.strip_prefix("kv:").unwrap_or(resource);
+        self.kv
+            .commit_lock_of(namespace)
+            .expect("namespace validated at buffer time")
+    }
+
+    fn validate(&self, min_commit_ts: Ts) -> TrodResult<()> {
+        if matches!(self.isolation, IsolationLevel::Serializable) {
+            // Serializable reads happen at the snapshot, so any newer
+            // version of a read key is a conflict.
+            for (namespace, key) in self.reads {
+                let latest = self.kv.version_of(namespace, key)?;
+                if latest > self.snapshot_ts {
+                    return Err(KvError::Conflict {
+                        namespace: namespace.clone(),
+                        key: key.clone(),
+                    }
+                    .into());
+                }
+            }
+        }
+        // First-committer-wins on writes, under every isolation level.
+        for write in self.writes {
+            let latest = self.kv.version_of(&write.namespace, &write.key)?;
+            if latest > self.snapshot_ts {
+                return Err(KvError::Conflict {
+                    namespace: write.namespace.clone(),
+                    key: write.key.clone(),
+                }
+                .into());
+            }
+            // A store-level commit outside the coordinator (standalone
+            // KvTransaction, raw apply) may have pushed this namespace's
+            // timestamp past what the coordinator will allocate. Veto
+            // here — fallibly, nothing installed anywhere — so install
+            // (which runs in the publication window and must not fail)
+            // never sees a stale timestamp. The namespace locks are held,
+            // and standalone commits take them too, so the check cannot
+            // be invalidated between here and install.
+            let ns_latest = self.kv.last_commit_ts_of(&write.namespace)?;
+            if ns_latest >= min_commit_ts {
+                return Err(KvError::StaleCommitTimestamp {
+                    given: min_commit_ts,
+                    latest: ns_latest,
+                }
+                .into());
+            }
+        }
+        // Validation passed: the store state for our namespaces is locked
+        // and final, so take the before images now rather than inside the
+        // serial publication window.
+        if !self.writes.is_empty() {
+            *self.records.borrow_mut() = Some(self.change_records());
+        }
+        Ok(())
+    }
+
+    fn has_writes(&self) -> bool {
+        !self.writes.is_empty()
+    }
+
+    fn install(&self, commit_ts: Ts) -> Vec<ChangeRecord> {
+        if self.writes.is_empty() {
+            return Vec::new();
+        }
+        let records = self
+            .records
+            .borrow_mut()
+            .take()
+            .unwrap_or_else(|| self.change_records());
+        self.kv
+            .apply(self.writes, commit_ts)
+            .expect("validated key-value batch cannot fail to apply");
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trod_db::{row, DataType, DbError, Schema, TrodError};
+    use trod_trace::TraceEvent;
+
+    fn orders_db() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "orders",
+            Schema::builder()
+                .column("id", DataType::Int)
+                .column("item", DataType::Text)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn session() -> Session {
+        let kv = KvStore::new();
+        kv.create_namespace("sessions").unwrap();
+        Session::with_kv(orders_db(), kv)
+    }
+
+    #[test]
+    fn atomic_commit_spans_both_stores_with_one_timestamp() {
+        let session = session();
+        let mut txn = session.begin();
+        txn.insert("orders", row![1i64, "widget"]).unwrap();
+        txn.kv_put("sessions", "user-1", "cart:widget").unwrap();
+        let commit = txn.commit().unwrap();
+        assert_eq!(commit.relational_changes, 1);
+        assert_eq!(commit.kv_writes, 1);
+
+        // Both stores see the data, versioned at the same timestamp.
+        assert_eq!(
+            session
+                .database()
+                .get_latest("orders", &Key::single(1i64))
+                .unwrap(),
+            Some(std::sync::Arc::new(row![1i64, "widget"]))
+        );
+        assert_eq!(
+            session.kv().get_latest("sessions", "user-1").unwrap(),
+            Some("cart:widget".into())
+        );
+        assert_eq!(
+            session.kv().version_of("sessions", "user-1").unwrap(),
+            commit.commit_ts
+        );
+
+        // The relational transaction log IS the aligned log: one entry,
+        // carrying the changes of both stores at one timestamp.
+        let rel_log = session.database().log_entries();
+        assert_eq!(rel_log.len(), 1);
+        assert!(rel_log[0].writes_table("orders"));
+        assert!(rel_log[0].writes_table(&kv_table_name("sessions")));
+        let aligned = session.aligned_log();
+        assert_eq!(aligned.len(), 1);
+        assert!(aligned[0].spans_both_stores());
+        assert_eq!(aligned[0].commit_ts, commit.commit_ts);
+        assert_eq!(
+            aligned[0].kv,
+            vec![KvWrite::put("sessions", "user-1", "cart:widget")]
+        );
+    }
+
+    #[test]
+    fn kv_only_transactions_still_appear_in_both_logs() {
+        let session = session();
+        let mut txn = session.begin();
+        txn.kv_put("sessions", "user-2", "cart:empty").unwrap();
+        let commit = txn.commit().unwrap();
+        assert_eq!(commit.relational_changes, 0);
+        assert_eq!(commit.kv_writes, 1);
+        assert!(commit.commit_ts > 0);
+        assert_eq!(session.aligned_log().len(), 1);
+        // A KV-only commit still lands in the relational transaction log —
+        // alignment by construction, no marker table needed.
+        assert!(session
+            .database()
+            .log_entries()
+            .iter()
+            .any(|e| e.writes_table(&kv_table_name("sessions"))));
+    }
+
+    #[test]
+    fn conflicting_kv_writers_abort_and_leave_relational_store_unchanged() {
+        let session = session();
+        let mut first = session.begin();
+        let mut second = session.begin();
+        first.kv_put("sessions", "k", "first").unwrap();
+        second.kv_put("sessions", "k", "second").unwrap();
+        second.insert("orders", row![7i64, "gadget"]).unwrap();
+        first.commit().unwrap();
+
+        let err = second.commit().unwrap_err();
+        assert!(matches!(err, TrodError::KeyValue(KvError::Conflict { .. })));
+        // The loser's relational insert was rolled back.
+        assert_eq!(
+            session
+                .database()
+                .get_latest("orders", &Key::single(7i64))
+                .unwrap(),
+            None
+        );
+        assert_eq!(
+            session.kv().get_latest("sessions", "k").unwrap(),
+            Some("first".into())
+        );
+        assert_eq!(session.aligned_log().len(), 1);
+    }
+
+    #[test]
+    fn relational_conflicts_leave_kv_store_unchanged() {
+        let session = session();
+        let mut first = session.begin();
+        let mut second = session.begin();
+        first.insert("orders", row![1i64, "widget"]).unwrap();
+        second.insert("orders", row![1i64, "gadget"]).unwrap();
+        second.kv_put("sessions", "loser", "state").unwrap();
+        first.commit().unwrap();
+
+        let err = second.commit().unwrap_err();
+        assert!(matches!(err, TrodError::Relational(_)));
+        assert_eq!(session.kv().get_latest("sessions", "loser").unwrap(), None);
+        assert_eq!(session.aligned_log().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_reads_across_stores_and_read_your_writes() {
+        let session = session();
+        let mut setup = session.begin();
+        setup.insert("orders", row![1i64, "widget"]).unwrap();
+        setup.kv_put("sessions", "user-1", "v1").unwrap();
+        setup.commit().unwrap();
+
+        let mut reader = session.begin();
+        // A concurrent writer commits after the reader began.
+        let mut writer = session.begin();
+        writer.kv_put("sessions", "user-1", "v2").unwrap();
+        writer.commit().unwrap();
+
+        // The reader still sees the snapshot value in the KV store and the
+        // relational row.
+        assert_eq!(
+            reader.kv_get("sessions", "user-1").unwrap(),
+            Some("v1".into())
+        );
+        assert_eq!(
+            reader.get("orders", &Key::single(1i64)).unwrap(),
+            Some(std::sync::Arc::new(row![1i64, "widget"]))
+        );
+        // Read-your-own-writes.
+        reader.kv_put("sessions", "scratch", "tmp").unwrap();
+        assert_eq!(
+            reader.kv_get("sessions", "scratch").unwrap(),
+            Some("tmp".into())
+        );
+        reader.abort();
+    }
+
+    #[test]
+    fn prefix_scans_record_read_versions_for_validation() {
+        let session = session();
+        let mut setup = session.begin();
+        setup.kv_put("sessions", "user:1", "a").unwrap();
+        setup.kv_put("sessions", "user:2", "b").unwrap();
+        setup.commit().unwrap();
+
+        let mut txn = session.begin();
+        let scanned = txn.kv_scan_prefix("sessions", "user:").unwrap();
+        assert_eq!(scanned.len(), 2);
+        // Another writer changes a scanned key.
+        let mut writer = session.begin();
+        writer.kv_put("sessions", "user:1", "changed").unwrap();
+        writer.commit().unwrap();
+        // The scanning transaction now fails validation when it writes.
+        txn.kv_put("sessions", "other", "x").unwrap();
+        assert!(txn.commit().is_err());
+    }
+
+    #[test]
+    fn read_only_transactions_commit_without_logging() {
+        let session = session();
+        let mut txn = session.begin();
+        assert_eq!(txn.get("orders", &Key::single(1i64)).unwrap(), None);
+        assert_eq!(txn.kv_get("sessions", "user-1").unwrap(), None);
+        let commit = txn.commit().unwrap();
+        assert_eq!(commit.kv_writes, 0);
+        assert!(session.aligned_log().is_empty());
+    }
+
+    #[test]
+    fn snapshot_isolation_skips_kv_read_validation_but_not_write_conflicts() {
+        let session = session();
+        let mut setup = session.begin();
+        setup.kv_put("sessions", "k", "v0").unwrap();
+        setup.commit().unwrap();
+
+        // Under snapshot isolation a stale read does not abort...
+        let mut si =
+            session.begin_with(TxnOptions::new().isolation(IsolationLevel::SnapshotIsolation));
+        assert_eq!(si.kv_get("sessions", "k").unwrap(), Some("v0".into()));
+        let mut writer = session.begin();
+        writer.kv_put("sessions", "k", "v1").unwrap();
+        writer.commit().unwrap();
+        si.kv_put("sessions", "other", "x").unwrap();
+        si.commit().unwrap();
+
+        // ...but a write-write conflict still does.
+        let mut a =
+            session.begin_with(TxnOptions::new().isolation(IsolationLevel::SnapshotIsolation));
+        let mut b =
+            session.begin_with(TxnOptions::new().isolation(IsolationLevel::SnapshotIsolation));
+        a.kv_put("sessions", "k", "a").unwrap();
+        b.kv_put("sessions", "k", "b").unwrap();
+        a.commit().unwrap();
+        assert!(matches!(
+            b.commit().unwrap_err(),
+            TrodError::KeyValue(KvError::Conflict { .. })
+        ));
+    }
+
+    #[test]
+    fn traced_transactions_emit_one_unified_provenance_record() {
+        let kv = KvStore::new();
+        kv.create_namespace("sessions").unwrap();
+        let tracer = Tracer::new();
+        let session = Session::with_tracer(orders_db(), kv, tracer.clone());
+
+        let mut txn = session.begin_traced(TxnContext::new("R1", "checkout", "func:placeOrder"));
+        assert!(!txn.exists("orders", &Predicate::eq("id", 1i64)).unwrap());
+        txn.insert("orders", row![1i64, "widget"]).unwrap();
+        txn.kv_put("sessions", "user-1", "cart:widget").unwrap();
+        txn.commit().unwrap();
+
+        let events = tracer.drain();
+        assert_eq!(events.len(), 1);
+        let TraceEvent::Txn(trace) = &events[0] else {
+            panic!("expected a transaction trace");
+        };
+        assert!(trace.committed);
+        assert_eq!(trace.ctx.req_id, "R1");
+        // Reads: the relational existence check; writes: the relational
+        // insert plus the KV put under the virtual table name.
+        assert_eq!(trace.reads.len(), 1);
+        assert_eq!(trace.writes.len(), 2);
+        let tables = trace.touched_tables();
+        assert!(tables.contains(&"orders".to_string()));
+        assert!(tables.contains(&"kv:sessions".to_string()));
+    }
+
+    #[test]
+    fn aborted_traced_transactions_are_recorded() {
+        let kv = KvStore::new();
+        kv.create_namespace("sessions").unwrap();
+        let tracer = Tracer::new();
+        let session = Session::with_tracer(orders_db(), kv, tracer.clone());
+        let mut txn = session.begin_traced(TxnContext::new("R1", "checkout", "f"));
+        txn.kv_put("sessions", "k", "v").unwrap();
+        txn.abort();
+        let events = tracer.drain();
+        assert_eq!(events.len(), 1);
+        let TraceEvent::Txn(trace) = &events[0] else {
+            panic!("expected a transaction trace");
+        };
+        assert!(!trace.committed);
+        assert_eq!(session.kv().get_latest("sessions", "k").unwrap(), None);
+    }
+
+    #[test]
+    fn relational_only_sessions_need_no_kv_store() {
+        let tracer = Tracer::new();
+        let session = Session::builder(orders_db()).tracer(tracer.clone()).build();
+        assert!(session.kv_store().is_none());
+
+        let mut txn = session.begin_traced(TxnContext::new("R1", "h", "f"));
+        txn.insert("orders", row![1i64, "widget"]).unwrap();
+        let commit = txn.commit().unwrap();
+        assert_eq!(commit.relational_changes, 1);
+        assert_eq!(commit.kv_writes, 0);
+        assert_eq!(tracer.drain().len(), 1);
+
+        // KV operations on a KV-less session fail cleanly.
+        let mut txn = session.begin();
+        assert!(matches!(
+            txn.kv_put("sessions", "k", "v").unwrap_err(),
+            TrodError::KeyValue(KvError::UnknownNamespace(_))
+        ));
+        txn.abort();
+    }
+
+    #[test]
+    fn duplicate_relational_keys_surface_as_relational_errors() {
+        let session = session();
+        let mut setup = session.begin();
+        setup.insert("orders", row![1i64, "widget"]).unwrap();
+        setup.commit().unwrap();
+        let mut txn = session.begin();
+        let err = txn.insert("orders", row![1i64, "dup"]).unwrap_err();
+        assert!(matches!(
+            err,
+            TrodError::Relational(DbError::DuplicateKey { .. })
+        ));
+        txn.abort();
+    }
+
+    #[test]
+    fn compat_aliases_still_name_the_unified_types() {
+        use crate::cross::{CrossError, CrossStore};
+        let kv = KvStore::new();
+        kv.create_namespace("sessions").unwrap();
+        let cross: CrossStore = Session::with_kv(orders_db(), kv);
+        let mut txn = cross.begin();
+        txn.kv_put("sessions", "k", "v").unwrap();
+        txn.commit().unwrap();
+
+        let mut a = cross.begin();
+        let mut b = cross.begin();
+        a.kv_put("sessions", "k", "a").unwrap();
+        b.kv_put("sessions", "k", "b").unwrap();
+        a.commit().unwrap();
+        // The old variant paths still work through the alias.
+        let err = b.commit().unwrap_err();
+        assert!(matches!(
+            err,
+            CrossError::KeyValue(KvError::Conflict { .. })
+        ));
+    }
+}

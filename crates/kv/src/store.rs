@@ -4,54 +4,24 @@
 //! that the paper's §5 wants to bring under TROD's principles. It keeps a
 //! full version chain per key — value plus the commit timestamp that
 //! installed it, with deletions as tombstones — which is what gives the
-//! cross-store transaction manager snapshot reads and what gives TROD
+//! unified transaction surface snapshot reads and what gives TROD
 //! time-travel over key-value data.
+//!
+//! Each namespace carries its own **commit lock** (an `Arc<Mutex<()>>`
+//! handed to the commit coordinator as the `kv:<namespace>` resource; see
+//! [`trod_db::CommitParticipant`]) and its own last-applied timestamp.
+//! Commit timestamps are therefore monotone *per namespace* — the same
+//! per-resource invariant the relational tables keep — and commits over
+//! disjoint namespaces install concurrently without any store-wide lock.
 
 use std::collections::BTreeMap;
-use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use trod_db::Ts;
 
-/// Errors raised by the key-value store.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum KvError {
-    /// The namespace does not exist.
-    UnknownNamespace(String),
-    /// The namespace already exists.
-    NamespaceExists(String),
-    /// Optimistic validation failed: a key read or written by the
-    /// transaction changed after its snapshot.
-    Conflict { namespace: String, key: String },
-    /// A commit timestamp older than an already-applied version was used.
-    StaleCommitTimestamp { given: Ts, latest: Ts },
-}
-
-impl fmt::Display for KvError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            KvError::UnknownNamespace(ns) => write!(f, "unknown namespace `{ns}`"),
-            KvError::NamespaceExists(ns) => write!(f, "namespace `{ns}` already exists"),
-            KvError::Conflict { namespace, key } => {
-                write!(
-                    f,
-                    "conflict on `{namespace}/{key}`: key changed since snapshot"
-                )
-            }
-            KvError::StaleCommitTimestamp { given, latest } => write!(
-                f,
-                "commit timestamp {given} is not newer than the latest applied version {latest}"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for KvError {}
-
-/// Convenient result alias.
-pub type KvResult<T> = Result<T, KvError>;
+pub use trod_db::{KvError, KvResult};
 
 /// One buffered write destined for a namespace; `value: None` is a delete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,11 +66,24 @@ struct KvVersion {
     value: Option<String>,
 }
 
+/// One namespace: key version chains plus the per-namespace commit state.
+#[derive(Debug, Default)]
+struct Namespace {
+    /// key → version chain ordered by ascending timestamp.
+    keys: BTreeMap<String, Vec<KvVersion>>,
+    /// Largest commit timestamp applied to this namespace.
+    last_commit_ts: Ts,
+    /// This namespace's commit lock — the `kv:<namespace>` resource the
+    /// commit coordinator acquires (in global sorted order with table
+    /// locks) for any transaction reading or writing the namespace.
+    commit_lock: Arc<Mutex<()>>,
+}
+
 #[derive(Debug, Default)]
 struct KvInner {
-    /// namespace → key → version chain ordered by ascending timestamp.
-    namespaces: BTreeMap<String, BTreeMap<String, Vec<KvVersion>>>,
-    /// Largest commit timestamp applied so far.
+    namespaces: BTreeMap<String, Namespace>,
+    /// Largest commit timestamp applied to any namespace (for
+    /// [`KvStore::current_ts`] and standalone timestamp allocation).
     last_commit_ts: Ts,
 }
 
@@ -108,8 +91,9 @@ struct KvInner {
 ///
 /// The store itself offers only per-batch atomic application
 /// ([`KvStore::apply`]); multi-key transactional access comes from
-/// [`crate::KvTransaction`] (single-store) or [`crate::CrossStore`]
-/// (aligned with the relational database).
+/// [`crate::KvTransaction`] (single-store) or the unified
+/// [`crate::Txn`] (aligned with the relational database through the
+/// commit coordinator).
 #[derive(Debug, Clone, Default)]
 pub struct KvStore {
     inner: Arc<RwLock<KvInner>>,
@@ -121,13 +105,15 @@ impl KvStore {
         KvStore::default()
     }
 
-    /// Creates a namespace (bucket / collection).
+    /// Creates a namespace (bucket / collection) with its own commit lock.
     pub fn create_namespace(&self, name: &str) -> KvResult<()> {
         let mut inner = self.inner.write();
         if inner.namespaces.contains_key(name) {
             return Err(KvError::NamespaceExists(name.to_string()));
         }
-        inner.namespaces.insert(name.to_string(), BTreeMap::new());
+        inner
+            .namespaces
+            .insert(name.to_string(), Namespace::default());
         Ok(())
     }
 
@@ -141,9 +127,33 @@ impl KvStore {
         self.inner.read().namespaces.contains_key(name)
     }
 
-    /// The largest commit timestamp applied so far.
+    /// The commit lock of a namespace — the `kv:<namespace>` commit
+    /// resource handed to the coordinator. Shared so guards can be taken
+    /// in the coordinator's global sorted order.
+    pub fn commit_lock_of(&self, namespace: &str) -> KvResult<Arc<Mutex<()>>> {
+        let inner = self.inner.read();
+        inner
+            .namespaces
+            .get(namespace)
+            .map(|ns| ns.commit_lock.clone())
+            .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))
+    }
+
+    /// The largest commit timestamp applied so far (over all namespaces).
     pub fn current_ts(&self) -> Ts {
         self.inner.read().last_commit_ts
+    }
+
+    /// The largest commit timestamp applied to one namespace (0 if the
+    /// namespace was never written). [`KvStore::apply`] rejects anything
+    /// at or below it for that namespace.
+    pub fn last_commit_ts_of(&self, namespace: &str) -> KvResult<Ts> {
+        let inner = self.inner.read();
+        inner
+            .namespaces
+            .get(namespace)
+            .map(|ns| ns.last_commit_ts)
+            .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))
     }
 
     /// The latest value of a key, if any.
@@ -159,6 +169,7 @@ impl KvStore {
             .get(namespace)
             .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
         Ok(ns
+            .keys
             .get(key)
             .and_then(|versions| versions.iter().rev().find(|v| v.ts <= ts))
             .and_then(|v| v.value.clone()))
@@ -178,7 +189,7 @@ impl KvStore {
             .get(namespace)
             .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
         let mut out = Vec::new();
-        for (key, versions) in ns.range(prefix.to_string()..) {
+        for (key, versions) in ns.keys.range(prefix.to_string()..) {
             if !key.starts_with(prefix) {
                 break;
             }
@@ -208,6 +219,7 @@ impl KvStore {
             .get(namespace)
             .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
         Ok(ns
+            .keys
             .get(key)
             .and_then(|versions| versions.last())
             .map(|v| v.ts)
@@ -216,20 +228,26 @@ impl KvStore {
 
     /// Atomically applies a batch of writes, stamping every new version
     /// with `commit_ts`. The timestamp must be strictly newer than every
-    /// previously applied version — this is the alignment invariant the
-    /// cross-store manager relies on.
+    /// version previously applied to *the namespaces the batch touches* —
+    /// the per-resource monotonicity the coordinator relies on (guaranteed
+    /// when applied under the namespaces' commit locks with a timestamp
+    /// allocated while holding them). Namespaces outside the batch may
+    /// already hold newer timestamps: disjoint-namespace commits install
+    /// in lock order, not global timestamp order.
     pub fn apply(&self, writes: &[KvWrite], commit_ts: Ts) -> KvResult<()> {
         let mut inner = self.inner.write();
-        if commit_ts <= inner.last_commit_ts {
-            return Err(KvError::StaleCommitTimestamp {
-                given: commit_ts,
-                latest: inner.last_commit_ts,
-            });
-        }
-        // Validate namespaces first so the batch is all-or-nothing.
+        // Validate namespaces and per-namespace freshness first so the
+        // batch is all-or-nothing.
         for write in writes {
-            if !inner.namespaces.contains_key(&write.namespace) {
-                return Err(KvError::UnknownNamespace(write.namespace.clone()));
+            let ns = inner
+                .namespaces
+                .get(&write.namespace)
+                .ok_or_else(|| KvError::UnknownNamespace(write.namespace.clone()))?;
+            if commit_ts <= ns.last_commit_ts {
+                return Err(KvError::StaleCommitTimestamp {
+                    given: commit_ts,
+                    latest: ns.last_commit_ts,
+                });
             }
         }
         for write in writes {
@@ -237,20 +255,29 @@ impl KvStore {
                 .namespaces
                 .get_mut(&write.namespace)
                 .expect("namespace validated above");
-            ns.entry(write.key.clone()).or_default().push(KvVersion {
-                ts: commit_ts,
-                value: write.value.clone(),
-            });
+            ns.keys
+                .entry(write.key.clone())
+                .or_default()
+                .push(KvVersion {
+                    ts: commit_ts,
+                    value: write.value.clone(),
+                });
+            ns.last_commit_ts = commit_ts;
         }
-        inner.last_commit_ts = commit_ts;
+        inner.last_commit_ts = inner.last_commit_ts.max(commit_ts);
         Ok(())
     }
 
     /// Allocates the next standalone commit timestamp (used by
-    /// [`crate::KvTransaction`] when the store is not coordinated by a
-    /// cross-store manager).
-    pub(crate) fn next_standalone_ts(&self) -> Ts {
-        self.inner.read().last_commit_ts + 1
+    /// [`crate::KvTransaction`] when the store is not coordinated with a
+    /// relational database). The global high-water mark is advanced at
+    /// allocation time, so concurrent standalone commits — even over
+    /// disjoint namespaces, holding disjoint commit locks — can never
+    /// claim the same timestamp.
+    pub(crate) fn allocate_standalone_ts(&self) -> Ts {
+        let mut inner = self.inner.write();
+        inner.last_commit_ts += 1;
+        inner.last_commit_ts
     }
 
     /// Statistics for one namespace.
@@ -261,7 +288,7 @@ impl KvStore {
             .get(namespace)
             .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
         let mut stats = NamespaceStats::default();
-        for versions in ns.values() {
+        for versions in ns.keys.values() {
             stats.versions += versions.len();
             if versions.last().map(|v| v.value.is_some()).unwrap_or(false) {
                 stats.live_keys += 1;
@@ -277,7 +304,7 @@ impl KvStore {
         let mut inner = self.inner.write();
         let mut removed = 0;
         for ns in inner.namespaces.values_mut() {
-            for versions in ns.values_mut() {
+            for versions in ns.keys.values_mut() {
                 if versions.len() <= 1 {
                     continue;
                 }
@@ -315,6 +342,8 @@ mod tests {
             kv.get_latest("missing", "k"),
             Err(KvError::UnknownNamespace("missing".into()))
         );
+        assert!(kv.commit_lock_of("sessions").is_ok());
+        assert!(kv.commit_lock_of("missing").is_err());
     }
 
     #[test]
@@ -382,6 +411,25 @@ mod tests {
         // The failed batches changed nothing.
         assert_eq!(kv.get_latest("sessions", "k").unwrap(), Some("v".into()));
         assert_eq!(kv.current_ts(), 10);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_namespace_not_globally() {
+        // Disjoint-namespace commits may install out of global timestamp
+        // order (the coordinator publishes in order; installs race).
+        let kv = store();
+        kv.create_namespace("carts").unwrap();
+        kv.apply(&[KvWrite::put("sessions", "k", "s10")], 10)
+            .unwrap();
+        // An older timestamp is fine on a namespace that never saw 10.
+        kv.apply(&[KvWrite::put("carts", "k", "c9")], 9).unwrap();
+        assert_eq!(kv.get_latest("carts", "k").unwrap(), Some("c9".into()));
+        assert_eq!(kv.current_ts(), 10, "current_ts is the global max");
+        // But within one namespace the check still holds.
+        assert!(matches!(
+            kv.apply(&[KvWrite::put("carts", "k", "c9b")], 9),
+            Err(KvError::StaleCommitTimestamp { .. })
+        ));
     }
 
     #[test]

@@ -117,16 +117,28 @@ impl KvTransaction {
         Ok(())
     }
 
-    /// Commits: validates, then applies the buffered writes at the next
-    /// standalone commit timestamp. Returns the commit timestamp (equal to
-    /// the snapshot for read-only transactions).
+    /// Commits: takes the written namespaces' commit locks (in sorted
+    /// order — the same locks the cross-store commit coordinator uses, so
+    /// standalone and coordinated commits on shared namespaces serialize
+    /// instead of racing), validates, then applies the buffered writes at
+    /// the next standalone commit timestamp. Returns the commit timestamp
+    /// (equal to the snapshot for read-only transactions).
     pub fn commit(mut self) -> KvResult<Ts> {
         self.finished = true;
-        self.validate()?;
         if self.writes.is_empty() {
+            self.validate()?;
             return Ok(self.snapshot_ts);
         }
-        let commit_ts = self.store.next_standalone_ts();
+        let mut namespaces: Vec<&str> = self.writes.keys().map(|(ns, _)| ns.as_str()).collect();
+        namespaces.sort_unstable();
+        namespaces.dedup();
+        let locks = namespaces
+            .iter()
+            .map(|ns| self.store.commit_lock_of(ns))
+            .collect::<KvResult<Vec<_>>>()?;
+        let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+        self.validate()?;
+        let commit_ts = self.store.allocate_standalone_ts();
         let writes = self.pending_writes();
         self.store.apply(&writes, commit_ts)?;
         Ok(commit_ts)

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use trod_db::{row, DataType, Database, Schema, Ts};
-use trod_kv::{CrossStore, KvStore, KvWrite};
+use trod_kv::{KvStore, KvWrite, Session};
 
 /// One generated write: key index, optional value (None = delete).
 #[derive(Debug, Clone)]
@@ -143,7 +143,7 @@ proptest! {
         .unwrap();
         let kv = KvStore::new();
         kv.create_namespace("ns").unwrap();
-        let cross = CrossStore::new(db, kv);
+        let cross = Session::with_kv(db, kv);
 
         let mut model: BTreeMap<String, String> = BTreeMap::new();
         let mut committed = 0usize;

@@ -1,0 +1,561 @@
+//! The unified (participant-based) commit path under mixed
+//! relational + key-value schedules and threads.
+//!
+//! PR 3 deleted the cross-store global commit lock: key-value namespaces
+//! now join the relational footprint as `kv:<namespace>` commit resources
+//! and every commit — relational-only, KV-only or mixed — runs through
+//! the one sharded coordinator. These tests pin the properties that
+//! redesign must preserve:
+//!
+//! * a property test drives randomly generated mixed schedules
+//!   (relational tables and KV namespaces, reads and writes spread over
+//!   both, concurrent committers in between) against three sessions —
+//!   sharded, sharded with full-scan validation forced, and the
+//!   serial-commit baseline (which also serializes participant commits)
+//!   — and requires identical commit decisions and identical final
+//!   states in *both* stores;
+//! * an 8-thread stress test keeps a value mirrored between a relational
+//!   row and a KV key per slot, updated only by mixed commits, and
+//!   asserts that snapshot readers never observe the two stores disagree
+//!   (a torn cross-store commit);
+//! * a total-order test checks that concurrent mixed commits produce one
+//!   strictly-increasing, dense transaction log in which every entry
+//!   carries its relational and key-value changes together, timestamps
+//!   matching what the KV store actually installed.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use proptest::prelude::*;
+
+use trod_db::{row, DataType, Database, DbError, Key, KvError, Predicate, Schema, TrodError};
+use trod_kv::{kv_table_name, KvStore, Session};
+
+const TABLES: [&str; 2] = ["t0", "t1"];
+const NAMESPACES: [&str; 2] = ["ns0", "ns1"];
+
+fn table_schema() -> Schema {
+    Schema::builder()
+        .column("k", DataType::Int)
+        .column("v", DataType::Int)
+        .primary_key(&["k"])
+        .build()
+        .unwrap()
+}
+
+fn new_session(full_scan: bool, serial: bool) -> Session {
+    let db = Database::new();
+    for name in TABLES {
+        db.create_table(name, table_schema()).unwrap();
+    }
+    db.set_full_scan_validation(full_scan);
+    db.set_serial_commit(serial);
+    let kv = KvStore::new();
+    for ns in NAMESPACES {
+        kv.create_namespace(ns).unwrap();
+    }
+    Session::with_kv(db, kv)
+}
+
+/// One operation in a generated mixed transaction.
+#[derive(Debug, Clone)]
+enum Op {
+    RelPut { t: usize, k: i64, v: i64 },
+    RelDelete { t: usize, k: i64 },
+    RelGet { t: usize, k: i64 },
+    RelScanEqV { t: usize, v: i64 },
+    KvPut { n: usize, k: i64, v: i64 },
+    KvDelete { n: usize, k: i64 },
+    KvGet { n: usize, k: i64 },
+}
+
+fn op_strategy(key_space: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..2usize, 0..key_space, 0..50i64).prop_map(|(t, k, v)| Op::RelPut { t, k, v }),
+        (0..2usize, 0..key_space).prop_map(|(t, k)| Op::RelDelete { t, k }),
+        (0..2usize, 0..key_space).prop_map(|(t, k)| Op::RelGet { t, k }),
+        (0..2usize, 0..50i64).prop_map(|(t, v)| Op::RelScanEqV { t, v }),
+        (0..2usize, 0..key_space, 0..50i64).prop_map(|(n, k, v)| Op::KvPut { n, k, v }),
+        (0..2usize, 0..key_space).prop_map(|(n, k)| Op::KvDelete { n, k }),
+        (0..2usize, 0..key_space).prop_map(|(n, k)| Op::KvGet { n, k }),
+    ]
+}
+
+/// A generated mixed schedule; see `run_schedule`.
+#[derive(Debug, Clone)]
+struct Schedule {
+    history: Vec<Vec<Op>>,
+    pending: Vec<Op>,
+    concurrent: Vec<Vec<Op>>,
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    let key_space = 6i64;
+    (
+        prop::collection::vec(prop::collection::vec(op_strategy(key_space), 1..4), 0..4),
+        prop::collection::vec(op_strategy(key_space), 1..6),
+        prop::collection::vec(prop::collection::vec(op_strategy(key_space), 1..4), 0..5),
+    )
+        .prop_map(|(history, pending, concurrent)| Schedule {
+            history,
+            pending,
+            concurrent,
+        })
+}
+
+fn apply_ops(txn: &mut trod_kv::Txn, ops: &[Op]) -> Result<(), TrodError> {
+    for op in ops {
+        match op {
+            Op::RelPut { t, k, v } => {
+                let key = Key::single(*k);
+                if txn.get(TABLES[*t], &key)?.is_some() {
+                    txn.update(TABLES[*t], &key, row![*k, *v])?;
+                } else {
+                    txn.insert(TABLES[*t], row![*k, *v])?;
+                }
+            }
+            Op::RelDelete { t, k } => {
+                txn.delete(TABLES[*t], &Key::single(*k))?;
+            }
+            Op::RelGet { t, k } => {
+                let _ = txn.get(TABLES[*t], &Key::single(*k))?;
+            }
+            Op::RelScanEqV { t, v } => {
+                let _ = txn.scan(TABLES[*t], &Predicate::eq("v", *v))?;
+            }
+            Op::KvPut { n, k, v } => {
+                txn.kv_put(NAMESPACES[*n], &format!("k{k}"), &v.to_string())?;
+            }
+            Op::KvDelete { n, k } => {
+                txn.kv_delete(NAMESPACES[*n], &format!("k{k}"))?;
+            }
+            Op::KvGet { n, k } => {
+                let _ = txn.kv_get(NAMESPACES[*n], &format!("k{k}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn commit_ops(session: &Session, ops: &[Op]) {
+    let mut txn = session.begin();
+    apply_ops(&mut txn, ops).unwrap();
+    txn.commit().unwrap();
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Committed,
+    RelationalConflict,
+    KvConflict,
+    OtherError(String),
+}
+
+type State = (Vec<BTreeMap<i64, i64>>, Vec<Vec<(String, String)>>);
+
+/// Runs the schedule: history commits, then a pending serializable mixed
+/// transaction reads and buffers operations over both stores, then the
+/// concurrent transactions commit, then the pending transaction attempts
+/// to commit. Returns its outcome plus the final state of both stores.
+fn run_schedule(session: &Session, s: &Schedule) -> (Outcome, State) {
+    for ops in &s.history {
+        commit_ops(session, ops);
+    }
+
+    let mut pending = session.begin();
+    apply_ops(&mut pending, &s.pending).unwrap();
+
+    for ops in &s.concurrent {
+        commit_ops(session, ops);
+    }
+
+    let outcome = match pending.commit() {
+        Ok(_) => Outcome::Committed,
+        Err(TrodError::Relational(
+            DbError::SerializationFailure { .. } | DbError::WriteConflict { .. },
+        )) => Outcome::RelationalConflict,
+        Err(TrodError::KeyValue(KvError::Conflict { .. })) => Outcome::KvConflict,
+        Err(other) => Outcome::OtherError(other.to_string()),
+    };
+
+    let tables = TABLES
+        .iter()
+        .map(|t| {
+            session
+                .database()
+                .scan_latest(t, &Predicate::True)
+                .unwrap()
+                .into_iter()
+                .map(|(_, r)| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+                .collect()
+        })
+        .collect();
+    let namespaces = NAMESPACES
+        .iter()
+        .map(|ns| session.kv().scan_prefix(ns, "").unwrap())
+        .collect();
+    (outcome, (tables, namespaces))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The sharded participant commit path, the forced full-scan
+    /// relational validation path and the serial-commit baseline accept
+    /// and reject exactly the same mixed schedules, leaving identical
+    /// final states in both stores.
+    #[test]
+    fn mixed_commits_are_decision_equivalent_across_modes(
+        schedule in schedule_strategy()
+    ) {
+        let sharded = new_session(false, false);
+        let full_scan = new_session(true, false);
+        let serial = new_session(false, true);
+        let (a, sa) = run_schedule(&sharded, &schedule);
+        let (b, sb) = run_schedule(&full_scan, &schedule);
+        let (c, sc) = run_schedule(&serial, &schedule);
+        prop_assert_eq!(&a, &b, "sharded vs full-scan diverged for {:?}", schedule);
+        prop_assert_eq!(&a, &c, "sharded vs serial diverged for {:?}", schedule);
+        prop_assert_eq!(&sa, &sb);
+        prop_assert_eq!(sa, sc);
+    }
+
+    /// The aligned log agrees with the stores: replaying the kv side of
+    /// every aligned entry in order reproduces the key-value store's
+    /// final state.
+    #[test]
+    fn aligned_log_replays_to_the_kv_state(schedule in schedule_strategy()) {
+        let session = new_session(false, false);
+        let _ = run_schedule(&session, &schedule);
+        let mut replayed: BTreeMap<(String, String), Option<String>> = BTreeMap::new();
+        for commit in session.aligned_log() {
+            for w in commit.kv {
+                replayed.insert((w.namespace, w.key), w.value);
+            }
+        }
+        for ns in NAMESPACES {
+            let live: BTreeMap<String, String> =
+                session.kv().scan_prefix(ns, "").unwrap().into_iter().collect();
+            let from_log: BTreeMap<String, String> = replayed
+                .iter()
+                .filter(|((n, _), _)| n == ns)
+                .filter_map(|((_, k), v)| v.clone().map(|v| (k.clone(), v)))
+                .collect();
+            prop_assert_eq!(live, from_log, "aligned log diverges from store in {}", ns);
+        }
+    }
+}
+
+/// 8 writer threads each own one slot mirrored between a relational row
+/// and a KV key; every update is ONE mixed commit that bumps both to the
+/// same value. Two reader threads take serializable snapshots and assert
+/// the mirror never tears: seeing `row == n` with `kv != n` would mean a
+/// cross-store commit became visible half-applied.
+#[test]
+fn snapshot_reads_never_see_torn_mixed_commits() {
+    const WRITERS: usize = 8;
+    const ROUNDS: usize = 50;
+
+    let session = new_session(false, false);
+    {
+        let mut txn = session.begin();
+        for w in 0..WRITERS as i64 {
+            txn.insert(TABLES[0], row![w, 0i64]).unwrap();
+            txn.kv_put(NAMESPACES[0], &format!("slot{w}"), "0").unwrap();
+        }
+        txn.commit().unwrap();
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(WRITERS + 3));
+
+    std::thread::scope(|scope| {
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let session = session.clone();
+            let barrier = barrier.clone();
+            writers.push(scope.spawn(move || {
+                barrier.wait();
+                let key = Key::single(w as i64);
+                let kv_key = format!("slot{w}");
+                for _ in 0..ROUNDS {
+                    loop {
+                        let mut txn = session.begin();
+                        let current = txn.get(TABLES[0], &key).unwrap().unwrap()[1]
+                            .as_int()
+                            .unwrap();
+                        let next = current + 1;
+                        txn.update(TABLES[0], &key, row![w as i64, next]).unwrap();
+                        txn.kv_put(NAMESPACES[0], &kv_key, &next.to_string())
+                            .unwrap();
+                        match txn.commit() {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let session = session.clone();
+            let barrier = barrier.clone();
+            let done = done.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                while !done.load(Ordering::Relaxed) {
+                    let mut txn = session.begin();
+                    for w in 0..WRITERS as i64 {
+                        let row_v = txn.get(TABLES[0], &Key::single(w)).unwrap().unwrap()[1]
+                            .as_int()
+                            .unwrap();
+                        let kv_v: i64 = txn
+                            .kv_get(NAMESPACES[0], &format!("slot{w}"))
+                            .unwrap()
+                            .unwrap()
+                            .parse()
+                            .unwrap();
+                        assert_eq!(
+                            row_v, kv_v,
+                            "snapshot saw a torn cross-store commit on slot {w}"
+                        );
+                    }
+                    txn.abort();
+                }
+            });
+        }
+        barrier.wait();
+        for handle in writers {
+            handle.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    // Every slot converged to ROUNDS in both stores.
+    for w in 0..WRITERS as i64 {
+        let row_v = session
+            .database()
+            .get_latest(TABLES[0], &Key::single(w))
+            .unwrap()
+            .unwrap()[1]
+            .as_int()
+            .unwrap();
+        assert_eq!(row_v, ROUNDS as i64);
+        assert_eq!(
+            session
+                .kv()
+                .get_latest(NAMESPACES[0], &format!("slot{w}"))
+                .unwrap(),
+            Some(ROUNDS.to_string())
+        );
+    }
+}
+
+/// Concurrent mixed commits over disjoint (table, namespace) pairs: the
+/// aligned transaction log totally orders them — strictly increasing,
+/// dense timestamps; every entry carries its relational and key-value
+/// changes together; and the KV store's installed versions match the log.
+#[test]
+fn aligned_log_totally_orders_concurrent_mixed_commits() {
+    const PER_THREAD: i64 = 30;
+
+    let session = new_session(false, false);
+    let barrier = Arc::new(Barrier::new(4));
+
+    std::thread::scope(|scope| {
+        for thread in 0..4usize {
+            let session = session.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move || {
+                let table = TABLES[thread % 2];
+                let ns = NAMESPACES[thread % 2];
+                let base = (thread as i64) * 1_000;
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    loop {
+                        let mut txn = session.begin();
+                        txn.insert(table, row![base + i, thread as i64]).unwrap();
+                        txn.kv_put(ns, &format!("t{thread}-k{i}"), &i.to_string())
+                            .unwrap();
+                        match txn.commit() {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let log = session.database().log_entries();
+    assert_eq!(log.len(), 4 * PER_THREAD as usize);
+    for pair in log.windows(2) {
+        assert_eq!(
+            pair[0].commit_ts + 1,
+            pair[1].commit_ts,
+            "commit timestamps are dense: every allocated ts published"
+        );
+    }
+
+    // Every log entry is aligned: it carries exactly one relational
+    // insert and one kv record, for the same logical operation, and the
+    // KV store installed that key at exactly the entry's timestamp.
+    for entry in &log {
+        let rel: Vec<_> = entry
+            .changes
+            .iter()
+            .filter(|c| !c.table.starts_with("kv:"))
+            .collect();
+        let kv: Vec<_> = entry
+            .changes
+            .iter()
+            .filter(|c| c.table.starts_with("kv:"))
+            .collect();
+        assert_eq!(rel.len(), 1, "one relational change per mixed commit");
+        assert_eq!(kv.len(), 1, "one kv change per mixed commit");
+        let ns = kv[0].table.strip_prefix("kv:").unwrap();
+        let kv_key = match kv[0].key.values().first() {
+            Some(trod_db::Value::Text(k)) => k.clone(),
+            other => panic!("kv record key must be text, got {other:?}"),
+        };
+        assert_eq!(
+            session.kv().version_of(ns, &kv_key).unwrap(),
+            entry.commit_ts,
+            "kv store version must match the aligned log entry"
+        );
+    }
+
+    // The aligned view partitions the same entries.
+    let aligned = session.aligned_log();
+    assert_eq!(aligned.len(), log.len());
+    assert!(aligned.iter().all(|c| c.spans_both_stores()));
+    for (entry, commit) in log.iter().zip(&aligned) {
+        assert_eq!(entry.commit_ts, commit.commit_ts);
+        assert_eq!(commit.relational.len(), 1);
+        assert_eq!(commit.kv.len(), 1);
+        assert_eq!(kv_table_name(&commit.kv[0].namespace), {
+            let t = &entry
+                .changes
+                .iter()
+                .find(|c| c.table.starts_with("kv:"))
+                .unwrap()
+                .table;
+            t.clone()
+        });
+    }
+}
+
+/// Mixing standalone store-level commits with coordinated session
+/// commits on one store must never wedge or starve the coordinator: if a
+/// standalone commit pushed a namespace's timestamp past the database
+/// allocator, the session commit catches the allocator up (publishing
+/// empty ticks) and commits at a strictly newer timestamp — it neither
+/// panics inside the publication window nor fails forever.
+#[test]
+fn standalone_kv_commits_cannot_wedge_coordinated_commits() {
+    let session = new_session(false, false);
+
+    // Drive the namespace's timestamp ahead of the (fresh) database
+    // allocator through the raw store API.
+    session
+        .kv()
+        .apply(&[trod_kv::KvWrite::put(NAMESPACES[0], "a", "v")], 10)
+        .unwrap();
+    assert!(session.database().current_ts() < 10);
+
+    // A coordinated commit on the same namespace self-heals: the
+    // allocator is advanced past the foreign timestamp, the commit lands
+    // strictly after it, and both stores stay consistent.
+    let mut txn = session.begin();
+    txn.kv_put(NAMESPACES[0], "b", "w").unwrap();
+    txn.insert(TABLES[0], row![1i64, 1i64]).unwrap();
+    let commit = txn.commit().unwrap();
+    assert!(commit.commit_ts > 10, "commit lands after the foreign ts");
+    assert_eq!(
+        session.kv().version_of(NAMESPACES[0], "b").unwrap(),
+        commit.commit_ts
+    );
+    assert_eq!(
+        session.kv().get_latest(NAMESPACES[0], "b").unwrap(),
+        Some("w".into())
+    );
+    assert_eq!(session.database().current_ts(), commit.commit_ts);
+
+    // The standalone single-store transaction path interoperates too.
+    let mut standalone = trod_kv::KvTransaction::begin(session.kv());
+    standalone.put(NAMESPACES[0], "c", "s").unwrap();
+    let standalone_ts = standalone.commit().unwrap();
+    assert!(standalone_ts > commit.commit_ts);
+    let mut txn = session.begin();
+    txn.kv_put(NAMESPACES[0], "d", "y").unwrap();
+    let commit2 = txn.commit().unwrap();
+    assert!(commit2.commit_ts > standalone_ts);
+}
+
+/// The `kv:` resource prefix is reserved: a relational table with such a
+/// name would alias a namespace's commit lock in the coordinator's
+/// merged lock order and be misclassified in the aligned log.
+#[test]
+fn kv_prefixed_table_names_are_rejected() {
+    let db = Database::new();
+    assert!(matches!(
+        db.create_table("kv:sessions", table_schema()).unwrap_err(),
+        DbError::Invalid(_)
+    ));
+    assert!(!db.has_table("kv:sessions"));
+}
+
+/// Serializable KV read validation spans the coordinator: a transaction
+/// whose kv_get was invalidated by a concurrent commit aborts even when
+/// its writes are purely relational (and vice versa).
+#[test]
+fn cross_store_read_validation_is_enforced_by_the_coordinator() {
+    let session = new_session(false, false);
+    {
+        let mut txn = session.begin();
+        txn.kv_put(NAMESPACES[0], "flag", "off").unwrap();
+        txn.insert(TABLES[0], row![1i64, 0i64]).unwrap();
+        txn.commit().unwrap();
+    }
+
+    // KV read, relational write: invalidated by a concurrent KV commit.
+    let mut pending = session.begin();
+    assert_eq!(
+        pending.kv_get(NAMESPACES[0], "flag").unwrap(),
+        Some("off".into())
+    );
+    pending.insert(TABLES[0], row![2i64, 1i64]).unwrap();
+    let mut writer = session.begin();
+    writer.kv_put(NAMESPACES[0], "flag", "on").unwrap();
+    writer.commit().unwrap();
+    assert!(matches!(
+        pending.commit().unwrap_err(),
+        TrodError::KeyValue(KvError::Conflict { .. })
+    ));
+    // The relational write did not survive the aborted commit.
+    assert_eq!(
+        session
+            .database()
+            .get_latest(TABLES[0], &Key::single(2i64))
+            .unwrap(),
+        None
+    );
+
+    // Relational read, KV write: invalidated by a concurrent relational
+    // commit.
+    let mut pending = session.begin();
+    let _ = pending.scan(TABLES[0], &Predicate::eq("v", 0i64)).unwrap();
+    pending.kv_put(NAMESPACES[1], "out", "x").unwrap();
+    let mut writer = session.begin();
+    writer
+        .update(TABLES[0], &Key::single(1i64), row![1i64, 99i64])
+        .unwrap();
+    writer.commit().unwrap();
+    assert!(matches!(
+        pending.commit().unwrap_err(),
+        TrodError::Relational(DbError::SerializationFailure { .. })
+    ));
+    assert_eq!(session.kv().get_latest(NAMESPACES[1], "out").unwrap(), None);
+}

@@ -305,9 +305,10 @@ fn erase_change(change: &ChangeRecord) -> ChangeRecord {
 mod tests {
     use super::*;
     use trod_db::{row, DataType, Database, Schema};
-    use trod_trace::{TracedDatabase, Tracer, TxnContext};
+    use trod_kv::Session;
+    use trod_trace::{Tracer, TxnContext};
 
-    fn setup() -> (Database, ProvenanceStore, TracedDatabase) {
+    fn setup() -> (Database, ProvenanceStore, Session) {
         let db = Database::new();
         db.create_table(
             "profiles",
@@ -320,24 +321,24 @@ mod tests {
         )
         .unwrap();
         let store = ProvenanceStore::for_application(&db).unwrap();
-        let traced = TracedDatabase::new(db.clone(), Tracer::new());
+        let traced = Session::builder(db.clone()).tracer(Tracer::new()).build();
         (db, store, traced)
     }
 
     #[test]
     fn redact_rows_erases_event_table_and_archive() {
         let (_db, store, traced) = setup();
-        let mut txn = traced.begin(TxnContext::new("R1", "updateProfile", "f"));
+        let mut txn = traced.begin_traced(TxnContext::new("R1", "updateProfile", "f"));
         txn.insert("profiles", row!["U1", "u1@example.org"])
             .unwrap();
         txn.insert("profiles", row!["U2", "u2@example.org"])
             .unwrap();
         txn.commit().unwrap();
-        let mut txn = traced.begin(TxnContext::new("R2", "readProfile", "f"));
+        let mut txn = traced.begin_traced(TxnContext::new("R2", "readProfile", "f"));
         let got = txn.scan("profiles", &Predicate::eq("user", "U1")).unwrap();
         assert_eq!(got.len(), 1);
         txn.commit().unwrap();
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let report = store
             .redact_rows("profiles", &[("user", Value::Text("U1".into()))])
@@ -381,11 +382,11 @@ mod tests {
     #[test]
     fn redact_rows_on_unknown_table_or_column_is_a_noop() {
         let (_db, store, traced) = setup();
-        let mut txn = traced.begin(TxnContext::new("R1", "h", "f"));
+        let mut txn = traced.begin_traced(TxnContext::new("R1", "h", "f"));
         txn.insert("profiles", row!["U1", "u1@example.org"])
             .unwrap();
         txn.commit().unwrap();
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let report = store
             .redact_rows("missing_table", &[("user", Value::Text("U1".into()))])
@@ -435,18 +436,18 @@ mod tests {
         let (_db, store, traced) = setup();
         // Two transactions, then note the cutoff, then one more.
         for (req, user) in [("R1", "U1"), ("R2", "U2")] {
-            let mut txn = traced.begin(TxnContext::new(req, "updateProfile", "f"));
+            let mut txn = traced.begin_traced(TxnContext::new(req, "updateProfile", "f"));
             txn.insert("profiles", row![user, format!("{user}@example.org")])
                 .unwrap();
             txn.commit().unwrap();
         }
-        let tracer = traced.tracer().clone();
+        let tracer = traced.tracer().unwrap().clone();
         tracer.handler_start("R1", "updateProfile", None, "{}");
         tracer.handler_end("R1", "updateProfile", "ok", true);
         store.ingest(tracer.drain());
         let cutoff = tracer.now();
 
-        let mut txn = traced.begin(TxnContext::new("R3", "updateProfile", "f"));
+        let mut txn = traced.begin_traced(TxnContext::new("R3", "updateProfile", "f"));
         txn.insert("profiles", row!["U3", "u3@example.org"])
             .unwrap();
         txn.commit().unwrap();

@@ -522,7 +522,8 @@ impl TraceSink for ProvenanceStore {
 mod tests {
     use super::*;
     use trod_db::{row, DataType};
-    use trod_trace::{TracedDatabase, Tracer, TxnContext};
+    use trod_kv::Session;
+    use trod_trace::{Tracer, TxnContext};
 
     fn app_db() -> Database {
         let db = Database::new();
@@ -556,18 +557,19 @@ mod tests {
     fn txn_traces_populate_executions_and_event_tables() {
         let db = app_db();
         let store = store_for(&db);
-        let traced = TracedDatabase::new(db, Tracer::new());
+        let traced = Session::builder(db).tracer(Tracer::new()).build();
 
-        let mut txn = traced.begin(TxnContext::new("R1", "subscribeUser", "func:isSubscribed"));
+        let mut txn =
+            traced.begin_traced(TxnContext::new("R1", "subscribeUser", "func:isSubscribed"));
         let pred = Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2"));
         assert!(!txn.exists("forum_sub", &pred).unwrap());
         txn.commit().unwrap();
 
-        let mut txn = traced.begin(TxnContext::new("R1", "subscribeUser", "func:DB.insert"));
+        let mut txn = traced.begin_traced(TxnContext::new("R1", "subscribeUser", "func:DB.insert"));
         txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
         txn.commit().unwrap();
 
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let execs = store
             .query("SELECT * FROM Executions ORDER BY Timestamp")
@@ -628,14 +630,15 @@ mod tests {
     fn archive_accessors_filter_and_order() {
         let db = app_db();
         let store = store_for(&db);
-        let traced = TracedDatabase::new(db, Tracer::new());
+        let traced = Session::builder(db).tracer(Tracer::new()).build();
 
         for (req, id) in [("R1", 1i64), ("R2", 2i64), ("R1", 3i64)] {
-            let mut txn = traced.begin(TxnContext::new(req, "subscribeUser", "func:DB.insert"));
+            let mut txn =
+                traced.begin_traced(TxnContext::new(req, "subscribeUser", "func:DB.insert"));
             txn.insert("forum_sub", row![id, "U1", "F2"]).unwrap();
             txn.commit().unwrap();
         }
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let r1 = store.txns_for_request("R1");
         assert_eq!(r1.len(), 2);
@@ -666,11 +669,11 @@ mod tests {
     fn unregistered_tables_are_counted_not_dropped_silently() {
         let db = app_db();
         let store = ProvenanceStore::new(); // nothing registered
-        let traced = TracedDatabase::new(db, Tracer::new());
-        let mut txn = traced.begin(TxnContext::new("R1", "h", "f"));
+        let traced = Session::builder(db).tracer(Tracer::new()).build();
+        let mut txn = traced.begin_traced(TxnContext::new("R1", "h", "f"));
         txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
         txn.commit().unwrap();
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
         assert_eq!(store.stats().unregistered_table_events, 1);
         // The detailed archive still has everything.
         assert_eq!(store.txn_count(), 1);

@@ -10,15 +10,16 @@
 use proptest::prelude::*;
 
 use trod_db::{row, DataType, Database, Predicate, Schema, Value};
+use trod_kv::Session;
 use trod_provenance::ProvenanceStore;
-use trod_trace::{TracedDatabase, Tracer, TxnContext};
+use trod_trace::{Tracer, TxnContext};
 
 /// One generated subscription insert: (user index, forum index).
 fn gen_inserts() -> impl Strategy<Value = Vec<(u8, u8)>> {
     prop::collection::vec((0u8..6, 0u8..4), 1..40)
 }
 
-fn setup() -> (Database, ProvenanceStore, TracedDatabase) {
+fn setup() -> (Database, ProvenanceStore, Session) {
     let db = Database::new();
     db.create_table(
         "forum_sub",
@@ -39,7 +40,7 @@ fn setup() -> (Database, ProvenanceStore, TracedDatabase) {
             &db.schema_of("forum_sub").unwrap(),
         )
         .unwrap();
-    let traced = TracedDatabase::new(db.clone(), Tracer::new());
+    let traced = Session::builder(db.clone()).tracer(Tracer::new()).build();
     (db, store, traced)
 }
 
@@ -58,14 +59,14 @@ proptest! {
         // read and write provenance exist.
         for (i, (user, forum)) in inserts.iter().enumerate() {
             let req = format!("R{i}");
-            let mut txn = traced.begin(TxnContext::new(&req, "subscribeUser", "func:DB.insert"));
+            let mut txn = traced.begin_traced(TxnContext::new(&req, "subscribeUser", "func:DB.insert"));
             let pred = Predicate::eq("user_id", format!("U{user}"));
             let _ = txn.scan("forum_sub", &pred).unwrap();
             txn.insert("forum_sub", row![i as i64, format!("U{user}"), format!("F{forum}")])
                 .unwrap();
             txn.commit().unwrap();
         }
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let target_inserts = inserts.iter().filter(|(u, _)| *u == target).count();
         let other_inserts = inserts.len() - target_inserts;
@@ -130,7 +131,7 @@ proptest! {
     ) {
         let (_db, store, traced) = setup();
         for (i, (user, forum)) in inserts.iter().enumerate() {
-            let mut txn = traced.begin(TxnContext::new(
+            let mut txn = traced.begin_traced(TxnContext::new(
                 format!("R{i}"),
                 "subscribeUser",
                 "func:DB.insert",
@@ -139,7 +140,7 @@ proptest! {
                 .unwrap();
             txn.commit().unwrap();
         }
-        store.ingest(traced.tracer().drain());
+        store.ingest(traced.tracer().unwrap().drain());
 
         let all = store.all_txns();
         let keep_from = ((all.len() as f64) * (1.0 - keep_frac)) as usize;

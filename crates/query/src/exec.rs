@@ -77,15 +77,20 @@ pub fn execute(db: &Database, stmt: &SelectStmt, opts: QueryOptions) -> QueryRes
         pending.extend(w.conjuncts().into_iter().cloned());
     }
 
-    // Build the joined relation, table by table.
+    // Build the joined relation, table by table. Every table is read at
+    // ONE snapshot — the explicit `as_of`, or the published clock sampled
+    // once up front — so a multi-table query can never observe a torn
+    // state (table A after a concurrent commit, table B before it). This
+    // matches the session surface's one-snapshot-per-transaction rule.
+    let read_ts = opts.as_of.unwrap_or_else(|| db.current_ts());
     let tables = stmt.all_tables();
     if tables.is_empty() {
         return Err(QueryError::plan("query must reference at least one table"));
     }
-    let mut rel = load_table(db, tables[0], opts)?;
+    let mut rel = load_table(db, tables[0], read_ts)?;
     apply_resolvable(&mut rel, &mut pending)?;
     for table in &tables[1..] {
-        let right = load_table(db, table, opts)?;
+        let right = load_table(db, table, read_ts)?;
         rel = join_relations(rel, right, &mut pending)?;
         apply_resolvable(&mut rel, &mut pending)?;
     }
@@ -140,7 +145,7 @@ pub fn execute(db: &Database, stmt: &SelectStmt, opts: QueryOptions) -> QueryRes
     project(&rel, stmt)
 }
 
-fn load_table(db: &Database, table: &TableRef, opts: QueryOptions) -> QueryResultT<Relation> {
+fn load_table(db: &Database, table: &TableRef, read_ts: Ts) -> QueryResultT<Relation> {
     // Case-insensitive table resolution so the paper's literal queries
     // work regardless of naming convention.
     let actual = db
@@ -158,10 +163,7 @@ fn load_table(db: &Database, table: &TableRef, opts: QueryOptions) -> QueryResul
             name: c.name.clone(),
         })
         .collect();
-    let scanned = match opts.as_of {
-        Some(ts) => db.scan_as_of(&actual, &Predicate::True, ts)?,
-        None => db.scan_latest(&actual, &Predicate::True)?,
-    };
+    let scanned = db.scan_as_of(&actual, &Predicate::True, read_ts)?;
     // The executor materialises relations of owned values (projections and
     // joins rewrite them), so this is the one place the shared rows are
     // copied out of the storage engine.

@@ -7,7 +7,8 @@
 //! enforces the paper's design principles.
 
 use trod_db::IsolationLevel;
-use trod_trace::{TracedTransaction, TxnContext};
+use trod_kv::{Txn, TxnOptions};
+use trod_trace::TxnContext;
 
 use crate::args::Args;
 use crate::error::HandlerResult;
@@ -46,16 +47,27 @@ impl<'a> HandlerContext<'a> {
 
     /// Begins a traced transaction labelled with `function` (the paper's
     /// `Metadata` column, e.g. `"func:isSubscribed"`), at the runtime's
-    /// default isolation level.
-    pub fn txn(&mut self, function: &str) -> TracedTransaction {
+    /// default isolation level. The returned [`Txn`] is the unified
+    /// surface: relational operations always, and `kv_*` operations when
+    /// the runtime has a key-value store bound — all under one snapshot
+    /// and one atomic commit.
+    pub fn txn(&mut self, function: &str) -> Txn {
         self.txn_with(function, self.runtime.default_isolation())
     }
 
     /// Begins a traced transaction at an explicit isolation level.
-    pub fn txn_with(&mut self, function: &str, isolation: IsolationLevel) -> TracedTransaction {
+    pub fn txn_with(&mut self, function: &str, isolation: IsolationLevel) -> Txn {
         self.txn_counter += 1;
         let ctx = TxnContext::new(&self.req_id, &self.handler, function);
-        self.runtime.traced_db().begin_with(ctx, isolation)
+        self.runtime
+            .session()
+            .begin_with(TxnOptions::new().isolation(isolation).traced(ctx))
+    }
+
+    /// True if the runtime has a key-value store bound (i.e. the `kv_*`
+    /// operations of [`HandlerContext::txn`] transactions will work).
+    pub fn has_kv(&self) -> bool {
+        self.runtime.kv_store().is_some()
     }
 
     /// Number of transactions begun so far by this invocation.

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use trod_db::DbError;
+use trod_db::{DbError, KvError, TrodError};
 
 /// Errors surfaced by request handlers or the runtime itself.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,6 +15,8 @@ pub enum HandlerError {
     /// A database error that the handler did not handle (including
     /// serialization failures that exhausted retries).
     Db(DbError),
+    /// A key-value store error the handler did not handle.
+    Kv(KvError),
     /// The handler's arguments were missing or of the wrong type.
     BadArgument(String),
 }
@@ -25,6 +27,7 @@ impl fmt::Display for HandlerError {
             HandlerError::NoSuchHandler(name) => write!(f, "no handler named `{name}`"),
             HandlerError::App(msg) => write!(f, "application error: {msg}"),
             HandlerError::Db(e) => write!(f, "database error: {e}"),
+            HandlerError::Kv(e) => write!(f, "key-value store error: {e}"),
             HandlerError::BadArgument(msg) => write!(f, "bad argument: {msg}"),
         }
     }
@@ -35,6 +38,33 @@ impl std::error::Error for HandlerError {}
 impl From<DbError> for HandlerError {
     fn from(e: DbError) -> Self {
         HandlerError::Db(e)
+    }
+}
+
+impl From<KvError> for HandlerError {
+    fn from(e: KvError) -> Self {
+        HandlerError::Kv(e)
+    }
+}
+
+impl From<TrodError> for HandlerError {
+    fn from(e: TrodError) -> Self {
+        match e {
+            TrodError::Relational(e) => HandlerError::Db(e),
+            TrodError::KeyValue(e) => HandlerError::Kv(e),
+        }
+    }
+}
+
+impl HandlerError {
+    /// True if the failure is a transient concurrency conflict (on either
+    /// store) the request may retry.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            HandlerError::Db(e) => e.is_retryable(),
+            HandlerError::Kv(e) => e.is_retryable(),
+            _ => false,
+        }
     }
 }
 
@@ -52,5 +82,19 @@ mod tests {
         let e: HandlerError = DbError::TransactionClosed.into();
         assert!(matches!(e, HandlerError::Db(_)));
         assert!(HandlerError::App("dup".into()).to_string().contains("dup"));
+    }
+
+    #[test]
+    fn unified_errors_convert_per_store() {
+        let e: HandlerError = TrodError::Relational(DbError::TransactionClosed).into();
+        assert!(matches!(e, HandlerError::Db(_)));
+        let e: HandlerError = TrodError::KeyValue(KvError::Conflict {
+            namespace: "s".into(),
+            key: "k".into(),
+        })
+        .into();
+        assert!(matches!(e, HandlerError::Kv(_)));
+        assert!(e.is_retryable());
+        assert!(!HandlerError::App("x".into()).is_retryable());
     }
 }

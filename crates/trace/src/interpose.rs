@@ -1,20 +1,19 @@
-//! The interposition layer proper: traced database connections.
+//! The shared tracer handle every interposed component emits through.
 //!
-//! `TracedDatabase` wraps a [`trod_db::Database`]; every transaction begun
-//! through it is a [`TracedTransaction`] that transparently records read
-//! provenance, write provenance (CDC), the transaction's snapshot and
-//! commit timestamps, and the request/handler context — the information
-//! the paper's §3.4 tables (`Executions`, `<Table>Events`) are built from.
+//! Historically this module also carried `TracedDatabase` /
+//! `TracedTransaction`, a relational-only traced transaction handle. That
+//! surface is gone: the unified `Session` / `Txn` in `trod-kv` records
+//! the same read provenance, write provenance (CDC), snapshot and commit
+//! timestamps and request context — for relational, key-value and mixed
+//! transactions alike — and emits it through this [`Tracer`].
 //! Handler-level events (start/end, RPCs, external calls) are recorded by
-//! the runtime through the shared [`Tracer`] handle.
+//! the runtime through the same handle.
 
 use std::sync::Arc;
 
 use crate::buffer::{TraceBuffer, TraceStats};
 use crate::clock::TraceClock;
-use crate::record::{ReadTrace, TraceEvent, TxnContext, TxnTrace};
-
-use trod_db::{ChangeRecord, CommitInfo, Database, DbResult, IsolationLevel, Key, Predicate, Row};
+use crate::record::{TraceEvent, TxnTrace};
 
 /// Shared handle used by all components that emit trace events.
 #[derive(Debug, Clone, Default)]
@@ -113,293 +112,10 @@ impl Tracer {
     }
 }
 
-/// A database wrapped by the TROD interposition layer.
-#[derive(Debug, Clone)]
-pub struct TracedDatabase {
-    db: Database,
-    tracer: Tracer,
-}
-
-impl TracedDatabase {
-    /// Wraps `db` with the given tracer.
-    pub fn new(db: Database, tracer: Tracer) -> Self {
-        TracedDatabase { db, tracer }
-    }
-
-    /// The raw database (used by administrative code, not handlers).
-    pub fn database(&self) -> &Database {
-        &self.db
-    }
-
-    /// The shared tracer.
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
-    }
-
-    /// Begins a traced, strictly serializable transaction on behalf of the
-    /// given request/handler/function context.
-    pub fn begin(&self, ctx: TxnContext) -> TracedTransaction {
-        self.begin_with(ctx, IsolationLevel::Serializable)
-    }
-
-    /// Begins a traced transaction at a specific isolation level.
-    pub fn begin_with(&self, ctx: TxnContext, isolation: IsolationLevel) -> TracedTransaction {
-        let inner = self.db.begin_with(isolation);
-        TracedTransaction {
-            tracer: self.tracer.clone(),
-            snapshot_ts: inner.start_ts(),
-            txn_id: inner.id(),
-            inner: Some(inner),
-            ctx,
-            reads: Vec::new(),
-        }
-    }
-}
-
-/// A transaction that records provenance as it executes.
-#[derive(Debug)]
-pub struct TracedTransaction {
-    inner: Option<trod_db::Transaction>,
-    tracer: Tracer,
-    ctx: TxnContext,
-    txn_id: trod_db::TxnId,
-    snapshot_ts: trod_db::Ts,
-    reads: Vec<ReadTrace>,
-}
-
-impl TracedTransaction {
-    fn inner_mut(&mut self) -> &mut trod_db::Transaction {
-        self.inner
-            .as_mut()
-            .expect("traced transaction already finished")
-    }
-
-    /// The database-assigned transaction id.
-    pub fn txn_id(&self) -> trod_db::TxnId {
-        self.txn_id
-    }
-
-    /// The context this transaction runs under.
-    pub fn context(&self) -> &TxnContext {
-        &self.ctx
-    }
-
-    /// Point read with provenance capture.
-    pub fn get(&mut self, table: &str, key: &Key) -> DbResult<Option<Arc<Row>>> {
-        let result = self.inner_mut().get(table, key)?;
-        self.reads.push(ReadTrace {
-            table: table.to_string(),
-            query: format!("Get {table}{key}"),
-            rows: result
-                .clone()
-                .map(|r| vec![(key.clone(), r)])
-                .unwrap_or_default(),
-        });
-        Ok(result)
-    }
-
-    /// Predicate scan with provenance capture.
-    pub fn scan(&mut self, table: &str, pred: &Predicate) -> DbResult<Vec<(Key, Arc<Row>)>> {
-        let result = self.inner_mut().scan(table, pred)?;
-        self.reads.push(ReadTrace {
-            table: table.to_string(),
-            query: format!("Scan {table} WHERE {pred}"),
-            rows: result.clone(),
-        });
-        Ok(result)
-    }
-
-    /// Existence check with provenance capture (the "Check if (U1, F2)
-    /// exists" row of the paper's Table 2).
-    pub fn exists(&mut self, table: &str, pred: &Predicate) -> DbResult<bool> {
-        let result = self.inner_mut().scan(table, pred)?;
-        self.reads.push(ReadTrace {
-            table: table.to_string(),
-            query: format!("Check if {pred} exists in {table}"),
-            rows: result.clone(),
-        });
-        Ok(!result.is_empty())
-    }
-
-    /// Count with provenance capture.
-    pub fn count(&mut self, table: &str, pred: &Predicate) -> DbResult<usize> {
-        let result = self.inner_mut().scan(table, pred)?;
-        self.reads.push(ReadTrace {
-            table: table.to_string(),
-            query: format!("Count {pred} in {table}"),
-            rows: result.clone(),
-        });
-        Ok(result.len())
-    }
-
-    /// Insert (write provenance is captured from the commit's CDC).
-    pub fn insert(&mut self, table: &str, row: Row) -> DbResult<Key> {
-        self.inner_mut().insert(table, row)
-    }
-
-    /// Update by primary key.
-    pub fn update(&mut self, table: &str, key: &Key, new_row: Row) -> DbResult<()> {
-        self.inner_mut().update(table, key, new_row)
-    }
-
-    /// Update all rows matching a predicate.
-    pub fn update_where<F>(&mut self, table: &str, pred: &Predicate, f: F) -> DbResult<usize>
-    where
-        F: FnMut(&Row) -> Row,
-    {
-        self.inner_mut().update_where(table, pred, f)
-    }
-
-    /// Delete by primary key.
-    pub fn delete(&mut self, table: &str, key: &Key) -> DbResult<bool> {
-        self.inner_mut().delete(table, key)
-    }
-
-    /// Delete all rows matching a predicate.
-    pub fn delete_where(&mut self, table: &str, pred: &Predicate) -> DbResult<usize> {
-        self.inner_mut().delete_where(table, pred)
-    }
-
-    /// Commits the transaction and records its provenance (reads, CDC
-    /// writes, snapshot/commit timestamps, request context).
-    pub fn commit(mut self) -> DbResult<CommitInfo> {
-        let inner = self
-            .inner
-            .take()
-            .expect("traced transaction already finished");
-        let result = inner.commit();
-        let timestamp = self.tracer.now();
-        match &result {
-            Ok(info) => {
-                self.tracer.record_txn(TxnTrace {
-                    txn_id: self.txn_id,
-                    ctx: self.ctx.clone(),
-                    timestamp,
-                    snapshot_ts: self.snapshot_ts,
-                    commit_ts: info.commit_ts,
-                    committed: true,
-                    reads: std::mem::take(&mut self.reads),
-                    writes: info.changes.clone(),
-                });
-            }
-            Err(_) => {
-                self.tracer.record_txn(TxnTrace {
-                    txn_id: self.txn_id,
-                    ctx: self.ctx.clone(),
-                    timestamp,
-                    snapshot_ts: self.snapshot_ts,
-                    commit_ts: 0,
-                    committed: false,
-                    reads: std::mem::take(&mut self.reads),
-                    writes: Vec::new(),
-                });
-            }
-        }
-        result
-    }
-
-    /// Aborts the transaction; an aborted-transaction trace is recorded so
-    /// aborted attempts remain visible to declarative debugging.
-    pub fn abort(mut self) {
-        if let Some(inner) = self.inner.take() {
-            inner.abort();
-        }
-        let timestamp = self.tracer.now();
-        self.tracer.record_txn(TxnTrace {
-            txn_id: self.txn_id,
-            ctx: self.ctx.clone(),
-            timestamp,
-            snapshot_ts: self.snapshot_ts,
-            commit_ts: 0,
-            committed: false,
-            reads: std::mem::take(&mut self.reads),
-            writes: Vec::new(),
-        });
-    }
-
-    /// The buffered (uncommitted) writes, as CDC records.
-    pub fn pending_changes(&self) -> Vec<ChangeRecord> {
-        self.inner
-            .as_ref()
-            .map(|t| t.pending_changes())
-            .unwrap_or_default()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trod_db::{row, DataType, Schema};
-
-    fn traced_db() -> TracedDatabase {
-        let db = Database::new();
-        db.create_table(
-            "forum_sub",
-            Schema::builder()
-                .column("id", DataType::Int)
-                .column("user_id", DataType::Text)
-                .column("forum", DataType::Text)
-                .primary_key(&["id"])
-                .build()
-                .unwrap(),
-        )
-        .unwrap();
-        TracedDatabase::new(db, Tracer::new())
-    }
-
-    #[test]
-    fn committed_transaction_is_traced_with_reads_and_writes() {
-        let tdb = traced_db();
-        let ctx = TxnContext::new("R1", "subscribeUser", "func:DB.insert");
-        let mut txn = tdb.begin(ctx);
-        let pred = Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2"));
-        assert!(!txn.exists("forum_sub", &pred).unwrap());
-        txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
-        txn.commit().unwrap();
-
-        let events = tdb.tracer().drain();
-        assert_eq!(events.len(), 1);
-        match &events[0] {
-            TraceEvent::Txn(t) => {
-                assert!(t.committed);
-                assert_eq!(t.ctx.req_id, "R1");
-                assert_eq!(t.ctx.handler, "subscribeUser");
-                assert_eq!(t.reads.len(), 1);
-                assert!(t.reads[0].query.contains("Check if"));
-                assert_eq!(t.writes.len(), 1);
-                assert_eq!(t.writes[0].op.kind(), "Insert");
-                assert!(t.commit_ts > 0);
-            }
-            other => panic!("expected Txn event, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn aborted_and_failed_transactions_are_traced() {
-        let tdb = traced_db();
-        // Explicit abort.
-        let mut txn = tdb.begin(TxnContext::new("R1", "h", "f"));
-        txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
-        txn.abort();
-        // Serialization failure: two conflicting inserts of the same key.
-        let mut a = tdb.begin(TxnContext::new("R2", "h", "f"));
-        let mut b = tdb.begin(TxnContext::new("R3", "h", "f"));
-        a.insert("forum_sub", row![2i64, "U1", "F2"]).unwrap();
-        b.insert("forum_sub", row![2i64, "U2", "F2"]).unwrap();
-        a.commit().unwrap();
-        assert!(b.commit().is_err());
-
-        let events = tdb.tracer().drain();
-        let committed: Vec<bool> = events
-            .iter()
-            .filter_map(|e| match e {
-                TraceEvent::Txn(t) => Some(t.committed),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(committed.iter().filter(|c| **c).count(), 1);
-        assert_eq!(committed.iter().filter(|c| !**c).count(), 2);
-    }
+    use crate::record::TxnContext;
 
     #[test]
     fn handler_and_external_events_flow_through_the_tracer() {
@@ -414,45 +130,21 @@ mod tests {
     }
 
     #[test]
-    fn disabling_tracing_suppresses_events_but_not_execution() {
-        let tdb = traced_db();
-        tdb.tracer().set_enabled(false);
-        let mut txn = tdb.begin(TxnContext::new("R1", "h", "f"));
-        txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
-        txn.commit().unwrap();
-        assert!(tdb.tracer().drain().is_empty());
-        assert_eq!(tdb.database().stats().live_rows, 1);
-        assert_eq!(tdb.tracer().stats().dropped, 1);
-    }
-
-    #[test]
-    fn get_and_scan_record_row_level_read_provenance() {
-        let tdb = traced_db();
-        let mut setup = tdb.begin(TxnContext::new("R0", "setup", "f"));
-        setup.insert("forum_sub", row![1i64, "U1", "F1"]).unwrap();
-        setup.insert("forum_sub", row![2i64, "U2", "F2"]).unwrap();
-        setup.commit().unwrap();
-        tdb.tracer().drain();
-
-        let mut txn = tdb.begin(TxnContext::new("R1", "reader", "f"));
-        let got = txn.get("forum_sub", &Key::single(1i64)).unwrap();
-        assert!(got.is_some());
-        let scanned = txn
-            .scan("forum_sub", &Predicate::eq("forum", "F2"))
-            .unwrap();
-        assert_eq!(scanned.len(), 1);
-        let n = txn.count("forum_sub", &Predicate::True).unwrap();
-        assert_eq!(n, 2);
-        txn.commit().unwrap();
-
-        let events = tdb.tracer().drain();
-        let TraceEvent::Txn(t) = &events[0] else {
-            panic!("expected txn trace");
-        };
-        assert_eq!(t.reads.len(), 3);
-        assert_eq!(t.reads[0].rows.len(), 1);
-        assert_eq!(t.reads[1].rows.len(), 1);
-        assert_eq!(t.reads[2].rows.len(), 2);
-        assert!(!t.is_write());
+    fn disabling_tracing_drops_events_and_counts_them() {
+        let tracer = Tracer::new();
+        tracer.set_enabled(false);
+        assert!(!tracer.is_enabled());
+        tracer.record_txn(TxnTrace {
+            txn_id: 1,
+            ctx: TxnContext::new("R1", "h", "f"),
+            timestamp: tracer.now(),
+            snapshot_ts: 0,
+            commit_ts: 1,
+            committed: true,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        });
+        assert!(tracer.drain().is_empty());
+        assert_eq!(tracer.stats().dropped, 1);
     }
 }

@@ -9,37 +9,19 @@
 //! * [`Tracer`] — the shared handle components use to emit trace events;
 //!   owns the lock-free in-memory [`TraceBuffer`] and the monotonic
 //!   [`TraceClock`].
-//! * [`TracedDatabase`] / [`TracedTransaction`] — wrappers around
-//!   [`trod_db`] that automatically capture, for every transaction, the
-//!   request/handler/function context, the read set (including reads that
-//!   returned nothing), the CDC write set, and the snapshot/commit
-//!   timestamps.
+//! * [`TxnTrace`] / [`ReadTrace`] / [`TraceEvent`] — the provenance
+//!   records themselves: per-transaction read sets (including reads that
+//!   returned nothing), CDC write sets, snapshot/commit timestamps and
+//!   request context, plus handler start/end and external-call events.
 //! * [`BackgroundFlusher`] — moves buffered events into a [`TraceSink`]
 //!   (the provenance database) off the request path.
 //!
-//! ```
-//! use trod_db::{Database, DataType, Schema, Predicate, row};
-//! use trod_trace::{TracedDatabase, Tracer, TxnContext};
-//!
-//! let db = Database::new();
-//! db.create_table(
-//!     "forum_sub",
-//!     Schema::builder()
-//!         .column("id", DataType::Int)
-//!         .column("user_id", DataType::Text)
-//!         .column("forum", DataType::Text)
-//!         .primary_key(&["id"])
-//!         .build()
-//!         .unwrap(),
-//! )
-//! .unwrap();
-//!
-//! let traced = TracedDatabase::new(db, Tracer::new());
-//! let mut txn = traced.begin(TxnContext::new("R1", "subscribeUser", "func:DB.insert"));
-//! txn.insert("forum_sub", row![1i64, "U1", "F2"]).unwrap();
-//! txn.commit().unwrap();
-//! assert_eq!(traced.tracer().drain().len(), 1);
-//! ```
+//! Transaction-level capture happens in the unified `Session` / `Txn`
+//! surface (`trod-kv`), which records one [`TxnTrace`] per transaction —
+//! relational, key-value or mixed — through the [`Tracer`] attached to
+//! the session. The old relational-only `TracedDatabase` /
+//! `TracedTransaction` wrappers this crate used to export were collapsed
+//! into that surface.
 
 pub mod buffer;
 pub mod clock;
@@ -50,5 +32,5 @@ pub mod record;
 pub use buffer::{TraceBuffer, TraceStats};
 pub use clock::TraceClock;
 pub use flush::{BackgroundFlusher, CollectingSink, TraceSink};
-pub use interpose::{TracedDatabase, TracedTransaction, Tracer};
+pub use interpose::Tracer;
 pub use record::{ReadTrace, TraceEvent, TxnContext, TxnTrace};

@@ -45,6 +45,14 @@ pub struct ReadTrace {
     /// Human-readable description of the read (mirrors the `Query` column
     /// of the paper's Table 2).
     pub query: String,
+    /// The commit timestamp this read was served at: the transaction's
+    /// snapshot under snapshot isolation / serializable, the published
+    /// clock at call time under read committed. This is what makes
+    /// weak-isolation histories faithfully replayable (reenactment-style):
+    /// the replay engine injects concurrent commits up to each read's own
+    /// timestamp rather than assuming every read happened at the
+    /// transaction's snapshot.
+    pub read_ts: Ts,
     /// The rows returned, keyed by primary key. Empty for reads that
     /// matched nothing (which is still important provenance: the Moodle
     /// bug hinges on two requests both observing "no subscription").
@@ -183,6 +191,7 @@ mod tests {
             reads: vec![ReadTrace {
                 table: "forum_sub".into(),
                 query: "scan forum_sub".into(),
+                read_ts: 3,
                 rows: vec![],
             }],
             writes: vec![ChangeRecord::insert(

@@ -2,7 +2,7 @@
 //!
 //! A checkout service keeps orders and inventory in the relational
 //! database and per-user cart sessions in a key-value store. The
-//! cross-store transaction manager commits each request atomically across
+//! unified transaction session commits each request atomically across
 //! both stores, stamps both with the same commit timestamp, and emits one
 //! provenance record per transaction — so the ordinary TROD workflow
 //! (Table 1/Table 2 queries, "who wrote this key?", privacy redaction)
@@ -11,7 +11,7 @@
 //! Run with: `cargo run --example multistore_tracing`
 
 use trod::db::{row, DataType, Database, Key, Predicate, Schema, Value};
-use trod::kv::{kv_provenance_schema, kv_table_name, CrossStore, KvStore};
+use trod::kv::{kv_provenance_schema, kv_table_name, KvStore, Session};
 use trod::provenance::ProvenanceStore;
 use trod::trace::{Tracer, TxnContext};
 
@@ -44,10 +44,10 @@ fn main() {
     let kv = KvStore::new();
     kv.create_namespace("sessions").expect("fresh namespace");
 
-    // 2. The cross-store transaction manager, with TROD tracing attached,
+    // 2. The unified transaction session, with TROD tracing attached,
     //    and a provenance database that knows about both stores.
     let tracer = Tracer::new();
-    let cross = CrossStore::with_tracer(db.clone(), kv, tracer.clone());
+    let cross = Session::with_tracer(db.clone(), kv, tracer.clone());
     let provenance = ProvenanceStore::new();
     for table in ["orders", "inventory"] {
         provenance

@@ -44,6 +44,7 @@
 pub use trod_apps as apps;
 pub use trod_core as core;
 pub use trod_db as db;
+pub use trod_db::{TrodError, TrodResult};
 pub use trod_kv as kv;
 pub use trod_provenance as provenance;
 pub use trod_query as query;
@@ -60,11 +61,11 @@ pub mod prelude {
         row, DataType, Database, DbError, IsolationLevel, Key, Predicate, Row, Schema,
         StorageProfile, Value,
     };
-    pub use trod_kv::{CrossStore, KvStore};
+    pub use trod_kv::{KvStore, Session, Txn, TxnCommit, TxnOptions};
     pub use trod_provenance::ProvenanceStore;
     pub use trod_query::{QueryEngine, ResultSet};
     pub use trod_runtime::{
         Args, HandlerContext, HandlerError, HandlerRegistry, Runtime, Scheduler,
     };
-    pub use trod_trace::{TracedDatabase, Tracer, TxnContext};
+    pub use trod_trace::{Tracer, TxnContext};
 }

@@ -155,3 +155,57 @@ fn replay_is_faithful_for_every_request_of_a_larger_workload() {
     }
     assert!(replayed > 100, "most requests should be replayable");
 }
+
+#[test]
+fn read_committed_reads_past_the_snapshot_replay_faithfully() {
+    // A read-committed transaction legally observes a commit that landed
+    // AFTER its snapshot. The per-read timestamps recorded by the unified
+    // Txn surface let the replay engine inject that commit before the
+    // read is verified — without them this replay deterministically
+    // reported the row as "missing in development database".
+    let db = moodle::moodle_db();
+    let provenance = moodle::provenance_for(&db);
+    let tracer = Tracer::new();
+    let session = Session::builder(db.clone()).tracer(tracer.clone()).build();
+
+    // The reader begins first (snapshot taken here)...
+    let mut reader = session.begin_with(
+        trod::kv::TxnOptions::new()
+            .isolation(IsolationLevel::ReadCommitted)
+            .traced(TxnContext::new(
+                "R-reader",
+                "fetchSubscribers",
+                "func:DB.executeQuery",
+            )),
+    );
+    // ...then a concurrent writer commits a subscription...
+    let mut writer = session.begin_traced(TxnContext::new("R-writer", "subscribeUser", "f"));
+    writer
+        .insert(FORUM_SUB_TABLE, trod::db::row!["sub-1", "U1", "F2"])
+        .unwrap();
+    writer.commit().unwrap();
+    // ...and the read-committed reader observes it mid-transaction.
+    let rows = reader
+        .scan(FORUM_SUB_TABLE, &Predicate::eq("forum", "F2"))
+        .unwrap();
+    assert_eq!(rows.len(), 1, "read committed sees the fresh commit");
+    reader.commit().unwrap();
+    provenance.ingest(tracer.drain());
+
+    let mut replay = trod::core::ReplaySession::for_request(&provenance, &db, "R-reader").unwrap();
+    let report = replay.run_to_end().unwrap();
+    assert!(
+        report.is_faithful(),
+        "per-read timestamps must make the RC read replayable: {:?}",
+        report
+            .steps
+            .iter()
+            .flat_map(|s| s.mismatches.clone())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.injected_count(),
+        1,
+        "the writer's commit is injected before the read is checked"
+    );
+}

@@ -65,6 +65,10 @@ pub fn create_schema(db: &Database) {
             .expect("static schema"),
     )
     .expect("fresh database");
+    // Stock-level windows (low-stock sweeps, the `stock < 0` quality
+    // invariant) are range scans; serve them from an ordered index.
+    db.create_range_index(INVENTORY_TABLE, "stock")
+        .expect("index");
     db.create_table(
         ORDERS_TABLE,
         Schema::builder()

@@ -1,7 +1,7 @@
 //! Cross-store commit sharding benchmark: multi-threaded disjoint
 //! commit throughput through the unified (participant-based) commit
-//! coordinator, vs the single-global-lock baseline that `CrossStore`
-//! used to hard-code.
+//! coordinator, vs the single-global-lock baseline the pre-PR-3
+//! cross-store manager used to hard-code.
 //!
 //! Two traffic shapes, each at 1/2/4/8 threads:
 //!

@@ -74,6 +74,42 @@
 //! as a measurable baseline, the same way
 //! [`Database::set_full_scan_validation`] exposes the O(total versions)
 //! validation path.
+//!
+//! # The read path: access-path selection
+//!
+//! Point reads resolve one version chain directly (O(1) hash lookup plus
+//! a chain walk that is O(1) for live reads). Predicate scans go through
+//! a small **scan planner** ([`TableStore::plan_scan`] exposes its
+//! decision): for each index on the table it derives the candidate set
+//! the predicate admits — a *point probe* when
+//! [`Predicate::equality_on`](crate::predicate::Predicate::equality_on)
+//! pins a hash-indexed column, a *multi-probe* (one hash probe per list
+//! element, merged) when `in_list_on` finds an `IN (...)` conjunct, a
+//! *range probe* over an ordered [`RangeIndex`](crate::index::RangeIndex)
+//! when `bounds_on` extracts a comparison window — estimates each path's
+//! candidate count from index entry counts (range estimates stop counting
+//! at the best estimate so far), and takes the cheapest path, falling back
+//! to the full chain walk when nothing beats it.
+//!
+//! Two invariants make every path interchangeable:
+//!
+//! * **Indexes over-approximate, never under-approximate.** Analysis only
+//!   extracts constraints that are *conjunctively required* (`Or`/`Not`
+//!   subtrees contribute nothing), index entries are MVCC-stamped rather
+//!   than removed (eager unlink on update/delete, `purge_dead` on GC), and
+//!   every candidate is re-checked for visibility at the read timestamp
+//!   and against the full compiled predicate. A stale or widened candidate
+//!   costs a wasted check; a missing one would be a wrong result — so the
+//!   planner only ever errs wide. `scan_at_full` is the always-correct
+//!   oracle, and `tests/scan_path_equivalence.rs` property-tests that
+//!   every planner choice returns its exact result set, including at
+//!   time-travel timestamps.
+//! * **One timestamp discipline everywhere.** Probes filter candidates by
+//!   the read timestamp using the same `until > ts` stamp rule for every
+//!   index kind, so latest, snapshot and time-travel scans (and therefore
+//!   the debugger's as-of views and the declarative query layer, which
+//!   lowers WHERE clauses into pushed-down predicates) all ride the same
+//!   planner with no separate history path.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -278,9 +314,17 @@ impl Database {
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
-    /// Creates a secondary hash index on `table.column`.
+    /// Creates a secondary hash index on `table.column` (serves equality
+    /// and `IN (...)` probes).
     pub fn create_index(&self, table: &str, column: &str) -> DbResult<()> {
         self.table(table)?.create_index(column)
+    }
+
+    /// Creates an ordered range index on `table.column` (serves bounded
+    /// range probes — and equality — through the scan planner; see the
+    /// read-path docs above).
+    pub fn create_range_index(&self, table: &str, column: &str) -> DbResult<()> {
+        self.table(table)?.create_range_index(column)
     }
 
     /// Names of all tables, sorted.
@@ -831,6 +875,9 @@ impl Database {
             for column in store.indexed_columns() {
                 fork_store.create_index(&column)?;
             }
+            for column in store.range_indexed_columns() {
+                fork_store.create_range_index(&column)?;
+            }
         }
         fork.inner.clock.store(ts.max(1), Ordering::SeqCst);
         fork.inner.ts_alloc.store(ts.max(1), Ordering::SeqCst);
@@ -843,8 +890,12 @@ impl Database {
         let tables = self.inner.tables.read();
         for (name, store) in tables.iter() {
             fork.create_table(name.clone(), store.schema().clone())?;
+            let fork_store = fork.table(name)?;
             for column in store.indexed_columns() {
-                fork.table(name)?.create_index(&column)?;
+                fork_store.create_index(&column)?;
+            }
+            for column in store.range_indexed_columns() {
+                fork_store.create_range_index(&column)?;
             }
         }
         Ok(fork)

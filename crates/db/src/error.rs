@@ -182,10 +182,9 @@ pub type KvResult<T> = Result<T, KvError>;
 /// The unified transaction error: everything a commit spanning the
 /// relational database and key-value stores can fail with.
 ///
-/// This is the one error type of the unified [`Txn`](crate) surface; the
-/// old `CrossError` is a re-export of it, and `From` impls exist for both
-/// per-store errors so call sites can `?` freely instead of juggling
-/// three error enums.
+/// This is the one error type of the unified [`Txn`](crate) surface;
+/// `From` impls exist for both per-store errors so call sites can `?`
+/// freely instead of juggling per-store error enums.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TrodError {
     /// The relational store failed (validation conflict, unknown table, …).

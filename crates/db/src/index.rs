@@ -1,4 +1,5 @@
-//! Secondary hash indexes.
+//! Secondary indexes: hash ([`SecondaryIndex`]) and ordered
+//! ([`RangeIndex`]).
 //!
 //! Indexes map a column value to the primary keys whose rows carried that
 //! value, together with the commit timestamp at which the key stopped
@@ -15,15 +16,133 @@
 //! therefore see an exact candidate set — dead keys no longer accumulate
 //! between garbage collections — while time-travel and snapshot reads
 //! below the unlink timestamp still find the key. Stamped-out entries are
-//! physically removed by [`SecondaryIndex::purge_dead`] when garbage
-//! collection retires the versions that needed them.
+//! physically removed by `purge_dead` when garbage collection retires the
+//! versions that needed them.
+//!
+//! Both index kinds share this MVCC stamping discipline; they differ only
+//! in the value map. [`SecondaryIndex`] hashes values and answers point
+//! probes (`=`, and `IN (...)` one probe per element); [`RangeIndex`]
+//! keeps values in a `BTreeMap` ordered by [`Value::total_cmp`] — the
+//! same total order predicates compare with — and additionally answers
+//! bounded range probes (`<`, `<=`, `>`, `>=` windows) at any read
+//! timestamp.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::mvcc::{Ts, TS_LIVE};
+use crate::predicate::ColumnBounds;
 use crate::row::{Key, Row};
 use crate::schema::Schema;
 use crate::value::Value;
+
+/// The value→slot storage an index kind brings: a hash map for
+/// [`SecondaryIndex`], an ordered map for [`RangeIndex`]. Everything
+/// MVCC-sensitive — the stamp merge rules, eager unlink, purging — lives
+/// in the shared functions below, generic over this trait, so the two
+/// index kinds cannot drift apart semantically.
+trait ValueSlots {
+    fn slot_mut(&mut self, value: &Value) -> Option<&mut HashMap<Key, Ts>>;
+    fn slot_or_default(&mut self, value: &Value) -> &mut HashMap<Key, Ts>;
+    fn for_each_slot(&mut self, f: impl FnMut(&mut HashMap<Key, Ts>));
+    fn drop_empty_slots(&mut self);
+}
+
+impl ValueSlots for HashMap<Value, HashMap<Key, Ts>> {
+    fn slot_mut(&mut self, value: &Value) -> Option<&mut HashMap<Key, Ts>> {
+        self.get_mut(value)
+    }
+    fn slot_or_default(&mut self, value: &Value) -> &mut HashMap<Key, Ts> {
+        self.entry(value.clone()).or_default()
+    }
+    fn for_each_slot(&mut self, f: impl FnMut(&mut HashMap<Key, Ts>)) {
+        self.values_mut().for_each(f);
+    }
+    fn drop_empty_slots(&mut self) {
+        self.retain(|_, set| !set.is_empty());
+    }
+}
+
+impl ValueSlots for BTreeMap<Value, HashMap<Key, Ts>> {
+    fn slot_mut(&mut self, value: &Value) -> Option<&mut HashMap<Key, Ts>> {
+        self.get_mut(value)
+    }
+    fn slot_or_default(&mut self, value: &Value) -> &mut HashMap<Key, Ts> {
+        self.entry(value.clone()).or_default()
+    }
+    fn for_each_slot(&mut self, f: impl FnMut(&mut HashMap<Key, Ts>)) {
+        self.values_mut().for_each(f);
+    }
+    fn drop_empty_slots(&mut self) {
+        self.retain(|_, set| !set.is_empty());
+    }
+}
+
+/// Records that `key`'s row carried `row[col_idx]` until `until`
+/// ([`TS_LIVE`] for the live row). Backfill replays a chain's versions
+/// oldest-first; later stamps only ever extend earlier ones, so a plain
+/// max merge is correct. NULLs are never indexed.
+fn record_slot(entries: &mut impl ValueSlots, col_idx: usize, key: &Key, row: &Row, until: Ts) {
+    if let Some(v) = row.get(col_idx) {
+        if !v.is_null() {
+            let slot = entries
+                .slot_or_default(v)
+                .entry(key.clone())
+                .or_insert(until);
+            *slot = (*slot).max(until);
+        }
+    }
+}
+
+/// Eagerly unlinks `key` from `row[col_idx]`: stamps the entry with the
+/// closing commit timestamp (the key stopped carrying the value at
+/// `unlinked_at`) instead of removing it, so reads below the stamp still
+/// find the key; `purge_dead_slots` removes it once GC retires the window.
+fn unlink_slot(
+    entries: &mut impl ValueSlots,
+    col_idx: usize,
+    key: &Key,
+    row: &Row,
+    unlinked_at: Ts,
+) {
+    let Some(v) = row.get(col_idx) else {
+        return;
+    };
+    if v.is_null() {
+        return;
+    }
+    if let Some(keys) = entries.slot_mut(v) {
+        if let Some(slot) = keys.get_mut(key) {
+            if *slot == TS_LIVE {
+                *slot = unlinked_at;
+            } else {
+                *slot = (*slot).max(unlinked_at);
+            }
+        }
+    }
+}
+
+/// Removes entries unlinked at or before `horizon` — their versions are no
+/// longer visible to any reader once GC has run at `horizon`. Returns the
+/// number of entries removed.
+fn purge_dead_slots(entries: &mut impl ValueSlots, horizon: Ts) -> usize {
+    let mut purged = 0;
+    entries.for_each_slot(|set| {
+        let before = set.len();
+        set.retain(|_, &mut until| until > horizon);
+        purged += before - set.len();
+    });
+    entries.drop_empty_slots();
+    purged
+}
+
+/// Removes all entries pointing at `key` (used when a key's chain is
+/// garbage collected entirely).
+fn purge_key_slots(entries: &mut impl ValueSlots, key: &Key) {
+    entries.for_each_slot(|set| {
+        set.remove(key);
+    });
+    entries.drop_empty_slots();
+}
 
 /// A hash index over one column of a table.
 #[derive(Debug, Default)]
@@ -52,21 +171,9 @@ impl SecondaryIndex {
     }
 
     /// Records that `key`'s row carried `row[col]` until `until`
-    /// ([`TS_LIVE`] for the live row). Used by backfill, which replays a
-    /// chain's versions oldest-first; later stamps only ever extend
-    /// earlier ones, so a plain max merge is correct.
+    /// ([`TS_LIVE`] for the live row); see [`record_slot`].
     pub fn record(&mut self, key: &Key, row: &Row, until: Ts) {
-        if let Some(v) = row.get(self.col_idx) {
-            if !v.is_null() {
-                let slot = self
-                    .entries
-                    .entry(v.clone())
-                    .or_default()
-                    .entry(key.clone())
-                    .or_insert(until);
-                *slot = (*slot).max(until);
-            }
-        }
+        record_slot(&mut self.entries, self.col_idx, key, row, until);
     }
 
     /// Records that `key`'s live row now carries `row[col]`.
@@ -75,26 +182,10 @@ impl SecondaryIndex {
     }
 
     /// Eagerly unlinks `key` from `row[col]`: the row stopped carrying the
-    /// value at `unlinked_at` (it was deleted, or updated away from it).
-    /// The entry is stamped, not removed, so reads below `unlinked_at`
-    /// still see the key; [`SecondaryIndex::purge_dead`] removes it once
-    /// GC retires the window.
+    /// value at `unlinked_at` (it was deleted, or updated away from it);
+    /// see [`unlink_slot`].
     pub fn unlink(&mut self, key: &Key, row: &Row, unlinked_at: Ts) {
-        let Some(v) = row.get(self.col_idx) else {
-            return;
-        };
-        if v.is_null() {
-            return;
-        }
-        if let Some(keys) = self.entries.get_mut(v) {
-            if let Some(slot) = keys.get_mut(key) {
-                if *slot == TS_LIVE {
-                    *slot = unlinked_at;
-                } else {
-                    *slot = (*slot).max(unlinked_at);
-                }
-            }
-        }
+        unlink_slot(&mut self.entries, self.col_idx, key, row, unlinked_at);
     }
 
     /// Candidate keys whose rows may carry `value` for a read at `ts`.
@@ -108,6 +199,13 @@ impl SecondaryIndex {
                     .collect()
             })
             .unwrap_or_default()
+    }
+
+    /// Upper bound on the candidates a probe for `value` can return, in
+    /// O(1): the slot's entry count, tombstones included. Used by the
+    /// scan planner to cost access paths without materialising them.
+    pub fn candidate_count(&self, value: &Value) -> usize {
+        self.entries.get(value).map(HashMap::len).unwrap_or(0)
     }
 
     /// Candidate keys whose *live* rows may carry `value` (exact up to
@@ -127,24 +225,14 @@ impl SecondaryIndex {
     /// Removes all entries pointing at `key` (used when a key's chain is
     /// garbage collected entirely).
     pub fn purge_key(&mut self, key: &Key) {
-        for set in self.entries.values_mut() {
-            set.remove(key);
-        }
-        self.entries.retain(|_, set| !set.is_empty());
+        purge_key_slots(&mut self.entries, key);
     }
 
     /// Removes entries unlinked at or before `horizon` — their versions
     /// are no longer visible to any reader once GC has run at `horizon`.
     /// Returns the number of entries removed.
     pub fn purge_dead(&mut self, horizon: Ts) -> usize {
-        let mut purged = 0;
-        for set in self.entries.values_mut() {
-            let before = set.len();
-            set.retain(|_, &mut until| until > horizon);
-            purged += before - set.len();
-        }
-        self.entries.retain(|_, set| !set.is_empty());
-        purged
+        purge_dead_slots(&mut self.entries, horizon)
     }
 
     /// Number of distinct indexed values.
@@ -168,8 +256,131 @@ impl SecondaryIndex {
     }
 }
 
+/// An ordered index over one column of a table.
+///
+/// Entries carry the same MVCC stamps as [`SecondaryIndex`] (value → key →
+/// timestamp the key stopped carrying the value, [`TS_LIVE`] while live),
+/// but values sit in a `BTreeMap` ordered by [`Value::total_cmp`], so the
+/// index can answer *bounded range* probes — the candidate keys whose rows
+/// may fall in a [`ColumnBounds`] window at any read timestamp — in
+/// O(log V + hits) instead of a full scan. Maintenance (eager unlink on
+/// update/delete, `purge_dead` on GC, full-history backfill) is identical;
+/// the over-approximate-never-under-approximate contract holds unchanged.
+#[derive(Debug, Default)]
+pub struct RangeIndex {
+    column: String,
+    col_idx: usize,
+    /// value -> key -> timestamp until which the key's row carried the
+    /// value ([`TS_LIVE`] while it still does), values in total order.
+    entries: BTreeMap<Value, HashMap<Key, Ts>>,
+}
+
+impl RangeIndex {
+    /// Creates an ordered index over `column` (resolved to `col_idx` in
+    /// the schema).
+    pub fn new(column: impl Into<String>, col_idx: usize) -> Self {
+        RangeIndex {
+            column: column.into(),
+            col_idx,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The indexed column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Records that `key`'s row carried `row[col]` until `until`
+    /// ([`TS_LIVE`] for the live row); see [`record_slot`].
+    pub fn record(&mut self, key: &Key, row: &Row, until: Ts) {
+        record_slot(&mut self.entries, self.col_idx, key, row, until);
+    }
+
+    /// Records that `key`'s live row now carries `row[col]`.
+    pub fn insert(&mut self, key: &Key, row: &Row) {
+        self.record(key, row, TS_LIVE);
+    }
+
+    /// Eagerly unlinks `key` from `row[col]` at `unlinked_at`; see
+    /// [`unlink_slot`].
+    pub fn unlink(&mut self, key: &Key, row: &Row, unlinked_at: Ts) {
+        unlink_slot(&mut self.entries, self.col_idx, key, row, unlinked_at);
+    }
+
+    /// Candidate keys whose rows may carry a value inside `bounds` for a
+    /// read at `ts`. Candidates can repeat across values a key carried in
+    /// overlapping windows; the caller deduplicates (the scan path's
+    /// key-ordered merge does so for free).
+    pub fn range_at(&self, bounds: &ColumnBounds, ts: Ts) -> Vec<Key> {
+        let mut out = Vec::new();
+        for (_, keys) in self.range_slots(bounds) {
+            out.extend(
+                keys.iter()
+                    .filter(|(_, &until)| until > ts)
+                    .map(|(k, _)| k.clone()),
+            );
+        }
+        out
+    }
+
+    /// Upper bound on the candidates a probe over `bounds` can return,
+    /// counting at most `cap` entries (tombstones included) before giving
+    /// up. The scan planner costs a range path with this: once the count
+    /// reaches the best competing estimate the path has already lost, so
+    /// the walk stops instead of degenerating into an O(table) count.
+    pub fn candidate_count_capped(&self, bounds: &ColumnBounds, cap: usize) -> usize {
+        let mut n = 0;
+        for (_, keys) in self.range_slots(bounds) {
+            n += keys.len();
+            if n >= cap {
+                break;
+            }
+        }
+        n
+    }
+
+    /// The value slots inside `bounds`. Guards the provably-empty window
+    /// (`BTreeMap::range` panics on inverted bounds).
+    fn range_slots<'a>(
+        &'a self,
+        bounds: &'a ColumnBounds,
+    ) -> impl Iterator<Item = (&'a Value, &'a HashMap<Key, Ts>)> + 'a {
+        let empty = bounds.is_empty();
+        let range = (bounds.lower.as_ref(), bounds.upper.as_ref());
+        (!empty)
+            .then(|| self.entries.range::<Value, _>(range))
+            .into_iter()
+            .flatten()
+    }
+
+    /// Removes all entries pointing at `key` (used when a key's chain is
+    /// garbage collected entirely).
+    pub fn purge_key(&mut self, key: &Key) {
+        purge_key_slots(&mut self.entries, key);
+    }
+
+    /// Removes entries unlinked at or before `horizon`; see
+    /// [`purge_dead_slots`]. Returns the number removed.
+    pub fn purge_dead(&mut self, horizon: Ts) -> usize {
+        purge_dead_slots(&mut self.entries, horizon)
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total (value, key) entries, live and tombstoned.
+    pub fn entry_count(&self) -> usize {
+        self.entries.values().map(|set| set.len()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use std::ops::Bound;
+
     use super::*;
     use crate::row;
     use crate::value::DataType;
@@ -272,6 +483,126 @@ mod tests {
         idx.purge_key(&k);
         assert!(idx.lookup_at(&text("F1"), 0).is_empty());
         assert!(idx.lookup_at(&text("F2"), 0).is_empty());
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    fn bounds(lower: Bound<Value>, upper: Bound<Value>) -> ColumnBounds {
+        ColumnBounds { lower, upper }
+    }
+
+    fn int_bounds(lo: i64, hi: i64) -> ColumnBounds {
+        bounds(
+            Bound::Included(Value::Int(lo)),
+            Bound::Included(Value::Int(hi)),
+        )
+    }
+
+    /// An index over `score` (column 1) with keys 1..=n carrying score 10*i.
+    fn scored_range_index(n: i64) -> RangeIndex {
+        let mut idx = RangeIndex::new("score", 1);
+        for i in 1..=n {
+            idx.insert(&Key::single(i), &row![i, 10 * i]);
+        }
+        idx
+    }
+
+    #[test]
+    fn range_probe_returns_keys_inside_the_window() {
+        let idx = scored_range_index(5);
+        let mut hits = idx.range_at(&int_bounds(20, 40), TS_LIVE - 1);
+        hits.sort();
+        assert_eq!(
+            hits,
+            vec![Key::single(2i64), Key::single(3i64), Key::single(4i64)]
+        );
+        // Exclusive ends trim the boundary values.
+        let hits = idx.range_at(
+            &bounds(
+                Bound::Excluded(Value::Int(20)),
+                Bound::Excluded(Value::Int(40)),
+            ),
+            0,
+        );
+        assert_eq!(hits, vec![Key::single(3i64)]);
+        // Unbounded sides work.
+        let hits = idx.range_at(
+            &bounds(Bound::Unbounded, Bound::Included(Value::Int(20))),
+            0,
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(idx.distinct_values(), 5);
+        assert_eq!(idx.entry_count(), 5);
+    }
+
+    #[test]
+    fn empty_and_inverted_windows_probe_nothing() {
+        let idx = scored_range_index(3);
+        assert!(idx.range_at(&int_bounds(25, 25), 0).is_empty());
+        assert!(idx.range_at(&int_bounds(30, 10), 0).is_empty(), "inverted");
+        assert!(
+            idx.range_at(
+                &bounds(
+                    Bound::Excluded(Value::Int(20)),
+                    Bound::Included(Value::Int(20)),
+                ),
+                0,
+            )
+            .is_empty(),
+            "half-open single point"
+        );
+        assert_eq!(idx.candidate_count_capped(&int_bounds(30, 10), 10), 0);
+    }
+
+    #[test]
+    fn range_unlink_hides_keys_from_later_reads_only() {
+        let mut idx = RangeIndex::new("score", 1);
+        let k = Key::single(1i64);
+        let r = row![1i64, 30i64];
+        idx.insert(&k, &r);
+        idx.unlink(&k, &r, 5);
+        assert!(idx.range_at(&int_bounds(0, 100), 5).is_empty());
+        assert_eq!(idx.range_at(&int_bounds(0, 100), 4), vec![k.clone()]);
+
+        // Updated to a new value at ts 5.
+        idx.insert(&k, &row![1i64, 70i64]);
+        assert_eq!(idx.range_at(&int_bounds(60, 80), 5), vec![k.clone()]);
+        // Below the update the new slot still lists the key — a stamp
+        // records when a key STOPPED carrying a value, not when it began,
+        // so the candidate set over-approximates (the scan re-checks the
+        // visible row) but never under-approximates.
+        assert_eq!(idx.range_at(&int_bounds(60, 80), 4), vec![k.clone()]);
+        // A window spanning both values yields the key once per slot;
+        // callers dedup.
+        let hits = idx.range_at(&int_bounds(0, 100), 4);
+        assert_eq!(hits, vec![k.clone(), k.clone()]);
+    }
+
+    #[test]
+    fn range_purge_dead_and_purge_key() {
+        let mut idx = scored_range_index(3);
+        idx.unlink(&Key::single(1i64), &row![1i64, 10i64], 3);
+        idx.unlink(&Key::single(2i64), &row![2i64, 20i64], 9);
+        assert_eq!(idx.purge_dead(5), 1);
+        assert_eq!(idx.range_at(&int_bounds(0, 25), 2), vec![Key::single(2i64)]);
+        idx.purge_key(&Key::single(3i64));
+        assert_eq!(idx.entry_count(), 1);
+        assert_eq!(idx.purge_dead(9), 1);
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn capped_count_stops_early_but_never_undercounts_small_windows() {
+        let idx = scored_range_index(100);
+        assert_eq!(idx.candidate_count_capped(&int_bounds(10, 50), 1000), 5);
+        // The cap short-circuits a wide window.
+        let capped = idx.candidate_count_capped(&int_bounds(0, 10_000), 7);
+        assert!((7..100).contains(&capped), "stopped early at {capped}");
+    }
+
+    #[test]
+    fn range_null_values_are_not_indexed() {
+        let mut idx = RangeIndex::new("score", 1);
+        idx.insert(&Key::single(1i64), &row![1i64, Value::Null]);
         assert_eq!(idx.distinct_values(), 0);
     }
 

@@ -47,6 +47,15 @@
 //!   names to ordinals once per scan/validation, so per-row evaluation
 //!   ([`CompiledPredicate::matches`]) does no string lookups.
 //!
+//! * **Planned, sublinear scans.** Every predicate scan runs through a
+//!   cost-based access-path planner: hash-index point probes and
+//!   `IN (...)` multi-probes, ordered [`RangeIndex`](index::RangeIndex)
+//!   probes for comparison windows, or the full chain walk — whichever
+//!   estimates the fewest candidates. Index paths over-approximate and
+//!   re-check, never under-approximate, so every path (at any read
+//!   timestamp, time travel included) returns the full scan's exact
+//!   result set. See the read-path docs on [`database`].
+//!
 //! * **Sharded commits, spanning stores.** There is no global commit
 //!   lock: commits take the per-resource locks of their footprint in
 //!   sorted name order, claim a timestamp from a global atomic
@@ -111,12 +120,14 @@ pub use changelog::{ChangeEntry, ChangeLog};
 pub use commit::CommitParticipant;
 pub use database::{Database, DbStats};
 pub use error::{DbError, DbResult, KvError, KvResult, TrodError, TrodResult};
+pub use index::{RangeIndex, SecondaryIndex};
 pub use latency::StorageProfile;
 pub use log::{CommittedTxn, TxnId};
 pub use mvcc::{Ts, TS_LIVE};
-pub use predicate::{CmpOp, CompiledPredicate, Predicate};
+pub use predicate::{CmpOp, ColumnBounds, CompiledPredicate, Predicate};
 pub use registry::ActiveTxnRegistry;
 pub use row::{Key, Row};
 pub use schema::{Column, Schema, SchemaBuilder};
+pub use table::{ScanPlan, TableStore};
 pub use txn::{CommitInfo, IsolationLevel, ReadSummary, Transaction};
 pub use value::{DataType, Value};

@@ -7,6 +7,7 @@
 //! TROD replay engine to recompute read dependencies.
 
 use std::fmt;
+use std::ops::Bound;
 
 use crate::error::{DbError, DbResult};
 use crate::row::Row;
@@ -250,6 +251,70 @@ impl Predicate {
         }
     }
 
+    /// If the predicate restricts `column` to a finite list of values via
+    /// an `IN (...)` conjunct (possibly inside conjunctions), returns that
+    /// list. Used for multi-probe index lookups. Like [`Predicate::
+    /// equality_on`], constraints under `Or`/`Not` never contribute: an
+    /// index probe derived from them could under-approximate.
+    pub fn in_list_on(&self, column: &str) -> Option<&[Value]> {
+        match self {
+            Predicate::InList { column: c, values } if c == column => Some(values),
+            Predicate::And(a, b) => a.in_list_on(column).or_else(|| b.in_list_on(column)),
+            _ => None,
+        }
+    }
+
+    /// If the predicate constrains `column` through comparison conjuncts
+    /// (`<`, `<=`, `>`, `>=`, `=`), returns the tightest bounds they
+    /// imply, for ordered-index range probes.
+    ///
+    /// Only *conjunctive* constraints contribute: dropping a conjunct can
+    /// only widen the bounds, so the result always over-approximates the
+    /// predicate's match set — the contract every index access path must
+    /// honour. Constraints under `Or` or `Not` are ignored entirely
+    /// (a bound derived from one `Or` branch would under-approximate the
+    /// other), so a predicate whose only constraints on `column` sit under
+    /// them returns `None`. Comparisons against NULL match no row at all;
+    /// they are skipped rather than folded into a bound.
+    pub fn bounds_on(&self, column: &str) -> Option<ColumnBounds> {
+        match self {
+            Predicate::Compare {
+                column: c,
+                op,
+                value,
+            } if c == column && !value.is_null() => match op {
+                CmpOp::Eq => Some(ColumnBounds {
+                    lower: Bound::Included(value.clone()),
+                    upper: Bound::Included(value.clone()),
+                }),
+                CmpOp::Lt => Some(ColumnBounds {
+                    lower: Bound::Unbounded,
+                    upper: Bound::Excluded(value.clone()),
+                }),
+                CmpOp::Le => Some(ColumnBounds {
+                    lower: Bound::Unbounded,
+                    upper: Bound::Included(value.clone()),
+                }),
+                CmpOp::Gt => Some(ColumnBounds {
+                    lower: Bound::Excluded(value.clone()),
+                    upper: Bound::Unbounded,
+                }),
+                CmpOp::Ge => Some(ColumnBounds {
+                    lower: Bound::Included(value.clone()),
+                    upper: Bound::Unbounded,
+                }),
+                // `!=` excludes one point; as a range it is unbounded and
+                // useless for a probe.
+                CmpOp::Ne => None,
+            },
+            Predicate::And(a, b) => match (a.bounds_on(column), b.bounds_on(column)) {
+                (Some(a), Some(b)) => Some(a.intersect(b)),
+                (one, other) => one.or(other),
+            },
+            _ => None,
+        }
+    }
+
     /// Column names referenced by this predicate (with duplicates).
     pub fn referenced_columns(&self) -> Vec<&str> {
         let mut out = Vec::new();
@@ -269,6 +334,92 @@ impl Predicate {
                 b.collect_columns(out);
             }
             Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+}
+
+/// Range constraints a predicate imposes on one column, extracted by
+/// [`Predicate::bounds_on`] and consumed by ordered-index probes.
+///
+/// Bounds follow the engine's total value order ([`Value::total_cmp`]),
+/// the same order [`Predicate::matches`] compares with — so a probe over
+/// `(lower, upper)` sees exactly the values the comparison conjuncts can
+/// accept, including cross-type matches (e.g. `x > 5` admits TEXT values,
+/// which rank above numbers in the total order, in both places).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBounds {
+    /// Lower bound on the column value.
+    pub lower: Bound<Value>,
+    /// Upper bound on the column value.
+    pub upper: Bound<Value>,
+}
+
+impl ColumnBounds {
+    /// Intersects two bounds (the conjunction of their constraints):
+    /// tightest lower, tightest upper. On equal bound values, exclusive
+    /// beats inclusive.
+    fn intersect(self, other: ColumnBounds) -> ColumnBounds {
+        ColumnBounds {
+            lower: tighter(self.lower, other.lower, true),
+            upper: tighter(self.upper, other.upper, false),
+        }
+    }
+
+    /// True if no value can satisfy both bounds (e.g. `x > 5 AND x < 3`),
+    /// in which case the predicate matches nothing via this column and a
+    /// probe may return the empty candidate set outright.
+    pub fn is_empty(&self) -> bool {
+        let (lo, hi) = match (&self.lower, &self.upper) {
+            (Bound::Unbounded, _) | (_, Bound::Unbounded) => return false,
+            (
+                Bound::Included(lo) | Bound::Excluded(lo),
+                Bound::Included(hi) | Bound::Excluded(hi),
+            ) => (lo, hi),
+        };
+        match lo.total_cmp(hi) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Equal => {
+                // A single point survives only if both ends include it.
+                !(matches!(self.lower, Bound::Included(_))
+                    && matches!(self.upper, Bound::Included(_)))
+            }
+            std::cmp::Ordering::Less => false,
+        }
+    }
+}
+
+/// The tighter of two bounds on the same side: for lower bounds (`is_lower`)
+/// the greater value wins, for upper bounds the smaller; on equal values an
+/// exclusive bound is tighter than an inclusive one.
+fn tighter(a: Bound<Value>, b: Bound<Value>, is_lower: bool) -> Bound<Value> {
+    let (av, bv) = match (&a, &b) {
+        (Bound::Unbounded, _) => return b,
+        (_, Bound::Unbounded) => return a,
+        (Bound::Included(av) | Bound::Excluded(av), Bound::Included(bv) | Bound::Excluded(bv)) => {
+            (av, bv)
+        }
+    };
+    match av.total_cmp(bv) {
+        std::cmp::Ordering::Equal => {
+            if matches!(a, Bound::Excluded(_)) {
+                a
+            } else {
+                b
+            }
+        }
+        std::cmp::Ordering::Less => {
+            if is_lower {
+                b
+            } else {
+                a
+            }
+        }
+        std::cmp::Ordering::Greater => {
+            if is_lower {
+                a
+            } else {
+                b
+            }
         }
     }
 }
@@ -462,6 +613,62 @@ mod tests {
         // OR does not pin a single value.
         let p = Predicate::eq("a", 1i64).or(Predicate::eq("a", 2i64));
         assert_eq!(p.equality_on("a"), None);
+    }
+
+    #[test]
+    fn in_list_extraction_for_multi_probe() {
+        let vals = vec![Value::Int(1), Value::Int(2)];
+        let p = Predicate::in_list("id", vals.clone()).and(Predicate::eq("name", "bob"));
+        assert_eq!(p.in_list_on("id"), Some(vals.as_slice()));
+        assert_eq!(p.in_list_on("name"), None);
+        // Under OR / NOT the list may under-approximate: never extracted.
+        let p = Predicate::in_list("id", vals.clone()).or(Predicate::eq("name", "bob"));
+        assert_eq!(p.in_list_on("id"), None);
+        let p = Predicate::in_list("id", vals).negate();
+        assert_eq!(p.in_list_on("id"), None);
+    }
+
+    #[test]
+    fn bounds_extraction_for_range_probes() {
+        // Conjunctive comparisons intersect into one window.
+        let p = Predicate::ge("id", 3i64).and(Predicate::lt("id", 9i64));
+        let b = p.bounds_on("id").unwrap();
+        assert_eq!(b.lower, Bound::Included(Value::Int(3)));
+        assert_eq!(b.upper, Bound::Excluded(Value::Int(9)));
+        assert!(!b.is_empty());
+
+        // Equality pins both ends.
+        let b = Predicate::eq("id", 5i64).bounds_on("id").unwrap();
+        assert_eq!(b.lower, Bound::Included(Value::Int(5)));
+        assert_eq!(b.upper, Bound::Included(Value::Int(5)));
+        assert!(!b.is_empty());
+
+        // Tightest bound wins; exclusive beats inclusive on ties.
+        let p = Predicate::gt("id", 3i64).and(Predicate::ge("id", 3i64));
+        let b = p.bounds_on("id").unwrap();
+        assert_eq!(b.lower, Bound::Excluded(Value::Int(3)));
+
+        // Contradictory conjuncts yield a provably empty window.
+        let p = Predicate::gt("id", 9i64).and(Predicate::lt("id", 3i64));
+        assert!(p.bounds_on("id").unwrap().is_empty());
+        let p = Predicate::gt("id", 3i64).and(Predicate::le("id", 3i64));
+        assert!(p.bounds_on("id").unwrap().is_empty());
+
+        // Unrelated columns, `!=`, and NULL comparisons contribute nothing.
+        assert!(p.bounds_on("name").is_none());
+        assert!(Predicate::ne("id", 3i64).bounds_on("id").is_none());
+        assert!(Predicate::lt("id", Value::Null).bounds_on("id").is_none());
+
+        // OR / NOT would under-approximate: no bounds.
+        let p = Predicate::lt("id", 3i64).or(Predicate::gt("id", 9i64));
+        assert!(p.bounds_on("id").is_none());
+        assert!(Predicate::lt("id", 3i64).negate().bounds_on("id").is_none());
+        // ...but a comparison conjoined WITH an OR still contributes.
+        let p = Predicate::ge("id", 3i64)
+            .and(Predicate::eq("name", "a").or(Predicate::eq("name", "b")));
+        let b = p.bounds_on("id").unwrap();
+        assert_eq!(b.lower, Bound::Included(Value::Int(3)));
+        assert_eq!(b.upper, Bound::Unbounded);
     }
 
     #[test]

@@ -9,12 +9,56 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::changelog::{ChangeEntry, ChangeLog};
 use crate::error::{DbError, DbResult};
-use crate::index::SecondaryIndex;
+use crate::index::{RangeIndex, SecondaryIndex};
 use crate::mvcc::{Ts, VersionChain};
-use crate::predicate::{CompiledPredicate, Predicate};
+use crate::predicate::{ColumnBounds, CompiledPredicate, Predicate};
 use crate::registry::ActiveTxnRegistry;
 use crate::row::{Key, Row};
 use crate::schema::Schema;
+use crate::value::Value;
+
+/// The access path the scan planner chose for a predicate, with the
+/// candidate-count estimate that won. Exposed (via
+/// [`TableStore::plan_scan`]) so tests and diagnostics can observe
+/// planner decisions; the scan path computes the same plan internally.
+///
+/// Every path other than `FullScan` produces *candidate keys* that may
+/// over-approximate the result (stale index entries, bounds wider than
+/// the predicate): candidates are always re-checked against the version
+/// chain for visibility at the read timestamp and against the full
+/// compiled predicate. No path may under-approximate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanPlan {
+    /// Walk every version chain; `rows` is the number of chains.
+    FullScan { rows: usize },
+    /// Probe a hash index once: the predicate pins `column` to one value.
+    PointProbe { column: String, candidates: usize },
+    /// Probe a hash index once per `IN (...)` element and merge.
+    MultiProbe {
+        column: String,
+        probes: usize,
+        candidates: usize,
+    },
+    /// Walk an ordered index over the window the predicate's comparison
+    /// conjuncts imply on `column`.
+    RangeProbe { column: String, candidates: usize },
+}
+
+impl ScanPlan {
+    /// True if the planner chose an index path over the full scan.
+    pub fn uses_index(&self) -> bool {
+        !matches!(self, ScanPlan::FullScan { .. })
+    }
+}
+
+/// The winning access path with enough context to materialise its
+/// candidate keys (borrows the locked index vectors).
+enum PathChoice<'a> {
+    Full,
+    Point(&'a SecondaryIndex, &'a Value),
+    Multi(&'a SecondaryIndex, &'a [Value]),
+    Range(&'a RangeIndex, ColumnBounds),
+}
 
 /// Storage for one table.
 ///
@@ -34,6 +78,7 @@ pub struct TableStore {
     schema: Schema,
     rows: RwLock<HashMap<Key, VersionChain>>,
     indexes: RwLock<Vec<SecondaryIndex>>,
+    range_indexes: RwLock<Vec<RangeIndex>>,
     /// Commit-ordered ring of recent row changes; serves O(Δ)
     /// serializable validation (see the [`crate::changelog`] docs).
     changelog: ChangeLog,
@@ -75,6 +120,7 @@ impl TableStore {
             schema,
             rows: RwLock::new(HashMap::new()),
             indexes: RwLock::new(Vec::new()),
+            range_indexes: RwLock::new(Vec::new()),
             changelog: ChangeLog::default(),
             commit_lock: Arc::new(Mutex::new(())),
             registry,
@@ -125,6 +171,11 @@ impl TableStore {
                 table: self.name.clone(),
                 column: column.to_string(),
             })?;
+        // Lock order: `rows` strictly before an index lock, everywhere
+        // (the scan path nests them the same way). Holding `rows` across
+        // the duplicate check + backfill + publish also keeps the new
+        // index exactly consistent with the version store.
+        let rows = self.rows.read();
         let mut indexes = self.indexes.write();
         if indexes.iter().any(|i| i.column() == column) {
             return Err(DbError::Invalid(format!(
@@ -137,7 +188,6 @@ impl TableStore {
         // each value with the version's end timestamp, so snapshot and
         // time-travel scans through the index see rows that were already
         // updated away or deleted when the index was created.
-        let rows = self.rows.read();
         for (key, chain) in rows.iter() {
             for version in chain.versions() {
                 idx.record(key, &version.row, version.end_ts);
@@ -147,9 +197,51 @@ impl TableStore {
         Ok(())
     }
 
-    /// Names of indexed columns.
+    /// Registers an ordered ([`RangeIndex`]) index over `column`, serving
+    /// bounded range probes (`<`, `<=`, `>`, `>=` windows) in addition to
+    /// equality. A column may carry both a hash and a range index; the
+    /// scan planner picks whichever estimates cheaper per predicate.
+    pub fn create_range_index(&self, column: &str) -> DbResult<()> {
+        let col_idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: self.name.clone(),
+                column: column.to_string(),
+            })?;
+        // Same lock order as `create_index`: `rows` before the index lock.
+        let rows = self.rows.read();
+        let mut range_indexes = self.range_indexes.write();
+        if range_indexes.iter().any(|i| i.column() == column) {
+            return Err(DbError::Invalid(format!(
+                "range index on `{}.{}` already exists",
+                self.name, column
+            )));
+        }
+        let mut idx = RangeIndex::new(column, col_idx);
+        // Same full-history backfill as `create_index`: snapshot and
+        // time-travel probes below the creation point must still resolve.
+        for (key, chain) in rows.iter() {
+            for version in chain.versions() {
+                idx.record(key, &version.row, version.end_ts);
+            }
+        }
+        range_indexes.push(idx);
+        Ok(())
+    }
+
+    /// Names of hash-indexed columns.
     pub fn indexed_columns(&self) -> Vec<String> {
         self.indexes
+            .read()
+            .iter()
+            .map(|i| i.column().to_string())
+            .collect()
+    }
+
+    /// Names of range-indexed columns.
+    pub fn range_indexed_columns(&self) -> Vec<String> {
+        self.range_indexes
             .read()
             .iter()
             .map(|i| i.column().to_string())
@@ -166,8 +258,11 @@ impl TableStore {
             .cloned()
     }
 
-    /// Scans rows visible at `ts` matching `pred`. Uses a secondary index
-    /// when the predicate pins an indexed column to a single value. The
+    /// Scans rows visible at `ts` matching `pred` through the access-path
+    /// planner (see [`TableStore::plan_scan`]): the cheapest of a point
+    /// index probe, an `IN (...)` multi-probe, an ordered range probe and
+    /// the full chain walk serves the candidates, which are then
+    /// visibility- and predicate-checked against the version store. The
     /// predicate is compiled once; rows are shared, not copied.
     pub fn scan_at(&self, pred: &Predicate, ts: Ts) -> DbResult<Vec<(Key, Arc<Row>)>> {
         self.scan_at_compiled(pred, &pred.compile(&self.schema)?, ts)
@@ -176,7 +271,8 @@ impl TableStore {
     /// [`TableStore::scan_at`] for callers that already compiled `pred`
     /// against this table's schema (the transactional scan path compiles
     /// once and reuses it for its own buffered-write overlay). `pred` is
-    /// still needed for index selection via `Predicate::equality_on`.
+    /// still needed for access-path planning, which analyses the
+    /// uncompiled tree (`equality_on` / `in_list_on` / `bounds_on`).
     pub fn scan_at_compiled(
         &self,
         pred: &Predicate,
@@ -184,32 +280,13 @@ impl TableStore {
         ts: Ts,
     ) -> DbResult<Vec<(Key, Arc<Row>)>> {
         let rows = self.rows.read();
+        let indexes = self.indexes.read();
+        let range_indexes = self.range_indexes.read();
+        let (choice, _) = plan_access_path(pred, rows.len(), &indexes, &range_indexes);
+
         let mut out = Vec::new();
-
-        // Try an index lookup first. Candidates are filtered by the read
-        // timestamp: keys eagerly unlinked at or before `ts` (deleted, or
-        // updated away from the value) are excluded immediately.
-        let candidates: Option<Vec<Key>> = {
-            let indexes = self.indexes.read();
-            indexes.iter().find_map(|idx| {
-                pred.equality_on(idx.column())
-                    .map(|value| idx.lookup_at(value, ts))
-            })
-        };
-
-        match candidates {
-            Some(keys) => {
-                for key in keys {
-                    if let Some(chain) = rows.get(&key) {
-                        if let Some(row) = chain.visible_at(ts) {
-                            if compiled.matches(row) {
-                                out.push((key.clone(), row.clone()));
-                            }
-                        }
-                    }
-                }
-            }
-            None => {
+        match choice {
+            PathChoice::Full => {
                 for (key, chain) in rows.iter() {
                     if let Some(row) = chain.visible_at(ts) {
                         if compiled.matches(row) {
@@ -218,8 +295,89 @@ impl TableStore {
                     }
                 }
             }
+            choice => {
+                // Candidates are filtered by the read timestamp already
+                // (keys eagerly unlinked at or before `ts` are excluded),
+                // then re-checked for visibility and the full predicate:
+                // indexes over-approximate, never under-approximate.
+                let mut keys = match choice {
+                    PathChoice::Full => unreachable!("handled above"),
+                    PathChoice::Point(idx, value) => idx.lookup_at(value, ts),
+                    PathChoice::Multi(idx, values) => {
+                        let mut keys = Vec::new();
+                        for value in values {
+                            keys.extend(idx.lookup_at(value, ts));
+                        }
+                        keys
+                    }
+                    PathChoice::Range(idx, bounds) => idx.range_at(&bounds, ts),
+                };
+                // Multi-value paths can surface a key once per value it
+                // carried in overlapping stamp windows.
+                keys.sort_unstable();
+                keys.dedup();
+                for key in keys {
+                    if let Some(chain) = rows.get(&key) {
+                        if let Some(row) = chain.visible_at(ts) {
+                            if compiled.matches(row) {
+                                out.push((key, row.clone()));
+                            }
+                        }
+                    }
+                }
+            }
         }
         // Deterministic order for traces and tests.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// The access path [`TableStore::scan_at`] would take for `pred`,
+    /// without executing it. Diagnostics and tests use this to observe
+    /// planner decisions; equivalence tests pair it with
+    /// [`TableStore::scan_at_full`].
+    pub fn plan_scan(&self, pred: &Predicate) -> ScanPlan {
+        let rows = self.rows.read();
+        let indexes = self.indexes.read();
+        let range_indexes = self.range_indexes.read();
+        let (choice, cost) = plan_access_path(pred, rows.len(), &indexes, &range_indexes);
+        // Rendering the plan (column-name allocations) happens only here,
+        // on the diagnostics path — the scan path drops it unrendered.
+        match choice {
+            PathChoice::Full => ScanPlan::FullScan { rows: rows.len() },
+            PathChoice::Point(idx, _) => ScanPlan::PointProbe {
+                column: idx.column().to_string(),
+                candidates: cost,
+            },
+            PathChoice::Multi(idx, values) => ScanPlan::MultiProbe {
+                column: idx.column().to_string(),
+                probes: values.len(),
+                candidates: cost,
+            },
+            PathChoice::Range(idx, _) => ScanPlan::RangeProbe {
+                column: idx.column().to_string(),
+                candidates: cost,
+            },
+        }
+    }
+
+    /// [`TableStore::scan_at`] forced down the full-scan path, bypassing
+    /// the planner. This is the oracle the planner's paths must agree
+    /// with (every index path over-approximates candidates and re-checks,
+    /// so results are identical by construction — property-tested in
+    /// `tests/scan_path_equivalence.rs`), and the baseline the `scan_path`
+    /// benchmark measures speedups against.
+    pub fn scan_at_full(&self, pred: &Predicate, ts: Ts) -> DbResult<Vec<(Key, Arc<Row>)>> {
+        let compiled = pred.compile(&self.schema)?;
+        let rows = self.rows.read();
+        let mut out = Vec::new();
+        for (key, chain) in rows.iter() {
+            if let Some(row) = chain.visible_at(ts) {
+                if compiled.matches(row) {
+                    out.push((key.clone(), row.clone()));
+                }
+            }
+        }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
@@ -346,6 +504,14 @@ impl TableStore {
             }
             idx.insert(key, &row);
         }
+        drop(indexes);
+        let mut range_indexes = self.range_indexes.write();
+        for idx in range_indexes.iter_mut() {
+            if let Some(before) = &before {
+                idx.unlink(key, before, commit_ts);
+            }
+            idx.insert(key, &row);
+        }
         before
     }
 
@@ -369,6 +535,11 @@ impl TableStore {
             );
             let mut indexes = self.indexes.write();
             for idx in indexes.iter_mut() {
+                idx.unlink(key, before, commit_ts);
+            }
+            drop(indexes);
+            let mut range_indexes = self.range_indexes.write();
+            for idx in range_indexes.iter_mut() {
                 idx.unlink(key, before, commit_ts);
             }
         }
@@ -414,6 +585,11 @@ impl TableStore {
             // them. (This subsumes the old per-dead-key purge.)
             idx.purge_dead(ts);
         }
+        drop(indexes);
+        let mut range_indexes = self.range_indexes.write();
+        for idx in range_indexes.iter_mut() {
+            idx.purge_dead(ts);
+        }
         dropped
     }
 
@@ -428,6 +604,56 @@ impl TableStore {
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
+}
+
+/// The scan planner: enumerates every applicable access path and picks the
+/// one with the smallest candidate-count estimate.
+///
+/// Estimates are upper bounds on probe output (index entry counts,
+/// tombstones included) and cost O(1) per hash probe; the range estimate
+/// walks value slots but stops counting at the best estimate so far — once
+/// a path has lost it is never fully costed. The full scan (estimate =
+/// number of chains) is the baseline; an index path must beat it
+/// *strictly*, since its per-candidate cost (hash lookup per key) is
+/// higher than the walk's. Analysis only ever extracts *conjunctive*
+/// constraints (`equality_on` / `in_list_on` / `bounds_on` all return
+/// `None` under `Or`/`Not`), so a chosen path's candidates always
+/// over-approximate the predicate's match set — the caller re-checks
+/// visibility and the full predicate against the chains.
+fn plan_access_path<'a>(
+    pred: &'a Predicate,
+    chain_count: usize,
+    indexes: &'a [SecondaryIndex],
+    range_indexes: &'a [RangeIndex],
+) -> (PathChoice<'a>, usize) {
+    let mut best_cost = chain_count;
+    let mut choice = PathChoice::Full;
+    for idx in indexes {
+        if let Some(value) = pred.equality_on(idx.column()) {
+            let cost = idx.candidate_count(value);
+            if cost < best_cost {
+                best_cost = cost;
+                choice = PathChoice::Point(idx, value);
+            }
+        }
+        if let Some(values) = pred.in_list_on(idx.column()) {
+            let cost: usize = values.iter().map(|v| idx.candidate_count(v)).sum();
+            if cost < best_cost {
+                best_cost = cost;
+                choice = PathChoice::Multi(idx, values);
+            }
+        }
+    }
+    for idx in range_indexes {
+        if let Some(bounds) = pred.bounds_on(idx.column()) {
+            let cost = idx.candidate_count_capped(&bounds, best_cost);
+            if cost < best_cost {
+                best_cost = cost;
+                choice = PathChoice::Range(idx, bounds);
+            }
+        }
+    }
+    (choice, best_cost)
 }
 
 #[cfg(test)]
@@ -568,6 +794,178 @@ mod tests {
             t.scan_at(&Predicate::eq("forum", "F2"), 4).unwrap().len(),
             0
         );
+    }
+
+    fn scored_table(n: i64) -> TableStore {
+        let schema = Schema::builder()
+            .column("id", DataType::Int)
+            .column("grp", DataType::Int)
+            .column("score", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let t = TableStore::new("scored", schema);
+        for i in 0..n {
+            t.install(&Key::single(i), arc(row![i, i % 10, i]), (i + 1) as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn planner_picks_the_cheapest_path() {
+        let t = scored_table(100);
+        t.create_index("grp").unwrap();
+        t.create_range_index("score").unwrap();
+
+        // No constraint: full scan.
+        assert_eq!(
+            t.plan_scan(&Predicate::True),
+            ScanPlan::FullScan { rows: 100 }
+        );
+        // Equality on the hash-indexed column: point probe (10 candidates
+        // beat 100 chains).
+        assert_eq!(
+            t.plan_scan(&Predicate::eq("grp", 3i64)),
+            ScanPlan::PointProbe {
+                column: "grp".into(),
+                candidates: 10
+            }
+        );
+        // IN (...) on the hash-indexed column: one probe per element.
+        assert_eq!(
+            t.plan_scan(&Predicate::in_list(
+                "grp",
+                vec![Value::Int(3), Value::Int(4)]
+            )),
+            ScanPlan::MultiProbe {
+                column: "grp".into(),
+                probes: 2,
+                candidates: 20
+            }
+        );
+        // Narrow window on the range-indexed column: range probe.
+        assert_eq!(
+            t.plan_scan(&Predicate::ge("score", 95i64)),
+            ScanPlan::RangeProbe {
+                column: "score".into(),
+                candidates: 5
+            }
+        );
+        // A selective range beats a broad point probe when both apply.
+        let pred = Predicate::eq("grp", 3i64).and(Predicate::ge("score", 98i64));
+        assert_eq!(
+            t.plan_scan(&pred),
+            ScanPlan::RangeProbe {
+                column: "score".into(),
+                candidates: 2
+            }
+        );
+        // ...and vice versa.
+        let pred = Predicate::eq("grp", 3i64).and(Predicate::ge("score", 0i64));
+        assert!(matches!(t.plan_scan(&pred), ScanPlan::PointProbe { .. }));
+        // OR forces the planner off every index.
+        let pred = Predicate::eq("grp", 3i64).or(Predicate::ge("score", 95i64));
+        assert_eq!(t.plan_scan(&pred), ScanPlan::FullScan { rows: 100 });
+    }
+
+    #[test]
+    fn planned_paths_agree_with_the_full_scan_oracle() {
+        let t = scored_table(60);
+        t.create_index("grp").unwrap();
+        t.create_range_index("score").unwrap();
+        // Touch history: delete some rows, update others away from their
+        // group, so candidate sets carry tombstones.
+        for i in (0..60i64).step_by(7) {
+            t.remove(&Key::single(i), 100 + i as u64);
+        }
+        for i in (1..60i64).step_by(11) {
+            t.install(
+                &Key::single(i),
+                arc(row![i, 99i64, i + 1000]),
+                200 + i as u64,
+            );
+        }
+        let preds = [
+            Predicate::eq("grp", 4i64),
+            Predicate::in_list("grp", vec![Value::Int(1), Value::Int(99)]),
+            Predicate::ge("score", 40i64).and(Predicate::lt("score", 55i64)),
+            Predicate::gt("score", 1000i64),
+            Predicate::eq("grp", 4i64).and(Predicate::ge("score", 30i64)),
+            Predicate::eq("grp", 4i64).or(Predicate::ge("score", 58i64)),
+            Predicate::ge("score", 40i64).negate(),
+        ];
+        // Latest, mid-history and pre-history timestamps.
+        for ts in [0u64, 30, 120, 250, 1000] {
+            for pred in &preds {
+                assert_eq!(
+                    t.scan_at(pred, ts).unwrap(),
+                    t.scan_at_full(pred, ts).unwrap(),
+                    "path diverged for [{pred}] at ts {ts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_list_scan_probes_the_index_and_merges() {
+        let t = subs_table();
+        t.create_index("forum").unwrap();
+        for i in 0..30 {
+            let u = format!("U{i}");
+            let f = format!("F{}", i % 3);
+            t.install(&key(&u, &f), arc(row![u.clone(), f.clone()]), i + 1);
+        }
+        let pred = Predicate::in_list(
+            "forum",
+            vec![Value::Text("F0".into()), Value::Text("F2".into())],
+        );
+        assert!(t.plan_scan(&pred).uses_index());
+        let hits = t.scan_at(&pred, 100).unwrap();
+        assert_eq!(hits.len(), 20);
+        assert_eq!(hits, t.scan_at_full(&pred, 100).unwrap());
+        // Empty list: index path, empty result.
+        let pred = Predicate::in_list("forum", Vec::new());
+        assert!(t.plan_scan(&pred).uses_index());
+        assert!(t.scan_at(&pred, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_index_serves_time_travel_and_deletes() {
+        let t = scored_table(20);
+        t.create_range_index("score").unwrap();
+        t.remove(&Key::single(15i64), 50);
+        let pred = Predicate::ge("score", 10i64).and(Predicate::le("score", 16i64));
+        // Latest: the deleted row is gone.
+        assert_eq!(t.scan_at(&pred, 60).unwrap().len(), 6);
+        // Below the delete it is still found through the index.
+        assert_eq!(t.scan_at(&pred, 49).unwrap().len(), 7);
+        // Before the rows existed: nothing.
+        assert_eq!(t.scan_at(&pred, 5).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn range_index_backfill_covers_historical_versions() {
+        let t = scored_table(10);
+        t.remove(&Key::single(4i64), 30);
+        // Index created after the delete: time travel below ts 30 must
+        // still find the row through the index.
+        t.create_range_index("score").unwrap();
+        let pred = Predicate::ge("score", 4i64).and(Predicate::le("score", 4i64));
+        assert!(t.plan_scan(&pred).uses_index());
+        assert_eq!(t.scan_at(&pred, 29).unwrap().len(), 1);
+        assert_eq!(t.scan_at(&pred, 30).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn duplicate_range_index_rejected() {
+        let t = scored_table(1);
+        t.create_range_index("score").unwrap();
+        assert!(t.create_range_index("score").is_err());
+        assert!(t.create_range_index("no_such_column").is_err());
+        // A hash index on the same column is a different index kind.
+        t.create_index("score").unwrap();
+        assert_eq!(t.range_indexed_columns(), vec!["score".to_string()]);
+        assert_eq!(t.indexed_columns(), vec!["score".to_string()]);
     }
 
     #[test]

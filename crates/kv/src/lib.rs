@@ -24,10 +24,6 @@
 //!   every commit lands in one aligned transaction-log entry by
 //!   construction ([`Session::aligned_log`]).
 //!
-//! The pre-redesign names (`CrossStore`, `CrossTxn`, `CrossError`, …)
-//! remain available as thin re-exports for one release; see
-//! [`crate::cross`].
-//!
 //! ```
 //! use trod_db::{Database, DataType, Schema, row};
 //! use trod_kv::{KvStore, Session};
@@ -55,12 +51,10 @@
 //! assert_eq!(session.aligned_log().len(), 1);
 //! ```
 
-pub mod cross;
 pub mod session;
 pub mod store;
 pub mod txn;
 
-pub use cross::{CrossCommit, CrossError, CrossResult, CrossStore, CrossTxn};
 pub use session::{AlignedCommit, Session, SessionBuilder, Txn, TxnCommit, TxnOptions};
 pub use store::{KvError, KvResult, KvStore, KvWrite, NamespaceStats};
 pub use txn::KvTransaction;

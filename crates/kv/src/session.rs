@@ -123,8 +123,7 @@ struct SessionInner {
 /// against. Cheaply cloneable; clones share the underlying stores.
 ///
 /// This is the one surface the runtime's `HandlerContext`, the query
-/// executor and the core debugger consume; the old `CrossStore` is a
-/// re-export of it.
+/// executor and the core debugger consume.
 #[derive(Clone)]
 pub struct Session {
     inner: Arc<SessionInner>,
@@ -1158,25 +1157,20 @@ mod tests {
     }
 
     #[test]
-    fn compat_aliases_still_name_the_unified_types() {
-        use crate::cross::{CrossError, CrossStore};
+    fn concurrent_kv_writes_conflict_through_the_unified_error() {
         let kv = KvStore::new();
         kv.create_namespace("sessions").unwrap();
-        let cross: CrossStore = Session::with_kv(orders_db(), kv);
-        let mut txn = cross.begin();
+        let session = Session::with_kv(orders_db(), kv);
+        let mut txn = session.begin();
         txn.kv_put("sessions", "k", "v").unwrap();
         txn.commit().unwrap();
 
-        let mut a = cross.begin();
-        let mut b = cross.begin();
+        let mut a = session.begin();
+        let mut b = session.begin();
         a.kv_put("sessions", "k", "a").unwrap();
         b.kv_put("sessions", "k", "b").unwrap();
         a.commit().unwrap();
-        // The old variant paths still work through the alias.
         let err = b.commit().unwrap_err();
-        assert!(matches!(
-            err,
-            CrossError::KeyValue(KvError::Conflict { .. })
-        ));
+        assert!(matches!(err, TrodError::KeyValue(KvError::Conflict { .. })));
     }
 }

@@ -9,7 +9,7 @@
 //! This is the "data store that recently added ACID transactions" of the
 //! paper's §3.2 trend (FoundationDB, MongoDB, …). Applications that
 //! combine it with a relational database should use
-//! [`CrossStore`](crate::CrossStore) instead, which additionally aligns
+//! [`Session`](crate::Session) instead, which additionally aligns
 //! commit timestamps and transaction logs across the two stores.
 
 use std::collections::BTreeMap;

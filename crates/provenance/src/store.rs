@@ -86,6 +86,13 @@ impl ProvenanceStore {
             .expect("fresh database cannot already contain ExternalCalls");
         db.create_index(EXECUTIONS_TABLE, "ReqId")
             .expect("Executions.ReqId index");
+        // The debugger's time-window investigations (which transactions
+        // ran between these timestamps?) are range scans over ingest
+        // order; ordered indexes keep them sublinear as provenance grows.
+        db.create_range_index(EXECUTIONS_TABLE, "Timestamp")
+            .expect("Executions.Timestamp range index");
+        db.create_range_index(REQUESTS_TABLE, "StartTs")
+            .expect("Requests.StartTs range index");
         ProvenanceStore {
             engine: QueryEngine::new(db.clone()),
             db,

@@ -5,12 +5,29 @@
 //! declarative-debugging query (a join of `Executions` and a per-table
 //! event table on `TxnId`) fast enough to sweep to millions of provenance
 //! events in benchmark E2.
+//!
+//! Two pushdowns keep the storage boundary cheap:
+//!
+//! * **Predicate pushdown.** WHERE / ON conjuncts that reference a single
+//!   table and compare columns against literals are lowered to a storage
+//!   [`Predicate`] and handed to [`Database::scan_as_of`], where the scan
+//!   planner can serve them from an index instead of walking the table
+//!   (see the read-path docs on `trod_db::database`). Lowered conjuncts
+//!   are consumed — never re-evaluated in the executor — and lowering is
+//!   exact: a conjunct that cannot be expressed with identical semantics
+//!   (column-vs-column compares, expressions) stays behind as an executor
+//!   filter.
+//! * **Projection pushdown.** Only the columns the rest of the statement
+//!   can still reference (select list, ORDER BY, GROUP BY, unlowered
+//!   conjuncts, join keys) are copied out of the shared storage rows when
+//!   a relation is materialised; a column consumed entirely by a
+//!   pushed-down predicate is never copied at all.
 
 use std::collections::HashMap;
 
-use trod_db::{Database, Predicate, Ts, Value};
+use trod_db::{CmpOp, Database, Predicate, Schema, Ts, Value};
 
-use crate::ast::{AggFunc, BinOp, Expr, SelectItem, SelectStmt, TableRef};
+use crate::ast::{AggFunc, BinOp, Expr, SelectItem, SelectStmt};
 use crate::error::{QueryError, QueryResultT};
 use crate::result::ResultSet;
 
@@ -87,10 +104,27 @@ pub fn execute(db: &Database, stmt: &SelectStmt, opts: QueryOptions) -> QueryRes
     if tables.is_empty() {
         return Err(QueryError::plan("query must reference at least one table"));
     }
-    let mut rel = load_table(db, tables[0], read_ts)?;
+    let proj = ProjectionNeeds::of(stmt);
+    // Resolve every table's schema up front: predicate lowering must bind
+    // an *unqualified* column name exactly as the executor would — to the
+    // first table in load order that has the column — which takes the
+    // whole catalog to decide, not just the table being loaded.
+    let catalog: Vec<Binding> = tables
+        .iter()
+        .map(|t| {
+            let actual = resolve_table_name(db, &t.table)?;
+            let schema = db.schema_of(&actual)?;
+            Ok(Binding {
+                binding: t.binding_name().to_string(),
+                actual,
+                schema,
+            })
+        })
+        .collect::<QueryResultT<_>>()?;
+    let mut rel = load_table(db, &catalog, 0, read_ts, &mut pending, &proj)?;
     apply_resolvable(&mut rel, &mut pending)?;
-    for table in &tables[1..] {
-        let right = load_table(db, table, read_ts)?;
+    for idx in 1..catalog.len() {
+        let right = load_table(db, &catalog, idx, read_ts, &mut pending, &proj)?;
         rel = join_relations(rel, right, &mut pending)?;
         apply_resolvable(&mut rel, &mut pending)?;
     }
@@ -145,33 +179,312 @@ pub fn execute(db: &Database, stmt: &SelectStmt, opts: QueryOptions) -> QueryRes
     project(&rel, stmt)
 }
 
-fn load_table(db: &Database, table: &TableRef, read_ts: Ts) -> QueryResultT<Relation> {
-    // Case-insensitive table resolution so the paper's literal queries
-    // work regardless of naming convention.
-    let actual = db
-        .table_names()
+/// Column references a statement can still evaluate after its relations
+/// are materialised — everything that bounds projection pushdown except
+/// the pending conjuncts, which [`load_table`] checks live (they shrink
+/// as predicates are lowered into scans).
+struct ProjectionNeeds {
+    /// `SELECT *` appears: every column of every table is needed.
+    wildcard: bool,
+    /// `(qualifier, column)` references, case-preserved.
+    refs: Vec<(Option<String>, String)>,
+}
+
+impl ProjectionNeeds {
+    fn of(stmt: &SelectStmt) -> Self {
+        let mut needs = ProjectionNeeds {
+            wildcard: false,
+            refs: Vec::new(),
+        };
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => needs.wildcard = true,
+                SelectItem::Expr { expr, .. } => needs.collect(expr),
+                SelectItem::Aggregate { arg, .. } => {
+                    if let Some(arg) = arg {
+                        needs.collect(arg);
+                    }
+                }
+            }
+        }
+        for key in &stmt.order_by {
+            needs.collect(&key.expr);
+        }
+        for expr in &stmt.group_by {
+            needs.collect(expr);
+        }
+        needs
+    }
+
+    fn collect(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Column { qualifier, name } => {
+                self.refs.push((qualifier.clone(), name.clone()));
+            }
+            Expr::Literal(_) => {}
+            Expr::Compare { left, right, .. } => {
+                self.collect(left);
+                self.collect(right);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                self.collect(a);
+                self.collect(b);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => self.collect(e),
+            Expr::InList { expr, list } => {
+                self.collect(expr);
+                for e in list {
+                    self.collect(e);
+                }
+            }
+        }
+    }
+
+    /// True if a reference may name `column` of the table bound as
+    /// `binding`.
+    fn needs(&self, binding: &str, column: &str) -> bool {
+        self.wildcard
+            || self
+                .refs
+                .iter()
+                .any(|(q, n)| ref_matches(q.as_deref(), n, binding, column))
+    }
+}
+
+/// True if a `(qualifier, name)` column reference may resolve to `column`
+/// of the table bound as `binding`: executor resolution is
+/// case-insensitive, and an unqualified name can resolve into any table.
+/// The one matching rule both projection-pushdown sites share.
+fn ref_matches(qualifier: Option<&str>, name: &str, binding: &str, column: &str) -> bool {
+    name.eq_ignore_ascii_case(column)
+        && qualifier
+            .map(|q| q.eq_ignore_ascii_case(binding))
+            .unwrap_or(true)
+}
+
+/// One FROM/JOIN table with its binding name and resolved schema; the
+/// full ordered list is the statement's catalog, which predicate lowering
+/// consults to bind unqualified column names the way the executor does.
+struct Binding {
+    binding: String,
+    actual: String,
+    schema: Schema,
+}
+
+/// Case-insensitive table resolution so the paper's literal queries work
+/// regardless of naming convention.
+fn resolve_table_name(db: &Database, table: &str) -> QueryResultT<String> {
+    db.table_names()
         .into_iter()
-        .find(|t| t.eq_ignore_ascii_case(&table.table))
-        .ok_or_else(|| QueryError::plan(format!("no such table `{}`", table.table)))?;
-    let schema = db.schema_of(&actual)?;
-    let binding = table.binding_name().to_string();
-    let cols = schema
+        .find(|t| t.eq_ignore_ascii_case(table))
+        .ok_or_else(|| QueryError::plan(format!("no such table `{table}`")))
+}
+
+/// Materialises the catalog's `idx`-th table as a relation: lowers every
+/// pending conjunct the table can answer by itself into a storage
+/// [`Predicate`] pushed into the scan (consuming the conjunct), then
+/// copies only the columns the rest of the statement can still reference.
+fn load_table(
+    db: &Database,
+    catalog: &[Binding],
+    idx: usize,
+    read_ts: Ts,
+    pending: &mut Vec<Expr>,
+    proj: &ProjectionNeeds,
+) -> QueryResultT<Relation> {
+    let Binding {
+        binding,
+        actual,
+        schema,
+    } = &catalog[idx];
+
+    // Predicate pushdown. Conjuncts are attempted in load order and
+    // consumed on success; `lower_conjunct` binds each column reference
+    // exactly as the executor's joined-relation resolution would, so a
+    // consumed conjunct filters the same rows it would have filtered.
+    let mut lowered = Predicate::True;
+    let mut remaining = Vec::new();
+    for expr in pending.drain(..) {
+        match lower_conjunct(&expr, catalog, idx) {
+            Some(pred) => {
+                lowered = match lowered {
+                    Predicate::True => pred,
+                    combined => combined.and(pred),
+                };
+            }
+            None => remaining.push(expr),
+        }
+    }
+    *pending = remaining;
+
+    // Projection pushdown: a column is copied only if the select list,
+    // ORDER BY, GROUP BY or a still-pending conjunct can reference it.
+    let keep: Vec<usize> = schema
         .columns()
         .iter()
-        .map(|c| ColBinding {
+        .enumerate()
+        .filter(|(_, c)| {
+            proj.needs(binding, &c.name)
+                || pending.iter().any(|e| expr_references(e, binding, &c.name))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let cols = keep
+        .iter()
+        .map(|&i| ColBinding {
             qualifier: binding.clone(),
-            name: c.name.clone(),
+            name: schema.columns()[i].name.clone(),
         })
         .collect();
-    let scanned = db.scan_as_of(&actual, &Predicate::True, read_ts)?;
+
+    let scanned = db.scan_as_of(actual, &lowered, read_ts)?;
     // The executor materialises relations of owned values (projections and
     // joins rewrite them), so this is the one place the shared rows are
     // copied out of the storage engine.
     let rows = scanned
         .into_iter()
-        .map(|(_, r)| std::sync::Arc::unwrap_or_clone(r).into_values())
+        .map(|(_, r)| keep.iter().map(|&i| r[i].clone()).collect())
         .collect();
     Ok(Relation { cols, rows })
+}
+
+/// True if `expr` contains a column reference that may resolve to
+/// `column` of the table bound as `binding`.
+fn expr_references(expr: &Expr, binding: &str, column: &str) -> bool {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            ref_matches(qualifier.as_deref(), name, binding, column)
+        }
+        Expr::Literal(_) => false,
+        Expr::Compare { left, right, .. } => {
+            expr_references(left, binding, column) || expr_references(right, binding, column)
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            expr_references(a, binding, column) || expr_references(b, binding, column)
+        }
+        Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => expr_references(e, binding, column),
+        Expr::InList { expr, list } => {
+            expr_references(expr, binding, column)
+                || list.iter().any(|e| expr_references(e, binding, column))
+        }
+    }
+}
+
+/// Lowers one conjunct to a storage [`Predicate`] over the catalog's
+/// `idx`-th table, or returns `None` if it cannot be expressed with
+/// identical semantics (a reference binds to another table, it compares
+/// two columns, or it uses an expression the storage predicate language
+/// lacks).
+///
+/// The executor and the storage engine agree on comparison semantics —
+/// NULL comparisons are false, `IN` uses SQL equality, values order by
+/// `Value::total_cmp` — so a lowered conjunct filters exactly the rows
+/// the executor's own evaluation would have kept.
+fn lower_conjunct(expr: &Expr, catalog: &[Binding], idx: usize) -> Option<Predicate> {
+    match expr {
+        Expr::Compare { left, op, right } => {
+            if let (Some(column), Some(value)) = (local_column(left, catalog, idx), literal(right))
+            {
+                Some(Predicate::Compare {
+                    column,
+                    op: cmp_op(*op),
+                    value: value.clone(),
+                })
+            } else if let (Some(value), Some(column)) =
+                (literal(left), local_column(right, catalog, idx))
+            {
+                // `5 < col` reads as `col > 5`.
+                Some(Predicate::Compare {
+                    column,
+                    op: flip(cmp_op(*op)),
+                    value: value.clone(),
+                })
+            } else {
+                None
+            }
+        }
+        Expr::And(a, b) => {
+            Some(lower_conjunct(a, catalog, idx)?.and(lower_conjunct(b, catalog, idx)?))
+        }
+        Expr::Or(a, b) => {
+            Some(lower_conjunct(a, catalog, idx)?.or(lower_conjunct(b, catalog, idx)?))
+        }
+        Expr::Not(e) => Some(lower_conjunct(e, catalog, idx)?.negate()),
+        Expr::IsNull(e) => Some(Predicate::IsNull(local_column(e, catalog, idx)?)),
+        Expr::IsNotNull(e) => Some(Predicate::IsNotNull(local_column(e, catalog, idx)?)),
+        Expr::InList { expr, list } => {
+            let column = local_column(expr, catalog, idx)?;
+            let values = list
+                .iter()
+                .map(|e| literal(e).cloned())
+                .collect::<Option<Vec<Value>>>()?;
+            Some(Predicate::InList { column, values })
+        }
+        // Bare columns/literals in boolean position have executor-specific
+        // truthiness; leave them to the executor.
+        Expr::Column { .. } | Expr::Literal(_) => None,
+    }
+}
+
+/// Resolves `expr` as a column of the catalog's `idx`-th table, returning
+/// the schema-cased column name (storage predicates resolve names
+/// case-sensitively; the SQL layer is case-insensitive).
+///
+/// An *unqualified* name resolves the way the executor's joined-relation
+/// lookup does — to the first table in load order whose schema has the
+/// column — so it only lowers here if that first table IS this one. A
+/// name that binds to an earlier table must not be captured by a later
+/// table that happens to share it (the conjunct stays with the executor,
+/// which applies it against the join).
+fn local_column(expr: &Expr, catalog: &[Binding], idx: usize) -> Option<String> {
+    let Expr::Column { qualifier, name } = expr else {
+        return None;
+    };
+    let has_column = |b: &Binding| {
+        b.schema
+            .columns()
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+            .map(|c| c.name.clone())
+    };
+    if let Some(q) = qualifier {
+        if !q.eq_ignore_ascii_case(&catalog[idx].binding) {
+            return None;
+        }
+    } else if catalog[..idx].iter().any(|b| has_column(b).is_some()) {
+        return None;
+    }
+    has_column(&catalog[idx])
+}
+
+fn literal(expr: &Expr) -> Option<&Value> {
+    match expr {
+        Expr::Literal(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn cmp_op(op: BinOp) -> CmpOp {
+    match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::NotEq => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::LtEq => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::GtEq => CmpOp::Ge,
+    }
+}
+
+/// Mirrors a comparison across its operands (`a op b` ⇔ `b flip(op) a`).
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
 }
 
 /// Applies (and removes) every pending conjunct that the relation can
@@ -519,4 +832,178 @@ fn sort_output(out: &mut ResultSet, stmt: &SelectStmt) -> QueryResultT<()> {
     });
     *out = ResultSet::new(out.columns().to_vec(), rows);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trod_db::DataType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .column("TxnId", DataType::Int)
+            .column("ReqId", DataType::Text)
+            .nullable("Score", DataType::Float)
+            .primary_key(&["TxnId"])
+            .build()
+            .unwrap()
+    }
+
+    /// A single-table catalog bound as `E`.
+    fn cat() -> Vec<Binding> {
+        vec![Binding {
+            binding: "E".into(),
+            actual: "Executions".into(),
+            schema: schema(),
+        }]
+    }
+
+    fn col(name: &str) -> Expr {
+        Expr::column(name)
+    }
+
+    fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    fn cmp(l: Expr, op: BinOp, r: Expr) -> Expr {
+        Expr::Compare {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn lowers_column_literal_comparisons_in_both_orientations() {
+        let p = lower_conjunct(&cmp(col("TxnId"), BinOp::Lt, lit(5i64)), &cat(), 0).unwrap();
+        assert_eq!(p, Predicate::lt("TxnId", 5i64));
+        // Literal-first comparisons mirror the operator.
+        let p = lower_conjunct(&cmp(lit(5i64), BinOp::Lt, col("TxnId")), &cat(), 0).unwrap();
+        assert_eq!(p, Predicate::gt("TxnId", 5i64));
+        // Case-insensitive SQL names resolve to the schema-cased column.
+        let p = lower_conjunct(&cmp(col("reqid"), BinOp::Eq, lit("R1")), &cat(), 0).unwrap();
+        assert_eq!(p, Predicate::eq("ReqId", "R1"));
+        // Qualified references must name this binding.
+        let q = cmp(Expr::qualified("E", "TxnId"), BinOp::GtEq, lit(2i64));
+        assert_eq!(
+            lower_conjunct(&q, &cat(), 0),
+            Some(Predicate::ge("TxnId", 2i64))
+        );
+        let other = cmp(Expr::qualified("F", "TxnId"), BinOp::GtEq, lit(2i64));
+        assert_eq!(lower_conjunct(&other, &cat(), 0), None);
+    }
+
+    #[test]
+    fn lowers_boolean_structure_null_tests_and_in_lists() {
+        let e = Expr::Or(
+            Box::new(cmp(col("TxnId"), BinOp::Eq, lit(1i64))),
+            Box::new(Expr::Not(Box::new(Expr::IsNull(Box::new(col("Score")))))),
+        );
+        let p = lower_conjunct(&e, &cat(), 0).unwrap();
+        assert_eq!(
+            p,
+            Predicate::eq("TxnId", 1i64).or(Predicate::IsNull("Score".into()).negate())
+        );
+        let e = Expr::InList {
+            expr: Box::new(col("ReqId")),
+            list: vec![lit("R1"), lit("R2")],
+        };
+        let p = lower_conjunct(&e, &cat(), 0).unwrap();
+        assert_eq!(
+            p,
+            Predicate::in_list(
+                "ReqId",
+                vec![Value::Text("R1".into()), Value::Text("R2".into())]
+            )
+        );
+    }
+
+    #[test]
+    fn refuses_conjuncts_it_cannot_express_exactly() {
+        // Column-vs-column compares stay in the executor.
+        let e = cmp(col("TxnId"), BinOp::Eq, col("Score"));
+        assert_eq!(lower_conjunct(&e, &cat(), 0), None);
+        // Unknown columns are not lowered (the executor reports them).
+        let e = cmp(col("Missing"), BinOp::Eq, lit(1i64));
+        assert_eq!(lower_conjunct(&e, &cat(), 0), None);
+        // IN over non-literal elements stays behind.
+        let e = Expr::InList {
+            expr: Box::new(col("ReqId")),
+            list: vec![col("ReqId")],
+        };
+        assert_eq!(lower_conjunct(&e, &cat(), 0), None);
+        // A partially-lowerable AND is all-or-nothing: the executor keeps
+        // the whole conjunct rather than re-splitting it.
+        let e = Expr::And(
+            Box::new(cmp(col("TxnId"), BinOp::Eq, lit(1i64))),
+            Box::new(cmp(col("TxnId"), BinOp::Eq, col("Score"))),
+        );
+        assert_eq!(lower_conjunct(&e, &cat(), 0), None);
+        // Bare boolean-position columns/literals keep executor truthiness.
+        assert_eq!(lower_conjunct(&col("ReqId"), &cat(), 0), None);
+        assert_eq!(lower_conjunct(&lit(true), &cat(), 0), None);
+    }
+
+    #[test]
+    fn unqualified_names_bind_to_the_first_table_that_has_them() {
+        // Catalog: E(TxnId, ReqId, Score) then F(EventId, Score). The
+        // executor resolves an unqualified `Score` against the joined
+        // relation left-to-right, i.e. to E.Score — so it must not lower
+        // into F's scan even though F has a Score column too.
+        let f_schema = Schema::builder()
+            .column("EventId", DataType::Int)
+            .column("Score", DataType::Float)
+            .primary_key(&["EventId"])
+            .build()
+            .unwrap();
+        let catalog = vec![
+            cat().pop().unwrap(),
+            Binding {
+                binding: "F".into(),
+                actual: "Events".into(),
+                schema: f_schema,
+            },
+        ];
+        let unqualified = cmp(col("Score"), BinOp::Gt, lit(1.0f64));
+        assert_eq!(
+            lower_conjunct(&unqualified, &catalog, 0),
+            Some(Predicate::gt("Score", 1.0f64)),
+            "binds to E, the first table with the column"
+        );
+        assert_eq!(
+            lower_conjunct(&unqualified, &catalog, 1),
+            None,
+            "must not be captured by F"
+        );
+        // Qualified references pick their table explicitly.
+        let qualified = cmp(Expr::qualified("F", "Score"), BinOp::Gt, lit(1.0f64));
+        assert_eq!(lower_conjunct(&qualified, &catalog, 0), None);
+        assert_eq!(
+            lower_conjunct(&qualified, &catalog, 1),
+            Some(Predicate::gt("Score", 1.0f64))
+        );
+        // F's own column lowers into F: no earlier table shadows it.
+        let event = cmp(col("EventId"), BinOp::Eq, lit(3i64));
+        assert_eq!(
+            lower_conjunct(&event, &catalog, 1),
+            Some(Predicate::eq("EventId", 3i64))
+        );
+    }
+
+    #[test]
+    fn projection_needs_tracks_select_order_group_references() {
+        let stmt = crate::parse(
+            "SELECT ReqId FROM Executions WHERE TxnId > 1 GROUP BY ReqId ORDER BY ReqId",
+        )
+        .unwrap();
+        let needs = ProjectionNeeds::of(&stmt);
+        assert!(!needs.wildcard);
+        assert!(needs.needs("Executions", "ReqId"));
+        // WHERE conjuncts are tracked live by load_table, not here: once
+        // lowered into the scan, TxnId need not be materialised at all.
+        assert!(!needs.needs("Executions", "TxnId"));
+        let stmt = crate::parse("SELECT * FROM Executions").unwrap();
+        assert!(ProjectionNeeds::of(&stmt).wildcard);
+    }
 }

@@ -313,8 +313,190 @@ fn order_by_multiple_keys() {
     assert_eq!(result.value(1, "TxnId"), Some(&Value::Int(1)));
 }
 
+#[test]
+fn where_predicates_are_pushed_into_the_scan_planner() {
+    // An indexed table large enough that the planner prefers probes; the
+    // query layer lowers the WHERE clause into a storage predicate, so
+    // these queries must never fall back to scan-everything-then-filter
+    // semantics — and must return exactly the unindexed answer.
+    let db = Database::new();
+    db.create_table(
+        "events",
+        Schema::builder()
+            .column("id", DataType::Int)
+            .column("kind", DataType::Text)
+            .column("ts", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_index("events", "kind").unwrap();
+    db.create_range_index("events", "ts").unwrap();
+    let mut txn = db.begin();
+    for i in 0..500i64 {
+        let kind = format!("K{}", i % 5);
+        txn.insert("events", row![i, kind, i]).unwrap();
+    }
+    txn.commit().unwrap();
+
+    // The lowered predicates drive the planner onto index paths.
+    let table = db.table("events").unwrap();
+    assert!(table
+        .plan_scan(&trod_db::Predicate::eq("kind", "K3"))
+        .uses_index());
+    assert!(table
+        .plan_scan(&trod_db::Predicate::ge("ts", 490i64))
+        .uses_index());
+
+    let engine = QueryEngine::new(db);
+    let eq = engine
+        .execute("SELECT id FROM events WHERE kind = 'K3' ORDER BY id")
+        .unwrap();
+    assert_eq!(eq.len(), 100);
+    let range = engine
+        .execute("SELECT id FROM events WHERE ts >= 490 AND ts < 495 ORDER BY id")
+        .unwrap();
+    assert_eq!(range.len(), 5);
+    assert_eq!(range.rows()[0][0], Value::Int(490));
+    let in_list = engine
+        .execute("SELECT id FROM events WHERE kind IN ('K0', 'K4') ORDER BY id")
+        .unwrap();
+    assert_eq!(in_list.len(), 200);
+    // Literal-first comparisons mirror correctly through lowering.
+    let flipped = engine
+        .execute("SELECT id FROM events WHERE 495 <= ts")
+        .unwrap();
+    assert_eq!(flipped.len(), 5);
+}
+
+#[test]
+fn filter_only_columns_are_pushed_down_not_materialised() {
+    // `kind` appears only in the WHERE clause: the predicate is pushed
+    // into the scan and the column never reaches the projected output.
+    let engine = paper_tables();
+    let result = engine
+        .execute("SELECT TxnId FROM ForumEvents WHERE Type = 'Insert' ORDER BY TxnId")
+        .unwrap();
+    assert_eq!(result.len(), 2);
+    assert_eq!(result.columns(), &["TxnId".to_string()]);
+    // Joins still resolve keys that the select list dropped.
+    let joined = engine
+        .execute(
+            "SELECT ReqId FROM Executions as E JOIN ForumEvents as F ON E.TxnId = F.TxnId \
+             WHERE F.Type = 'Insert' AND F.UserId = 'U1' ORDER BY ReqId",
+        )
+        .unwrap();
+    assert_eq!(joined.len(), 2);
+}
+
+#[test]
+fn ambiguous_unqualified_columns_bind_to_the_first_table_not_the_pushdown_table() {
+    // Both tables have an `x` column. In `WHERE b.z = 1 OR x = 5` the
+    // conjunct can only be evaluated once `b` is loaded, but the
+    // unqualified `x` still binds to `a.x` (first table in the joined
+    // relation) — pushdown must not capture it as `b.x`.
+    let db = Database::new();
+    db.create_table(
+        "a",
+        Schema::builder()
+            .column("id", DataType::Int)
+            .column("x", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "b",
+        Schema::builder()
+            .column("bid", DataType::Int)
+            .column("z", DataType::Int)
+            .column("x", DataType::Int)
+            .primary_key(&["bid"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut txn = db.begin();
+    txn.insert("a", row![1i64, 5i64]).unwrap();
+    txn.insert("b", row![1i64, 0i64, 7i64]).unwrap();
+    txn.commit().unwrap();
+    let engine = QueryEngine::new(db);
+
+    // a.x = 5 makes the disjunction true for the single joined row.
+    let result = engine
+        .execute("SELECT id, bid FROM a, b WHERE b.z = 1 OR x = 5")
+        .unwrap();
+    assert_eq!(result.len(), 1);
+    // The same shape binding to b.x when a cannot supply the name.
+    let result = engine
+        .execute("SELECT id, bid FROM a, b WHERE b.z = 1 OR z = 0")
+        .unwrap();
+    assert_eq!(result.len(), 1);
+    // And a case where the disjunction is genuinely false.
+    let result = engine
+        .execute("SELECT id, bid FROM a, b WHERE b.z = 1 OR x = 6")
+        .unwrap();
+    assert_eq!(result.len(), 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// SQL answers are identical with and without indexes for arbitrary
+    /// data and WHERE shapes — i.e. predicate pushdown and the scan
+    /// planner never change a declarative query's result.
+    #[test]
+    fn indexed_and_unindexed_queries_agree(
+        values in prop::collection::vec((0i64..50, 0i64..8), 1..120),
+        lo in 0i64..50,
+        width in 0i64..25,
+        pick in 0i64..8
+    ) {
+        let make_db = |indexed: bool| {
+            let db = Database::new();
+            db.create_table(
+                "t",
+                Schema::builder()
+                    .column("id", DataType::Int)
+                    .column("v", DataType::Int)
+                    .column("g", DataType::Int)
+                    .primary_key(&["id"])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            if indexed {
+                db.create_index("t", "g").unwrap();
+                db.create_range_index("t", "v").unwrap();
+            }
+            let mut txn = db.begin();
+            for (i, (v, g)) in values.iter().enumerate() {
+                txn.insert("t", row![i as i64, *v, *g]).unwrap();
+            }
+            txn.commit().unwrap();
+            QueryEngine::new(db)
+        };
+        let indexed = make_db(true);
+        let plain = make_db(false);
+        let hi = lo + width;
+        for sql in [
+            format!("SELECT id FROM t WHERE v >= {lo} AND v < {hi} ORDER BY id"),
+            format!("SELECT id FROM t WHERE g = {pick} ORDER BY id"),
+            format!("SELECT id FROM t WHERE g IN ({pick}, {}) ORDER BY id", (pick + 1) % 8),
+            format!("SELECT id FROM t WHERE g = {pick} OR v >= {hi} ORDER BY id"),
+            format!("SELECT id FROM t WHERE NOT v < {lo} ORDER BY id"),
+            format!("SELECT id FROM t WHERE g = {pick} AND v >= {lo} ORDER BY id"),
+        ] {
+            prop_assert_eq!(
+                indexed.execute(&sql).unwrap(),
+                plain.execute(&sql).unwrap(),
+                "diverged for {}",
+                sql
+            );
+        }
+    }
 
     /// Filtering with SQL equals filtering with the storage engine's
     /// native predicates for arbitrary integer data and thresholds.

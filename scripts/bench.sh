@@ -3,15 +3,27 @@
 # perf-trajectory artifact (BENCH_PR<N>.json).
 #
 # Usage:
-#   scripts/bench.sh                  # writes BENCH_PR2.json (current PR)
-#   scripts/bench.sh BENCH_PR3.json   # explicit output name
+#   scripts/bench.sh                  # writes BENCH_PR4.json (current PR)
+#   scripts/bench.sh BENCH_PR5.json   # explicit output name
 #   BENCH_FILTER=commit_validation scripts/bench.sh            # one target
-#   BENCH_FILTER="commit_validation commit_sharding" scripts/bench.sh
+#   BENCH_FILTER="commit_validation scan_path" scripts/bench.sh
 #   TROD_BENCH_MS=100 scripts/bench.sh                # faster, noisier
+#
+# BENCH_PR<N>.json schema ("trod-bench/v1"): a JSON object with
+#   schema   - artifact format tag
+#   rustc    - toolchain the run used
+#   note     - units reminder
+#   results  - one object per benchmark, sorted by id:
+#     id               - criterion path (group/function/parameter)
+#     mean_ns          - mean wall time per iteration
+#     stddev_ns/min_ns - spread across samples
+#     samples          - measurement count
+#     elements_per_sec - optional; present when the bench declares
+#                        throughput (e.g. rows served per second)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR4.json}"
 # Absolute path: cargo runs bench binaries from the package directory.
 jsonl="$PWD/target/bench-results.jsonl"
 rm -f "$jsonl"

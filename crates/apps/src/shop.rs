@@ -186,6 +186,20 @@ pub fn registry() -> HandlerRegistry {
         Ok(Value::Bool(true))
     });
 
+    // The polyglot read path: what is in this customer's cart right now?
+    // Traced kv reads are what make shop requests fully replayable —
+    // the replay engine verifies them against the forked store.
+    registry.register_fn("getCart", |ctx, args| {
+        let customer = require_str(args, "customer")?;
+        if !ctx.has_kv() {
+            return Ok(Value::Null);
+        }
+        let mut txn = ctx.txn("func:getCart");
+        let cart = txn.kv_get(CARTS_NAMESPACE, &format!("cart:{customer}"))?;
+        txn.commit()?;
+        Ok(cart.map(Value::Text).unwrap_or(Value::Null))
+    });
+
     registry.register_fn("createOrder", |ctx, args| {
         let order_id = require_str(args, "order_id")?;
         let customer = require_str(args, "customer")?;
@@ -334,6 +348,11 @@ mod tests {
             Some("item-1".into())
         );
 
+        assert_eq!(
+            runtime.must_handle("getCart", Args::new().with("customer", "alice")),
+            Value::Text("item-1".into())
+        );
+
         runtime.must_handle("checkout", checkout_args("O1", "alice", "item-1", 2));
         // The cart was cleared in the same commit that confirmed the order.
         assert_eq!(
@@ -343,6 +362,10 @@ mod tests {
                 .get_latest(CARTS_NAMESPACE, "cart:alice")
                 .unwrap(),
             None
+        );
+        assert_eq!(
+            runtime.must_handle("getCart", Args::new().with("customer", "alice")),
+            Value::Null
         );
         // That commit is one aligned-log entry spanning both stores.
         let aligned = runtime.session().aligned_log();

@@ -7,11 +7,37 @@
 //! debugging operations — declarative queries, bug replay, retroactive
 //! programming — run against that captured history in a development
 //! environment.
+//!
+//! # Fork/replay architecture
+//!
+//! Every debugging feature that re-executes or verifies history works on
+//! a **forked session environment**, never on production state:
+//!
+//! * **What forks.** [`trod_kv::Session::fork_at`] forks the *whole*
+//!   environment — the relational database
+//!   ([`trod_db::Database::fork_at`]) and, for polyglot applications, the
+//!   key-value store (`KvStore::fork_at`) — at one timestamp of the
+//!   aligned history, so cross-store invariants hold in the fork exactly
+//!   as they held in production at that moment.
+//! * **At which timestamp.** Replay ([`Trod::replay`]) forks at the
+//!   snapshot the request's first transaction read from; retroactive
+//!   programming ([`Trod::retroactive`]) at the earliest snapshot of the
+//!   selected requests (or an explicit override). Reenactment needs no
+//!   fork at all: it time-travels the production stores read-only.
+//! * **How truncated history is stitched.** [`Database::gc_before`]
+//!   truncates the aligned log together with the row versions; with
+//!   [`Trod::enable_retention`] the truncated entries are *spilled* into
+//!   this debugger's provenance store first. [`Trod::aligned_history`]
+//!   stitches spilled + live entries back into one continuous view, and
+//!   the fork path does the same transparently: a fork below the GC
+//!   floor is reconstructed by replaying the stitched history into an
+//!   empty environment — so debugging reach is bounded by retention, not
+//!   by GC pressure.
 
 use std::sync::Arc;
 
 use trod_db::{Database, DbResult};
-use trod_kv::Session;
+use trod_kv::{AlignedCommit, Session};
 use trod_provenance::ProvenanceStore;
 use trod_query::{QueryResultT, ResultSet};
 use trod_runtime::{HandlerRegistry, Runtime};
@@ -128,27 +154,68 @@ impl Trod {
     }
 
     /// Weak-isolation reenactment and anomaly auditing (§3.1): time-travel
-    /// reconstruction of traced read sets plus lost-update / write-skew
-    /// candidate detection for histories captured under snapshot isolation
-    /// or read committed.
+    /// reconstruction of traced read sets — relational rows and key-value
+    /// entries alike — plus lost-update / write-skew candidate detection
+    /// for histories captured under snapshot isolation or read committed.
     pub fn reenactor(&self) -> Reenactor<'_> {
-        Reenactor::new(&self.provenance, self.runtime.database())
+        Reenactor::new(&self.provenance, self.runtime.session())
     }
 
     /// Starts a faithful replay of a past request (§3.5) in a development
-    /// database forked from production state.
+    /// environment — the relational database *and*, for polyglot
+    /// applications, the key-value store — forked from production state
+    /// at the request's snapshot, or reconstructed from spilled aligned
+    /// history when the snapshot predates the GC floor (see the module
+    /// docs and [`Trod::enable_retention`]).
     pub fn replay(&self, req_id: &str) -> Result<ReplaySession, ReplayError> {
-        ReplaySession::for_request(&self.provenance, self.runtime.database(), req_id)
+        ReplaySession::for_session(&self.provenance, self.runtime.session(), req_id)
     }
 
     /// Starts configuring a retroactive-programming run (§3.6) that
-    /// re-executes original requests against `patched_registry`.
+    /// re-executes original requests against `patched_registry`, each
+    /// ordering in a fresh fork of the whole session environment.
     pub fn retroactive(&self, patched_registry: HandlerRegistry) -> RetroactiveBuilder {
         RetroactiveBuilder::new(
             self.provenance.clone(),
-            self.runtime.database().clone(),
+            self.runtime.session().clone(),
             patched_registry,
         )
+    }
+
+    /// Installs this debugger's provenance store as the production
+    /// database's aligned-history retention policy: from now on,
+    /// [`Database::gc_before`] spills every transaction-log entry it
+    /// truncates into the provenance store instead of dropping it, so
+    /// [`Trod::aligned_history`] and [`Trod::replay`] keep reaching
+    /// history older than the GC watermark. Call before the first GC for
+    /// a gap-free history.
+    pub fn enable_retention(&self) {
+        self.runtime
+            .database()
+            .set_retention_policy(Some(self.provenance.clone()));
+    }
+
+    /// The complete aligned cross-store history this debugger can see:
+    /// entries spilled to the provenance store by GC retention, followed
+    /// by the live transaction log — stitched into one commit-ordered
+    /// view. Without retention (or before any GC) this is just the live
+    /// [`Session::aligned_log`].
+    pub fn aligned_history(&self) -> Vec<AlignedCommit> {
+        // Read the live log BEFORE the spill: entries only ever move
+        // live → spilled (under GC), so an entry a concurrent GC drains
+        // between the two reads appears in both snapshots — never in
+        // neither — and the overlap is dropped by commit timestamp. The
+        // other order could lose an in-flight entry entirely.
+        let live = self.runtime.session().aligned_log();
+        let mut out: Vec<AlignedCommit> = self
+            .provenance
+            .spilled_log()
+            .into_iter()
+            .map(AlignedCommit::from_entry)
+            .collect();
+        let spilled_up_to = out.last().map(|c| c.commit_ts).unwrap_or(0);
+        out.extend(live.into_iter().filter(|c| c.commit_ts > spilled_up_to));
+        out
     }
 }
 

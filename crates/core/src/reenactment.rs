@@ -27,7 +27,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use trod_db::{Database, DbResult, Key, TxnId};
+use trod_db::{DbResult, Key, TxnId};
+use trod_kv::Session;
 use trod_provenance::ProvenanceStore;
 use trod_trace::TxnTrace;
 
@@ -93,20 +94,28 @@ impl ReenactmentReport {
 }
 
 /// Reenactment / isolation-audit helper bound to the provenance store and
-/// the (time-travel-capable) production database.
+/// the (time-travel-capable) production session environment: relational
+/// reads reenact against the database's MVCC history, `kv:<namespace>`
+/// reads against the key-value store's version chains — both as of the
+/// transaction's snapshot timestamp, which the aligned history makes one
+/// and the same point in time.
 pub struct Reenactor<'a> {
     provenance: &'a ProvenanceStore,
-    db: &'a Database,
+    session: &'a Session,
 }
 
 impl<'a> Reenactor<'a> {
-    pub(crate) fn new(provenance: &'a ProvenanceStore, db: &'a Database) -> Self {
-        Reenactor { provenance, db }
+    pub(crate) fn new(provenance: &'a ProvenanceStore, session: &'a Session) -> Self {
+        Reenactor {
+            provenance,
+            session,
+        }
     }
 
-    /// Reenacts one traced transaction: every row image it recorded
-    /// reading is re-read from the production database as of the
-    /// transaction's snapshot timestamp and compared.
+    /// Reenacts one traced transaction: every image it recorded reading —
+    /// relational row or key-value entry — is re-read from the production
+    /// environment as of the transaction's snapshot timestamp and
+    /// compared.
     pub fn reenact_txn(&self, txn_id: TxnId) -> DbResult<Option<ReenactmentReport>> {
         let Some(trace) = self.provenance.txn(txn_id) else {
             return Ok(None);
@@ -114,9 +123,50 @@ impl<'a> Reenactor<'a> {
         let mut reads_checked = 0;
         let mut divergent_reads = Vec::new();
         for read in &trace.reads {
+            if let Some(namespace) = read.table.strip_prefix(trod_db::KV_TABLE_PREFIX) {
+                // Infrastructure failures (no store bound, namespace
+                // gone) propagate as errors — reporting them as read
+                // divergences would fake an isolation anomaly.
+                let Some(kv) = self.session.kv_store() else {
+                    return Err(trod_db::DbError::Invalid(format!(
+                        "cannot reenact kv read on `{}`: no key-value store bound",
+                        read.table
+                    )));
+                };
+                for (key, recorded) in &read.rows {
+                    reads_checked += 1;
+                    let Some(key_text) = trod_kv::kv_image_key(key) else {
+                        divergent_reads.push(format!("{}: non-text kv key {key}", read.table));
+                        continue;
+                    };
+                    let recorded_value = trod_kv::kv_image_value(recorded);
+                    let as_of = kv
+                        .get_as_of(namespace, key_text, trace.snapshot_ts)
+                        .map_err(|e| {
+                            trod_db::DbError::Invalid(format!(
+                                "cannot reenact kv read on `{}`: {e}",
+                                read.table
+                            ))
+                        })?;
+                    match (as_of.as_deref(), recorded_value) {
+                        (Some(a), Some(r)) if a == r => {}
+                        (got, recorded_value) => divergent_reads.push(format!(
+                            "{}[{key_text}]: recorded {} but snapshot ts={} has {}",
+                            read.table,
+                            recorded_value.unwrap_or("<nothing>"),
+                            trace.snapshot_ts,
+                            got.unwrap_or("<nothing>"),
+                        )),
+                    }
+                }
+                continue;
+            }
             for (key, recorded) in &read.rows {
                 reads_checked += 1;
-                let as_of = self.db.get_as_of(&read.table, key, trace.snapshot_ts)?;
+                let as_of =
+                    self.session
+                        .database()
+                        .get_as_of(&read.table, key, trace.snapshot_ts)?;
                 match as_of {
                     Some(row) if &row == recorded => {}
                     Some(row) => divergent_reads.push(format!(
@@ -284,7 +334,7 @@ fn dedup_tables(iter: impl Iterator<Item = String>) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trod_db::{row, DataType, IsolationLevel, Predicate, Schema, Value};
+    use trod_db::{row, DataType, Database, IsolationLevel, Predicate, Schema, Value};
     use trod_kv::{Session, TxnOptions};
     use trod_trace::{Tracer, TxnContext};
 
@@ -341,7 +391,7 @@ mod tests {
         t2.commit().unwrap();
         store.ingest(traced.tracer().unwrap().drain());
 
-        let reenactor = Reenactor::new(&store, &db);
+        let reenactor = Reenactor::new(&store, &traced);
         let anomalies = reenactor.audit_anomalies();
         assert_eq!(anomalies.len(), 1);
         assert_eq!(anomalies[0].kind, AnomalyKind::WriteSkew);
@@ -356,7 +406,7 @@ mod tests {
 
     #[test]
     fn lost_update_candidates_between_overlapping_writers() {
-        let (db, store, traced) = oncall_db();
+        let (_db, store, traced) = oncall_db();
         seed(&traced);
 
         let mut t1 = traced.begin_with(
@@ -377,7 +427,7 @@ mod tests {
         t2.commit().unwrap();
         store.ingest(traced.tracer().unwrap().drain());
 
-        let reenactor = Reenactor::new(&store, &db);
+        let reenactor = Reenactor::new(&store, &traced);
         let anomalies = reenactor.audit_anomalies();
         assert_eq!(anomalies.len(), 1);
         assert_eq!(anomalies[0].kind, AnomalyKind::LostUpdate);
@@ -386,7 +436,7 @@ mod tests {
 
     #[test]
     fn serial_transactions_produce_no_anomalies() {
-        let (db, store, traced) = oncall_db();
+        let (_db, store, traced) = oncall_db();
         seed(&traced);
         for (req, value) in [("R1", false), ("R2", true)] {
             let mut t = traced.begin_traced(TxnContext::new(req, "toggle", "f"));
@@ -395,13 +445,13 @@ mod tests {
             t.commit().unwrap();
         }
         store.ingest(traced.tracer().unwrap().drain());
-        let reenactor = Reenactor::new(&store, &db);
+        let reenactor = Reenactor::new(&store, &traced);
         assert!(reenactor.audit_anomalies().is_empty());
     }
 
     #[test]
     fn reenactment_confirms_snapshot_consistency_under_si() {
-        let (db, store, traced) = oncall_db();
+        let (_db, store, traced) = oncall_db();
         seed(&traced);
         let mut t1 = traced.begin_with(
             TxnOptions::new()
@@ -413,7 +463,7 @@ mod tests {
         t1.commit().unwrap();
         store.ingest(traced.tracer().unwrap().drain());
 
-        let reenactor = Reenactor::new(&store, &db);
+        let reenactor = Reenactor::new(&store, &traced);
         let reports = reenactor.reenact_request("R1").unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].reads_checked, 2);
@@ -422,8 +472,70 @@ mod tests {
     }
 
     #[test]
+    fn reenactment_checks_kv_reads_against_the_store_history() {
+        use trod_kv::KvStore;
+
+        let db = Database::new();
+        let kv = KvStore::new();
+        kv.create_namespace("carts").unwrap();
+        let store = ProvenanceStore::for_application(&db).unwrap();
+        let traced = Session::builder(db.clone())
+            .kv(kv)
+            .tracer(Tracer::new())
+            .build();
+
+        let mut setup = traced.begin_traced(TxnContext::new("R0", "setup", "f"));
+        setup.kv_put("carts", "cart:alice", "widget").unwrap();
+        setup.commit().unwrap();
+
+        // A serializable reader observes the snapshot value; a later
+        // writer changes it. Reenactment (as-of the snapshot) agrees with
+        // what the reader recorded.
+        let mut reader = traced.begin_traced(TxnContext::new("R1", "getCart", "f"));
+        assert_eq!(
+            reader.kv_get("carts", "cart:alice").unwrap(),
+            Some("widget".into())
+        );
+        reader.commit().unwrap();
+        let mut writer = traced.begin_traced(TxnContext::new("R2", "update", "f"));
+        writer.kv_put("carts", "cart:alice", "gadget").unwrap();
+        writer.commit().unwrap();
+
+        // A read-committed reader that began before the write but read
+        // after it observed a post-snapshot commit: reenactment must flag
+        // the kv read as divergent.
+        let mut rc = traced.begin_with(
+            TxnOptions::new()
+                .traced(TxnContext::new("R3", "getCart", "f"))
+                .isolation(IsolationLevel::ReadCommitted),
+        );
+        let mut writer = traced.begin_traced(TxnContext::new("R4", "update", "f"));
+        writer.kv_put("carts", "cart:alice", "doohickey").unwrap();
+        writer.commit().unwrap();
+        assert_eq!(
+            rc.kv_get("carts", "cart:alice").unwrap(),
+            Some("doohickey".into())
+        );
+        rc.commit().unwrap();
+        store.ingest(traced.tracer().unwrap().drain());
+
+        let reenactor = Reenactor::new(&store, &traced);
+        let r1 = reenactor.reenact_request("R1").unwrap();
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r1[0].reads_checked, 1);
+        assert!(r1[0].is_snapshot_consistent());
+        let r3 = reenactor.reenact_request("R3").unwrap();
+        assert_eq!(r3.len(), 1);
+        assert!(
+            !r3[0].is_snapshot_consistent(),
+            "the kv read observed a post-snapshot commit and must be flagged"
+        );
+        assert!(r3[0].divergent_reads[0].contains("kv:carts"));
+    }
+
+    #[test]
     fn reenactment_flags_reads_that_saw_later_commits_under_read_committed() {
-        let (db, store, traced) = oncall_db();
+        let (_db, store, traced) = oncall_db();
         seed(&traced);
 
         // A read-committed transaction begins, then a concurrent writer
@@ -448,7 +560,7 @@ mod tests {
         reader.commit().unwrap();
         store.ingest(traced.tracer().unwrap().drain());
 
-        let reenactor = Reenactor::new(&store, &db);
+        let reenactor = Reenactor::new(&store, &traced);
         let reports = reenactor.reenact_request("R1").unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].reads_checked, 1);

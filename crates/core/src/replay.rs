@@ -1,25 +1,43 @@
-//! Faithful bug replay (paper §3.5).
+//! Faithful bug replay (paper §3.5) over the whole polyglot environment.
 //!
 //! Replaying a past request means re-experiencing its execution in a
-//! development database: TROD forks the development database from the
-//! state the request's first transaction saw, then walks the request's
-//! transactions in their original order. Before each transaction it
-//! *injects* the state changes made by concurrently committed
-//! transactions that the original execution observed (the paper's
-//! "breakpoint before the beginning of each transaction"), verifies that
-//! the development database now shows exactly the rows the original
-//! transaction read (fidelity), and then applies the transaction's own
-//! recorded changes.
+//! development environment: TROD forks the *session environment* — the
+//! relational database and, when the application is polyglot, the
+//! key-value store, both at the same point of the aligned history — from
+//! the state the request's first transaction saw, then walks the
+//! request's transactions in their original order. Before each
+//! transaction it *injects* the state changes made by concurrently
+//! committed transactions that the original execution observed (the
+//! paper's "breakpoint before the beginning of each transaction"),
+//! verifies that the development environment now shows exactly the rows
+//! *and key-value entries* the original transaction read (fidelity), and
+//! then applies the transaction's own recorded changes — `kv:<namespace>`
+//! records re-applied through the same participant commit path live
+//! commits take, so the development environment's aligned log mirrors
+//! production's.
+//!
+//! **Forking below the GC watermark.** A fork materialises live state, so
+//! it is only sound at or above the database's truncation floor
+//! ([`trod_db::Database::log_truncated_below`]). When the request
+//! predates the floor and the aligned history was spilled to the
+//! provenance store by a retention policy
+//! ([`trod_db::RetentionPolicy`]; see `Trod::enable_retention`), the
+//! replay transparently reconstructs the environment instead: an empty
+//! fork of both stores, brought to the snapshot timestamp by replaying
+//! the stitched spilled + live aligned entries. Debugging reach is then
+//! bounded by retention, not by GC pressure.
 //!
 //! The session exposes a [`ReplaySession::step`] API so a developer (or a
 //! test acting as one) can stop between transactions, inspect the
-//! development database, and see precisely which concurrent requests
+//! development environment, and see precisely which concurrent requests
 //! modified the data in between — which is how the Moodle duplication
 //! becomes obvious (Figure 3, top).
 
 use std::fmt;
+use std::sync::Arc;
 
-use trod_db::{Database, DbError, Ts, TxnId};
+use trod_db::{Database, DbError, KvError, TrodError, Ts, TxnId};
+use trod_kv::{KvStore, Session};
 use trod_provenance::ProvenanceStore;
 use trod_trace::TxnTrace;
 
@@ -30,8 +48,14 @@ pub enum ReplayError {
     UnknownRequest(String),
     /// The request has no traced transactions to replay.
     NoTransactions(String),
-    /// An underlying storage error.
+    /// The request's snapshot predates the GC truncation floor and no
+    /// spilled aligned history covers it (no retention policy was
+    /// installed, or it was installed after the history was truncated).
+    HistoryTruncated { snapshot_ts: Ts, floor: Ts },
+    /// An underlying relational storage error.
     Storage(DbError),
+    /// An underlying key-value storage error.
+    KeyValue(KvError),
 }
 
 impl fmt::Display for ReplayError {
@@ -41,7 +65,14 @@ impl fmt::Display for ReplayError {
             ReplayError::NoTransactions(r) => {
                 write!(f, "request `{r}` has no traced transactions")
             }
+            ReplayError::HistoryTruncated { snapshot_ts, floor } => write!(
+                f,
+                "cannot fork at ts {snapshot_ts}: history below ts {floor} was \
+                 garbage-collected and no spilled aligned history covers it \
+                 (enable a retention policy before truncating)"
+            ),
             ReplayError::Storage(e) => write!(f, "storage error during replay: {e}"),
+            ReplayError::KeyValue(e) => write!(f, "key-value error during replay: {e}"),
         }
     }
 }
@@ -51,6 +82,15 @@ impl std::error::Error for ReplayError {}
 impl From<DbError> for ReplayError {
     fn from(e: DbError) -> Self {
         ReplayError::Storage(e)
+    }
+}
+
+impl From<TrodError> for ReplayError {
+    fn from(e: TrodError) -> Self {
+        match e {
+            TrodError::Relational(e) => ReplayError::Storage(e),
+            TrodError::KeyValue(e) => ReplayError::KeyValue(e),
+        }
     }
 }
 
@@ -79,16 +119,19 @@ pub struct StepReport {
     /// (txn id, request id) pairs injected before this step — the answer
     /// to "who changed the database between my transactions?".
     pub injected: Vec<(TxnId, String)>,
-    /// Rows the original transaction read that were verified against the
-    /// development database.
+    /// Reads the original transaction performed — relational rows and
+    /// key-value entries alike — that were verified against the
+    /// development environment.
     pub reads_checked: usize,
     /// Human-readable descriptions of any fidelity mismatches.
     pub mismatches: Vec<String>,
     /// Number of CDC records applied for the transaction itself.
     pub writes_applied: usize,
-    /// CDC records (of this transaction or its injected dependencies) that
-    /// could not be applied because their row images were redacted; only
-    /// ever non-zero on partial-data steps.
+    /// CDC records (of this transaction or its injected dependencies)
+    /// that could not be applied: row images erased by privacy redaction,
+    /// or `kv:` records when the development environment has no key-value
+    /// store (a relational-only replay of a polyglot trace). Zero for
+    /// polyglot requests replayed in a full session environment.
     pub writes_skipped: usize,
     /// True if the step ran on provenance that was partially redacted
     /// (privacy erasure, §5); see [`ReplayStep::partial_data`].
@@ -120,6 +163,12 @@ impl ReplayReport {
         self.steps.iter().map(|s| s.injected.len()).sum()
     }
 
+    /// Total records skipped across all steps (zero for a faithful
+    /// polyglot replay in a full environment).
+    pub fn writes_skipped(&self) -> usize {
+        self.steps.iter().map(|s| s.writes_skipped).sum()
+    }
+
     /// True if any step ran on partially redacted provenance, in which
     /// case a non-faithful replay may be the expected consequence of a
     /// privacy-erasure request rather than a bug in the application.
@@ -131,20 +180,37 @@ impl ReplayReport {
 /// An in-progress replay of one request.
 pub struct ReplaySession {
     req_id: String,
-    dev_db: Database,
+    /// The forked development environment: relational database plus — for
+    /// polyglot sessions — the key-value store, forked at one timestamp.
+    dev: Session,
     steps: Vec<ReplayStep>,
     position: usize,
     reports: Vec<StepReport>,
 }
 
 impl ReplaySession {
-    /// Prepares a replay of `req_id`: forks a development database from
-    /// the production state the request's first transaction saw and
-    /// computes, for each of the request's transactions, the concurrent
-    /// transactions whose changes must be injected before it.
+    /// Prepares a replay of `req_id` against a relational-only
+    /// development database forked from `production_db`. Key-value
+    /// records in the trace are skipped and counted; use
+    /// [`ReplaySession::for_session`] for polyglot-complete replay.
     pub fn for_request(
         provenance: &ProvenanceStore,
         production_db: &Database,
+        req_id: &str,
+    ) -> Result<Self, ReplayError> {
+        ReplaySession::for_session(provenance, &Session::new(production_db.clone()), req_id)
+    }
+
+    /// Prepares a replay of `req_id`: forks the development environment —
+    /// both stores of `production`, at the snapshot the request's first
+    /// transaction saw — and computes, for each of the request's
+    /// transactions, the concurrent transactions whose changes must be
+    /// injected before it. When the snapshot predates the GC truncation
+    /// floor, the environment is reconstructed from spilled + live
+    /// aligned history instead (see the module docs).
+    pub fn for_session(
+        provenance: &ProvenanceStore,
+        production: &Session,
         req_id: &str,
     ) -> Result<Self, ReplayError> {
         let known_requests = provenance.request_ids();
@@ -162,11 +228,11 @@ impl ReplaySession {
         }
 
         let base_ts = committed.iter().map(|t| t.snapshot_ts).min().unwrap_or(0);
-        // The development database starts from the snapshot the request
-        // began against. TROD only needs the data items the replay
-        // touches; forking at a timestamp gives the same observable
-        // behaviour with the simple in-memory engine.
-        let dev_db = production_db.fork_at(base_ts)?;
+        // The development environment starts from the snapshot the
+        // request began against. TROD only needs the data items the
+        // replay touches; forking at a timestamp gives the same
+        // observable behaviour with the simple in-memory engine.
+        let dev = fork_environment(provenance, production, base_ts)?;
 
         let mut steps = Vec::with_capacity(committed.len());
         let mut watermark: Ts = base_ts;
@@ -199,7 +265,7 @@ impl ReplaySession {
 
         Ok(ReplaySession {
             req_id: req_id.to_string(),
-            dev_db,
+            dev,
             steps,
             position: 0,
             reports: Vec::new(),
@@ -211,11 +277,22 @@ impl ReplaySession {
         &self.req_id
     }
 
-    /// The development database. Between steps a developer can inspect it
-    /// freely (the programmatic stand-in for attaching GDB or a SQL shell
-    /// during replay).
+    /// The development environment's relational database. Between steps a
+    /// developer can inspect it freely (the programmatic stand-in for
+    /// attaching GDB or a SQL shell during replay).
     pub fn dev_db(&self) -> &Database {
-        &self.dev_db
+        self.dev.database()
+    }
+
+    /// The development environment's key-value store, when the replayed
+    /// session is polyglot.
+    pub fn dev_kv(&self) -> Option<&KvStore> {
+        self.dev.kv_store()
+    }
+
+    /// The whole forked development environment.
+    pub fn dev_session(&self) -> &Session {
+        &self.dev
     }
 
     /// The planned steps (before execution).
@@ -234,8 +311,9 @@ impl ReplaySession {
     }
 
     /// Executes the next step: injects concurrent changes, verifies the
-    /// original read set against the development database, applies the
-    /// transaction's own writes. Returns `None` when the replay is done.
+    /// original read set (both stores) against the development
+    /// environment, applies the transaction's own writes. Returns `None`
+    /// when the replay is done.
     pub fn step(&mut self) -> Result<Option<StepReport>, ReplayError> {
         if self.is_finished() {
             return Ok(None);
@@ -264,19 +342,52 @@ impl ReplaySession {
                 }
                 let other = pending.next().expect("peeked");
                 writes_skipped +=
-                    apply_tolerating_redaction(&self.dev_db, &other.writes, step.partial_data)?;
+                    apply_tolerating_redaction(&self.dev, &other.writes, step.partial_data)?;
                 injected.push((other.txn_id, other.ctx.req_id.clone()));
             }
-            // Fidelity check: every row the original transaction read must
-            // be present, with identical contents, in the development
-            // database. Key-value reads are not checkable against the
-            // relational fork (see `is_kv_virtual_table`).
-            if is_kv_virtual_table(&read.table) {
+            // Fidelity check: everything the original transaction read
+            // must be present, with identical contents, in the
+            // development environment. Key-value reads are verified
+            // against the forked store; in a relational-only environment
+            // they remain uncheckable and are left to `writes_skipped`
+            // accounting.
+            if let Some(namespace) = read.table.strip_prefix(trod_db::KV_TABLE_PREFIX) {
+                let Some(kv) = self.dev.kv_store() else {
+                    continue;
+                };
+                for (key, original_row) in &read.rows {
+                    reads_checked += 1;
+                    let Some(key_text) = trod_kv::kv_image_key(key) else {
+                        mismatches.push(format!(
+                            "{}: traced kv read has a non-text key {key}",
+                            read.table
+                        ));
+                        continue;
+                    };
+                    let original_value = trod_kv::kv_image_value(original_row);
+                    match kv.get_latest(namespace, key_text) {
+                        Ok(Some(dev_value)) if Some(dev_value.as_str()) == original_value => {}
+                        Ok(Some(dev_value)) => mismatches.push(format!(
+                            "{}[{key_text}]: original read {} but development store has {dev_value}",
+                            read.table,
+                            original_value.unwrap_or("<non-text>"),
+                        )),
+                        Ok(None) => mismatches.push(format!(
+                            "{}[{key_text}]: original read {} but key is missing in development store",
+                            read.table,
+                            original_value.unwrap_or("<non-text>"),
+                        )),
+                        Err(e) => mismatches.push(format!(
+                            "{}[{key_text}]: cannot verify against development store: {e}",
+                            read.table
+                        )),
+                    }
+                }
                 continue;
             }
             for (key, original_row) in &read.rows {
                 reads_checked += 1;
-                match self.dev_db.get_latest(&read.table, key)? {
+                match self.dev_db().get_latest(&read.table, key)? {
                     Some(dev_row) if &dev_row == original_row => {}
                     Some(dev_row) => mismatches.push(format!(
                         "{}{}: original read {} but development database has {}",
@@ -290,16 +401,16 @@ impl ReplaySession {
             }
         }
         // Inject whatever the transaction's reads never reached (e.g.
-        // write-only transactions) so the development database still ends
-        // the step at the state the transaction committed against.
+        // write-only transactions) so the development environment still
+        // ends the step at the state the transaction committed against.
         for other in pending {
             writes_skipped +=
-                apply_tolerating_redaction(&self.dev_db, &other.writes, step.partial_data)?;
+                apply_tolerating_redaction(&self.dev, &other.writes, step.partial_data)?;
             injected.push((other.txn_id, other.ctx.req_id.clone()));
         }
 
         let own_skipped =
-            apply_tolerating_redaction(&self.dev_db, &step.txn.writes, step.partial_data)?;
+            apply_tolerating_redaction(&self.dev, &step.txn.writes, step.partial_data)?;
         writes_skipped += own_skipped;
 
         let report = StepReport {
@@ -332,52 +443,141 @@ impl ReplaySession {
     }
 }
 
-/// True for reads/writes against the virtual `kv:<namespace>` tables of
-/// the unified transaction surface. The development database is a
-/// relational fork; key-value state is not reconstructed by replay (the
-/// relational side of a polyglot request replays normally, and the kv
-/// records remain visible in the step's trace) — see the ROADMAP.
-fn is_kv_virtual_table(table: &str) -> bool {
-    table.starts_with("kv:")
+/// Forks the development environment at `ts`.
+///
+/// At or above the GC truncation floor this is a direct
+/// [`Session::fork_at`]: both stores materialise the state visible at
+/// `ts`. Below the floor the live stores can no longer answer, so the
+/// environment is *reconstructed*: an empty fork
+/// ([`Session::fork_empty`]) brought to `ts` by replaying the spilled
+/// aligned entries a retention policy preserved, through
+/// [`Session::apply_changes`], the same injection primitive replay uses.
+/// (Entries still in the live log all sit *above* the floor — truncation
+/// drains every entry at or below it — so below the floor the spill is
+/// the whole story.) Retroactive programming forks through here too, so
+/// every debugger feature shares one retention-aware fork path.
+pub(crate) fn fork_environment(
+    provenance: &ProvenanceStore,
+    production: &Session,
+    ts: Ts,
+) -> Result<Session, ReplayError> {
+    let db = production.database();
+    let mut floor = db.log_truncated_below();
+    if ts >= floor {
+        let fork = production.fork_at(ts)?;
+        // Re-check the floor AFTER materialising: `gc_before` raises the
+        // floor before it drops any version, so if the floor still
+        // covers `ts` now, no GC took versions at `ts` out from under
+        // the walk — the fork is sound. If a concurrent GC overtook us
+        // the fork may be torn; discard it and reconstruct from the
+        // spill instead (the floor only ever rises, so retrying the
+        // direct fork could never succeed).
+        floor = db.log_truncated_below();
+        if ts >= floor {
+            return Ok(fork);
+        }
+    }
+    // The snapshot predates truncation: only spilled history can cover
+    // it (the live log holds nothing at or below the floor).
+    // Reconstruction is sound only when the spill (a) is complete from
+    // the first commit — the retention policy was installed before
+    // anything was truncated (coverage floor 0) — and (b) actually IS
+    // this debugger's provenance store: a foreign policy's coverage says
+    // nothing about our spill. Otherwise rebuilding would silently
+    // produce a wrong fork; refuse instead. (An empty spill under a
+    // coverage floor of 0 is fine: nothing had committed at or before
+    // `ts`.)
+    let spill_is_complete_and_ours = db.retention_policy().is_some_and(|(policy, cov)| {
+        cov == 0 && std::ptr::addr_eq(Arc::as_ptr(&policy), provenance as *const ProvenanceStore)
+    });
+    if !spill_is_complete_and_ours {
+        return Err(ReplayError::HistoryTruncated {
+            snapshot_ts: ts,
+            floor,
+        });
+    }
+    let dev = production.fork_empty()?;
+    let kv_capable = dev.kv_store().is_some();
+    for entry in provenance.spilled_up_to(ts) {
+        // Relational-only environments (the legacy `for_request` path)
+        // cannot reconstruct kv records, exactly as a direct fork would
+        // not materialise them — drop them from the base state rather
+        // than failing the whole replay (the per-step skip accounting
+        // covers the traced records).
+        let changes: std::borrow::Cow<'_, [trod_db::ChangeRecord]> = if kv_capable {
+            std::borrow::Cow::Borrowed(&entry.changes)
+        } else {
+            std::borrow::Cow::Owned(
+                entry
+                    .changes
+                    .iter()
+                    .filter(|c| !trod_db::is_kv_table(&c.table))
+                    .cloned()
+                    .collect(),
+            )
+        };
+        if dev.apply_changes(&changes).is_err() {
+            // A record in the entry cannot be re-applied — its images
+            // were erased by privacy redaction after spilling. Rebuild
+            // from whatever survives, record by record: below-floor
+            // replays of *unrelated* requests keep working, and replays
+            // that did depend on the erased rows surface the gap as
+            // fidelity mismatches — the paper's §5 "debugging from
+            // partial data" behaviour, same as the step-level tolerance.
+            for change in changes.iter() {
+                let _ = dev.apply_changes(std::slice::from_ref(change));
+            }
+        }
+    }
+    Ok(dev)
 }
 
-/// Applies CDC records to the development database. Records against
-/// `kv:<namespace>` virtual tables are skipped and counted (see
-/// [`is_kv_virtual_table`]). On steps that run on redacted provenance
-/// (`tolerate = true`), records whose row images were erased cannot be
-/// re-applied; they are skipped and counted instead of failing the whole
-/// replay — this is the "debugging from partial data" behaviour of the
-/// paper's §5. Returns the number of skipped records.
+/// Applies CDC records to the development environment, through the
+/// participant commit path for `kv:` records when the environment has a
+/// key-value store. Records that cannot be applied are skipped and
+/// counted instead of failing the replay:
+///
+/// * `kv:` records in a relational-only environment (legacy
+///   [`ReplaySession::for_request`] replays);
+/// * on steps that run on redacted provenance (`tolerate = true`), records
+///   whose row or value images were erased — the "debugging from partial
+///   data" behaviour of the paper's §5.
+///
+/// Returns the number of skipped records.
 fn apply_tolerating_redaction(
-    dev_db: &Database,
+    dev: &Session,
     writes: &[trod_db::ChangeRecord],
     tolerate: bool,
 ) -> Result<usize, ReplayError> {
-    let kv_records = writes
-        .iter()
-        .filter(|c| is_kv_virtual_table(&c.table))
-        .count();
-    if !tolerate && kv_records == 0 {
-        // The common (purely relational, unredacted) case: apply the
-        // whole batch without copying a record.
-        dev_db.apply_changes(writes)?;
+    let kv_unapplyable = if dev.kv_store().is_some() {
+        0
+    } else {
+        writes
+            .iter()
+            .filter(|c| trod_db::is_kv_table(&c.table))
+            .count()
+    };
+    if !tolerate && kv_unapplyable == 0 {
+        // The common (unredacted, fully-equipped environment) case: apply
+        // the whole transaction as one aligned injection.
+        dev.apply_changes(writes)?;
         return Ok(0);
     }
-    let mut skipped = kv_records;
+    let mut skipped = kv_unapplyable;
     if !tolerate {
-        let relational: Vec<_> = writes
+        let applyable: Vec<_> = writes
             .iter()
-            .filter(|c| !is_kv_virtual_table(&c.table))
+            .filter(|c| !trod_db::is_kv_table(&c.table))
             .cloned()
             .collect();
-        dev_db.apply_changes(&relational)?;
+        dev.apply_changes(&applyable)?;
         return Ok(skipped);
     }
     for change in writes {
-        if is_kv_virtual_table(&change.table) {
+        if kv_unapplyable > 0 && trod_db::is_kv_table(&change.table) {
             continue;
         }
-        if dev_db.apply_changes(std::slice::from_ref(change)).is_err() {
+        if dev.apply_changes(std::slice::from_ref(change)).is_err() {
             skipped += 1;
         }
     }
@@ -388,6 +588,7 @@ impl fmt::Debug for ReplaySession {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ReplaySession")
             .field("req_id", &self.req_id)
+            .field("polyglot", &self.dev.kv_store().is_some())
             .field("steps", &self.steps.len())
             .field("position", &self.position)
             .finish()

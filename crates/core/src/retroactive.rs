@@ -13,11 +13,13 @@ use std::fmt;
 use std::sync::Arc;
 
 use trod_db::{Database, DbError, IsolationLevel, Ts};
+use trod_kv::{KvStore, Session};
 use trod_provenance::{ProvenanceStore, RequestRecord};
 use trod_runtime::{Args, HandlerRegistry, Runtime};
 
 use crate::interleave::ConflictGraph;
 use crate::invariant::{check_all, Invariant};
+use crate::replay::{fork_environment, ReplayError};
 
 /// Errors raised while preparing or running a retroactive exploration.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +30,9 @@ pub enum RetroactiveError {
     MissingRequestRecord(String),
     /// The recorded arguments for a request could not be decoded.
     BadArguments { req_id: String, detail: String },
+    /// The development environment could not be forked at the requested
+    /// snapshot (e.g. the history was truncated without retention).
+    Fork(ReplayError),
     /// An underlying storage error.
     Storage(DbError),
 }
@@ -47,6 +52,7 @@ impl fmt::Display for RetroactiveError {
                     "cannot decode recorded arguments of `{req_id}`: {detail}"
                 )
             }
+            RetroactiveError::Fork(e) => write!(f, "cannot fork the environment: {e}"),
             RetroactiveError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
@@ -99,9 +105,23 @@ pub struct OrderingOutcome {
     pub outcomes: Vec<RequestOutcome>,
     /// Invariant violations observed on the final state.
     pub violations: Vec<String>,
-    /// The development database produced by this ordering, left available
-    /// for further inspection.
-    pub dev_db: Database,
+    /// The development environment this ordering ran in — both stores,
+    /// forked at the branch snapshot — left available for further
+    /// inspection (same shape as `ReplaySession::dev_session`).
+    pub dev: Session,
+}
+
+impl OrderingOutcome {
+    /// The development database produced by this ordering.
+    pub fn dev_db(&self) -> &Database {
+        self.dev.database()
+    }
+
+    /// The development key-value store of this ordering, when the
+    /// production session is polyglot.
+    pub fn dev_kv(&self) -> Option<&KvStore> {
+        self.dev.kv_store()
+    }
 }
 
 impl OrderingOutcome {
@@ -156,7 +176,7 @@ impl RetroactiveReport {
 /// Configures and runs a retroactive exploration.
 pub struct RetroactiveBuilder {
     provenance: Arc<ProvenanceStore>,
-    production_db: Database,
+    production: Session,
     registry: HandlerRegistry,
     req_ids: Vec<String>,
     snapshot_ts: Option<Ts>,
@@ -166,15 +186,19 @@ pub struct RetroactiveBuilder {
 }
 
 impl RetroactiveBuilder {
-    /// Creates a builder; used through [`crate::Trod::retroactive`].
+    /// Creates a builder; used through [`crate::Trod::retroactive`]. The
+    /// production session supplies both stores: each explored ordering
+    /// runs the patched handlers in a fresh fork of the whole environment
+    /// (relational database and, for polyglot applications, the key-value
+    /// store) at the branch snapshot.
     pub fn new(
         provenance: Arc<ProvenanceStore>,
-        production_db: Database,
+        production: Session,
         registry: HandlerRegistry,
     ) -> Self {
         RetroactiveBuilder {
             provenance,
-            production_db,
+            production,
             registry,
             req_ids: Vec::new(),
             snapshot_ts: None,
@@ -277,11 +301,18 @@ impl RetroactiveBuilder {
 
         let mut outcomes = Vec::with_capacity(orderings.len());
         for order in orderings {
-            let dev_db = self.production_db.fork_at(snapshot_ts)?;
-            let runtime = Runtime::builder(dev_db.clone(), self.registry.clone())
+            // Fork the whole environment — both stores — through the same
+            // retention-aware path replay uses, so retroactive runs keep
+            // working for history older than the GC watermark too.
+            let dev = fork_environment(&self.provenance, &self.production, snapshot_ts)
+                .map_err(RetroactiveError::Fork)?;
+            let mut builder = Runtime::builder(dev.database().clone(), self.registry.clone())
                 .default_isolation(self.isolation)
-                .request_prefix("RETRO-")
-                .build();
+                .request_prefix("RETRO-");
+            if let Some(kv) = dev.kv_store() {
+                builder = builder.kv(kv.clone());
+            }
+            let runtime = builder.build();
 
             let mut request_outcomes = Vec::with_capacity(order.len());
             for req_id in &order {
@@ -307,12 +338,12 @@ impl RetroactiveBuilder {
                 });
             }
 
-            let violations = check_all(&dev_db, &self.invariants);
+            let violations = check_all(dev.database(), &self.invariants);
             outcomes.push(OrderingOutcome {
                 order,
                 outcomes: request_outcomes,
                 violations,
-                dev_db,
+                dev,
             });
         }
 

@@ -12,6 +12,20 @@ use std::sync::Arc;
 
 use crate::row::{Key, Row};
 
+/// Prefix of the virtual table names under which key-value participant
+/// records travel — in change records, commit resource names and the
+/// aligned transaction log (e.g. `kv:sessions`). This is the aligned
+/// log's wire format for "which store does this record belong to"; every
+/// layer that classifies records must use this one definition.
+pub const KV_TABLE_PREFIX: &str = "kv:";
+
+/// True for records/resources on the virtual `kv:<namespace>` tables of
+/// the unified transaction surface (the key-value half of the aligned
+/// history).
+pub fn is_kv_table(table: &str) -> bool {
+    table.starts_with(KV_TABLE_PREFIX)
+}
+
 /// The kind of change applied to a single row.
 ///
 /// Before/after images are `Arc`-shared with the storage engine's version

@@ -110,6 +110,33 @@
 //!   the debugger's as-of views and the declarative query layer, which
 //!   lowers WHERE clauses into pushed-down predicates) all ride the same
 //!   planner with no separate history path.
+//!
+//! # Forking, replay injection and aligned-history retention
+//!
+//! The debugger's "development database" is a **fork**:
+//! [`Database::fork_at`] materialises the rows visible at a timestamp into
+//! an independent database whose clock starts at that timestamp (schemas
+//! and indexes copied; the key-value store mirrors the same semantics with
+//! `KvStore::fork_at` in `trod-kv`, so a whole *session environment* —
+//! db + kv — forks at one point of the aligned history). Replay then
+//! drives the fork with [`Database::apply_changes_with`]: captured change
+//! records re-applied as synthetic commits that take the same per-resource
+//! locks, claim timestamps from the fork's allocator, and run participant
+//! installs (the `kv:<namespace>` half of a polyglot commit) inside the
+//! same ordered publication window as live commits — one aligned log
+//! entry per injected transaction, exactly like production.
+//!
+//! Forking is only sound **at or above the GC truncation floor**
+//! ([`Database::log_truncated_below`]): [`Database::gc_before`] drops row
+//! versions and the matching aligned log entries together, so below the
+//! floor the live store can no longer materialise the historical state.
+//! A [`RetentionPolicy`] closes that gap: when installed
+//! ([`Database::set_retention_policy`]), GC *spills* every log entry it
+//! truncates into the policy before dropping it. A debugger that kept the
+//! spilled entries (the TROD provenance store does) can rebuild the
+//! environment at any spilled timestamp by replaying spilled + live
+//! aligned entries into an empty fork — which is how replay keeps working
+//! for history older than the GC watermark.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -121,7 +148,7 @@ use crate::cdc::{ChangeOp, ChangeRecord};
 use crate::commit::CommitParticipant;
 use crate::error::{DbError, DbResult, TrodError, TrodResult};
 use crate::latency::{LatencyModel, StorageProfile};
-use crate::log::{CommittedTxn, TxnId, TxnLog};
+use crate::log::{CommittedTxn, RetentionPolicy, TxnId, TxnLog};
 use crate::mvcc::Ts;
 use crate::predicate::Predicate;
 use crate::registry::ActiveTxnRegistry;
@@ -154,6 +181,13 @@ struct DbInner {
     ts_alloc: AtomicU64,
     next_txn_id: AtomicU64,
     log: Mutex<TxnLog>,
+    /// Retention hook for aligned-history truncation: when set,
+    /// [`Database::gc_before`] hands every log entry it is about to drop
+    /// to the policy (spill-before-truncate) instead of discarding it.
+    /// The `Ts` records [`TxnLog::truncated_below`] at install time — the
+    /// floor below which the policy's spill can never reach, because that
+    /// history was already truncated without it.
+    retention: RwLock<Option<(Arc<dyn RetentionPolicy>, Ts)>>,
     /// Active transactions (txn id -> start_ts); source of the
     /// min-active-start-ts watermark that bounds GC and ring eviction.
     registry: Arc<ActiveTxnRegistry>,
@@ -222,6 +256,7 @@ impl Database {
                 ts_alloc: AtomicU64::new(0),
                 next_txn_id: AtomicU64::new(1),
                 log: Mutex::new(TxnLog::new()),
+                retention: RwLock::new(None),
                 registry: Arc::new(ActiveTxnRegistry::new()),
                 snapshots: Mutex::new(BTreeMap::new()),
                 latency: LatencyModel::new(profile),
@@ -286,7 +321,7 @@ impl Database {
     /// with such a name would silently alias a namespace's commit lock).
     pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> DbResult<()> {
         let name = name.into();
-        if name.starts_with("kv:") {
+        if crate::cdc::is_kv_table(&name) {
             return Err(DbError::Invalid(format!(
                 "table name `{name}` uses the reserved `kv:` resource prefix"
             )));
@@ -609,14 +644,6 @@ impl Database {
         })
     }
 
-    /// Publishes a fully installed commit: waits until every earlier
-    /// timestamp has published, appends the log entry inside that ordered
-    /// window (keeping [`TxnLog`] commit-ordered), then bumps the clock.
-    fn publish(&self, entry: CommittedTxn) {
-        self.wait_for_publication_turn(entry.commit_ts);
-        self.finish_publication(entry);
-    }
-
     /// Advances the timestamp allocator (and the publication clock) to at
     /// least `target` by claiming and publishing empty ticks — no log
     /// entries, no installs, just clock movement.
@@ -827,6 +854,75 @@ impl Database {
         self.inner.log.lock().len()
     }
 
+    /// The highest horizon [`Database::gc_before`] has truncated at: log
+    /// entries *and row versions* at or below this timestamp are gone
+    /// (possibly spilled to a [`RetentionPolicy`]), so [`Database::fork_at`]
+    /// and time-travel reads below it cannot be answered from live state —
+    /// callers must reconstruct from spilled aligned history instead (see
+    /// the module docs). 0 if GC never truncated.
+    pub fn log_truncated_below(&self) -> Ts {
+        self.inner.log.lock().truncated_below()
+    }
+
+    /// Installs (or clears) the aligned-history retention policy: every
+    /// subsequent [`Database::gc_before`] spills the log entries it
+    /// truncates into the policy before dropping them, so the aligned
+    /// history stays reachable for debugging beyond the GC horizon. The
+    /// truncation floor at install time is recorded as the policy's
+    /// coverage floor ([`Database::retention_coverage_floor`]) — install
+    /// before the first GC for gap-free (floor 0) coverage.
+    pub fn set_retention_policy(&self, policy: Option<Arc<dyn RetentionPolicy>>) {
+        // Read the floor under the retention write lock so a concurrent
+        // gc_before cannot truncate between the read and the install.
+        let mut slot = self.inner.retention.write();
+        *slot = policy.map(|p| {
+            let floor = match slot.as_ref() {
+                // Re-installing the same policy is idempotent: its spill
+                // has covered everything since the original install, so
+                // the original coverage floor still holds — resetting it
+                // to the current (higher) floor would silently disown a
+                // complete spill.
+                Some((old, old_floor)) if std::ptr::addr_eq(Arc::as_ptr(old), Arc::as_ptr(&p)) => {
+                    *old_floor
+                }
+                _ => self.inner.log.lock().truncated_below(),
+            };
+            (p, floor)
+        });
+    }
+
+    /// True if a retention policy is installed.
+    pub fn has_retention_policy(&self) -> bool {
+        self.inner.retention.read().is_some()
+    }
+
+    /// The truncation floor at the moment the current retention policy
+    /// was installed, or `None` without a policy. History at or below
+    /// this floor was truncated *before* retention existed and is
+    /// unrecoverable; the policy's spill is complete from the first
+    /// commit exactly when this is 0 — the condition the debugger checks
+    /// before reconstructing a fork from spilled history.
+    pub fn retention_coverage_floor(&self) -> Option<Ts> {
+        self.inner
+            .retention
+            .read()
+            .as_ref()
+            .map(|(_, floor)| *floor)
+    }
+
+    /// The installed retention policy together with its coverage floor
+    /// (one consistent read). The debugger uses the policy handle to
+    /// verify *by identity* that the spill it plans to reconstruct a fork
+    /// from is the store this database actually spills into — a foreign
+    /// policy's coverage proves nothing about the debugger's own spill.
+    pub fn retention_policy(&self) -> Option<(Arc<dyn RetentionPolicy>, Ts)> {
+        self.inner
+            .retention
+            .read()
+            .as_ref()
+            .map(|(p, floor)| (p.clone(), *floor))
+    }
+
     // ------------------------------------------------------------------
     // Snapshots, forking, replay support
     // ------------------------------------------------------------------
@@ -907,6 +1003,27 @@ impl Database {
     /// upcoming transaction depends on" (paper §3.5) into a development
     /// database. Inserts behave as upserts so injection is idempotent.
     pub fn apply_changes(&self, changes: &[ChangeRecord]) -> DbResult<CommitInfo> {
+        self.apply_changes_with(changes, &[]).map_err(|e| match e {
+            TrodError::Relational(e) => e,
+            // Unreachable without participants; keep the error faithful
+            // rather than panicking.
+            TrodError::KeyValue(e) => DbError::Invalid(format!("participant error: {e}")),
+        })
+    }
+
+    /// [`Database::apply_changes`] with commit participants: the synthetic
+    /// commit spans other stores exactly like a live coordinated commit —
+    /// participant resources merge into the sorted lock order, participant
+    /// validation runs before the timestamp is claimed, and participant
+    /// installs run inside the ordered publication window, landing in the
+    /// same aligned log entry. This is how the replay engine re-applies a
+    /// polyglot transaction's `kv:<namespace>` records through the same
+    /// commit path the production transaction took.
+    pub fn apply_changes_with(
+        &self,
+        changes: &[ChangeRecord],
+        participants: &[&dyn CommitParticipant],
+    ) -> TrodResult<CommitInfo> {
         let txn_id = self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed);
         // Resolve every table and run every fallible check (schema
         // validation) BEFORE locking and allocating a timestamp, so a bad
@@ -923,13 +1040,44 @@ impl Database {
             }
         }
 
-        // Same locking discipline as commit_txn: sorted footprint order
-        // (BTreeMap iteration), held through publication.
+        // Same locking discipline as commit_coordinated: the union of the
+        // relational footprint and the participants' resources, locked in
+        // sorted name order and held through publication.
+        let resources: Vec<(String, Arc<Mutex<()>>)> = if participants.is_empty() {
+            Vec::new()
+        } else {
+            let mut resources: Vec<(String, Arc<Mutex<()>>)> = footprint
+                .iter()
+                .map(|(name, store)| (name.to_string(), store.commit_lock().clone()))
+                .collect();
+            for participant in participants {
+                for resource in participant.resources() {
+                    if !resources.iter().any(|(name, _)| *name == resource) {
+                        let lock = participant.resource_lock(&resource);
+                        resources.push((resource, lock));
+                    }
+                }
+            }
+            resources.sort_by(|a, b| a.0.cmp(&b.0));
+            resources
+        };
         let _serial = self.serial_commit().then(|| self.inner.serial_lock.lock());
-        let _guards: Vec<_> = footprint
-            .values()
-            .map(|store| store.commit_lock().lock())
-            .collect();
+        let _guards: Vec<_> = if participants.is_empty() {
+            footprint
+                .values()
+                .map(|store| store.commit_lock().lock())
+                .collect()
+        } else {
+            resources.iter().map(|(_, lock)| lock.lock()).collect()
+        };
+
+        // Participants can still veto here (e.g. a store whose timestamp
+        // monotonicity a foreign commit outran); nothing is installed yet.
+        let min_commit_ts = self.inner.ts_alloc.load(Ordering::SeqCst) + 1;
+        for participant in participants {
+            participant.validate(min_commit_ts)?;
+        }
+
         let commit_ts = self.inner.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1;
         let mut applied = Vec::with_capacity(changes.len());
         for change in changes {
@@ -944,7 +1092,13 @@ impl Database {
             }
             applied.push(change.clone());
         }
-        self.publish(CommittedTxn {
+        // Participant installs run inside the ordered publication window,
+        // and their change records join the same aligned log entry.
+        self.wait_for_publication_turn(commit_ts);
+        for participant in participants {
+            applied.extend(participant.install(commit_ts));
+        }
+        self.finish_publication(CommittedTxn {
             txn_id,
             start_ts: commit_ts - 1,
             commit_ts,
@@ -971,11 +1125,45 @@ impl Database {
     /// fallback.
     pub fn gc_before(&self, ts: Ts) -> (usize, usize) {
         let horizon = ts.min(self.inner.registry.watermark());
+        // Truncate the log (raising the truncation floor) BEFORE dropping
+        // row versions: a concurrent fork that reads the floor after this
+        // point takes the spilled-reconstruction path, and one that read
+        // the old floor forks at a timestamp whose versions this GC never
+        // drops (GC keeps the newest version at or below `horizon`, so
+        // state at any ts >= horizon stays materialisable mid-flight).
+        // The reverse order would let a fork pass the floor check while
+        // its versions were already gone — a silently wrong fork.
+        // The retention read guard is held across the truncation (lock
+        // order retention → log, matching `set_retention_policy`): a
+        // policy installed concurrently either sees the log before this
+        // truncation (and records the pre-GC floor as its coverage) or
+        // after it (recording the raised floor) — never a floor that
+        // promises coverage this GC silently dropped.
+        let retention = self.inner.retention.read();
+        let logs = {
+            let mut log = self.inner.log.lock();
+            match retention.as_ref().map(|(p, _)| p) {
+                Some(policy) => {
+                    // Spill-before-truncate, under the log lock: the
+                    // aligned entries move atomically from the log to the
+                    // retention store — concurrent GCs cannot interleave
+                    // spills out of commit order, and no reader can
+                    // observe the entries in neither place.
+                    let drained = log.truncate_before_drain(horizon);
+                    let n = drained.len();
+                    if n > 0 {
+                        policy.spill(drained);
+                    }
+                    n
+                }
+                None => log.truncate_before(horizon),
+            }
+        };
+        drop(retention);
         let mut versions = 0;
         for store in self.inner.tables.read().values() {
             versions += store.gc_before(horizon);
         }
-        let logs = self.inner.log.lock().truncate_before(horizon);
         (versions, logs)
     }
 
@@ -1305,6 +1493,45 @@ mod tests {
         assert!(logs > 0);
         let after = db.stats();
         assert_eq!(after.total_versions, after.live_rows);
+    }
+
+    #[test]
+    fn gc_spills_truncated_log_entries_to_the_retention_policy() {
+        #[derive(Default)]
+        struct Collecting(Mutex<Vec<CommittedTxn>>);
+        impl RetentionPolicy for Collecting {
+            fn spill(&self, entries: Vec<CommittedTxn>) {
+                self.0.lock().extend(entries);
+            }
+        }
+
+        let db = populated_db();
+        for i in 0..3 {
+            let mut txn = db.begin();
+            txn.update("t", &Key::single(1i64), row![1i64, format!("v{i}")])
+                .unwrap();
+            txn.commit().unwrap();
+        }
+        let policy = Arc::new(Collecting::default());
+        db.set_retention_policy(Some(policy.clone()));
+        assert!(db.has_retention_policy());
+
+        let live_before = db.log_entries();
+        let (_, logs) = db.gc_before(db.current_ts());
+        assert_eq!(logs, live_before.len());
+        assert_eq!(db.log_len(), 0);
+        assert_eq!(db.log_truncated_below(), db.current_ts());
+        // Every truncated entry survived in the policy, in commit order.
+        let spilled = policy.0.lock().clone();
+        assert_eq!(spilled, live_before);
+
+        // Later GCs spill only the new tail.
+        let mut txn = db.begin();
+        txn.update("t", &Key::single(2i64), row![2i64, "tail"])
+            .unwrap();
+        txn.commit().unwrap();
+        db.gc_before(db.current_ts());
+        assert_eq!(policy.0.lock().len(), live_before.len() + 1);
     }
 
     #[test]

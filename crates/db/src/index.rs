@@ -35,45 +35,67 @@ use crate::row::{Key, Row};
 use crate::schema::Schema;
 use crate::value::Value;
 
+/// One index slot: the keys that carried (or still carry) a value, each
+/// stamped with the timestamp it stopped carrying it, plus a maintained
+/// count of the live ([`TS_LIVE`]-stamped) entries. The live count is the
+/// planner's cost estimate ([`SecondaryIndex::candidate_count`]): it is
+/// what a latest-timestamp probe actually returns, so tombstone-heavy
+/// slots no longer inflate probe estimates between garbage collections.
+#[derive(Debug, Default)]
+struct Slot {
+    keys: HashMap<Key, Ts>,
+    live: usize,
+}
+
+impl Slot {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
 /// The value→slot storage an index kind brings: a hash map for
 /// [`SecondaryIndex`], an ordered map for [`RangeIndex`]. Everything
-/// MVCC-sensitive — the stamp merge rules, eager unlink, purging — lives
-/// in the shared functions below, generic over this trait, so the two
-/// index kinds cannot drift apart semantically.
+/// MVCC-sensitive — the stamp merge rules, eager unlink, purging, the
+/// live/dead bookkeeping — lives in the shared functions below, generic
+/// over this trait, so the two index kinds cannot drift apart
+/// semantically.
 trait ValueSlots {
-    fn slot_mut(&mut self, value: &Value) -> Option<&mut HashMap<Key, Ts>>;
-    fn slot_or_default(&mut self, value: &Value) -> &mut HashMap<Key, Ts>;
-    fn for_each_slot(&mut self, f: impl FnMut(&mut HashMap<Key, Ts>));
+    fn slot_mut(&mut self, value: &Value) -> Option<&mut Slot>;
+    fn slot_or_default(&mut self, value: &Value) -> &mut Slot;
+    fn for_each_slot(&mut self, f: impl FnMut(&mut Slot));
     fn drop_empty_slots(&mut self);
 }
 
-impl ValueSlots for HashMap<Value, HashMap<Key, Ts>> {
-    fn slot_mut(&mut self, value: &Value) -> Option<&mut HashMap<Key, Ts>> {
+impl ValueSlots for HashMap<Value, Slot> {
+    fn slot_mut(&mut self, value: &Value) -> Option<&mut Slot> {
         self.get_mut(value)
     }
-    fn slot_or_default(&mut self, value: &Value) -> &mut HashMap<Key, Ts> {
+    fn slot_or_default(&mut self, value: &Value) -> &mut Slot {
         self.entry(value.clone()).or_default()
     }
-    fn for_each_slot(&mut self, f: impl FnMut(&mut HashMap<Key, Ts>)) {
+    fn for_each_slot(&mut self, f: impl FnMut(&mut Slot)) {
         self.values_mut().for_each(f);
     }
     fn drop_empty_slots(&mut self) {
-        self.retain(|_, set| !set.is_empty());
+        self.retain(|_, slot| !slot.is_empty());
     }
 }
 
-impl ValueSlots for BTreeMap<Value, HashMap<Key, Ts>> {
-    fn slot_mut(&mut self, value: &Value) -> Option<&mut HashMap<Key, Ts>> {
+impl ValueSlots for BTreeMap<Value, Slot> {
+    fn slot_mut(&mut self, value: &Value) -> Option<&mut Slot> {
         self.get_mut(value)
     }
-    fn slot_or_default(&mut self, value: &Value) -> &mut HashMap<Key, Ts> {
+    fn slot_or_default(&mut self, value: &Value) -> &mut Slot {
         self.entry(value.clone()).or_default()
     }
-    fn for_each_slot(&mut self, f: impl FnMut(&mut HashMap<Key, Ts>)) {
+    fn for_each_slot(&mut self, f: impl FnMut(&mut Slot)) {
         self.values_mut().for_each(f);
     }
     fn drop_empty_slots(&mut self) {
-        self.retain(|_, set| !set.is_empty());
+        self.retain(|_, slot| !slot.is_empty());
     }
 }
 
@@ -84,11 +106,27 @@ impl ValueSlots for BTreeMap<Value, HashMap<Key, Ts>> {
 fn record_slot(entries: &mut impl ValueSlots, col_idx: usize, key: &Key, row: &Row, until: Ts) {
     if let Some(v) = row.get(col_idx) {
         if !v.is_null() {
-            let slot = entries
-                .slot_or_default(v)
-                .entry(key.clone())
-                .or_insert(until);
-            *slot = (*slot).max(until);
+            let slot = entries.slot_or_default(v);
+            match slot.keys.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let old = *e.get();
+                    let new = old.max(until);
+                    if old != new {
+                        // A dead stamp extending to TS_LIVE resurrects the
+                        // entry (re-insert of a previously unlinked value).
+                        if new == TS_LIVE {
+                            slot.live += 1;
+                        }
+                        e.insert(new);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(until);
+                    if until == TS_LIVE {
+                        slot.live += 1;
+                    }
+                }
+            }
         }
     }
 }
@@ -110,12 +148,13 @@ fn unlink_slot(
     if v.is_null() {
         return;
     }
-    if let Some(keys) = entries.slot_mut(v) {
-        if let Some(slot) = keys.get_mut(key) {
-            if *slot == TS_LIVE {
-                *slot = unlinked_at;
+    if let Some(slot) = entries.slot_mut(v) {
+        if let Some(stamp) = slot.keys.get_mut(key) {
+            if *stamp == TS_LIVE {
+                *stamp = unlinked_at;
+                slot.live -= 1;
             } else {
-                *slot = (*slot).max(unlinked_at);
+                *stamp = (*stamp).max(unlinked_at);
             }
         }
     }
@@ -126,10 +165,21 @@ fn unlink_slot(
 /// number of entries removed.
 fn purge_dead_slots(entries: &mut impl ValueSlots, horizon: Ts) -> usize {
     let mut purged = 0;
-    entries.for_each_slot(|set| {
-        let before = set.len();
-        set.retain(|_, &mut until| until > horizon);
-        purged += before - set.len();
+    entries.for_each_slot(|slot| {
+        let before = slot.keys.len();
+        let mut removed_live = 0;
+        slot.keys.retain(|_, until| {
+            if *until > horizon {
+                true
+            } else {
+                if *until == TS_LIVE {
+                    removed_live += 1;
+                }
+                false
+            }
+        });
+        slot.live -= removed_live;
+        purged += before - slot.keys.len();
     });
     entries.drop_empty_slots();
     purged
@@ -138,8 +188,12 @@ fn purge_dead_slots(entries: &mut impl ValueSlots, horizon: Ts) -> usize {
 /// Removes all entries pointing at `key` (used when a key's chain is
 /// garbage collected entirely).
 fn purge_key_slots(entries: &mut impl ValueSlots, key: &Key) {
-    entries.for_each_slot(|set| {
-        set.remove(key);
+    entries.for_each_slot(|slot| {
+        if let Some(ts) = slot.keys.remove(key) {
+            if ts == TS_LIVE {
+                slot.live -= 1;
+            }
+        }
     });
     entries.drop_empty_slots();
 }
@@ -152,7 +206,7 @@ pub struct SecondaryIndex {
     /// value -> key -> timestamp until which the key's row carried the
     /// value ([`TS_LIVE`] while it still does). A key is a candidate for a
     /// read at `ts` iff its end stamp is strictly greater than `ts`.
-    entries: HashMap<Value, HashMap<Key, Ts>>,
+    entries: HashMap<Value, Slot>,
 }
 
 impl SecondaryIndex {
@@ -192,8 +246,9 @@ impl SecondaryIndex {
     pub fn lookup_at(&self, value: &Value, ts: Ts) -> Vec<Key> {
         self.entries
             .get(value)
-            .map(|keys| {
-                keys.iter()
+            .map(|slot| {
+                slot.keys
+                    .iter()
                     .filter(|(_, &until)| until > ts)
                     .map(|(k, _)| k.clone())
                     .collect()
@@ -201,11 +256,16 @@ impl SecondaryIndex {
             .unwrap_or_default()
     }
 
-    /// Upper bound on the candidates a probe for `value` can return, in
-    /// O(1): the slot's entry count, tombstones included. Used by the
-    /// scan planner to cost access paths without materialising them.
+    /// The planner's cost estimate for a probe on `value`, in O(1): the
+    /// slot's maintained *live* entry count. This is exactly what a
+    /// latest-timestamp probe returns (eager unlink keeps the stamps
+    /// current), so a slot that accumulated tombstones between garbage
+    /// collections no longer inflates the estimate. Time-travel probes can
+    /// return up to the tombstoned total — the estimate targets the
+    /// common latest-read case and cost errors never affect results (the
+    /// chosen path still over-approximates and re-checks).
     pub fn candidate_count(&self, value: &Value) -> usize {
-        self.entries.get(value).map(HashMap::len).unwrap_or(0)
+        self.entries.get(value).map(|slot| slot.live).unwrap_or(0)
     }
 
     /// Candidate keys whose *live* rows may carry `value` (exact up to
@@ -213,8 +273,9 @@ impl SecondaryIndex {
     pub fn lookup_live(&self, value: &Value) -> Vec<Key> {
         self.entries
             .get(value)
-            .map(|keys| {
-                keys.iter()
+            .map(|slot| {
+                slot.keys
+                    .iter()
                     .filter(|(_, &until)| until == TS_LIVE)
                     .map(|(k, _)| k.clone())
                     .collect()
@@ -243,7 +304,18 @@ impl SecondaryIndex {
     /// Total (value, key) entries, live and tombstoned. Exposed so tests
     /// and stats can observe eager-unlink bookkeeping.
     pub fn entry_count(&self) -> usize {
-        self.entries.values().map(|set| set.len()).sum()
+        self.entries.values().map(Slot::len).sum()
+    }
+
+    /// Entries currently stamped live (sum of the per-slot counters the
+    /// planner costs with).
+    pub fn live_entry_count(&self) -> usize {
+        self.entries.values().map(|slot| slot.live).sum()
+    }
+
+    /// Tombstoned entries awaiting `purge_dead`.
+    pub fn dead_entry_count(&self) -> usize {
+        self.entry_count() - self.live_entry_count()
     }
 
     /// Rebuilds the index from scratch given the live rows of the table.
@@ -272,7 +344,7 @@ pub struct RangeIndex {
     col_idx: usize,
     /// value -> key -> timestamp until which the key's row carried the
     /// value ([`TS_LIVE`] while it still does), values in total order.
-    entries: BTreeMap<Value, HashMap<Key, Ts>>,
+    entries: BTreeMap<Value, Slot>,
 }
 
 impl RangeIndex {
@@ -314,9 +386,10 @@ impl RangeIndex {
     /// key-ordered merge does so for free).
     pub fn range_at(&self, bounds: &ColumnBounds, ts: Ts) -> Vec<Key> {
         let mut out = Vec::new();
-        for (_, keys) in self.range_slots(bounds) {
+        for (_, slot) in self.range_slots(bounds) {
             out.extend(
-                keys.iter()
+                slot.keys
+                    .iter()
                     .filter(|(_, &until)| until > ts)
                     .map(|(k, _)| k.clone()),
             );
@@ -324,15 +397,16 @@ impl RangeIndex {
         out
     }
 
-    /// Upper bound on the candidates a probe over `bounds` can return,
-    /// counting at most `cap` entries (tombstones included) before giving
-    /// up. The scan planner costs a range path with this: once the count
-    /// reaches the best competing estimate the path has already lost, so
-    /// the walk stops instead of degenerating into an O(table) count.
+    /// The planner's cost estimate for a probe over `bounds`, counting at
+    /// most `cap` *live* entries (the per-slot counters; see
+    /// [`SecondaryIndex::candidate_count`] for why live, not total) before
+    /// giving up. Once the count reaches the best competing estimate the
+    /// path has already lost, so the walk stops instead of degenerating
+    /// into an O(table) count.
     pub fn candidate_count_capped(&self, bounds: &ColumnBounds, cap: usize) -> usize {
         let mut n = 0;
-        for (_, keys) in self.range_slots(bounds) {
-            n += keys.len();
+        for (_, slot) in self.range_slots(bounds) {
+            n += slot.live;
             if n >= cap {
                 break;
             }
@@ -345,7 +419,7 @@ impl RangeIndex {
     fn range_slots<'a>(
         &'a self,
         bounds: &'a ColumnBounds,
-    ) -> impl Iterator<Item = (&'a Value, &'a HashMap<Key, Ts>)> + 'a {
+    ) -> impl Iterator<Item = (&'a Value, &'a Slot)> + 'a {
         let empty = bounds.is_empty();
         let range = (bounds.lower.as_ref(), bounds.upper.as_ref());
         (!empty)
@@ -373,7 +447,18 @@ impl RangeIndex {
 
     /// Total (value, key) entries, live and tombstoned.
     pub fn entry_count(&self) -> usize {
-        self.entries.values().map(|set| set.len()).sum()
+        self.entries.values().map(Slot::len).sum()
+    }
+
+    /// Entries currently stamped live (sum of the per-slot counters the
+    /// planner costs with).
+    pub fn live_entry_count(&self) -> usize {
+        self.entries.values().map(|slot| slot.live).sum()
+    }
+
+    /// Tombstoned entries awaiting `purge_dead`.
+    pub fn dead_entry_count(&self) -> usize {
+        self.entry_count() - self.live_entry_count()
     }
 }
 
@@ -472,6 +557,61 @@ mod tests {
         assert!(idx.lookup_at(&text("F1"), 2).len() == 1, "k2 remains");
         assert_eq!(idx.purge_dead(9), 1);
         assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn live_dead_counters_track_stamp_purge_and_resurrection() {
+        let mut idx = SecondaryIndex::new("forum", 1);
+        let k1 = Key::single(1i64);
+        let k2 = Key::single(2i64);
+        let r = row![1i64, "F1"];
+        idx.insert(&k1, &r);
+        idx.insert(&k2, &row![2i64, "F1"]);
+        assert_eq!(idx.live_entry_count(), 2);
+        assert_eq!(idx.dead_entry_count(), 0);
+        assert_eq!(idx.candidate_count(&text("F1")), 2);
+
+        // Unlink tombstones without shrinking entry_count — but the
+        // planner estimate follows the live count.
+        idx.unlink(&k1, &r, 5);
+        assert_eq!(idx.live_entry_count(), 1);
+        assert_eq!(idx.dead_entry_count(), 1);
+        assert_eq!(idx.candidate_count(&text("F1")), 1);
+        // A second unlink of the same (already dead) entry is a no-op.
+        idx.unlink(&k1, &r, 7);
+        assert_eq!(idx.live_entry_count(), 1);
+
+        // Re-insert resurrects the entry: live again.
+        idx.insert(&k1, &r);
+        assert_eq!(idx.live_entry_count(), 2);
+        assert_eq!(idx.dead_entry_count(), 0);
+
+        // Purge after another unlink drops the dead entry and leaves the
+        // counters exact.
+        idx.unlink(&k2, &row![2i64, "F1"], 9);
+        assert_eq!(idx.purge_dead(9), 1);
+        assert_eq!(idx.live_entry_count(), 1);
+        assert_eq!(idx.dead_entry_count(), 0);
+        // purge_key on a live entry keeps the counters consistent too.
+        idx.purge_key(&k1);
+        assert_eq!(idx.live_entry_count(), 0);
+        assert_eq!(idx.entry_count(), 0);
+    }
+
+    #[test]
+    fn range_live_counters_cost_probes_without_tombstones() {
+        let mut idx = scored_range_index(10);
+        assert_eq!(idx.live_entry_count(), 10);
+        for i in 1..=5i64 {
+            idx.unlink(&Key::single(i), &row![i, 10 * i], 50);
+        }
+        assert_eq!(idx.live_entry_count(), 5);
+        assert_eq!(idx.dead_entry_count(), 5);
+        // The estimate over a window of tombstoned slots is their live
+        // count (0), while the probe itself still serves time travel.
+        assert_eq!(idx.candidate_count_capped(&int_bounds(10, 50), 100), 0);
+        assert_eq!(idx.range_at(&int_bounds(10, 50), 49).len(), 5);
+        assert!(idx.range_at(&int_bounds(10, 50), 50).is_empty());
     }
 
     #[test]

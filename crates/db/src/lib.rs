@@ -115,14 +115,14 @@ pub mod table;
 pub mod txn;
 pub mod value;
 
-pub use cdc::{ChangeOp, ChangeRecord};
+pub use cdc::{is_kv_table, ChangeOp, ChangeRecord, KV_TABLE_PREFIX};
 pub use changelog::{ChangeEntry, ChangeLog};
 pub use commit::CommitParticipant;
 pub use database::{Database, DbStats};
 pub use error::{DbError, DbResult, KvError, KvResult, TrodError, TrodResult};
 pub use index::{RangeIndex, SecondaryIndex};
 pub use latency::StorageProfile;
-pub use log::{CommittedTxn, TxnId};
+pub use log::{CommittedTxn, RetentionPolicy, TxnId};
 pub use mvcc::{Ts, TS_LIVE};
 pub use predicate::{CmpOp, ColumnBounds, CompiledPredicate, Predicate};
 pub use registry::ActiveTxnRegistry;

@@ -40,10 +40,32 @@ impl CommittedTxn {
     }
 }
 
+/// A hook invoked when the transaction log truncates aligned history.
+///
+/// `TxnLog` entries are the aligned cross-store history (relational and
+/// `kv:<namespace>` change records share one entry per commit), and
+/// [`crate::Database::gc_before`] truncates them together with the row
+/// versions they describe. A retention policy receives every entry about
+/// to be dropped, *before* it becomes unreachable, so a longer-lived
+/// store (e.g. the TROD provenance database) can spill the aligned
+/// history and keep debugging reach decoupled from GC pressure. The hook
+/// runs under the log lock on the GC path — implementations should only
+/// move the entries somewhere, not do heavy work inline.
+pub trait RetentionPolicy: Send + Sync {
+    /// Called with the entries being truncated, in commit order. Entries
+    /// are handed over by value; once this returns they exist nowhere
+    /// else.
+    fn spill(&self, entries: Vec<CommittedTxn>);
+}
+
 /// Append-only, commit-ordered transaction log.
 #[derive(Debug, Default)]
 pub struct TxnLog {
     entries: Vec<CommittedTxn>,
+    /// Highest timestamp ever passed to truncation: entries (and the row
+    /// versions GC'd with them) at or below this are gone, so a fork or
+    /// time-travel read below it cannot be served from live state alone.
+    truncated_below: Ts,
 }
 
 impl TxnLog {
@@ -103,10 +125,29 @@ impl TxnLog {
 
     /// Drops entries with commit timestamp at or below `ts` (log
     /// truncation after a checkpoint). Returns the number removed.
+    /// Drops in place — no allocation; use
+    /// [`TxnLog::truncate_before_drain`] when the entries must survive
+    /// (retention spilling).
     pub fn truncate_before(&mut self, ts: Ts) -> usize {
+        self.truncated_below = self.truncated_below.max(ts);
         let cut = self.entries.partition_point(|e| e.commit_ts <= ts);
         self.entries.drain(0..cut);
         cut
+    }
+
+    /// Like [`TxnLog::truncate_before`], but hands the removed entries
+    /// back (in commit order) so a [`RetentionPolicy`] can spill them
+    /// instead of losing them.
+    pub fn truncate_before_drain(&mut self, ts: Ts) -> Vec<CommittedTxn> {
+        self.truncated_below = self.truncated_below.max(ts);
+        let cut = self.entries.partition_point(|e| e.commit_ts <= ts);
+        self.entries.drain(0..cut).collect()
+    }
+
+    /// The highest truncation horizon so far: history at or below this
+    /// timestamp is no longer in the log (0 if never truncated).
+    pub fn truncated_below(&self) -> Ts {
+        self.truncated_below
     }
 }
 
@@ -168,6 +209,24 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(log.len(), 2);
         assert_eq!(log.entries()[0].commit_ts, 3);
+        assert_eq!(log.truncated_below(), 2);
+    }
+
+    #[test]
+    fn truncation_drain_hands_entries_back_in_order() {
+        let mut log = TxnLog::new();
+        for (id, ts) in [(1, 1), (2, 2), (3, 3)] {
+            log.append(entry(id, ts, "t"));
+        }
+        let drained = log.truncate_before_drain(2);
+        assert_eq!(
+            drained.iter().map(|e| e.commit_ts).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(log.len(), 1);
+        // The horizon only ever rises.
+        log.truncate_before(1);
+        assert_eq!(log.truncated_below(), 2);
     }
 
     #[test]

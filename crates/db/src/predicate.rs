@@ -315,6 +315,54 @@ impl Predicate {
         }
     }
 
+    /// True if the predicate provably matches no row, whatever the data:
+    /// an explicit [`Predicate::False`], an empty `IN ()` list, a
+    /// comparison against NULL (NULL comparisons are false in this
+    /// engine's two-valued semantics), a conjunction containing any of
+    /// those, a disjunction of nothing but those — or a conjunction whose
+    /// comparison conjuncts imply a contradictory window on some column
+    /// (`x > 9 AND x < 3`), detected through [`Predicate::bounds_on`].
+    ///
+    /// The check is conservative: `true` is a proof of emptiness (the
+    /// scan planner short-circuits to an empty result without touching
+    /// the store or taking index locks), `false` proves nothing.
+    pub fn provably_empty(&self) -> bool {
+        if self.empty_ignoring_bounds() {
+            return true;
+        }
+        // Contradictory conjunctive comparison windows. Run once, at
+        // this level only: `bounds_on` already intersects every nested
+        // conjunctive window, so repeating the (allocating) walk at each
+        // inner And node would only redo the same intersections. Simple
+        // predicates never reach it.
+        if matches!(self, Predicate::And(..)) {
+            let mut columns = self.referenced_columns();
+            columns.sort_unstable();
+            columns.dedup();
+            return columns
+                .into_iter()
+                .any(|c| self.bounds_on(c).is_some_and(|b| b.is_empty()));
+        }
+        false
+    }
+
+    /// The structural (allocation-free) half of [`Predicate::provably_empty`]:
+    /// everything except the conjunctive-bounds contradiction check, which
+    /// the top-level call runs once over the whole tree.
+    fn empty_ignoring_bounds(&self) -> bool {
+        match self {
+            Predicate::False => true,
+            Predicate::Compare { value, .. } => value.is_null(),
+            Predicate::InList { values, .. } => values.is_empty(),
+            Predicate::And(a, b) => a.empty_ignoring_bounds() || b.empty_ignoring_bounds(),
+            // Each Or branch needs the *full* proof (its own conjunctive
+            // windows included) — a disjunction is empty only if every
+            // branch is.
+            Predicate::Or(a, b) => a.provably_empty() && b.provably_empty(),
+            _ => false,
+        }
+    }
+
     /// Column names referenced by this predicate (with duplicates).
     pub fn referenced_columns(&self) -> Vec<&str> {
         let mut out = Vec::new();
@@ -669,6 +717,41 @@ mod tests {
         let b = p.bounds_on("id").unwrap();
         assert_eq!(b.lower, Bound::Included(Value::Int(3)));
         assert_eq!(b.upper, Bound::Unbounded);
+    }
+
+    #[test]
+    fn provably_empty_detects_unsatisfiable_predicates() {
+        // Direct forms.
+        assert!(Predicate::False.provably_empty());
+        assert!(Predicate::in_list("id", Vec::new()).provably_empty());
+        assert!(Predicate::eq("id", Value::Null).provably_empty());
+        // Conjunction with an empty side, and contradictory windows.
+        assert!(Predicate::eq("id", 1i64)
+            .and(Predicate::False)
+            .provably_empty());
+        assert!(Predicate::gt("id", 9i64)
+            .and(Predicate::lt("id", 3i64))
+            .provably_empty());
+        assert!(Predicate::gt("id", 3i64)
+            .and(Predicate::le("id", 3i64))
+            .provably_empty());
+        // Disjunctions need every branch empty.
+        assert!(Predicate::False.or(Predicate::False).provably_empty());
+        assert!(!Predicate::False
+            .or(Predicate::eq("id", 1i64))
+            .provably_empty());
+        // Satisfiable shapes prove nothing.
+        assert!(!Predicate::True.provably_empty());
+        assert!(!Predicate::eq("id", 1i64).provably_empty());
+        assert!(!Predicate::ge("id", 3i64)
+            .and(Predicate::le("id", 3i64))
+            .provably_empty());
+        assert!(!Predicate::False.negate().provably_empty());
+        // And emptiness never changes what matches() says.
+        let s = schema();
+        let r = row![3i64, "x", 1.0f64];
+        let p = Predicate::gt("id", 9i64).and(Predicate::lt("id", 3i64));
+        assert!(!p.matches(&s, &r).unwrap());
     }
 
     #[test]

@@ -29,6 +29,10 @@ use crate::value::Value;
 /// compiled predicate. No path may under-approximate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScanPlan {
+    /// The predicate is provably unsatisfiable
+    /// ([`Predicate::provably_empty`]): the scan returns an empty result
+    /// without touching the version store or taking any index lock.
+    Empty,
     /// Walk every version chain; `rows` is the number of chains.
     FullScan { rows: usize },
     /// Probe a hash index once: the predicate pins `column` to one value.
@@ -45,7 +49,8 @@ pub enum ScanPlan {
 }
 
 impl ScanPlan {
-    /// True if the planner chose an index path over the full scan.
+    /// True if the planner avoided the full chain walk — an index path,
+    /// or the [`ScanPlan::Empty`] short-circuit.
     pub fn uses_index(&self) -> bool {
         !matches!(self, ScanPlan::FullScan { .. })
     }
@@ -279,6 +284,12 @@ impl TableStore {
         compiled: &CompiledPredicate,
         ts: Ts,
     ) -> DbResult<Vec<(Key, Arc<Row>)>> {
+        // A provably unsatisfiable predicate (False, empty IN list, or a
+        // contradictory comparison window) short-circuits before any lock
+        // is taken: no chain walk, no index probe.
+        if pred.provably_empty() {
+            return Ok(Vec::new());
+        }
         let rows = self.rows.read();
         let indexes = self.indexes.read();
         let range_indexes = self.range_indexes.read();
@@ -337,6 +348,9 @@ impl TableStore {
     /// planner decisions; equivalence tests pair it with
     /// [`TableStore::scan_at_full`].
     pub fn plan_scan(&self, pred: &Predicate) -> ScanPlan {
+        if pred.provably_empty() {
+            return ScanPlan::Empty;
+        }
         let rows = self.rows.read();
         let indexes = self.indexes.read();
         let range_indexes = self.range_indexes.read();
@@ -609,13 +623,16 @@ impl TableStore {
 /// The scan planner: enumerates every applicable access path and picks the
 /// one with the smallest candidate-count estimate.
 ///
-/// Estimates are upper bounds on probe output (index entry counts,
-/// tombstones included) and cost O(1) per hash probe; the range estimate
-/// walks value slots but stops counting at the best estimate so far — once
-/// a path has lost it is never fully costed. The full scan (estimate =
-/// number of chains) is the baseline; an index path must beat it
-/// *strictly*, since its per-candidate cost (hash lookup per key) is
-/// higher than the walk's. Analysis only ever extracts *conjunctive*
+/// Estimates are the per-slot *live* entry counters maintained on every
+/// index stamp/purge — exactly what a latest-timestamp probe returns, so
+/// slots that accumulated tombstones between garbage collections no
+/// longer inflate probe estimates (time-travel probes can exceed the
+/// estimate; cost errors never affect results). Hash estimates cost O(1)
+/// per probe; the range estimate walks value slots but stops counting at
+/// the best estimate so far — once a path has lost it is never fully
+/// costed. The full scan (estimate = number of chains) is the baseline;
+/// an index path must beat it *strictly*, since its per-candidate cost
+/// (hash lookup per key) is higher than the walk's. Analysis only ever extracts *conjunctive*
 /// constraints (`equality_on` / `in_list_on` / `bounds_on` all return
 /// `None` under `Or`/`Not`), so a chosen path's candidates always
 /// over-approximate the predicate's match set — the caller re-checks
@@ -866,6 +883,69 @@ mod tests {
         // OR forces the planner off every index.
         let pred = Predicate::eq("grp", 3i64).or(Predicate::ge("score", 95i64));
         assert_eq!(t.plan_scan(&pred), ScanPlan::FullScan { rows: 100 });
+    }
+
+    #[test]
+    fn provably_empty_predicates_short_circuit_the_scan() {
+        let t = scored_table(100);
+        t.create_index("grp").unwrap();
+        t.create_range_index("score").unwrap();
+        let empty_preds = [
+            Predicate::False,
+            Predicate::in_list("grp", Vec::new()),
+            Predicate::gt("score", 90i64).and(Predicate::lt("score", 10i64)),
+            Predicate::eq("grp", 3i64).and(Predicate::False),
+        ];
+        for pred in &empty_preds {
+            assert_eq!(t.plan_scan(pred), ScanPlan::Empty, "for [{pred}]");
+            assert!(t.scan_at(pred, 1000).unwrap().is_empty());
+            assert_eq!(
+                t.scan_at(pred, 1000).unwrap(),
+                t.scan_at_full(pred, 1000).unwrap()
+            );
+        }
+        // A satisfiable window still plans a probe.
+        assert!(matches!(
+            t.plan_scan(&Predicate::ge("score", 95i64)),
+            ScanPlan::RangeProbe { .. }
+        ));
+    }
+
+    #[test]
+    fn tombstone_heavy_slots_no_longer_inflate_probe_estimates() {
+        // 100 rows in group 3; delete 95 of them. The slot still carries
+        // 100 entries (tombstones await GC), but the estimate follows the
+        // live count, so a latest probe costs 5, not 100.
+        let schema = Schema::builder()
+            .column("id", DataType::Int)
+            .column("grp", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let t = TableStore::new("tombs", schema);
+        t.create_index("grp").unwrap();
+        for i in 0..100i64 {
+            t.install(&Key::single(i), arc(row![i, 3i64]), (i + 1) as u64);
+        }
+        for i in 0..95i64 {
+            t.remove(&Key::single(i), 200 + i as u64);
+        }
+        let plan = t.plan_scan(&Predicate::eq("grp", 3i64));
+        assert_eq!(
+            plan,
+            ScanPlan::PointProbe {
+                column: "grp".into(),
+                candidates: 5
+            }
+        );
+        // Results stay exact on every path and timestamp, including time
+        // travel back into the tombstoned window.
+        for ts in [100u64, 250, 400] {
+            assert_eq!(
+                t.scan_at(&Predicate::eq("grp", 3i64), ts).unwrap(),
+                t.scan_at_full(&Predicate::eq("grp", 3i64), ts).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub mod session;
 pub mod store;
 pub mod txn;
 
-pub use session::{AlignedCommit, Session, SessionBuilder, Txn, TxnCommit, TxnOptions};
+pub use session::{
+    kv_image_key, kv_image_value, AlignedCommit, Session, SessionBuilder, Txn, TxnCommit,
+    TxnOptions,
+};
 pub use store::{KvError, KvResult, KvStore, KvWrite, NamespaceStats};
 pub use txn::KvTransaction;
 
@@ -76,7 +79,7 @@ pub fn kv_provenance_schema() -> trod_db::Schema {
 /// provenance traces, commit footprints and the aligned transaction log
 /// (e.g. `kv:sessions`).
 pub fn kv_table_name(namespace: &str) -> String {
-    format!("kv:{namespace}")
+    format!("{}{namespace}", trod_db::KV_TABLE_PREFIX)
 }
 
 #[cfg(test)]

@@ -37,8 +37,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use trod_db::{
-    ChangeRecord, CommitParticipant, Database, IsolationLevel, Key, KvError, Predicate, Row,
-    TrodResult, Ts, TxnId, Value,
+    ChangeRecord, CommitInfo, CommitParticipant, CommittedTxn, Database, DbError, DbResult,
+    IsolationLevel, Key, KvError, Predicate, Row, TrodResult, Ts, TxnId, Value,
 };
 use trod_trace::{ReadTrace, Tracer, TxnContext, TxnTrace};
 
@@ -62,6 +62,24 @@ impl AlignedCommit {
     /// True if the commit touched both stores.
     pub fn spans_both_stores(&self) -> bool {
         !self.relational.is_empty() && !self.kv.is_empty()
+    }
+
+    /// Splits one aligned transaction-log entry into its relational and
+    /// key-value halves. Used by [`Session::aligned_log`] and by the
+    /// debugger when stitching spilled retention history (entries a
+    /// [`trod_db::RetentionPolicy`] preserved across GC) onto the live
+    /// log.
+    pub fn from_entry(entry: CommittedTxn) -> AlignedCommit {
+        let (kv, relational): (Vec<_>, Vec<_>) = entry
+            .changes
+            .into_iter()
+            .partition(|c| trod_db::is_kv_table(&c.table));
+        AlignedCommit {
+            txn_id: entry.txn_id,
+            commit_ts: entry.commit_ts,
+            relational,
+            kv: kv.iter().filter_map(kv_write_of_record).collect(),
+        }
     }
 }
 
@@ -227,19 +245,109 @@ impl Session {
             .db
             .log_entries()
             .into_iter()
-            .map(|entry| {
-                let (kv, relational): (Vec<_>, Vec<_>) = entry
-                    .changes
-                    .into_iter()
-                    .partition(|c| c.table.starts_with("kv:"));
-                AlignedCommit {
-                    txn_id: entry.txn_id,
-                    commit_ts: entry.commit_ts,
-                    relational,
-                    kv: kv.iter().filter_map(kv_write_of_record).collect(),
-                }
-            })
+            .map(AlignedCommit::from_entry)
             .collect()
+    }
+
+    /// Forks the whole session environment at a timestamp: the relational
+    /// database via [`Database::fork_at`] and, when one is bound, the
+    /// key-value store via [`KvStore::fork_at`] — both at the *same*
+    /// point of the aligned history, which is what makes the fork a
+    /// faithful polyglot "development database" (paper Figure 2). The
+    /// fork is untraced and independent; its clock and every namespace's
+    /// timestamp resume from `ts.max(1)`.
+    ///
+    /// Only sound at or above the GC truncation floor
+    /// ([`Database::log_truncated_below`]); below it the debugger
+    /// reconstructs the environment from spilled aligned history instead
+    /// (see [`Session::fork_empty`] and [`Session::apply_changes`]).
+    pub fn fork_at(&self, ts: Ts) -> DbResult<Session> {
+        let mut builder = Session::builder(self.inner.db.fork_at(ts)?);
+        if let Some(kv) = &self.inner.kv {
+            builder = builder.kv(kv.fork_at(ts));
+        }
+        Ok(builder.build())
+    }
+
+    /// Forks an empty environment with the same schemas, indexes and
+    /// namespaces. Replaying aligned history into it (via
+    /// [`Session::apply_changes`]) reconstructs any past state — the path
+    /// the debugger takes when the wanted timestamp predates the GC
+    /// truncation floor and only spilled history still covers it.
+    pub fn fork_empty(&self) -> DbResult<Session> {
+        let mut builder = Session::builder(self.inner.db.fork_empty()?);
+        if let Some(kv) = &self.inner.kv {
+            builder = builder.kv(kv.fork_empty());
+        }
+        Ok(builder.build())
+    }
+
+    /// Applies captured aligned change records — relational rows *and*
+    /// `kv:<namespace>` records — as one synthetic committed transaction,
+    /// through the same participant commit path live commits take: the
+    /// kv records are decoded back into [`KvWrite`]s, the namespaces'
+    /// commit locks join the sorted lock order, and the kv install runs
+    /// inside the ordered publication window at the single claimed
+    /// timestamp. The fork's aligned log therefore records injected
+    /// history exactly like production history.
+    ///
+    /// This is the replay engine's injection primitive for polyglot
+    /// traces. Errors: a kv record that does not decode (or whose value
+    /// image was erased by privacy redaction) rejects the whole batch
+    /// before anything is installed; a session without a key-value store
+    /// rejects batches containing kv records.
+    pub fn apply_changes(&self, changes: &[ChangeRecord]) -> TrodResult<CommitInfo> {
+        if !changes.iter().any(|c| trod_db::is_kv_table(&c.table)) {
+            return Ok(self.inner.db.apply_changes(changes)?);
+        }
+        let kv =
+            self.inner.kv.as_ref().ok_or_else(|| {
+                KvError::UnknownNamespace("<no key-value store bound>".to_string())
+            })?;
+        let (kv_records, relational): (Vec<ChangeRecord>, Vec<ChangeRecord>) = changes
+            .iter()
+            .cloned()
+            .partition(|c| trod_db::is_kv_table(&c.table));
+        let mut writes = Vec::with_capacity(kv_records.len());
+        for record in &kv_records {
+            let write = kv_write_of_record(record).ok_or_else(|| {
+                DbError::Invalid(format!(
+                    "kv change record on `{}` key {} does not decode",
+                    record.table, record.key
+                ))
+            })?;
+            // An insert/update whose after image decodes to no value was
+            // erased by privacy redaction: refuse rather than silently
+            // turning the put into a delete (replay counts the skip).
+            if record.op.after().is_some() && write.value.is_none() {
+                return Err(DbError::Invalid(format!(
+                    "kv change record on `{}` key {} has an erased value image",
+                    record.table, record.key
+                ))
+                .into());
+            }
+            if !kv.has_namespace(&write.namespace) {
+                return Err(KvError::UnknownNamespace(write.namespace).into());
+            }
+            writes.push(write);
+        }
+        // Same self-heal as Txn::commit: if a standalone store-level
+        // commit outran this database's allocator on a written namespace,
+        // catch the allocator up so the participant's freshness veto only
+        // fires on a genuine race.
+        let floor = writes
+            .iter()
+            .map(|w| kv.last_commit_ts_of(&w.namespace).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        self.inner.db.ensure_ts_at_least(floor);
+        let participant = InjectionParticipant {
+            kv: kv.clone(),
+            writes: &writes,
+        };
+        self.inner
+            .db
+            .apply_changes_with(&relational, &[&participant])
     }
 
     /// Begins a serializable, untraced transaction.
@@ -278,24 +386,129 @@ impl fmt::Debug for Session {
     }
 }
 
+/// The text key of a traced/captured kv row image (key position 0 of the
+/// `(kv_key, kv_value)` wire shape every `kv:` read trace and change
+/// record uses). `None` for a non-text key — malformed or foreign data.
+/// One source of truth for the format: [`kv_write_of_record`] and the
+/// debugger's replay/reenactment verification all decode through here.
+pub fn kv_image_key(key: &Key) -> Option<&str> {
+    match key.values().first() {
+        Some(Value::Text(k)) => Some(k),
+        _ => None,
+    }
+}
+
+/// The text value of a traced/captured kv row image (row index 1 of the
+/// `(kv_key, kv_value)` wire shape); `None` when absent or erased. See
+/// [`kv_image_key`].
+pub fn kv_image_value(row: &Row) -> Option<&str> {
+    row.get(1).and_then(|v| v.as_text())
+}
+
 /// Reconstructs the [`KvWrite`] a `kv:<namespace>` change record captured.
 fn kv_write_of_record(record: &ChangeRecord) -> Option<KvWrite> {
-    let namespace = record.table.strip_prefix("kv:")?;
-    let key = match record.key.values().first() {
-        Some(Value::Text(k)) => k.clone(),
-        _ => return None,
-    };
+    let namespace = record.table.strip_prefix(trod_db::KV_TABLE_PREFIX)?;
+    let key = kv_image_key(&record.key)?.to_string();
     let value = record
         .op
         .after()
-        .and_then(|row| row.get(1))
-        .and_then(|v| v.as_text())
+        .and_then(kv_image_value)
         .map(|v| v.to_string());
     Some(KvWrite {
         namespace: namespace.to_string(),
         key,
         value,
     })
+}
+
+/// Encodes buffered key-value writes as CDC records on the virtual
+/// `kv:<namespace>` tables, before images read from the store's current
+/// state. Callers hold the namespaces' commit locks, so the state is
+/// stable between the read and the install.
+fn kv_change_records(kv: &KvStore, writes: &[KvWrite]) -> Vec<ChangeRecord> {
+    let mut out = Vec::with_capacity(writes.len());
+    for write in writes {
+        let table = kv_table_name(&write.namespace);
+        let key = Key::single(write.key.as_str());
+        let before = kv
+            .get_latest(&write.namespace, &write.key)
+            .expect("namespace validated before commit");
+        let before_row = before
+            .as_ref()
+            .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
+        let after_row = write
+            .value
+            .as_ref()
+            .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
+        let record = match (before_row, after_row) {
+            (None, Some(after)) => ChangeRecord::insert(table, key, after),
+            (Some(before), Some(after)) => ChangeRecord::update(table, key, before, after),
+            (Some(before), None) => ChangeRecord::delete(table, key, before),
+            (None, None) => continue, // delete of a key that never existed
+        };
+        out.push(record);
+    }
+    out
+}
+
+/// The key-value side of a [`Session::apply_changes`] injection: decoded
+/// writes re-applied through the coordinator as a commit participant, so
+/// injected history takes the exact locks, publication window and aligned
+/// log shape a live polyglot commit takes. Unlike [`KvParticipant`] it
+/// carries no read set — injection bypasses validation by design, exactly
+/// like the relational [`Database::apply_changes`] — but it keeps the
+/// per-namespace timestamp-freshness veto, the one condition that could
+/// make install fail.
+struct InjectionParticipant<'a> {
+    kv: KvStore,
+    writes: &'a [KvWrite],
+}
+
+impl CommitParticipant for InjectionParticipant<'_> {
+    fn resources(&self) -> Vec<String> {
+        let mut namespaces: Vec<&str> = self.writes.iter().map(|w| w.namespace.as_str()).collect();
+        namespaces.sort_unstable();
+        namespaces.dedup();
+        namespaces.into_iter().map(kv_table_name).collect()
+    }
+
+    fn resource_lock(&self, resource: &str) -> Arc<Mutex<()>> {
+        let namespace = resource
+            .strip_prefix(trod_db::KV_TABLE_PREFIX)
+            .unwrap_or(resource);
+        self.kv
+            .commit_lock_of(namespace)
+            .expect("namespace validated before injection")
+    }
+
+    fn validate(&self, min_commit_ts: Ts) -> TrodResult<()> {
+        for write in self.writes {
+            let ns_latest = self.kv.last_commit_ts_of(&write.namespace)?;
+            if ns_latest >= min_commit_ts {
+                return Err(KvError::StaleCommitTimestamp {
+                    given: min_commit_ts,
+                    latest: ns_latest,
+                }
+                .into());
+            }
+        }
+        Ok(())
+    }
+
+    fn has_writes(&self) -> bool {
+        !self.writes.is_empty()
+    }
+
+    fn install(&self, commit_ts: Ts) -> Vec<ChangeRecord> {
+        // Injection is a debugging path: computing before images here,
+        // inside the publication window, keeps the code simple; the
+        // window is uncontended in a development fork.
+        let records = kv_change_records(&self.kv, self.writes);
+        self.kv
+            .apply(self.writes, commit_ts)
+            .expect("validated key-value batch cannot fail to apply");
+        records
+    }
 }
 
 /// The unified transaction handle: relational and key-value operations at
@@ -646,7 +859,7 @@ impl Txn {
                 let relational_changes = info
                     .changes
                     .iter()
-                    .filter(|c| !c.table.starts_with("kv:"))
+                    .filter(|c| !trod_db::is_kv_table(&c.table))
                     .count();
                 let kv_installed = info.changes.len() - relational_changes;
                 if self.traced() {
@@ -727,30 +940,7 @@ impl KvParticipant<'_> {
     /// `kv:<namespace>` tables, with before images taken from the current
     /// store state (stable: the namespaces' commit locks are held).
     fn change_records(&self) -> Vec<ChangeRecord> {
-        let mut out = Vec::with_capacity(self.writes.len());
-        for write in self.writes {
-            let table = kv_table_name(&write.namespace);
-            let key = Key::single(write.key.as_str());
-            let before = self
-                .kv
-                .get_latest(&write.namespace, &write.key)
-                .expect("namespace validated at buffer time");
-            let before_row = before
-                .as_ref()
-                .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
-            let after_row = write
-                .value
-                .as_ref()
-                .map(|v| Row::from(vec![Value::Text(write.key.clone()), Value::Text(v.clone())]));
-            let record = match (before_row, after_row) {
-                (None, Some(after)) => ChangeRecord::insert(table, key, after),
-                (Some(before), Some(after)) => ChangeRecord::update(table, key, before, after),
-                (Some(before), None) => ChangeRecord::delete(table, key, before),
-                (None, None) => continue, // delete of a key that never existed
-            };
-            out.push(record);
-        }
-        out
+        kv_change_records(&self.kv, self.writes)
     }
 }
 
@@ -768,7 +958,9 @@ impl CommitParticipant for KvParticipant<'_> {
     }
 
     fn resource_lock(&self, resource: &str) -> Arc<Mutex<()>> {
-        let namespace = resource.strip_prefix("kv:").unwrap_or(resource);
+        let namespace = resource
+            .strip_prefix(trod_db::KV_TABLE_PREFIX)
+            .unwrap_or(resource);
         self.kv
             .commit_lock_of(namespace)
             .expect("namespace validated at buffer time")
@@ -1154,6 +1346,125 @@ mod tests {
             TrodError::Relational(DbError::DuplicateKey { .. })
         ));
         txn.abort();
+    }
+
+    #[test]
+    fn session_fork_captures_both_stores_at_one_timestamp() {
+        let session = session();
+        let mut txn = session.begin();
+        txn.insert("orders", row![1i64, "widget"]).unwrap();
+        txn.kv_put("sessions", "user-1", "cart:widget").unwrap();
+        let first = txn.commit().unwrap();
+        let mut txn = session.begin();
+        txn.update("orders", &Key::single(1i64), row![1i64, "gadget"])
+            .unwrap();
+        txn.kv_put("sessions", "user-1", "cart:gadget").unwrap();
+        txn.commit().unwrap();
+
+        let fork = session.fork_at(first.commit_ts).unwrap();
+        // Both stores show the first commit's state, not the second's.
+        assert_eq!(
+            fork.database()
+                .get_latest("orders", &Key::single(1i64))
+                .unwrap(),
+            Some(std::sync::Arc::new(row![1i64, "widget"]))
+        );
+        assert_eq!(
+            fork.kv().get_latest("sessions", "user-1").unwrap(),
+            Some("cart:widget".into())
+        );
+        // The fork is a working polyglot environment: a mixed commit
+        // lands atomically without touching the origin.
+        let mut txn = fork.begin();
+        txn.insert("orders", row![9i64, "fork-only"]).unwrap();
+        txn.kv_put("sessions", "user-9", "fork").unwrap();
+        let commit = txn.commit().unwrap();
+        assert!(commit.commit_ts > first.commit_ts);
+        assert_eq!(session.kv().get_latest("sessions", "user-9").unwrap(), None);
+        assert_eq!(
+            session
+                .database()
+                .get_latest("orders", &Key::single(9i64))
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn apply_changes_injects_polyglot_history_through_the_participant_path() {
+        let session = session();
+        let mut txn = session.begin();
+        txn.insert("orders", row![1i64, "widget"]).unwrap();
+        txn.kv_put("sessions", "user-1", "v1").unwrap();
+        txn.commit().unwrap();
+
+        let fork = session.fork_empty().unwrap();
+        // Replay the aligned history into the empty fork.
+        for entry in session.database().log_entries() {
+            fork.apply_changes(&entry.changes).unwrap();
+        }
+        assert_eq!(
+            fork.database()
+                .get_latest("orders", &Key::single(1i64))
+                .unwrap(),
+            Some(std::sync::Arc::new(row![1i64, "widget"]))
+        );
+        assert_eq!(
+            fork.kv().get_latest("sessions", "user-1").unwrap(),
+            Some("v1".into())
+        );
+        // The injected commit is one aligned entry in the fork's log,
+        // spanning both stores like the original.
+        let aligned = fork.aligned_log();
+        assert_eq!(aligned.len(), 1);
+        assert!(aligned[0].spans_both_stores());
+        assert_eq!(
+            aligned[0].kv,
+            vec![KvWrite::put("sessions", "user-1", "v1")]
+        );
+
+        // Deletes round-trip too.
+        let mut txn = session.begin();
+        txn.kv_delete("sessions", "user-1").unwrap();
+        txn.commit().unwrap();
+        let entry = session.database().log_entries().pop().unwrap();
+        fork.apply_changes(&entry.changes).unwrap();
+        assert_eq!(fork.kv().get_latest("sessions", "user-1").unwrap(), None);
+    }
+
+    #[test]
+    fn apply_changes_rejects_kv_records_without_a_store_or_with_erased_images() {
+        let put = ChangeRecord::insert(
+            kv_table_name("sessions"),
+            Key::single("user-1"),
+            Row::from(vec![Value::Text("user-1".into()), Value::Text("v".into())]),
+        );
+
+        // No kv store bound: the batch is rejected (the replay layer
+        // counts such records as skipped instead).
+        let bare = Session::new(orders_db());
+        assert!(matches!(
+            bare.apply_changes(std::slice::from_ref(&put)).unwrap_err(),
+            TrodError::KeyValue(KvError::UnknownNamespace(_))
+        ));
+
+        // A redacted (all-NULL image) put is refused rather than decoded
+        // as a delete.
+        let session = session();
+        let erased = ChangeRecord::insert(
+            kv_table_name("sessions"),
+            Key::single("user-1"),
+            Row::from(vec![Value::Null, Value::Null]),
+        );
+        assert!(matches!(
+            session
+                .apply_changes(std::slice::from_ref(&erased))
+                .unwrap_err(),
+            TrodError::Relational(DbError::Invalid(_))
+        ));
+        // Nothing was installed by the failed batches.
+        assert_eq!(session.kv().get_latest("sessions", "user-1").unwrap(), None);
+        assert!(session.aligned_log().is_empty());
     }
 
     #[test]

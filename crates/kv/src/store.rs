@@ -280,6 +280,68 @@ impl KvStore {
         inner.last_commit_ts
     }
 
+    /// Creates a new, independent store containing the state visible at
+    /// `ts` — the key-value half of the debugger's "development
+    /// database" fork, mirroring [`trod_db::Database::fork_at`]'s
+    /// semantics: every namespace is recreated (with a fresh commit
+    /// lock), each key's value as of `ts` is installed as a single
+    /// version stamped `ts.max(1)`, keys that were absent or tombstoned
+    /// at `ts` are dropped, and every namespace's `last_commit_ts` starts
+    /// at `ts.max(1)` — so per-namespace timestamp monotonicity lines up
+    /// with a database forked at the same timestamp (whose allocator also
+    /// resumes from `ts.max(1)`), and a forked [`crate::Session`] commits
+    /// into both stores without a veto.
+    pub fn fork_at(&self, ts: Ts) -> KvStore {
+        let inner = self.inner.read();
+        let fork_ts = ts.max(1);
+        let mut fork = KvInner {
+            last_commit_ts: fork_ts,
+            ..KvInner::default()
+        };
+        for (name, ns) in &inner.namespaces {
+            let mut fork_ns = Namespace {
+                last_commit_ts: fork_ts,
+                ..Namespace::default()
+            };
+            for (key, versions) in &ns.keys {
+                if let Some(value) = versions
+                    .iter()
+                    .rev()
+                    .find(|v| v.ts <= ts)
+                    .and_then(|v| v.value.clone())
+                {
+                    fork_ns.keys.insert(
+                        key.clone(),
+                        vec![KvVersion {
+                            ts: fork_ts,
+                            value: Some(value),
+                        }],
+                    );
+                }
+            }
+            fork.namespaces.insert(name.clone(), fork_ns);
+        }
+        KvStore {
+            inner: Arc::new(RwLock::new(fork)),
+        }
+    }
+
+    /// Creates a new, empty store with the same namespaces (each with a
+    /// fresh commit lock) — the key-value analogue of
+    /// [`trod_db::Database::fork_empty`], used when a past environment is
+    /// reconstructed by replaying spilled aligned history instead of
+    /// materialising live state.
+    pub fn fork_empty(&self) -> KvStore {
+        let inner = self.inner.read();
+        let mut fork = KvInner::default();
+        for name in inner.namespaces.keys() {
+            fork.namespaces.insert(name.clone(), Namespace::default());
+        }
+        KvStore {
+            inner: Arc::new(RwLock::new(fork)),
+        }
+    }
+
     /// Statistics for one namespace.
     pub fn namespace_stats(&self, namespace: &str) -> KvResult<NamespaceStats> {
         let inner = self.inner.read();
@@ -449,6 +511,69 @@ mod tests {
         // As-of reads at the GC horizon still work.
         assert_eq!(kv.get_as_of("sessions", "a", 40).unwrap(), Some("2".into()));
         assert_eq!(kv.get_latest("sessions", "b").unwrap(), None);
+    }
+
+    #[test]
+    fn fork_at_captures_the_state_visible_at_the_timestamp() {
+        let kv = store();
+        kv.create_namespace("carts").unwrap();
+        kv.apply(&[KvWrite::put("sessions", "a", "v1")], 10)
+            .unwrap();
+        kv.apply(&[KvWrite::put("sessions", "b", "gone")], 15)
+            .unwrap();
+        kv.apply(
+            &[
+                KvWrite::put("sessions", "a", "v2"),
+                KvWrite::delete("sessions", "b"),
+            ],
+            20,
+        )
+        .unwrap();
+        kv.apply(&[KvWrite::put("sessions", "c", "late")], 30)
+            .unwrap();
+
+        let fork = kv.fork_at(20);
+        // The fork holds exactly the state at ts 20: a=v2, b tombstoned
+        // away, c not yet written — and the empty namespace exists.
+        assert_eq!(fork.get_latest("sessions", "a").unwrap(), Some("v2".into()));
+        assert_eq!(fork.get_latest("sessions", "b").unwrap(), None);
+        assert_eq!(fork.get_latest("sessions", "c").unwrap(), None);
+        assert!(fork.has_namespace("carts"));
+        let stats = fork.namespace_stats("sessions").unwrap();
+        assert_eq!(stats.live_keys, 1);
+        assert_eq!(stats.versions, 1, "history is not copied");
+        // Per-namespace monotonicity resumes at the fork timestamp: the
+        // next commit must be strictly newer than 20...
+        assert_eq!(fork.last_commit_ts_of("sessions").unwrap(), 20);
+        assert!(matches!(
+            fork.apply(&[KvWrite::put("sessions", "x", "y")], 20),
+            Err(KvError::StaleCommitTimestamp { .. })
+        ));
+        fork.apply(&[KvWrite::put("sessions", "x", "y")], 21)
+            .unwrap();
+        // ...and the fork is independent of the origin.
+        assert_eq!(kv.get_latest("sessions", "x").unwrap(), None);
+        kv.apply(&[KvWrite::put("sessions", "a", "v3")], 40)
+            .unwrap();
+        assert_eq!(fork.get_latest("sessions", "a").unwrap(), Some("v2".into()));
+    }
+
+    #[test]
+    fn fork_at_zero_and_fork_empty_copy_namespaces_only() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "a", "v")], 10).unwrap();
+        let at_zero = kv.fork_at(0);
+        assert_eq!(at_zero.get_latest("sessions", "a").unwrap(), None);
+        assert_eq!(at_zero.last_commit_ts_of("sessions").unwrap(), 1);
+        let empty = kv.fork_empty();
+        assert!(empty.has_namespace("sessions"));
+        assert_eq!(empty.get_latest("sessions", "a").unwrap(), None);
+        assert_eq!(empty.last_commit_ts_of("sessions").unwrap(), 0);
+        // The empty fork accepts history replayed from ts 1 up.
+        empty
+            .apply(&[KvWrite::put("sessions", "a", "v")], 1)
+            .unwrap();
+        assert_eq!(empty.get_latest("sessions", "a").unwrap(), Some("v".into()));
     }
 
     #[test]

@@ -221,6 +221,45 @@ proptest! {
         prop_assert_eq!(sa, sc);
     }
 
+    /// Forking the kv store at any timestamp equals replaying the aligned
+    /// log up to that timestamp — the invariant that makes a fork a
+    /// faithful development environment at *every* point of history, not
+    /// just the latest (and the reason replay can reconstruct a fork from
+    /// spilled aligned history when GC truncated the live state).
+    #[test]
+    fn kv_fork_at_equals_aligned_log_replayed_to_ts(schedule in schedule_strategy()) {
+        let session = new_session(false, false);
+        let _ = run_schedule(&session, &schedule);
+        let aligned = session.aligned_log();
+        let mut sample_ts: Vec<u64> = aligned.iter().map(|c| c.commit_ts).collect();
+        sample_ts.push(0);
+        sample_ts.push(session.database().current_ts());
+        sample_ts.sort_unstable();
+        sample_ts.dedup();
+        for ts in sample_ts {
+            let fork = session.kv().fork_at(ts);
+            let mut replayed: BTreeMap<(String, String), Option<String>> = BTreeMap::new();
+            for commit in aligned.iter().take_while(|c| c.commit_ts <= ts) {
+                for w in &commit.kv {
+                    replayed.insert((w.namespace.clone(), w.key.clone()), w.value.clone());
+                }
+            }
+            for ns in NAMESPACES {
+                let forked: BTreeMap<String, String> =
+                    fork.scan_prefix(ns, "").unwrap().into_iter().collect();
+                let from_log: BTreeMap<String, String> = replayed
+                    .iter()
+                    .filter(|((n, _), _)| n == ns)
+                    .filter_map(|((_, k), v)| v.clone().map(|v| (k.clone(), v)))
+                    .collect();
+                prop_assert_eq!(
+                    forked, from_log,
+                    "fork at ts {} diverges from replayed log in {}", ts, ns
+                );
+            }
+        }
+    }
+
     /// The aligned log agrees with the stores: replaying the kv side of
     /// every aligned entry in order reproduces the key-value store's
     /// final state.

@@ -169,14 +169,14 @@ fn wrong_article_size() {
         .expect("retroactive run");
     for ordering in &retro.orderings {
         let size = ordering
-            .dev_db
+            .dev_db()
             .get_latest(PAGES_TABLE, &Key::single("Art"))
             .expect("page readable")
             .expect("page exists")[2]
             .as_int()
             .unwrap_or(0);
         let delta: i64 = ordering
-            .dev_db
+            .dev_db()
             .scan_latest(REVISIONS_TABLE, &Predicate::True)
             .expect("revisions readable")
             .iter()

@@ -92,7 +92,7 @@ fn mw_44325_duplicate_sitelinks_are_located_replayed_and_fixed() {
     assert!(retro.all_orderings_clean(), "{:?}", retro.violations());
     for ordering in &retro.orderings {
         let links = ordering
-            .dev_db
+            .dev_db()
             .scan_latest(SITE_LINKS_TABLE, &Predicate::eq("page", "Berlin"))
             .unwrap();
         assert_eq!(links.len(), 1, "ordering {:?}", ordering.order);
@@ -173,14 +173,14 @@ fn mw_39225_wrong_article_size_is_reproduced_and_fixed() {
     for ordering in &retro.orderings {
         assert!(ordering.outcomes.iter().all(|o| o.ok));
         let final_size = ordering
-            .dev_db
+            .dev_db()
             .get_latest(PAGES_TABLE, &Key::single("Art"))
             .unwrap()
             .unwrap()[2]
             .as_int()
             .unwrap();
         let deltas: i64 = ordering
-            .dev_db
+            .dev_db()
             .scan_latest(REVISIONS_TABLE, &Predicate::True)
             .unwrap()
             .iter()

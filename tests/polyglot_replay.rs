@@ -1,0 +1,306 @@
+//! Polyglot time travel end to end (paper §5 + §3.5): replaying requests
+//! that span the relational store *and* the key-value store.
+//!
+//! PR 3 made the transaction log aligned by construction; this suite pins
+//! the other half of the §5 story — the debugger actually *using* that
+//! aligned history for key-value data:
+//!
+//! * a shop checkout (relational order + kv cart, one atomic commit)
+//!   replays with every kv read verified and every kv write re-applied —
+//!   `writes_skipped == 0`, unlike the relational-only replay that used
+//!   to skip-count `kv:` records;
+//! * the kv fidelity check catches a divergence injected outside the
+//!   traced commit path;
+//! * with retention enabled, replay still reaches history older than the
+//!   GC watermark by rebuilding the environment from spilled aligned
+//!   entries; without retention the truncation is reported, not papered
+//!   over.
+
+use trod::apps::shop;
+use trod::core::ReplayError;
+use trod::prelude::*;
+
+fn shop_trod() -> Trod {
+    let db = shop::shop_db();
+    shop::seed_inventory(&db, 3, 100);
+    let runtime = Runtime::builder(db, shop::registry())
+        .kv(shop::shop_kv())
+        .build();
+    Trod::attach(runtime).unwrap()
+}
+
+fn cart_args(customer: &str, item: &str) -> Args {
+    Args::new().with("customer", customer).with("item", item)
+}
+
+#[test]
+fn polyglot_checkout_replays_with_zero_skipped_writes() {
+    let trod = shop_trod();
+    let rt = trod.runtime();
+    rt.handle_request_with_id("R1", "addToCart", cart_args("alice", "item-1"));
+    rt.handle_request_with_id("R2", "getCart", Args::new().with("customer", "alice"));
+    rt.handle_request_with_id(
+        "R3",
+        "checkout",
+        shop::checkout_args("O1", "alice", "item-1", 2),
+    );
+    trod.sync();
+
+    for req in ["R1", "R2", "R3"] {
+        let report = trod.replay(req).unwrap().run_to_end().unwrap();
+        assert!(report.is_faithful(), "{req} must replay faithfully");
+        assert_eq!(
+            report.writes_skipped(),
+            0,
+            "{req}: polyglot replay must re-apply every kv record"
+        );
+    }
+
+    // The getCart replay *verified* its kv read against the forked store
+    // (the read is counted, not skipped).
+    let r2 = trod.replay("R2").unwrap().run_to_end().unwrap();
+    assert_eq!(r2.steps.len(), 1);
+    assert_eq!(r2.steps[0].reads_checked, 1);
+
+    // The checkout replay reconstructs the cross-store end state in the
+    // development environment: order confirmed AND cart cleared — the
+    // atomic polyglot commit, re-experienced.
+    let mut session = trod.replay("R3").unwrap();
+    let report = session.run_to_end().unwrap();
+    assert!(report.is_faithful());
+    assert!(
+        session
+            .dev_db()
+            .get_latest(shop::ORDERS_TABLE, &Key::single("O1"))
+            .unwrap()
+            .is_some(),
+        "the replayed order exists in the development database"
+    );
+    assert_eq!(
+        session
+            .dev_kv()
+            .unwrap()
+            .get_latest(shop::CARTS_NAMESPACE, "cart:alice")
+            .unwrap(),
+        None,
+        "the replayed checkout cleared the cart in the development store"
+    );
+    // The development environment's log is aligned like production's:
+    // the createOrder commit spans both stores.
+    assert!(session
+        .dev_session()
+        .aligned_log()
+        .iter()
+        .any(|c| c.spans_both_stores()));
+}
+
+#[test]
+fn kv_read_verification_catches_an_injected_divergence() {
+    let db = Database::new();
+    let kv = KvStore::new();
+    kv.create_namespace("carts").unwrap();
+    let tracer = Tracer::new();
+    let traced = trod::kv::Session::builder(db.clone())
+        .kv(kv.clone())
+        .tracer(tracer.clone())
+        .build();
+    let provenance = ProvenanceStore::for_application(&db).unwrap();
+
+    let mut setup = traced.begin_traced(TxnContext::new("R0", "setup", "f"));
+    setup.kv_put("carts", "cart:alice", "widget").unwrap();
+    setup.commit().unwrap();
+
+    // A read-committed reader begins; a commit from an UNTRACED session
+    // then changes the key (the aligned provenance never sees it); the
+    // reader observes the tampered value.
+    let mut reader = traced.begin_with(
+        TxnOptions::new()
+            .traced(TxnContext::new("R1", "getCart", "f"))
+            .isolation(IsolationLevel::ReadCommitted),
+    );
+    let rogue_session = trod::kv::Session::with_kv(db.clone(), kv.clone());
+    let mut rogue = rogue_session.begin();
+    rogue.kv_put("carts", "cart:alice", "tampered").unwrap();
+    rogue.commit().unwrap();
+    assert_eq!(
+        reader.kv_get("carts", "cart:alice").unwrap(),
+        Some("tampered".into())
+    );
+    reader.commit().unwrap();
+    provenance.ingest(tracer.drain());
+
+    // Replay forks at the reader's snapshot and injects only *traced*
+    // concurrent commits — the rogue change cannot be reproduced, so the
+    // kv fidelity check must flag the read instead of skipping it.
+    let mut session = ReplaySession::for_session(&provenance, &traced, "R1").unwrap();
+    let report = session.run_to_end().unwrap();
+    assert!(!report.is_faithful());
+    let mismatches: Vec<String> = report
+        .steps
+        .iter()
+        .flat_map(|s| s.mismatches.iter().cloned())
+        .collect();
+    assert_eq!(mismatches.len(), 1);
+    assert!(
+        mismatches[0].contains("kv:carts") && mismatches[0].contains("tampered"),
+        "mismatch must name the store and the divergent value: {}",
+        mismatches[0]
+    );
+}
+
+#[test]
+fn replay_reaches_history_older_than_the_gc_watermark_via_spilled_retention() {
+    let trod = shop_trod();
+    let rt = trod.runtime();
+    rt.handle_request_with_id("R1", "addToCart", cart_args("alice", "item-1"));
+    rt.handle_request_with_id(
+        "R2",
+        "checkout",
+        shop::checkout_args("O1", "alice", "item-1", 1),
+    );
+    rt.handle_request_with_id(
+        "R3",
+        "checkout",
+        shop::checkout_args("O2", "bob", "item-2", 1),
+    );
+    trod.sync();
+
+    trod.enable_retention();
+    let db = trod.production_db();
+    let live_len = db.log_len();
+    let (_, truncated) = db.gc_before(db.current_ts());
+    assert_eq!(truncated, live_len, "the whole log was truncated");
+    assert_eq!(db.log_len(), 0);
+    assert!(db.log_truncated_below() > 0);
+
+    // The debugger stitches spilled + live history into one continuous
+    // aligned view.
+    assert_eq!(trod.provenance().spilled_count(), live_len);
+    let stitched = trod.aligned_history();
+    assert_eq!(stitched.len(), live_len);
+    assert!(stitched.windows(2).all(|w| w[0].commit_ts < w[1].commit_ts));
+    assert!(stitched.iter().any(|c| c.spans_both_stores()));
+
+    // A defensive repeat of enable_retention must not disown the
+    // existing complete spill (idempotent re-install keeps the original
+    // coverage floor).
+    trod.enable_retention();
+
+    // Every request predates the GC floor now; replay reconstructs the
+    // environment from the spilled aligned history and stays faithful,
+    // kv records included.
+    for req in ["R1", "R2", "R3"] {
+        let report = trod.replay(req).unwrap().run_to_end().unwrap();
+        assert!(
+            report.is_faithful(),
+            "{req} must replay from spilled history"
+        );
+        assert_eq!(report.writes_skipped(), 0, "{req}");
+    }
+    let mut session = trod.replay("R2").unwrap();
+    session.run_to_end().unwrap();
+    assert!(session
+        .dev_db()
+        .get_latest(shop::ORDERS_TABLE, &Key::single("O1"))
+        .unwrap()
+        .is_some());
+    assert_eq!(
+        session
+            .dev_kv()
+            .unwrap()
+            .get_latest(shop::CARTS_NAMESPACE, "cart:alice")
+            .unwrap(),
+        None,
+        "R2's replayed checkout cleared the cart rebuilt from spilled history"
+    );
+}
+
+#[test]
+fn retention_installed_after_truncation_cannot_paper_over_the_gap() {
+    let trod = shop_trod();
+    trod.runtime().handle_request_with_id(
+        "R1",
+        "checkout",
+        shop::checkout_args("O1", "alice", "item-1", 1),
+    );
+    trod.sync();
+    // First GC runs WITHOUT retention: R1's aligned history is gone for
+    // good.
+    let db = trod.production_db();
+    db.gc_before(db.current_ts());
+
+    // Retention arrives late; more traffic commits and is spilled by a
+    // second GC.
+    trod.enable_retention();
+    trod.runtime().handle_request_with_id(
+        "R2",
+        "checkout",
+        shop::checkout_args("O2", "bob", "item-2", 1),
+    );
+    trod.sync();
+    db.gc_before(db.current_ts());
+    assert!(trod.provenance().spilled_count() > 0);
+
+    // Both replays must refuse: R1's history was never spilled, and R2's
+    // spill is only partial (everything truncated before the install is
+    // missing) — rebuilding from it would silently fork wrong state.
+    for req in ["R1", "R2"] {
+        let err = trod.replay(req).expect_err("partial spill must be refused");
+        assert!(
+            matches!(err, ReplayError::HistoryTruncated { .. }),
+            "{req}: got {err}"
+        );
+    }
+}
+
+#[test]
+fn replay_below_the_gc_floor_without_retention_reports_truncation() {
+    let trod = shop_trod();
+    trod.runtime().handle_request_with_id(
+        "R1",
+        "checkout",
+        shop::checkout_args("O1", "alice", "item-1", 1),
+    );
+    trod.sync();
+    // GC without any retention policy: the history below the floor is
+    // simply gone.
+    let db = trod.production_db();
+    db.gc_before(db.current_ts());
+
+    let err = trod.replay("R1").expect_err("replay must refuse");
+    assert!(
+        matches!(err, ReplayError::HistoryTruncated { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn a_foreign_retention_policy_does_not_vouch_for_this_debugger() {
+    use std::sync::Arc;
+
+    let trod = shop_trod();
+    trod.runtime().handle_request_with_id(
+        "R1",
+        "checkout",
+        shop::checkout_args("O1", "alice", "item-1", 1),
+    );
+    trod.sync();
+    // Some OTHER store is installed as the retention policy (coverage
+    // floor 0) before GC — its spill is complete, but it is not the
+    // debugger's provenance store, so replay still must refuse rather
+    // than reconstruct from the debugger's (empty) spill.
+    let foreign = Arc::new(ProvenanceStore::new());
+    let db = trod.production_db();
+    db.set_retention_policy(Some(foreign.clone()));
+    db.gc_before(db.current_ts());
+    assert!(foreign.spilled_count() > 0);
+    assert_eq!(trod.provenance().spilled_count(), 0);
+
+    let err = trod
+        .replay("R1")
+        .expect_err("foreign spill must be refused");
+    assert!(
+        matches!(err, ReplayError::HistoryTruncated { .. }),
+        "got {err}"
+    );
+}

@@ -43,7 +43,7 @@ fn patched_handler_passes_retroactive_testing_in_every_ordering() {
             }
         }
         let subs = ordering
-            .dev_db
+            .dev_db()
             .scan_latest(
                 FORUM_SUB_TABLE,
                 &Predicate::eq("user_id", "U1").and(Predicate::eq("forum", "F2")),

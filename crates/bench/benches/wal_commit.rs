@@ -1,0 +1,166 @@
+//! Durable commit benchmark: group commit vs the serial-fsync baseline,
+//! across sync modes and thread counts, plus recovery time vs log size.
+//!
+//! The PR 6 tentpole claims one specific win: with the WAL attached, the
+//! coordinator appends each aligned log entry inside the publication
+//! window but defers the fsync past the commit locks, so every commit
+//! that lands in the same flush window shares ONE `fsync` — throughput
+//! under concurrent committers scales with threads instead of
+//! serializing behind the disk. The measurable contract (ISSUE 6): at 8
+//! threads, `group/sync` sustains at least 4× the commit throughput of
+//! `serial/sync` (the same WAL with group commit disabled, i.e. one
+//! fsync per commit inside the window).
+//!
+//! Shapes, each at 1/2/4/8 threads against one shared WAL file:
+//!
+//! * `group/sync`   — group commit, `SyncMode::Sync` (fsync per group)
+//! * `group/flush`  — group commit, write-through without fsync
+//! * `group/cached` — buffered appends, spilled in 64 KiB chunks
+//! * `serial/sync`  — group commit OFF: the baseline durability story,
+//!   one fsync per commit, holding its position in the window
+//!
+//! The WAL lives under the workspace `target/` directory — NOT in
+//! `/tmp`, which is commonly tmpfs and would turn `fsync` into a no-op
+//! and the comparison into noise.
+//!
+//! `recovery/` benches `Database::open_durable` against pre-built logs
+//! of increasing length: recovery cost must stay linear in log bytes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use trod_db::{row, DataType, Database, Schema, SyncMode, WalOptions};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const COMMITS_PER_THREAD: usize = 64;
+
+fn items_schema() -> Schema {
+    Schema::builder()
+        .column("id", DataType::Int)
+        .column("val", DataType::Int)
+        .primary_key(&["id"])
+        .build()
+        .unwrap()
+}
+
+/// A fresh WAL path under the workspace target dir (real filesystem).
+fn wal_path(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench_wal");
+    std::fs::create_dir_all(&dir).expect("create bench WAL dir");
+    dir.join(format!(
+        "{tag}_{}_{}.wal",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn durable_db(path: &std::path::Path, mode: SyncMode, group: bool) -> Database {
+    let db = Database::create_durable(
+        path,
+        WalOptions {
+            sync_mode: mode,
+            group_commit: group,
+        },
+    )
+    .expect("create durable db");
+    for t in 0..THREAD_COUNTS[THREAD_COUNTS.len() - 1] {
+        db.create_table(format!("items_{t}"), items_schema())
+            .unwrap();
+    }
+    db
+}
+
+/// One round: `threads` threads, each committing `COMMITS_PER_THREAD`
+/// single-row transactions against its own table — disjoint footprints,
+/// so the only contention is the shared WAL.
+fn run_round(db: &Database, threads: usize, round: usize) {
+    let barrier = Barrier::new(threads);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let table = format!("items_{t}");
+                barrier.wait();
+                for i in 0..COMMITS_PER_THREAD {
+                    let id = (round * COMMITS_PER_THREAD + i) as i64;
+                    let mut txn = db.begin();
+                    txn.insert(&table, row![id, i as i64]).unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_commit/throughput");
+    // Real fsyncs: keep samples small, give each config a fixed budget.
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (mode_name, mode, group_on) in [
+        ("group/sync", SyncMode::Sync, true),
+        ("group/flush", SyncMode::Flush, true),
+        ("group/cached", SyncMode::Cached, true),
+        ("serial/sync", SyncMode::Sync, false),
+    ] {
+        for &threads in &THREAD_COUNTS {
+            let path = wal_path("throughput");
+            let db = durable_db(&path, mode, group_on);
+            let mut round = 0usize;
+            group.throughput(Throughput::Elements((threads * COMMITS_PER_THREAD) as u64));
+            group.bench_function(
+                BenchmarkId::new(mode_name, format!("threads_{threads}")),
+                |b| {
+                    b.iter(|| {
+                        round += 1;
+                        run_round(&db, threads, round);
+                    })
+                },
+            );
+            drop(db);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_commit/recovery");
+    group.sample_size(10);
+    for commits in [256usize, 1024, 4096] {
+        let path = wal_path("recovery");
+        {
+            // Build the log once, quickly (no fsync needed for a file we
+            // only read back).
+            let db = durable_db(&path, SyncMode::Cached, true);
+            for i in 0..commits {
+                let mut txn = db.begin();
+                txn.insert("items_0", row![i as i64, i as i64]).unwrap();
+                txn.commit().unwrap();
+            }
+            db.wal().unwrap().flush().unwrap();
+        }
+        let bytes = std::fs::metadata(&path).unwrap().len();
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function(
+            BenchmarkId::new("open_durable", format!("commits_{commits}")),
+            |b| {
+                b.iter(|| {
+                    let (db, report) =
+                        Database::open_durable(&path, WalOptions::default()).unwrap();
+                    assert_eq!(report.commits, commits);
+                    db
+                })
+            },
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_commit, bench_recovery);
+criterion_main!(benches);

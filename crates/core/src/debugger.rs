@@ -195,6 +195,51 @@ impl Trod {
             .set_retention_policy(Some(self.provenance.clone()));
     }
 
+    /// Recovers a durable production environment and attaches the
+    /// debugger to it: the WAL at `path` is validated (torn tail
+    /// truncated at the last valid checksum, corruption refused with a
+    /// typed error) and replayed into a fresh session —
+    /// state, catalogs, namespaces and the aligned history all restored —
+    /// then wrapped in a runtime over `registry`. Subsequent commits
+    /// append to the recovered log.
+    pub fn open_durable(
+        path: impl AsRef<std::path::Path>,
+        opts: trod_db::WalOptions,
+        registry: HandlerRegistry,
+    ) -> Result<(Self, trod_db::RecoveryReport), trod_db::TrodError> {
+        let (session, report) = Session::open_durable(path, opts)?;
+        let db = session.database().clone();
+        let kv = session.kv().clone();
+        let runtime = Runtime::builder(db, registry).kv(kv).build();
+        let trod = Trod::attach(runtime).map_err(trod_db::TrodError::Relational)?;
+        Ok((trod, report))
+    }
+
+    /// [`Trod::enable_retention`] plus a durable sink for the spills:
+    /// entries GC truncates are appended to a WAL segment at `path`
+    /// (synced per `mode`) as well as kept in memory, so debugging reach
+    /// survives a crash of this process. Reopening an existing segment
+    /// reloads its spilled history first; returns how many entries were
+    /// reloaded.
+    pub fn enable_durable_retention(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        mode: trod_db::SyncMode,
+    ) -> Result<usize, trod_db::StorageError> {
+        let loaded = self.provenance.enable_durable_spills(path, mode)?;
+        self.enable_retention();
+        Ok(loaded)
+    }
+
+    /// Garbage-collects production history in both stores under one
+    /// clamped horizon ([`Session::gc_before`]); with retention enabled
+    /// the truncated aligned entries are spilled (durably, after
+    /// [`Trod::enable_durable_retention`]) before they leave the live
+    /// log, so [`Trod::aligned_history`] stays gap-free.
+    pub fn gc_before(&self, ts: trod_db::Ts) -> trod_kv::GcStats {
+        self.runtime.session().gc_before(ts)
+    }
+
     /// The complete aligned cross-store history this debugger can see:
     /// entries spilled to the provenance store by GC retention, followed
     /// by the live transaction log — stitched into one commit-ordered

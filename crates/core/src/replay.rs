@@ -90,6 +90,7 @@ impl From<TrodError> for ReplayError {
         match e {
             TrodError::Relational(e) => ReplayError::Storage(e),
             TrodError::KeyValue(e) => ReplayError::KeyValue(e),
+            TrodError::Storage(e) => ReplayError::Storage(DbError::Storage(e)),
         }
     }
 }

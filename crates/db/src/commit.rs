@@ -32,6 +32,13 @@
 //! The driver is [`Transaction::commit_with_participants`]
 //! (see [`crate::txn`]); `Transaction::commit` is the zero-participant
 //! special case.
+//!
+//! Durability rides the same seam: the coordinator appends the aligned
+//! log entry — participant records included — to the attached WAL inside
+//! the publication window, and recovery re-installs recovered entries
+//! through participant `install` calls, so a crash-recovered kv store is
+//! rebuilt by the identical code path that wrote it live (see
+//! [`crate::wal`] and the durability section in [`crate::database`]).
 
 use std::sync::Arc;
 

@@ -137,6 +137,55 @@
 //! environment at any spilled timestamp by replaying spilled + live
 //! aligned entries into an empty fork — which is how replay keeps working
 //! for history older than the GC watermark.
+//!
+//! # Durability, group commit and recovery
+//!
+//! Attaching a write-ahead log ([`Database::create_durable`] /
+//! [`Database::open_durable`], or [`Database::attach_wal`] for custom
+//! sinks) makes the aligned history real: the publication window streams
+//! every [`TxnLog`] entry — relational and `kv:<namespace>` change
+//! records verbatim — into an append-only segment file as a
+//! length-prefixed, CRC-checksummed record (format in [`crate::wal`]),
+//! so the WAL byte order *is* the commit order. DDL (`create_table`,
+//! `create_index`, `create_range_index`, and namespace creation at the
+//! session layer) is logged the same way, so recovery rebuilds the
+//! catalog before the commits that use it.
+//!
+//! **Group commit.** Appending happens inside the publication window (a
+//! memcpy into the WAL's buffer — no IO on the ordered critical path);
+//! the durability wait ([`crate::wal::Wal::sync_to`]) runs *after* the
+//! committer released its footprint locks. The first waiter becomes the
+//! group leader and performs one write + one fsync for every commit
+//! buffered meanwhile, so durable throughput scales with batch size
+//! instead of being 1/fsync flat. [`crate::wal::SyncMode`] picks the
+//! guarantee (`Sync` = fsync, `Flush` = OS buffer, `Cached` = process
+//! buffer), and `group_commit: false` restores the serial-fsync baseline
+//! (each commit syncs inside its own publication window) that the
+//! `wal_commit` benchmark compares against. With a WAL attached the
+//! synthetic storage-latency model is bypassed — commits pay the real
+//! fsync instead.
+//!
+//! **Failure semantics.** A failed group write/fsync surfaces as the
+//! retryable [`TrodError::Storage`] to exactly the commits whose bytes
+//! the failed attempt covered; the commit is *published in memory* but
+//! its durability is unconfirmed. The failed bytes stay queued in commit
+//! order and the next group's leader repairs the sink and retries them,
+//! so one bad group never poisons the commit path.
+//!
+//! **Recovery.** [`Database::open_durable`] validates every record's
+//! checksum, truncates a *torn tail* (damage extending to end-of-file —
+//! an unacknowledged commit that died mid-write) back to the last valid
+//! record, and refuses mid-file corruption (damage with provably valid
+//! records after it) with a typed [`crate::StorageError::Corrupt`] —
+//! never a panic, never silently wrong state. Valid entries replay
+//! through the same participant path as live injection
+//! ([`Database::apply_entry_with`]), preserving each entry's original
+//! `txn_id`/`start_ts`/`commit_ts` and its kv records, so the recovered
+//! aligned history is byte-for-byte the durable prefix of the original.
+//! Crash-point behaviour is property-tested with
+//! [`crate::wal::FailpointSink`]: at every record-boundary crash, every
+//! random truncation and every byte corruption, reopen recovers exactly
+//! the acknowledged-commit prefix.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -146,7 +195,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::cdc::{ChangeOp, ChangeRecord};
 use crate::commit::CommitParticipant;
-use crate::error::{DbError, DbResult, TrodError, TrodResult};
+use crate::error::{DbError, DbResult, StorageError, TrodError, TrodResult};
 use crate::latency::{LatencyModel, StorageProfile};
 use crate::log::{CommittedTxn, RetentionPolicy, TxnId, TxnLog};
 use crate::mvcc::Ts;
@@ -156,6 +205,11 @@ use crate::row::{Key, Row};
 use crate::schema::Schema;
 use crate::table::TableStore;
 use crate::txn::{CommitInfo, IsolationLevel, Transaction, TxnState, WriteOp};
+use crate::wal::{RecoveryReport, Wal, WalOptions, WalRecord};
+
+/// Replay callback for `CreateNamespace` records: lets the session layer
+/// create kv namespaces mid-stream, preserving DDL-vs-commit order.
+pub(crate) type NamespaceHook<'a> = &'a mut dyn FnMut(&str) -> Result<(), StorageError>;
 
 /// Point-in-time statistics about a database.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -211,6 +265,11 @@ struct DbInner {
     publish_waiters: AtomicU64,
     publish_mutex: std::sync::Mutex<()>,
     publish_cv: std::sync::Condvar,
+    /// Durable sink for the aligned history: when attached, every commit
+    /// appends its log entry (and DDL its record) inside the publication
+    /// window and group-syncs after releasing its locks. `None` = pure
+    /// in-memory database (forks, tests, the default).
+    wal: RwLock<Option<Arc<Wal>>>,
 }
 
 /// A handle to an in-memory transactional database.
@@ -266,8 +325,129 @@ impl Database {
                 publish_waiters: AtomicU64::new(0),
                 publish_mutex: std::sync::Mutex::new(()),
                 publish_cv: std::sync::Condvar::new(),
+                wal: RwLock::new(None),
             }),
         }
+    }
+
+    /// Creates an empty database whose commits stream to a fresh WAL file
+    /// at `path` (truncating any existing file). See the module docs on
+    /// durability.
+    pub fn create_durable(
+        path: impl AsRef<std::path::Path>,
+        opts: WalOptions,
+    ) -> DbResult<Database> {
+        let db = Database::new();
+        db.attach_wal(Wal::create(path, opts)?);
+        Ok(db)
+    }
+
+    /// Opens (creating if absent) a durable database: validates the WAL
+    /// at `path`, truncates a torn tail at the last valid checksum,
+    /// replays every record through the participant path, and attaches
+    /// the repaired WAL so subsequent commits append after the recovered
+    /// prefix. Mid-file corruption yields a typed error
+    /// ([`StorageError::Corrupt`]); replay inconsistencies yield
+    /// [`StorageError::Recovery`] — never a panic.
+    ///
+    /// Entries may carry `kv:<namespace>` change records; this
+    /// relational-only replay preserves them verbatim in the aligned
+    /// history (use `Session::open_durable` in `trod-kv` to also
+    /// re-install them into a key-value store).
+    pub fn open_durable(
+        path: impl AsRef<std::path::Path>,
+        opts: WalOptions,
+    ) -> DbResult<(Database, RecoveryReport)> {
+        let (wal, records, info) = Wal::open(path, opts)?;
+        let db = Database::new();
+        let mut report = db.replay_wal_records(&records, &[], None)?;
+        report.truncated_bytes = info.truncated_bytes;
+        // Attach only after replay: a WAL attached earlier would re-append
+        // every replayed entry.
+        db.attach_wal(wal);
+        Ok((db, report))
+    }
+
+    /// Replays decoded WAL records into this (empty) database. DDL
+    /// records rebuild the catalog; commit entries re-install through
+    /// [`Database::apply_entry_with`] with `participants` (the kv half of
+    /// polyglot entries — empty for relational-only recovery). A caller
+    /// handling namespaces itself (the session layer) passes `on_namespace`
+    /// to create them mid-stream, preserving DDL-vs-commit order.
+    pub(crate) fn replay_wal_records(
+        &self,
+        records: &[WalRecord],
+        participants: &[&dyn CommitParticipant],
+        mut on_namespace: Option<NamespaceHook<'_>>,
+    ) -> DbResult<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        let recovery_err = |detail: String| DbError::Storage(StorageError::Recovery { detail });
+        for record in records {
+            match record {
+                WalRecord::CreateTable { name, schema } => {
+                    self.create_table(name.clone(), schema.clone())
+                        .map_err(|e| recovery_err(format!("create table `{name}`: {e}")))?;
+                    report.tables += 1;
+                }
+                WalRecord::CreateIndex {
+                    table,
+                    column,
+                    ranged,
+                } => {
+                    if *ranged {
+                        self.create_range_index(table, column)
+                    } else {
+                        self.create_index(table, column)
+                    }
+                    .map_err(|e| recovery_err(format!("create index `{table}.{column}`: {e}")))?;
+                    report.indexes += 1;
+                }
+                WalRecord::CreateNamespace { name } => {
+                    if let Some(hook) = on_namespace.as_deref_mut() {
+                        hook(name).map_err(DbError::Storage)?;
+                    }
+                    report.namespaces.push(name.clone());
+                }
+                WalRecord::Commit(entry) => {
+                    self.apply_entry_with(entry, participants).map_err(|e| {
+                        recovery_err(format!("replay commit ts {}: {e}", entry.commit_ts))
+                    })?;
+                    report.commits += 1;
+                    report.kv_writes_replayed += entry
+                        .changes
+                        .iter()
+                        .filter(|c| crate::cdc::is_kv_table(&c.table))
+                        .count();
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Attaches a write-ahead log; every subsequent commit appends its
+    /// aligned log entry to it (module docs). The log is assumed to
+    /// already contain exactly this database's history (empty for a fresh
+    /// database). Mostly useful with custom sinks
+    /// ([`crate::wal::Wal::with_sink`], fault-injection tests); prefer
+    /// [`Database::create_durable`] / [`Database::open_durable`].
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        *self.inner.wal.write() = Some(wal);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        self.inner.wal.read().clone()
+    }
+
+    /// Appends a DDL record to the WAL (if attached) and makes it durable
+    /// immediately — DDL is rare and must precede the commits that use
+    /// the object it creates.
+    fn log_ddl(&self, record: WalRecord) -> DbResult<()> {
+        if let Some(wal) = self.wal() {
+            let lsn = wal.append_record(&record)?;
+            wal.sync_to(lsn)?;
+        }
+        Ok(())
     }
 
     /// Forces every commit to additionally serialize on a single global
@@ -332,12 +512,13 @@ impl Database {
         }
         let store = TableStore::with_registry(
             name.clone(),
-            schema,
+            schema.clone(),
             self.inner.registry.clone(),
             Some(self.inner.clock.clone()),
         );
-        tables.insert(name, Arc::new(store));
-        Ok(())
+        tables.insert(name.clone(), Arc::new(store));
+        drop(tables);
+        self.log_ddl(WalRecord::CreateTable { name, schema })
     }
 
     /// Drops a table and its history.
@@ -352,14 +533,24 @@ impl Database {
     /// Creates a secondary hash index on `table.column` (serves equality
     /// and `IN (...)` probes).
     pub fn create_index(&self, table: &str, column: &str) -> DbResult<()> {
-        self.table(table)?.create_index(column)
+        self.table(table)?.create_index(column)?;
+        self.log_ddl(WalRecord::CreateIndex {
+            table: table.to_string(),
+            column: column.to_string(),
+            ranged: false,
+        })
     }
 
     /// Creates an ordered range index on `table.column` (serves bounded
     /// range probes — and equality — through the scan planner; see the
     /// read-path docs above).
     pub fn create_range_index(&self, table: &str, column: &str) -> DbResult<()> {
-        self.table(table)?.create_range_index(column)
+        self.table(table)?.create_range_index(column)?;
+        self.log_ddl(WalRecord::CreateIndex {
+            table: table.to_string(),
+            column: column.to_string(),
+            ranged: true,
+        })
     }
 
     /// Names of all tables, sorted.
@@ -444,6 +635,7 @@ impl Database {
     pub(crate) fn commit_txn(&self, state: TxnState) -> DbResult<CommitInfo> {
         self.commit_coordinated(state, &[]).map_err(|e| match e {
             TrodError::Relational(e) => e,
+            TrodError::Storage(e) => DbError::Storage(e),
             // Unreachable without participants; keep the error faithful
             // rather than panicking.
             TrodError::KeyValue(e) => DbError::Invalid(format!("participant error: {e}")),
@@ -628,13 +820,44 @@ impl Database {
         for participant in participants {
             changes.extend(participant.install(commit_ts));
         }
-        self.finish_publication(CommittedTxn {
+        let entry = CommittedTxn {
             txn_id: state.id,
             start_ts: state.start_ts,
             commit_ts,
             changes: changes.clone(),
-        });
-        self.inner.latency.on_commit();
+        };
+        // Durability (module docs): append the entry inside the window —
+        // a memcpy into the WAL buffer, so WAL byte order == commit
+        // order — and defer the (group) fsync until after the footprint
+        // locks are released. Even a WAL error publishes the entry
+        // (versions are installed; the timestamp sequence must stay
+        // dense); the error reports durability as unconfirmed.
+        let wal = self.wal();
+        let mut wal_err: Option<StorageError> = None;
+        let mut group_sync: Option<u64> = None;
+        if let Some(w) = &wal {
+            match w.append_entry(&entry) {
+                Ok(lsn) if w.group_commit() => group_sync = Some(lsn),
+                // Serial-fsync baseline: each commit pays its own fsync
+                // inside the publication window.
+                Ok(lsn) => wal_err = w.sync_to(lsn).err(),
+                Err(e) => wal_err = Some(e),
+            }
+        }
+        self.finish_publication(entry);
+        if wal.is_none() {
+            // The synthetic latency model stands in for the durability
+            // write only when there is no real one.
+            self.inner.latency.on_commit();
+        }
+        drop(_guards);
+        drop(_serial);
+        if let (Some(w), Some(lsn)) = (&wal, group_sync) {
+            wal_err = w.sync_to(lsn).err();
+        }
+        if let Some(e) = wal_err {
+            return Err(TrodError::Storage(e));
+        }
 
         Ok(CommitInfo {
             txn_id: state.id,
@@ -1005,6 +1228,7 @@ impl Database {
     pub fn apply_changes(&self, changes: &[ChangeRecord]) -> DbResult<CommitInfo> {
         self.apply_changes_with(changes, &[]).map_err(|e| match e {
             TrodError::Relational(e) => e,
+            TrodError::Storage(e) => DbError::Storage(e),
             // Unreachable without participants; keep the error faithful
             // rather than panicking.
             TrodError::KeyValue(e) => DbError::Invalid(format!("participant error: {e}")),
@@ -1024,7 +1248,51 @@ impl Database {
         changes: &[ChangeRecord],
         participants: &[&dyn CommitParticipant],
     ) -> TrodResult<CommitInfo> {
-        let txn_id = self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        self.apply_changes_inner(changes, participants, None)
+    }
+
+    /// Re-applies a recovered aligned-history entry *verbatim* through
+    /// the participant path: the entry keeps its original `txn_id`,
+    /// `start_ts` and `commit_ts` (the timestamp allocator is advanced to
+    /// claim exactly `entry.commit_ts`), and the logged entry preserves
+    /// every change record — including `kv:<namespace>` ones — so replayed
+    /// history is indistinguishable from the original. Only relational
+    /// changes are installed here; `participants` install the kv half
+    /// (empty for relational-only recovery, which still preserves kv
+    /// records in the log). Recovery replays entries in commit order;
+    /// a timestamp the allocator cannot claim (raced by a concurrent
+    /// commit) yields [`StorageError::Recovery`].
+    pub fn apply_entry_with(
+        &self,
+        entry: &CommittedTxn,
+        participants: &[&dyn CommitParticipant],
+    ) -> TrodResult<CommitInfo> {
+        let relational: Vec<ChangeRecord> = entry
+            .changes
+            .iter()
+            .filter(|c| !crate::cdc::is_kv_table(&c.table))
+            .cloned()
+            .collect();
+        self.apply_changes_inner(&relational, participants, Some(entry))
+    }
+
+    fn apply_changes_inner(
+        &self,
+        changes: &[ChangeRecord],
+        participants: &[&dyn CommitParticipant],
+        replay: Option<&CommittedTxn>,
+    ) -> TrodResult<CommitInfo> {
+        let txn_id = match replay {
+            // Keep the recovered id and ensure future transactions never
+            // reuse it.
+            Some(entry) => {
+                self.inner
+                    .next_txn_id
+                    .fetch_max(entry.txn_id + 1, Ordering::Relaxed);
+                entry.txn_id
+            }
+            None => self.inner.next_txn_id.fetch_add(1, Ordering::Relaxed),
+        };
         // Resolve every table and run every fallible check (schema
         // validation) BEFORE locking and allocating a timestamp, so a bad
         // record can never leave a half-applied synthetic commit behind.
@@ -1038,6 +1306,13 @@ impl Database {
                     .schema()
                     .validate_row(&change.table, after)?;
             }
+        }
+
+        if let Some(entry) = replay {
+            // Position the allocator so the claim below yields exactly the
+            // entry's original commit timestamp; empty ticks fill any
+            // read-only gaps in the recovered sequence.
+            self.ensure_ts_at_least(entry.commit_ts.saturating_sub(1));
         }
 
         // Same locking discipline as commit_coordinated: the union of the
@@ -1079,6 +1354,26 @@ impl Database {
         }
 
         let commit_ts = self.inner.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(entry) = replay {
+            if commit_ts != entry.commit_ts {
+                // A concurrent commit raced the replay. Nothing is
+                // installed yet, but the claimed tick must still publish
+                // (the timestamp sequence is dense) — publish it empty,
+                // exactly like ensure_ts_at_least.
+                self.wait_for_publication_turn(commit_ts);
+                self.inner.clock.store(commit_ts, Ordering::SeqCst);
+                if self.inner.publish_waiters.load(Ordering::SeqCst) > 0 {
+                    let _guard = self.inner.publish_mutex.lock().expect("publish mutex");
+                    self.inner.publish_cv.notify_all();
+                }
+                return Err(TrodError::Storage(StorageError::Recovery {
+                    detail: format!(
+                        "cannot replay commit ts {} verbatim: allocator already claimed {}",
+                        entry.commit_ts, commit_ts
+                    ),
+                }));
+            }
+        }
         let mut applied = Vec::with_capacity(changes.len());
         for change in changes {
             let store = &footprint[change.table.as_str()];
@@ -1098,15 +1393,44 @@ impl Database {
         for participant in participants {
             applied.extend(participant.install(commit_ts));
         }
-        self.finish_publication(CommittedTxn {
+        let (start_ts, logged_changes) = match replay {
+            // Verbatim: the recovered entry keeps its original snapshot
+            // timestamp and every change record, kv ones included.
+            Some(entry) => (entry.start_ts, entry.changes.clone()),
+            None => (commit_ts - 1, applied.clone()),
+        };
+        let entry = CommittedTxn {
             txn_id,
-            start_ts: commit_ts - 1,
+            start_ts,
             commit_ts,
-            changes: applied.clone(),
-        });
+            changes: logged_changes,
+        };
+        // Live synthetic commits on a durable database are logged like
+        // any other commit. Never during replay: recovery runs before the
+        // WAL is attached, and re-appending recovered entries would
+        // duplicate them.
+        let wal = if replay.is_none() { self.wal() } else { None };
+        let mut wal_err: Option<StorageError> = None;
+        let mut group_sync: Option<u64> = None;
+        if let Some(w) = &wal {
+            match w.append_entry(&entry) {
+                Ok(lsn) if w.group_commit() => group_sync = Some(lsn),
+                Ok(lsn) => wal_err = w.sync_to(lsn).err(),
+                Err(e) => wal_err = Some(e),
+            }
+        }
+        self.finish_publication(entry);
+        drop(_guards);
+        drop(_serial);
+        if let (Some(w), Some(lsn)) = (&wal, group_sync) {
+            wal_err = w.sync_to(lsn).err();
+        }
+        if let Some(e) = wal_err {
+            return Err(TrodError::Storage(e));
+        }
         Ok(CommitInfo {
             txn_id,
-            start_ts: commit_ts - 1,
+            start_ts,
             commit_ts,
             changes: applied,
         })

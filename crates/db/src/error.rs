@@ -12,6 +12,59 @@ use std::fmt;
 use crate::mvcc::Ts;
 use crate::value::DataType;
 
+/// Errors raised by the durability layer (the write-ahead log and its
+/// sinks; see [`crate::wal`]).
+///
+/// The variants classify *how to react*, not just what broke:
+///
+/// * [`StorageError::Io`] — an append/fsync/open on the log sink failed.
+///   Transient by assumption (disk full, injected fault): the commits in
+///   the failed sync group observe it and abort durability-wise, but the
+///   WAL keeps their bytes queued and the next group retries, so the
+///   commit path is never poisoned. Retryable.
+/// * [`StorageError::Corrupt`] — the log contains a damaged record that
+///   is provably *not* a torn tail (valid records follow it). Truncating
+///   would silently drop acknowledged commits, so recovery refuses with
+///   this typed error instead. Not retryable.
+/// * [`StorageError::Recovery`] — the log decoded cleanly but cannot be
+///   replayed (out-of-order commit timestamps, a record referencing
+///   missing DDL). Not retryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An IO operation on the log sink failed. `op` names the operation
+    /// ("append", "sync", "open", ...).
+    Io { op: &'static str, detail: String },
+    /// A log record at `offset` is damaged and valid records follow it —
+    /// mid-file corruption, not a torn tail.
+    Corrupt { offset: u64, detail: String },
+    /// The log decoded but could not be replayed into a database.
+    Recovery { detail: String },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, detail } => write!(f, "log {op} failed: {detail}"),
+            StorageError::Corrupt { offset, detail } => {
+                write!(f, "log corrupt at byte {offset}: {detail}")
+            }
+            StorageError::Recovery { detail } => write!(f, "log replay failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl StorageError {
+    /// True for transient sink failures (IO errors on append/sync): the
+    /// failed group aborted, but the sink may recover and subsequent
+    /// groups — or a retried transaction — can proceed. Corruption and
+    /// replay failures are permanent.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StorageError::Io { .. })
+    }
+}
+
 /// Errors returned by the storage engine.
 ///
 /// The variants distinguish programming errors (schema misuse, type
@@ -57,6 +110,8 @@ pub enum DbError {
     NoSuchSnapshot(String),
     /// An invalid operation for the current configuration.
     Invalid(String),
+    /// The durability layer failed (WAL append/fsync, recovery).
+    Storage(StorageError),
 }
 
 impl fmt::Display for DbError {
@@ -103,7 +158,14 @@ impl fmt::Display for DbError {
             DbError::SnapshotExists(s) => write!(f, "snapshot `{s}` already exists"),
             DbError::NoSuchSnapshot(s) => write!(f, "no such snapshot `{s}`"),
             DbError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            DbError::Storage(e) => write!(f, "storage: {e}"),
         }
+    }
+}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
     }
 }
 
@@ -116,10 +178,11 @@ impl DbError {
     /// Returns true if the error is a transient concurrency failure the
     /// caller may retry (write conflicts and serialization failures).
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            DbError::WriteConflict { .. } | DbError::SerializationFailure { .. }
-        )
+        match self {
+            DbError::WriteConflict { .. } | DbError::SerializationFailure { .. } => true,
+            DbError::Storage(e) => e.is_retryable(),
+            _ => false,
+        }
     }
 }
 
@@ -191,6 +254,12 @@ pub enum TrodError {
     Relational(DbError),
     /// The key-value store failed (conflict, unknown namespace, …).
     KeyValue(KvError),
+    /// The shared durability layer failed (WAL append/fsync): the commit
+    /// is published in memory but its durability is unconfirmed — only
+    /// the commits in the failed sync group observe this, and the commit
+    /// path stays usable (see [`StorageError`]). IO failures are
+    /// retryable.
+    Storage(StorageError),
 }
 
 impl fmt::Display for TrodError {
@@ -198,6 +267,7 @@ impl fmt::Display for TrodError {
         match self {
             TrodError::Relational(e) => write!(f, "relational store: {e}"),
             TrodError::KeyValue(e) => write!(f, "key-value store: {e}"),
+            TrodError::Storage(e) => write!(f, "durability: {e}"),
         }
     }
 }
@@ -206,13 +276,26 @@ impl std::error::Error for TrodError {}
 
 impl From<DbError> for TrodError {
     fn from(e: DbError) -> Self {
-        TrodError::Relational(e)
+        match e {
+            // Keep storage failures a first-class unified variant instead
+            // of burying them inside the relational wrapper: callers
+            // branch on durability errors (retry the group) differently
+            // from validation conflicts (retry the transaction).
+            DbError::Storage(e) => TrodError::Storage(e),
+            e => TrodError::Relational(e),
+        }
     }
 }
 
 impl From<KvError> for TrodError {
     fn from(e: KvError) -> Self {
         TrodError::KeyValue(e)
+    }
+}
+
+impl From<StorageError> for TrodError {
+    fn from(e: StorageError) -> Self {
+        TrodError::Storage(e)
     }
 }
 
@@ -223,6 +306,7 @@ impl TrodError {
         match self {
             TrodError::Relational(e) => e.is_retryable(),
             TrodError::KeyValue(e) => e.is_retryable(),
+            TrodError::Storage(e) => e.is_retryable(),
         }
     }
 }
@@ -284,5 +368,36 @@ mod tests {
         assert!(!e.is_retryable());
         let e: TrodError = DbError::TransactionClosed.into();
         assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn storage_errors_classify_and_convert() {
+        let io = StorageError::Io {
+            op: "sync",
+            detail: "injected".into(),
+        };
+        assert!(io.is_retryable());
+        let corrupt = StorageError::Corrupt {
+            offset: 42,
+            detail: "payload checksum mismatch".into(),
+        };
+        assert!(!corrupt.is_retryable());
+        assert!(corrupt.to_string().contains("byte 42"));
+
+        // DbError::Storage keeps the classification...
+        let db_err: DbError = io.clone().into();
+        assert!(db_err.is_retryable());
+        let db_err: DbError = corrupt.clone().into();
+        assert!(!db_err.is_retryable());
+
+        // ...and converting to the unified error surfaces the dedicated
+        // variant (not a buried Relational wrapper), from either source.
+        let e: TrodError = DbError::Storage(io.clone()).into();
+        assert!(matches!(e, TrodError::Storage(_)));
+        assert!(e.is_retryable());
+        let e: TrodError = corrupt.into();
+        assert!(matches!(e, TrodError::Storage(_)));
+        assert!(!e.is_retryable());
+        assert!(e.to_string().contains("durability"));
     }
 }

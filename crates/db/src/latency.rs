@@ -10,6 +10,10 @@
 //! waits for a configurable number of microseconds on reads and commits
 //! (modelling buffer-pool and fsync costs). Benchmark E1 sweeps both
 //! profiles.
+//!
+//! With a real WAL attached ([`crate::wal`]) the model's simulated
+//! commit fsync is skipped: the commit path pays the *actual* group
+//! fsync instead, so the two costs are never charged together.
 
 use std::time::{Duration, Instant};
 

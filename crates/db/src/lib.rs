@@ -114,12 +114,13 @@ pub mod schema;
 pub mod table;
 pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use cdc::{is_kv_table, ChangeOp, ChangeRecord, KV_TABLE_PREFIX};
 pub use changelog::{ChangeEntry, ChangeLog};
 pub use commit::CommitParticipant;
 pub use database::{Database, DbStats};
-pub use error::{DbError, DbResult, KvError, KvResult, TrodError, TrodResult};
+pub use error::{DbError, DbResult, KvError, KvResult, StorageError, TrodError, TrodResult};
 pub use index::{RangeIndex, SecondaryIndex};
 pub use latency::StorageProfile;
 pub use log::{CommittedTxn, RetentionPolicy, TxnId};
@@ -131,3 +132,7 @@ pub use schema::{Column, Schema, SchemaBuilder};
 pub use table::{ScanPlan, TableStore};
 pub use txn::{CommitInfo, IsolationLevel, ReadSummary, Transaction};
 pub use value::{DataType, Value};
+pub use wal::{
+    FailpointHandle, FailpointSink, FileSink, MemSink, RecoveryInfo, RecoveryReport, SyncMode, Wal,
+    WalOptions, WalRecord, WalSink,
+};

@@ -5,6 +5,14 @@
 //! each transaction's change-data-capture records. The TROD interposition
 //! layer reads committed entries from here, and the replay engine re-applies
 //! them to reconstruct past database states.
+//!
+//! The aligned log is also the engine's **recovery log**: with a WAL
+//! attached ([`crate::wal`]), the commit coordinator streams every entry
+//! appended here into the durable segment inside the publication window
+//! (byte order == commit order), and recovery replays those entries —
+//! verbatim, identity included — back through the participant commit
+//! path. Entries truncated by GC spill through [`RetentionPolicy`],
+//! which a durable retention sink can persist the same way.
 
 use crate::cdc::ChangeRecord;
 use crate::mvcc::Ts;

@@ -1,0 +1,1522 @@
+//! The durable write-ahead log: group commit, checksummed recovery and
+//! crash-point fault injection.
+//!
+//! The aligned transaction log ([`crate::log::TxnLog`]) *is* the recovery
+//! log: every committed transaction is one [`CommittedTxn`] entry whose
+//! change records span the relational tables and the `kv:<namespace>`
+//! participants. The WAL streams each entry (and each DDL statement) into
+//! an append-only segment file as a length-prefixed, CRC-checksummed
+//! record, so reopening the file and replaying the records rebuilds the
+//! whole environment — state *and* aligned history — exactly as it was at
+//! the last durable commit.
+//!
+//! # Record format
+//!
+//! ```text
+//! [payload_len: u32 LE][payload_crc32: u32 LE][header_crc32: u32 LE][payload]
+//! ```
+//!
+//! `header_crc32` covers the first 8 header bytes, so a torn header is
+//! distinguishable from a valid header whose payload is missing. The
+//! payload starts with a record tag ([`WalRecord`]); all integers are
+//! little-endian, strings are length-prefixed UTF-8. The CRC is the
+//! hand-rolled IEEE polynomial ([`crc32`]) — no external dependency.
+//!
+//! # Group commit
+//!
+//! [`Wal::append_record`] only memcpys the framed record into an
+//! in-process buffer under a mutex — it is called inside the commit
+//! protocol's ordered publication window, which makes the WAL byte order
+//! identical to the commit order. [`Wal::sync_to`] runs *after* the
+//! committer dropped its footprint locks: the first waiter whose bytes
+//! are not yet durable becomes the **leader**, takes the sink and the
+//! whole pending buffer, and performs one write + one fsync for every
+//! commit that landed in the buffer meanwhile — one fsync amortized
+//! across the group, so durable throughput scales with batch size instead
+//! of being 1/fsync flat. Followers sleep on a condvar until the durable
+//! watermark covers their LSN.
+//!
+//! A failed group write/fsync fails **only the commits in that group**
+//! (`last_fail` records the covered end offset); their bytes stay queued
+//! at the front of the buffer — the log must remain a commit-order
+//! prefix — and the next leader repairs the sink (truncate to the last
+//! confirmed offset) and retries them together with its own group. The
+//! commit path is never poisoned: once the sink recovers, subsequent
+//! groups proceed.
+//!
+//! # Torn-tail rule
+//!
+//! On open, records are validated in sequence. A record that fails at the
+//! *end* of the file — truncated header, truncated payload, or a checksum
+//! mismatch with no valid record anywhere after it — is a **torn tail**:
+//! the file is truncated back to the last valid record and recovery
+//! proceeds (an unacknowledged commit died mid-write; losing it is
+//! correct). A damaged record with provably valid records *after* it is
+//! **corruption**: truncating would silently drop acknowledged commits,
+//! so recovery refuses with [`StorageError::Corrupt`] — never a panic,
+//! never a silently wrong state.
+//!
+//! # Fault injection
+//!
+//! [`FailpointSink`] wraps any sink and injects faults at exact points:
+//! IO errors on the next N appends or fsyncs, a short write at the Nth
+//! byte, or a "crash" at the Nth byte (all later bytes silently dropped
+//! while reporting success — the kernel-never-persisted-the-tail case).
+//! [`MemSink`] captures the raw byte stream so property tests can
+//! materialize *every* crash prefix of a workload from one run.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cdc::{ChangeOp, ChangeRecord};
+use crate::error::StorageError;
+use crate::log::CommittedTxn;
+use crate::row::{Key, Row};
+use crate::schema::{Column, Schema};
+use crate::value::{DataType, Value};
+
+/// How far [`Wal::sync_to`] pushes a group before acknowledging it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Write + fsync: acknowledged commits survive power loss.
+    #[default]
+    Sync,
+    /// Write to the OS, no fsync: acknowledged commits survive a process
+    /// crash but not power loss.
+    Flush,
+    /// Buffer in process; bytes reach the OS only when the buffer fills
+    /// or [`Wal::flush`] is called. Fastest, weakest: a crash loses the
+    /// buffered tail.
+    Cached,
+}
+
+/// Configuration for a [`Wal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    pub sync_mode: SyncMode,
+    /// `true` (default): one leader syncs the whole pending buffer per
+    /// group. `false`: the commit protocol syncs each commit inside its
+    /// publication window — the serial-fsync baseline benchmarks compare
+    /// against.
+    pub group_commit: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            sync_mode: SyncMode::Sync,
+            group_commit: true,
+        }
+    }
+}
+
+impl WalOptions {
+    pub fn with_sync_mode(mode: SyncMode) -> Self {
+        WalOptions {
+            sync_mode: mode,
+            ..Default::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE), hand-rolled — the container has no crc crate.
+// ---------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Records and their binary codec
+// ---------------------------------------------------------------------
+
+/// One durable log record: a committed transaction (the aligned history
+/// entry, verbatim — including `kv:` participant records) or a DDL
+/// statement, so recovery can rebuild the catalog before replaying the
+/// commits that use it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// One committed transaction — one aligned history entry.
+    Commit(CommittedTxn),
+    /// A table was created with this schema.
+    CreateTable { name: String, schema: Schema },
+    /// A secondary index was created (`ranged` = ordered range index).
+    CreateIndex {
+        table: String,
+        column: String,
+        ranged: bool,
+    },
+    /// A key-value namespace was created.
+    CreateNamespace { name: String },
+}
+
+const TAG_COMMIT: u8 = 1;
+const TAG_CREATE_TABLE: u8 = 2;
+const TAG_CREATE_INDEX: u8 = 3;
+const TAG_CREATE_NAMESPACE: u8 = 4;
+
+/// Frame header size: payload length + payload CRC + header CRC.
+pub const FRAME_HEADER_LEN: usize = 12;
+/// Upper bound on a single record's payload; a valid header advertising
+/// more is treated as damage, not as an allocation request.
+const MAX_RECORD_LEN: u32 = 1 << 28;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Bytes(b) => {
+            out.push(5);
+            put_u32(out, b.len() as u32);
+            out.extend_from_slice(b);
+        }
+        Value::Timestamp(t) => {
+            out.push(6);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, values: &[Value]) {
+    put_u32(out, values.len() as u32);
+    for v in values {
+        put_value(out, v);
+    }
+}
+
+fn put_change(out: &mut Vec<u8>, change: &ChangeRecord) {
+    put_str(out, &change.table);
+    put_values(out, change.key.values());
+    match &change.op {
+        ChangeOp::Insert { after } => {
+            out.push(0);
+            put_values(out, after.values());
+        }
+        ChangeOp::Update { before, after } => {
+            out.push(1);
+            put_values(out, before.values());
+            put_values(out, after.values());
+        }
+        ChangeOp::Delete { before } => {
+            out.push(2);
+            put_values(out, before.values());
+        }
+    }
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Text => 3,
+        DataType::Bytes => 4,
+        DataType::Timestamp => 5,
+    }
+}
+
+fn encode_payload(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match record {
+        WalRecord::Commit(entry) => {
+            out.push(TAG_COMMIT);
+            put_u64(&mut out, entry.txn_id);
+            put_u64(&mut out, entry.start_ts);
+            put_u64(&mut out, entry.commit_ts);
+            put_u32(&mut out, entry.changes.len() as u32);
+            for change in &entry.changes {
+                put_change(&mut out, change);
+            }
+        }
+        WalRecord::CreateTable { name, schema } => {
+            out.push(TAG_CREATE_TABLE);
+            put_str(&mut out, name);
+            put_u32(&mut out, schema.columns().len() as u32);
+            for col in schema.columns() {
+                put_str(&mut out, &col.name);
+                out.push(dtype_tag(col.dtype));
+                out.push(col.nullable as u8);
+            }
+            // Primary key as column names, so the schema round-trips
+            // through its public constructor.
+            put_u32(&mut out, schema.primary_key().len() as u32);
+            for &idx in schema.primary_key() {
+                put_str(&mut out, &schema.columns()[idx].name);
+            }
+        }
+        WalRecord::CreateIndex {
+            table,
+            column,
+            ranged,
+        } => {
+            out.push(TAG_CREATE_INDEX);
+            put_str(&mut out, table);
+            put_str(&mut out, column);
+            out.push(*ranged as u8);
+        }
+        WalRecord::CreateNamespace { name } => {
+            out.push(TAG_CREATE_NAMESPACE);
+            put_str(&mut out, name);
+        }
+    }
+    out
+}
+
+/// Encodes one record as a complete frame (header + payload) — the exact
+/// bytes [`Wal::append_record`] appends. Exposed so tests can compute
+/// record boundaries of a captured byte stream.
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let payload = encode_payload(record);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(&payload));
+    let hdr_crc = crc32(&frame[0..8]);
+    put_u32(&mut frame, hdr_crc);
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+// Bounds-checked reader: every decode failure is a `String` detail the
+// caller wraps into a typed error — malformed bytes can never panic.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.data.len() - self.pos < n {
+            return Err(format!(
+                "record payload truncated: wanted {n} bytes at {}, have {}",
+                self.pos,
+                self.data.len() - self.pos
+            ));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_string())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(f64::from_bits(self.u64()?)),
+            4 => Value::Text(self.str()?),
+            5 => {
+                let len = self.u32()? as usize;
+                Value::Bytes(self.take(len)?.to_vec())
+            }
+            6 => Value::Timestamp(self.i64()?),
+            t => return Err(format!("unknown value tag {t}")),
+        })
+    }
+
+    fn values(&mut self) -> Result<Vec<Value>, String> {
+        let n = self.u32()? as usize;
+        if n > self.data.len() - self.pos {
+            // Each value is at least one byte; reject absurd counts
+            // before reserving.
+            return Err(format!("value count {n} exceeds remaining payload"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.value()?);
+        }
+        Ok(out)
+    }
+
+    fn change(&mut self) -> Result<ChangeRecord, String> {
+        let table = self.str()?;
+        let key = Key::from(self.values()?);
+        let op = match self.u8()? {
+            0 => ChangeOp::Insert {
+                after: Arc::new(Row::from(self.values()?)),
+            },
+            1 => ChangeOp::Update {
+                before: Arc::new(Row::from(self.values()?)),
+                after: Arc::new(Row::from(self.values()?)),
+            },
+            2 => ChangeOp::Delete {
+                before: Arc::new(Row::from(self.values()?)),
+            },
+            t => return Err(format!("unknown change-op tag {t}")),
+        };
+        Ok(ChangeRecord { table, key, op })
+    }
+
+    fn dtype(&mut self) -> Result<DataType, String> {
+        Ok(match self.u8()? {
+            0 => DataType::Bool,
+            1 => DataType::Int,
+            2 => DataType::Float,
+            3 => DataType::Text,
+            4 => DataType::Bytes,
+            5 => DataType::Timestamp,
+            t => return Err(format!("unknown data-type tag {t}")),
+        })
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let record = match c.u8()? {
+        TAG_COMMIT => {
+            let txn_id = c.u64()?;
+            let start_ts = c.u64()?;
+            let commit_ts = c.u64()?;
+            let n = c.u32()? as usize;
+            if n > payload.len() {
+                return Err(format!("change count {n} exceeds payload"));
+            }
+            let mut changes = Vec::with_capacity(n);
+            for _ in 0..n {
+                changes.push(c.change()?);
+            }
+            WalRecord::Commit(CommittedTxn {
+                txn_id,
+                start_ts,
+                commit_ts,
+                changes,
+            })
+        }
+        TAG_CREATE_TABLE => {
+            let name = c.str()?;
+            let ncols = c.u32()? as usize;
+            if ncols > payload.len() {
+                return Err(format!("column count {ncols} exceeds payload"));
+            }
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let col_name = c.str()?;
+                let dtype = c.dtype()?;
+                let nullable = c.u8()? != 0;
+                columns.push(if nullable {
+                    Column::nullable(col_name, dtype)
+                } else {
+                    Column::new(col_name, dtype)
+                });
+            }
+            let npk = c.u32()? as usize;
+            if npk > payload.len() {
+                return Err(format!("primary-key count {npk} exceeds payload"));
+            }
+            let mut pk = Vec::with_capacity(npk);
+            for _ in 0..npk {
+                pk.push(c.str()?);
+            }
+            let pk_refs: Vec<&str> = pk.iter().map(String::as_str).collect();
+            let schema =
+                Schema::new(columns, &pk_refs).map_err(|e| format!("invalid schema: {e}"))?;
+            WalRecord::CreateTable { name, schema }
+        }
+        TAG_CREATE_INDEX => WalRecord::CreateIndex {
+            table: c.str()?,
+            column: c.str()?,
+            ranged: c.u8()? != 0,
+        },
+        TAG_CREATE_NAMESPACE => WalRecord::CreateNamespace { name: c.str()? },
+        t => return Err(format!("unknown record tag {t}")),
+    };
+    if c.pos != payload.len() {
+        return Err(format!(
+            "{} trailing bytes after record payload",
+            payload.len() - c.pos
+        ));
+    }
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------
+// Recovery: frame validation and the torn-tail rule
+// ---------------------------------------------------------------------
+
+/// What recovery found in a log file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Bytes of valid log consumed (the repaired file length).
+    pub valid_len: u64,
+    /// Bytes discarded as a torn tail (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// What a full environment replay (`Database::open_durable` /
+/// `Session::open_durable`) rebuilt from the log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed transactions replayed.
+    pub commits: usize,
+    /// Tables re-created from DDL records.
+    pub tables: usize,
+    /// Secondary/range indexes re-created from DDL records.
+    pub indexes: usize,
+    /// Key-value namespaces re-created from DDL records.
+    pub namespaces: Vec<String>,
+    /// Key-value writes re-installed while replaying commits.
+    pub kv_writes_replayed: usize,
+    /// Bytes discarded as a torn tail before replay began.
+    pub truncated_bytes: u64,
+}
+
+enum Parse {
+    Record(WalRecord, usize),
+    CleanEnd,
+    /// Structurally incomplete or checksum-damaged at this offset; the
+    /// caller decides torn-tail vs corruption.
+    Damaged(String),
+}
+
+fn parse_one(data: &[u8], pos: usize) -> Parse {
+    let remaining = data.len() - pos;
+    if remaining == 0 {
+        return Parse::CleanEnd;
+    }
+    if remaining < FRAME_HEADER_LEN {
+        return Parse::Damaged(format!("truncated header ({remaining} bytes)"));
+    }
+    let hdr = &data[pos..pos + FRAME_HEADER_LEN];
+    let stored_hdr_crc = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+    if crc32(&hdr[0..8]) != stored_hdr_crc {
+        return Parse::Damaged("header checksum mismatch".to_string());
+    }
+    let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return Parse::Damaged(format!("record length {len} exceeds maximum"));
+    }
+    let len = len as usize;
+    if remaining < FRAME_HEADER_LEN + len {
+        return Parse::Damaged(format!(
+            "truncated payload ({} of {len} bytes)",
+            remaining - FRAME_HEADER_LEN
+        ));
+    }
+    let payload = &data[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + len];
+    let stored_payload_crc = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+    if crc32(payload) != stored_payload_crc {
+        return Parse::Damaged("payload checksum mismatch".to_string());
+    }
+    match decode_payload(payload) {
+        Ok(record) => Parse::Record(record, pos + FRAME_HEADER_LEN + len),
+        Err(detail) => Parse::Damaged(format!("undecodable record: {detail}")),
+    }
+}
+
+/// True if a complete, valid chain of ≥1 records runs from `pos` to EOF.
+fn chain_is_clean(data: &[u8], pos: usize) -> bool {
+    let mut at = pos;
+    let mut any = false;
+    loop {
+        match parse_one(data, at) {
+            Parse::Record(_, next) => {
+                any = true;
+                at = next;
+            }
+            Parse::CleanEnd => return any,
+            Parse::Damaged(_) => return false,
+        }
+    }
+}
+
+/// Validates and decodes a log byte stream, applying the torn-tail rule
+/// (module docs): damage at the tail truncates, damage followed by valid
+/// records is a typed [`StorageError::Corrupt`].
+pub fn decode_records(data: &[u8]) -> Result<(Vec<WalRecord>, RecoveryInfo), StorageError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        match parse_one(data, pos) {
+            Parse::Record(record, next) => {
+                records.push(record);
+                pos = next;
+            }
+            Parse::CleanEnd => {
+                return Ok((
+                    records,
+                    RecoveryInfo {
+                        valid_len: pos as u64,
+                        truncated_bytes: 0,
+                    },
+                ));
+            }
+            Parse::Damaged(detail) => {
+                // Resync scan: if any later offset starts a valid chain
+                // of records running to EOF, the damage is mid-file
+                // corruption — truncating here would drop acknowledged
+                // commits. A damaged region extending to EOF is a torn
+                // tail. The cheap header-CRC check gates the expensive
+                // chain walk.
+                let resync_found =
+                    (pos + 1..data.len().saturating_sub(FRAME_HEADER_LEN - 1)).any(|cand| {
+                        let hdr = &data[cand..cand + FRAME_HEADER_LEN];
+                        let stored = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+                        crc32(&hdr[0..8]) == stored && chain_is_clean(data, cand)
+                    });
+                if resync_found {
+                    return Err(StorageError::Corrupt {
+                        offset: pos as u64,
+                        detail,
+                    });
+                }
+                return Ok((
+                    records,
+                    RecoveryInfo {
+                        valid_len: pos as u64,
+                        truncated_bytes: (data.len() - pos) as u64,
+                    },
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+/// Where WAL bytes go. Implementations must append `write_all` bytes at
+/// the end and support truncating back to a known-good length (repair
+/// after a failed group write).
+pub trait WalSink: Send {
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Durably persist everything written so far (fsync).
+    fn sync(&mut self) -> Result<(), StorageError>;
+    /// Truncate back to `len` bytes, discarding a partial write.
+    fn truncate_to(&mut self, len: u64) -> Result<(), StorageError>;
+}
+
+/// A real file.
+pub struct FileSink {
+    file: File,
+}
+
+impl FileSink {
+    pub fn new(file: File) -> Self {
+        FileSink { file }
+    }
+}
+
+impl WalSink for FileSink {
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.file.write_all(bytes).map_err(|e| StorageError::Io {
+            op: "append",
+            detail: e.to_string(),
+        })
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_data().map_err(|e| StorageError::Io {
+            op: "sync",
+            detail: e.to_string(),
+        })
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<(), StorageError> {
+        self.file
+            .set_len(len)
+            .and_then(|()| self.file.seek(SeekFrom::Start(len)).map(|_| ()))
+            .map_err(|e| StorageError::Io {
+                op: "truncate",
+                detail: e.to_string(),
+            })
+    }
+}
+
+/// An in-memory sink; the shared handle exposes the exact byte stream a
+/// file would contain, so tests can cut crash prefixes from one run.
+pub struct MemSink {
+    data: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemSink {
+    pub fn new() -> Self {
+        MemSink {
+            data: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The shared byte stream (what "the file" contains).
+    pub fn contents(&self) -> Arc<Mutex<Vec<u8>>> {
+        self.data.clone()
+    }
+}
+
+impl Default for MemSink {
+    fn default() -> Self {
+        MemSink::new()
+    }
+}
+
+impl WalSink for MemSink {
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.data.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<(), StorageError> {
+        self.data.lock().truncate(len as usize);
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Failpoints {
+    fail_appends: usize,
+    fail_syncs: usize,
+    short_write_at: Option<u64>,
+    crash_at: Option<u64>,
+}
+
+/// Shared control handle for a [`FailpointSink`]; settable while the WAL
+/// is live, so tests inject faults at exact moments.
+#[derive(Clone, Default)]
+pub struct FailpointHandle {
+    inner: Arc<Mutex<Failpoints>>,
+}
+
+impl FailpointHandle {
+    pub fn new() -> Self {
+        FailpointHandle::default()
+    }
+
+    /// Fail the next `n` append (write) calls with an injected IO error.
+    pub fn fail_appends(&self, n: usize) {
+        self.inner.lock().fail_appends = n;
+    }
+
+    /// Fail the next `n` sync (fsync) calls with an injected IO error.
+    pub fn fail_syncs(&self, n: usize) {
+        self.inner.lock().fail_syncs = n;
+    }
+
+    /// The write crossing total byte `offset` persists only up to it and
+    /// reports an error (a short write / full disk).
+    pub fn short_write_at(&self, offset: u64) {
+        self.inner.lock().short_write_at = Some(offset);
+    }
+
+    /// Silently stop persisting at total byte `offset` while reporting
+    /// success — the crash where the page cache never reached the disk.
+    pub fn crash_at(&self, offset: u64) {
+        self.inner.lock().crash_at = Some(offset);
+    }
+
+    /// Clears every failpoint (the sink "recovers").
+    pub fn clear(&self) {
+        *self.inner.lock() = Failpoints::default();
+    }
+}
+
+/// A sink wrapper that injects faults per its [`FailpointHandle`] — the
+/// crash-point fault-injection layer of the robustness tests.
+pub struct FailpointSink<S: WalSink> {
+    inner: S,
+    points: FailpointHandle,
+    /// Total bytes the caller has asked to write (not necessarily
+    /// persisted — crash/short-write points count against this).
+    offset: u64,
+}
+
+impl<S: WalSink> FailpointSink<S> {
+    pub fn new(inner: S, points: FailpointHandle) -> Self {
+        FailpointSink {
+            inner,
+            points,
+            offset: 0,
+        }
+    }
+}
+
+impl<S: WalSink> WalSink for FailpointSink<S> {
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        let (fail, short_at, crash_at) = {
+            let mut p = self.points.inner.lock();
+            let fail = if p.fail_appends > 0 {
+                p.fail_appends -= 1;
+                true
+            } else {
+                false
+            };
+            (fail, p.short_write_at, p.crash_at)
+        };
+        if fail {
+            return Err(StorageError::Io {
+                op: "append",
+                detail: "injected append failure".to_string(),
+            });
+        }
+        if let Some(limit) = crash_at {
+            // Persist only what fits below the crash point, but report
+            // success for everything.
+            let keep = limit.saturating_sub(self.offset).min(bytes.len() as u64) as usize;
+            if keep > 0 {
+                self.inner.write_all(&bytes[..keep])?;
+            }
+            self.offset += bytes.len() as u64;
+            return Ok(());
+        }
+        if let Some(limit) = short_at {
+            if self.offset + bytes.len() as u64 > limit {
+                let keep = limit.saturating_sub(self.offset) as usize;
+                if keep > 0 {
+                    self.inner.write_all(&bytes[..keep])?;
+                }
+                self.offset += keep as u64;
+                return Err(StorageError::Io {
+                    op: "append",
+                    detail: format!("injected short write at byte {limit}"),
+                });
+            }
+        }
+        self.inner.write_all(bytes)?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        {
+            let mut p = self.points.inner.lock();
+            if p.fail_syncs > 0 {
+                p.fail_syncs -= 1;
+                return Err(StorageError::Io {
+                    op: "sync",
+                    detail: "injected sync failure".to_string(),
+                });
+            }
+        }
+        self.inner.sync()
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<(), StorageError> {
+        self.inner.truncate_to(len)?;
+        self.offset = len;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The WAL itself: buffered appends, leader-based group sync
+// ---------------------------------------------------------------------
+
+/// Flush threshold for [`SyncMode::Cached`]: appends push buffered bytes
+/// to the sink (without fsync) once the buffer crosses this.
+const CACHED_FLUSH_BYTES: usize = 64 * 1024;
+
+struct WalState {
+    /// `None` while a leader holds the sink for a group write.
+    sink: Option<Box<dyn WalSink>>,
+    /// Framed bytes accepted but not yet confirmed at the sink:
+    /// exactly the byte range `[durable, appended)` (minus any batch a
+    /// leader currently holds).
+    buf: Vec<u8>,
+    /// Logical end offset: every byte ever accepted by `append_record`.
+    appended: u64,
+    /// Offset up to which bytes are confirmed per the sync mode.
+    durable: u64,
+    /// A failed group: `(covered_end, error)` — every waiter with
+    /// `lsn <= covered_end` reports the error; later groups retry the
+    /// bytes and clear this once `durable` passes `covered_end`.
+    last_fail: Option<(u64, StorageError)>,
+    /// The sink may hold a partial write past `durable`; the next leader
+    /// truncates back before writing.
+    need_repair: bool,
+}
+
+/// The group-commit write-ahead log (module docs). Cheap to share:
+/// appends are a memcpy under a mutex; syncs elect a leader per group.
+pub struct Wal {
+    state: Mutex<WalState>,
+    cv: Condvar,
+    mode: SyncMode,
+    group: AtomicBool,
+    /// Threads currently inside [`Wal::sync_to`]. The group leader opens
+    /// a short batching window only when this shows other committers in
+    /// flight — a lone commit never pays the window's latency.
+    sync_waiters: AtomicUsize,
+}
+
+impl Wal {
+    /// Wraps an arbitrary sink (tests: [`MemSink`], [`FailpointSink`]).
+    /// The sink is assumed empty; the log starts at offset 0.
+    pub fn with_sink(sink: Box<dyn WalSink>, opts: WalOptions) -> Arc<Wal> {
+        Wal::with_sink_at(sink, 0, opts)
+    }
+
+    fn with_sink_at(sink: Box<dyn WalSink>, offset: u64, opts: WalOptions) -> Arc<Wal> {
+        Arc::new(Wal {
+            state: Mutex::new(WalState {
+                sink: Some(sink),
+                buf: Vec::new(),
+                appended: offset,
+                durable: offset,
+                last_fail: None,
+                need_repair: false,
+            }),
+            cv: Condvar::new(),
+            mode: opts.sync_mode,
+            group: AtomicBool::new(opts.group_commit),
+            sync_waiters: AtomicUsize::new(0),
+        })
+    }
+
+    /// Creates (truncating) a log file.
+    pub fn create(path: impl AsRef<Path>, opts: WalOptions) -> Result<Arc<Wal>, StorageError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StorageError::Io {
+                op: "open",
+                detail: e.to_string(),
+            })?;
+        Ok(Wal::with_sink(Box::new(FileSink::new(file)), opts))
+    }
+
+    /// Opens (creating if absent) a log file: validates every record,
+    /// truncates a torn tail back to the last valid checksum, and returns
+    /// the decoded records together with a WAL positioned at the repaired
+    /// end. Mid-file corruption is refused with a typed error.
+    pub fn open(
+        path: impl AsRef<Path>,
+        opts: WalOptions,
+    ) -> Result<(Arc<Wal>, Vec<WalRecord>, RecoveryInfo), StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StorageError::Io {
+                op: "open",
+                detail: e.to_string(),
+            })?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data).map_err(|e| StorageError::Io {
+            op: "read",
+            detail: e.to_string(),
+        })?;
+        let (records, info) = decode_records(&data)?;
+        let mut sink = FileSink::new(file);
+        if info.truncated_bytes > 0 {
+            sink.truncate_to(info.valid_len)?;
+        } else {
+            sink.truncate_to(info.valid_len)?; // also positions at end
+        }
+        Ok((
+            Wal::with_sink_at(Box::new(sink), info.valid_len, opts),
+            records,
+            info,
+        ))
+    }
+
+    /// The configured sync mode.
+    pub fn sync_mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    /// True when group commit is enabled (the default).
+    pub fn group_commit(&self) -> bool {
+        self.group.load(Ordering::SeqCst)
+    }
+
+    /// Toggles group commit; `false` makes the commit protocol sync each
+    /// commit inside its publication window (serial-fsync baseline).
+    pub fn set_group_commit(&self, on: bool) {
+        self.group.store(on, Ordering::SeqCst);
+    }
+
+    /// Logical end offset of the log (bytes accepted so far).
+    pub fn appended(&self) -> u64 {
+        self.state.lock().appended
+    }
+
+    /// Offset up to which the log is confirmed per the sync mode.
+    pub fn durable(&self) -> u64 {
+        self.state.lock().durable
+    }
+
+    /// Appends one framed record to the in-process buffer and returns its
+    /// end offset (the LSN to pass to [`Wal::sync_to`]). Called inside
+    /// the publication window, so buffer order == commit order; the only
+    /// IO here is the opportunistic [`SyncMode::Cached`] spill.
+    pub fn append_record(&self, record: &WalRecord) -> Result<u64, StorageError> {
+        self.append_frame(encode_frame(record))
+    }
+
+    /// [`Wal::append_record`] for a committed transaction.
+    pub fn append_entry(&self, entry: &CommittedTxn) -> Result<u64, StorageError> {
+        // Frame built outside the lock; cloning the entry is avoided by
+        // encoding through a borrowed `WalRecord` would require one — so
+        // encode the commit payload directly.
+        let payload = {
+            let mut out = Vec::with_capacity(64);
+            out.push(TAG_COMMIT);
+            put_u64(&mut out, entry.txn_id);
+            put_u64(&mut out, entry.start_ts);
+            put_u64(&mut out, entry.commit_ts);
+            put_u32(&mut out, entry.changes.len() as u32);
+            for change in &entry.changes {
+                put_change(&mut out, change);
+            }
+            out
+        };
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        let hdr_crc = crc32(&frame[0..8]);
+        put_u32(&mut frame, hdr_crc);
+        frame.extend_from_slice(&payload);
+        self.append_frame(frame)
+    }
+
+    fn append_frame(&self, frame: Vec<u8>) -> Result<u64, StorageError> {
+        let mut s = self.state.lock();
+        s.buf.extend_from_slice(&frame);
+        s.appended += frame.len() as u64;
+        let lsn = s.appended;
+        if matches!(self.mode, SyncMode::Cached) && s.buf.len() >= CACHED_FLUSH_BYTES {
+            self.spill_locked(&mut s)?;
+        }
+        Ok(lsn)
+    }
+
+    /// Writes the pending buffer to the sink without fsync, under the
+    /// state lock ([`SyncMode::Cached`] only — `sync_to` never takes the
+    /// sink in that mode, so nobody else holds it).
+    fn spill_locked(&self, s: &mut WalState) -> Result<(), StorageError> {
+        let Some(mut sink) = s.sink.take() else {
+            return Ok(());
+        };
+        let batch = std::mem::take(&mut s.buf);
+        let batch_end = s.appended;
+        let res = (|| {
+            if s.need_repair {
+                sink.truncate_to(s.durable)?;
+            }
+            sink.write_all(&batch)
+        })();
+        s.sink = Some(sink);
+        match res {
+            Ok(()) => {
+                s.need_repair = false;
+                s.durable = batch_end;
+                Ok(())
+            }
+            Err(e) => {
+                // Keep the bytes queued (retried on the next spill) but
+                // surface the failure.
+                let mut restored = batch;
+                restored.extend_from_slice(&s.buf);
+                s.buf = restored;
+                s.need_repair = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks until the log is confirmed through `lsn` per the sync mode
+    /// — the group-commit point. The first waiter whose LSN is not yet
+    /// durable becomes the leader: it takes the sink, writes the *whole*
+    /// pending buffer, and (in [`SyncMode::Sync`]) fsyncs once for every
+    /// commit in it. A failure fails exactly the commits whose bytes the
+    /// attempt covered; their bytes stay queued and later groups retry.
+    pub fn sync_to(&self, lsn: u64) -> Result<(), StorageError> {
+        if matches!(self.mode, SyncMode::Cached) {
+            return Ok(());
+        }
+        self.sync_waiters.fetch_add(1, Ordering::AcqRel);
+        let res = self.sync_to_inner(lsn);
+        self.sync_waiters.fetch_sub(1, Ordering::AcqRel);
+        res
+    }
+
+    fn sync_to_inner(&self, lsn: u64) -> Result<(), StorageError> {
+        // Whether this thread already held a batching window open; one
+        // per sync_to call, so a slow disk cannot stack windows.
+        let mut batched = false;
+        loop {
+            let mut s = self.state.lock();
+            loop {
+                if s.durable >= lsn {
+                    return Ok(());
+                }
+                if let Some((end, err)) = &s.last_fail {
+                    if *end >= lsn {
+                        return Err(err.clone());
+                    }
+                }
+                if s.sink.is_some() {
+                    break;
+                }
+                self.cv.wait(&mut s);
+            }
+            // Group batching window: commits publish one at a time, so at
+            // the instant a leader is elected the buffer often holds only
+            // its own record while the rest of the burst is a few
+            // microseconds behind. When other committers are visibly in
+            // flight, wait briefly (lock released) until arrivals stop,
+            // so the whole burst shares this group's one fsync. Skipped
+            // with group commit off (the serial-fsync baseline) and for
+            // lone commits.
+            if self.group.load(Ordering::Relaxed)
+                && !batched
+                && self.sync_waiters.load(Ordering::Acquire) > 1
+            {
+                batched = true;
+                // Yield (not a timed wait, whose wake-up latency rivals
+                // the fsync; not a spin, which starves the very
+                // publishers it waits for on small machines): runnable
+                // committers get the CPU, publish and append, then block
+                // in their own sync_to — at which point the leader runs
+                // again and takes the whole burst in one group. Kept open
+                // only while records are actually arriving, bounded at a
+                // handful of rounds, one window per GROUP.
+                let mut rounds = 0;
+                loop {
+                    let before = s.appended;
+                    drop(s);
+                    std::thread::yield_now();
+                    s = self.state.lock();
+                    rounds += 1;
+                    if s.appended == before || rounds >= 8 {
+                        break;
+                    }
+                }
+                // State moved while we waited (another leader may have
+                // synced past our LSN, or failed): re-evaluate from the
+                // top before leading.
+                drop(s);
+                continue;
+            }
+            // Leader: take the sink and everything pending.
+            let mut sink = s.sink.take().expect("leader checked sink presence");
+            let mut batch = std::mem::take(&mut s.buf);
+            let batch_end = s.appended;
+            let repair_to = s.need_repair.then_some(s.durable);
+            drop(s);
+
+            let res = (|| {
+                if let Some(off) = repair_to {
+                    sink.truncate_to(off)?;
+                }
+                if !batch.is_empty() {
+                    sink.write_all(&batch)?;
+                }
+                if matches!(self.mode, SyncMode::Sync) {
+                    sink.sync()?;
+                }
+                Ok(())
+            })();
+
+            let mut s = self.state.lock();
+            s.sink = Some(sink);
+            match res {
+                Ok(()) => {
+                    s.need_repair = false;
+                    s.durable = batch_end;
+                    if s.last_fail
+                        .as_ref()
+                        .is_some_and(|(end, _)| *end <= batch_end)
+                    {
+                        s.last_fail = None;
+                    }
+                }
+                Err(e) => {
+                    // The log must stay a commit-order prefix: the failed
+                    // group's bytes go back to the FRONT of the buffer
+                    // (ahead of anything appended during the attempt) and
+                    // retry with the next group. Waiters covered by the
+                    // attempt observe the error via last_fail.
+                    batch.extend_from_slice(&s.buf);
+                    s.buf = batch;
+                    s.need_repair = true;
+                    s.last_fail = Some((batch_end, e));
+                }
+            }
+            drop(s);
+            self.cv.notify_all();
+            // Loop: re-evaluate our own lsn against the new state.
+        }
+    }
+
+    /// Pushes any buffered bytes to the sink without fsync. Mostly for
+    /// [`SyncMode::Cached`] teardown; a no-op when nothing is buffered.
+    pub fn flush(&self) -> Result<(), StorageError> {
+        let mut s = self.state.lock();
+        if s.buf.is_empty() {
+            return Ok(());
+        }
+        self.spill_locked(&mut s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvcc::Ts;
+    use crate::row;
+
+    fn commit_record(txn_id: u64, commit_ts: Ts) -> WalRecord {
+        WalRecord::Commit(CommittedTxn {
+            txn_id,
+            start_ts: commit_ts - 1,
+            commit_ts,
+            changes: vec![
+                ChangeRecord::insert("t", Key::single(txn_id as i64), row![txn_id as i64, "v"]),
+                ChangeRecord::update(
+                    "kv:ns",
+                    Key::single("k"),
+                    Row::from(vec![Value::Text("k".into()), Value::Text("old".into())]),
+                    Row::from(vec![Value::Text("k".into()), Value::Text("new".into())]),
+                ),
+            ],
+        })
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateTable {
+                name: "t".into(),
+                schema: Schema::builder()
+                    .column("id", DataType::Int)
+                    .nullable("v", DataType::Text)
+                    .primary_key(&["id"])
+                    .build()
+                    .unwrap(),
+            },
+            WalRecord::CreateIndex {
+                table: "t".into(),
+                column: "v".into(),
+                ranged: true,
+            },
+            WalRecord::CreateNamespace { name: "ns".into() },
+            commit_record(1, 1),
+            commit_record(2, 2),
+        ]
+    }
+
+    fn stream_of(records: &[WalRecord]) -> Vec<u8> {
+        records.iter().flat_map(encode_frame).collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_codec() {
+        for record in sample_records() {
+            let frame = encode_frame(&record);
+            let (decoded, info) = decode_records(&frame).unwrap();
+            assert_eq!(decoded, vec![record]);
+            assert_eq!(info.valid_len, frame.len() as u64);
+            assert_eq!(info.truncated_bytes, 0);
+        }
+        // All values survive, including floats, bytes and NULL.
+        let exotic = WalRecord::Commit(CommittedTxn {
+            txn_id: 7,
+            start_ts: 9,
+            commit_ts: 10,
+            changes: vec![ChangeRecord::delete(
+                "t",
+                Key::from(vec![Value::Int(-1), Value::Text("x".into())]),
+                Row::from(vec![
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::Float(-0.5),
+                    Value::Bytes(vec![0, 255, 3]),
+                    Value::Timestamp(123_456),
+                ]),
+            )],
+        });
+        let (decoded, _) = decode_records(&encode_frame(&exotic)).unwrap();
+        assert_eq!(decoded, vec![exotic]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        let records = sample_records();
+        let stream = stream_of(&records);
+        // Record boundaries (cumulative frame ends).
+        let mut boundaries = vec![0u64];
+        for r in &records {
+            boundaries.push(boundaries.last().unwrap() + encode_frame(r).len() as u64);
+        }
+        for cut in 0..=stream.len() {
+            let (decoded, info) = decode_records(&stream[..cut])
+                .unwrap_or_else(|e| panic!("cut at {cut} must be a torn tail, got {e}"));
+            // Exactly the records whose frames fit entirely below the cut.
+            let complete = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+            assert_eq!(decoded.len(), complete, "cut at {cut}");
+            assert_eq!(info.valid_len, boundaries[complete], "cut at {cut}");
+            assert_eq!(
+                info.truncated_bytes,
+                cut as u64 - boundaries[complete],
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn midfile_damage_is_a_typed_corruption_error_never_a_panic() {
+        let stream = stream_of(&sample_records());
+        // Flip every single byte in turn: the result must be either a
+        // typed Corrupt error or a clean prefix — never a panic, never a
+        // bogus record.
+        let originals = sample_records();
+        for i in 0..stream.len() {
+            let mut damaged = stream.clone();
+            damaged[i] ^= 0xFF;
+            match decode_records(&damaged) {
+                Err(StorageError::Corrupt { .. }) => {}
+                Err(e) => panic!("byte {i}: unexpected error kind {e}"),
+                Ok((decoded, _)) => {
+                    // Tail damage decodes as a prefix of the original.
+                    assert!(decoded.len() < originals.len(), "byte {i}");
+                    assert_eq!(decoded[..], originals[..decoded.len()], "byte {i}");
+                }
+            }
+        }
+        // Damage in the FIRST record with intact records after it is
+        // always classified corruption (resync finds the later chain).
+        let mut damaged = stream.clone();
+        damaged[FRAME_HEADER_LEN] ^= 0xFF; // first payload byte
+        assert!(matches!(
+            decode_records(&damaged),
+            Err(StorageError::Corrupt { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn group_sync_amortizes_and_survives_mode_differences() {
+        for mode in [SyncMode::Sync, SyncMode::Flush] {
+            let sink = MemSink::new();
+            let bytes = sink.contents();
+            let wal = Wal::with_sink(Box::new(sink), WalOptions::with_sync_mode(mode));
+            let mut last = 0;
+            for i in 1..=4u64 {
+                last = wal
+                    .append_record(&WalRecord::CreateNamespace {
+                        name: format!("ns{i}"),
+                    })
+                    .unwrap();
+            }
+            wal.sync_to(last).unwrap();
+            assert_eq!(wal.durable(), last);
+            assert_eq!(bytes.lock().len() as u64, last);
+            let (decoded, _) = decode_records(&bytes.lock()).unwrap();
+            assert_eq!(decoded.len(), 4);
+        }
+    }
+
+    #[test]
+    fn cached_mode_buffers_until_flush() {
+        let sink = MemSink::new();
+        let bytes = sink.contents();
+        let wal = Wal::with_sink(Box::new(sink), WalOptions::with_sync_mode(SyncMode::Cached));
+        let lsn = wal
+            .append_record(&WalRecord::CreateNamespace { name: "ns".into() })
+            .unwrap();
+        wal.sync_to(lsn).unwrap(); // no-op in cached mode
+        assert_eq!(bytes.lock().len(), 0, "cached bytes stay in process");
+        wal.flush().unwrap();
+        assert_eq!(bytes.lock().len() as u64, lsn);
+    }
+
+    #[test]
+    fn failed_group_is_isolated_and_later_groups_recover() {
+        let points = FailpointHandle::new();
+        let sink = MemSink::new();
+        let bytes = sink.contents();
+        let wal = Wal::with_sink(
+            Box::new(FailpointSink::new(sink, points.clone())),
+            WalOptions::default(),
+        );
+        let a = wal
+            .append_record(&WalRecord::CreateNamespace { name: "a".into() })
+            .unwrap();
+        points.fail_syncs(1);
+        let err = wal.sync_to(a).unwrap_err();
+        assert!(matches!(err, StorageError::Io { op: "sync", .. }));
+        assert!(err.is_retryable());
+        // The same LSN keeps reporting the failure until a later group
+        // succeeds...
+        assert!(wal.sync_to(a).is_err());
+        // ...and once the sink recovers, the next group carries the
+        // failed bytes through: nothing is lost, order is preserved.
+        points.clear();
+        let b = wal
+            .append_record(&WalRecord::CreateNamespace { name: "b".into() })
+            .unwrap();
+        wal.sync_to(b).unwrap();
+        assert_eq!(wal.durable(), b);
+        let (decoded, _) = decode_records(&bytes.lock()).unwrap();
+        assert_eq!(
+            decoded,
+            vec![
+                WalRecord::CreateNamespace { name: "a".into() },
+                WalRecord::CreateNamespace { name: "b".into() },
+            ]
+        );
+        // The old failure no longer poisons anything.
+        assert!(wal.sync_to(a).is_ok());
+    }
+
+    #[test]
+    fn short_writes_are_repaired_by_the_next_group() {
+        let points = FailpointHandle::new();
+        let sink = MemSink::new();
+        let bytes = sink.contents();
+        let wal = Wal::with_sink(
+            Box::new(FailpointSink::new(sink, points.clone())),
+            WalOptions::default(),
+        );
+        let a = wal
+            .append_record(&WalRecord::CreateNamespace { name: "a".into() })
+            .unwrap();
+        // Persist only half the first record, then error.
+        points.short_write_at(a / 2);
+        assert!(wal.sync_to(a).is_err());
+        assert!(bytes.lock().len() as u64 <= a / 2);
+        points.clear();
+        // The next sync truncates the partial bytes and rewrites cleanly.
+        wal.sync_to(a).unwrap_or_else(|_| {
+            // First retry may still observe last_fail for this lsn; a new
+            // append forms the next group.
+            let b = wal
+                .append_record(&WalRecord::CreateNamespace { name: "b".into() })
+                .unwrap();
+            wal.sync_to(b).unwrap();
+        });
+        let (decoded, info) = decode_records(&bytes.lock()).unwrap();
+        assert!(!decoded.is_empty());
+        assert_eq!(decoded[0], WalRecord::CreateNamespace { name: "a".into() });
+        assert_eq!(info.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn file_open_truncates_torn_tail_and_resumes_appending() {
+        let path =
+            std::env::temp_dir().join(format!("trod_wal_unit_{}_{}", std::process::id(), line!()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::create(&path, WalOptions::default()).unwrap();
+            let lsn = wal
+                .append_record(&WalRecord::CreateNamespace { name: "a".into() })
+                .unwrap();
+            wal.sync_to(lsn).unwrap();
+        }
+        // Simulate a torn write: append garbage that looks like a header
+        // start but is incomplete.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        }
+        let (wal, records, info) = Wal::open(&path, WalOptions::default()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(info.truncated_bytes, 5);
+        // Appending after repair yields a clean, longer log.
+        let lsn = wal
+            .append_record(&WalRecord::CreateNamespace { name: "b".into() })
+            .unwrap();
+        wal.sync_to(lsn).unwrap();
+        let (_, records, info) = Wal::open(&path, WalOptions::default()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(info.truncated_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

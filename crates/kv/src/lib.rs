@@ -56,7 +56,7 @@ pub mod store;
 pub mod txn;
 
 pub use session::{
-    kv_image_key, kv_image_value, AlignedCommit, Session, SessionBuilder, Txn, TxnCommit,
+    kv_image_key, kv_image_value, AlignedCommit, GcStats, Session, SessionBuilder, Txn, TxnCommit,
     TxnOptions,
 };
 pub use store::{KvError, KvResult, KvStore, KvWrite, NamespaceStats};

@@ -38,7 +38,8 @@ use parking_lot::Mutex;
 
 use trod_db::{
     ChangeRecord, CommitInfo, CommitParticipant, CommittedTxn, Database, DbError, DbResult,
-    IsolationLevel, Key, KvError, Predicate, Row, TrodResult, Ts, TxnId, Value,
+    IsolationLevel, Key, KvError, Predicate, RecoveryReport, Row, TrodError, TrodResult, Ts, TxnId,
+    Value, Wal, WalOptions, WalRecord,
 };
 use trod_trace::{ReadTrace, Tracer, TxnContext, TxnTrace};
 
@@ -130,7 +131,22 @@ impl TxnOptions {
     }
 }
 
-#[derive(Debug)]
+/// What one [`Session::gc_before`] pass reclaimed, and at which horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// The effective horizon after clamping to the active-transaction
+    /// watermark and the published clock — both stores truncated at
+    /// exactly this timestamp.
+    pub horizon: Ts,
+    /// Relational row versions dropped.
+    pub relational_versions: usize,
+    /// Aligned log entries truncated (spilled first when a retention
+    /// policy is installed).
+    pub log_entries: usize,
+    /// Key-value versions dropped.
+    pub kv_versions: usize,
+}
+
 struct SessionInner {
     db: Database,
     kv: Option<KvStore>,
@@ -348,6 +364,170 @@ impl Session {
         self.inner
             .db
             .apply_changes_with(&relational, &[&participant])
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh durable session environment — an empty relational
+    /// database and key-value store whose commits stream into a new WAL
+    /// at `path` (truncating any existing file). Namespace DDL must go
+    /// through [`Session::create_namespace`] so it is logged too.
+    pub fn create_durable(
+        path: impl AsRef<std::path::Path>,
+        opts: WalOptions,
+    ) -> TrodResult<Session> {
+        let db = Database::create_durable(path, opts).map_err(TrodError::from)?;
+        Ok(Session::with_kv(db, KvStore::new()))
+    }
+
+    /// Opens (creating if absent) a durable session environment: the WAL
+    /// at `path` is validated (torn tail truncated at the last valid
+    /// checksum, mid-file corruption refused with a typed error) and
+    /// every record replayed in order — table/index/namespace DDL
+    /// rebuilds the catalogs, and each committed entry re-installs its
+    /// relational changes *and* its `kv:<namespace>` writes through the
+    /// participant commit path, preserving the entry verbatim in the
+    /// aligned history. The recovered session's state, aligned log and
+    /// timestamps equal the durable prefix of the original's.
+    pub fn open_durable(
+        path: impl AsRef<std::path::Path>,
+        opts: WalOptions,
+    ) -> TrodResult<(Session, RecoveryReport)> {
+        let (wal, records, info) = Wal::open(path, opts).map_err(DbError::Storage)?;
+        let db = Database::new();
+        let kv = KvStore::new();
+        let mut report = RecoveryReport {
+            truncated_bytes: info.truncated_bytes,
+            ..Default::default()
+        };
+        let recovery_err =
+            |detail: String| TrodError::Storage(trod_db::StorageError::Recovery { detail });
+        for record in &records {
+            match record {
+                WalRecord::CreateTable { name, schema } => {
+                    db.create_table(name.clone(), schema.clone())
+                        .map_err(|e| recovery_err(format!("create table `{name}`: {e}")))?;
+                    report.tables += 1;
+                }
+                WalRecord::CreateIndex {
+                    table,
+                    column,
+                    ranged,
+                } => {
+                    if *ranged {
+                        db.create_range_index(table, column)
+                    } else {
+                        db.create_index(table, column)
+                    }
+                    .map_err(|e| recovery_err(format!("create index `{table}.{column}`: {e}")))?;
+                    report.indexes += 1;
+                }
+                WalRecord::CreateNamespace { name } => {
+                    kv.create_namespace(name)
+                        .map_err(|e| recovery_err(format!("create namespace `{name}`: {e}")))?;
+                    report.namespaces.push(name.clone());
+                }
+                WalRecord::Commit(entry) => {
+                    report.kv_writes_replayed +=
+                        Session::recover_entry(&db, &kv, entry).map_err(|e| {
+                            recovery_err(format!("replay commit ts {}: {e}", entry.commit_ts))
+                        })?;
+                    report.commits += 1;
+                }
+            }
+        }
+        // Attach only after replay, so replayed entries are not
+        // re-appended to the log they came from.
+        db.attach_wal(wal);
+        Ok((Session::with_kv(db, kv), report))
+    }
+
+    /// Re-installs one recovered aligned-history entry: relational
+    /// changes through [`Database::apply_entry_with`], kv records decoded
+    /// back into [`KvWrite`]s and installed by an injection participant
+    /// inside the same publication window — the entry lands in the log
+    /// verbatim, original identity and kv records included. Returns the
+    /// number of kv writes installed.
+    fn recover_entry(db: &Database, kv: &KvStore, entry: &CommittedTxn) -> TrodResult<usize> {
+        let mut writes = Vec::new();
+        for record in entry
+            .changes
+            .iter()
+            .filter(|c| trod_db::is_kv_table(&c.table))
+        {
+            let write = kv_write_of_record(record).ok_or_else(|| {
+                DbError::Invalid(format!(
+                    "recovered kv change record on `{}` key {} does not decode",
+                    record.table, record.key
+                ))
+            })?;
+            if !kv.has_namespace(&write.namespace) {
+                return Err(KvError::UnknownNamespace(write.namespace).into());
+            }
+            writes.push(write);
+        }
+        if writes.is_empty() {
+            db.apply_entry_with(entry, &[])?;
+        } else {
+            let participant = InjectionParticipant {
+                kv: kv.clone(),
+                writes: &writes,
+            };
+            db.apply_entry_with(entry, &[&participant])?;
+        }
+        Ok(writes.len())
+    }
+
+    /// Creates a key-value namespace and — on a durable session — logs
+    /// the DDL so recovery re-creates it before replaying the commits
+    /// that write to it. Use this instead of `KvStore::create_namespace`
+    /// whenever the session is durable.
+    pub fn create_namespace(&self, name: &str) -> TrodResult<()> {
+        let kv =
+            self.inner.kv.as_ref().ok_or_else(|| {
+                KvError::UnknownNamespace("<no key-value store bound>".to_string())
+            })?;
+        kv.create_namespace(name)?;
+        if let Some(wal) = self.inner.db.wal() {
+            let record = WalRecord::CreateNamespace {
+                name: name.to_string(),
+            };
+            let lsn = wal.append_record(&record).map_err(TrodError::Storage)?;
+            wal.sync_to(lsn).map_err(TrodError::Storage)?;
+        }
+        Ok(())
+    }
+
+    /// Garbage-collects history in BOTH stores under one horizon: `ts`
+    /// clamped to the relational active-transaction watermark and the
+    /// published clock, so neither store drops a version an active
+    /// transaction can still read. The relational side spills the aligned
+    /// log entries it truncates into the retention policy (if installed)
+    /// — and since those entries carry the `kv:<namespace>` change
+    /// records verbatim, the spilled history exactly covers the kv
+    /// versions truncated here: kv time travel below the horizon remains
+    /// reconstructable from spilled + live aligned history, closing the
+    /// GC coordination gap between the stores.
+    pub fn gc_before(&self, ts: Ts) -> GcStats {
+        let db = &self.inner.db;
+        let horizon = ts
+            .min(db.min_active_start_ts().unwrap_or(Ts::MAX))
+            .min(db.current_ts());
+        let (relational_versions, log_entries) = db.gc_before(horizon);
+        let kv_versions = self
+            .inner
+            .kv
+            .as_ref()
+            .map(|kv| kv.gc_before(horizon))
+            .unwrap_or(0);
+        GcStats {
+            horizon,
+            relational_versions,
+            log_entries,
+            kv_versions,
+        }
     }
 
     /// Begins a serializable, untraced transaction.

@@ -1,0 +1,481 @@
+//! Durability at the session level: cross-store recovery equivalence,
+//! end-to-end fault injection through the commit path, and coordinated
+//! garbage collection.
+//!
+//! Three of the PR's satellite contracts live here:
+//!
+//! * **Recovery equivalence** — a property test drives random *mixed*
+//!   relational + key-value workloads through a durable [`Session`],
+//!   crashes at every record boundary of the produced WAL, reopens with
+//!   [`Session::open_durable`], and requires the recovered environment —
+//!   both stores, the aligned history, the clock — to equal an
+//!   in-memory oracle truncated to the acknowledged commits.
+//! * **Fault isolation** — injected append/fsync failures
+//!   ([`FailpointSink`]) surface as typed retryable
+//!   [`TrodError::Storage`] errors that abort only the failed group: the
+//!   commit path is not poisoned, later commits succeed, and the repair
+//!   pass re-persists the interrupted batch so nothing durable is lost.
+//! * **GC coordination** — one [`Session::gc_before`] call drives both
+//!   stores under one clamped horizon, and the aligned entries it spills
+//!   into the retention policy carry the `kv:` change records that
+//!   exactly cover the truncated kv versions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use trod_db::wal::{decode_records, encode_frame};
+use trod_db::{
+    row, CommittedTxn, DataType, Database, FailpointHandle, FailpointSink, Key, MemSink, Predicate,
+    RetentionPolicy, Schema, StorageError, SyncMode, TrodError, Ts, Value, Wal, WalOptions,
+};
+use trod_kv::{KvStore, Session};
+
+const NAMESPACES: [&str; 2] = ["cache", "queue"];
+
+fn table_schema() -> Schema {
+    Schema::builder()
+        .column("k", DataType::Int)
+        .column("v", DataType::Int)
+        .primary_key(&["k"])
+        .build()
+        .unwrap()
+}
+
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "trod_durable_session_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One step of a mixed workload; every step is one committed transaction
+/// touching the relational table, a kv namespace, or both.
+#[derive(Debug, Clone)]
+enum Step {
+    Put { k: i64, v: i64 },
+    KvPut { ns: u8, key: u8, v: i64 },
+    KvDelete { ns: u8, key: u8 },
+    Mixed { k: i64, ns: u8, key: u8, v: i64 },
+}
+
+fn apply_step(session: &Session, step: &Step) {
+    let mut txn = session.begin();
+    match step {
+        Step::Put { k, v } => {
+            if txn.get("events", &Key::single(*k)).unwrap().is_some() {
+                txn.update("events", &Key::single(*k), row![*k, *v])
+                    .unwrap();
+            } else {
+                txn.insert("events", row![*k, *v]).unwrap();
+            }
+        }
+        Step::KvPut { ns, key, v } => {
+            txn.kv_put(
+                NAMESPACES[*ns as usize],
+                &format!("key-{key}"),
+                &v.to_string(),
+            )
+            .unwrap();
+        }
+        Step::KvDelete { ns, key } => {
+            txn.kv_delete(NAMESPACES[*ns as usize], &format!("key-{key}"))
+                .unwrap();
+        }
+        Step::Mixed { k, ns, key, v } => {
+            if txn.get("events", &Key::single(*k)).unwrap().is_some() {
+                txn.update("events", &Key::single(*k), row![*k, *v])
+                    .unwrap();
+            } else {
+                txn.insert("events", row![*k, *v]).unwrap();
+            }
+            txn.kv_put(
+                NAMESPACES[*ns as usize],
+                &format!("key-{key}"),
+                &v.to_string(),
+            )
+            .unwrap();
+        }
+    }
+    txn.commit().unwrap();
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let put = || (0i64..5, 0i64..100).prop_map(|(k, v)| Step::Put { k, v });
+    let mixed = || {
+        (0i64..5, 0u8..2, 0u8..4, 0i64..100).prop_map(|(k, ns, key, v)| Step::Mixed {
+            k,
+            ns,
+            key,
+            v,
+        })
+    };
+    prop_oneof![
+        put(),
+        mixed(),
+        mixed(),
+        (0u8..2, 0u8..4, 0i64..100).prop_map(|(ns, key, v)| Step::KvPut { ns, key, v }),
+        (0u8..2, 0u8..4).prop_map(|(ns, key)| Step::KvDelete { ns, key }),
+    ]
+}
+
+/// All kv pairs visible in `kv` at `ts`, across every namespace.
+fn kv_state_at(kv: &KvStore, ts: Ts) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    for ns in NAMESPACES {
+        if !kv.has_namespace(ns) {
+            continue;
+        }
+        for (k, v) in kv.scan_prefix_as_of(ns, "", ts).unwrap() {
+            out.push((ns.to_string(), k, v));
+        }
+    }
+    out
+}
+
+fn relational_state_at(db: &Database, ts: Ts) -> Vec<Vec<Value>> {
+    db.scan_as_of("events", &Predicate::ge("k", i64::MIN), ts)
+        .unwrap()
+        .into_iter()
+        .map(|(_, row)| row.values().to_vec())
+        .collect()
+}
+
+/// Runs `steps` through a durable session (WAL at a scratch file) and an
+/// in-memory oracle, then crashes at every record boundary and checks
+/// the recovered environment against the oracle.
+fn check_mixed_recovery(steps: &[Step]) {
+    let wal_path = scratch_path("mixed");
+    let durable =
+        Session::create_durable(&wal_path, WalOptions::with_sync_mode(SyncMode::Sync)).unwrap();
+    let oracle = Session::with_kv(Database::new(), KvStore::new());
+    for s in [&durable, &oracle] {
+        s.database().create_table("events", table_schema()).unwrap();
+        for ns in NAMESPACES {
+            s.create_namespace(ns).unwrap();
+        }
+    }
+    for step in steps {
+        apply_step(&durable, step);
+        apply_step(&oracle, step);
+    }
+    let bytes = std::fs::read(&wal_path).unwrap();
+    let (records, info) = decode_records(&bytes).unwrap();
+    assert_eq!(info.truncated_bytes, 0, "live log must be clean");
+    let oracle_log = oracle.database().log_entries();
+
+    let crash_path = scratch_path("mixedcrash");
+    let mut at = 0usize;
+    for record in &records {
+        at += encode_frame(record).len();
+        std::fs::write(&crash_path, &bytes[..at]).unwrap();
+        let (recovered, report) = Session::open_durable(&crash_path, WalOptions::default())
+            .unwrap_or_else(|e| panic!("cut at {at}: recovery must succeed, got {e}"));
+
+        // Aligned history: verbatim prefix of the oracle's — ids,
+        // timestamps and cross-store change records included.
+        let log = recovered.database().log_entries();
+        assert_eq!(log[..], oracle_log[..log.len()], "cut at {at}");
+        assert_eq!(log.len(), report.commits, "cut at {at}");
+        let horizon = log.last().map(|e| e.commit_ts).unwrap_or(0);
+        assert_eq!(recovered.database().current_ts(), horizon, "cut at {at}");
+
+        // Both stores equal the oracle as of the recovered horizon: no
+        // acknowledged commit lost, no torn cross-store commit visible.
+        assert_eq!(
+            relational_state_at(recovered.database(), horizon),
+            relational_state_at(oracle.database(), horizon),
+            "cut at {at}"
+        );
+        assert_eq!(
+            kv_state_at(recovered.kv(), horizon),
+            kv_state_at(oracle.kv(), horizon),
+            "cut at {at}"
+        );
+    }
+    // The last boundary is the full log: everything recovered.
+    assert_eq!(at, bytes.len());
+    let _ = std::fs::remove_file(&wal_path);
+    let _ = std::fs::remove_file(&crash_path);
+}
+
+#[test]
+fn mixed_workload_recovers_at_every_record_boundary() {
+    check_mixed_recovery(&[
+        Step::Put { k: 1, v: 10 },
+        Step::KvPut {
+            ns: 0,
+            key: 1,
+            v: 11,
+        },
+        Step::Mixed {
+            k: 2,
+            ns: 1,
+            key: 2,
+            v: 12,
+        },
+        Step::KvDelete { ns: 0, key: 1 },
+        Step::Mixed {
+            k: 1,
+            ns: 0,
+            key: 1,
+            v: 13,
+        },
+    ]);
+}
+
+#[test]
+fn recovered_session_continues_the_aligned_history() {
+    let wal_path = scratch_path("resume");
+    {
+        let session = Session::create_durable(&wal_path, WalOptions::default()).unwrap();
+        session
+            .database()
+            .create_table("events", table_schema())
+            .unwrap();
+        session.create_namespace("cache").unwrap();
+        let mut txn = session.begin();
+        txn.insert("events", row![1i64, 1i64]).unwrap();
+        txn.kv_put("cache", "a", "1").unwrap();
+        txn.commit().unwrap();
+    }
+    let (session, report) = Session::open_durable(&wal_path, WalOptions::default()).unwrap();
+    assert_eq!(report.commits, 1);
+    assert_eq!(report.namespaces, vec!["cache".to_string()]);
+    assert_eq!(report.kv_writes_replayed, 1);
+    let mut txn = session.begin();
+    txn.kv_put("cache", "b", "2").unwrap();
+    txn.commit().unwrap();
+    drop(session);
+
+    let (session, report) = Session::open_durable(&wal_path, WalOptions::default()).unwrap();
+    assert_eq!(report.commits, 2);
+    assert_eq!(
+        session.kv().get_latest("cache", "b").unwrap().as_deref(),
+        Some("2")
+    );
+    assert_eq!(session.aligned_log().len(), 2);
+    let _ = std::fs::remove_file(&wal_path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite 3: random mixed workloads, crash at every record
+    /// boundary, recovered environment == oracle truncated to the
+    /// acknowledged commits.
+    #[test]
+    fn random_mixed_workloads_recover_exactly(
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+    ) {
+        check_mixed_recovery(&steps);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: injected WAL failures through the real commit path
+// ---------------------------------------------------------------------
+
+fn failpoint_session(
+    opts: WalOptions,
+) -> (Session, FailpointHandle, Arc<parking_lot::Mutex<Vec<u8>>>) {
+    let points = FailpointHandle::new();
+    let mem = MemSink::new();
+    let captured = mem.contents();
+    let sink = FailpointSink::new(mem, points.clone());
+    let wal = Wal::with_sink(Box::new(sink), opts);
+    let db = Database::new();
+    db.create_table("events", table_schema()).unwrap();
+    db.attach_wal(wal);
+    let kv = KvStore::new();
+    kv.create_namespace("cache").unwrap();
+    (Session::with_kv(db, kv), points, captured)
+}
+
+#[test]
+fn injected_fsync_failure_is_typed_retryable_and_does_not_poison_later_commits() {
+    let (session, points, captured) = failpoint_session(WalOptions::default());
+    points.fail_syncs(1);
+    let mut txn = session.begin();
+    txn.insert("events", row![1i64, 1i64]).unwrap();
+    txn.kv_put("cache", "a", "1").unwrap();
+    let err = txn.commit().expect_err("fsync failure must surface");
+    match &err {
+        TrodError::Storage(StorageError::Io { op, .. }) => assert_eq!(*op, "sync"),
+        other => panic!("expected a storage error, got {other}"),
+    }
+    assert!(err.is_retryable(), "injected IO errors are retryable");
+
+    // Only the failed group aborted: the next commit succeeds without
+    // any operator intervention (the failpoint was one-shot), and the
+    // repair pass re-persists the interrupted batch — the WAL ends up
+    // holding BOTH commits.
+    let mut txn = session.begin();
+    txn.insert("events", row![2i64, 2i64]).unwrap();
+    txn.commit().expect("commit path must not be poisoned");
+
+    let bytes = captured.lock().clone();
+    let (records, info) = decode_records(&bytes).unwrap();
+    assert_eq!(info.truncated_bytes, 0);
+    let commits: Vec<&CommittedTxn> = records
+        .iter()
+        .filter_map(|r| match r {
+            trod_db::WalRecord::Commit(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(commits.len(), 2, "failed group retried with the next group");
+    assert_eq!(
+        commits.iter().map(|e| e.commit_ts).collect::<Vec<_>>(),
+        vec![commits[0].commit_ts, commits[0].commit_ts + 1],
+        "WAL stays a dense commit-order prefix"
+    );
+}
+
+#[test]
+fn injected_append_failure_surfaces_without_losing_the_sequence() {
+    let (session, points, _captured) = failpoint_session(WalOptions::default());
+    let mut txn = session.begin();
+    txn.insert("events", row![1i64, 1i64]).unwrap();
+    txn.commit().unwrap();
+
+    // Appends buffer in memory; the injected failure hits when the group
+    // leader pushes the batch to the sink.
+    points.fail_appends(1);
+    let mut txn = session.begin();
+    txn.insert("events", row![2i64, 2i64]).unwrap();
+    let err = txn.commit().expect_err("append failure must surface");
+    assert!(matches!(
+        err,
+        TrodError::Storage(StorageError::Io { op: "append", .. })
+    ));
+
+    points.clear();
+    let mut txn = session.begin();
+    txn.insert("events", row![3i64, 3i64]).unwrap();
+    let commit = txn.commit().unwrap();
+    // The in-memory log stayed dense across the failed durability
+    // acknowledgement: versions were already installed and published.
+    assert_eq!(session.database().log_entries().len(), 3);
+    assert_eq!(commit.commit_ts, 3);
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: coordinated GC with retention spill
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Collector {
+    spilled: Mutex<Vec<CommittedTxn>>,
+}
+
+impl RetentionPolicy for Collector {
+    fn spill(&self, entries: Vec<CommittedTxn>) {
+        self.spilled.lock().unwrap().extend(entries);
+    }
+}
+
+#[test]
+fn session_gc_drives_both_stores_under_one_clamped_horizon() {
+    let db = Database::new();
+    db.create_table("events", table_schema()).unwrap();
+    let collector = Arc::new(Collector::default());
+    db.set_retention_policy(Some(collector.clone()));
+    let kv = KvStore::new();
+    kv.create_namespace("cache").unwrap();
+    let session = Session::with_kv(db, kv);
+
+    let commit_once = |i: i64| {
+        let mut txn = session.begin();
+        if txn.get("events", &Key::single(1i64)).unwrap().is_some() {
+            txn.update("events", &Key::single(1i64), row![1i64, i])
+                .unwrap();
+        } else {
+            txn.insert("events", row![1i64, i]).unwrap();
+        }
+        txn.kv_put("cache", "hot", &i.to_string()).unwrap();
+        txn.commit().unwrap();
+    };
+    for i in 1i64..=2 {
+        commit_once(i);
+    }
+    // An active transaction pins the watermark: GC in BOTH stores stops
+    // at its snapshot even when asked to go further.
+    let pin = session.begin();
+    let pinned_at = pin.snapshot_ts();
+    for i in 3i64..=6 {
+        commit_once(i);
+    }
+    let stats = session.gc_before(Ts::MAX);
+    assert_eq!(
+        stats.horizon, pinned_at,
+        "horizon clamps to the active snapshot"
+    );
+    assert_eq!(
+        session
+            .kv()
+            .get_as_of("cache", "hot", pinned_at)
+            .unwrap()
+            .as_deref(),
+        Some(&*pinned_at.to_string()),
+        "the pinned snapshot stays readable in the kv store"
+    );
+    pin.abort();
+
+    // With no active transactions, the requested horizon applies to BOTH
+    // stores: versions strictly below it are truncated everywhere, and
+    // the spilled aligned entries carry the kv records covering exactly
+    // the truncated kv history.
+    let stats = session.gc_before(4);
+    assert_eq!(stats.horizon, 4);
+    assert!(
+        stats.kv_versions > 0,
+        "kv history below the horizon is truncated"
+    );
+    assert_eq!(session.database().log_truncated_below(), 4);
+
+    // Reads at/above the horizon still serve from both stores.
+    assert_eq!(
+        session
+            .kv()
+            .get_as_of("cache", "hot", 6)
+            .unwrap()
+            .as_deref(),
+        Some("6")
+    );
+    assert_eq!(
+        session
+            .database()
+            .get_as_of("events", &Key::single(1i64), 6)
+            .unwrap()
+            .unwrap()
+            .values()[1],
+        Value::Int(6)
+    );
+
+    // The spilled entries are the truncated aligned prefix, kv change
+    // records included — time travel below the horizon reconstructs from
+    // spilled + live history with no cross-store gap.
+    let spilled = collector.spilled.lock().unwrap();
+    let spilled_ts: Vec<Ts> = spilled.iter().map(|e| e.commit_ts).collect();
+    // Log truncation is inclusive of the horizon (the kv store keeps the
+    // version AT the horizon so as-of reads there still serve; the log
+    // entry describing the transition to it spills).
+    assert_eq!(spilled_ts, vec![1, 2, 3, 4], "spilled == truncated prefix");
+    assert!(
+        spilled
+            .iter()
+            .all(|e| e.changes.iter().any(|c| c.table == "kv:cache")),
+        "spilled aligned entries carry the kv records GC truncated"
+    );
+    let live_ts: Vec<Ts> = session
+        .database()
+        .log_entries()
+        .iter()
+        .map(|e| e.commit_ts)
+        .collect();
+    assert_eq!(live_ts, vec![5, 6], "spilled + live history is gap-free");
+}

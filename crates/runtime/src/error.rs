@@ -52,6 +52,9 @@ impl From<TrodError> for HandlerError {
         match e {
             TrodError::Relational(e) => HandlerError::Db(e),
             TrodError::KeyValue(e) => HandlerError::Kv(e),
+            // Durability failures keep their typed shape (and their
+            // retryability) through the db-error wrapper.
+            TrodError::Storage(e) => HandlerError::Db(DbError::Storage(e)),
         }
     }
 }

@@ -3,8 +3,8 @@
 # perf-trajectory artifact (BENCH_PR<N>.json).
 #
 # Usage:
-#   scripts/bench.sh                  # writes BENCH_PR5.json (current PR)
-#   scripts/bench.sh BENCH_PR6.json   # explicit output name
+#   scripts/bench.sh                  # writes BENCH_PR6.json (current PR)
+#   scripts/bench.sh BENCH_PR7.json   # explicit output name
 #   BENCH_FILTER=commit_validation scripts/bench.sh            # one target
 #   BENCH_FILTER="commit_validation scan_path" scripts/bench.sh
 #   TROD_BENCH_MS=100 scripts/bench.sh                # faster, noisier
@@ -23,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 # Absolute path: cargo runs bench binaries from the package directory.
 jsonl="$PWD/target/bench-results.jsonl"
 rm -f "$jsonl"

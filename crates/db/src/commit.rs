@@ -91,15 +91,40 @@ pub trait CommitParticipant {
     /// serializes at its snapshot without locking or logging.
     fn has_writes(&self) -> bool;
 
+    /// True if this participant carries reads that must be re-validated
+    /// inside the publication window ([`Self::revalidate_reads`]) because
+    /// their resources were *not* locked (SSI mode: read-only resources
+    /// are left out of [`Self::resources`]). `false` (the default) means
+    /// every read was either validated under its resource lock or this
+    /// participant has no reads.
+    fn needs_revalidation(&self) -> bool {
+        false
+    }
+
+    /// Re-validates the participant's reads against every commit that
+    /// published (or is installed and certain to publish) before
+    /// `commit_ts`. Called inside the ordered publication window, before
+    /// anything is installed for this commit — an error aborts the commit
+    /// with nothing installed anywhere (the coordinator publishes the
+    /// claimed timestamp as an empty tick). Only invoked when
+    /// [`Self::needs_revalidation`] returned `true`.
+    fn revalidate_reads(&self, _commit_ts: Ts) -> TrodResult<()> {
+        Ok(())
+    }
+
     /// Installs the buffered writes at `commit_ts` and returns their
     /// change records (under the participant's virtual table names, e.g.
     /// `kv:<namespace>`), which the coordinator appends to the commit's
     /// transaction-log entry.
     ///
-    /// Called inside the ordered publication window: every commit with a
-    /// smaller timestamp is fully published, the publication clock has
-    /// not yet reached `commit_ts`, and this participant's resource locks
-    /// are held. Must not fail — all fallible checks belong in
-    /// [`Self::validate`].
+    /// Called with this participant's resource locks held, at or before
+    /// the commit's turn in the ordered publication window. Installs may
+    /// run *pre-publication* (the coordinator moves them out of the
+    /// ordered critical section when it can): the store must therefore
+    /// stamp versions with `commit_ts` and keep them invisible to readers
+    /// until the publication clock reaches `commit_ts` — clock-aware
+    /// versioning, exactly like the relational version chains. Must not
+    /// fail — all fallible checks belong in [`Self::validate`] and
+    /// [`Self::revalidate_reads`].
     fn install(&self, commit_ts: Ts) -> Vec<ChangeRecord>;
 }

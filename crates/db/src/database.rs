@@ -56,6 +56,44 @@
 //! one timestamp, one entry spanning every store (paper §5) — there is no
 //! separate cross-store commit path, and no cross-store global lock.
 //!
+//! **Lock-free serializable readers (SSI).** Acquiring commit locks for
+//! *read-only* footprint tables makes readers of hot shared tables
+//! serialize behind every writer — and behind each other's publication
+//! waits. Serializable commits therefore default to **serializable
+//! snapshot validation**: only written tables are commit-locked, and the
+//! read set (point reads, scan predicates, index probes — scans record
+//! their predicate whichever access path served them) is validated in
+//! two passes. An *optimistic* pass under the write locks catches
+//! rw-antidependencies that have already published (cheap early abort,
+//! and on any serial schedule it makes exactly the decisions the locked
+//! check would). Then, if any read touched a table the commit did not
+//! write, the commit claims its timestamp, waits for its publication
+//! turn, and re-validates those reads *inside the window* against the
+//! exact span `(start_ts, commit_ts)` — every predecessor is fully
+//! published, every successor excluded by timestamp, so the re-check is
+//! sound, not racy. A conflict publishes the claimed timestamp as an
+//! empty tick (nothing was installed) and aborts with a retryable
+//! serialization failure. [`Database::set_read_lock_commit`] restores
+//! the 2PL read-locking baseline the `read_scaling` benchmark measures
+//! against; [`Database::set_serial_commit`] implies it.
+//!
+//! **The widened publication pipeline.** The publication rule lets
+//! installs move *out* of the ordered window: a version stamped with a
+//! claimed `commit_ts` is invisible until the clock reaches it, so
+//! relational **and participant** installs run right after the
+//! timestamp claim, before waiting for the publication turn (clock-aware
+//! versioning — participant stores bind [`Database::publication_clock`]
+//! and clamp reads to the published prefix). Log appends leave the
+//! window too: the publisher stages its entry in sharded buffers
+//! ([`crate::log::LogStaging`]) *before* bumping the clock, and log
+//! readers drain published entries into the [`TxnLog`] in commit order
+//! on access — the single log mutex is no longer the fan-in point of
+//! every commit, while the observable log (and the WAL, whose in-window
+//! buffer memcpy keeps byte order == commit order) stays byte-identical.
+//! On the fast path the ordered window is now just: WAL buffer append,
+//! staging push, clock bump. Only SSI commits with unlocked reads (and
+//! replay injection) still validate or install inside their window.
+//!
 //! **Watermark semantics.** Every transaction registers `(txn_id,
 //! start_ts)` in the [`ActiveTxnRegistry`] at `begin` and deregisters at
 //! commit/abort/drop. The registry's `min_active_start_ts()` watermark
@@ -197,13 +235,13 @@ use crate::cdc::{ChangeOp, ChangeRecord};
 use crate::commit::CommitParticipant;
 use crate::error::{DbError, DbResult, StorageError, TrodError, TrodResult};
 use crate::latency::{LatencyModel, StorageProfile};
-use crate::log::{CommittedTxn, RetentionPolicy, TxnId, TxnLog};
+use crate::log::{CommittedTxn, LogStaging, RetentionPolicy, TxnId, TxnLog};
 use crate::mvcc::Ts;
 use crate::predicate::Predicate;
 use crate::registry::ActiveTxnRegistry;
 use crate::row::{Key, Row};
 use crate::schema::Schema;
-use crate::table::TableStore;
+use crate::table::{BatchOp, ScanRows, TableStore};
 use crate::txn::{CommitInfo, IsolationLevel, Transaction, TxnState, WriteOp};
 use crate::wal::{RecoveryReport, Wal, WalOptions, WalRecord};
 
@@ -235,6 +273,11 @@ struct DbInner {
     ts_alloc: AtomicU64,
     next_txn_id: AtomicU64,
     log: Mutex<TxnLog>,
+    /// Commit-ordered staging shards between the publication window and
+    /// `log`: publishers push here (shard-local lock) instead of taking
+    /// the log mutex inside the window; every log reader drains published
+    /// entries back into `log` through [`Database::synced_log`].
+    log_staging: LogStaging,
     /// Retention hook for aligned-history truncation: when set,
     /// [`Database::gc_before`] hands every log entry it is about to drop
     /// to the policy (spill-before-truncate) instead of discarding it.
@@ -259,6 +302,13 @@ struct DbInner {
     /// decisions, same states); only concurrency differs.
     serial_commit: AtomicBool,
     serial_lock: Mutex<()>,
+    /// SSI escape hatch: when `true`, serializable commits take commit
+    /// locks on the tables/namespaces they only *read* (the pre-SSI
+    /// 2PL-read-locking behaviour) instead of leaving them unlocked and
+    /// re-validating the reads inside the publication window.
+    /// Decision-equivalent to the lock-free default under any serial
+    /// schedule; only concurrency differs.
+    read_lock_commit: AtomicBool,
     /// Publication queue: commits whose predecessor timestamp has not
     /// published yet park here (std condvar — waiters must sleep, not
     /// spin, so a preempted predecessor gets the CPU back immediately).
@@ -315,6 +365,7 @@ impl Database {
                 ts_alloc: AtomicU64::new(0),
                 next_txn_id: AtomicU64::new(1),
                 log: Mutex::new(TxnLog::new()),
+                log_staging: LogStaging::new(),
                 retention: RwLock::new(None),
                 registry: Arc::new(ActiveTxnRegistry::new()),
                 snapshots: Mutex::new(BTreeMap::new()),
@@ -322,6 +373,7 @@ impl Database {
                 full_scan_validation: AtomicBool::new(false),
                 serial_commit: AtomicBool::new(false),
                 serial_lock: Mutex::new(()),
+                read_lock_commit: AtomicBool::new(false),
                 publish_waiters: AtomicU64::new(0),
                 publish_mutex: std::sync::Mutex::new(()),
                 publish_cv: std::sync::Condvar::new(),
@@ -479,6 +531,39 @@ impl Database {
     /// True when the full-scan validation path is forced.
     pub fn full_scan_validation(&self) -> bool {
         self.inner.full_scan_validation.load(Ordering::SeqCst)
+    }
+
+    /// Forces serializable commits back onto 2PL read locking (`true`):
+    /// commit locks are acquired for every table/namespace the
+    /// transaction read, the pre-SSI baseline the `read_scaling`
+    /// benchmark measures against. `false` (the default) keeps readers
+    /// lock-free: serializable reads are validated optimistically before
+    /// the timestamp is claimed and re-checked inside the publication
+    /// window (SSI — see the commit-protocol docs above). Both modes
+    /// accept and reject exactly the same transactions under any serial
+    /// schedule; under concurrency SSI turns lock waits into retryable
+    /// serialization aborts. Safe to toggle at any time (modes
+    /// interoperate: the in-window re-check is sound whether or not
+    /// concurrent commits held read locks).
+    pub fn set_read_lock_commit(&self, force: bool) {
+        self.inner.read_lock_commit.store(force, Ordering::SeqCst);
+    }
+
+    /// True when serializable commits acquire read locks (SSI disabled).
+    pub fn read_lock_commit(&self) -> bool {
+        self.inner.read_lock_commit.load(Ordering::SeqCst)
+    }
+
+    /// The shared publication clock: the highest *published* commit
+    /// timestamp, as an `Arc` so participant stores can bind it.
+    /// A store holding this clock can install versions stamped with a
+    /// claimed (higher) commit timestamp *before* publication and resolve
+    /// every read against the published prefix only — clock-aware
+    /// versioning, the contract behind moving participant installs out of
+    /// the ordered publication window (see
+    /// [`CommitParticipant::install`]).
+    pub fn publication_clock(&self) -> Arc<AtomicU64> {
+        self.inner.clock.clone()
     }
 
     /// The storage latency model in effect.
@@ -690,17 +775,35 @@ impl Database {
             }
         }
 
+        // SSI (the default for serializable commits): read-only footprint
+        // resources are *not* commit-locked. Their reads are validated
+        // optimistically here (unlocked — a concurrent writer may slip in
+        // after the check) and re-validated exactly, inside the ordered
+        // publication window, against the bounded span
+        // `(start_ts, commit_ts)` — see `revalidate_reads_in_window`.
+        // `set_read_lock_commit(true)` restores the 2PL baseline (readers
+        // take commit locks, no in-window re-check), and the serial-commit
+        // hatch implies it so that escape hatch keeps meaning "the old
+        // protocol, exactly".
+        let ssi = matches!(state.isolation, IsolationLevel::Serializable)
+            && !self.read_lock_commit()
+            && !self.serial_commit();
+        let locks_reads = !ssi;
+
         // Merge the participants' resource locks with the tables' commit
         // locks into one deterministic global order (sorted by resource
         // name), making mixed commits deadlock-free; disjoint footprints
         // never contend. Relational-only commits skip the merge entirely
         // and lock straight out of the (already-sorted) footprint map, so
-        // the common path allocates no resource names.
+        // the common path allocates no resource names. Under SSI only
+        // written tables are locked; read-only footprint entries stay in
+        // the map (validation needs their stores) but contribute no lock.
         let resources: Vec<(String, Arc<Mutex<()>>)> = if participants.is_empty() {
             Vec::new()
         } else {
             let mut resources: Vec<(String, Arc<Mutex<()>>)> = footprint
                 .iter()
+                .filter(|(name, _)| locks_reads || state.writes.contains_key(**name))
                 .map(|(name, store)| (name.to_string(), store.commit_lock().clone()))
                 .collect();
             for participant in participants {
@@ -717,8 +820,9 @@ impl Database {
         let _serial = self.serial_commit().then(|| self.inner.serial_lock.lock());
         let _guards: Vec<_> = if participants.is_empty() {
             footprint
-                .values()
-                .map(|store| store.commit_lock().lock())
+                .iter()
+                .filter(|(name, _)| locks_reads || state.writes.contains_key(**name))
+                .map(|(_, store)| store.commit_lock().lock())
                 .collect()
         } else {
             resources.iter().map(|(_, lock)| lock.lock()).collect()
@@ -733,7 +837,7 @@ impl Database {
         // commit would claim, so stores with per-resource timestamp
         // monotonicity can veto *here* (fallibly) instead of failing in
         // the publication window (see the trait docs).
-        self.validate(&state, &footprint)?;
+        self.validate(&state, &footprint, ssi)?;
         let min_commit_ts = self.inner.ts_alloc.load(Ordering::SeqCst) + 1;
         for participant in participants {
             participant.validate(min_commit_ts)?;
@@ -760,17 +864,75 @@ impl Database {
             }
         }
 
-        // Phase 4 — nothing can fail now: claim the commit timestamp
-        // (monotone per table because the footprint locks are held) and
-        // install. The new versions stay invisible until publication.
+        // Which path publishes this commit? Under SSI, a commit whose
+        // read set touches any table it did not lock (did not write) must
+        // re-validate those reads *inside* the publication window, where
+        // the span `(start_ts, commit_ts)` is exact: every predecessor is
+        // fully published and every successor is excluded by timestamp.
+        // Participants flag the same condition themselves (lock-free read
+        // namespaces). Commits whose reads were all locked — or all on
+        // tables they wrote, whose locks they hold anyway — skip the
+        // in-window re-check entirely and keep the narrow window.
+        let unlocked_reads = ssi
+            && state
+                .read_set
+                .iter()
+                .map(|(t, _)| t)
+                .chain(state.scan_set.iter().map(|(t, _)| t))
+                .any(|t| !state.writes.contains_key(t));
+        let late_validation = unlocked_reads || participants.iter().any(|p| p.needs_revalidation());
+
+        // Phase 4 — claim the commit timestamp (monotone per table
+        // because the written tables' locks are held) and install. The
+        // new versions are stamped with `commit_ts` and stay invisible
+        // until the publication clock reaches it, so installing *before*
+        // our publication turn is safe — that is what lets the ordered
+        // window shrink to the WAL append + clock bump on the fast path.
+        //
+        // On the late-validation path the order inverts: wait for the
+        // publication turn first, re-validate the unlocked reads exactly,
+        // and only then install. A validation failure publishes the
+        // claimed timestamp as an empty tick (nothing was installed
+        // anywhere) and aborts retryably.
         let commit_ts = self.inner.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1;
+        if late_validation {
+            self.wait_for_publication_turn(commit_ts);
+            let recheck = (|| -> TrodResult<()> {
+                self.revalidate_reads_in_window(&state, &footprint, commit_ts)?;
+                for participant in participants {
+                    if participant.needs_revalidation() {
+                        participant.revalidate_reads(commit_ts)?;
+                    }
+                }
+                Ok(())
+            })();
+            if let Err(e) = recheck {
+                self.publish_tick(commit_ts);
+                return Err(e);
+            }
+        }
         let mut changes = Vec::new();
         for (table_name, writes) in &state.writes {
             let store = &footprint[table_name.as_str()];
-            for (key, op) in writes {
+            let ops: Vec<(Key, Option<Arc<Row>>)> = writes
+                .iter()
+                .map(|(key, op)| {
+                    let after = match op {
+                        WriteOp::Insert(after) | WriteOp::Update { after, .. } => {
+                            Some(after.clone())
+                        }
+                        WriteOp::Delete { .. } => None,
+                    };
+                    (key.clone(), after)
+                })
+                .collect();
+            // One batched pass per table: rows, change log, and every
+            // secondary/range index each lock once per commit instead of
+            // once per write (see `TableStore::apply_batch`).
+            let befores = store.apply_batch(&ops, commit_ts);
+            for ((key, op), before) in writes.iter().zip(befores) {
                 match op {
                     WriteOp::Insert(after) => {
-                        store.install(key, after.clone(), commit_ts);
                         changes.push(ChangeRecord::insert(
                             table_name.clone(),
                             key.clone(),
@@ -778,7 +940,6 @@ impl Database {
                         ));
                     }
                     WriteOp::Update { after, .. } => {
-                        let before = store.install(key, after.clone(), commit_ts);
                         let rec = match before {
                             Some(before) => ChangeRecord::update(
                                 table_name.clone(),
@@ -795,7 +956,7 @@ impl Database {
                         changes.push(rec);
                     }
                     WriteOp::Delete { .. } => {
-                        if let Some(before) = store.remove(key, commit_ts) {
+                        if let Some(before) = before {
                             changes.push(ChangeRecord::delete(
                                 table_name.clone(),
                                 key.clone(),
@@ -806,19 +967,24 @@ impl Database {
                 }
             }
         }
-
-        // Phase 5 — publish in timestamp order; the footprint locks are
-        // held until after publication. Participant installs run inside
-        // the publication window (their writes are small and their
-        // validation already ran concurrently), and their change records
-        // land in the same log entry as the relational ones — the aligned
-        // log, by construction. The simulated storage latency is charged
-        // after publishing (it models the durability write that delays
-        // releasing the resources, not visibility), so disjoint commits
-        // overlap their storage latency.
-        self.wait_for_publication_turn(commit_ts);
+        // Participant installs are clock-aware too (see the trait docs):
+        // versions stamped `commit_ts` stay invisible until publication,
+        // so on the fast path these run *before* the window as well.
         for participant in participants {
             changes.extend(participant.install(commit_ts));
+        }
+
+        // Phase 5 — publish in timestamp order; the written-table locks
+        // are held until after publication. With installs hoisted above,
+        // the ordered window now covers only the WAL buffer append (byte
+        // order == commit order) and the clock bump — plus, on the
+        // late-validation path, the in-window re-check and installs. The
+        // simulated storage latency is charged after publishing (it
+        // models the durability write that delays releasing the
+        // resources, not visibility), so disjoint commits overlap their
+        // storage latency.
+        if !late_validation {
+            self.wait_for_publication_turn(commit_ts);
         }
         let entry = CommittedTxn {
             txn_id: state.id,
@@ -886,11 +1052,7 @@ impl Database {
             // empty.
             let tick = self.inner.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1;
             self.wait_for_publication_turn(tick);
-            self.inner.clock.store(tick, Ordering::SeqCst);
-            if self.inner.publish_waiters.load(Ordering::SeqCst) > 0 {
-                let _guard = self.inner.publish_mutex.lock().expect("publish mutex");
-                self.inner.publish_cv.notify_all();
-            }
+            self.publish_tick(tick);
         }
     }
 
@@ -905,13 +1067,25 @@ impl Database {
         let clock = &self.inner.clock;
         if clock.load(Ordering::SeqCst) != commit_ts - 1 {
             // Brief spin for the common case (predecessor mid-publish),
-            // then park. Parking matters: a yield loop keeps waiters
-            // runnable and starves a preempted predecessor of the CPU,
-            // stalling every committer for a scheduling quantum.
+            // then a few yields, then park. The yields matter on small
+            // machines: with few cores the predecessor often *needs this
+            // CPU* to publish, so spinning delays the very store being
+            // waited on, and going straight to the condvar makes every
+            // cheap commit pay a futex park/wake round-trip — a measured
+            // ~25× throughput cliff at two committers on one core.
+            // Yielding hands the predecessor the quantum and usually
+            // makes the next check succeed without parking; it is
+            // bounded, so a genuinely slow predecessor (mid-fsync) still
+            // sends this thread to the condvar instead of burning CPU.
             let mut spins = 0u32;
             while clock.load(Ordering::SeqCst) != commit_ts - 1 && spins < 128 {
                 spins += 1;
                 std::hint::spin_loop();
+            }
+            let mut yields = 0u32;
+            while clock.load(Ordering::SeqCst) != commit_ts - 1 && yields < 8 {
+                yields += 1;
+                std::thread::yield_now();
             }
             if clock.load(Ordering::SeqCst) != commit_ts - 1 {
                 // SeqCst counter + publisher-side check prevents a missed
@@ -927,12 +1101,25 @@ impl Database {
         }
     }
 
-    /// Appends the log entry and bumps the clock; must only be called by
+    /// Stages the log entry and bumps the clock; must only be called by
     /// the thread whose [`Self::wait_for_publication_turn`] has returned
-    /// for `entry.commit_ts`.
+    /// for `entry.commit_ts`. The entry goes into the sharded staging
+    /// buffers, *not* the log mutex — pushing before the clock store is
+    /// the happens-before edge [`Self::synced_log`] drains against, and
+    /// it takes the single log mutex off the per-commit publication path.
     fn finish_publication(&self, entry: CommittedTxn) {
         let commit_ts = entry.commit_ts;
-        self.inner.log.lock().append(entry);
+        self.inner.log_staging.push(entry);
+        self.publish_tick(commit_ts);
+    }
+
+    /// Bumps the publication clock to `commit_ts` and wakes any committer
+    /// parked on its publication turn. Publishing a timestamp with no
+    /// staged entry is an *empty tick* — used by [`Self::ensure_ts_at_least`]
+    /// and by in-window validation failures, where a timestamp was
+    /// claimed but nothing was installed or logged; the timestamp
+    /// sequence must stay dense for ordered publication to progress.
+    fn publish_tick(&self, commit_ts: Ts) {
         self.inner.clock.store(commit_ts, Ordering::SeqCst);
         if self.inner.publish_waiters.load(Ordering::SeqCst) > 0 {
             // Taking the mutex orders this notify after any in-flight
@@ -942,6 +1129,23 @@ impl Database {
         }
     }
 
+    /// Locks the transaction log after draining every *published* staged
+    /// entry into it, in commit order. All log readers go through here:
+    /// snapshotting the publication clock before taking the log mutex is
+    /// what makes the drain complete up to the snapshot (a publisher
+    /// stages its entry before bumping the clock — see
+    /// [`crate::log::LogStaging`]). Entries staged but not yet published
+    /// stay behind for a later drain; they are invisible commits and must
+    /// not be observable through the log either.
+    fn synced_log(&self) -> parking_lot::MutexGuard<'_, TxnLog> {
+        let published = self.inner.clock.load(Ordering::SeqCst);
+        let mut log = self.inner.log.lock();
+        for entry in self.inner.log_staging.drain_up_to(published) {
+            log.append(entry);
+        }
+        log
+    }
+
     /// Validation runs against `footprint` — the already-resolved, locked
     /// stores of every table the commit touches — so it never re-takes
     /// the global catalog lock on the hot path.
@@ -949,13 +1153,14 @@ impl Database {
         &self,
         state: &TxnState,
         footprint: &BTreeMap<&str, Arc<TableStore>>,
+        ssi: bool,
     ) -> DbResult<()> {
         match state.isolation {
             IsolationLevel::ReadCommitted => Ok(()),
             IsolationLevel::SnapshotIsolation => self.validate_writes(state, footprint),
             IsolationLevel::Serializable => {
                 self.validate_writes(state, footprint)?;
-                self.validate_reads(state, footprint)
+                self.validate_reads(state, footprint, ssi)
             }
         }
     }
@@ -990,10 +1195,18 @@ impl Database {
     /// transaction began, independent of table size — falling back to the
     /// full version scan only when the log was truncated inside the
     /// window (see [`crate::changelog`]).
+    ///
+    /// Under `ssi`, tables the transaction did not write are *unlocked*
+    /// here, so this pass is optimistic: it catches conflicts that have
+    /// already landed (cheap early abort, and the single-threaded
+    /// decision is identical to the locked check), but a racing writer
+    /// can still install after it runs. The in-window re-check
+    /// ([`Self::revalidate_reads_in_window`]) is the sound one.
     fn validate_reads(
         &self,
         state: &TxnState,
         footprint: &BTreeMap<&str, Arc<TableStore>>,
+        ssi: bool,
     ) -> DbResult<()> {
         for (table_name, key) in &state.read_set {
             let store = &footprint[table_name.as_str()];
@@ -1007,8 +1220,59 @@ impl Database {
         let force_full_scan = self.full_scan_validation();
         for (table_name, pred) in &state.scan_set {
             let store = &footprint[table_name.as_str()];
-            if let Some(key) =
+            let conflict = if ssi && !state.writes.contains_key(table_name) {
+                // Unlocked table: the debug full-scan oracle would race
+                // with concurrent installers, so run the unbounded check
+                // without it (`upto = MAX` disables the oracle).
+                store.predicate_conflict_in(pred, state.start_ts, Ts::MAX, force_full_scan)?
+            } else {
                 store.predicate_conflict_after(pred, state.start_ts, force_full_scan)?
+            };
+            if let Some(key) = conflict {
+                return Err(DbError::SerializationFailure {
+                    table: table_name.clone(),
+                    detail: format!("predicate [{pred}] affected by concurrent write to {key}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The SSI in-window read re-check: runs at the commit's publication
+    /// turn, so every commit with a smaller timestamp is fully published
+    /// and every larger one is excluded by the `upto = commit_ts` bound —
+    /// the span `(start_ts, commit_ts)` is exact, not racy. Only tables
+    /// the transaction did not write are checked (written tables' locks
+    /// were held through the optimistic pass, which was therefore already
+    /// sound for them). An error here is a retryable serialization
+    /// failure; the caller publishes the claimed timestamp as an empty
+    /// tick since nothing has been installed.
+    fn revalidate_reads_in_window(
+        &self,
+        state: &TxnState,
+        footprint: &BTreeMap<&str, Arc<TableStore>>,
+        commit_ts: Ts,
+    ) -> DbResult<()> {
+        for (table_name, key) in &state.read_set {
+            if state.writes.contains_key(table_name) {
+                continue;
+            }
+            let store = &footprint[table_name.as_str()];
+            if store.key_modified_in(key, state.start_ts, commit_ts) {
+                return Err(DbError::SerializationFailure {
+                    table: table_name.clone(),
+                    detail: format!("row {key} changed after transaction start"),
+                });
+            }
+        }
+        let force_full_scan = self.full_scan_validation();
+        for (table_name, pred) in &state.scan_set {
+            if state.writes.contains_key(table_name) {
+                continue;
+            }
+            let store = &footprint[table_name.as_str()];
+            if let Some(key) =
+                store.predicate_conflict_in(pred, state.start_ts, commit_ts, force_full_scan)?
             {
                 return Err(DbError::SerializationFailure {
                     table: table_name.clone(),
@@ -1048,33 +1312,54 @@ impl Database {
         self.table(table)?.scan_at(pred, ts)
     }
 
+    /// Top-k scan through a value-ordered range index: rows matching
+    /// `pred` in `order_col` order (ties by primary key), truncated to
+    /// `limit` — O(k) in the result size instead of scan + sort.
+    /// Returns `Ok(None)` when the table cannot serve the order from an
+    /// index (no range index on the column, or the column is nullable
+    /// with no predicate bound to exclude NULLs — NULLs are never
+    /// indexed); callers then fall back to scan + sort. The result is
+    /// exactly what scan + stable sort + truncate would produce.
+    pub fn scan_ordered_as_of(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: usize,
+        ts: Ts,
+    ) -> DbResult<Option<ScanRows>> {
+        self.table(table)?
+            .scan_ordered_limit(pred, order_col, descending, limit, ts)
+    }
+
     // ------------------------------------------------------------------
     // Transaction log
     // ------------------------------------------------------------------
 
     /// All committed transactions, in commit order.
     pub fn log_entries(&self) -> Vec<CommittedTxn> {
-        self.inner.log.lock().entries().to_vec()
+        self.synced_log().entries().to_vec()
     }
 
     /// Committed transactions with commit timestamp greater than `ts`.
     pub fn log_since(&self, ts: Ts) -> Vec<CommittedTxn> {
-        self.inner.log.lock().since(ts)
+        self.synced_log().since(ts)
     }
 
     /// Committed transactions with commit timestamp in `(after, up_to]`.
     pub fn log_between(&self, after: Ts, up_to: Ts) -> Vec<CommittedTxn> {
-        self.inner.log.lock().between(after, up_to)
+        self.synced_log().between(after, up_to)
     }
 
     /// The log entry for a given transaction id.
     pub fn log_entry_for(&self, txn_id: TxnId) -> Option<CommittedTxn> {
-        self.inner.log.lock().entry_for(txn_id).cloned()
+        self.synced_log().entry_for(txn_id).cloned()
     }
 
     /// Number of committed (writing) transactions.
     pub fn log_len(&self) -> usize {
-        self.inner.log.lock().len()
+        self.synced_log().len()
     }
 
     /// The highest horizon [`Database::gc_before`] has truncated at: log
@@ -1084,7 +1369,7 @@ impl Database {
     /// callers must reconstruct from spilled aligned history instead (see
     /// the module docs). 0 if GC never truncated.
     pub fn log_truncated_below(&self) -> Ts {
-        self.inner.log.lock().truncated_below()
+        self.synced_log().truncated_below()
     }
 
     /// Installs (or clears) the aligned-history retention policy: every
@@ -1108,7 +1393,7 @@ impl Database {
                 Some((old, old_floor)) if std::ptr::addr_eq(Arc::as_ptr(old), Arc::as_ptr(&p)) => {
                     *old_floor
                 }
-                _ => self.inner.log.lock().truncated_below(),
+                _ => self.synced_log().truncated_below(),
             };
             (p, floor)
         });
@@ -1361,11 +1646,7 @@ impl Database {
                 // (the timestamp sequence is dense) — publish it empty,
                 // exactly like ensure_ts_at_least.
                 self.wait_for_publication_turn(commit_ts);
-                self.inner.clock.store(commit_ts, Ordering::SeqCst);
-                if self.inner.publish_waiters.load(Ordering::SeqCst) > 0 {
-                    let _guard = self.inner.publish_mutex.lock().expect("publish mutex");
-                    self.inner.publish_cv.notify_all();
-                }
+                self.publish_tick(commit_ts);
                 return Err(TrodError::Storage(StorageError::Recovery {
                     detail: format!(
                         "cannot replay commit ts {} verbatim: allocator already claimed {}",
@@ -1374,21 +1655,34 @@ impl Database {
                 }));
             }
         }
+        // Batch the installs per table (in encounter-run order, preserving
+        // the record sequence within and across tables) so each table's
+        // rows, change log and indexes lock once per run instead of once
+        // per record — the same batched maintenance the live commit path
+        // uses.
         let mut applied = Vec::with_capacity(changes.len());
+        let mut by_table: Vec<(&str, Vec<BatchOp>)> = Vec::new();
         for change in changes {
-            let store = &footprint[change.table.as_str()];
-            match &change.op {
-                ChangeOp::Insert { after } | ChangeOp::Update { after, .. } => {
-                    store.install(&change.key, after.clone(), commit_ts);
+            let op = match &change.op {
+                ChangeOp::Insert { after } | ChangeOp::Update { after, .. } => Some(after.clone()),
+                ChangeOp::Delete { .. } => None,
+            };
+            match by_table.last_mut() {
+                Some((t, ops)) if *t == change.table.as_str() => {
+                    ops.push((change.key.clone(), op));
                 }
-                ChangeOp::Delete { .. } => {
-                    store.remove(&change.key, commit_ts);
-                }
+                _ => by_table.push((change.table.as_str(), vec![(change.key.clone(), op)])),
             }
             applied.push(change.clone());
         }
+        for (table, ops) in &by_table {
+            footprint[table].apply_batch(ops, commit_ts);
+        }
         // Participant installs run inside the ordered publication window,
-        // and their change records join the same aligned log entry.
+        // and their change records join the same aligned log entry. (The
+        // replay path keeps them in-window: recovery installs bypass
+        // participant validation, so publishing only after they land
+        // keeps recovered state invisible until it is complete.)
         self.wait_for_publication_turn(commit_ts);
         for participant in participants {
             applied.extend(participant.install(commit_ts));
@@ -1465,7 +1759,7 @@ impl Database {
         // promises coverage this GC silently dropped.
         let retention = self.inner.retention.read();
         let logs = {
-            let mut log = self.inner.log.lock();
+            let mut log = self.synced_log();
             match retention.as_ref().map(|(p, _)| p) {
                 Some(policy) => {
                     // Spill-before-truncate, under the log lock: the
@@ -1499,7 +1793,7 @@ impl Database {
             tables: tables.len(),
             live_rows: tables.values().map(|t| t.count_at(ts)).sum(),
             total_versions: tables.values().map(|t| t.version_count()).sum(),
-            committed_txns: self.inner.log.lock().len(),
+            committed_txns: self.synced_log().len(),
             current_ts: ts,
         }
     }

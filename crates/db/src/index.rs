@@ -414,6 +414,54 @@ impl RangeIndex {
         n
     }
 
+    /// Walks the value slots inside `bounds` in value order — descending
+    /// when `descending` — calling `visit` with each distinct value and
+    /// its candidate keys at `ts` (values whose slots hold no candidate
+    /// at `ts` are skipped). `visit` returns `false` to stop the walk;
+    /// the streamed `ORDER BY ... LIMIT` scan path uses this to consume
+    /// values in output order and stop at the limit instead of
+    /// materialising and re-sorting the whole result. Candidates carry
+    /// the usual over-approximation contract: the caller re-checks
+    /// visibility, the row's current column value, and the predicate.
+    pub fn ordered_walk_at(
+        &self,
+        bounds: &ColumnBounds,
+        descending: bool,
+        ts: Ts,
+        mut visit: impl FnMut(&Value, Vec<Key>) -> bool,
+    ) {
+        if bounds.is_empty() {
+            return;
+        }
+        let range = (bounds.lower.as_ref(), bounds.upper.as_ref());
+        let iter = self.entries.range::<Value, _>(range);
+        let mut step = |value: &Value, slot: &Slot| -> bool {
+            let keys: Vec<Key> = slot
+                .keys
+                .iter()
+                .filter(|(_, &until)| until > ts)
+                .map(|(k, _)| k.clone())
+                .collect();
+            if keys.is_empty() {
+                return true;
+            }
+            visit(value, keys)
+        };
+        if descending {
+            for (value, slot) in iter.rev() {
+                if !step(value, slot) {
+                    return;
+                }
+            }
+        } else {
+            for (value, slot) in iter {
+                if !step(value, slot) {
+                    return;
+                }
+            }
+        }
+    }
+
     /// The value slots inside `bounds`. Guards the provably-empty window
     /// (`BTreeMap::range` panics on inverted bounds).
     fn range_slots<'a>(

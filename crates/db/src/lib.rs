@@ -129,7 +129,7 @@ pub use predicate::{CmpOp, ColumnBounds, CompiledPredicate, Predicate};
 pub use registry::ActiveTxnRegistry;
 pub use row::{Key, Row};
 pub use schema::{Column, Schema, SchemaBuilder};
-pub use table::{ScanPlan, TableStore};
+pub use table::{BatchOp, ScanPlan, ScanRows, TableStore};
 pub use txn::{CommitInfo, IsolationLevel, ReadSummary, Transaction};
 pub use value::{DataType, Value};
 pub use wal::{

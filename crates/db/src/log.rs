@@ -14,6 +14,8 @@
 //! path. Entries truncated by GC spill through [`RetentionPolicy`],
 //! which a durable retention sink can persist the same way.
 
+use parking_lot::Mutex;
+
 use crate::cdc::ChangeRecord;
 use crate::mvcc::Ts;
 
@@ -156,6 +158,69 @@ impl TxnLog {
     /// timestamp is no longer in the log (0 if never truncated).
     pub fn truncated_below(&self) -> Ts {
         self.truncated_below
+    }
+}
+
+/// Number of staging shards in [`LogStaging`]. Power of two so the shard
+/// pick is a mask; sized to comfortably exceed the number of commits that
+/// can be between "published" and "drained" at once.
+const STAGING_SHARDS: usize = 8;
+
+/// Sharded staging buffers between the publication window and the
+/// [`TxnLog`].
+///
+/// Publishers used to append straight into the single `Mutex<TxnLog>`
+/// inside the ordered publication window, making that mutex the fan-in
+/// point of every commit. Instead, a publisher now pushes its entry into
+/// a small per-timestamp shard (uncontended unless two in-flight commits
+/// land on the same shard) *before* bumping the published clock; log
+/// readers drain the shards back into the `TxnLog` in commit order (see
+/// `Database::synced_log`). The observable log — order, contents,
+/// truncation floors — is byte-identical to the direct-append scheme.
+///
+/// Correctness hinges on one happens-before edge: a publisher pushes its
+/// entry and *then* stores the clock, so any reader that snapshots the
+/// published clock first is guaranteed to find every entry with
+/// `commit_ts <=` that snapshot already in a shard. Entries above the
+/// snapshot are left staged for a later drain.
+#[derive(Debug, Default)]
+pub struct LogStaging {
+    shards: [Mutex<Vec<CommittedTxn>>; STAGING_SHARDS],
+}
+
+impl LogStaging {
+    /// Creates empty staging shards.
+    pub fn new() -> Self {
+        LogStaging::default()
+    }
+
+    /// Stages a published entry. Called by the publication window owner
+    /// before it bumps the published clock; only shard-local locking.
+    pub fn push(&self, entry: CommittedTxn) {
+        let shard = (entry.commit_ts as usize) & (STAGING_SHARDS - 1);
+        self.shards[shard].lock().push(entry);
+    }
+
+    /// Removes and returns every staged entry with
+    /// `commit_ts <= published`, sorted by commit timestamp. The caller
+    /// must have read `published` from the publication clock *before*
+    /// calling (see the type docs) and must serialize drains (the
+    /// `TxnLog` lock does) so drained ranges append in order.
+    pub fn drain_up_to(&self, published: Ts) -> Vec<CommittedTxn> {
+        let mut drained = Vec::new();
+        for shard in &self.shards {
+            let mut entries = shard.lock();
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].commit_ts <= published {
+                    drained.push(entries.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        drained.sort_unstable_by_key(|e| e.commit_ts);
+        drained
     }
 }
 

@@ -58,6 +58,17 @@ impl Version {
     pub fn touched_after(&self, ts: Ts) -> bool {
         self.begin_ts > ts || (self.end_ts != TS_LIVE && self.end_ts > ts)
     }
+
+    /// [`Version::touched_after`] bounded above: true if a commit in the
+    /// open window `(after, upto)` created or superseded/deleted this
+    /// version. The SSI commit path uses this inside the publication
+    /// window, where versions installed at `upto` (the validating
+    /// commit's own timestamp) and above belong to *successors* and must
+    /// not count as conflicts.
+    pub fn touched_in(&self, after: Ts, upto: Ts) -> bool {
+        (self.begin_ts > after && self.begin_ts < upto)
+            || (self.end_ts != TS_LIVE && self.end_ts > after && self.end_ts < upto)
+    }
 }
 
 /// The ordered version history of one primary key.
@@ -110,6 +121,24 @@ impl VersionChain {
             Some(v) => v.touched_after(ts),
             None => false,
         }
+    }
+
+    /// True if this key was written by any commit in the open window
+    /// `(after, upto)`. Unlike [`VersionChain::modified_after`] the newest
+    /// version alone cannot answer this (it may belong to a successor at
+    /// or above `upto`), so the chain is walked newest-first, stopping at
+    /// the first version that began at or before `after` — everything
+    /// older ended at or before that version began.
+    pub fn modified_in(&self, after: Ts, upto: Ts) -> bool {
+        for v in self.versions.iter().rev() {
+            if v.touched_in(after, upto) {
+                return true;
+            }
+            if v.begin_ts <= after {
+                break;
+            }
+        }
+        false
     }
 
     /// Installs a new version committed at `commit_ts`, superseding the

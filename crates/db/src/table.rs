@@ -2,6 +2,7 @@
 //! optional secondary indexes and the per-table commit change log.
 
 use std::collections::HashMap;
+use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -16,6 +17,13 @@ use crate::registry::ActiveTxnRegistry;
 use crate::row::{Key, Row};
 use crate::schema::Schema;
 use crate::value::Value;
+
+/// Rows returned by a scan: `(primary key, shared row)` pairs.
+pub type ScanRows = Vec<(Key, Arc<Row>)>;
+
+/// One write in a per-commit batch: `Some(after)` installs a new
+/// version, `None` installs a tombstone.
+pub type BatchOp = (Key, Option<Arc<Row>>);
 
 /// The access path the scan planner chose for a predicate, with the
 /// candidate-count estimate that won. Exposed (via
@@ -46,6 +54,11 @@ pub enum ScanPlan {
     /// Walk an ordered index over the window the predicate's comparison
     /// conjuncts imply on `column`.
     RangeProbe { column: String, candidates: usize },
+    /// Stream the value-ordered [`RangeIndex`] on `column` in `ORDER BY`
+    /// direction and stop after `limit` result rows: top-k in O(k)
+    /// instead of materialise + re-sort (see
+    /// [`TableStore::scan_ordered_limit`]).
+    OrderedProbe { column: String, limit: usize },
 }
 
 impl ScanPlan {
@@ -375,6 +388,97 @@ impl TableStore {
         }
     }
 
+    /// Streams rows visible at `ts` matching `pred` in `order_col` order
+    /// (descending if `descending`), stopping after `limit` rows — the
+    /// `ORDER BY <indexed col> LIMIT k` fast path. Returns `None` when
+    /// the streamed probe is not applicable and the caller must fall back
+    /// to scan + sort:
+    ///
+    /// * no [`RangeIndex`] exists on `order_col`, or
+    /// * `order_col` is nullable *and* the predicate places no bounds on
+    ///   it — NULLs are never indexed, but they sort (first ascending,
+    ///   last descending, per [`Value::total_cmp`]'s type ranking), so
+    ///   the walk would drop or misplace them. A comparison window on the
+    ///   column excludes NULL rows (NULL fails every comparison), making
+    ///   the index complete over the result set again.
+    ///
+    /// The output is exactly what scan + stable-sort-by-`order_col` +
+    /// truncate produces: values in index order, ties broken by primary
+    /// key (the stable sort's input is key-ordered). Each candidate is
+    /// accepted only if its visible row still carries the slot's value —
+    /// a key the index over-approximates into several value slots lands
+    /// exactly once, in its current group.
+    pub fn scan_ordered_limit(
+        &self,
+        pred: &Predicate,
+        order_col: &str,
+        descending: bool,
+        limit: usize,
+        ts: Ts,
+    ) -> DbResult<Option<ScanRows>> {
+        let Some(col_idx) = self.schema.column_index(order_col) else {
+            return Ok(None);
+        };
+        let bounds = pred.bounds_on(order_col);
+        if self.schema.columns()[col_idx].nullable && bounds.is_none() {
+            return Ok(None);
+        }
+        let compiled = pred.compile(&self.schema)?;
+        if pred.provably_empty() {
+            // Still index-eligible: the empty result needs no fallback.
+            return Ok(Some(Vec::new()));
+        }
+        let rows = self.rows.read();
+        let range_indexes = self.range_indexes.read();
+        let Some(idx) = range_indexes.iter().find(|i| i.column() == order_col) else {
+            return Ok(None);
+        };
+        let bounds = bounds.unwrap_or(ColumnBounds {
+            lower: Bound::Unbounded,
+            upper: Bound::Unbounded,
+        });
+        let mut out = Vec::new();
+        idx.ordered_walk_at(&bounds, descending, ts, |value, mut keys| {
+            // Ties within a value group break by primary key, matching
+            // the fallback's stable sort over a key-ordered scan.
+            keys.sort_unstable();
+            for key in keys {
+                if let Some(row) = rows.get(&key).and_then(|chain| chain.visible_at(ts)) {
+                    if row.get(col_idx) == Some(value) && compiled.matches(row) {
+                        out.push((key, row.clone()));
+                    }
+                }
+            }
+            out.len() < limit
+        });
+        out.truncate(limit);
+        Ok(Some(out))
+    }
+
+    /// The access path [`TableStore::scan_ordered_limit`] would take for
+    /// this predicate/ORDER BY combination, or `None` when it would fall
+    /// back (same eligibility rules). Lets tests and diagnostics observe
+    /// the planner's ordered-probe choice.
+    pub fn plan_ordered_scan(
+        &self,
+        pred: &Predicate,
+        order_col: &str,
+        limit: usize,
+    ) -> Option<ScanPlan> {
+        let col_idx = self.schema.column_index(order_col)?;
+        if self.schema.columns()[col_idx].nullable && pred.bounds_on(order_col).is_none() {
+            return None;
+        }
+        self.range_indexes
+            .read()
+            .iter()
+            .any(|i| i.column() == order_col)
+            .then(|| ScanPlan::OrderedProbe {
+                column: order_col.to_string(),
+                limit,
+            })
+    }
+
     /// [`TableStore::scan_at`] forced down the full-scan path, bypassing
     /// the planner. This is the oracle the planner's paths must agree
     /// with (every index path over-approximates candidates and re-checks,
@@ -402,6 +506,20 @@ impl TableStore {
             .read()
             .get(key)
             .map(|chain| chain.modified_after(ts))
+            .unwrap_or(false)
+    }
+
+    /// True if `key` was written by a commit in the open window
+    /// `(after, upto)`. The SSI commit path re-validates unlocked point
+    /// reads with this inside the publication window: `upto` is the
+    /// validating commit's own timestamp, so versions a concurrent
+    /// *successor* installed early (at a higher timestamp, on this
+    /// unlocked table) never count as conflicts.
+    pub fn key_modified_in(&self, key: &Key, after: Ts, upto: Ts) -> bool {
+        self.rows
+            .read()
+            .get(key)
+            .map(|chain| chain.modified_in(after, upto))
             .unwrap_or(false)
     }
 
@@ -451,7 +569,7 @@ impl TableStore {
             if let Ok(decision) = from_log {
                 #[cfg(debug_assertions)]
                 {
-                    let oracle = self.full_scan_conflict_after(&compiled, ts);
+                    let oracle = self.full_scan_conflict_in(&compiled, ts, Ts::MAX);
                     debug_assert_eq!(
                         decision.is_some(),
                         oracle.is_some(),
@@ -463,15 +581,75 @@ impl TableStore {
                 return Ok(decision);
             }
         }
-        Ok(self.full_scan_conflict_after(&compiled, ts))
+        Ok(self.full_scan_conflict_in(&compiled, ts, Ts::MAX))
     }
 
-    /// The full-scan oracle behind [`TableStore::predicate_conflict_after`].
-    fn full_scan_conflict_after(&self, compiled: &CompiledPredicate, ts: Ts) -> Option<Key> {
+    /// [`TableStore::predicate_conflict_after`] bounded above: conflicts
+    /// committed in the open window `(after, upto)` only. This is the SSI
+    /// validation primitive for tables the committing transaction did
+    /// *not* lock:
+    ///
+    /// * Called with `upto == Ts::MAX` it is the optimistic pre-claim
+    ///   check. Concurrent commits may be mid-install on this table, so
+    ///   the change-log decision is a racy snapshot (still sound: any
+    ///   missed conflict is caught by the in-window re-check, and any
+    ///   extra hit is a real committed-or-certain-to-publish write) — the
+    ///   debug full-scan oracle is therefore skipped, as the two racy
+    ///   snapshots could legitimately diverge.
+    /// * Called with `upto` = the claimed commit timestamp, *inside* the
+    ///   publication window, it is the authoritative re-check: every
+    ///   commit below `upto` is fully installed and published, every
+    ///   version at or above `upto` belongs to a successor and is
+    ///   excluded, so the decision is exact and the oracle runs.
+    pub fn predicate_conflict_in(
+        &self,
+        pred: &Predicate,
+        after: Ts,
+        upto: Ts,
+        force_full_scan: bool,
+    ) -> DbResult<Option<Key>> {
+        let compiled = pred.compile(&self.schema)?;
+        if !force_full_scan {
+            let from_log = self.changelog.scan_after(after, |entry: &ChangeEntry| {
+                if entry.commit_ts >= upto {
+                    return None;
+                }
+                let before_hit = entry.before.as_deref().is_some_and(|r| compiled.matches(r));
+                let after_hit = entry.after.as_deref().is_some_and(|r| compiled.matches(r));
+                (before_hit || after_hit).then(|| entry.key.clone())
+            });
+            if let Ok(decision) = from_log {
+                #[cfg(debug_assertions)]
+                if upto != Ts::MAX {
+                    let oracle = self.full_scan_conflict_in(&compiled, after, upto);
+                    debug_assert_eq!(
+                        decision.is_some(),
+                        oracle.is_some(),
+                        "bounded change-log validation diverged from full scan for {} in ({}, {})",
+                        self.name,
+                        after,
+                        upto
+                    );
+                }
+                return Ok(decision);
+            }
+        }
+        Ok(self.full_scan_conflict_in(&compiled, after, upto))
+    }
+
+    /// The full-scan oracle behind [`TableStore::predicate_conflict_after`]
+    /// and [`TableStore::predicate_conflict_in`] (`upto == Ts::MAX` is the
+    /// unbounded case).
+    fn full_scan_conflict_in(
+        &self,
+        compiled: &CompiledPredicate,
+        after: Ts,
+        upto: Ts,
+    ) -> Option<Key> {
         let rows = self.rows.read();
         for (key, chain) in rows.iter() {
             for v in chain.versions() {
-                if v.touched_after(ts) && compiled.matches(&v.row) {
+                if v.touched_in(after, upto) && compiled.matches(&v.row) {
                     return Some(key.clone());
                 }
             }
@@ -529,10 +707,81 @@ impl TableStore {
         before
     }
 
+    /// Applies a whole commit's writes to this table in one pass:
+    /// `Some(row)` installs, `None` deletes. Returns the before image per
+    /// entry (parallel to `ops`).
+    ///
+    /// Semantically identical to calling [`TableStore::install`] /
+    /// [`TableStore::remove`] per entry in order — same version chains,
+    /// same change-log entries in the same order, same index stamps — but
+    /// each internal lock (`rows`, then `indexes`, then `range_indexes`;
+    /// the crate-wide lock order) is taken *once per commit* instead of
+    /// once per row, which is what makes multi-row commits on indexed
+    /// tables cheap. Only called under this table's commit lock.
+    pub(crate) fn apply_batch(&self, ops: &[BatchOp], commit_ts: Ts) -> Vec<Option<Arc<Row>>> {
+        let mut befores = Vec::with_capacity(ops.len());
+        {
+            let mut rows = self.rows.write();
+            for (key, after) in ops {
+                let before = match after {
+                    Some(row) => rows
+                        .entry(key.clone())
+                        .or_default()
+                        .install(commit_ts, row.clone()),
+                    None => rows.get_mut(key).and_then(|chain| chain.remove(commit_ts)),
+                };
+                befores.push(before);
+            }
+        }
+        for ((key, after), before) in ops.iter().zip(&befores) {
+            // A delete that found nothing changes nothing: no change-log
+            // entry, no index work (matching `remove`).
+            if after.is_none() && before.is_none() {
+                continue;
+            }
+            self.changelog.append(
+                ChangeEntry {
+                    commit_ts,
+                    key: key.clone(),
+                    before: before.clone(),
+                    after: after.clone(),
+                },
+                || self.eviction_horizon(),
+            );
+        }
+        let mut indexes = self.indexes.write();
+        for idx in indexes.iter_mut() {
+            for ((key, after), before) in ops.iter().zip(&befores) {
+                if let Some(before) = before {
+                    idx.unlink(key, before, commit_ts);
+                }
+                if let Some(after) = after {
+                    idx.insert(key, after);
+                }
+            }
+        }
+        drop(indexes);
+        let mut range_indexes = self.range_indexes.write();
+        for idx in range_indexes.iter_mut() {
+            for ((key, after), before) in ops.iter().zip(&befores) {
+                if let Some(before) = before {
+                    idx.unlink(key, before, commit_ts);
+                }
+                if let Some(after) = after {
+                    idx.insert(key, after);
+                }
+            }
+        }
+        befores
+    }
+
     /// Deletes the live version of `key` at `commit_ts`, eagerly unlinking
     /// it from all secondary indexes. Returns the deleted row, if any.
     /// Only called under this table's commit lock; crate-private for the
-    /// same reason as [`TableStore::install`].
+    /// same reason as [`TableStore::install`]. Commit paths go through
+    /// [`TableStore::apply_batch`]; this single-row form remains as the
+    /// reference implementation the batch is tested against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn remove(&self, key: &Key, commit_ts: Ts) -> Option<Arc<Row>> {
         let mut rows = self.rows.write();
         let before = rows.get_mut(key).and_then(|chain| chain.remove(commit_ts));

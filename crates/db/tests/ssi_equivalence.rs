@@ -1,0 +1,442 @@
+//! Decision-equivalence and safety of lock-free serializable readers.
+//!
+//! The default serializable commit path (SSI) takes no locks for
+//! read-only footprint resources: reads are validated at commit time
+//! inside the publication window instead. Two escape hatches preserve
+//! the old behaviour — `set_read_lock_commit(true)` restores 2PL-style
+//! read locking, and `set_serial_commit(true)` +
+//! `set_full_scan_validation(true)` is the original serial full-scan
+//! oracle. These tests prove:
+//!
+//! * a 128-case property test drives identical, randomly generated
+//!   schedules of overlapping serializable transactions against all
+//!   three modes and requires identical per-commit decisions and
+//!   identical final table contents (commit *timestamps* are not
+//!   compared: an SSI late abort consumes a publication tick);
+//! * an 8-thread stress test checks that lock-free readers never
+//!   observe a torn multi-table state while writers commit to both
+//!   tables atomically;
+//! * a write-skew stress test checks that no rw-antidependency abort is
+//!   lost: the classic pay-out anomaly that snapshot isolation admits
+//!   must still be impossible.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Barrier;
+
+use proptest::prelude::*;
+
+use trod_db::{row, DataType, Database, DbError, IsolationLevel, Key, Predicate, Schema};
+
+fn kv_schema() -> Schema {
+    Schema::builder()
+        .column("k", DataType::Int)
+        .column("v", DataType::Int)
+        .primary_key(&["k"])
+        .build()
+        .unwrap()
+}
+
+/// The three serializable commit modes under comparison.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Default: lock-free reads, commit-time validation.
+    Ssi,
+    /// 2PL-style: commit locks every read table.
+    ReadLock,
+    /// Original oracle: one commit at a time, full version scans.
+    SerialFullScan,
+}
+
+fn new_db(mode: Mode) -> Database {
+    let db = Database::new();
+    db.create_table("kv", kv_schema()).unwrap();
+    match mode {
+        Mode::Ssi => {}
+        Mode::ReadLock => db.set_read_lock_commit(true),
+        Mode::SerialFullScan => {
+            db.set_serial_commit(true);
+            db.set_full_scan_validation(true);
+        }
+    }
+    db
+}
+
+#[derive(Debug, Clone)]
+enum Write {
+    Put { k: i64, v: i64 },
+    Delete { k: i64 },
+}
+
+#[derive(Debug, Clone)]
+enum Read {
+    Get { k: i64 },
+    ScanEqV { v: i64 },
+    ScanRange { lo: i64, hi: i64 },
+}
+
+/// One generated serializable transaction: reads performed at begin
+/// time, writes buffered immediately after.
+#[derive(Debug, Clone)]
+struct TxnSpec {
+    reads: Vec<Read>,
+    writes: Vec<Write>,
+}
+
+/// One event after the overlapping transactions have begun.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Commit the `i`-th pending transaction (attempted once; index taken
+    /// modulo the live set).
+    CommitPending(usize),
+    /// An independent read-committed transaction commits these writes.
+    ConcurrentCommit(Vec<Write>),
+}
+
+/// A generated schedule: `history` seeds the table, up to four
+/// serializable transactions begin and buffer their reads/writes while
+/// all overlapping, then `events` interleaves their commits with
+/// concurrent writers.
+#[derive(Debug, Clone)]
+struct Schedule {
+    history: Vec<Write>,
+    pending: Vec<TxnSpec>,
+    events: Vec<Event>,
+}
+
+fn write_strategy(key_space: i64) -> impl Strategy<Value = Write> {
+    prop_oneof![
+        (0..key_space, 0..100i64).prop_map(|(k, v)| Write::Put { k, v }),
+        (0..key_space).prop_map(|k| Write::Delete { k }),
+    ]
+}
+
+fn read_strategy(key_space: i64) -> impl Strategy<Value = Read> {
+    prop_oneof![
+        (0..key_space).prop_map(|k| Read::Get { k }),
+        (0..100i64).prop_map(|v| Read::ScanEqV { v }),
+        (0..key_space, 0..key_space).prop_map(|(a, b)| Read::ScanRange {
+            lo: a.min(b),
+            hi: a.max(b),
+        }),
+    ]
+}
+
+fn txn_strategy(key_space: i64) -> impl Strategy<Value = TxnSpec> {
+    (
+        prop::collection::vec(read_strategy(key_space), 1..4),
+        prop::collection::vec(write_strategy(key_space), 0..3),
+    )
+        .prop_map(|(reads, writes)| TxnSpec { reads, writes })
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    let key_space = 10i64;
+    let event = prop_oneof![
+        (0usize..4).prop_map(Event::CommitPending),
+        prop::collection::vec(write_strategy(key_space), 1..3).prop_map(Event::ConcurrentCommit),
+    ];
+    (
+        prop::collection::vec(write_strategy(key_space), 0..8),
+        prop::collection::vec(txn_strategy(key_space), 1..5),
+        prop::collection::vec(event, 1..10),
+    )
+        .prop_map(|(history, pending, events)| Schedule {
+            history,
+            pending,
+            events,
+        })
+}
+
+fn commit_writes(db: &Database, writes: &[Write]) -> Result<(), DbError> {
+    let mut txn = db.begin_with(IsolationLevel::ReadCommitted);
+    for w in writes {
+        match w {
+            Write::Put { k, v } => {
+                let key = Key::single(*k);
+                if txn.get("kv", &key)?.is_some() {
+                    txn.update("kv", &key, row![*k, *v])?;
+                } else {
+                    txn.insert("kv", row![*k, *v])?;
+                }
+            }
+            Write::Delete { k } => {
+                txn.delete("kv", &Key::single(*k))?;
+            }
+        }
+    }
+    txn.commit()?;
+    Ok(())
+}
+
+/// Normalised per-commit outcome (timestamps deliberately excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Committed,
+    SerializationFailure,
+    WriteConflict,
+    OtherError(String),
+}
+
+/// Runs the schedule and returns (per-event outcomes, final state).
+fn run_schedule(db: &Database, schedule: &Schedule) -> (Vec<Outcome>, BTreeMap<i64, i64>) {
+    commit_writes(db, &schedule.history).unwrap();
+
+    // Begin every pending transaction and buffer its reads and writes
+    // while all of them overlap. Buffered-write constraint errors (e.g.
+    // inserting a key another pending transaction also inserts) surface
+    // at commit, identically across modes.
+    let mut live: Vec<trod_db::Transaction> = Vec::new();
+    for spec in &schedule.pending {
+        let mut txn = db.begin_with(IsolationLevel::Serializable);
+        for read in &spec.reads {
+            match read {
+                Read::Get { k } => {
+                    let _ = txn.get("kv", &Key::single(*k)).unwrap();
+                }
+                Read::ScanEqV { v } => {
+                    let _ = txn.scan("kv", &Predicate::eq("v", *v)).unwrap();
+                }
+                Read::ScanRange { lo, hi } => {
+                    let pred = Predicate::ge("k", *lo).and(Predicate::le("k", *hi));
+                    let _ = txn.scan("kv", &pred).unwrap();
+                }
+            }
+        }
+        for w in &spec.writes {
+            match w {
+                Write::Put { k, v } => {
+                    let key = Key::single(*k);
+                    if txn.get("kv", &key).unwrap().is_some() {
+                        txn.update("kv", &key, row![*k, *v]).unwrap();
+                    } else {
+                        txn.insert("kv", row![*k, *v]).unwrap();
+                    }
+                }
+                Write::Delete { k } => {
+                    txn.delete("kv", &Key::single(*k)).unwrap();
+                }
+            }
+        }
+        live.push(txn);
+    }
+
+    let mut outcomes = Vec::new();
+    for event in &schedule.events {
+        match event {
+            Event::CommitPending(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let txn = live.remove(i % live.len());
+                outcomes.push(match txn.commit() {
+                    Ok(_) => Outcome::Committed,
+                    Err(DbError::SerializationFailure { .. }) => Outcome::SerializationFailure,
+                    Err(DbError::WriteConflict { .. }) => Outcome::WriteConflict,
+                    Err(other) => Outcome::OtherError(other.to_string()),
+                });
+            }
+            Event::ConcurrentCommit(writes) => {
+                commit_writes(db, writes).unwrap();
+            }
+        }
+    }
+
+    let state = db
+        .scan_latest("kv", &Predicate::True)
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    (outcomes, state)
+}
+
+proptest! {
+    // Explicit case count: this suite is the SSI acceptance gate and must
+    // not shrink under a CI-wide PROPTEST_CASES override.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SSI, 2PL read locking and the serial full-scan oracle accept and
+    /// reject exactly the same schedules, leaving identical final states.
+    #[test]
+    fn ssi_is_decision_equivalent_to_read_locking_and_serial(
+        schedule in schedule_strategy()
+    ) {
+        let ssi = new_db(Mode::Ssi);
+        let rl = new_db(Mode::ReadLock);
+        let serial = new_db(Mode::SerialFullScan);
+        let (ssi_out, ssi_state) = run_schedule(&ssi, &schedule);
+        let (rl_out, rl_state) = run_schedule(&rl, &schedule);
+        let (serial_out, serial_state) = run_schedule(&serial, &schedule);
+        prop_assert_eq!(
+            &ssi_out, &rl_out,
+            "SSI vs read-locking decisions diverged for {:?}", schedule
+        );
+        prop_assert_eq!(
+            &ssi_out, &serial_out,
+            "SSI vs serial-oracle decisions diverged for {:?}", schedule
+        );
+        prop_assert_eq!(&ssi_state, &rl_state);
+        prop_assert_eq!(&ssi_state, &serial_state);
+    }
+}
+
+/// Lock-free readers under fire: writers atomically update one row in
+/// each of two tables to the same value; serializable readers snapshot
+/// both and must never see the tables disagree. With pre-publication
+/// installs (writes land in storage *before* the publication clock
+/// advances) this is exactly the torn-read hazard the clock exists to
+/// prevent.
+#[test]
+fn lock_free_readers_never_see_torn_multi_table_state() {
+    const WRITERS: usize = 4;
+    const READERS: usize = 4;
+    const ROUNDS: i64 = 40;
+
+    let db = new_db(Mode::Ssi);
+    db.create_table("mirror", kv_schema()).unwrap();
+    let mut seed = db.begin();
+    seed.insert("kv", row![0i64, 0i64]).unwrap();
+    seed.insert("mirror", row![0i64, 0i64]).unwrap();
+    seed.commit().unwrap();
+
+    let barrier = Barrier::new(WRITERS + READERS);
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let db = db.clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..ROUNDS {
+                    let v = (t as i64) * ROUNDS + i + 1;
+                    loop {
+                        let mut txn = db.begin();
+                        let cur = txn.get("kv", &Key::single(0i64)).unwrap().unwrap()[1]
+                            .as_int()
+                            .unwrap();
+                        let mir = txn.get("mirror", &Key::single(0i64)).unwrap().unwrap()[1]
+                            .as_int()
+                            .unwrap();
+                        assert_eq!(cur, mir, "writer snapshot must agree");
+                        txn.update("kv", &Key::single(0i64), row![0i64, v]).unwrap();
+                        txn.update("mirror", &Key::single(0i64), row![0i64, v])
+                            .unwrap();
+                        match txn.commit() {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let db = db.clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..ROUNDS * 4 {
+                    loop {
+                        let mut txn = db.begin();
+                        let a = txn.get("kv", &Key::single(0i64)).unwrap().unwrap()[1]
+                            .as_int()
+                            .unwrap();
+                        let b = txn.get("mirror", &Key::single(0i64)).unwrap().unwrap()[1]
+                            .as_int()
+                            .unwrap();
+                        assert_eq!(a, b, "reader must never observe a torn state");
+                        match txn.commit() {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let a = db.get_latest("kv", &Key::single(0i64)).unwrap().unwrap()[1]
+        .as_int()
+        .unwrap();
+    let b = db
+        .get_latest("mirror", &Key::single(0i64))
+        .unwrap()
+        .unwrap()[1]
+        .as_int()
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+/// Write skew: every transaction reads both balances, checks the joint
+/// constraint `a + b >= 10`, then decrements only one of them — the
+/// canonical anomaly snapshot isolation admits and serializability must
+/// reject. If any rw-antidependency abort were lost, two overlapping
+/// withdrawals could each see enough balance and drive the sum negative.
+#[test]
+fn write_skew_is_prevented_under_lock_free_reads() {
+    const THREADS: usize = 8;
+    const INITIAL: i64 = 200;
+
+    let db = new_db(Mode::Ssi);
+    let mut seed = db.begin();
+    seed.insert("kv", row![0i64, INITIAL]).unwrap();
+    seed.insert("kv", row![1i64, INITIAL]).unwrap();
+    seed.commit().unwrap();
+
+    let withdrawals = AtomicI64::new(0);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = db.clone();
+            let withdrawals = &withdrawals;
+            let barrier = &barrier;
+            s.spawn(move || {
+                // Each thread drains from one account based on parity, so
+                // overlapping transactions write different rows and only
+                // the read validation can see the conflict.
+                let target = (t % 2) as i64;
+                barrier.wait();
+                loop {
+                    let mut txn = db.begin();
+                    let a = txn.get("kv", &Key::single(0i64)).unwrap().unwrap()[1]
+                        .as_int()
+                        .unwrap();
+                    let b = txn.get("kv", &Key::single(1i64)).unwrap().unwrap()[1]
+                        .as_int()
+                        .unwrap();
+                    if a + b < 10 {
+                        break;
+                    }
+                    let own = if target == 0 { a } else { b };
+                    txn.update("kv", &Key::single(target), row![target, own - 10])
+                        .unwrap();
+                    match txn.commit() {
+                        Ok(_) => {
+                            withdrawals.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) if e.is_retryable() => continue,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let a = db.get_latest("kv", &Key::single(0i64)).unwrap().unwrap()[1]
+        .as_int()
+        .unwrap();
+    let b = db.get_latest("kv", &Key::single(1i64)).unwrap().unwrap()[1]
+        .as_int()
+        .unwrap();
+    assert!(
+        a + b >= 0,
+        "write skew slipped through: a={a} b={b} (sum {})",
+        a + b
+    );
+    assert_eq!(
+        a + b,
+        INITIAL * 2 - 10 * withdrawals.load(Ordering::SeqCst),
+        "every committed withdrawal must be accounted for exactly once"
+    );
+}

@@ -186,8 +186,15 @@ impl SessionBuilder {
         self
     }
 
-    /// Builds the session.
+    /// Builds the session. A bound key-value store is coupled to the
+    /// database's publication clock (clock-aware versioning), so
+    /// coordinated commits can install kv versions before their
+    /// publication turn without readers ever observing an unpublished —
+    /// possibly torn-across-stores — commit.
     pub fn build(self) -> Session {
+        if let Some(kv) = &self.kv {
+            kv.bind_publication_clock(self.db.publication_clock());
+        }
         Session {
             inner: Arc::new(SessionInner {
                 db: self.db,
@@ -685,7 +692,7 @@ impl CommitParticipant for InjectionParticipant<'_> {
         // window is uncontended in a development fork.
         let records = kv_change_records(&self.kv, self.writes);
         self.kv
-            .apply(self.writes, commit_ts)
+            .apply_claimed(self.writes, commit_ts)
             .expect("validated key-value batch cannot fail to apply");
         records
     }
@@ -1021,10 +1028,16 @@ impl Txn {
                     .unwrap_or(0);
                 self.session.database().ensure_ts_at_least(floor);
             }
+            // Mirror the relational coordinator's SSI decision so one
+            // commit uses one protocol across both stores (and the
+            // escape hatches keep their decision-equivalence meaning).
+            let db = self.session.database();
+            let lock_free_reads = !db.read_lock_commit() && !db.serial_commit();
             let participant = KvParticipant {
                 kv: self.kv_store()?.clone(),
                 snapshot_ts: self.snapshot_ts,
                 isolation: rel.isolation(),
+                lock_free_reads,
                 reads: &self.kv_reads,
                 writes: &kv_writes,
                 records: std::cell::RefCell::new(None),
@@ -1106,6 +1119,13 @@ struct KvParticipant<'a> {
     kv: KvStore,
     snapshot_ts: Ts,
     isolation: IsolationLevel,
+    /// SSI mode (mirrors the relational coordinator's decision, from
+    /// [`Database::read_lock_commit`] and [`Database::serial_commit`]):
+    /// read-only namespaces contribute no commit locks; their reads are
+    /// checked optimistically in [`CommitParticipant::validate`] and
+    /// re-checked exactly, inside the publication window, by
+    /// [`CommitParticipant::revalidate_reads`].
+    lock_free_reads: bool,
     reads: &'a BTreeSet<(String, String)>,
     writes: &'a [KvWrite],
     /// Change records (with before images) precomputed at the end of
@@ -1127,9 +1147,12 @@ impl KvParticipant<'_> {
 impl CommitParticipant for KvParticipant<'_> {
     fn resources(&self) -> Vec<String> {
         let mut namespaces: Vec<&str> = self.writes.iter().map(|w| w.namespace.as_str()).collect();
-        if matches!(self.isolation, IsolationLevel::Serializable) {
-            // Validated reads must stay valid until publication, exactly
-            // like serializable read-table locks on the relational side.
+        if matches!(self.isolation, IsolationLevel::Serializable) && !self.lock_free_reads {
+            // 2PL baseline: validated reads must stay valid until
+            // publication, exactly like serializable read-table locks on
+            // the relational side. Under SSI the read namespaces stay
+            // lock-free and are re-validated in the publication window
+            // instead.
             namespaces.extend(self.reads.iter().map(|(ns, _)| ns.as_str()));
         }
         namespaces.sort_unstable();
@@ -1201,6 +1224,36 @@ impl CommitParticipant for KvParticipant<'_> {
         !self.writes.is_empty()
     }
 
+    fn needs_revalidation(&self) -> bool {
+        self.lock_free_reads
+            && matches!(self.isolation, IsolationLevel::Serializable)
+            && self.reads.iter().any(|(ns, _)| {
+                // Reads on written namespaces are locked anyway (the
+                // write locks were held through validate), so only reads
+                // on purely-read namespaces need the in-window re-check.
+                !self.writes.iter().any(|w| w.namespace == *ns)
+            })
+    }
+
+    fn revalidate_reads(&self, commit_ts: Ts) -> TrodResult<()> {
+        for (namespace, key) in self.reads {
+            if self.writes.iter().any(|w| w.namespace == *namespace) {
+                continue;
+            }
+            if self
+                .kv
+                .key_modified_in(namespace, key, self.snapshot_ts, commit_ts)?
+            {
+                return Err(KvError::Conflict {
+                    namespace: namespace.clone(),
+                    key: key.clone(),
+                }
+                .into());
+            }
+        }
+        Ok(())
+    }
+
     fn install(&self, commit_ts: Ts) -> Vec<ChangeRecord> {
         if self.writes.is_empty() {
             return Vec::new();
@@ -1211,7 +1264,7 @@ impl CommitParticipant for KvParticipant<'_> {
             .take()
             .unwrap_or_else(|| self.change_records());
         self.kv
-            .apply(self.writes, commit_ts)
+            .apply_claimed(self.writes, commit_ts)
             .expect("validated key-value batch cannot fail to apply");
         records
     }

@@ -15,6 +15,7 @@
 //! disjoint namespaces install concurrently without any store-wide lock.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -85,6 +86,34 @@ struct KvInner {
     /// Largest commit timestamp applied to any namespace (for
     /// [`KvStore::current_ts`] and standalone timestamp allocation).
     last_commit_ts: Ts,
+    /// The coordinating database's publication clock, when bound
+    /// ([`KvStore::bind_publication_clock`]). A bound store is
+    /// **clock-aware**: coordinated commits install versions stamped with
+    /// a *claimed* timestamp before that timestamp publishes, and every
+    /// read clamps its visibility to the published horizon — so the
+    /// coordinator can move participant installs out of its ordered
+    /// publication window without readers ever seeing an unpublished
+    /// (possibly torn across stores) commit. Unbound stores read raw.
+    publication_clock: Option<Arc<AtomicU64>>,
+    /// Highest timestamp that is visible *without* having passed through
+    /// the bound publication clock: everything applied before binding,
+    /// plus every standalone-allocated timestamp
+    /// ([`KvStore::allocate_standalone_ts`] — store-level commits publish
+    /// by applying, they never tick the database clock). Only meaningful
+    /// when a clock is bound; the visibility horizon is
+    /// `max(clock, standalone_high)`.
+    standalone_high: Ts,
+}
+
+impl KvInner {
+    /// The highest timestamp reads may observe. `Ts::MAX` (no clamping)
+    /// when no publication clock is bound.
+    fn visible_horizon(&self) -> Ts {
+        match &self.publication_clock {
+            Some(clock) => clock.load(Ordering::SeqCst).max(self.standalone_high),
+            None => Ts::MAX,
+        }
+    }
 }
 
 /// A multi-version, namespaced key-value store.
@@ -139,9 +168,26 @@ impl KvStore {
             .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))
     }
 
-    /// The largest commit timestamp applied so far (over all namespaces).
+    /// Binds the coordinating database's publication clock
+    /// ([`trod_db::Database::publication_clock`]), making the store
+    /// clock-aware: versions installed at a claimed-but-unpublished
+    /// timestamp stay invisible to every read until the clock reaches it.
+    /// Everything applied before binding stays visible (the horizon
+    /// starts at the current high-water mark). [`crate::Session`] binds
+    /// automatically when it couples a store to a database.
+    pub fn bind_publication_clock(&self, clock: Arc<AtomicU64>) {
+        let mut inner = self.inner.write();
+        inner.standalone_high = inner.standalone_high.max(inner.last_commit_ts);
+        inner.publication_clock = Some(clock);
+    }
+
+    /// The largest *visible* commit timestamp applied so far (over all
+    /// namespaces). On a clock-bound store this excludes versions
+    /// installed at claimed-but-unpublished timestamps, so a snapshot
+    /// taken here never moves under the reader.
     pub fn current_ts(&self) -> Ts {
-        self.inner.read().last_commit_ts
+        let inner = self.inner.read();
+        inner.last_commit_ts.min(inner.visible_horizon())
     }
 
     /// The largest commit timestamp applied to one namespace (0 if the
@@ -161,9 +207,13 @@ impl KvStore {
         self.get_as_of(namespace, key, Ts::MAX)
     }
 
-    /// The value of a key as of a commit timestamp (inclusive).
+    /// The value of a key as of a commit timestamp (inclusive). On a
+    /// clock-bound store the timestamp is clamped to the published
+    /// horizon — an installed version whose claimed timestamp has not
+    /// published yet is invisible.
     pub fn get_as_of(&self, namespace: &str, key: &str, ts: Ts) -> KvResult<Option<String>> {
         let inner = self.inner.read();
+        let ts = ts.min(inner.visible_horizon());
         let ns = inner
             .namespaces
             .get(namespace)
@@ -184,6 +234,7 @@ impl KvStore {
         ts: Ts,
     ) -> KvResult<Vec<(String, String)>> {
         let inner = self.inner.read();
+        let ts = ts.min(inner.visible_horizon());
         let ns = inner
             .namespaces
             .get(namespace)
@@ -211,7 +262,11 @@ impl KvStore {
     }
 
     /// The commit timestamp of the latest version of a key (0 if the key
-    /// was never written). Used for optimistic validation.
+    /// was never written). Used for optimistic validation — deliberately
+    /// *raw* (no published-horizon clamp): an installed version whose
+    /// timestamp has not published yet belongs to a commit that claimed
+    /// its timestamp and will certainly publish, so aborting early on it
+    /// is always correct.
     pub fn version_of(&self, namespace: &str, key: &str) -> KvResult<Ts> {
         let inner = self.inner.read();
         let ns = inner
@@ -226,6 +281,38 @@ impl KvStore {
             .unwrap_or(0))
     }
 
+    /// True if `key` gained a version with timestamp in the open interval
+    /// `(after, upto)`. The SSI in-window read re-check: called at a
+    /// committing transaction's publication turn with
+    /// `(snapshot_ts, commit_ts)`, where the interval is exact — every
+    /// smaller timestamp is fully published (or installed and certain to
+    /// publish) and every larger one is excluded. Raw, like
+    /// [`KvStore::version_of`], for the same reason.
+    pub fn key_modified_in(
+        &self,
+        namespace: &str,
+        key: &str,
+        after: Ts,
+        upto: Ts,
+    ) -> KvResult<bool> {
+        let inner = self.inner.read();
+        let ns = inner
+            .namespaces
+            .get(namespace)
+            .ok_or_else(|| KvError::UnknownNamespace(namespace.to_string()))?;
+        Ok(ns
+            .keys
+            .get(key)
+            .map(|versions| {
+                versions
+                    .iter()
+                    .rev()
+                    .take_while(|v| v.ts > after)
+                    .any(|v| v.ts < upto)
+            })
+            .unwrap_or(false))
+    }
+
     /// Atomically applies a batch of writes, stamping every new version
     /// with `commit_ts`. The timestamp must be strictly newer than every
     /// version previously applied to *the namespaces the batch touches* —
@@ -234,7 +321,26 @@ impl KvStore {
     /// allocated while holding them). Namespaces outside the batch may
     /// already hold newer timestamps: disjoint-namespace commits install
     /// in lock order, not global timestamp order.
+    ///
+    /// This is the *store-level* commit: the batch is immediately visible
+    /// (on a clock-bound store the standalone horizon is raised to cover
+    /// it). Coordinated commits install through
+    /// [`KvStore::apply_claimed`] instead, whose visibility waits on the
+    /// bound publication clock.
     pub fn apply(&self, writes: &[KvWrite], commit_ts: Ts) -> KvResult<()> {
+        self.apply_inner(writes, commit_ts, true)
+    }
+
+    /// [`KvStore::apply`] for a *claimed* (coordinated) commit timestamp:
+    /// the versions are installed but the visibility horizon is not
+    /// raised — on a clock-bound store they stay invisible until the
+    /// coordinator publishes `commit_ts`. Called by commit participants,
+    /// which may install before their ordered publication turn.
+    pub(crate) fn apply_claimed(&self, writes: &[KvWrite], commit_ts: Ts) -> KvResult<()> {
+        self.apply_inner(writes, commit_ts, false)
+    }
+
+    fn apply_inner(&self, writes: &[KvWrite], commit_ts: Ts, publish: bool) -> KvResult<()> {
         let mut inner = self.inner.write();
         // Validate namespaces and per-namespace freshness first so the
         // batch is all-or-nothing.
@@ -265,6 +371,9 @@ impl KvStore {
             ns.last_commit_ts = commit_ts;
         }
         inner.last_commit_ts = inner.last_commit_ts.max(commit_ts);
+        if publish {
+            inner.standalone_high = inner.standalone_high.max(commit_ts);
+        }
         Ok(())
     }
 
@@ -277,6 +386,9 @@ impl KvStore {
     pub(crate) fn allocate_standalone_ts(&self) -> Ts {
         let mut inner = self.inner.write();
         inner.last_commit_ts += 1;
+        // Standalone commits never tick a bound publication clock; raise
+        // the standalone horizon so the commit is visible once applied.
+        inner.standalone_high = inner.standalone_high.max(inner.last_commit_ts);
         inner.last_commit_ts
     }
 
@@ -291,8 +403,15 @@ impl KvStore {
     /// with a database forked at the same timestamp (whose allocator also
     /// resumes from `ts.max(1)`), and a forked [`crate::Session`] commits
     /// into both stores without a veto.
+    /// The fork never captures claimed-but-unpublished versions: on a
+    /// clock-bound store `ts` is clamped to the published horizon, so a
+    /// fork taken while a coordinated commit is mid-install (installed,
+    /// not yet published) sees the state strictly before that commit —
+    /// the same cut [`trod_db::Database::fork_at`] takes on the
+    /// relational side.
     pub fn fork_at(&self, ts: Ts) -> KvStore {
         let inner = self.inner.read();
+        let ts = ts.min(inner.visible_horizon());
         let fork_ts = ts.max(1);
         let mut fork = KvInner {
             last_commit_ts: fork_ts,
@@ -574,6 +693,78 @@ mod tests {
             .apply(&[KvWrite::put("sessions", "a", "v")], 1)
             .unwrap();
         assert_eq!(empty.get_latest("sessions", "a").unwrap(), Some("v".into()));
+    }
+
+    #[test]
+    fn claimed_installs_stay_invisible_until_published() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "k", "published")], 10)
+            .unwrap();
+
+        let clock = Arc::new(AtomicU64::new(10));
+        kv.bind_publication_clock(clock.clone());
+
+        // Mid-install: a coordinated commit claimed ts 11 and installed
+        // its writes, but the publication clock has not advanced yet.
+        kv.apply_claimed(
+            &[
+                KvWrite::put("sessions", "k", "pending"),
+                KvWrite::put("sessions", "k2", "pending"),
+            ],
+            11,
+        )
+        .unwrap();
+
+        // Reads, scans and forks all resolve against the published
+        // horizon — even when asked for "latest".
+        assert_eq!(kv.current_ts(), 10);
+        assert_eq!(
+            kv.get_latest("sessions", "k").unwrap(),
+            Some("published".into())
+        );
+        assert_eq!(kv.get_as_of("sessions", "k2", Ts::MAX).unwrap(), None);
+        assert_eq!(
+            kv.scan_prefix("sessions", "k").unwrap(),
+            vec![("k".to_string(), "published".to_string())]
+        );
+        let fork = kv.fork_at(Ts::MAX);
+        assert_eq!(
+            fork.get_latest("sessions", "k").unwrap(),
+            Some("published".into())
+        );
+        assert_eq!(fork.get_latest("sessions", "k2").unwrap(), None);
+        // Version metadata stays raw: the claimed install will certainly
+        // publish, so optimistic validation must already abort on it.
+        assert_eq!(kv.version_of("sessions", "k").unwrap(), 11);
+
+        // Publication makes the install visible everywhere at once.
+        clock.store(11, Ordering::SeqCst);
+        assert_eq!(kv.current_ts(), 11);
+        assert_eq!(
+            kv.get_latest("sessions", "k").unwrap(),
+            Some("pending".into())
+        );
+        let fork = kv.fork_at(Ts::MAX);
+        assert_eq!(
+            fork.get_latest("sessions", "k2").unwrap(),
+            Some("pending".into())
+        );
+    }
+
+    #[test]
+    fn standalone_applies_stay_visible_on_a_clock_bound_store() {
+        let kv = store();
+        kv.apply(&[KvWrite::put("sessions", "old", "v")], 5)
+            .unwrap();
+        // Binding snapshots already-applied history into the horizon...
+        kv.bind_publication_clock(Arc::new(AtomicU64::new(0)));
+        assert_eq!(kv.get_latest("sessions", "old").unwrap(), Some("v".into()));
+        // ...and store-level applies publish immediately (they never go
+        // through the coordinator's publication pipeline).
+        kv.apply(&[KvWrite::put("sessions", "new", "w")], 7)
+            .unwrap();
+        assert_eq!(kv.get_latest("sessions", "new").unwrap(), Some("w".into()));
+        assert_eq!(kv.current_ts(), 7);
     }
 
     #[test]

@@ -598,3 +598,106 @@ fn cross_store_read_validation_is_enforced_by_the_coordinator() {
     ));
     assert_eq!(session.kv().get_latest(NAMESPACES[1], "out").unwrap(), None);
 }
+
+/// Forks taken while mixed commits are mid-install never observe an
+/// unpublished version. With the widened publication pipeline, writes
+/// land in both stores *before* the publication clock advances; a fork
+/// cut from `kv().current_ts()` at exactly that moment must resolve
+/// against the published horizon — otherwise the KV half of the fork
+/// would contain a commit whose relational half (and log entry) the
+/// fork's cut excludes, and the forked session would disagree with the
+/// aligned history replay that reconstructs it.
+#[test]
+fn forks_taken_mid_install_never_observe_unpublished_versions() {
+    const WRITERS: usize = 4;
+    const ROUNDS: usize = 30;
+
+    let session = new_session(false, false);
+    {
+        let mut txn = session.begin();
+        txn.insert(TABLES[0], row![0i64, 0i64]).unwrap();
+        txn.kv_put(NAMESPACES[0], "mirror", "0").unwrap();
+        txn.commit().unwrap();
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(WRITERS + 2));
+
+    std::thread::scope(|scope| {
+        let mut writers = Vec::new();
+        for _ in 0..WRITERS {
+            let session = session.clone();
+            let barrier = barrier.clone();
+            writers.push(scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    loop {
+                        let mut txn = session.begin();
+                        let current = txn.get(TABLES[0], &Key::single(0i64)).unwrap().unwrap()[1]
+                            .as_int()
+                            .unwrap();
+                        let next = current + 1;
+                        txn.update(TABLES[0], &Key::single(0i64), row![0i64, next])
+                            .unwrap();
+                        txn.kv_put(NAMESPACES[0], "mirror", &next.to_string())
+                            .unwrap();
+                        match txn.commit() {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            }));
+        }
+        {
+            let session = session.clone();
+            let barrier = barrier.clone();
+            let done = done.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                while !done.load(Ordering::Relaxed) {
+                    // The cut comes from the KV store's own clock: on a
+                    // clock-bound store this is the published horizon,
+                    // never a claimed-but-unpublished install.
+                    let ts = session.kv().current_ts();
+                    let fork = session.fork_at(ts).unwrap();
+                    let row_v = fork
+                        .database()
+                        .get_latest(TABLES[0], &Key::single(0i64))
+                        .unwrap()
+                        .unwrap()[1]
+                        .as_int()
+                        .unwrap();
+                    let kv_v: i64 = fork
+                        .kv()
+                        .get_latest(NAMESPACES[0], "mirror")
+                        .unwrap()
+                        .unwrap()
+                        .parse()
+                        .unwrap();
+                    assert_eq!(
+                        row_v, kv_v,
+                        "fork at ts {ts} captured an unpublished KV version"
+                    );
+                }
+            });
+        }
+        barrier.wait();
+        for handle in writers {
+            handle.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(
+        session
+            .kv()
+            .get_latest(NAMESPACES[0], "mirror")
+            .unwrap()
+            .unwrap()
+            .parse::<i64>()
+            .unwrap(),
+        (WRITERS * ROUNDS) as i64
+    );
+}

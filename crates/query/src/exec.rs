@@ -121,6 +121,13 @@ pub fn execute(db: &Database, stmt: &SelectStmt, opts: QueryOptions) -> QueryRes
             })
         })
         .collect::<QueryResultT<_>>()?;
+    // Ordered-probe pushdown: a single-table `ORDER BY <indexed column>
+    // LIMIT k` whose WHERE clause lowers entirely into the scan streams
+    // the top k rows straight off the value-ordered range index instead
+    // of materialising, sorting and truncating the whole table.
+    if let Some(rel) = try_ordered_probe(db, stmt, &catalog, read_ts, &mut pending, &proj)? {
+        return project(&rel, stmt);
+    }
     let mut rel = load_table(db, &catalog, 0, read_ts, &mut pending, &proj)?;
     apply_resolvable(&mut rel, &mut pending)?;
     for idx in 1..catalog.len() {
@@ -346,6 +353,88 @@ fn load_table(
         .map(|(_, r)| keep.iter().map(|&i| r[i].clone()).collect())
         .collect();
     Ok(Relation { cols, rows })
+}
+
+/// Attempts the ordered-probe fast path: a single-table, non-aggregate
+/// statement with exactly one `ORDER BY <column>` key and a LIMIT, whose
+/// WHERE clause lowers entirely into the scan, can stream its top-k rows
+/// off a value-ordered range index ([`Database::scan_ordered_as_of`]) —
+/// O(k) in the result size instead of scan + sort + truncate.
+///
+/// Returns `Ok(None)` — leaving `pending` untouched so the generic path
+/// proceeds normally — when any gate fails or the storage layer cannot
+/// serve the order from an index. The gates are exact, not heuristic:
+/// predicate lowering is all-or-nothing because a conjunct the scan
+/// cannot evaluate would have to filter *after* the index walk, which
+/// breaks the "first k matching rows" contract, and the ORDER BY key
+/// must bind to this table's schema the same way the executor would
+/// resolve it. On success the storage result is exactly what the
+/// executor's stable sort + truncate would have produced.
+fn try_ordered_probe(
+    db: &Database,
+    stmt: &SelectStmt,
+    catalog: &[Binding],
+    read_ts: Ts,
+    pending: &mut Vec<Expr>,
+    proj: &ProjectionNeeds,
+) -> QueryResultT<Option<Relation>> {
+    if catalog.len() != 1 || stmt.is_aggregate() {
+        return Ok(None);
+    }
+    let Some(limit) = stmt.limit else {
+        return Ok(None);
+    };
+    let [key] = stmt.order_by.as_slice() else {
+        return Ok(None);
+    };
+    let Some(order_col) = local_column(&key.expr, catalog, 0) else {
+        return Ok(None);
+    };
+    let mut lowered = Predicate::True;
+    for expr in pending.iter() {
+        match lower_conjunct(expr, catalog, 0) {
+            Some(pred) => {
+                lowered = match lowered {
+                    Predicate::True => pred,
+                    combined => combined.and(pred),
+                };
+            }
+            None => return Ok(None),
+        }
+    }
+    let Binding {
+        binding,
+        actual,
+        schema,
+    } = &catalog[0];
+    let Some(scanned) =
+        db.scan_ordered_as_of(actual, &lowered, &order_col, key.descending, limit, read_ts)?
+    else {
+        return Ok(None);
+    };
+    pending.clear();
+    // Projection pushdown, as in `load_table`; every conjunct was
+    // consumed by the scan, so only the statement's own references
+    // bound which columns are copied.
+    let keep: Vec<usize> = schema
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| proj.needs(binding, &c.name))
+        .map(|(i, _)| i)
+        .collect();
+    let cols = keep
+        .iter()
+        .map(|&i| ColBinding {
+            qualifier: binding.clone(),
+            name: schema.columns()[i].name.clone(),
+        })
+        .collect();
+    let rows = scanned
+        .into_iter()
+        .map(|(_, r)| keep.iter().map(|&i| r[i].clone()).collect())
+        .collect();
+    Ok(Some(Relation { cols, rows }))
 }
 
 /// True if `expr` contains a column reference that may resolve to

@@ -3,8 +3,8 @@
 # perf-trajectory artifact (BENCH_PR<N>.json).
 #
 # Usage:
-#   scripts/bench.sh                  # writes BENCH_PR6.json (current PR)
-#   scripts/bench.sh BENCH_PR7.json   # explicit output name
+#   scripts/bench.sh                  # writes BENCH_PR7.json (current PR)
+#   scripts/bench.sh BENCH_PR8.json   # explicit output name
 #   BENCH_FILTER=commit_validation scripts/bench.sh            # one target
 #   BENCH_FILTER="commit_validation scan_path" scripts/bench.sh
 #   TROD_BENCH_MS=100 scripts/bench.sh                # faster, noisier
@@ -20,10 +20,16 @@
 #     samples          - measurement count
 #     elements_per_sec - optional; present when the bench declares
 #                        throughput (e.g. rows served per second)
+#
+# New ids in BENCH_PR7.json: `read_scaling/hot_reads/<mode>/threads_<T>`
+# where <mode> is `ssi` (lock-free serializable readers, the default) or
+# `read_lock` (the 2PL read-locking baseline via set_read_lock_commit);
+# elements are committed transactions, each nine hot-table point reads
+# plus one private-table write at serializable isolation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 # Absolute path: cargo runs bench binaries from the package directory.
 jsonl="$PWD/target/bench-results.jsonl"
 rm -f "$jsonl"

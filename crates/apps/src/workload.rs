@@ -130,6 +130,60 @@ pub fn moodle_workload(cfg: &WorkloadConfig) -> Vec<(String, Args)> {
     out
 }
 
+/// Generates a stream of MediaWiki page create/edit/read requests.
+/// Edits concentrate on a hot page at the configured conflict rate
+/// (the MW-39225 stale-size shape needs concurrent edits of one page);
+/// every fifth request is a `getPage` or `listSiteLinks` read.
+pub fn mediawiki_workload(cfg: &WorkloadConfig) -> Vec<(String, Args)> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.requests);
+    // Create the page pool first so edits and reads hit existing pages;
+    // the creates count against the request budget like any other
+    // request.
+    let pool = cfg.items.max(1).min(cfg.requests);
+    for k in 0..pool {
+        out.push((
+            "createPage".to_string(),
+            Args::new()
+                .with("title", format!("Page_{k}"))
+                .with("content", format!("seed content {k}")),
+        ));
+    }
+    for i in pool..cfg.requests {
+        let page = format!("Page_{}", pick_item(&mut rng, cfg).min(pool - 1));
+        match i % 10 {
+            4 => out.push((
+                "getPage".to_string(),
+                Args::new().with("title", page.clone()),
+            )),
+            9 => out.push((
+                "listSiteLinks".to_string(),
+                Args::new().with("page", page.clone()),
+            )),
+            3 | 7 => out.push((
+                "addSiteLink".to_string(),
+                crate::mediawiki::sitelink_args(
+                    &format!("link-{i}"),
+                    &page,
+                    &format!("https://example.org/{i}"),
+                ),
+            )),
+            _ => out.push((
+                "editPage".to_string(),
+                crate::mediawiki::edit_args(
+                    &format!("rev-{i}"),
+                    &page,
+                    &format!(
+                        "content rev {i} by user-{}",
+                        rng.gen_range(0..cfg.users.max(1))
+                    ),
+                ),
+            )),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +243,34 @@ mod tests {
             ..WorkloadConfig::small()
         };
         let _ = shop_workload(&none_hot);
+    }
+
+    #[test]
+    fn mediawiki_workload_runs_against_the_mediawiki_app() {
+        use crate::mediawiki;
+        let db = mediawiki::mediawiki_db();
+        let runtime = trod_runtime::Runtime::new(db, mediawiki::registry());
+        let cfg = WorkloadConfig::small();
+        let mut workload = mediawiki_workload(&cfg);
+        assert_eq!(workload.len(), cfg.requests);
+        assert!(workload.iter().any(|(h, _)| h == "editPage"));
+        assert!(workload.iter().any(|(h, _)| h == "getPage"));
+        // Serve the page-pool creates before racing the rest, mirroring
+        // how a load generator warms up against a live server.
+        let rest = workload.split_off(cfg.items.min(cfg.requests));
+        let mut results = runtime.run_concurrent(workload, 4);
+        results.extend(runtime.run_concurrent(rest, 4));
+        assert_eq!(results.len(), cfg.requests);
+        // Every page in the pool exists before any edit/read targets it,
+        // so failures can only be retryable conflicts.
+        assert!(results.iter().all(|r| match &r.output {
+            Ok(_) => true,
+            Err(e) => e.is_retryable(),
+        }));
+        assert!(results
+            .iter()
+            .filter(|r| r.handler == "editPage")
+            .any(|r| r.is_ok()));
     }
 
     #[test]

@@ -171,6 +171,15 @@ impl Trod {
         ReplaySession::for_session(&self.provenance, self.runtime.session(), req_id)
     }
 
+    /// Forks the whole environment (db + kv) at `ts`, retention-aware:
+    /// above the GC floor this is `Session::fork_at`; below it the state
+    /// is reconstructed from spilled + live aligned history, exactly as
+    /// replay does. This is the entry point the server's remote fork
+    /// sessions go through.
+    pub fn fork_at(&self, ts: trod_db::Ts) -> Result<Session, ReplayError> {
+        crate::replay::fork_environment(&self.provenance, self.runtime.session(), ts)
+    }
+
     /// Starts configuring a retroactive-programming run (§3.6) that
     /// re-executes original requests against `patched_registry`, each
     /// ordering in a fresh fork of the whole session environment.

@@ -18,6 +18,21 @@
 //! requests, call [`Trod::sync`] (or run a background flusher) to move
 //! traces into the provenance database, and then debug.
 
+/// The shared hand-rolled JSON module (one escaper, one number
+/// formatter, writer + strict parser). It lives in `trod-trace` — the
+/// lowest crate that needs it for wire-format serialization — and is
+/// re-exported here so debugger-level consumers (the server, tooling)
+/// can reach it as `trod_core::json`.
+pub mod json {
+    pub use trod_trace::json::*;
+}
+
+/// Wire-format serialization of engine types (values, CDC records,
+/// aligned-log entries, traces); see [`trod_trace::wire`].
+pub mod wire {
+    pub use trod_trace::wire::*;
+}
+
 pub mod debugger;
 pub mod declarative;
 pub mod interleave;

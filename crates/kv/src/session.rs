@@ -373,6 +373,34 @@ impl Session {
             .apply_changes_with(&relational, &[&participant])
     }
 
+    /// Re-installs one aligned-history entry **verbatim** — txn id and
+    /// commit/start timestamps preserved — through the participant commit
+    /// path: relational changes and `kv:<namespace>` records land
+    /// together in the same publication window and the entry appears in
+    /// this session's aligned log with its original identity. Entries
+    /// must be applied in commit-ts order onto a session whose clock is
+    /// below `entry.commit_ts`.
+    ///
+    /// This is the injection primitive WAL recovery uses, exposed for
+    /// history transfer between instances: dump/load and
+    /// fork-from-instance replay a remote aligned log through it to
+    /// reconstruct byte-identical history. Returns the number of kv
+    /// writes installed.
+    pub fn apply_entry(&self, entry: &CommittedTxn) -> TrodResult<usize> {
+        match self.inner.kv.as_ref() {
+            Some(kv) => Session::recover_entry(&self.inner.db, kv, entry),
+            None => {
+                if entry.changes.iter().any(|c| trod_db::is_kv_table(&c.table)) {
+                    return Err(KvError::UnknownNamespace(
+                        "<no key-value store bound to session>".to_string(),
+                    )
+                    .into());
+                }
+                Session::recover_entry(&self.inner.db, &KvStore::new(), entry)
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Durability
     // ------------------------------------------------------------------

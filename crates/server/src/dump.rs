@@ -1,0 +1,426 @@
+//! Devnet-style dump/load: serialize a whole session environment —
+//! relational schema, key-value namespaces, and the complete *aligned
+//! history* — to one JSON document, and boot a fresh instance from it.
+//!
+//! The dump carries history, not state: loading replays every
+//! [`CommittedTxn`] through [`Session::apply_entry`], the same
+//! identity-preserving injection path crash recovery uses, so the loaded
+//! instance has byte-identical aligned history (same txn ids, same
+//! start/commit timestamps, same change records) and its commit clock
+//! resumes where the source's left off. That is what makes the loaded
+//! instance *debuggable*, not just state-equivalent: time-travel reads,
+//! replay and retroactive runs against it see the same past.
+//!
+//! [`fork_from_instance`] builds the same document over the wire from a
+//! *running* server — `sys_schema` plus `sys_history {up_to: ts}` — so a
+//! new developer instance can pull a fork at any timestamp from
+//! production without ever touching its files.
+//!
+//! Caveat: DDL is not part of the transaction log, so a dump taken at
+//! (or truncated to) timestamp `ts` carries the *current* schema and
+//! namespace set, applied up front. History at `ts` replays against it
+//! exactly because schema changes are append-only in this engine.
+
+use std::path::Path;
+
+use trod_core::json::{Json, JsonError};
+use trod_core::wire::{self, WireError};
+use trod_core::Trod;
+use trod_db::{Column, CommittedTxn, DataType, Database, Schema, Ts};
+use trod_kv::{KvStore, Session};
+
+/// Why a dump could not be produced, parsed, or booted.
+#[derive(Debug)]
+pub enum DumpError {
+    Json(JsonError),
+    Wire(WireError),
+    /// The document is well-formed JSON but not a valid dump.
+    Format(String),
+    /// Rebuilding the environment failed.
+    Load(String),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for DumpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DumpError::Json(e) => write!(f, "dump is not valid JSON: {e}"),
+            DumpError::Wire(e) => write!(f, "dump entry malformed: {e}"),
+            DumpError::Format(d) => write!(f, "not a trod dump: {d}"),
+            DumpError::Load(d) => write!(f, "could not boot from dump: {d}"),
+            DumpError::Io(e) => write!(f, "dump i/o: {e}"),
+        }
+    }
+}
+
+impl From<JsonError> for DumpError {
+    fn from(e: JsonError) -> Self {
+        DumpError::Json(e)
+    }
+}
+
+impl From<WireError> for DumpError {
+    fn from(e: WireError) -> Self {
+        DumpError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for DumpError {
+    fn from(e: std::io::Error) -> Self {
+        DumpError::Io(e)
+    }
+}
+
+const FORMAT: &str = "trod-dump/1";
+
+/// One table's DDL, as captured in a dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    pub name: String,
+    /// `(name, dtype, nullable)` triples in schema order.
+    pub columns: Vec<(String, DataType, bool)>,
+    pub primary_key: Vec<String>,
+    pub indexes: Vec<String>,
+    pub range_indexes: Vec<String>,
+}
+
+/// A serialized session environment: schema + namespaces + the complete
+/// aligned history up to `current_ts`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dump {
+    pub current_ts: Ts,
+    pub tables: Vec<TableDef>,
+    pub namespaces: Vec<String>,
+    /// Aligned history in commit order, spilled retention entries
+    /// stitched ahead of the live log.
+    pub entries: Vec<CommittedTxn>,
+}
+
+/// Stitches spilled retention history and the live transaction log into
+/// one commit-ordered, duplicate-free entry list (same overlap rule as
+/// `Trod::aligned_history`: read live first, drop live entries at or
+/// below the spill watermark).
+pub fn stitched_entries(trod: &Trod) -> Vec<CommittedTxn> {
+    let live = trod.production_db().log_entries();
+    let mut out = trod.provenance().spilled_log();
+    let spilled_up_to = out.last().map(|e| e.commit_ts).unwrap_or(0);
+    out.extend(live.into_iter().filter(|e| e.commit_ts > spilled_up_to));
+    out
+}
+
+fn dtype_from_str(s: &str) -> Result<DataType, DumpError> {
+    match s {
+        "BOOL" => Ok(DataType::Bool),
+        "INT" => Ok(DataType::Int),
+        "FLOAT" => Ok(DataType::Float),
+        "TEXT" => Ok(DataType::Text),
+        "BYTES" => Ok(DataType::Bytes),
+        "TIMESTAMP" => Ok(DataType::Timestamp),
+        other => Err(DumpError::Format(format!("unknown column type {other:?}"))),
+    }
+}
+
+fn table_def_of(db: &Database, name: &str) -> Option<TableDef> {
+    let schema = db.schema_of(name).ok()?;
+    let store = db.table(name).ok()?;
+    let columns: Vec<(String, DataType, bool)> = schema
+        .columns()
+        .iter()
+        .map(|c| (c.name.clone(), c.dtype, c.nullable))
+        .collect();
+    let primary_key = schema
+        .primary_key()
+        .iter()
+        .map(|&i| columns[i].0.clone())
+        .collect();
+    Some(TableDef {
+        name: name.to_string(),
+        columns,
+        primary_key,
+        indexes: store.indexed_columns(),
+        range_indexes: store.range_indexed_columns(),
+    })
+}
+
+impl Dump {
+    /// Captures the whole environment of a live [`Trod`] instance.
+    /// Sync the tracer first if you also want the most recent requests'
+    /// provenance reflected in retention spills.
+    pub fn capture(trod: &Trod) -> Dump {
+        let db = trod.production_db();
+        let tables = db
+            .table_names()
+            .into_iter()
+            .filter_map(|name| table_def_of(db, &name))
+            .collect();
+        let namespaces = trod
+            .session()
+            .kv_store()
+            .map(|kv| kv.namespaces())
+            .unwrap_or_default();
+        Dump {
+            current_ts: db.current_ts(),
+            tables,
+            namespaces,
+            entries: stitched_entries(trod),
+        }
+    }
+
+    /// Like [`Dump::capture`] but without the history — the shape
+    /// `sys_schema` serves (the entries travel separately via
+    /// `sys_history`, so a fork pull doesn't fetch the log twice).
+    pub fn capture_schema(trod: &Trod) -> Dump {
+        Dump {
+            entries: Vec::new(),
+            ..Dump::capture(trod)
+        }
+    }
+
+    /// Drops every entry above `ts` and rewinds the recorded clock, so
+    /// booting reproduces the environment as of `ts`.
+    pub fn truncate_to(mut self, ts: Ts) -> Dump {
+        self.entries.retain(|e| e.commit_ts <= ts);
+        self.current_ts = ts;
+        self
+    }
+
+    pub fn to_json(&self) -> Json {
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("name", Json::str(t.name.clone())),
+                    (
+                        "columns",
+                        Json::Array(
+                            t.columns
+                                .iter()
+                                .map(|(n, d, nullable)| {
+                                    Json::obj(vec![
+                                        ("name", Json::str(n.clone())),
+                                        ("dtype", Json::str(d.to_string())),
+                                        ("nullable", Json::Bool(*nullable)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "primary_key",
+                        Json::Array(t.primary_key.iter().map(|c| Json::str(c.clone())).collect()),
+                    ),
+                    (
+                        "indexes",
+                        Json::Array(t.indexes.iter().map(|c| Json::str(c.clone())).collect()),
+                    ),
+                    (
+                        "range_indexes",
+                        Json::Array(
+                            t.range_indexes
+                                .iter()
+                                .map(|c| Json::str(c.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("format", Json::str(FORMAT)),
+            ("current_ts", Json::from(self.current_ts)),
+            ("tables", Json::Array(tables)),
+            (
+                "namespaces",
+                Json::Array(
+                    self.namespaces
+                        .iter()
+                        .map(|n| Json::str(n.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "entries",
+                Json::Array(self.entries.iter().map(wire::txn_to_json).collect()),
+            ),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<Dump, DumpError> {
+        let format = j.get("format").and_then(Json::as_str).unwrap_or("");
+        if format != FORMAT {
+            return Err(DumpError::Format(format!(
+                "format is {format:?}, expected {FORMAT:?}"
+            )));
+        }
+        let current_ts: Ts = j
+            .get("current_ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| DumpError::Format("missing current_ts".into()))?;
+        let mut tables = Vec::new();
+        for t in j
+            .get("tables")
+            .and_then(Json::as_array)
+            .ok_or_else(|| DumpError::Format("missing tables".into()))?
+        {
+            let name = t
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| DumpError::Format("table without name".into()))?
+                .to_string();
+            let mut columns = Vec::new();
+            for c in t
+                .get("columns")
+                .and_then(Json::as_array)
+                .ok_or_else(|| DumpError::Format(format!("table {name}: missing columns")))?
+            {
+                let cname = c
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| DumpError::Format(format!("table {name}: column without name")))?
+                    .to_string();
+                let dtype = dtype_from_str(c.get("dtype").and_then(Json::as_str).unwrap_or(""))?;
+                let nullable = c.get("nullable").and_then(Json::as_bool).unwrap_or(false);
+                columns.push((cname, dtype, nullable));
+            }
+            let strings = |field: &str| -> Vec<String> {
+                t.get(field)
+                    .and_then(Json::as_array)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(Json::as_str)
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            tables.push(TableDef {
+                name,
+                columns,
+                primary_key: strings("primary_key"),
+                indexes: strings("indexes"),
+                range_indexes: strings("range_indexes"),
+            });
+        }
+        let namespaces = j
+            .get("namespaces")
+            .and_then(Json::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Json::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut entries = Vec::new();
+        for e in j
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| DumpError::Format("missing entries".into()))?
+        {
+            entries.push(wire::txn_from_json(e)?);
+        }
+        Ok(Dump {
+            current_ts,
+            tables,
+            namespaces,
+            entries,
+        })
+    }
+
+    /// Serializes to a file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), DumpError> {
+        std::fs::write(path, self.to_json().to_string())?;
+        Ok(())
+    }
+
+    /// Parses a dump file.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Dump, DumpError> {
+        let text = std::fs::read_to_string(path)?;
+        Dump::from_json(&Json::parse(&text)?)
+    }
+
+    /// Boots a fresh session environment from this dump: DDL first, then
+    /// every history entry re-applied with its original identity, then
+    /// the commit clock advanced to the dumped watermark.
+    pub fn boot(&self) -> Result<Session, DumpError> {
+        let db = Database::new();
+        for t in &self.tables {
+            let columns: Vec<Column> = t
+                .columns
+                .iter()
+                .map(|(n, d, nullable)| {
+                    if *nullable {
+                        Column::nullable(n.clone(), *d)
+                    } else {
+                        Column::new(n.clone(), *d)
+                    }
+                })
+                .collect();
+            let pk: Vec<&str> = t.primary_key.iter().map(String::as_str).collect();
+            let schema = Schema::new(columns, &pk)
+                .map_err(|e| DumpError::Load(format!("table {}: {e}", t.name)))?;
+            db.create_table(t.name.clone(), schema)
+                .map_err(|e| DumpError::Load(format!("table {}: {e}", t.name)))?;
+            for col in &t.indexes {
+                db.create_index(&t.name, col)
+                    .map_err(|e| DumpError::Load(format!("index {}.{col}: {e}", t.name)))?;
+            }
+            for col in &t.range_indexes {
+                db.create_range_index(&t.name, col)
+                    .map_err(|e| DumpError::Load(format!("range index {}.{col}: {e}", t.name)))?;
+            }
+        }
+        let session = Session::with_kv(db, KvStore::new());
+        for ns in &self.namespaces {
+            session
+                .create_namespace(ns)
+                .map_err(|e| DumpError::Load(format!("namespace {ns}: {e}")))?;
+        }
+        for entry in &self.entries {
+            session
+                .apply_entry(entry)
+                .map_err(|e| DumpError::Load(format!("entry @{}: {e}", entry.commit_ts)))?;
+        }
+        session.database().ensure_ts_at_least(self.current_ts);
+        Ok(session)
+    }
+}
+
+/// Pulls a fork of a *running* instance at timestamp `ts` over the wire:
+/// `sys_schema` for the DDL, `sys_history {up_to: ts}` for the aligned
+/// prefix, then a local [`Dump::boot`]. The result is a whole-environment
+/// fork equivalent to calling [`Session::fork_at`] on the remote
+/// instance — without file access to it.
+pub fn fork_from_instance(addr: &str, ts: Ts) -> Result<Session, DumpError> {
+    let mut client = crate::client::Client::connect(addr)
+        .map_err(|e| DumpError::Load(format!("connect {addr}: {e}")))?;
+    let schema = client
+        .call("sys_schema", Json::obj(Vec::<(String, Json)>::new()))
+        .map_err(|e| DumpError::Load(format!("sys_schema: {e}")))?;
+    let history = client
+        .call("sys_history", Json::obj(vec![("up_to", Json::from(ts))]))
+        .map_err(|e| DumpError::Load(format!("sys_history: {e}")))?;
+    // Reassemble the two replies into one dump document and boot it.
+    let mut doc = vec![
+        ("format".to_string(), Json::str(FORMAT)),
+        ("current_ts".to_string(), Json::from(ts)),
+    ];
+    for field in ["tables", "namespaces"] {
+        doc.push((
+            field.to_string(),
+            schema
+                .get(field)
+                .cloned()
+                .ok_or_else(|| DumpError::Format(format!("sys_schema missing {field}")))?,
+        ));
+    }
+    doc.push((
+        "entries".to_string(),
+        history
+            .get("entries")
+            .cloned()
+            .ok_or_else(|| DumpError::Format("sys_history missing entries".into()))?,
+    ));
+    Dump::from_json(&Json::Object(doc))?.boot()
+}

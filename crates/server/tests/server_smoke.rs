@@ -1,0 +1,307 @@
+//! End-to-end smoke tests for the HTTP/JSON-RPC front-end: mixed
+//! traffic (invoke + SQL + time travel + kv), protocol rejections, the
+//! connection-pool bound, and graceful shutdown with a typed 503 drain
+//! window.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use trod_apps::shop;
+use trod_core::json::Json;
+use trod_core::Trod;
+use trod_runtime::Runtime;
+use trod_server::{Client, ClientError, ServerBuilder, ServerHandle};
+
+fn shop_server() -> ServerHandle {
+    let db = shop::shop_db();
+    shop::seed_inventory(&db, 10, 1_000);
+    let runtime = Runtime::builder(db, shop::registry())
+        .kv(shop::shop_kv())
+        .build();
+    let trod = Trod::attach(runtime).expect("attach");
+    ServerBuilder::new(trod)
+        .serve("127.0.0.1:0")
+        .expect("bind ephemeral port")
+}
+
+fn invoke(client: &mut Client, handler: &str, args: Vec<(&str, Json)>, sync: bool) -> Json {
+    client
+        .call(
+            "trod_invoke",
+            Json::obj(vec![
+                ("handler", Json::str(handler)),
+                ("args", Json::obj(args)),
+                ("sync", Json::Bool(sync)),
+            ]),
+        )
+        .expect("invoke")
+}
+
+fn checkout_params(order: &str, customer: &str, item: &str) -> Vec<(&'static str, Json)> {
+    vec![
+        ("order_id", Json::str(order.to_string())),
+        ("customer", Json::str(customer.to_string())),
+        ("item", Json::str(item.to_string())),
+        ("quantity", Json::Int(1)),
+    ]
+}
+
+#[test]
+fn mixed_workload_over_the_wire() {
+    let server = shop_server();
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    // Health first.
+    let health = client.health().expect("health");
+    assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(health.get("draining").and_then(Json::as_bool), Some(false));
+
+    // Invoke a handler; `sync` returns the commit timestamp.
+    let result = invoke(
+        &mut client,
+        "checkout",
+        checkout_params("order-1", "ada", "item-1"),
+        true,
+    );
+    let commit_ts = result
+        .get("commit_ts")
+        .and_then(Json::as_u64)
+        .expect("commit_ts present when sync=true");
+    assert!(commit_ts > 0);
+    let req_id = result
+        .get("req_id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert!(!req_id.is_empty());
+
+    // A second checkout moves state past the first commit.
+    invoke(
+        &mut client,
+        "checkout",
+        checkout_params("order-2", "bob", "item-1"),
+        true,
+    );
+
+    // SQL over the application database.
+    let rs = client
+        .call(
+            "trod_sql",
+            Json::obj(vec![(
+                "sql",
+                Json::str("SELECT order_id FROM orders ORDER BY order_id ASC"),
+            )]),
+        )
+        .expect("sql");
+    let rows = rs.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 2);
+
+    // Time travel: as of the first commit, only order-1 exists.
+    let rs = client
+        .call(
+            "trod_sql",
+            Json::obj(vec![
+                ("sql", Json::str("SELECT order_id FROM orders")),
+                ("as_of", Json::from(commit_ts)),
+            ]),
+        )
+        .expect("as_of sql");
+    assert_eq!(rs.get("rows").and_then(Json::as_array).unwrap().len(), 1);
+
+    // Point read with a typed key.
+    let row = client
+        .call(
+            "trod_get",
+            Json::obj(vec![
+                ("table", Json::str("orders")),
+                ("key", Json::Array(vec![Json::str("order-1")])),
+            ]),
+        )
+        .expect("get");
+    assert!(row.get("row").and_then(Json::as_array).is_some());
+
+    // The polyglot half: checkout cleared the cart namespace entry in
+    // the same commit; the kv surface sees the aligned history.
+    let kv = client
+        .call(
+            "kv_scan",
+            Json::obj(vec![("namespace", Json::str(shop::CARTS_NAMESPACE))]),
+        )
+        .expect("kv_scan");
+    assert!(kv.get("entries").and_then(Json::as_array).is_some());
+
+    // Provenance SQL sees the traced executions.
+    let rs = client
+        .call(
+            "trod_sql",
+            Json::obj(vec![
+                ("sql", Json::str("SELECT ReqId FROM Executions")),
+                ("target", Json::str("provenance")),
+            ]),
+        )
+        .expect("provenance sql");
+    assert!(!rs.get("rows").and_then(Json::as_array).unwrap().is_empty());
+
+    // Status reflects the traffic.
+    let status = client
+        .call("sys_status", Json::obj(Vec::<(&str, Json)>::new()))
+        .expect("status");
+    assert!(status.get("served").and_then(Json::as_u64).unwrap() >= 6);
+    assert!(status
+        .get("handlers")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .any(|h| h.as_str() == Some("checkout")));
+
+    let report = server.shutdown();
+    assert!(report.requests_served >= 7);
+    assert_eq!(report.wal_appended, report.wal_durable);
+}
+
+#[test]
+fn typed_errors_over_the_wire() {
+    let server = shop_server();
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    // Unknown method.
+    let err = client
+        .call("no_such_method", Json::obj(Vec::<(&str, Json)>::new()))
+        .expect_err("unknown method must fail");
+    match &err {
+        ClientError::Rpc(f) => {
+            assert_eq!(f.code, -32601);
+            assert!(!f.retryable);
+        }
+        other => panic!("expected rpc error, got {other:?}"),
+    }
+
+    // Unknown handler: typed NOT_FOUND with kind.
+    let err = client
+        .call(
+            "trod_invoke",
+            Json::obj(vec![("handler", Json::str("nope"))]),
+        )
+        .expect_err("unknown handler must fail");
+    match &err {
+        ClientError::Rpc(f) => {
+            assert_eq!(f.code, 1004);
+            assert_eq!(f.kind, "no_such_handler");
+            assert!(!f.retryable);
+        }
+        other => panic!("expected rpc error, got {other:?}"),
+    }
+
+    // Application failure: checkout of a nonexistent item.
+    let err = client
+        .call(
+            "trod_invoke",
+            Json::obj(vec![
+                ("handler", Json::str("checkout")),
+                ("args", Json::obj(checkout_params("o", "x", "item-999"))),
+            ]),
+        )
+        .expect_err("bad item must fail");
+    match &err {
+        ClientError::Rpc(f) => {
+            assert_eq!(f.code, 1050);
+            assert!(!f.retryable);
+        }
+        other => panic!("expected rpc error, got {other:?}"),
+    }
+
+    // Malformed JSON body → -32700 on a 400.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"POST /rpc HTTP/1.1\r\nconnection: close\r\ncontent-length: 9\r\n\r\nnot json!")
+        .unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap();
+    assert!(response.contains("-32700"), "got: {response}");
+
+    // Unknown path → 404; bad method on /rpc → 405.
+    let mut client2 = Client::connect(&server.addr()).expect("connect");
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+    let mut response = [0u8; 64];
+    let n = raw.read(&mut response).unwrap();
+    assert!(std::str::from_utf8(&response[..n])
+        .unwrap()
+        .starts_with("HTTP/1.1 404"));
+    // The keep-alive client still works after other connections misbehaved.
+    client2.health().expect("health after noise");
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_rejects_with_typed_503() {
+    let server = shop_server();
+    let addr = server.addr();
+    let mut client = Client::connect(&addr).expect("connect");
+    invoke(
+        &mut client,
+        "checkout",
+        checkout_params("o1", "u", "item-0"),
+        false,
+    );
+
+    // Flip into drain mode while the connection stays open: the next
+    // request gets the typed, retryable 1503 on an HTTP 503.
+    server.begin_drain();
+    let err = client
+        .call("sys_status", Json::obj(Vec::<(&str, Json)>::new()))
+        .expect_err("draining server must reject");
+    match &err {
+        ClientError::Rpc(f) => {
+            assert_eq!(f.code, 1503);
+            assert_eq!(f.kind, "draining");
+            assert!(f.retryable, "drain rejection must be retryable");
+        }
+        other => panic!("expected rpc error, got {other:?}"),
+    }
+
+    // Health reflects the drain for plain HTTP probes on new conns
+    // until shutdown finishes. (New connections may also be refused
+    // outright once the acceptor exits; both are acceptable during the
+    // window, so don't assert here.)
+
+    // An idle keep-alive connection (no request in flight) must not
+    // block shutdown.
+    let _idle = TcpStream::connect(&addr).unwrap();
+
+    let report = server.shutdown();
+    assert_eq!(report.requests_served, 1);
+    assert!(report.draining_rejects >= 1);
+    assert_eq!(report.wal_appended, report.wal_durable);
+}
+
+#[test]
+fn connection_pool_bound_rejects_with_retryable_503() {
+    let db = shop::shop_db();
+    shop::seed_inventory(&db, 5, 100);
+    let runtime = Runtime::builder(db, shop::registry())
+        .kv(shop::shop_kv())
+        .build();
+    let trod = Trod::attach(runtime).expect("attach");
+    let server = ServerBuilder::new(trod)
+        .max_connections(2)
+        .serve("127.0.0.1:0")
+        .expect("bind");
+    let addr = server.addr();
+
+    let mut a = Client::connect(&addr).expect("conn 1");
+    let mut b = Client::connect(&addr).expect("conn 2");
+    a.health().expect("conn 1 alive");
+    b.health().expect("conn 2 alive");
+
+    // The third connection is over the bound: it gets exactly one
+    // retryable 503 and is closed.
+    let mut c = Client::connect(&addr).expect("tcp connect still succeeds");
+    let err = c.health().expect_err("over-bound connection is rejected");
+    match err {
+        ClientError::Protocol(d) => assert!(d.contains("503"), "got: {d}"),
+        other => panic!("expected protocol error with 503, got {other:?}"),
+    }
+
+    server.shutdown();
+}

@@ -1,0 +1,94 @@
+//! The application workloads (shop, Moodle, MediaWiki) driven over the
+//! wire: N concurrent keep-alive connections, every request a
+//! `trod_invoke`. Conflict failures under contention are expected and
+//! must be typed retryable; fatal failures mean a broken mapping.
+
+use trod_apps::{mediawiki, moodle, shop, workload};
+use trod_core::Trod;
+use trod_runtime::Runtime;
+use trod_server::{drive_workload, ServerBuilder, ServerHandle};
+
+fn serve(trod: Trod) -> ServerHandle {
+    ServerBuilder::new(trod).serve("127.0.0.1:0").expect("bind")
+}
+
+#[test]
+fn shop_workload_over_the_wire() {
+    let db = shop::shop_db();
+    shop::seed_inventory(&db, 10, 10_000);
+    let runtime = Runtime::builder(db, shop::registry())
+        .kv(shop::shop_kv())
+        .build();
+    let server = serve(Trod::attach(runtime).expect("attach"));
+
+    let cfg = workload::WorkloadConfig {
+        requests: 120,
+        users: 10,
+        items: 8,
+        conflict_rate: 0.2,
+        seed: 11,
+    };
+    let report = drive_workload(&server.addr(), workload::shop_workload(&cfg), 8).expect("drive");
+
+    assert_eq!(report.requests, cfg.requests);
+    // getOrder requests may race the checkout that creates the order —
+    // those fail as application errors; checkouts only ever fail
+    // retryably. A fatal failure rate above the read share means the
+    // wire mapping itself is broken.
+    assert!(report.ok > cfg.requests / 2, "report: {report:?}");
+    assert!(
+        report.fatal_failures <= cfg.requests / 10 + 1,
+        "unexpected fatal failures: {report:?}"
+    );
+
+    let shutdown = server.shutdown();
+    assert_eq!(shutdown.requests_served as usize, cfg.requests);
+}
+
+#[test]
+fn moodle_workload_over_the_wire() {
+    let db = moodle::moodle_db();
+    let provenance = moodle::provenance_for(&db);
+    let runtime = Runtime::builder(db, moodle::registry()).build();
+    let server = serve(Trod::attach_with(runtime, provenance));
+
+    let cfg = workload::WorkloadConfig {
+        requests: 100,
+        users: 12,
+        items: 6,
+        conflict_rate: 0.3,
+        seed: 23,
+    };
+    let report = drive_workload(&server.addr(), workload::moodle_workload(&cfg), 8).expect("drive");
+
+    assert_eq!(report.requests, cfg.requests);
+    assert_eq!(report.fatal_failures, 0, "report: {report:?}");
+    assert!(report.ok > cfg.requests / 2, "report: {report:?}");
+    server.shutdown();
+}
+
+#[test]
+fn mediawiki_workload_over_the_wire() {
+    let runtime = Runtime::builder(mediawiki::mediawiki_db(), mediawiki::registry()).build();
+    let server = serve(Trod::attach(runtime).expect("attach"));
+
+    let cfg = workload::WorkloadConfig {
+        requests: 100,
+        users: 8,
+        items: 5,
+        conflict_rate: 0.25,
+        seed: 31,
+    };
+    let mut requests = workload::mediawiki_workload(&cfg);
+    // Warm up the page pool serially (as a deployment would), then race
+    // the edit/read mix over the wire.
+    let rest = requests.split_off(cfg.items.min(cfg.requests));
+    let warmup = drive_workload(&server.addr(), requests, 1).expect("warmup");
+    assert_eq!(warmup.fatal_failures, 0, "warmup: {warmup:?}");
+
+    let report = drive_workload(&server.addr(), rest, 8).expect("drive");
+    assert_eq!(report.requests + warmup.requests, cfg.requests);
+    assert_eq!(report.fatal_failures, 0, "report: {report:?}");
+    assert!(report.ok > 0, "report: {report:?}");
+    server.shutdown();
+}

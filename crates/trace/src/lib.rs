@@ -27,10 +27,14 @@ pub mod buffer;
 pub mod clock;
 pub mod flush;
 pub mod interpose;
+pub mod json;
 pub mod record;
+pub mod wire;
 
 pub use buffer::{TraceBuffer, TraceStats};
 pub use clock::TraceClock;
 pub use flush::{BackgroundFlusher, CollectingSink, TraceSink};
 pub use interpose::Tracer;
+pub use json::{Json, JsonError};
 pub use record::{ReadTrace, TraceEvent, TxnContext, TxnTrace};
+pub use wire::WireError;

@@ -3,8 +3,8 @@
 # perf-trajectory artifact (BENCH_PR<N>.json).
 #
 # Usage:
-#   scripts/bench.sh                  # writes BENCH_PR7.json (current PR)
-#   scripts/bench.sh BENCH_PR8.json   # explicit output name
+#   scripts/bench.sh                  # writes BENCH_PR8.json (current PR)
+#   scripts/bench.sh BENCH_PR9.json   # explicit output name
 #   BENCH_FILTER=commit_validation scripts/bench.sh            # one target
 #   BENCH_FILTER="commit_validation scan_path" scripts/bench.sh
 #   TROD_BENCH_MS=100 scripts/bench.sh                # faster, noisier
@@ -21,15 +21,20 @@
 #     elements_per_sec - optional; present when the bench declares
 #                        throughput (e.g. rows served per second)
 #
-# New ids in BENCH_PR7.json: `read_scaling/hot_reads/<mode>/threads_<T>`
-# where <mode> is `ssi` (lock-free serializable readers, the default) or
-# `read_lock` (the 2PL read-locking baseline via set_read_lock_commit);
-# elements are committed transactions, each nine hot-table point reads
-# plus one private-table write at serializable isolation.
+# New ids in BENCH_PR8.json: `server_throughput/point_reads/conns_<N>`
+# for N in {16, 64, 128, 512} — wire-level `trod_get` point reads over N
+# concurrent keep-alive HTTP/1.1 connections against the
+# thread-per-connection JSON-RPC server; elements are completed
+# request/response cycles, so `elements_per_sec` is served requests per
+# second (the PR 8 bar: ≥ 10k req/s at ≥ 128 connections).
+#
+# Carried from PR 7: `read_scaling/hot_reads/<mode>/threads_<T>` where
+# <mode> is `ssi` (lock-free serializable readers, the default) or
+# `read_lock` (the 2PL read-locking baseline via set_read_lock_commit).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 # Absolute path: cargo runs bench binaries from the package directory.
 jsonl="$PWD/target/bench-results.jsonl"
 rm -f "$jsonl"

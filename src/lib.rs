@@ -17,6 +17,8 @@
 //!   retroactive programming, security forensics.
 //! * [`apps`] — the paper's case-study applications (Moodle, MediaWiki,
 //!   e-commerce, user profiles) and workload generators.
+//! * [`server`] — the HTTP/1.1 + JSON-RPC network front-end with remote
+//!   forkable debug sessions, dump/load, and fork-from-instance.
 //!
 //! ```
 //! use trod::prelude::*;
@@ -49,6 +51,7 @@ pub use trod_kv as kv;
 pub use trod_provenance as provenance;
 pub use trod_query as query;
 pub use trod_runtime as runtime;
+pub use trod_server as server;
 pub use trod_trace as trace;
 
 /// The most commonly used items, re-exported for convenience.

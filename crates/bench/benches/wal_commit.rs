@@ -25,6 +25,13 @@
 //!
 //! `recovery/` benches `Database::open_durable` against pre-built logs
 //! of increasing length: recovery cost must stay linear in log bytes.
+//!
+//! PR 9 additions: `group/sync/roll` measures the same 8-thread group
+//! commit with a segment bound small enough to roll several times per
+//! round (rotation overhead must hide inside the group-commit window),
+//! and `recovery_segments/` recovers the SAME history split across
+//! 1/4/16 segment files (per-commit recovery cost must stay within 2×
+//! of single-segment).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -58,20 +65,29 @@ fn wal_path(tag: &str) -> std::path::PathBuf {
     ))
 }
 
-fn durable_db(path: &std::path::Path, mode: SyncMode, group: bool) -> Database {
-    let db = Database::create_durable(
-        path,
-        WalOptions {
-            sync_mode: mode,
-            group_commit: group,
-        },
-    )
-    .expect("create durable db");
+fn wal_opts(mode: SyncMode, group: bool, segment_bytes: u64) -> WalOptions {
+    WalOptions {
+        sync_mode: mode,
+        group_commit: group,
+        segment_bytes,
+    }
+}
+
+fn durable_db(path: &std::path::Path, opts: WalOptions) -> Database {
+    let db = Database::create_durable(path, opts).expect("create durable db");
     for t in 0..THREAD_COUNTS[THREAD_COUNTS.len() - 1] {
         db.create_table(format!("items_{t}"), items_schema())
             .unwrap();
     }
     db
+}
+
+/// Total log bytes of the directory layout (all segment + cold files).
+fn log_bytes(path: &std::path::Path) -> u64 {
+    std::fs::read_dir(path)
+        .expect("log dir")
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum()
 }
 
 /// One round: `threads` threads, each committing `COMMITS_PER_THREAD`
@@ -101,15 +117,18 @@ fn bench_group_commit(c: &mut Criterion) {
     // Real fsyncs: keep samples small, give each config a fixed budget.
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
-    for (mode_name, mode, group_on) in [
-        ("group/sync", SyncMode::Sync, true),
-        ("group/flush", SyncMode::Flush, true),
-        ("group/cached", SyncMode::Cached, true),
-        ("serial/sync", SyncMode::Sync, false),
+    for (mode_name, opts) in [
+        ("group/sync", wal_opts(SyncMode::Sync, true, 0)),
+        ("group/flush", wal_opts(SyncMode::Flush, true, 0)),
+        ("group/cached", wal_opts(SyncMode::Cached, true, 0)),
+        ("serial/sync", wal_opts(SyncMode::Sync, false, 0)),
+        // Segment-roll overhead: a bound small enough that every round
+        // rolls the active segment several times.
+        ("group/sync/roll", wal_opts(SyncMode::Sync, true, 16 << 10)),
     ] {
         for &threads in &THREAD_COUNTS {
             let path = wal_path("throughput");
-            let db = durable_db(&path, mode, group_on);
+            let db = durable_db(&path, opts);
             let mut round = 0usize;
             group.throughput(Throughput::Elements((threads * COMMITS_PER_THREAD) as u64));
             group.bench_function(
@@ -122,30 +141,34 @@ fn bench_group_commit(c: &mut Criterion) {
                 },
             );
             drop(db);
-            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_dir_all(&path);
         }
     }
     group.finish();
+}
+
+/// Builds a log of `commits` single-row transactions at the given
+/// segment bound and returns its path.
+fn build_log(tag: &str, commits: usize, segment_bytes: u64) -> std::path::PathBuf {
+    let path = wal_path(tag);
+    // Flush mode: write-through without fsync — fast to build, and the
+    // rotation path (which seals on sync/flush boundaries) still runs.
+    let db = durable_db(&path, wal_opts(SyncMode::Flush, true, segment_bytes));
+    for i in 0..commits {
+        let mut txn = db.begin();
+        txn.insert("items_0", row![i as i64, i as i64]).unwrap();
+        txn.commit().unwrap();
+    }
+    db.wal().unwrap().flush().unwrap();
+    path
 }
 
 fn bench_recovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("wal_commit/recovery");
     group.sample_size(10);
     for commits in [256usize, 1024, 4096] {
-        let path = wal_path("recovery");
-        {
-            // Build the log once, quickly (no fsync needed for a file we
-            // only read back).
-            let db = durable_db(&path, SyncMode::Cached, true);
-            for i in 0..commits {
-                let mut txn = db.begin();
-                txn.insert("items_0", row![i as i64, i as i64]).unwrap();
-                txn.commit().unwrap();
-            }
-            db.wal().unwrap().flush().unwrap();
-        }
-        let bytes = std::fs::metadata(&path).unwrap().len();
-        group.throughput(Throughput::Bytes(bytes));
+        let path = build_log("recovery", commits, 0);
+        group.throughput(Throughput::Bytes(log_bytes(&path)));
         group.bench_function(
             BenchmarkId::new("open_durable", format!("commits_{commits}")),
             |b| {
@@ -157,10 +180,48 @@ fn bench_recovery(c: &mut Criterion) {
                 })
             },
         );
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&path);
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_group_commit, bench_recovery);
+/// Recovery of the SAME history split across 1, 4 and 16 segments: the
+/// manifest walk and per-file validation must not blow up recovery cost
+/// (acceptance bound: within 2× of single-segment per commit).
+fn bench_recovery_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_commit/recovery_segments");
+    group.sample_size(10);
+    const COMMITS: usize = 1024;
+
+    // Size the bounds off the real single-segment byte count.
+    let single = build_log("recseg_probe", COMMITS, 0);
+    let total = log_bytes(&single);
+    let _ = std::fs::remove_dir_all(&single);
+
+    for target in [1u64, 4, 16] {
+        let segment_bytes = if target == 1 { 0 } else { total / target };
+        let path = build_log("recseg", COMMITS, segment_bytes);
+        group.throughput(Throughput::Elements(COMMITS as u64));
+        group.bench_function(
+            BenchmarkId::new("open_durable", format!("segments_{target}")),
+            |b| {
+                b.iter(|| {
+                    let (db, report) =
+                        Database::open_durable(&path, WalOptions::default()).unwrap();
+                    assert_eq!(report.commits, COMMITS);
+                    db
+                })
+            },
+        );
+        let _ = std::fs::remove_dir_all(&path);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_commit,
+    bench_recovery,
+    bench_recovery_segments
+);
 criterion_main!(benches);

@@ -224,17 +224,32 @@ impl Trod {
         Ok((trod, report))
     }
 
-    /// [`Trod::enable_retention`] plus a durable sink for the spills:
-    /// entries GC truncates are appended to a WAL segment at `path`
-    /// (synced per `mode`) as well as kept in memory, so debugging reach
-    /// survives a crash of this process. Reopening an existing segment
-    /// reloads its spilled history first; returns how many entries were
-    /// reloaded.
+    /// [`Trod::enable_retention`] plus a durable home for the spills.
+    ///
+    /// When production runs on a segmented WAL (the directory layout of
+    /// [`Trod::open_durable`]), the log itself is that home: GC compacts
+    /// sealed segments below the floor into immutable cold files instead
+    /// of deleting them, so the spilled history is already durable and no
+    /// second copy is written — `path` is ignored and 0 is returned.
+    /// Otherwise (in-memory sinks, legacy single-file logs) entries GC
+    /// truncates are appended to a dedicated spill segment at `path`
+    /// (synced per `mode`) as well as kept in memory. Reopening an
+    /// existing spill segment reloads its history first; returns how many
+    /// entries were reloaded.
     pub fn enable_durable_retention(
         &self,
         path: impl AsRef<std::path::Path>,
         mode: trod_db::SyncMode,
     ) -> Result<usize, trod_db::StorageError> {
+        let segmented = self
+            .runtime
+            .database()
+            .wal()
+            .is_some_and(|w| w.is_segmented());
+        if segmented {
+            self.enable_retention();
+            return Ok(0);
+        }
         let loaded = self.provenance.enable_durable_spills(path, mode)?;
         self.enable_retention();
         Ok(loaded)

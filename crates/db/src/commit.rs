@@ -35,10 +35,13 @@
 //!
 //! Durability rides the same seam: the coordinator appends the aligned
 //! log entry — participant records included — to the attached WAL inside
-//! the publication window, and recovery re-installs recovered entries
-//! through participant `install` calls, so a crash-recovered kv store is
-//! rebuilt by the identical code path that wrote it live (see
-//! [`crate::wal`] and the durability section in [`crate::database`]).
+//! the publication window (segment rotation happens strictly *outside*
+//! that window, on the post-ack sync path, so a roll never creates a
+//! commit-order hole across files), and recovery re-installs recovered
+//! entries through participant `install` calls, so a crash-recovered kv
+//! store is rebuilt by the identical code path that wrote it live (see
+//! [`crate::wal`], [`crate::segment`] and the durability section in
+//! [`crate::database`]).
 
 use std::sync::Arc;
 

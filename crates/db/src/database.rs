@@ -182,12 +182,36 @@
 //! [`Database::open_durable`], or [`Database::attach_wal`] for custom
 //! sinks) makes the aligned history real: the publication window streams
 //! every [`TxnLog`] entry — relational and `kv:<namespace>` change
-//! records verbatim — into an append-only segment file as a
-//! length-prefixed, CRC-checksummed record (format in [`crate::wal`]),
-//! so the WAL byte order *is* the commit order. DDL (`create_table`,
-//! `create_index`, `create_range_index`, and namespace creation at the
-//! session layer) is logged the same way, so recovery rebuilds the
-//! catalog before the commits that use it.
+//! records verbatim — into the active segment of a
+//! [`crate::segment::SegmentedWal`] as a length-prefixed, CRC-checksummed
+//! record (format in [`crate::wal`]), so the WAL byte order *is* the
+//! commit order. DDL (`create_table`, `create_index`,
+//! `create_range_index`, and namespace creation at the session layer) is
+//! logged the same way, so recovery rebuilds the catalog before the
+//! commits that use it.
+//!
+//! **Segment lifecycle.** The durable log is a directory of segments
+//! tracked by a checksummed `MANIFEST` (details in [`crate::segment`]);
+//! each segment moves through exactly one path:
+//!
+//! ```text
+//! active ──(size bound reached, rotation outside the
+//!           publication window; fully synced at seal)──▶ sealed
+//! sealed ──(max commit ts <= GC floor; entries spilled;
+//!           copied + verified into an immutable cold file,
+//!           published by an atomic manifest swap)───────▶ compacted
+//! compacted originals ──(only after the manifest swap
+//!           is durable)──────────────────────────────────▶ deleted
+//! ```
+//!
+//! Only the **active** segment may carry a torn tail after a crash;
+//! sealed and cold files were complete and durable before the manifest
+//! ever referenced them, so any damage there is refused as typed
+//! corruption. [`Database::gc_before`] drives the sealed → compacted
+//! transition: once the log floor rises past a sealed segment's last
+//! commit (its entries now live in the retention spill and the cold copy)
+//! the original is deleted — durable retention stops growing without
+//! bound.
 //!
 //! **Group commit.** Appending happens inside the publication window (a
 //! memcpy into the WAL's buffer — no IO on the ordered critical path);
@@ -241,6 +265,7 @@ use crate::predicate::Predicate;
 use crate::registry::ActiveTxnRegistry;
 use crate::row::{Key, Row};
 use crate::schema::Schema;
+use crate::segment::{LogDir, SegmentedRecovery, SegmentedWal};
 use crate::table::{BatchOp, ScanRows, TableStore};
 use crate::txn::{CommitInfo, IsolationLevel, Transaction, TxnState, WriteOp};
 use crate::wal::{RecoveryReport, Wal, WalOptions, WalRecord};
@@ -319,7 +344,7 @@ struct DbInner {
     /// appends its log entry (and DDL its record) inside the publication
     /// window and group-syncs after releasing its locks. `None` = pure
     /// in-memory database (forks, tests, the default).
-    wal: RwLock<Option<Arc<Wal>>>,
+    wal: RwLock<Option<Arc<SegmentedWal>>>,
 }
 
 /// A handle to an in-memory transactional database.
@@ -382,15 +407,25 @@ impl Database {
         }
     }
 
-    /// Creates an empty database whose commits stream to a fresh WAL file
-    /// at `path` (truncating any existing file). See the module docs on
-    /// durability.
+    /// Creates an empty database whose commits stream to a fresh
+    /// segmented WAL directory at `path` (truncating any existing log —
+    /// including a pre-segmentation single-file one). See the module docs
+    /// on durability.
     pub fn create_durable(
         path: impl AsRef<std::path::Path>,
         opts: WalOptions,
     ) -> DbResult<Database> {
         let db = Database::new();
-        db.attach_wal(Wal::create(path, opts)?);
+        db.attach_segmented_wal(SegmentedWal::create_path(path, opts)?);
+        Ok(db)
+    }
+
+    /// [`Database::create_durable`] over an arbitrary [`LogDir`]
+    /// (fault-injection tests drive a [`crate::segment::FailpointDir`]
+    /// through here).
+    pub fn create_durable_in(dir: Arc<dyn LogDir>, opts: WalOptions) -> DbResult<Database> {
+        let db = Database::new();
+        db.attach_segmented_wal(SegmentedWal::create_dir(dir, opts)?);
         Ok(db)
     }
 
@@ -410,13 +445,32 @@ impl Database {
         path: impl AsRef<std::path::Path>,
         opts: WalOptions,
     ) -> DbResult<(Database, RecoveryReport)> {
-        let (wal, records, info) = Wal::open(path, opts)?;
+        let (wal, records, info) = SegmentedWal::open_path(path, opts)?;
+        Self::recover_from(wal, &records, &info)
+    }
+
+    /// [`Database::open_durable`] over an arbitrary [`LogDir`].
+    pub fn open_durable_in(
+        dir: Arc<dyn LogDir>,
+        opts: WalOptions,
+    ) -> DbResult<(Database, RecoveryReport)> {
+        let (wal, records, info) = SegmentedWal::open_dir(dir, opts)?;
+        Self::recover_from(wal, &records, &info)
+    }
+
+    fn recover_from(
+        wal: Arc<SegmentedWal>,
+        records: &[WalRecord],
+        info: &SegmentedRecovery,
+    ) -> DbResult<(Database, RecoveryReport)> {
         let db = Database::new();
-        let mut report = db.replay_wal_records(&records, &[], None)?;
+        let mut report = db.replay_wal_records(records, &[], None)?;
         report.truncated_bytes = info.truncated_bytes;
+        report.segments = info.segments;
+        report.cold_files = info.cold_files;
         // Attach only after replay: a WAL attached earlier would re-append
         // every replayed entry.
-        db.attach_wal(wal);
+        db.attach_segmented_wal(wal);
         Ok((db, report))
     }
 
@@ -483,11 +537,18 @@ impl Database {
     /// ([`crate::wal::Wal::with_sink`], fault-injection tests); prefer
     /// [`Database::create_durable`] / [`Database::open_durable`].
     pub fn attach_wal(&self, wal: Arc<Wal>) {
+        self.attach_segmented_wal(SegmentedWal::single(wal));
+    }
+
+    /// Attaches a segmented WAL directly (what the durable constructors
+    /// do); [`Database::attach_wal`] wraps a single-sink [`Wal`] into a
+    /// rotation-free [`SegmentedWal`] through here.
+    pub fn attach_segmented_wal(&self, wal: Arc<SegmentedWal>) {
         *self.inner.wal.write() = Some(wal);
     }
 
     /// The attached WAL, if any.
-    pub fn wal(&self) -> Option<Arc<Wal>> {
+    pub fn wal(&self) -> Option<Arc<SegmentedWal>> {
         self.inner.wal.read().clone()
     }
 
@@ -1781,6 +1842,13 @@ impl Database {
         let mut versions = 0;
         for store in self.inner.tables.read().values() {
             versions += store.gc_before(horizon);
+        }
+        // Compact sealed WAL segments wholly below the raised floor into
+        // immutable cold files — best-effort: an error leaves the sealed
+        // originals in place (counted in the WAL stats) and a later GC
+        // retries.
+        if let Some(wal) = self.wal() {
+            let _ = wal.compact_below(self.log_truncated_below());
         }
         (versions, logs)
     }

@@ -111,6 +111,7 @@ pub mod predicate;
 pub mod registry;
 pub mod row;
 pub mod schema;
+pub mod segment;
 pub mod table;
 pub mod txn;
 pub mod value;
@@ -129,10 +130,14 @@ pub use predicate::{CmpOp, ColumnBounds, CompiledPredicate, Predicate};
 pub use registry::ActiveTxnRegistry;
 pub use row::{Key, Row};
 pub use schema::{Column, Schema, SchemaBuilder};
+pub use segment::{
+    DirFailpointHandle, FailpointDir, FsDir, LogDir, MemDir, SegmentedRecovery, SegmentedWal,
+    WalStats,
+};
 pub use table::{BatchOp, ScanPlan, ScanRows, TableStore};
 pub use txn::{CommitInfo, IsolationLevel, ReadSummary, Transaction};
 pub use value::{DataType, Value};
 pub use wal::{
     FailpointHandle, FailpointSink, FileSink, MemSink, RecoveryInfo, RecoveryReport, SyncMode, Wal,
-    WalOptions, WalRecord, WalSink,
+    WalOptions, WalRecord, WalSink, DEFAULT_SEGMENT_BYTES,
 };

@@ -104,13 +104,22 @@ pub struct WalOptions {
     /// publication window — the serial-fsync baseline benchmarks compare
     /// against.
     pub group_commit: bool,
+    /// Size bound at which a [`crate::segment::SegmentedWal`] rolls its
+    /// active segment (checked after each group sync, so a segment can
+    /// overshoot by one group). `0` disables rotation — the log stays a
+    /// single ever-growing segment, the pre-segmentation behaviour.
+    pub segment_bytes: u64,
 }
+
+/// Default [`WalOptions::segment_bytes`]: 64 MiB.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 64 << 20;
 
 impl Default for WalOptions {
     fn default() -> Self {
         WalOptions {
             sync_mode: SyncMode::Sync,
             group_commit: true,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -192,15 +201,15 @@ pub const FRAME_HEADER_LEN: usize = 12;
 /// more is treated as damage, not as an allocation request.
 const MAX_RECORD_LEN: u32 = 1 << 28;
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
@@ -337,12 +346,21 @@ pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
 
 // Bounds-checked reader: every decode failure is a `String` detail the
 // caller wraps into a typed error — malformed bytes can never panic.
-struct Cursor<'a> {
+// Shared with the MANIFEST codec in `crate::segment`.
+pub(crate) struct Cursor<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         if self.data.len() - self.pos < n {
             return Err(format!(
@@ -360,11 +378,11 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -372,7 +390,7 @@ impl<'a> Cursor<'a> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Result<String, String> {
+    pub(crate) fn str(&mut self) -> Result<String, String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_string())
@@ -441,10 +459,7 @@ impl<'a> Cursor<'a> {
 }
 
 fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
-    let mut c = Cursor {
-        data: payload,
-        pos: 0,
-    };
+    let mut c = Cursor::new(payload);
     let record = match c.u8()? {
         TAG_COMMIT => {
             let txn_id = c.u64()?;
@@ -541,6 +556,11 @@ pub struct RecoveryReport {
     pub kv_writes_replayed: usize,
     /// Bytes discarded as a torn tail before replay began.
     pub truncated_bytes: u64,
+    /// Segment files the recovery walked (sealed + active; 1 for a
+    /// single-segment log).
+    pub segments: usize,
+    /// Immutable cold files replayed before the segments.
+    pub cold_files: usize,
 }
 
 enum Parse {
@@ -930,7 +950,7 @@ impl Wal {
         Wal::with_sink_at(sink, 0, opts)
     }
 
-    fn with_sink_at(sink: Box<dyn WalSink>, offset: u64, opts: WalOptions) -> Arc<Wal> {
+    pub(crate) fn with_sink_at(sink: Box<dyn WalSink>, offset: u64, opts: WalOptions) -> Arc<Wal> {
         Arc::new(Wal {
             state: Mutex::new(WalState {
                 sink: Some(sink),

@@ -58,6 +58,15 @@ fn scratch_path(tag: &str) -> std::path::PathBuf {
     ))
 }
 
+/// Materialises a crashed log at `path`: a fresh directory holding
+/// `bytes` as segment 0 — the manifest-less layout recovery adopts
+/// (and the layout a pre-segmentation file migrates into).
+fn write_log_dir(path: &std::path::Path, bytes: &[u8]) {
+    let _ = std::fs::remove_dir_all(path);
+    std::fs::create_dir_all(path).unwrap();
+    std::fs::write(path.join("wal-000000.seg"), bytes).unwrap();
+}
+
 struct WorkloadRun {
     /// The full WAL byte stream the workload produced.
     bytes: Vec<u8>,
@@ -154,7 +163,7 @@ fn state_at(db: &Database, ts: u64) -> Vec<(String, Vec<trod_db::Value>)> {
 /// preserves in full.
 fn check_crash_prefix(run: &WorkloadRun, cut: usize, tag: &str) {
     let path = scratch_path(tag);
-    std::fs::write(&path, &run.bytes[..cut]).unwrap();
+    write_log_dir(&path, &run.bytes[..cut]);
     let (db, report) = Database::open_durable(&path, WalOptions::default())
         .unwrap_or_else(|e| panic!("cut at {cut}: recovery must succeed, got {e}"));
     // Acknowledged prefix: commits whose full frame fits below the cut.
@@ -202,7 +211,7 @@ fn check_crash_prefix(run: &WorkloadRun, cut: usize, tag: &str) {
         "cut at {cut}: state must equal the oracle at ts {horizon}"
     );
     assert_eq!(db.current_ts(), horizon, "cut at {cut}: clock restored");
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]
@@ -254,7 +263,7 @@ fn recovered_database_accepts_new_commits_after_the_recovered_prefix() {
         },
     ]);
     let path = scratch_path("resume");
-    std::fs::write(&path, &run.bytes).unwrap();
+    write_log_dir(&path, &run.bytes);
     let commit_ts = {
         let (db, report) = Database::open_durable(&path, WalOptions::default()).unwrap();
         assert_eq!(report.commits, 2);
@@ -274,7 +283,7 @@ fn recovered_database_accepts_new_commits_after_the_recovered_prefix() {
             .values()[1],
         trod_db::Value::Int(3)
     );
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]
@@ -300,7 +309,7 @@ fn corruption_yields_a_typed_error_or_a_clean_prefix_never_a_panic() {
     for i in 0..run.bytes.len() {
         let mut damaged = run.bytes.clone();
         damaged[i] ^= 0xFF;
-        std::fs::write(&path, &damaged).unwrap();
+        write_log_dir(&path, &damaged);
         match Database::open_durable(&path, WalOptions::default()) {
             // Mid-file damage: typed, positioned, retryable=false.
             Err(DbError::Storage(StorageError::Corrupt { offset, .. })) => {
@@ -316,7 +325,7 @@ fn corruption_yields_a_typed_error_or_a_clean_prefix_never_a_panic() {
             }
         }
     }
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]
@@ -342,7 +351,7 @@ fn ddl_is_durable_in_all_sync_modes() {
                 .len(),
             1
         );
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&path);
     }
 }
 
@@ -369,7 +378,7 @@ fn cached_mode_loses_only_the_unflushed_tail() {
         .get_latest("alpha", &trod_db::Key::single(2i64))
         .unwrap()
         .is_none());
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 // ---------------------------------------------------------------------
@@ -422,7 +431,7 @@ proptest! {
             let mut damaged = run.bytes.clone();
             let i = ((pos * damaged.len() as f64) as usize).min(damaged.len() - 1);
             damaged[i] ^= 1 << bit;
-            std::fs::write(&path, &damaged).unwrap();
+            write_log_dir(&path, &damaged);
             match Database::open_durable(&path, WalOptions::default()) {
                 Err(DbError::Storage(StorageError::Corrupt { .. })) => {}
                 Err(e) => panic!("unexpected error kind {e}"),
@@ -434,6 +443,6 @@ proptest! {
                 }
             }
         }
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&path);
     }
 }

@@ -1,0 +1,382 @@
+//! Crash-safety of the segmented WAL at the database level.
+//!
+//! The tentpole contracts under test:
+//!
+//! * **Crash at every cost unit** — a deterministic sweep runs a
+//!   workload that performs many rotations and one compaction over a
+//!   [`FailpointDir`], crashing after `k` cost units for every `k` from
+//!   0 to the full run's cost (one unit per sink byte, one per metadata
+//!   operation — create, rename, delete, fsync, directory fsync). Every
+//!   crash point must recover into a dense prefix of the oracle history
+//!   containing every acknowledged commit: zero lost durable commits, no
+//!   torn state, no panic.
+//! * **Recovery equivalence** — a property test drives random workloads
+//!   at random segment sizes, crashes by truncating the persisted image
+//!   at a random point or flipping a random bit, and requires recovery
+//!   to either produce an exact oracle prefix or refuse with a typed
+//!   [`StorageError`] — never panic, never fabricate state.
+//! * **Layout adoption** — a pre-segmentation single-file log migrates
+//!   byte-identically into segment 0, and a manifest-less directory of
+//!   `wal-*.seg` files is adopted in sequence order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use trod_db::segment::{DirFailpointHandle, FailpointDir, LogDir, MemDir};
+use trod_db::wal::encode_frame;
+use trod_db::{
+    row, CommittedTxn, DataType, Database, DbError, Schema, StorageError, SyncMode, Ts, WalOptions,
+    WalRecord,
+};
+
+fn events_schema() -> Schema {
+    Schema::builder()
+        .column("k", DataType::Int)
+        .column("v", DataType::Int)
+        .primary_key(&["k"])
+        .build()
+        .unwrap()
+}
+
+fn opts(segment_bytes: u64) -> WalOptions {
+    WalOptions {
+        sync_mode: SyncMode::Sync,
+        segment_bytes,
+        ..WalOptions::default()
+    }
+}
+
+/// One deterministic workload: DDL, `commits` inserts (each one synced
+/// commit), and optionally a GC (which compacts sealed segments below
+/// the floor into cold files) after commit `gc_after`.
+struct Workload {
+    segment_bytes: u64,
+    commits: i64,
+    gc_after: Option<i64>,
+}
+
+/// Runs the workload until completion or the first storage failure
+/// (= the crash); returns the commit timestamps that were *acknowledged*
+/// (fsync succeeded before the crash point).
+fn run(workload: &Workload, dir: Arc<dyn LogDir>) -> Vec<Ts> {
+    let mut acked = Vec::new();
+    let db = match Database::create_durable_in(dir, opts(workload.segment_bytes)) {
+        Ok(db) => db,
+        Err(_) => return acked,
+    };
+    if db.create_table("events", events_schema()).is_err() {
+        return acked;
+    }
+    for i in 0..workload.commits {
+        let mut txn = db.begin();
+        txn.insert("events", row![i, i * 10]).unwrap();
+        match txn.commit() {
+            Ok(outcome) => acked.push(outcome.commit_ts),
+            Err(DbError::Storage(_)) => return acked,
+            Err(e) => panic!("only storage errors may surface at a crash: {e}"),
+        }
+        if workload.gc_after == Some(i) {
+            // GC truncates the live log and (best-effort) compacts the
+            // covered sealed segments; a crash mid-compaction must never
+            // lose history.
+            let horizon = db.current_ts();
+            let _ = db.gc_before(horizon);
+        }
+    }
+    acked
+}
+
+/// The same workload against a plain in-memory database (no WAL, no GC):
+/// the oracle history recovery must reproduce a prefix of.
+fn oracle(workload: &Workload) -> Vec<CommittedTxn> {
+    let db = Database::new();
+    db.create_table("events", events_schema()).unwrap();
+    for i in 0..workload.commits {
+        let mut txn = db.begin();
+        txn.insert("events", row![i, i * 10]).unwrap();
+        txn.commit().unwrap();
+    }
+    db.log_entries()
+}
+
+/// Recovers from `image` and checks it against the oracle: the log is a
+/// verbatim oracle prefix (GC'd history included — it lives on in cold
+/// files) covering every acknowledged commit.
+fn assert_recovers(image: MemDir, oracle_log: &[CommittedTxn], acked: &[Ts], tag: &str) {
+    let (db, report) = Database::open_durable_in(Arc::new(image), WalOptions::default())
+        .unwrap_or_else(|e| panic!("{tag}: a crash leaves a recoverable image, got {e}"));
+    let log = db.log_entries();
+    assert!(
+        log.len() <= oracle_log.len(),
+        "{tag}: recovered more than was ever committed"
+    );
+    assert_eq!(log[..], oracle_log[..log.len()], "{tag}: oracle prefix");
+    let horizon = log.last().map(|e| e.commit_ts).unwrap_or(0);
+    if let Some(&max_acked) = acked.iter().max() {
+        assert!(
+            horizon >= max_acked,
+            "{tag}: acknowledged commit {max_acked} lost (recovered to {horizon})"
+        );
+    }
+    assert_eq!(db.current_ts(), horizon, "{tag}: clock restored");
+    assert!(report.segments >= 1, "{tag}: at least the active segment");
+}
+
+/// The deterministic sweep: crash after every cost unit of the full run.
+fn crash_sweep(workload: &Workload, tag: &str) {
+    // Counting pass: the unfaulted run fixes the total cost and proves
+    // the workload itself is clean.
+    let mem = MemDir::new();
+    let points = DirFailpointHandle::new();
+    let dir: Arc<dyn LogDir> = Arc::new(FailpointDir::new(Arc::new(mem.clone()), points.clone()));
+    let all = run(workload, dir);
+    assert_eq!(all.len() as i64, workload.commits, "{tag}: counting pass");
+    let total = points.cost();
+    let oracle_log = oracle(workload);
+    assert_recovers(mem.snapshot(), &oracle_log, &all, &format!("{tag} full"));
+
+    for k in 0..=total {
+        let mem = MemDir::new();
+        let points = DirFailpointHandle::new();
+        points.crash_after(k);
+        let dir: Arc<dyn LogDir> =
+            Arc::new(FailpointDir::new(Arc::new(mem.clone()), points.clone()));
+        let acked = run(workload, dir);
+        assert_recovers(
+            mem.snapshot(),
+            &oracle_log,
+            &acked,
+            &format!("{tag} crash@{k}"),
+        );
+    }
+}
+
+/// Tiny segment bound: every synced record rolls the active segment, so
+/// the sweep crosses every byte of many rotations (segment pre-sync,
+/// successor create, directory fsync, manifest temp write, manifest
+/// rename) and of one compaction (cold copy, rename, manifest swap,
+/// original deletes).
+#[test]
+fn crash_at_every_cost_unit_of_rotation_and_compaction() {
+    crash_sweep(
+        &Workload {
+            segment_bytes: 1,
+            commits: 6,
+            gc_after: Some(3),
+        },
+        "rot+compact",
+    );
+}
+
+/// A larger segment bound exercises the crash points of exactly one
+/// rotation boundary mid-workload.
+#[test]
+fn crash_at_every_cost_unit_of_a_single_rotation() {
+    crash_sweep(
+        &Workload {
+            segment_bytes: 200,
+            commits: 6,
+            gc_after: None,
+        },
+        "one-rotation",
+    );
+}
+
+#[test]
+fn sealed_segment_damage_is_a_typed_corruption_error() {
+    let workload = Workload {
+        segment_bytes: 1,
+        commits: 5,
+        gc_after: None,
+    };
+    let mem = MemDir::new();
+    let dir: Arc<dyn LogDir> = Arc::new(mem.clone());
+    let acked = run(&workload, dir);
+    assert_eq!(acked.len(), 5);
+
+    // Damage a byte in the middle of the first (sealed) segment.
+    let image = mem.snapshot();
+    let mut bytes = image.file("wal-000000.seg").expect("sealed segment 0");
+    assert!(!bytes.is_empty());
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    image.put_file("wal-000000.seg", bytes);
+
+    let err = Database::open_durable_in(Arc::new(image), WalOptions::default())
+        .map(|_| ())
+        .expect_err("sealed damage must refuse recovery");
+    match err {
+        DbError::Storage(StorageError::Corrupt { offset, detail }) => {
+            assert!(
+                detail.contains("wal-000000.seg"),
+                "error names the damaged file: {detail}"
+            );
+            assert!(offset <= mid as u64 + 12, "offset points into the damage");
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
+
+    // Truncating a sealed segment is mid-file corruption too (its length
+    // is pinned by the manifest), not a torn tail.
+    let image = mem.snapshot();
+    let bytes = image.file("wal-000000.seg").unwrap();
+    image.put_file("wal-000000.seg", bytes[..bytes.len() - 1].to_vec());
+    let err = Database::open_durable_in(Arc::new(image), WalOptions::default())
+        .map(|_| ())
+        .expect_err("short sealed segment must refuse recovery");
+    assert!(
+        matches!(
+            err,
+            DbError::Storage(StorageError::Corrupt { .. })
+                | DbError::Storage(StorageError::Recovery { .. })
+        ),
+        "typed error, got {err}"
+    );
+}
+
+#[test]
+fn manifest_less_directory_of_segments_is_adopted_in_order() {
+    // Build a multi-segment image, then drop its manifest: the layout a
+    // crash before the very first manifest write (or a foreign copy of
+    // just the segment files) leaves behind.
+    let workload = Workload {
+        segment_bytes: 1,
+        commits: 5,
+        gc_after: None,
+    };
+    let mem = MemDir::new();
+    let dir: Arc<dyn LogDir> = Arc::new(mem.clone());
+    let acked = run(&workload, dir);
+    let image = mem.snapshot();
+    image.delete("MANIFEST").unwrap();
+    assert_recovers(image, &oracle(&workload), &acked, "manifest-less");
+}
+
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "trod_wal_segmentation_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A pre-segmentation single-file WAL opens transparently: the old file
+/// becomes segment 0 byte for byte, and the recovered history is intact.
+#[test]
+fn legacy_single_file_log_migrates_transparently() {
+    let path = scratch_path("legacy");
+    let workload = Workload {
+        segment_bytes: 0,
+        commits: 4,
+        gc_after: None,
+    };
+    let oracle_log = oracle(&workload);
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&encode_frame(&WalRecord::CreateTable {
+        name: "events".into(),
+        schema: events_schema(),
+    }));
+    for entry in &oracle_log {
+        raw.extend_from_slice(&encode_frame(&WalRecord::Commit(entry.clone())));
+    }
+    std::fs::write(&path, &raw).unwrap();
+
+    let (db, report) = Database::open_durable(&path, WalOptions::default()).unwrap();
+    assert_eq!(db.log_entries()[..], oracle_log[..]);
+    assert_eq!(report.segments, 1);
+    assert!(path.is_dir(), "the file became a directory layout");
+    assert_eq!(
+        std::fs::read(path.join("wal-000000.seg")).unwrap(),
+        raw,
+        "segment 0 is the old file, byte for byte"
+    );
+
+    // The migrated log keeps accepting commits and reopens again.
+    let mut txn = db.begin();
+    txn.insert("events", row![100i64, 100i64]).unwrap();
+    txn.commit().unwrap();
+    drop(db);
+    let (db, _) = Database::open_durable(&path, WalOptions::default()).unwrap();
+    assert_eq!(db.log_entries().len(), oracle_log.len() + 1);
+    let _ = std::fs::remove_dir_all(&path);
+}
+
+#[derive(Debug, Clone)]
+enum Damage {
+    /// Truncate the whole persisted image of one file at a fraction.
+    Truncate { file: usize, frac: f64 },
+    /// Flip one bit of one file.
+    BitFlip { file: usize, frac: f64, bit: u8 },
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random workloads at random segment sizes, damaged at a random
+    /// point of a random file: recovery yields an exact oracle prefix or
+    /// a typed storage error — never a panic, never fabricated state.
+    #[test]
+    fn recovery_equals_oracle_or_refuses_with_a_typed_error(
+        commits in 1i64..16,
+        segment_bytes in prop_oneof![Just(0u64), Just(1u64), Just(120u64), Just(4096u64)],
+        gc in prop_oneof![Just(None), (0i64..16).prop_map(Some)],
+        damage in prop_oneof![
+            (0usize..8, 0.0f64..1.0).prop_map(|(file, frac)| Damage::Truncate { file, frac }),
+            (0usize..8, 0.0f64..1.0, 0u8..8)
+                .prop_map(|(file, frac, bit)| Damage::BitFlip { file, frac, bit }),
+        ],
+    ) {
+        let workload = Workload {
+            segment_bytes,
+            commits,
+            gc_after: gc.filter(|g| *g < commits),
+        };
+        let mem = MemDir::new();
+        let dir: Arc<dyn LogDir> = Arc::new(mem.clone());
+        let acked = run(&workload, dir);
+        prop_assert_eq!(acked.len() as i64, commits);
+        let oracle_log = oracle(&workload);
+
+        let image = mem.snapshot();
+        let mut names = image.names();
+        names.sort();
+        let (name, mut bytes) = {
+            let pick = match &damage {
+                Damage::Truncate { file, .. } | Damage::BitFlip { file, .. } => {
+                    names[file % names.len()].clone()
+                }
+            };
+            let bytes = image.file(&pick).unwrap();
+            (pick, bytes)
+        };
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        match &damage {
+            Damage::Truncate { frac, .. } => {
+                let cut = ((bytes.len() as f64) * frac) as usize;
+                bytes.truncate(cut);
+            }
+            Damage::BitFlip { frac, bit, .. } => {
+                let i = (((bytes.len() - 1) as f64) * frac) as usize;
+                bytes[i] ^= 1 << bit;
+            }
+        }
+        image.put_file(&name, bytes);
+
+        match Database::open_durable_in(Arc::new(image), WalOptions::default()) {
+            Ok((db, _)) => {
+                let log = db.log_entries();
+                prop_assert!(log.len() <= oracle_log.len());
+                prop_assert_eq!(&log[..], &oracle_log[..log.len()]);
+                let horizon = log.last().map(|e| e.commit_ts).unwrap_or(0);
+                prop_assert_eq!(db.current_ts(), horizon);
+            }
+            Err(DbError::Storage(_)) => {} // typed refusal is the other legal outcome
+            Err(e) => prop_assert!(false, "untyped error: {e}"),
+        }
+    }
+}

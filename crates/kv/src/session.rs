@@ -38,8 +38,8 @@ use parking_lot::Mutex;
 
 use trod_db::{
     ChangeRecord, CommitInfo, CommitParticipant, CommittedTxn, Database, DbError, DbResult,
-    IsolationLevel, Key, KvError, Predicate, RecoveryReport, Row, TrodError, TrodResult, Ts, TxnId,
-    Value, Wal, WalOptions, WalRecord,
+    IsolationLevel, Key, KvError, Predicate, RecoveryReport, Row, SegmentedWal, TrodError,
+    TrodResult, Ts, TxnId, Value, WalOptions, WalRecord,
 };
 use trod_trace::{ReadTrace, Tracer, TxnContext, TxnTrace};
 
@@ -417,24 +417,48 @@ impl Session {
         Ok(Session::with_kv(db, KvStore::new()))
     }
 
-    /// Opens (creating if absent) a durable session environment: the WAL
-    /// at `path` is validated (torn tail truncated at the last valid
-    /// checksum, mid-file corruption refused with a typed error) and
-    /// every record replayed in order — table/index/namespace DDL
-    /// rebuilds the catalogs, and each committed entry re-installs its
-    /// relational changes *and* its `kv:<namespace>` writes through the
-    /// participant commit path, preserving the entry verbatim in the
-    /// aligned history. The recovered session's state, aligned log and
-    /// timestamps equal the durable prefix of the original's.
+    /// Opens (creating if absent) a durable session environment: the
+    /// segmented WAL at `path` is validated (manifest checked, crash
+    /// debris reconciled, torn tail of the newest segment truncated at
+    /// the last valid checksum, corruption in sealed/cold files refused
+    /// with a typed error) and every record replayed in order —
+    /// table/index/namespace DDL rebuilds the catalogs, and each
+    /// committed entry re-installs its relational changes *and* its
+    /// `kv:<namespace>` writes through the participant commit path,
+    /// preserving the entry verbatim in the aligned history. The
+    /// recovered session's state, aligned log and timestamps equal the
+    /// durable prefix of the original's. A pre-segmentation single-file
+    /// log at `path` is migrated transparently (it becomes segment 0,
+    /// byte for byte).
     pub fn open_durable(
         path: impl AsRef<std::path::Path>,
         opts: WalOptions,
     ) -> TrodResult<(Session, RecoveryReport)> {
-        let (wal, records, info) = Wal::open(path, opts).map_err(DbError::Storage)?;
+        let (wal, records, info) = SegmentedWal::open_path(path, opts).map_err(DbError::Storage)?;
+        Session::recover_session(wal, records, info)
+    }
+
+    /// [`Session::open_durable`] over an arbitrary
+    /// [`trod_db::segment::LogDir`] (fault-injection harnesses).
+    pub fn open_durable_in(
+        dir: std::sync::Arc<dyn trod_db::segment::LogDir>,
+        opts: WalOptions,
+    ) -> TrodResult<(Session, RecoveryReport)> {
+        let (wal, records, info) = SegmentedWal::open_dir(dir, opts).map_err(DbError::Storage)?;
+        Session::recover_session(wal, records, info)
+    }
+
+    fn recover_session(
+        wal: std::sync::Arc<SegmentedWal>,
+        records: Vec<WalRecord>,
+        info: trod_db::SegmentedRecovery,
+    ) -> TrodResult<(Session, RecoveryReport)> {
         let db = Database::new();
         let kv = KvStore::new();
         let mut report = RecoveryReport {
             truncated_bytes: info.truncated_bytes,
+            segments: info.segments,
+            cold_files: info.cold_files,
             ..Default::default()
         };
         let recovery_err =
@@ -475,7 +499,7 @@ impl Session {
         }
         // Attach only after replay, so replayed entries are not
         // re-appended to the log they came from.
-        db.attach_wal(wal);
+        db.attach_segmented_wal(wal);
         Ok((Session::with_kv(db, kv), report))
     }
 

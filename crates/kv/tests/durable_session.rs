@@ -52,6 +52,14 @@ fn scratch_path(tag: &str) -> std::path::PathBuf {
     ))
 }
 
+/// Materialises a crashed log at `path`: a fresh directory holding
+/// `bytes` as segment 0, the manifest-less layout recovery adopts.
+fn write_log_dir(path: &std::path::Path, bytes: &[u8]) {
+    let _ = std::fs::remove_dir_all(path);
+    std::fs::create_dir_all(path).unwrap();
+    std::fs::write(path.join("wal-000000.seg"), bytes).unwrap();
+}
+
 /// One step of a mixed workload; every step is one committed transaction
 /// touching the relational table, a kv namespace, or both.
 #[derive(Debug, Clone)]
@@ -162,7 +170,9 @@ fn check_mixed_recovery(steps: &[Step]) {
         apply_step(&durable, step);
         apply_step(&oracle, step);
     }
-    let bytes = std::fs::read(&wal_path).unwrap();
+    // The workload fits the default segment bound, so the whole log sits
+    // in segment 0 of the directory layout.
+    let bytes = std::fs::read(wal_path.join("wal-000000.seg")).unwrap();
     let (records, info) = decode_records(&bytes).unwrap();
     assert_eq!(info.truncated_bytes, 0, "live log must be clean");
     let oracle_log = oracle.database().log_entries();
@@ -171,7 +181,7 @@ fn check_mixed_recovery(steps: &[Step]) {
     let mut at = 0usize;
     for record in &records {
         at += encode_frame(record).len();
-        std::fs::write(&crash_path, &bytes[..at]).unwrap();
+        write_log_dir(&crash_path, &bytes[..at]);
         let (recovered, report) = Session::open_durable(&crash_path, WalOptions::default())
             .unwrap_or_else(|e| panic!("cut at {at}: recovery must succeed, got {e}"));
 
@@ -198,8 +208,8 @@ fn check_mixed_recovery(steps: &[Step]) {
     }
     // The last boundary is the full log: everything recovered.
     assert_eq!(at, bytes.len());
-    let _ = std::fs::remove_file(&wal_path);
-    let _ = std::fs::remove_file(&crash_path);
+    let _ = std::fs::remove_dir_all(&wal_path);
+    let _ = std::fs::remove_dir_all(&crash_path);
 }
 
 #[test]
@@ -258,7 +268,7 @@ fn recovered_session_continues_the_aligned_history() {
         Some("2")
     );
     assert_eq!(session.aligned_log().len(), 2);
-    let _ = std::fs::remove_file(&wal_path);
+    let _ = std::fs::remove_dir_all(&wal_path);
 }
 
 proptest! {

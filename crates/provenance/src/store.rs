@@ -568,6 +568,13 @@ impl ProvenanceStore {
     /// any new spills arrive) and returns how many were loaded. Torn
     /// tails are truncated at the last valid checksum; mid-file
     /// corruption is a typed error.
+    ///
+    /// This sink exists for *non-segmented* production logs (in-memory
+    /// sinks, legacy single-file WALs). When production runs on the
+    /// segmented directory layout, GC compacts the covered segments into
+    /// immutable cold files instead of deleting them — the spilled
+    /// history is already durable in the log itself, and
+    /// `Trod::enable_durable_retention` skips this duplicate copy.
     pub fn enable_durable_spills(
         &self,
         path: impl AsRef<std::path::Path>,

@@ -639,6 +639,47 @@ pub fn dispatch(state: &ServerState, method: &str, params: &Json) -> Result<Json
                 ("wal", wal),
             ]))
         }
+        "sys_health" => {
+            let db = state.trod.production_db();
+            let wal = match db.wal() {
+                Some(wal) => {
+                    let s = wal.stats();
+                    Json::obj(vec![
+                        ("segmented", Json::Bool(wal.is_segmented())),
+                        ("segments", Json::from(s.segments as u64)),
+                        ("cold_files", Json::from(s.cold_files as u64)),
+                        ("active_bytes", Json::from(s.active_bytes)),
+                        ("appended", Json::from(s.appended)),
+                        ("durable", Json::from(s.durable)),
+                        ("segment_bytes", Json::from(s.segment_bytes)),
+                        ("rotations", Json::from(s.rotations)),
+                        ("compactions", Json::from(s.compactions)),
+                        ("rotation_errors", Json::from(s.rotation_errors)),
+                        ("compaction_errors", Json::from(s.compaction_errors)),
+                        (
+                            "last_compaction_unix_ms",
+                            Json::from(s.last_compaction_unix_ms),
+                        ),
+                    ])
+                }
+                None => Json::Null,
+            };
+            Ok(Json::obj(vec![
+                ("draining", Json::Bool(state.is_draining())),
+                (
+                    "served",
+                    Json::from(state.served.load(std::sync::atomic::Ordering::Relaxed)),
+                ),
+                (
+                    "inflight",
+                    Json::from(state.inflight.load(std::sync::atomic::Ordering::Relaxed)),
+                ),
+                ("current_ts", Json::from(db.current_ts())),
+                ("gc_floor", Json::from(db.log_truncated_below())),
+                ("live_log_entries", Json::from(db.log_entries().len())),
+                ("wal", wal),
+            ]))
+        }
         "sys_schema" => {
             let schema = Dump::capture_schema(&state.trod);
             let j = schema.to_json();

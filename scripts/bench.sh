@@ -3,8 +3,8 @@
 # perf-trajectory artifact (BENCH_PR<N>.json).
 #
 # Usage:
-#   scripts/bench.sh                  # writes BENCH_PR8.json (current PR)
-#   scripts/bench.sh BENCH_PR9.json   # explicit output name
+#   scripts/bench.sh                  # writes BENCH_PR9.json (current PR)
+#   scripts/bench.sh BENCH_PR10.json  # explicit output name
 #   BENCH_FILTER=commit_validation scripts/bench.sh            # one target
 #   BENCH_FILTER="commit_validation scan_path" scripts/bench.sh
 #   TROD_BENCH_MS=100 scripts/bench.sh                # faster, noisier
@@ -21,7 +21,17 @@
 #     elements_per_sec - optional; present when the bench declares
 #                        throughput (e.g. rows served per second)
 #
-# New ids in BENCH_PR8.json: `server_throughput/point_reads/conns_<N>`
+# New ids in BENCH_PR9.json:
+#   `wal_commit/throughput/group/sync/roll/threads_<T>` — 8-thread group
+#   commit with a 16 KiB segment bound (several rotations per round);
+#   the rotation protocol must hide inside the group-commit window, so
+#   this should sit within noise of `group/sync`.
+#   `wal_commit/recovery_segments/open_durable/segments_<N>` for N in
+#   {1, 4, 16} — recovery of the SAME 1024-commit history split across N
+#   segment files (the PR 9 bar: per-commit recovery cost at 16 segments
+#   within 2× of single-segment).
+#
+# Carried from PR 8: `server_throughput/point_reads/conns_<N>`
 # for N in {16, 64, 128, 512} — wire-level `trod_get` point reads over N
 # concurrent keep-alive HTTP/1.1 connections against the
 # thread-per-connection JSON-RPC server; elements are completed
@@ -34,7 +44,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 # Absolute path: cargo runs bench binaries from the package directory.
 jsonl="$PWD/target/bench-results.jsonl"
 rm -f "$jsonl"

@@ -32,6 +32,11 @@
 //! and `recovery_segments/` recovers the SAME history split across
 //! 1/4/16 segment files (per-commit recovery cost must stay within 2×
 //! of single-segment).
+//!
+//! PR 10 addition: `recovery_checkpoint/` recovers the same 4096-commit
+//! update-heavy history with and without an environment checkpoint at
+//! its head — the checkpoint boot must come in ≥ 5× faster than full
+//! replay.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -70,6 +75,10 @@ fn wal_opts(mode: SyncMode, group: bool, segment_bytes: u64) -> WalOptions {
         sync_mode: mode,
         group_commit: group,
         segment_bytes,
+        // Automatic checkpoints off: these benches measure the commit
+        // and replay paths themselves; `recovery_checkpoint` below
+        // forces its checkpoint explicitly.
+        checkpoint_bytes: 0,
     }
 }
 
@@ -218,10 +227,81 @@ fn bench_recovery_segments(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds a log of `commits` single-row transactions cycling over
+/// `keys` primary keys (inserts, then updates) — live state stays at
+/// `keys` rows while history grows, the shape that makes checkpoints
+/// O(state) against replay's O(history).
+fn build_update_log(
+    tag: &str,
+    commits: usize,
+    keys: usize,
+    segment_bytes: u64,
+) -> std::path::PathBuf {
+    let path = wal_path(tag);
+    let db = durable_db(&path, wal_opts(SyncMode::Flush, true, segment_bytes));
+    let mut handles = Vec::with_capacity(keys);
+    for i in 0..commits {
+        let mut txn = db.begin();
+        if i < keys {
+            handles.push(txn.insert("items_0", row![i as i64, i as i64]).unwrap());
+        } else {
+            let key = &handles[i % keys];
+            txn.update("items_0", key, row![(i % keys) as i64, i as i64])
+                .unwrap();
+        }
+        txn.commit().unwrap();
+    }
+    db.wal().unwrap().flush().unwrap();
+    path
+}
+
+/// Recovery of the SAME 4096-commit history with and without an
+/// environment checkpoint at its head (PR 10): a checkpoint boot
+/// restores the snapshot and replays only the WAL tail after it —
+/// O(state at the checkpoint) + O(delta since) instead of O(history).
+/// The workload cycles 4096 commits over 512 keys, the update-heavy
+/// shape long-lived environments converge to. The bar: `checkpoint`
+/// ≥ 5× faster than `full_replay`.
+fn bench_recovery_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_commit/recovery_checkpoint");
+    group.sample_size(10);
+    const COMMITS: usize = 4096;
+    const KEYS: usize = 512;
+    const SEGMENT_BYTES: u64 = 8 << 10;
+
+    for (mode, with_checkpoint) in [("full_replay", false), ("checkpoint", true)] {
+        let path = build_update_log("recovery_ckpt", COMMITS, KEYS, SEGMENT_BYTES);
+        if with_checkpoint {
+            // Force one checkpoint at the head of the history, exactly
+            // what the automatic cadence would have done at its last
+            // boundary.
+            let (db, _) = Database::open_durable(&path, WalOptions::default()).unwrap();
+            db.checkpoint()
+                .expect("checkpoint write")
+                .expect("checkpoint taken");
+        }
+        group.throughput(Throughput::Elements(COMMITS as u64));
+        group.bench_function(BenchmarkId::new(mode, format!("commits_{COMMITS}")), |b| {
+            b.iter(|| {
+                let (db, report) = Database::open_durable(&path, WalOptions::default()).unwrap();
+                if with_checkpoint {
+                    assert!(report.checkpoint_ts.is_some(), "boot used the checkpoint");
+                } else {
+                    assert_eq!(report.commits, COMMITS);
+                }
+                db
+            })
+        });
+        let _ = std::fs::remove_dir_all(&path);
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_group_commit,
     bench_recovery,
-    bench_recovery_segments
+    bench_recovery_segments,
+    bench_recovery_checkpoint
 );
 criterion_main!(benches);

@@ -264,6 +264,16 @@ impl Trod {
         self.runtime.session().gc_before(ts)
     }
 
+    /// Forces an environment checkpoint now ([`Session::checkpoint`]):
+    /// a durable whole-environment snapshot that bounds both recovery
+    /// replay and the delta [`Trod::fork_at`] has to re-apply below the
+    /// GC floor. Returns `Ok(None)` when the environment is not durable,
+    /// the write was skipped (nothing committed since the last one), or
+    /// another checkpoint is already in flight.
+    pub fn checkpoint(&self) -> Result<Option<(trod_db::Ts, u64)>, trod_db::TrodError> {
+        self.runtime.session().checkpoint()
+    }
+
     /// The complete aligned cross-store history this debugger can see:
     /// entries spilled to the provenance store by GC retention, followed
     /// by the live transaction log — stitched into one commit-ordered

@@ -449,13 +449,19 @@ impl ReplaySession {
 /// At or above the GC truncation floor this is a direct
 /// [`Session::fork_at`]: both stores materialise the state visible at
 /// `ts`. Below the floor the live stores can no longer answer, so the
-/// environment is *reconstructed*: an empty fork
-/// ([`Session::fork_empty`]) brought to `ts` by replaying the spilled
-/// aligned entries a retention policy preserved, through
-/// [`Session::apply_changes`], the same injection primitive replay uses.
-/// (Entries still in the live log all sit *above* the floor — truncation
-/// drains every entry at or below it — so below the floor the spill is
-/// the whole story.) Retroactive programming forks through here too, so
+/// environment is *reconstructed* from retained history. With a durable
+/// environment checkpoint at `C <= ts`
+/// ([`trod_db::SegmentedWal::load_checkpoint_at_or_before`]), the
+/// reconstruction is nearest-snapshot + delta: materialise the
+/// checkpoint ([`Session::from_checkpoint`]) and replay only the spilled
+/// aligned entries in `(C, ts]` — cost bounded by the checkpoint
+/// cadence, however deep the fork. Without one, it is the full replay:
+/// an empty fork ([`Session::fork_empty`]) brought to `ts` by replaying
+/// every spilled entry up to `ts`, through [`Session::apply_changes`],
+/// the same injection primitive replay uses. (Entries still in the live
+/// log all sit *above* the floor — truncation drains every entry at or
+/// below it — so below the floor the spill plus the checkpoint is the
+/// whole story.) Retroactive programming forks through here too, so
 /// every debugger feature shares one retention-aware fork path.
 pub(crate) fn fork_environment(
     provenance: &ProvenanceStore,
@@ -478,28 +484,67 @@ pub(crate) fn fork_environment(
             return Ok(fork);
         }
     }
-    // The snapshot predates truncation: only spilled history can cover
-    // it (the live log holds nothing at or below the floor).
-    // Reconstruction is sound only when the spill (a) is complete from
-    // the first commit — the retention policy was installed before
-    // anything was truncated (coverage floor 0) — and (b) actually IS
-    // this debugger's provenance store: a foreign policy's coverage says
+    // Nearest durable checkpoint at or before `ts`, if the environment
+    // is durable at all. A checkpoint that fails validation is skipped
+    // (counted in the WAL stats) in favour of an older one inside
+    // `load_checkpoint_at_or_before`; none at all just means full
+    // replay.
+    let checkpoint = match db.wal() {
+        Some(wal) => wal
+            .load_checkpoint_at_or_before(ts)
+            .map_err(|e| ReplayError::Storage(DbError::Storage(e)))?,
+        None => None,
+    };
+    let ckpt_ts = checkpoint.as_ref().map(|c| c.ts).unwrap_or(0);
+    // The snapshot predates truncation: only the checkpoint plus spilled
+    // history can cover it (the live log holds nothing at or below the
+    // floor). Reconstruction is sound only when the spill (a) covers
+    // everything after the checkpoint — the retention policy was
+    // installed while the truncation floor was still at or below the
+    // checkpoint timestamp (without a checkpoint: coverage floor 0,
+    // complete from the first commit) — and (b) actually IS this
+    // debugger's provenance store: a foreign policy's coverage says
     // nothing about our spill. Otherwise rebuilding would silently
     // produce a wrong fork; refuse instead. (An empty spill under a
-    // coverage floor of 0 is fine: nothing had committed at or before
-    // `ts`.)
-    let spill_is_complete_and_ours = db.retention_policy().is_some_and(|(policy, cov)| {
-        cov == 0 && std::ptr::addr_eq(Arc::as_ptr(&policy), provenance as *const ProvenanceStore)
+    // sufficient coverage floor is fine: nothing had committed in the
+    // window.)
+    let spill_covers_delta_and_is_ours = db.retention_policy().is_some_and(|(policy, cov)| {
+        cov <= ckpt_ts
+            && std::ptr::addr_eq(Arc::as_ptr(&policy), provenance as *const ProvenanceStore)
     });
-    if !spill_is_complete_and_ours {
+    if !spill_covers_delta_and_is_ours {
         return Err(ReplayError::HistoryTruncated {
             snapshot_ts: ts,
             floor,
         });
     }
-    let dev = production.fork_empty()?;
+    let dev = match &checkpoint {
+        Some(ck) => {
+            // Mirror the production environment's shape: a relational-only
+            // production session gets a relational-only dev environment
+            // (kv records are skipped and counted, as in the full-replay
+            // path), a polyglot one gets the checkpoint's kv half too.
+            let dev = if production.kv_store().is_some() {
+                Session::from_checkpoint(ck)?
+            } else {
+                let dev_db = Database::new();
+                dev_db.restore_checkpoint(ck)?;
+                Session::new(dev_db)
+            };
+            // Commits in `(C, ts]` may touch objects created after the
+            // checkpoint was taken; graft production's catalog (tables,
+            // indexes, namespaces) onto the restored base, like
+            // `fork_empty` copies it onto an empty one.
+            augment_catalog_from(production, &dev)?;
+            dev
+        }
+        None => production.fork_empty()?,
+    };
     let kv_capable = dev.kv_store().is_some();
-    for entry in provenance.spilled_up_to(ts) {
+    // Only the delta after the checkpoint (everything at or below
+    // `ckpt_ts` is already materialised by the restored snapshot);
+    // without a checkpoint this is the whole spilled history up to `ts`.
+    for entry in provenance.spilled_between(ckpt_ts, ts) {
         // Relational-only environments (the legacy `for_request` path)
         // cannot reconstruct kv records, exactly as a direct fork would
         // not materialise them — drop them from the base state rather
@@ -531,6 +576,45 @@ pub(crate) fn fork_environment(
         }
     }
     Ok(dev)
+}
+
+/// Grafts production's current catalog — tables, indexes, kv namespaces —
+/// onto a dev environment restored from a checkpoint, so delta entries
+/// that touch objects created after the checkpoint was taken find them.
+/// State is *not* copied: the rows and values those objects held at the
+/// fork timestamp arrive through the delta replay itself, exactly as in
+/// the full-replay path (where `fork_empty` copies the same catalog onto
+/// an empty environment).
+fn augment_catalog_from(production: &Session, dev: &Session) -> Result<(), ReplayError> {
+    let src = production.database();
+    let dst = dev.database();
+    for name in src.table_names() {
+        if !dst.has_table(&name) {
+            dst.create_table(name.clone(), src.schema_of(&name)?)?;
+        }
+        let from = src.table(&name)?;
+        let to = dst.table(&name)?;
+        for column in from.indexed_columns() {
+            if !to.indexed_columns().contains(&column) {
+                to.create_index(&column)?;
+            }
+        }
+        for column in from.range_indexed_columns() {
+            if !to.range_indexed_columns().contains(&column) {
+                to.create_range_index(&column)?;
+            }
+        }
+    }
+    if let (Some(src_kv), Some(dst_kv)) = (production.kv_store(), dev.kv_store()) {
+        for namespace in src_kv.namespaces() {
+            if !dst_kv.has_namespace(&namespace) {
+                dst_kv
+                    .create_namespace(&namespace)
+                    .map_err(ReplayError::KeyValue)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Applies CDC records to the development environment, through the

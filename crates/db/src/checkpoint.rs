@@ -1,0 +1,362 @@
+//! Environment checkpoints: whole-environment state snapshots.
+//!
+//! A [`Checkpoint`] captures one MVCC-consistent image of the entire
+//! environment — every relational table (schema, secondary indexes and
+//! all rows visible at the checkpoint timestamp), every key-value
+//! namespace, the commit clock and the transaction-id high-water mark —
+//! serialized with the same CRC discipline as WAL frames and the
+//! MANIFEST. Checkpoints are written by
+//! [`crate::segment::SegmentedWal::write_checkpoint`] on the post-ack
+//! path and tracked in the MANIFEST alongside segments, so recovery can
+//! boot from the newest valid one and replay only the WAL tail after it
+//! (see the checkpoint lifecycle section in [`crate::database`]).
+//!
+//! # Consistency model
+//!
+//! The capture reads `ts = ` the *published* commit clock, then takes a
+//! time-travel snapshot of every store at exactly that timestamp. Because
+//! commit order equals WAL byte order, every commit with
+//! `commit_ts <= ts` lies entirely in WAL bytes the checkpoint covers;
+//! recovery skips those bytes and replays only records after the cut.
+//! DDL records are untimestamped, so they are replayed *idempotently* on
+//! a checkpoint boot: creating an object that the checkpoint already
+//! restored is a no-op, which is sound because the WAL vocabulary has no
+//! drop records — an object is only ever created once.
+
+use crate::error::StorageError;
+use crate::mvcc::Ts;
+use crate::row::{Key, Row};
+use crate::schema::{Column, Schema};
+use crate::value::DataType;
+use crate::wal::{crc32, dtype_tag, put_str, put_u32, put_u64, put_values, Cursor};
+
+/// Magic prefix of a checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"TRODCK01";
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// One relational table inside a [`Checkpoint`]: schema, index columns
+/// and every row visible at the checkpoint timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointTable {
+    pub name: String,
+    pub schema: Schema,
+    /// Columns with hash (point-probe) secondary indexes.
+    pub hash_indexes: Vec<String>,
+    /// Columns with ordered range indexes.
+    pub range_indexes: Vec<String>,
+    /// Live rows at the checkpoint timestamp, keyed by primary key.
+    pub rows: Vec<(Key, Row)>,
+}
+
+/// One key-value namespace inside a [`Checkpoint`]: every live entry at
+/// the checkpoint timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointNamespace {
+    pub name: String,
+    pub entries: Vec<(String, String)>,
+}
+
+/// A whole-environment snapshot at one commit timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The published commit timestamp the snapshot was taken at.
+    pub ts: Ts,
+    /// Transaction-id high-water mark at capture time, so recovered
+    /// databases never reuse an id the checkpointed history handed out.
+    pub next_txn_id: u64,
+    pub tables: Vec<CheckpointTable>,
+    pub namespaces: Vec<CheckpointNamespace>,
+}
+
+/// A store (beyond the relational [`crate::Database`]) that contributes
+/// state to environment checkpoints. The key-value store implements this
+/// and `Session` registers it, so `Database::checkpoint` captures the
+/// whole polyglot environment, not just the relational half.
+pub trait CheckpointContributor: Send + Sync {
+    /// Every namespace with its live entries visible at `ts`.
+    fn capture_kv(&self, ts: Ts) -> Vec<CheckpointNamespace>;
+}
+
+/// File name of a checkpoint at `ts` (fixed-width, so names sort by ts).
+pub(crate) fn checkpoint_name(ts: Ts) -> String {
+    format!("ckpt-{ts:020}.ckpt")
+}
+
+/// Parses `ckpt-<ts>.ckpt` back to its timestamp.
+pub(crate) fn parse_checkpoint_name(name: &str) -> Option<Ts> {
+    let digits = name.strip_prefix("ckpt-")?.strip_suffix(".ckpt")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn ckpt_corrupt(offset: u64, detail: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        offset,
+        detail: format!("checkpoint: {}", detail.into()),
+    }
+}
+
+/// Serializes a checkpoint: magic, the standard CRC frame header
+/// (payload length, payload CRC, header CRC), then the payload. The
+/// whole file is one frame — a checkpoint is valid in its entirety or
+/// not at all.
+pub fn encode_checkpoint(ck: &Checkpoint) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1024);
+    put_u32(&mut payload, CHECKPOINT_VERSION);
+    put_u64(&mut payload, ck.ts);
+    put_u64(&mut payload, ck.next_txn_id);
+    put_u32(&mut payload, ck.tables.len() as u32);
+    for t in &ck.tables {
+        put_str(&mut payload, &t.name);
+        put_u32(&mut payload, t.schema.columns().len() as u32);
+        for col in t.schema.columns() {
+            put_str(&mut payload, &col.name);
+            payload.push(dtype_tag(col.dtype));
+            payload.push(col.nullable as u8);
+        }
+        // Primary key as column names, mirroring the WAL's CreateTable
+        // encoding, so the schema round-trips through `Schema::new`.
+        put_u32(&mut payload, t.schema.primary_key().len() as u32);
+        for &idx in t.schema.primary_key() {
+            put_str(&mut payload, &t.schema.columns()[idx].name);
+        }
+        put_u32(&mut payload, t.hash_indexes.len() as u32);
+        for c in &t.hash_indexes {
+            put_str(&mut payload, c);
+        }
+        put_u32(&mut payload, t.range_indexes.len() as u32);
+        for c in &t.range_indexes {
+            put_str(&mut payload, c);
+        }
+        put_u64(&mut payload, t.rows.len() as u64);
+        for (key, row) in &t.rows {
+            put_values(&mut payload, key.values());
+            put_values(&mut payload, row.values());
+        }
+    }
+    put_u32(&mut payload, ck.namespaces.len() as u32);
+    for ns in &ck.namespaces {
+        put_str(&mut payload, &ns.name);
+        put_u64(&mut payload, ns.entries.len() as u64);
+        for (k, v) in &ns.entries {
+            put_str(&mut payload, k);
+            put_str(&mut payload, v);
+        }
+    }
+
+    let mut out = Vec::with_capacity(8 + 12 + payload.len());
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    let hdr_crc = crc32(&out[8..16]);
+    put_u32(&mut out, hdr_crc);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes and fully validates a checkpoint file. Every failure is a
+/// typed [`StorageError::Corrupt`] — the caller falls back to an older
+/// checkpoint or full replay, never to a silently partial state.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, StorageError> {
+    if bytes.len() < 8 + 12 {
+        return Err(ckpt_corrupt(0, "truncated checkpoint"));
+    }
+    if &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(ckpt_corrupt(0, "bad magic"));
+    }
+    let hdr = &bytes[8..20];
+    let stored_hdr_crc = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+    if crc32(&hdr[0..8]) != stored_hdr_crc {
+        return Err(ckpt_corrupt(8, "header checksum mismatch"));
+    }
+    let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as usize;
+    if bytes.len() != 20 + len {
+        return Err(ckpt_corrupt(
+            20,
+            format!(
+                "payload length mismatch: header says {len}, have {}",
+                bytes.len() - 20
+            ),
+        ));
+    }
+    let payload = &bytes[20..];
+    let stored_crc = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+    if crc32(payload) != stored_crc {
+        return Err(ckpt_corrupt(20, "payload checksum mismatch"));
+    }
+    decode_payload(payload).map_err(|detail| ckpt_corrupt(20, detail))
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Checkpoint, String> {
+    let mut c = Cursor::new(payload);
+    let version = c.u32()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(format!("unsupported checkpoint version {version}"));
+    }
+    let ts = c.u64()?;
+    let next_txn_id = c.u64()?;
+    let n_tables = c.u32()? as usize;
+    if n_tables > payload.len() {
+        return Err(format!("table count {n_tables} exceeds payload"));
+    }
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let name = c.str()?;
+        let ncols = c.u32()? as usize;
+        if ncols > payload.len() {
+            return Err(format!("column count {ncols} exceeds payload"));
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let col_name = c.str()?;
+            let dtype: DataType = c.dtype()?;
+            let nullable = c.u8()? != 0;
+            columns.push(if nullable {
+                Column::nullable(col_name, dtype)
+            } else {
+                Column::new(col_name, dtype)
+            });
+        }
+        let npk = c.u32()? as usize;
+        if npk > payload.len() {
+            return Err(format!("pk count {npk} exceeds payload"));
+        }
+        let mut pk = Vec::with_capacity(npk);
+        for _ in 0..npk {
+            pk.push(c.str()?);
+        }
+        let pk_refs: Vec<&str> = pk.iter().map(String::as_str).collect();
+        let schema = Schema::new(columns, &pk_refs)
+            .map_err(|e| format!("invalid schema for `{name}`: {e}"))?;
+        let n_hash = c.u32()? as usize;
+        if n_hash > payload.len() {
+            return Err(format!("index count {n_hash} exceeds payload"));
+        }
+        let mut hash_indexes = Vec::with_capacity(n_hash);
+        for _ in 0..n_hash {
+            hash_indexes.push(c.str()?);
+        }
+        let n_range = c.u32()? as usize;
+        if n_range > payload.len() {
+            return Err(format!("index count {n_range} exceeds payload"));
+        }
+        let mut range_indexes = Vec::with_capacity(n_range);
+        for _ in 0..n_range {
+            range_indexes.push(c.str()?);
+        }
+        let n_rows = c.u64()? as usize;
+        if n_rows > payload.len() {
+            return Err(format!("row count {n_rows} exceeds payload"));
+        }
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let key = Key::from(c.values()?);
+            let row = Row::from(c.values()?);
+            rows.push((key, row));
+        }
+        tables.push(CheckpointTable {
+            name,
+            schema,
+            hash_indexes,
+            range_indexes,
+            rows,
+        });
+    }
+    let n_ns = c.u32()? as usize;
+    if n_ns > payload.len() {
+        return Err(format!("namespace count {n_ns} exceeds payload"));
+    }
+    let mut namespaces = Vec::with_capacity(n_ns);
+    for _ in 0..n_ns {
+        let name = c.str()?;
+        let n_entries = c.u64()? as usize;
+        if n_entries > payload.len() {
+            return Err(format!("entry count {n_entries} exceeds payload"));
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let k = c.str()?;
+            let v = c.str()?;
+            entries.push((k, v));
+        }
+        namespaces.push(CheckpointNamespace { name, entries });
+    }
+    if c.remaining() != 0 {
+        return Err(format!("{} trailing bytes", c.remaining()));
+    }
+    Ok(Checkpoint {
+        ts,
+        next_txn_id,
+        tables,
+        namespaces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::Value;
+
+    fn sample() -> Checkpoint {
+        let schema = Schema::builder()
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .nullable("score", DataType::Float)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        Checkpoint {
+            ts: 42,
+            next_txn_id: 7,
+            tables: vec![CheckpointTable {
+                name: "users".to_string(),
+                schema,
+                hash_indexes: vec!["name".to_string()],
+                range_indexes: vec!["score".to_string()],
+                rows: vec![
+                    (Key::single(1i64), row![1i64, "alice", 3.5f64]),
+                    (Key::single(2i64), row![2i64, "bob", Value::Null]),
+                ],
+            }],
+            namespaces: vec![CheckpointNamespace {
+                name: "cache".to_string(),
+                entries: vec![("k1".to_string(), "v1".to_string())],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let ck = sample();
+        let bytes = encode_checkpoint(&ck);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ck);
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let bytes = encode_checkpoint(&sample());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                decode_checkpoint(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+        for cut in 0..bytes.len() {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let name = checkpoint_name(12345);
+        assert_eq!(parse_checkpoint_name(&name), Some(12345));
+        assert_eq!(parse_checkpoint_name("ckpt-.ckpt"), None);
+        assert_eq!(parse_checkpoint_name("ckpt-12x45.ckpt"), None);
+        assert_eq!(parse_checkpoint_name("wal-000001.seg"), None);
+    }
+}

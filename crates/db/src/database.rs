@@ -248,6 +248,62 @@
 //! [`crate::wal::FailpointSink`]: at every record-boundary crash, every
 //! random truncation and every byte corruption, reopen recovers exactly
 //! the acknowledged-commit prefix.
+//!
+//! # Environment checkpoints
+//!
+//! Recovery as described above is O(history): every cold, sealed and
+//! active record replays from ts 0. **Checkpoints** bound that cost.
+//! A checkpoint ([`crate::checkpoint::Checkpoint`]) is one
+//! MVCC-consistent image of the whole environment — every table's
+//! schema, index columns and rows visible at the checkpoint timestamp,
+//! every key-value namespace (contributed through
+//! [`Database::set_checkpoint_source`] by the session layer), the
+//! commit clock and the transaction-id high-water mark — written as a
+//! single CRC-framed `ckpt-<ts>.ckpt` file through the same
+//! [`LogDir`] seam as segments and published by the same atomic
+//! MANIFEST swap (so crash sweeps cover every cost unit of the write).
+//!
+//! **When they are taken.** Never inside the publication window. The
+//! capture runs on the *post-ack* path — after a commit has released
+//! its footprint locks and confirmed durability
+//! ([`Database::maybe_checkpoint`] fires when
+//! [`crate::wal::WalOptions::checkpoint_bytes`] of new WAL bytes have
+//! accumulated), after [`Database::gc_before`] finishes compaction, or
+//! on demand via [`Database::checkpoint`] (the server's
+//! `sys_checkpoint`). Capture reads the *published* clock `T` and
+//! time-travel snapshots every store at exactly `T`; concurrent commits
+//! at higher timestamps are simply not in the image. At most one
+//! capture runs at a time (concurrent attempts are counted as skips),
+//! and a failed write is counted and swallowed — commits never fail
+//! because a checkpoint could not be written.
+//!
+//! **What boot does with them.** [`Database::open_durable`] restores
+//! the newest *valid* checkpoint (decode + CRC verify at boot), then
+//! replays only the WAL tail after its timestamp: whole cold/sealed
+//! files whose commits all precede the checkpoint (and which carry no
+//! DDL) are skipped without even being read, and decoded records are
+//! filtered to commits after the cut. DDL records are replayed
+//! *leniently* on a checkpoint boot — re-creating a table, index or
+//! namespace the checkpoint already restored is a no-op (sound because
+//! the WAL vocabulary has no drop records). Recovery then raises the
+//! log truncation floor to the checkpoint timestamp, so history below
+//! it reads as typed truncation, exactly as if GC had truncated it —
+//! never as silently-empty history.
+//!
+//! **Fallback rules.** A checkpoint that fails validation (bad magic,
+//! CRC mismatch, timestamp disagreement with the MANIFEST) is delisted
+//! and deleted, the fallback is counted, and boot tries the next older
+//! one — or falls back to full replay with no checkpoint at all. Every
+//! failure is typed ([`crate::StorageError::Corrupt`]) or recovered;
+//! a damaged checkpoint can never produce silently wrong state, because
+//! the full WAL history is still there to replay.
+//!
+//! **Deep forks.** The debugger's below-the-GC-floor environment forks
+//! ride the same files: `fork_environment` in `trod-core` loads the
+//! nearest checkpoint at or before the fork timestamp
+//! ([`crate::segment::SegmentedWal::load_checkpoint_at_or_before`]) and
+//! replays only the spilled aligned history after it — nearest-snapshot
+//! + delta instead of replay-everything.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -256,6 +312,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::cdc::{ChangeOp, ChangeRecord};
+use crate::checkpoint::{Checkpoint, CheckpointContributor, CheckpointTable};
 use crate::commit::CommitParticipant;
 use crate::error::{DbError, DbResult, StorageError, TrodError, TrodResult};
 use crate::latency::{LatencyModel, StorageProfile};
@@ -345,6 +402,13 @@ struct DbInner {
     /// window and group-syncs after releasing its locks. `None` = pure
     /// in-memory database (forks, tests, the default).
     wal: RwLock<Option<Arc<SegmentedWal>>>,
+    /// Extra store captured into environment checkpoints (the session
+    /// layer registers its key-value store here). `None` = relational
+    /// state only.
+    ckpt_source: RwLock<Option<Arc<dyn CheckpointContributor>>>,
+    /// At most one checkpoint capture runs at a time; losers of the CAS
+    /// are counted as skips, not queued — the next trigger retries.
+    checkpoint_in_progress: AtomicBool,
 }
 
 /// A handle to an in-memory transactional database.
@@ -403,6 +467,8 @@ impl Database {
                 publish_mutex: std::sync::Mutex::new(()),
                 publish_cv: std::sync::Condvar::new(),
                 wal: RwLock::new(None),
+                ckpt_source: RwLock::new(None),
+                checkpoint_in_progress: AtomicBool::new(false),
             }),
         }
     }
@@ -464,10 +530,22 @@ impl Database {
         info: &SegmentedRecovery,
     ) -> DbResult<(Database, RecoveryReport)> {
         let db = Database::new();
-        let mut report = db.replay_wal_records(records, &[], None)?;
+        // Checkpoint boot: restore the newest valid snapshot first, then
+        // replay only the (already-filtered) WAL tail after it. DDL in
+        // the tail replays leniently — the checkpoint already holds the
+        // catalog as of its timestamp.
+        let checkpoint = wal.take_recovered_checkpoint();
+        let lenient_ddl = checkpoint.is_some();
+        if let Some(ck) = &checkpoint {
+            db.restore_checkpoint(ck)?;
+        }
+        let mut report = db.replay_wal_records(records, &[], None, lenient_ddl)?;
         report.truncated_bytes = info.truncated_bytes;
         report.segments = info.segments;
         report.cold_files = info.cold_files;
+        report.checkpoint_ts = checkpoint.map(|ck| ck.ts);
+        report.checkpoint_fallbacks = info.checkpoint_fallbacks;
+        report.skipped_files = info.skipped_files;
         // Attach only after replay: a WAL attached earlier would re-append
         // every replayed entry.
         db.attach_segmented_wal(wal);
@@ -480,17 +558,28 @@ impl Database {
     /// polyglot entries — empty for relational-only recovery). A caller
     /// handling namespaces itself (the session layer) passes `on_namespace`
     /// to create them mid-stream, preserving DDL-vs-commit order.
+    ///
+    /// `lenient_ddl` is the checkpoint-boot mode: DDL that re-creates an
+    /// object the restored checkpoint already holds is skipped instead of
+    /// erroring (sound — the WAL vocabulary has no drop records, so
+    /// "already exists" can only mean "the checkpoint got there first").
+    /// Full replay stays strict, so a genuinely duplicated DDL record
+    /// still surfaces as a typed recovery error.
     pub(crate) fn replay_wal_records(
         &self,
         records: &[WalRecord],
         participants: &[&dyn CommitParticipant],
         mut on_namespace: Option<NamespaceHook<'_>>,
+        lenient_ddl: bool,
     ) -> DbResult<RecoveryReport> {
         let mut report = RecoveryReport::default();
         let recovery_err = |detail: String| DbError::Storage(StorageError::Recovery { detail });
         for record in records {
             match record {
                 WalRecord::CreateTable { name, schema } => {
+                    if lenient_ddl && self.has_table(name) {
+                        continue;
+                    }
                     self.create_table(name.clone(), schema.clone())
                         .map_err(|e| recovery_err(format!("create table `{name}`: {e}")))?;
                     report.tables += 1;
@@ -500,6 +589,19 @@ impl Database {
                     column,
                     ranged,
                 } => {
+                    if lenient_ddl {
+                        let store = self
+                            .table(table)
+                            .map_err(|e| recovery_err(format!("index `{table}.{column}`: {e}")))?;
+                        let existing = if *ranged {
+                            store.range_indexed_columns()
+                        } else {
+                            store.indexed_columns()
+                        };
+                        if existing.iter().any(|c| c == column) {
+                            continue;
+                        }
+                    }
                     if *ranged {
                         self.create_range_index(table, column)
                     } else {
@@ -560,6 +662,136 @@ impl Database {
             let lsn = wal.append_record(&record)?;
             wal.sync_to(lsn)?;
         }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Environment checkpoints (lifecycle in the module docs)
+    // ------------------------------------------------------------------
+
+    /// Registers the extra store captured into environment checkpoints
+    /// (the session layer registers its key-value store so checkpoints
+    /// cover the whole polyglot environment). Pass `None` to capture
+    /// relational state only.
+    pub fn set_checkpoint_source(&self, source: Option<Arc<dyn CheckpointContributor>>) {
+        *self.inner.ckpt_source.write() = source;
+    }
+
+    /// Captures an MVCC-consistent [`Checkpoint`] of the environment at
+    /// the current *published* commit timestamp: every table's schema,
+    /// index columns and rows visible at that timestamp, plus whatever
+    /// the registered [`CheckpointContributor`] holds. Does not write
+    /// anything — [`Database::checkpoint`] does capture + durable write.
+    pub fn capture_checkpoint(&self) -> Checkpoint {
+        // The published clock: every commit at or below it is fully
+        // installed, every one above it invisible to the time-travel
+        // reads below — the snapshot is consistent without any lock.
+        let ts = self.current_ts();
+        let tables = self.inner.tables.read();
+        let mut captured = Vec::with_capacity(tables.len());
+        for (name, store) in tables.iter() {
+            captured.push(CheckpointTable {
+                name: name.clone(),
+                schema: store.schema().clone(),
+                hash_indexes: store.indexed_columns(),
+                range_indexes: store.range_indexed_columns(),
+                rows: store
+                    .materialize_at(ts)
+                    .into_iter()
+                    .map(|(key, row)| (key, (*row).clone()))
+                    .collect(),
+            });
+        }
+        drop(tables);
+        let namespaces = match self.inner.ckpt_source.read().as_ref() {
+            Some(source) => source.capture_kv(ts),
+            None => Vec::new(),
+        };
+        Checkpoint {
+            ts,
+            next_txn_id: self.inner.next_txn_id.load(Ordering::SeqCst),
+            tables: captured,
+            namespaces,
+        }
+    }
+
+    /// Captures and durably writes an environment checkpoint through the
+    /// attached WAL, returning `Some((ts, bytes))` on a successful write
+    /// and `None` when the attempt was skipped (no WAL attached, nothing
+    /// committed yet, a checkpoint at this timestamp already exists, or
+    /// another capture is in flight — all counted in the WAL stats).
+    /// Never called inside the publication window; see the module docs.
+    pub fn checkpoint(&self) -> DbResult<Option<(Ts, u64)>> {
+        let Some(wal) = self.wal() else {
+            return Ok(None);
+        };
+        if self
+            .inner
+            .checkpoint_in_progress
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            wal.count_checkpoint_skip();
+            return Ok(None);
+        }
+        let result = wal
+            .write_checkpoint(&self.capture_checkpoint())
+            .map_err(DbError::Storage);
+        self.inner
+            .checkpoint_in_progress
+            .store(false, Ordering::SeqCst);
+        result
+    }
+
+    /// Post-ack checkpoint trigger: takes a checkpoint when enough new
+    /// WAL bytes have accumulated since the last one
+    /// ([`crate::wal::WalOptions::checkpoint_bytes`]). Errors are counted
+    /// in the WAL stats and swallowed — a commit (or GC) never fails
+    /// because a checkpoint could not be written.
+    pub fn maybe_checkpoint(&self) {
+        if let Some(wal) = self.wal() {
+            if wal.wants_checkpoint() {
+                let _ = self.checkpoint();
+            }
+        }
+    }
+
+    /// Restores a decoded checkpoint into this **empty, WAL-less**
+    /// database: re-creates every table, installs its rows at the
+    /// checkpoint timestamp, builds the indexes (after the installs, so
+    /// they backfill), advances the clock and transaction-id allocator,
+    /// and raises the log truncation floor to the checkpoint timestamp —
+    /// history below the checkpoint reads as typed truncation, exactly
+    /// as if GC had truncated it. Key-value namespaces in the checkpoint
+    /// are ignored here (relational boot); the session layer restores
+    /// them into its own store.
+    pub fn restore_checkpoint(&self, ck: &Checkpoint) -> DbResult<()> {
+        let ts = ck.ts.max(1);
+        for table in &ck.tables {
+            self.create_table(table.name.clone(), table.schema.clone())?;
+            let store = self.table(&table.name)?;
+            store.install_snapshot(
+                table
+                    .rows
+                    .iter()
+                    .map(|(key, row)| (key.clone(), Arc::new(row.clone()))),
+                ts,
+            );
+            for column in &table.hash_indexes {
+                store.create_index(column)?;
+            }
+            for column in &table.range_indexes {
+                store.create_range_index(column)?;
+            }
+        }
+        // Jump the clocks directly (never via `ensure_ts_at_least`, which
+        // publishes every intermediate tick — O(ts) work).
+        self.inner.clock.store(ck.ts, Ordering::SeqCst);
+        self.inner.ts_alloc.store(ck.ts, Ordering::SeqCst);
+        self.inner
+            .next_txn_id
+            .fetch_max(ck.next_txn_id, Ordering::SeqCst);
+        self.inner.log.lock().truncate_before(ck.ts);
         Ok(())
     }
 
@@ -1085,6 +1317,9 @@ impl Database {
         if let Some(e) = wal_err {
             return Err(TrodError::Storage(e));
         }
+        // Post-ack, locks released, durability confirmed: the cheapest
+        // safe point to take a periodic environment checkpoint.
+        self.maybe_checkpoint();
 
         Ok(CommitInfo {
             txn_id: state.id,
@@ -1846,9 +2081,11 @@ impl Database {
         // Compact sealed WAL segments wholly below the raised floor into
         // immutable cold files — best-effort: an error leaves the sealed
         // originals in place (counted in the WAL stats) and a later GC
-        // retries.
+        // retries. A compaction boundary is also a natural checkpoint
+        // boundary (module docs), so take one if enough bytes accrued.
         if let Some(wal) = self.wal() {
             let _ = wal.compact_below(self.log_truncated_below());
+            self.maybe_checkpoint();
         }
         (versions, logs)
     }

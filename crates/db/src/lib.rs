@@ -100,6 +100,7 @@
 
 pub mod cdc;
 pub mod changelog;
+pub mod checkpoint;
 pub mod commit;
 pub mod database;
 pub mod error;
@@ -119,6 +120,10 @@ pub mod wal;
 
 pub use cdc::{is_kv_table, ChangeOp, ChangeRecord, KV_TABLE_PREFIX};
 pub use changelog::{ChangeEntry, ChangeLog};
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, Checkpoint, CheckpointContributor, CheckpointNamespace,
+    CheckpointTable,
+};
 pub use commit::CommitParticipant;
 pub use database::{Database, DbStats};
 pub use error::{DbError, DbResult, KvError, KvResult, StorageError, TrodError, TrodResult};
@@ -139,5 +144,5 @@ pub use txn::{CommitInfo, IsolationLevel, ReadSummary, Transaction};
 pub use value::{DataType, Value};
 pub use wal::{
     FailpointHandle, FailpointSink, FileSink, MemSink, RecoveryInfo, RecoveryReport, SyncMode, Wal,
-    WalOptions, WalRecord, WalSink, DEFAULT_SEGMENT_BYTES,
+    WalOptions, WalRecord, WalSink, DEFAULT_CHECKPOINT_BYTES, DEFAULT_SEGMENT_BYTES,
 };

@@ -77,6 +77,9 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 
+use crate::checkpoint::{
+    checkpoint_name, decode_checkpoint, encode_checkpoint, parse_checkpoint_name, Checkpoint,
+};
 use crate::error::StorageError;
 use crate::log::CommittedTxn;
 use crate::mvcc::Ts;
@@ -89,7 +92,16 @@ use crate::wal::{
 pub const MANIFEST_NAME: &str = "MANIFEST";
 const MANIFEST_TMP: &str = "MANIFEST.tmp";
 const MANIFEST_MAGIC: &[u8; 8] = b"TRODMF01";
-const MANIFEST_VERSION: u32 = 1;
+/// Version 2 adds per-file `has_ddl` flags and the checkpoint list.
+/// Version 1 manifests are still decoded (with `has_ddl` conservatively
+/// `true` — every file replays — and no checkpoints); writes always emit
+/// version 2.
+const MANIFEST_VERSION: u32 = 2;
+/// Newest checkpoints kept in the manifest; older ones are deleted after
+/// each successful checkpoint write.
+const CHECKPOINTS_KEPT: usize = 2;
+/// Cold-file count above which compaction merges contiguous cold runs.
+const COLD_MERGE_BOUND: usize = 8;
 
 fn io_err(op: &'static str, e: std::io::Error) -> StorageError {
     StorageError::Io {
@@ -135,6 +147,10 @@ fn max_commit_ts(records: &[WalRecord]) -> Ts {
         })
         .max()
         .unwrap_or(0)
+}
+
+fn has_ddl(records: &[WalRecord]) -> bool {
+    records.iter().any(|r| !matches!(r, WalRecord::Commit(_)))
 }
 
 fn unix_ms() -> u64 {
@@ -576,6 +592,12 @@ struct SealedSeg {
     name: String,
     len: u64,
     max_ts: Ts,
+    /// True when the segment holds any non-commit (DDL) record. A
+    /// checkpoint boot may only skip a file when `max_ts <= checkpoint
+    /// ts` **and** it carries no DDL — DDL records are untimestamped, so
+    /// a DDL-only segment has `max_ts == 0` and would otherwise be
+    /// skipped wrongly.
+    has_ddl: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -585,6 +607,16 @@ struct ColdFile {
     seq_hi: u64,
     len: u64,
     max_ts: Ts,
+    /// OR of the compacted segments' `has_ddl` flags (see [`SealedSeg`]).
+    has_ddl: bool,
+}
+
+/// One checkpoint file tracked by the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CheckpointFile {
+    name: String,
+    ts: Ts,
+    len: u64,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -594,6 +626,13 @@ struct Manifest {
     sealed: Vec<SealedSeg>,
     active_seq: u64,
     active_name: String,
+    /// Checkpoints, oldest first.
+    checkpoints: Vec<CheckpointFile>,
+    /// Highest GC floor compaction has seen. Checkpoints at or below it
+    /// are retained as the deep time-travel ladder (see
+    /// [`SegmentedWal::write_checkpoint`]); persisting it keeps the
+    /// ladder safe across reboots.
+    gc_floor: Ts,
 }
 
 fn encode_manifest(m: &Manifest) -> Vec<u8> {
@@ -607,6 +646,7 @@ fn encode_manifest(m: &Manifest) -> Vec<u8> {
         put_u64(&mut payload, c.seq_hi);
         put_u64(&mut payload, c.len);
         put_u64(&mut payload, c.max_ts);
+        payload.push(c.has_ddl as u8);
     }
     put_u32(&mut payload, m.sealed.len() as u32);
     for s in &m.sealed {
@@ -614,9 +654,17 @@ fn encode_manifest(m: &Manifest) -> Vec<u8> {
         put_u64(&mut payload, s.seq);
         put_u64(&mut payload, s.len);
         put_u64(&mut payload, s.max_ts);
+        payload.push(s.has_ddl as u8);
     }
     put_str(&mut payload, &m.active_name);
     put_u64(&mut payload, m.active_seq);
+    put_u32(&mut payload, m.checkpoints.len() as u32);
+    for ck in &m.checkpoints {
+        put_str(&mut payload, &ck.name);
+        put_u64(&mut payload, ck.ts);
+        put_u64(&mut payload, ck.len);
+    }
+    put_u64(&mut payload, m.gc_floor);
 
     let mut out = Vec::with_capacity(8 + 12 + payload.len());
     out.extend_from_slice(MANIFEST_MAGIC);
@@ -665,9 +713,12 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, StorageError> {
     (|| -> Result<Manifest, String> {
         let mut c = Cursor::new(payload);
         let version = c.u32()?;
-        if version != MANIFEST_VERSION {
+        if version != 1 && version != MANIFEST_VERSION {
             return Err(format!("unsupported manifest version {version}"));
         }
+        // Version 1 has no per-file DDL flags: default `has_ddl` to true
+        // so every v1 file replays in full (conservative, never wrong).
+        let v1 = version == 1;
         let next_seq = c.u64()?;
         let n_cold = c.u32()? as usize;
         if n_cold > payload.len() {
@@ -681,6 +732,7 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, StorageError> {
                 seq_hi: c.u64()?,
                 len: c.u64()?,
                 max_ts: c.u64()?,
+                has_ddl: if v1 { true } else { c.u8()? != 0 },
             });
         }
         let n_sealed = c.u32()? as usize;
@@ -694,10 +746,27 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, StorageError> {
                 seq: c.u64()?,
                 len: c.u64()?,
                 max_ts: c.u64()?,
+                has_ddl: if v1 { true } else { c.u8()? != 0 },
             });
         }
         let active_name = c.str()?;
         let active_seq = c.u64()?;
+        let mut checkpoints = Vec::new();
+        let mut gc_floor = 0;
+        if !v1 {
+            let n_ckpt = c.u32()? as usize;
+            if n_ckpt > payload.len() {
+                return Err(format!("checkpoint count {n_ckpt} exceeds payload"));
+            }
+            for _ in 0..n_ckpt {
+                checkpoints.push(CheckpointFile {
+                    name: c.str()?,
+                    ts: c.u64()?,
+                    len: c.u64()?,
+                });
+            }
+            gc_floor = c.u64()?;
+        }
         if c.remaining() != 0 {
             return Err(format!("{} trailing bytes", c.remaining()));
         }
@@ -707,6 +776,8 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, StorageError> {
             sealed,
             active_seq,
             active_name,
+            checkpoints,
+            gc_floor,
         })
     })()
     .map_err(|detail| manifest_corrupt(20, detail))
@@ -752,6 +823,22 @@ pub struct WalStats {
     pub compaction_errors: u64,
     /// Unix ms of the last completed compaction (0 = never).
     pub last_compaction_unix_ms: u64,
+    /// Checkpoint files currently tracked by the manifest.
+    pub checkpoints: usize,
+    /// Timestamp of the newest tracked checkpoint (0 = none).
+    pub checkpoint_newest_ts: Ts,
+    /// Total bytes of the tracked checkpoint files.
+    pub checkpoint_bytes: u64,
+    /// Checkpoints successfully written since open.
+    pub checkpoint_writes: u64,
+    /// Checkpoint attempts skipped (no new commits, duplicate timestamp,
+    /// another checkpoint in flight, or checkpoints unsupported here).
+    pub checkpoint_skips: u64,
+    /// Checkpoint attempts that errored (recovery reconciles any debris).
+    pub checkpoint_errors: u64,
+    /// Checkpoints that failed validation and were skipped in favour of
+    /// an older one (or full replay) — at boot or on a deep fork.
+    pub checkpoint_fallbacks: u64,
 }
 
 /// What multi-segment recovery found and repaired.
@@ -770,6 +857,13 @@ pub struct SegmentedRecovery {
     /// True when a pre-segmentation single-file log was migrated into
     /// the directory layout.
     pub migrated_legacy: bool,
+    /// Timestamp of the checkpoint recovery booted from (`None` = full
+    /// replay from ts 0).
+    pub checkpoint_ts: Option<Ts>,
+    /// Checkpoints that failed validation before a usable one was found.
+    pub checkpoint_fallbacks: usize,
+    /// Cold/sealed files whose replay the checkpoint made unnecessary.
+    pub skipped_files: usize,
 }
 
 struct ActiveSeg {
@@ -780,6 +874,9 @@ struct ActiveSeg {
     /// every cold and sealed file before it.
     base: u64,
     max_ts: Ts,
+    /// Whether any non-commit (DDL) record was appended (see
+    /// [`SealedSeg::has_ddl`]).
+    has_ddl: bool,
 }
 
 struct SegState {
@@ -787,6 +884,10 @@ struct SegState {
     sealed: Vec<SealedSeg>,
     cold: Vec<ColdFile>,
     next_seq: u64,
+    /// Checkpoints tracked by the manifest, oldest first.
+    checkpoints: Vec<CheckpointFile>,
+    /// Highest GC floor compaction has seen (manifest-persisted).
+    gc_floor: Ts,
 }
 
 /// The segmented, manifest-driven WAL (module docs). Exposes the same
@@ -807,6 +908,17 @@ pub struct SegmentedWal {
     rotation_errors: AtomicU64,
     compaction_errors: AtomicU64,
     last_compaction_ms: AtomicU64,
+    checkpoint_writes: AtomicU64,
+    checkpoint_skips: AtomicU64,
+    checkpoint_errors: AtomicU64,
+    checkpoint_fallbacks: AtomicU64,
+    /// Global appended offset at the last successful checkpoint — the
+    /// reference point for [`SegmentedWal::wants_checkpoint`].
+    last_ckpt_lsn: AtomicU64,
+    /// The checkpoint recovery booted from, parked here so
+    /// `Database::recover_from` / `Session::recover_session` can consume
+    /// it without changing `open_dir`'s return type.
+    recovered_checkpoint: Mutex<Option<Checkpoint>>,
 }
 
 impl SegmentedWal {
@@ -819,6 +931,7 @@ impl SegmentedWal {
             sync_mode: wal.sync_mode(),
             group_commit: wal.group_commit(),
             segment_bytes: 0,
+            checkpoint_bytes: 0,
         };
         let group = wal.group_commit();
         Arc::new(SegmentedWal {
@@ -832,10 +945,13 @@ impl SegmentedWal {
                     wal,
                     base: 0,
                     max_ts: 0,
+                    has_ddl: false,
                 },
                 sealed: Vec::new(),
                 cold: Vec::new(),
                 next_seq: 1,
+                checkpoints: Vec::new(),
+                gc_floor: 0,
             }),
             rotate_lock: Mutex::new(()),
             rotations: AtomicU64::new(0),
@@ -843,6 +959,12 @@ impl SegmentedWal {
             rotation_errors: AtomicU64::new(0),
             compaction_errors: AtomicU64::new(0),
             last_compaction_ms: AtomicU64::new(0),
+            checkpoint_writes: AtomicU64::new(0),
+            checkpoint_skips: AtomicU64::new(0),
+            checkpoint_errors: AtomicU64::new(0),
+            checkpoint_fallbacks: AtomicU64::new(0),
+            last_ckpt_lsn: AtomicU64::new(0),
+            recovered_checkpoint: Mutex::new(None),
         })
     }
 
@@ -857,6 +979,7 @@ impl SegmentedWal {
                 || name.ends_with(".tmp")
                 || parse_segment_name(&name).is_some()
                 || parse_cold_name(&name).is_some()
+                || parse_checkpoint_name(&name).is_some()
             {
                 dir.delete(&name)?;
             }
@@ -870,6 +993,8 @@ impl SegmentedWal {
             sealed: Vec::new(),
             active_seq: 0,
             active_name: name.clone(),
+            checkpoints: Vec::new(),
+            gc_floor: 0,
         };
         write_manifest(dir.as_ref(), &manifest)?;
         let wal = Wal::with_sink(sink, opts);
@@ -937,9 +1062,10 @@ impl SegmentedWal {
             // files) or a crash before the very first manifest write.
             // Unpublished cold files are deleted — without a manifest
             // their originals are still present and replaying both would
-            // duplicate history.
+            // duplicate history. Unpublished checkpoints are deleted for
+            // the same reason: nothing vouches for them.
             for name in &names {
-                if parse_cold_name(name).is_some() {
+                if parse_cold_name(name).is_some() || parse_checkpoint_name(name).is_some() {
                     dir.delete(name)?;
                     rec.removed_files += 1;
                 }
@@ -969,6 +1095,8 @@ impl SegmentedWal {
                 sealed: Vec::new(),
                 active_seq: first_seq,
                 active_name: first_name,
+                checkpoints: Vec::new(),
+                gc_floor: 0,
             }
         };
 
@@ -1013,6 +1141,7 @@ impl SegmentedWal {
                 name: prev_name.clone(),
                 len: prev_bytes.len() as u64,
                 max_ts: max_commit_ts(&records),
+                has_ddl: has_ddl(&records),
             });
             decoded.insert(prev_name, records);
             manifest.active_seq += 1;
@@ -1024,17 +1153,21 @@ impl SegmentedWal {
 
         // Delete unlisted leftovers: segments already compacted away
         // (crash between the compaction manifest swap and its deletes),
-        // cold files never published, or empty creations beyond the
-        // adopted run.
+        // cold files never published, checkpoints renamed into place but
+        // never manifest-listed (crash mid-checkpoint), or empty
+        // creations beyond the adopted run.
         let listed: Vec<&str> = manifest
             .sealed
             .iter()
             .map(|s| s.name.as_str())
             .chain(manifest.cold.iter().map(|c| c.name.as_str()))
+            .chain(manifest.checkpoints.iter().map(|c| c.name.as_str()))
             .chain(std::iter::once(manifest.active_name.as_str()))
             .collect();
         for name in &names {
-            let is_log_file = parse_segment_name(name).is_some() || parse_cold_name(name).is_some();
+            let is_log_file = parse_segment_name(name).is_some()
+                || parse_cold_name(name).is_some()
+                || parse_checkpoint_name(name).is_some();
             if is_log_file && !listed.contains(&name.as_str()) {
                 dir.delete(name)?;
                 rec.removed_files += 1;
@@ -1042,45 +1175,98 @@ impl SegmentedWal {
             }
         }
 
-        // Validate and decode in global order: cold, sealed, active.
-        // Cold and sealed files are immutable and were fully durable
-        // before they stopped being active — any damage in them is
-        // corruption, never a torn tail.
+        // Select the newest checkpoint that validates end-to-end. A
+        // missing or corrupt checkpoint is *expected* debris (crash
+        // mid-write, bit rot): fall back to the next older one, counting
+        // each fallback, and delist the bad file — never guess.
+        let mut boot_ckpt: Option<Checkpoint> = None;
+        let mut by_ts = manifest.checkpoints.clone();
+        by_ts.sort_by_key(|c| c.ts);
+        for ck in by_ts.iter().rev() {
+            match dir.read(&ck.name).and_then(|b| decode_checkpoint(&b)) {
+                Ok(decoded) if decoded.ts == ck.ts => {
+                    boot_ckpt = Some(decoded);
+                    break;
+                }
+                Ok(_) | Err(_) => {
+                    rec.checkpoint_fallbacks += 1;
+                    manifest.checkpoints.retain(|c| c.name != ck.name);
+                    dir.delete(&ck.name)?;
+                    rec.removed_files += 1;
+                    dirty = true;
+                }
+            }
+        }
+        let ckpt_ts = boot_ckpt.as_ref().map(|c| c.ts).unwrap_or(0);
+        rec.checkpoint_ts = boot_ckpt.as_ref().map(|c| c.ts);
+
+        // Validate and decode immutable files in global (sequence) order.
+        // Cold and sealed files are interleaved by their sequence ranges
+        // — compaction may cold a run *behind* a still-hot sealed segment
+        // — so the walk merges both lists sorted by low sequence. Cold
+        // and sealed files were fully durable before they stopped being
+        // active: any damage in them is corruption, never a torn tail.
+        //
+        // A checkpoint boot skips every immutable file whose commits the
+        // snapshot already covers (`max_ts <= checkpoint ts`) and that
+        // carries no DDL. Skipped files are not read or validated — that
+        // *is* the O(delta) win — their manifest lengths still advance
+        // the global LSN base.
+        enum Imm<'a> {
+            Cold(&'a ColdFile),
+            Sealed(&'a SealedSeg),
+        }
+        let mut files: Vec<(u64, Imm)> = manifest
+            .cold
+            .iter()
+            .map(|c| (c.seq_lo, Imm::Cold(c)))
+            .chain(manifest.sealed.iter().map(|s| (s.seq, Imm::Sealed(s))))
+            .collect();
+        files.sort_by_key(|(seq, _)| *seq);
         let mut all_records = Vec::new();
         let mut base = 0u64;
-        for c in &manifest.cold {
-            let bytes = match dir.read(&c.name) {
-                Ok(b) => b,
-                Err(_) => {
-                    return Err(StorageError::Recovery {
-                        detail: format!("manifest references missing cold file `{}`", c.name),
-                    })
-                }
+        for (_, file) in files {
+            let (name, len, max_ts, file_has_ddl) = match &file {
+                Imm::Cold(c) => (c.name.as_str(), c.len, c.max_ts, c.has_ddl),
+                Imm::Sealed(s) => (s.name.as_str(), s.len, s.max_ts, s.has_ddl),
             };
-            let (records, info) = decode_strict(&bytes, &c.name, c.len)?;
-            base += info.valid_len;
-            all_records.extend(records);
-            rec.cold_files += 1;
-        }
-        for s in &manifest.sealed {
-            if let Some(records) = decoded.remove(&s.name) {
-                base += s.len;
-                all_records.extend(records);
-                rec.segments += 1;
+            let kind = match &file {
+                Imm::Cold(_) => "cold file",
+                Imm::Sealed(_) => "segment",
+            };
+            if ckpt_ts > 0 && max_ts <= ckpt_ts && !file_has_ddl {
+                decoded.remove(name);
+                base += len;
+                rec.skipped_files += 1;
+                match file {
+                    Imm::Cold(_) => rec.cold_files += 1,
+                    Imm::Sealed(_) => rec.segments += 1,
+                }
                 continue;
             }
-            let bytes = match dir.read(&s.name) {
+            if let Imm::Sealed(s) = &file {
+                if let Some(records) = decoded.remove(&s.name) {
+                    base += s.len;
+                    all_records.extend(records);
+                    rec.segments += 1;
+                    continue;
+                }
+            }
+            let bytes = match dir.read(name) {
                 Ok(b) => b,
                 Err(_) => {
                     return Err(StorageError::Recovery {
-                        detail: format!("manifest references missing segment `{}`", s.name),
+                        detail: format!("manifest references missing {kind} `{name}`"),
                     })
                 }
             };
-            let (records, info) = decode_strict(&bytes, &s.name, s.len)?;
+            let (records, info) = decode_strict(&bytes, name, len)?;
             base += info.valid_len;
             all_records.extend(records);
-            rec.segments += 1;
+            match file {
+                Imm::Cold(_) => rec.cold_files += 1,
+                Imm::Sealed(_) => rec.segments += 1,
+            }
         }
 
         let active_name = manifest.active_name.clone();
@@ -1097,7 +1283,19 @@ impl SegmentedWal {
         rec.truncated_bytes = info.truncated_bytes;
         rec.segments += 1;
         let active_max_ts = max_commit_ts(&active_records);
+        let active_has_ddl = has_ddl(&active_records);
         all_records.extend(active_records);
+
+        // On a checkpoint boot, commits the snapshot covers are dropped
+        // from the replay stream (the snapshot *is* their state); DDL
+        // records are kept — the caller replays them idempotently, since
+        // the checkpoint already restored the catalog objects they made.
+        if ckpt_ts > 0 {
+            all_records.retain(|r| match r {
+                WalRecord::Commit(e) => e.commit_ts > ckpt_ts,
+                _ => true,
+            });
+        }
 
         if dirty {
             write_manifest(dir.as_ref(), &manifest)?;
@@ -1108,7 +1306,22 @@ impl SegmentedWal {
         sink.truncate_to(info.valid_len)?;
         let wal = Wal::with_sink_at(sink, info.valid_len, opts);
 
-        let wal = Self::assemble_at(Some(dir), opts, wal, base, active_max_ts, manifest);
+        let wal = Self::assemble_at(
+            Some(dir),
+            opts,
+            wal,
+            base,
+            active_max_ts,
+            active_has_ddl,
+            manifest,
+        );
+        if let Some(ckpt) = boot_ckpt {
+            // Cadence restarts from the recovered end of the log.
+            wal.last_ckpt_lsn.store(wal.appended(), Ordering::Relaxed);
+            *wal.recovered_checkpoint.lock() = Some(ckpt);
+        }
+        wal.checkpoint_fallbacks
+            .store(rec.checkpoint_fallbacks as u64, Ordering::Relaxed);
         Ok((wal, all_records, rec))
     }
 
@@ -1120,7 +1333,7 @@ impl SegmentedWal {
         manifest: Manifest,
     ) -> Arc<SegmentedWal> {
         debug_assert_eq!(active_name, manifest.active_name);
-        Self::assemble_at(dir, opts, wal, 0, 0, manifest)
+        Self::assemble_at(dir, opts, wal, 0, 0, false, manifest)
     }
 
     fn assemble_at(
@@ -1129,6 +1342,7 @@ impl SegmentedWal {
         wal: Arc<Wal>,
         base: u64,
         active_max_ts: Ts,
+        active_has_ddl: bool,
         manifest: Manifest,
     ) -> Arc<SegmentedWal> {
         Arc::new(SegmentedWal {
@@ -1142,10 +1356,13 @@ impl SegmentedWal {
                     wal,
                     base,
                     max_ts: active_max_ts,
+                    has_ddl: active_has_ddl,
                 },
                 sealed: manifest.sealed,
                 cold: manifest.cold,
                 next_seq: manifest.next_seq,
+                checkpoints: manifest.checkpoints,
+                gc_floor: manifest.gc_floor,
             }),
             rotate_lock: Mutex::new(()),
             rotations: AtomicU64::new(0),
@@ -1153,6 +1370,12 @@ impl SegmentedWal {
             rotation_errors: AtomicU64::new(0),
             compaction_errors: AtomicU64::new(0),
             last_compaction_ms: AtomicU64::new(0),
+            checkpoint_writes: AtomicU64::new(0),
+            checkpoint_skips: AtomicU64::new(0),
+            checkpoint_errors: AtomicU64::new(0),
+            checkpoint_fallbacks: AtomicU64::new(0),
+            last_ckpt_lsn: AtomicU64::new(0),
+            recovered_checkpoint: Mutex::new(None),
         })
     }
 
@@ -1200,6 +1423,8 @@ impl SegmentedWal {
         let lsn = s.active.wal.append_record(record)?;
         if let WalRecord::Commit(e) = record {
             s.active.max_ts = s.active.max_ts.max(e.commit_ts);
+        } else {
+            s.active.has_ddl = true;
         }
         Ok(s.active.base + lsn)
     }
@@ -1247,7 +1472,7 @@ impl SegmentedWal {
 
     /// Current statistics (the `sys_health` payload).
     pub fn stats(&self) -> WalStats {
-        let (segments, cold_files, active_bytes, appended, durable) = {
+        let (segments, cold_files, active_bytes, appended, durable, ckpts, ckpt_ts, ckpt_bytes) = {
             let s = self.state.lock();
             (
                 s.sealed.len() + 1,
@@ -1255,6 +1480,9 @@ impl SegmentedWal {
                 s.active.wal.appended(),
                 s.active.base + s.active.wal.appended(),
                 s.active.base + s.active.wal.durable(),
+                s.checkpoints.len(),
+                s.checkpoints.iter().map(|c| c.ts).max().unwrap_or(0),
+                s.checkpoints.iter().map(|c| c.len).sum::<u64>(),
             )
         };
         WalStats {
@@ -1273,6 +1501,13 @@ impl SegmentedWal {
             rotation_errors: self.rotation_errors.load(Ordering::Relaxed),
             compaction_errors: self.compaction_errors.load(Ordering::Relaxed),
             last_compaction_unix_ms: self.last_compaction_ms.load(Ordering::Relaxed),
+            checkpoints: ckpts,
+            checkpoint_newest_ts: ckpt_ts,
+            checkpoint_bytes: ckpt_bytes,
+            checkpoint_writes: self.checkpoint_writes.load(Ordering::Relaxed),
+            checkpoint_skips: self.checkpoint_skips.load(Ordering::Relaxed),
+            checkpoint_errors: self.checkpoint_errors.load(Ordering::Relaxed),
+            checkpoint_fallbacks: self.checkpoint_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -1333,6 +1568,7 @@ impl SegmentedWal {
                 name: s.active.name.clone(),
                 len,
                 max_ts: s.active.max_ts,
+                has_ddl: s.active.has_ddl,
             };
             let base = s.active.base + len;
             s.sealed.push(sealed);
@@ -1342,6 +1578,7 @@ impl SegmentedWal {
                 wal: new_wal,
                 base,
                 max_ts: 0,
+                has_ddl: false,
             };
             s.next_seq = new_seq + 1;
             manifest_of(&s)
@@ -1355,11 +1592,15 @@ impl SegmentedWal {
 
     // -- compaction ----------------------------------------------------
 
-    /// Compacts every sealed segment wholly at or below the GC `floor`
-    /// (`max_ts <= floor`, matching the ≤-inclusive log truncation) into
-    /// one immutable cold file. The copy is verified record-by-record,
-    /// published via temp-rename + manifest swap, and the originals are
-    /// deleted only after the manifest swap is durable. Returns how many
+    /// Compacts every **contiguous run** of sealed segments wholly at or
+    /// below the GC `floor` (`max_ts <= floor`, matching the ≤-inclusive
+    /// log truncation) into immutable cold files — not just the longest
+    /// prefix, so a hot segment pinning the floor no longer blocks
+    /// eligible segments behind it. Each copy is verified
+    /// record-by-record, published via temp-rename + manifest swap, and
+    /// the originals are deleted only after the manifest swap is durable.
+    /// When the cold-file count exceeds a bound, contiguous cold runs are
+    /// merged into larger files under the same protocol. Returns how many
     /// segments were compacted.
     pub fn compact_below(&self, floor: Ts) -> Result<usize, StorageError> {
         let Some(dir) = self.dir.clone() else {
@@ -1377,75 +1618,326 @@ impl SegmentedWal {
 
     fn compact_below_inner(&self, dir: &Arc<dyn LogDir>, floor: Ts) -> Result<usize, StorageError> {
         let _g = self.rotate_lock.lock();
-        let eligible: Vec<SealedSeg> = {
-            let s = self.state.lock();
-            // Only a prefix is eligible: commit order is segment order,
-            // so the first segment with entries above the floor ends it.
-            let n = s
-                .sealed
-                .iter()
-                .take_while(|seg| seg.max_ts <= floor)
-                .count();
-            s.sealed[..n].to_vec()
+        // Maximal runs of eligible sealed segments, contiguous in
+        // *sequence* (not just list position): a seq gap means a cold
+        // file covers the missing range, and a run spanning the gap
+        // would mint a cold name overlapping it. Commit order is segment
+        // order, so a non-prefix run can only arise behind segments with
+        // `max_ts` above the floor — e.g. DDL-only segments
+        // (`max_ts == 0`) trailing a hot one.
+        let runs: Vec<Vec<SealedSeg>> = {
+            let mut s = self.state.lock();
+            // Remember the floor: checkpoints at or below it are the deep
+            // time-travel ladder and survive checkpoint pruning. The next
+            // manifest swap persists it.
+            s.gc_floor = s.gc_floor.max(floor);
+            let mut runs = Vec::new();
+            let mut cur: Vec<SealedSeg> = Vec::new();
+            for seg in &s.sealed {
+                let eligible = seg.max_ts <= floor;
+                let contiguous = cur.last().is_some_and(|p| p.seq + 1 == seg.seq);
+                if !(eligible && (cur.is_empty() || contiguous)) && !cur.is_empty() {
+                    runs.push(std::mem::take(&mut cur));
+                }
+                if eligible {
+                    cur.push(seg.clone());
+                }
+            }
+            if !cur.is_empty() {
+                runs.push(cur);
+            }
+            runs
         };
-        if eligible.is_empty() {
-            return Ok(0);
+        let mut compacted = 0usize;
+        for run in &runs {
+            let seq_lo = run.first().unwrap().seq;
+            let seq_hi = run.last().unwrap().seq;
+            let cold = ColdFile {
+                name: cold_name(seq_lo, seq_hi),
+                seq_lo,
+                seq_hi,
+                len: 0, // filled by publish_cold
+                max_ts: run.iter().map(|s| s.max_ts).max().unwrap_or(0),
+                has_ddl: run.iter().any(|s| s.has_ddl),
+            };
+            let sources: Vec<(String, u64)> = run.iter().map(|s| (s.name.clone(), s.len)).collect();
+            self.publish_cold(dir, &sources, cold)?;
+            compacted += run.len();
         }
-        let seq_lo = eligible.first().unwrap().seq;
-        let seq_hi = eligible.last().unwrap().seq;
-        let final_name = cold_name(seq_lo, seq_hi);
-        let tmp_name = format!("{final_name}.tmp");
+        if compacted > 0 {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            self.last_compaction_ms.store(unix_ms(), Ordering::Relaxed);
+        }
+        self.merge_cold_files(dir)?;
+        Ok(compacted)
+    }
 
-        // Copy + verify into the temp file. Sealed segments were durable
-        // at seal time; any damage found here is corruption.
+    /// Copies + strictly verifies `sources` into `cold.name` (temp file,
+    /// fsync, rename, dir fsync), publishes it in the manifest — removing
+    /// every source from the sealed and cold lists — and only then
+    /// deletes the originals (best-effort; recovery reconciles leftovers).
+    fn publish_cold(
+        &self,
+        dir: &Arc<dyn LogDir>,
+        sources: &[(String, u64)],
+        mut cold: ColdFile,
+    ) -> Result<(), StorageError> {
+        let tmp_name = format!("{}.tmp", cold.name);
         let mut sink = dir.create(&tmp_name)?;
         let mut total = 0u64;
-        let mut max_ts: Ts = 0;
-        for seg in &eligible {
-            let bytes = dir.read(&seg.name)?;
-            let (_, info) = decode_strict(&bytes, &seg.name, seg.len)?;
+        for (name, len) in sources {
+            let bytes = dir.read(name)?;
+            let (_, info) = decode_strict(&bytes, name, *len)?;
             debug_assert_eq!(info.truncated_bytes, 0);
             sink.write_all(&bytes)?;
             total += bytes.len() as u64;
-            max_ts = max_ts.max(seg.max_ts);
         }
         sink.sync()?;
         drop(sink);
-        dir.rename(&tmp_name, &final_name)?;
+        dir.rename(&tmp_name, &cold.name)?;
         dir.sync_dir()?;
+        cold.len = total;
 
         // Manifest swap FIRST (the cold file becomes authoritative), then
         // the in-memory state, then — and only then — the deletes.
-        let cold = ColdFile {
-            name: final_name,
-            seq_lo,
-            seq_hi,
-            len: total,
-            max_ts,
-        };
+        let source_names: Vec<&str> = sources.iter().map(|(n, _)| n.as_str()).collect();
         let manifest = {
             let s = self.state.lock();
             let mut m = manifest_of(&s);
-            m.sealed.drain(..eligible.len());
-            m.cold.push(cold.clone());
+            replace_with_cold(&mut m, &source_names, cold.clone());
             m
         };
         write_manifest(dir.as_ref(), &manifest)?;
         {
             let mut s = self.state.lock();
-            s.sealed.drain(..eligible.len());
-            s.cold.push(cold);
+            let mut m = Manifest {
+                next_seq: s.next_seq,
+                cold: std::mem::take(&mut s.cold),
+                sealed: std::mem::take(&mut s.sealed),
+                active_seq: s.active.seq,
+                active_name: s.active.name.clone(),
+                checkpoints: std::mem::take(&mut s.checkpoints),
+                gc_floor: s.gc_floor,
+            };
+            replace_with_cold(&mut m, &source_names, cold);
+            s.cold = m.cold;
+            s.sealed = m.sealed;
+            s.checkpoints = m.checkpoints;
         }
         // Best-effort: leftover originals are unlisted now and recovery
         // deletes them if we crash (or error) here.
-        for seg in &eligible {
-            let _ = dir.delete(&seg.name);
+        for (name, _) in sources {
+            let _ = dir.delete(name);
         }
         let _ = dir.sync_dir();
-        self.compactions.fetch_add(1, Ordering::Relaxed);
-        self.last_compaction_ms.store(unix_ms(), Ordering::Relaxed);
-        Ok(eligible.len())
+        Ok(())
     }
+
+    /// Merges contiguous cold-file chains while the cold count exceeds
+    /// [`COLD_MERGE_BOUND`], longest chain first. Chains are contiguous
+    /// by sequence range (`a.seq_hi + 1 == b.seq_lo`); files separated by
+    /// a still-sealed gap are left alone.
+    fn merge_cold_files(&self, dir: &Arc<dyn LogDir>) -> Result<(), StorageError> {
+        loop {
+            let chain: Vec<ColdFile> = {
+                let s = self.state.lock();
+                if s.cold.len() <= COLD_MERGE_BOUND {
+                    return Ok(());
+                }
+                let mut best: Vec<ColdFile> = Vec::new();
+                let mut cur: Vec<ColdFile> = Vec::new();
+                for c in &s.cold {
+                    let contiguous = cur.last().is_some_and(|p| p.seq_hi + 1 == c.seq_lo);
+                    if !cur.is_empty() && !contiguous {
+                        if cur.len() > best.len() {
+                            best = std::mem::take(&mut cur);
+                        } else {
+                            cur.clear();
+                        }
+                    }
+                    cur.push(c.clone());
+                }
+                if cur.len() > best.len() {
+                    best = cur;
+                }
+                if best.len() < 2 {
+                    return Ok(());
+                }
+                best
+            };
+            let merged = ColdFile {
+                name: cold_name(chain.first().unwrap().seq_lo, chain.last().unwrap().seq_hi),
+                seq_lo: chain.first().unwrap().seq_lo,
+                seq_hi: chain.last().unwrap().seq_hi,
+                len: 0, // filled by publish_cold
+                max_ts: chain.iter().map(|c| c.max_ts).max().unwrap_or(0),
+                has_ddl: chain.iter().any(|c| c.has_ddl),
+            };
+            let sources: Vec<(String, u64)> =
+                chain.iter().map(|c| (c.name.clone(), c.len)).collect();
+            self.publish_cold(dir, &sources, merged)?;
+        }
+    }
+
+    // -- checkpoints ---------------------------------------------------
+
+    /// True when enough WAL bytes accumulated since the last checkpoint
+    /// that the cadence policy ([`WalOptions::checkpoint_bytes`]) wants a
+    /// new one.
+    pub fn wants_checkpoint(&self) -> bool {
+        self.dir.is_some()
+            && self.opts.checkpoint_bytes > 0
+            && self
+                .appended()
+                .saturating_sub(self.last_ckpt_lsn.load(Ordering::Relaxed))
+                >= self.opts.checkpoint_bytes
+    }
+
+    /// Consumes the checkpoint this log's recovery booted from, if any.
+    /// `Database::recover_from` / `Session::recover_session` call this
+    /// exactly once, restore the snapshot, then replay the (already
+    /// filtered) record tail `open_dir` returned.
+    pub fn take_recovered_checkpoint(&self) -> Option<Checkpoint> {
+        self.recovered_checkpoint.lock().take()
+    }
+
+    /// Counts a checkpoint attempt skipped before reaching the log (e.g.
+    /// another checkpoint already in flight).
+    pub fn count_checkpoint_skip(&self) {
+        self.checkpoint_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes `ck` durably and publishes it in the manifest: encode, temp
+    /// file, fsync, rename to `ckpt-<ts>.ckpt`, dir fsync, manifest swap
+    /// listing it; then checkpoints *above the GC floor* beyond the last
+    /// [`CHECKPOINTS_KEPT`] are delisted and deleted (best-effort — a
+    /// crash leaves unlisted files recovery reconciles). Checkpoints at
+    /// or below the floor are retained: they are the ladder deep
+    /// time-travel forks restore from. Every byte and
+    /// metadata op goes through the [`LogDir`] seam, so fault-injection
+    /// sweeps cover the whole path. Returns `(ts, file bytes)`, or `None`
+    /// when the attempt was skipped (no directory, ts 0, or a checkpoint
+    /// at this ts already exists).
+    pub fn write_checkpoint(&self, ck: &Checkpoint) -> Result<Option<(Ts, u64)>, StorageError> {
+        let Some(dir) = self.dir.clone() else {
+            self.checkpoint_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        };
+        if ck.ts == 0 || self.state.lock().checkpoints.iter().any(|c| c.ts == ck.ts) {
+            self.checkpoint_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        let res = self.write_checkpoint_inner(&dir, ck);
+        if res.is_err() {
+            self.checkpoint_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        res
+    }
+
+    fn write_checkpoint_inner(
+        &self,
+        dir: &Arc<dyn LogDir>,
+        ck: &Checkpoint,
+    ) -> Result<Option<(Ts, u64)>, StorageError> {
+        let _g = self.rotate_lock.lock();
+        let bytes = encode_checkpoint(ck);
+        let len = bytes.len() as u64;
+        let final_name = checkpoint_name(ck.ts);
+        let tmp_name = format!("{final_name}.tmp");
+        let mut sink = dir.create(&tmp_name)?;
+        sink.write_all(&bytes)?;
+        sink.sync()?;
+        drop(sink);
+        dir.rename(&tmp_name, &final_name)?;
+        dir.sync_dir()?;
+        // Publish in the manifest, retaining only the newest few. The
+        // in-memory list is updated first; if the manifest write below
+        // fails, the next successful manifest swap publishes the (already
+        // durable, already renamed) file — never a dangling reference.
+        let (manifest, dropped) = {
+            let mut s = self.state.lock();
+            s.checkpoints.push(CheckpointFile {
+                name: final_name,
+                ts: ck.ts,
+                len,
+            });
+            s.checkpoints.sort_by_key(|c| c.ts);
+            // Retention is floor-aware: above the GC floor the live store
+            // answers forks directly and a checkpoint only serves
+            // recovery, so the newest CHECKPOINTS_KEPT suffice. At or
+            // below the floor a checkpoint is the *only* bounded route
+            // back into the truncated region (deep fork =
+            // nearest-checkpoint + spilled delta), so those form a
+            // ladder and are never pruned.
+            let floor = s.gc_floor;
+            let above = s.checkpoints.iter().filter(|c| c.ts > floor).count();
+            let excess = above.saturating_sub(CHECKPOINTS_KEPT);
+            let mut dropped = Vec::with_capacity(excess);
+            if excess > 0 {
+                s.checkpoints.retain(|c| {
+                    if c.ts > floor && dropped.len() < excess {
+                        dropped.push(c.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            (manifest_of(&s), dropped)
+        };
+        write_manifest(dir.as_ref(), &manifest)?;
+        // Best-effort: the dropped files are unlisted now and recovery
+        // deletes them if we crash (or error) here.
+        for old in &dropped {
+            let _ = dir.delete(&old.name);
+        }
+        let _ = dir.sync_dir();
+        self.checkpoint_writes.fetch_add(1, Ordering::Relaxed);
+        self.last_ckpt_lsn.store(self.appended(), Ordering::Relaxed);
+        Ok(Some((ck.ts, len)))
+    }
+
+    /// Loads the newest manifest-listed checkpoint with `ts <= up_to`,
+    /// falling back past corrupt or missing files (counted in
+    /// [`WalStats::checkpoint_fallbacks`]). `Ok(None)` when no usable
+    /// checkpoint exists at or below `up_to` — the caller falls back to
+    /// full replay.
+    pub fn load_checkpoint_at_or_before(
+        &self,
+        up_to: Ts,
+    ) -> Result<Option<Checkpoint>, StorageError> {
+        let Some(dir) = self.dir.clone() else {
+            return Ok(None);
+        };
+        let mut candidates: Vec<CheckpointFile> = self
+            .state
+            .lock()
+            .checkpoints
+            .iter()
+            .filter(|c| c.ts <= up_to)
+            .cloned()
+            .collect();
+        candidates.sort_by_key(|c| c.ts);
+        for ck in candidates.iter().rev() {
+            match dir.read(&ck.name).and_then(|b| decode_checkpoint(&b)) {
+                Ok(decoded) if decoded.ts == ck.ts => return Ok(Some(decoded)),
+                Ok(_) | Err(_) => {
+                    self.checkpoint_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Removes `source_names` from a manifest's sealed and cold lists and
+/// inserts `cold` keeping the cold list sorted by `seq_lo`.
+fn replace_with_cold(m: &mut Manifest, source_names: &[&str], cold: ColdFile) {
+    m.sealed
+        .retain(|s| !source_names.contains(&s.name.as_str()));
+    m.cold.retain(|c| !source_names.contains(&c.name.as_str()));
+    let pos = m.cold.partition_point(|c| c.seq_lo < cold.seq_lo);
+    m.cold.insert(pos, cold);
 }
 
 fn manifest_of(s: &SegState) -> Manifest {
@@ -1455,6 +1947,8 @@ fn manifest_of(s: &SegState) -> Manifest {
         sealed: s.sealed.clone(),
         active_seq: s.active.seq,
         active_name: s.active.name.clone(),
+        checkpoints: s.checkpoints.clone(),
+        gc_floor: s.gc_floor,
     }
 }
 
@@ -1602,15 +2096,23 @@ mod tests {
                 seq_hi: 2,
                 len: 1234,
                 max_ts: 9,
+                has_ddl: true,
             }],
             sealed: vec![SealedSeg {
                 seq: 3,
                 name: segment_name(3),
                 len: 88,
                 max_ts: 12,
+                has_ddl: false,
             }],
             active_seq: 6,
             active_name: segment_name(6),
+            checkpoints: vec![CheckpointFile {
+                name: checkpoint_name(9),
+                ts: 9,
+                len: 4096,
+            }],
+            gc_floor: 7,
         };
         let bytes = encode_manifest(&m);
         assert_eq!(decode_manifest(&bytes).unwrap(), m);

@@ -672,6 +672,21 @@ impl TableStore {
     /// this table's commit lock — crate-private so code outside the
     /// engine cannot bypass the commit protocol through a
     /// [`crate::Database::table`] handle.
+    /// Installs a whole checkpoint snapshot in one pass: one lock
+    /// acquisition for every row, no changelog entries (a restored base
+    /// is *state*, not a change — emitting it as CDC would present the
+    /// entire snapshot as writes at `commit_ts`). Indexes are rebuilt by
+    /// the caller afterwards via `create_index` backfill.
+    pub(crate) fn install_snapshot<I>(&self, entries: I, commit_ts: Ts)
+    where
+        I: IntoIterator<Item = (Key, Arc<Row>)>,
+    {
+        let mut rows = self.rows.write();
+        for (key, row) in entries {
+            rows.entry(key).or_default().install(commit_ts, row);
+        }
+    }
+
     pub(crate) fn install(&self, key: &Key, row: Arc<Row>, commit_ts: Ts) -> Option<Arc<Row>> {
         let mut rows = self.rows.write();
         let chain = rows.entry(key.clone()).or_default();

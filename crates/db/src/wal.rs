@@ -109,10 +109,19 @@ pub struct WalOptions {
     /// overshoot by one group). `0` disables rotation — the log stays a
     /// single ever-growing segment, the pre-segmentation behaviour.
     pub segment_bytes: u64,
+    /// Bytes of new WAL appends after which the database takes the next
+    /// environment checkpoint (on the post-ack path, outside the
+    /// publication window). `0` disables automatic checkpoints; explicit
+    /// [`crate::Database::checkpoint`] calls still work.
+    pub checkpoint_bytes: u64,
 }
 
 /// Default [`WalOptions::segment_bytes`]: 64 MiB.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 64 << 20;
+
+/// Default [`WalOptions::checkpoint_bytes`]: 64 MiB of appended WAL
+/// bytes between automatic environment checkpoints.
+pub const DEFAULT_CHECKPOINT_BYTES: u64 = 64 << 20;
 
 impl Default for WalOptions {
     fn default() -> Self {
@@ -120,6 +129,7 @@ impl Default for WalOptions {
             sync_mode: SyncMode::Sync,
             group_commit: true,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            checkpoint_bytes: DEFAULT_CHECKPOINT_BYTES,
         }
     }
 }
@@ -214,7 +224,7 @@ pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => out.push(0),
         Value::Bool(b) => {
@@ -245,7 +255,7 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn put_values(out: &mut Vec<u8>, values: &[Value]) {
+pub(crate) fn put_values(out: &mut Vec<u8>, values: &[Value]) {
     put_u32(out, values.len() as u32);
     for v in values {
         put_value(out, v);
@@ -272,7 +282,7 @@ fn put_change(out: &mut Vec<u8>, change: &ChangeRecord) {
     }
 }
 
-fn dtype_tag(d: DataType) -> u8 {
+pub(crate) fn dtype_tag(d: DataType) -> u8 {
     match d {
         DataType::Bool => 0,
         DataType::Int => 1,
@@ -374,7 +384,7 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
 
@@ -396,7 +406,7 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_string())
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    pub(crate) fn value(&mut self) -> Result<Value, String> {
         Ok(match self.u8()? {
             0 => Value::Null,
             1 => Value::Bool(self.u8()? != 0),
@@ -412,7 +422,7 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    fn values(&mut self) -> Result<Vec<Value>, String> {
+    pub(crate) fn values(&mut self) -> Result<Vec<Value>, String> {
         let n = self.u32()? as usize;
         if n > self.data.len() - self.pos {
             // Each value is at least one byte; reject absurd counts
@@ -445,7 +455,7 @@ impl<'a> Cursor<'a> {
         Ok(ChangeRecord { table, key, op })
     }
 
-    fn dtype(&mut self) -> Result<DataType, String> {
+    pub(crate) fn dtype(&mut self) -> Result<DataType, String> {
         Ok(match self.u8()? {
             0 => DataType::Bool,
             1 => DataType::Int,
@@ -561,6 +571,15 @@ pub struct RecoveryReport {
     pub segments: usize,
     /// Immutable cold files replayed before the segments.
     pub cold_files: usize,
+    /// Timestamp of the checkpoint this boot restored from, if any —
+    /// `Some(ts)` means only WAL records after `ts` were replayed.
+    pub checkpoint_ts: Option<crate::mvcc::Ts>,
+    /// Checkpoints that failed validation before a usable one was found
+    /// (each fell back to the next older one, or to full replay).
+    pub checkpoint_fallbacks: usize,
+    /// Cold/sealed files recovery skipped entirely because every commit
+    /// in them preceded the checkpoint.
+    pub skipped_files: usize,
 }
 
 enum Parse {

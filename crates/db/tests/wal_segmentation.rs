@@ -3,18 +3,24 @@
 //! The tentpole contracts under test:
 //!
 //! * **Crash at every cost unit** — a deterministic sweep runs a
-//!   workload that performs many rotations and one compaction over a
-//!   [`FailpointDir`], crashing after `k` cost units for every `k` from
-//!   0 to the full run's cost (one unit per sink byte, one per metadata
-//!   operation — create, rename, delete, fsync, directory fsync). Every
-//!   crash point must recover into a dense prefix of the oracle history
-//!   containing every acknowledged commit: zero lost durable commits, no
-//!   torn state, no panic.
+//!   workload that performs many rotations, one compaction, and
+//!   (in the checkpoint variant) an environment checkpoint per commit
+//!   over a [`FailpointDir`], crashing after `k` cost units for every
+//!   `k` from 0 to the full run's cost (one unit per sink byte, one per
+//!   metadata operation — create, rename, delete, fsync, directory
+//!   fsync). Every crash point must recover into an oracle-equivalent
+//!   state containing every acknowledged commit: zero lost durable
+//!   commits, no torn state, no panic.
 //! * **Recovery equivalence** — a property test drives random workloads
-//!   at random segment sizes, crashes by truncating the persisted image
-//!   at a random point or flipping a random bit, and requires recovery
-//!   to either produce an exact oracle prefix or refuse with a typed
-//!   [`StorageError`] — never panic, never fabricate state.
+//!   at random segment sizes and checkpoint cadences, crashes by
+//!   truncating the persisted image at a random point or flipping a
+//!   random bit, and requires recovery to either produce an
+//!   oracle-equivalent state or refuse with a typed [`StorageError`] —
+//!   never panic, never fabricate state.
+//! * **Checkpoint fallback** — a corrupt checkpoint file is skipped in
+//!   favour of the next older one, and with all checkpoints damaged
+//!   boot degrades to full WAL replay; both paths are counted and
+//!   oracle-checked.
 //! * **Layout adoption** — a pre-segmentation single-file log migrates
 //!   byte-identically into segment 0, and a manifest-less directory of
 //!   `wal-*.seg` files is adopted in sequence order.
@@ -40,10 +46,11 @@ fn events_schema() -> Schema {
         .unwrap()
 }
 
-fn opts(segment_bytes: u64) -> WalOptions {
+fn opts(workload: &Workload) -> WalOptions {
     WalOptions {
         sync_mode: SyncMode::Sync,
-        segment_bytes,
+        segment_bytes: workload.segment_bytes,
+        checkpoint_bytes: workload.checkpoint_bytes,
         ..WalOptions::default()
     }
 }
@@ -55,6 +62,11 @@ struct Workload {
     segment_bytes: u64,
     commits: i64,
     gc_after: Option<i64>,
+    /// Automatic environment-checkpoint cadence in appended WAL bytes
+    /// (0 = disabled). `1` forces a checkpoint after every commit, so a
+    /// crash sweep crosses every byte of the checkpoint write and its
+    /// manifest swap.
+    checkpoint_bytes: u64,
 }
 
 /// Runs the workload until completion or the first storage failure
@@ -62,7 +74,7 @@ struct Workload {
 /// (fsync succeeded before the crash point).
 fn run(workload: &Workload, dir: Arc<dyn LogDir>) -> Vec<Ts> {
     let mut acked = Vec::new();
-    let db = match Database::create_durable_in(dir, opts(workload.segment_bytes)) {
+    let db = match Database::create_durable_in(dir, opts(workload)) {
         Ok(db) => db,
         Err(_) => return acked,
     };
@@ -89,8 +101,10 @@ fn run(workload: &Workload, dir: Arc<dyn LogDir>) -> Vec<Ts> {
 }
 
 /// The same workload against a plain in-memory database (no WAL, no GC):
-/// the oracle history recovery must reproduce a prefix of.
-fn oracle(workload: &Workload) -> Vec<CommittedTxn> {
+/// the oracle both the recovered history and the recovered *state* are
+/// checked against (its MVCC versions answer `materialize_at` for any
+/// horizon).
+fn oracle(workload: &Workload) -> (Database, Vec<CommittedTxn>) {
     let db = Database::new();
     db.create_table("events", events_schema()).unwrap();
     for i in 0..workload.commits {
@@ -98,29 +112,93 @@ fn oracle(workload: &Workload) -> Vec<CommittedTxn> {
         txn.insert("events", row![i, i * 10]).unwrap();
         txn.commit().unwrap();
     }
-    db.log_entries()
+    let log = db.log_entries();
+    (db, log)
 }
 
-/// Recovers from `image` and checks it against the oracle: the log is a
-/// verbatim oracle prefix (GC'd history included — it lives on in cold
-/// files) covering every acknowledged commit.
-fn assert_recovers(image: MemDir, oracle_log: &[CommittedTxn], acked: &[Ts], tag: &str) {
-    let (db, report) = Database::open_durable_in(Arc::new(image), WalOptions::default())
-        .unwrap_or_else(|e| panic!("{tag}: a crash leaves a recoverable image, got {e}"));
+/// Checks a recovered database against the oracle. A boot without a
+/// checkpoint recovers a verbatim oracle *prefix*; a checkpoint boot
+/// recovers a *tail* (the log below the checkpoint is collapsed into
+/// restored state). Both are covered by the same two facts:
+///
+/// * the recovered log is a contiguous run of oracle entries ending at
+///   the recovered clock, and
+/// * the recovered table state equals the oracle's state materialised at
+///   the recovered clock — so a checkpoint can never smuggle in rows the
+///   history does not explain.
+///
+/// The horizon must cover every acknowledged commit.
+fn assert_state_matches_oracle(
+    db: &Database,
+    oracle_db: &Database,
+    oracle_log: &[CommittedTxn],
+    acked: &[Ts],
+    tag: &str,
+) {
     let log = db.log_entries();
     assert!(
         log.len() <= oracle_log.len(),
         "{tag}: recovered more than was ever committed"
     );
-    assert_eq!(log[..], oracle_log[..log.len()], "{tag}: oracle prefix");
-    let horizon = log.last().map(|e| e.commit_ts).unwrap_or(0);
+    if !log.is_empty() {
+        let start = oracle_log
+            .iter()
+            .position(|e| e.commit_ts == log[0].commit_ts)
+            .unwrap_or_else(|| panic!("{tag}: recovered entry not in the oracle history"));
+        assert!(
+            start + log.len() <= oracle_log.len(),
+            "{tag}: recovered log runs past the oracle"
+        );
+        assert_eq!(
+            log[..],
+            oracle_log[start..start + log.len()],
+            "{tag}: contiguous oracle run"
+        );
+    }
+    let horizon = db.current_ts();
+    if let Some(last) = log.last() {
+        assert_eq!(horizon, last.commit_ts, "{tag}: clock restored");
+    }
+    assert!(
+        horizon <= oracle_log.last().map(|e| e.commit_ts).unwrap_or(0),
+        "{tag}: clock past the oracle"
+    );
     if let Some(&max_acked) = acked.iter().max() {
         assert!(
             horizon >= max_acked,
             "{tag}: acknowledged commit {max_acked} lost (recovered to {horizon})"
         );
     }
-    assert_eq!(db.current_ts(), horizon, "{tag}: clock restored");
+    let recovered = if db.has_table("events") {
+        db.table("events").unwrap().materialize_at(horizon)
+    } else {
+        Vec::new()
+    };
+    let expected = oracle_db.table("events").unwrap().materialize_at(horizon);
+    assert_eq!(
+        recovered.len(),
+        expected.len(),
+        "{tag}: row count at horizon {horizon}"
+    );
+    for ((rk, rv), (ek, ev)) in recovered.iter().zip(expected.iter()) {
+        assert_eq!(rk, ek, "{tag}: key at horizon {horizon}");
+        assert_eq!(**rv, **ev, "{tag}: row for {rk:?} at horizon {horizon}");
+    }
+}
+
+/// Recovers from `image` and checks it against the oracle: every
+/// acknowledged commit covered, history a contiguous oracle run, state
+/// oracle-equal at the horizon.
+fn assert_recovers(
+    image: MemDir,
+    oracle_db: &Database,
+    oracle_log: &[CommittedTxn],
+    acked: &[Ts],
+    tag: &str,
+) {
+    let (db, report) = Database::open_durable_in(Arc::new(image), WalOptions::default())
+        .unwrap_or_else(|e| panic!("{tag}: a crash leaves a recoverable image, got {e}"));
+    assert_state_matches_oracle(&db, oracle_db, oracle_log, acked, tag);
     assert!(report.segments >= 1, "{tag}: at least the active segment");
 }
 
@@ -134,8 +212,25 @@ fn crash_sweep(workload: &Workload, tag: &str) {
     let all = run(workload, dir);
     assert_eq!(all.len() as i64, workload.commits, "{tag}: counting pass");
     let total = points.cost();
-    let oracle_log = oracle(workload);
-    assert_recovers(mem.snapshot(), &oracle_log, &all, &format!("{tag} full"));
+    let (oracle_db, oracle_log) = oracle(workload);
+    if workload.checkpoint_bytes > 0 {
+        // The sweep is only meaningful if the clean run actually wrote
+        // checkpoints for it to crash inside.
+        let (_, report) =
+            Database::open_durable_in(Arc::new(mem.snapshot()), WalOptions::default())
+                .unwrap_or_else(|e| panic!("{tag}: clean image reopens, got {e}"));
+        assert!(
+            report.checkpoint_ts.is_some(),
+            "{tag}: the clean run wrote a checkpoint"
+        );
+    }
+    assert_recovers(
+        mem.snapshot(),
+        &oracle_db,
+        &oracle_log,
+        &all,
+        &format!("{tag} full"),
+    );
 
     for k in 0..=total {
         let mem = MemDir::new();
@@ -146,6 +241,7 @@ fn crash_sweep(workload: &Workload, tag: &str) {
         let acked = run(workload, dir);
         assert_recovers(
             mem.snapshot(),
+            &oracle_db,
             &oracle_log,
             &acked,
             &format!("{tag} crash@{k}"),
@@ -165,6 +261,7 @@ fn crash_at_every_cost_unit_of_rotation_and_compaction() {
             segment_bytes: 1,
             commits: 6,
             gc_after: Some(3),
+            checkpoint_bytes: 0,
         },
         "rot+compact",
     );
@@ -179,9 +276,105 @@ fn crash_at_every_cost_unit_of_a_single_rotation() {
             segment_bytes: 200,
             commits: 6,
             gc_after: None,
+            checkpoint_bytes: 0,
         },
         "one-rotation",
     );
+}
+
+/// `checkpoint_bytes: 1` forces an environment checkpoint after every
+/// commit, so the sweep crosses every byte of each checkpoint write
+/// (temp-file body, rename, directory fsync) and of the manifest swap
+/// that publishes it — plus the retention pruning of superseded
+/// checkpoint files and a GC-triggered compaction riding alongside. A
+/// crash anywhere inside a checkpoint must leave a boot that either uses
+/// an older checkpoint or replays in full — never torn state, never a
+/// lost acknowledged commit.
+#[test]
+fn crash_at_every_cost_unit_of_checkpoint_write_and_manifest_swap() {
+    crash_sweep(
+        &Workload {
+            segment_bytes: 1,
+            commits: 5,
+            gc_after: Some(2),
+            checkpoint_bytes: 1,
+        },
+        "checkpoint",
+    );
+}
+
+/// A corrupt checkpoint is detected by its CRC frame and skipped in
+/// favour of the next older one; with every checkpoint damaged, boot
+/// falls back to full WAL replay. Either way the recovered state is
+/// oracle-equal and the fallback is counted — never silently wrong.
+#[test]
+fn corrupt_checkpoint_falls_back_to_older_or_full_replay() {
+    let workload = Workload {
+        segment_bytes: 1,
+        commits: 6,
+        gc_after: None,
+        checkpoint_bytes: 1,
+    };
+    let mem = MemDir::new();
+    let dir: Arc<dyn LogDir> = Arc::new(mem.clone());
+    let acked = run(&workload, dir);
+    assert_eq!(acked.len(), 6);
+    let (oracle_db, oracle_log) = oracle(&workload);
+
+    let ckpts = |image: &MemDir| {
+        let mut names: Vec<String> = image
+            .names()
+            .into_iter()
+            .filter(|n| n.ends_with(".ckpt"))
+            .collect();
+        names.sort();
+        names
+    };
+    let names = ckpts(&mem.snapshot());
+    assert!(
+        names.len() >= 2,
+        "workload retains at least two checkpoints, got {names:?}"
+    );
+
+    // Baseline: the undamaged image boots from the newest checkpoint.
+    let (db, report) = Database::open_durable_in(Arc::new(mem.snapshot()), WalOptions::default())
+        .expect("clean image boots");
+    let newest = report.checkpoint_ts.expect("boot used a checkpoint");
+    assert_eq!(report.checkpoint_fallbacks, 0);
+    assert_state_matches_oracle(&db, &oracle_db, &oracle_log, &acked, "clean ckpt boot");
+
+    // Flip a byte mid-file in the newest checkpoint: boot must fall back
+    // to the older one, count the fallback, and still match the oracle.
+    let image = mem.snapshot();
+    let newest_name = names.last().unwrap().clone();
+    let mut bytes = image.file(&newest_name).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    image.put_file(&newest_name, bytes);
+    let (db, report) =
+        Database::open_durable_in(Arc::new(image), WalOptions::default()).expect("fallback boots");
+    let older = report
+        .checkpoint_ts
+        .expect("an older checkpoint takes over");
+    assert!(older < newest, "fell back past the damaged checkpoint");
+    assert!(report.checkpoint_fallbacks >= 1, "fallback is counted");
+    assert_state_matches_oracle(&db, &oracle_db, &oracle_log, &acked, "older ckpt boot");
+
+    // Damage every checkpoint: boot degrades to full WAL replay — the
+    // complete oracle history, no checkpoint credited.
+    let image = mem.snapshot();
+    for name in ckpts(&image) {
+        let mut bytes = image.file(&name).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        image.put_file(&name, bytes);
+    }
+    let (db, report) = Database::open_durable_in(Arc::new(image), WalOptions::default())
+        .expect("full replay boots");
+    assert_eq!(report.checkpoint_ts, None, "no checkpoint survived");
+    assert!(report.checkpoint_fallbacks >= 2, "every fallback counted");
+    assert_eq!(db.log_entries()[..], oracle_log[..], "full oracle history");
+    assert_state_matches_oracle(&db, &oracle_db, &oracle_log, &acked, "full-replay boot");
 }
 
 #[test]
@@ -190,6 +383,7 @@ fn sealed_segment_damage_is_a_typed_corruption_error() {
         segment_bytes: 1,
         commits: 5,
         gc_after: None,
+        checkpoint_bytes: 0,
     };
     let mem = MemDir::new();
     let dir: Arc<dyn LogDir> = Arc::new(mem.clone());
@@ -245,13 +439,15 @@ fn manifest_less_directory_of_segments_is_adopted_in_order() {
         segment_bytes: 1,
         commits: 5,
         gc_after: None,
+        checkpoint_bytes: 0,
     };
     let mem = MemDir::new();
     let dir: Arc<dyn LogDir> = Arc::new(mem.clone());
     let acked = run(&workload, dir);
     let image = mem.snapshot();
     image.delete("MANIFEST").unwrap();
-    assert_recovers(image, &oracle(&workload), &acked, "manifest-less");
+    let (oracle_db, oracle_log) = oracle(&workload);
+    assert_recovers(image, &oracle_db, &oracle_log, &acked, "manifest-less");
 }
 
 fn scratch_path(tag: &str) -> std::path::PathBuf {
@@ -272,8 +468,9 @@ fn legacy_single_file_log_migrates_transparently() {
         segment_bytes: 0,
         commits: 4,
         gc_after: None,
+        checkpoint_bytes: 0,
     };
-    let oracle_log = oracle(&workload);
+    let (_, oracle_log) = oracle(&workload);
     let mut raw = Vec::new();
     raw.extend_from_slice(&encode_frame(&WalRecord::CreateTable {
         name: "events".into(),
@@ -315,14 +512,18 @@ enum Damage {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Random workloads at random segment sizes, damaged at a random
-    /// point of a random file: recovery yields an exact oracle prefix or
-    /// a typed storage error — never a panic, never fabricated state.
+    /// Random workloads at random segment sizes and checkpoint cadences,
+    /// damaged at a random point of a random file (checkpoints
+    /// included): recovery yields an oracle-equivalent state — a
+    /// contiguous oracle history run plus state equal to the oracle's at
+    /// the recovered clock — or a typed storage error. Never a panic,
+    /// never fabricated state.
     #[test]
     fn recovery_equals_oracle_or_refuses_with_a_typed_error(
         commits in 1i64..16,
         segment_bytes in prop_oneof![Just(0u64), Just(1u64), Just(120u64), Just(4096u64)],
         gc in prop_oneof![Just(None), (0i64..16).prop_map(Some)],
+        checkpoint_bytes in prop_oneof![Just(0u64), Just(1u64), Just(200u64)],
         damage in prop_oneof![
             (0usize..8, 0.0f64..1.0).prop_map(|(file, frac)| Damage::Truncate { file, frac }),
             (0usize..8, 0.0f64..1.0, 0u8..8)
@@ -333,12 +534,13 @@ proptest! {
             segment_bytes,
             commits,
             gc_after: gc.filter(|g| *g < commits),
+            checkpoint_bytes,
         };
         let mem = MemDir::new();
         let dir: Arc<dyn LogDir> = Arc::new(mem.clone());
         let acked = run(&workload, dir);
         prop_assert_eq!(acked.len() as i64, commits);
-        let oracle_log = oracle(&workload);
+        let (oracle_db, oracle_log) = oracle(&workload);
 
         let image = mem.snapshot();
         let mut names = image.names();
@@ -368,13 +570,10 @@ proptest! {
         image.put_file(&name, bytes);
 
         match Database::open_durable_in(Arc::new(image), WalOptions::default()) {
-            Ok((db, _)) => {
-                let log = db.log_entries();
-                prop_assert!(log.len() <= oracle_log.len());
-                prop_assert_eq!(&log[..], &oracle_log[..log.len()]);
-                let horizon = log.last().map(|e| e.commit_ts).unwrap_or(0);
-                prop_assert_eq!(db.current_ts(), horizon);
-            }
+            // Damage may legally lose acknowledged commits (it destroys
+            // durable bytes), so the acked floor is not enforced here —
+            // only oracle equivalence of whatever state recovery accepts.
+            Ok((db, _)) => assert_state_matches_oracle(&db, &oracle_db, &oracle_log, &[], "prop"),
             Err(DbError::Storage(_)) => {} // typed refusal is the other legal outcome
             Err(e) => prop_assert!(false, "untyped error: {e}"),
         }

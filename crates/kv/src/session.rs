@@ -37,9 +37,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use trod_db::{
-    ChangeRecord, CommitInfo, CommitParticipant, CommittedTxn, Database, DbError, DbResult,
-    IsolationLevel, Key, KvError, Predicate, RecoveryReport, Row, SegmentedWal, TrodError,
-    TrodResult, Ts, TxnId, Value, WalOptions, WalRecord,
+    ChangeRecord, Checkpoint, CommitInfo, CommitParticipant, CommittedTxn, Database, DbError,
+    DbResult, IsolationLevel, Key, KvError, Predicate, RecoveryReport, Row, SegmentedWal,
+    TrodError, TrodResult, Ts, TxnId, Value, WalOptions, WalRecord,
 };
 use trod_trace::{ReadTrace, Tracer, TxnContext, TxnTrace};
 
@@ -194,6 +194,10 @@ impl SessionBuilder {
     pub fn build(self) -> Session {
         if let Some(kv) = &self.kv {
             kv.bind_publication_clock(self.db.publication_clock());
+            // Environment checkpoints capture the kv half through this
+            // registration (see the checkpoint section in trod_db's
+            // database docs).
+            self.db.set_checkpoint_source(Some(Arc::new(kv.clone())));
         }
         Session {
             inner: Arc::new(SessionInner {
@@ -459,13 +463,29 @@ impl Session {
             truncated_bytes: info.truncated_bytes,
             segments: info.segments,
             cold_files: info.cold_files,
+            checkpoint_fallbacks: info.checkpoint_fallbacks,
+            skipped_files: info.skipped_files,
             ..Default::default()
         };
+        // Checkpoint boot: restore the snapshot into both stores first,
+        // then replay only the WAL tail after it. DDL in the tail replays
+        // leniently — re-creating an object the checkpoint already holds
+        // is a no-op (the WAL vocabulary has no drop records).
+        let checkpoint = wal.take_recovered_checkpoint();
+        let lenient_ddl = checkpoint.is_some();
+        if let Some(ck) = &checkpoint {
+            db.restore_checkpoint(ck).map_err(TrodError::from)?;
+            Session::restore_kv_checkpoint(&kv, ck)?;
+            report.checkpoint_ts = Some(ck.ts);
+        }
         let recovery_err =
             |detail: String| TrodError::Storage(trod_db::StorageError::Recovery { detail });
         for record in &records {
             match record {
                 WalRecord::CreateTable { name, schema } => {
+                    if lenient_ddl && db.has_table(name) {
+                        continue;
+                    }
                     db.create_table(name.clone(), schema.clone())
                         .map_err(|e| recovery_err(format!("create table `{name}`: {e}")))?;
                     report.tables += 1;
@@ -475,6 +495,9 @@ impl Session {
                     column,
                     ranged,
                 } => {
+                    if lenient_ddl && Session::index_exists(&db, table, column, *ranged)? {
+                        continue;
+                    }
                     if *ranged {
                         db.create_range_index(table, column)
                     } else {
@@ -484,6 +507,9 @@ impl Session {
                     report.indexes += 1;
                 }
                 WalRecord::CreateNamespace { name } => {
+                    if lenient_ddl && kv.has_namespace(name) {
+                        continue;
+                    }
                     kv.create_namespace(name)
                         .map_err(|e| recovery_err(format!("create namespace `{name}`: {e}")))?;
                     report.namespaces.push(name.clone());
@@ -501,6 +527,64 @@ impl Session {
         // re-appended to the log they came from.
         db.attach_segmented_wal(wal);
         Ok((Session::with_kv(db, kv), report))
+    }
+
+    /// Whether `table.column` already carries a (hash or range) index —
+    /// the lenient-DDL check for checkpoint-boot replay.
+    fn index_exists(db: &Database, table: &str, column: &str, ranged: bool) -> TrodResult<bool> {
+        let store = db.table(table).map_err(TrodError::from)?;
+        let existing = if ranged {
+            store.range_indexed_columns()
+        } else {
+            store.indexed_columns()
+        };
+        Ok(existing.iter().any(|c| c == column))
+    }
+
+    /// Restores a checkpoint's key-value half into an empty store: every
+    /// namespace re-created, every entry installed at the checkpoint
+    /// timestamp as one store-level batch per namespace.
+    fn restore_kv_checkpoint(kv: &KvStore, ck: &Checkpoint) -> TrodResult<()> {
+        for ns in &ck.namespaces {
+            kv.create_namespace(&ns.name).map_err(TrodError::from)?;
+            if ns.entries.is_empty() {
+                continue;
+            }
+            let writes: Vec<KvWrite> = ns
+                .entries
+                .iter()
+                .map(|(key, value)| KvWrite {
+                    namespace: ns.name.clone(),
+                    key: key.clone(),
+                    value: Some(value.clone()),
+                })
+                .collect();
+            kv.apply(&writes, ck.ts.max(1)).map_err(TrodError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes a whole session environment from a decoded
+    /// [`Checkpoint`]: a fresh database restored via
+    /// [`Database::restore_checkpoint`] and a fresh key-value store with
+    /// the checkpoint's namespaces and entries, bound together like any
+    /// session. The debugger's deep forks start here and replay only the
+    /// aligned history *after* the checkpoint timestamp — nearest
+    /// snapshot + delta instead of replay-everything.
+    pub fn from_checkpoint(ck: &Checkpoint) -> TrodResult<Session> {
+        let db = Database::new();
+        db.restore_checkpoint(ck).map_err(TrodError::from)?;
+        let kv = KvStore::new();
+        Session::restore_kv_checkpoint(&kv, ck)?;
+        Ok(Session::with_kv(db, kv))
+    }
+
+    /// Forces an environment checkpoint now (capture + durable write
+    /// through the attached WAL). `None` when skipped — no WAL, nothing
+    /// committed yet, a checkpoint at this timestamp already exists, or
+    /// another capture is in flight. See [`Database::checkpoint`].
+    pub fn checkpoint(&self) -> TrodResult<Option<(Ts, u64)>> {
+        self.inner.db.checkpoint().map_err(TrodError::from)
     }
 
     /// Re-installs one recovered aligned-history entry: relational

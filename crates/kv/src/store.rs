@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use trod_db::Ts;
+use trod_db::{CheckpointContributor, CheckpointNamespace, Ts};
 
 pub use trod_db::{KvError, KvResult};
 
@@ -497,6 +497,25 @@ impl KvStore {
             }
         }
         removed
+    }
+}
+
+/// Contributes the store's state to environment checkpoints: every
+/// namespace with its live entries visible at the checkpoint timestamp.
+/// [`crate::Session`] registers this on its database
+/// ([`trod_db::Database::set_checkpoint_source`]) so checkpoints capture
+/// the whole polyglot environment.
+impl CheckpointContributor for KvStore {
+    fn capture_kv(&self, ts: Ts) -> Vec<CheckpointNamespace> {
+        self.namespaces()
+            .into_iter()
+            .map(|name| {
+                let entries = self
+                    .scan_prefix_as_of(&name, "", ts)
+                    .expect("namespace listed by the store itself");
+                CheckpointNamespace { name, entries }
+            })
+            .collect()
     }
 }
 

@@ -549,9 +549,18 @@ impl ProvenanceStore {
     /// Spilled entries with commit timestamp at or below `ts`, in commit
     /// order.
     pub fn spilled_up_to(&self, ts: Ts) -> Vec<CommittedTxn> {
+        self.spilled_between(0, ts)
+    }
+
+    /// Spilled entries with commit timestamp in `(after, up_to]`, in
+    /// commit order — the delta a checkpoint-based reconstruction
+    /// replays on top of a restored snapshot at `after`. Cloning only
+    /// the window keeps deep forks O(delta), not O(history).
+    pub fn spilled_between(&self, after: Ts, up_to: Ts) -> Vec<CommittedTxn> {
         let spilled = self.spilled.read();
-        let cut = spilled.partition_point(|e| e.commit_ts <= ts);
-        spilled[..cut].to_vec()
+        let lo = spilled.partition_point(|e| e.commit_ts <= after);
+        let hi = spilled.partition_point(|e| e.commit_ts <= up_to);
+        spilled[lo..hi].to_vec()
     }
 
     /// Number of spilled aligned entries held.

@@ -660,6 +660,18 @@ pub fn dispatch(state: &ServerState, method: &str, params: &Json) -> Result<Json
                             "last_compaction_unix_ms",
                             Json::from(s.last_compaction_unix_ms),
                         ),
+                        (
+                            "checkpoints",
+                            Json::obj(vec![
+                                ("count", Json::from(s.checkpoints as u64)),
+                                ("newest_ts", Json::from(s.checkpoint_newest_ts)),
+                                ("checkpoint_bytes", Json::from(s.checkpoint_bytes)),
+                                ("writes", Json::from(s.checkpoint_writes)),
+                                ("skips", Json::from(s.checkpoint_skips)),
+                                ("errors", Json::from(s.checkpoint_errors)),
+                                ("fallbacks", Json::from(s.checkpoint_fallbacks)),
+                            ]),
+                        ),
                     ])
                 }
                 None => Json::Null,
@@ -678,6 +690,22 @@ pub fn dispatch(state: &ServerState, method: &str, params: &Json) -> Result<Json
                 ("gc_floor", Json::from(db.log_truncated_below())),
                 ("live_log_entries", Json::from(db.log_entries().len())),
                 ("wal", wal),
+            ]))
+        }
+        "sys_checkpoint" => {
+            let written = state.trod.checkpoint()?;
+            Ok(Json::obj(vec![
+                ("written", Json::Bool(written.is_some())),
+                (
+                    "checkpoint_ts",
+                    written.map(|(ts, _)| Json::from(ts)).unwrap_or(Json::Null),
+                ),
+                (
+                    "bytes",
+                    written
+                        .map(|(_, bytes)| Json::from(bytes))
+                        .unwrap_or(Json::Null),
+                ),
             ]))
         }
         "sys_schema" => {

@@ -2,6 +2,11 @@
 //! segment/compaction state of the durable log, and `sys_dump` stitches
 //! one identical history out of many segment files — before and after a
 //! restart that recovers from cold + sealed + active segments.
+//!
+//! PR 10: `sys_checkpoint` forces an environment checkpoint over the
+//! wire, `sys_health` reports checkpoint stats, and a restart boots
+//! from the checkpoint (recovery report carries its ts) while serving
+//! the same stitched dump.
 
 use trod_core::json::Json;
 use trod_core::wire;
@@ -143,6 +148,79 @@ fn sys_health_reports_segments_and_sys_dump_stitches_across_restart() {
         wal.get("durable").and_then(Json::as_u64),
         wal.get("appended").and_then(Json::as_u64)
     );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&path);
+}
+
+#[test]
+fn sys_checkpoint_forces_one_and_recovery_boots_from_it() {
+    let path = scratch_dir("checkpoint");
+    let before_dump = {
+        let session = Session::create_durable(&path, tiny_opts()).expect("create");
+        session
+            .database()
+            .create_table("events", events_schema())
+            .unwrap();
+        session.create_namespace("cache").unwrap();
+        for i in 0..8 {
+            commit_step(&session, i);
+        }
+        let server = ServerBuilder::new(attach(session))
+            .serve("127.0.0.1:0")
+            .expect("bind");
+        let mut client = Client::connect(&server.addr()).expect("connect");
+
+        // No cadence configured: nothing checkpointed yet.
+        let health = call_sys(&mut client, "sys_health");
+        let ckpt = health
+            .get("wal")
+            .and_then(|w| w.get("checkpoints"))
+            .expect("checkpoint section")
+            .clone();
+        assert_eq!(ckpt.get("count").and_then(Json::as_u64), Some(0));
+
+        // Force one over the wire; a second call with no new commits is
+        // an acknowledged no-op (`written: false`).
+        let reply = call_sys(&mut client, "sys_checkpoint");
+        assert_eq!(reply.get("written"), Some(&Json::Bool(true)));
+        let ckpt_ts = reply.get("checkpoint_ts").and_then(Json::as_u64).unwrap();
+        assert!(ckpt_ts > 0);
+        assert!(reply.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+        let reply = call_sys(&mut client, "sys_checkpoint");
+        assert_eq!(reply.get("written"), Some(&Json::Bool(false)));
+
+        let health = call_sys(&mut client, "sys_health");
+        let ckpt = health
+            .get("wal")
+            .and_then(|w| w.get("checkpoints"))
+            .expect("checkpoint section")
+            .clone();
+        let get = |k: &str| ckpt.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(get("count"), 1);
+        assert_eq!(get("newest_ts"), ckpt_ts);
+        assert!(get("checkpoint_bytes") > 0);
+        assert!(get("writes") >= 1);
+        assert_eq!(get("errors"), 0);
+        assert_eq!(get("fallbacks"), 0);
+
+        let reply = call_sys(&mut client, "sys_dump");
+        let dump = Dump::from_json(reply.get("dump").unwrap()).expect("parse dump");
+        server.shutdown();
+        dump
+    };
+
+    // Restart: recovery restores the forced checkpoint and replays only
+    // the (empty) tail, yet serves the identical stitched dump.
+    let (session, report) = Session::open_durable(&path, tiny_opts()).expect("reopen");
+    assert!(report.checkpoint_ts.is_some(), "boot used the checkpoint");
+    assert_eq!(report.checkpoint_fallbacks, 0);
+    let server = ServerBuilder::new(attach(session))
+        .serve("127.0.0.1:0")
+        .expect("bind");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let reply = call_sys(&mut client, "sys_dump");
+    let after_dump = Dump::from_json(reply.get("dump").unwrap()).expect("parse dump");
+    assert_eq!(before_dump.current_ts, after_dump.current_ts);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&path);
 }

@@ -3,8 +3,8 @@
 # perf-trajectory artifact (BENCH_PR<N>.json).
 #
 # Usage:
-#   scripts/bench.sh                  # writes BENCH_PR9.json (current PR)
-#   scripts/bench.sh BENCH_PR10.json  # explicit output name
+#   scripts/bench.sh                  # writes BENCH_PR10.json (current PR)
+#   scripts/bench.sh BENCH_PR11.json  # explicit output name
 #   BENCH_FILTER=commit_validation scripts/bench.sh            # one target
 #   BENCH_FILTER="commit_validation scan_path" scripts/bench.sh
 #   TROD_BENCH_MS=100 scripts/bench.sh                # faster, noisier
@@ -21,7 +21,19 @@
 #     elements_per_sec - optional; present when the bench declares
 #                        throughput (e.g. rows served per second)
 #
-# New ids in BENCH_PR9.json:
+# New ids in BENCH_PR10.json:
+#   `wal_commit/recovery_checkpoint/<mode>/commits_4096` for <mode> in
+#   {full_replay, checkpoint} — recovery of the SAME 4096-commit
+#   update-heavy history (512 live keys) without and with an environment
+#   checkpoint at its head (the PR 10 bar: checkpoint boot ≥ 5× faster
+#   than full replay).
+#   `fork_depth/below_floor/<mode>/depth_<D>` for D in {256, 1024, 4096}
+#   — `Trod::fork_at` below the GC floor against the same 8192-commit
+#   history, with_checkpoints (nearest-checkpoint + delta replay) vs
+#   full_replay (full stitched replay of the spill); the PR 10 bar:
+#   with_checkpoints at depth 4096 ≥ 5× faster than full_replay.
+#
+# Carried from PR 9:
 #   `wal_commit/throughput/group/sync/roll/threads_<T>` — 8-thread group
 #   commit with a 16 KiB segment bound (several rotations per round);
 #   the rotation protocol must hide inside the group-commit window, so
@@ -44,7 +56,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 # Absolute path: cargo runs bench binaries from the package directory.
 jsonl="$PWD/target/bench-results.jsonl"
 rm -f "$jsonl"
